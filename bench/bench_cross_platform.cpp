@@ -1,0 +1,175 @@
+// Custom use-case scalability test (§3.4: "custom scalability tests may
+// need to be designed to fit the particular use case").
+//
+// The SAME deterministic bilateral-trade workload (workload::TradeWorkload,
+// 80% confidential trades) is replayed against all three platform models.
+// For each platform we report wall-clock throughput, network traffic, and
+// the two §5 leakage figures: plaintext trade bytes observed by a
+// non-party, and party-list bytes observed by a non-party.
+#include <chrono>
+#include <cstdio>
+
+#include "platforms/corda/corda.hpp"
+#include "platforms/fabric/fabric.hpp"
+#include "platforms/quorum/quorum.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace veil;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kTrades = 60;
+const std::vector<std::string> kParties = {"BankA", "BankB", "BankC",
+                                           "BankD"};
+constexpr const char* kOutsider = "BankD";  // excluded from all trades
+
+workload::TradeWorkload make_workload() {
+  workload::TradeConfig config;
+  config.confidential_fraction = 0.8;
+  config.details_bytes = 256;
+  // Only the first three banks trade; BankD observes.
+  return workload::TradeWorkload({"BankA", "BankB", "BankC"}, config, 777);
+}
+
+struct RunResult {
+  double seconds = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t net_bytes = 0;
+  std::uint64_t outsider_data = 0;
+  std::uint64_t outsider_parties = 0;
+};
+
+std::shared_ptr<contracts::FunctionContract> trade_contract() {
+  return std::make_shared<contracts::FunctionContract>(
+      "trades", 1,
+      [](contracts::ContractContext& ctx, const std::string& action) {
+        ctx.put("trade/" + action,
+                common::Bytes(ctx.args().begin(), ctx.args().end()));
+        return contracts::InvokeStatus::Ok;
+      });
+}
+
+RunResult run_fabric() {
+  net::SimNetwork net{common::Rng(1)};
+  common::Rng rng(2);
+  fabric::FabricNetwork fab(net, crypto::Group::test_group(), rng);
+  for (const std::string& p : kParties) fab.add_org(p);
+  // One channel per trading pair, mirroring "separation of ledgers".
+  auto channel_of = [&](const std::string& a, const std::string& b) {
+    const std::string name = a < b ? a + "-" + b : b + "-" + a;
+    if (!fab.is_channel_member(name, a)) {
+      fab.create_channel(name, {a, b});
+      fab.install_chaincode(name, a, trade_contract(),
+                            contracts::EndorsementPolicy::require(a));
+    }
+    return name;
+  };
+
+  auto workload = make_workload();
+  RunResult result;
+  const auto start = Clock::now();
+  std::size_t seq = 0;
+  for (const workload::TradeEvent& trade : workload.take(kTrades)) {
+    const std::string channel = channel_of(trade.buyer, trade.seller);
+    const auto receipt =
+        fab.submit(channel, trade.buyer, "trades", std::to_string(seq++),
+                   trade.details);
+    if (receipt.committed) ++result.committed;
+  }
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  result.net_bytes = net.stats().bytes_sent;
+  result.outsider_data =
+      net.auditor().bytes_seen("peer." + std::string(kOutsider), "tx/");
+  result.outsider_parties = result.outsider_data;  // same observation set
+  return result;
+}
+
+RunResult run_corda() {
+  net::SimNetwork net{common::Rng(3)};
+  common::Rng rng(4);
+  corda::CordaNetwork corda(net, crypto::Group::test_group(), rng);
+  for (const std::string& p : kParties) corda.add_party(p);
+  corda.add_notary("Notary", /*validating=*/false);
+
+  auto workload = make_workload();
+  RunResult result;
+  const auto start = Clock::now();
+  for (const workload::TradeEvent& trade : workload.take(kTrades)) {
+    const auto r = corda.issue(trade.buyer, "Trade", trade.details,
+                               {trade.buyer, trade.seller}, "Notary");
+    if (r.success) ++result.committed;
+  }
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  result.net_bytes = net.stats().bytes_sent;
+  result.outsider_data = net.auditor().bytes_seen(kOutsider, "tx/");
+  result.outsider_parties = result.outsider_data;
+  return result;
+}
+
+RunResult run_quorum() {
+  net::SimNetwork net{common::Rng(5)};
+  common::Rng rng(6);
+  quorum::QuorumNetwork quorum(net, crypto::Group::test_group(), rng, 1);
+  for (const std::string& p : kParties) quorum.add_node(p);
+
+  auto workload = make_workload();
+  RunResult result;
+  const auto start = Clock::now();
+  std::size_t seq = 0;
+  for (const workload::TradeEvent& trade : workload.take(kTrades)) {
+    const ledger::KvWrite write{"trade/" + std::to_string(seq++),
+                                trade.details, false};
+    quorum::TxResult r;
+    if (trade.confidential) {
+      r = quorum.submit_private(trade.buyer, {trade.seller}, {write});
+    } else {
+      r = quorum.submit_public(trade.buyer, {write});
+    }
+    if (r.accepted) ++result.committed;
+  }
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  result.net_bytes = net.stats().bytes_sent;
+  std::uint64_t data = 0, parties = 0;
+  for (const auto& obs : net.auditor().observations()) {
+    if (obs.observer != kOutsider || !obs.plaintext) continue;
+    if (obs.label.find("/data") != std::string::npos) data += obs.bytes;
+    if (obs.label.find("/parties") != std::string::npos) {
+      parties += obs.bytes;
+    }
+  }
+  result.outsider_data = data;
+  result.outsider_parties = parties;
+  return result;
+}
+
+void print(const char* platform, const RunResult& r) {
+  std::printf("%-10s %6.1f tx/s   %8llu net bytes   %10llu B   %12llu B\n",
+              platform,
+              r.seconds > 0 ? static_cast<double>(r.committed) / r.seconds
+                            : 0.0,
+              static_cast<unsigned long long>(r.net_bytes),
+              static_cast<unsigned long long>(r.outsider_data),
+              static_cast<unsigned long long>(r.outsider_parties));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Cross-platform custom scalability test — %zu bilateral "
+              "trades (80%% confidential) among 3 banks;\n"
+              "'%s' is onboarded but party to nothing.\n\n",
+              kTrades, kOutsider);
+  std::printf("%-10s %-12s %-18s %-14s %s\n", "platform", "throughput",
+              "network traffic", "outsider:data", "outsider:parties");
+  std::printf("%s\n", std::string(86, '-').c_str());
+  print("Fabric", run_fabric());
+  print("Corda", run_corda());
+  print("Quorum", run_quorum());
+  std::printf(
+      "\nExpected shape: zero outsider visibility on Fabric (channels) and\n"
+      "Corda (p2p); on Quorum the outsider reads every public trade's data\n"
+      "and EVERY trade's participant list. Throughput differences reflect\n"
+      "each platform's signature/dissemination work per transaction.\n");
+  return 0;
+}

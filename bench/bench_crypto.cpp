@@ -1,0 +1,220 @@
+// E7 — mechanism cost ablation (google-benchmark).
+//
+// Quantifies the §2 maturity/feasibility claims: symmetric encryption is
+// cheap; Merkle tear-offs add hashing only; sigma-protocol ZKPs cost
+// milliseconds; Paillier homomorphic encryption is orders of magnitude
+// above AES; MPC adds quadratic communication. The paper asserts this
+// ordering qualitatively — this bench measures it.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/paillier.hpp"
+#include "crypto/shamir.hpp"
+#include "crypto/zkp.hpp"
+#include "mpc/protocol.hpp"
+#include "tee/enclave.hpp"
+
+namespace {
+
+using namespace veil;
+using common::Bytes;
+using common::Rng;
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes data = rng.next_bytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_AesSeal_1KiB(benchmark::State& state) {
+  Rng rng(2);
+  const Bytes key = rng.next_bytes(32);
+  const Bytes data = rng.next_bytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::seal(key, data, rng.next_bytes(16)));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_AesSeal_1KiB);
+
+void BM_AesOpen_1KiB(benchmark::State& state) {
+  Rng rng(3);
+  const Bytes key = rng.next_bytes(32);
+  const Bytes sealed = crypto::seal(key, rng.next_bytes(1024), rng.next_bytes(16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::open(key, sealed));
+  }
+}
+BENCHMARK(BM_AesOpen_1KiB);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  Rng rng(4);
+  const crypto::Group& group = crypto::Group::default_group();
+  const crypto::KeyPair kp = crypto::KeyPair::generate(group, rng);
+  const Bytes msg = rng.next_bytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.sign(msg));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  Rng rng(5);
+  const crypto::Group& group = crypto::Group::default_group();
+  const crypto::KeyPair kp = crypto::KeyPair::generate(group, rng);
+  const Bytes msg = rng.next_bytes(256);
+  const auto sig = kp.sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify(group, kp.public_key(), msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < state.range(0); ++i) leaves.push_back(rng.next_bytes(128));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::MerkleTree::build(leaves));
+  }
+}
+BENCHMARK(BM_MerkleBuild)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_TearOffCreateVerify(benchmark::State& state) {
+  Rng rng(7);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<Bytes> leaves, salts;
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(rng.next_bytes(128));
+    salts.push_back(rng.next_bytes(16));
+  }
+  const auto tree = crypto::MerkleTree::build(leaves, salts);
+  for (auto _ : state) {
+    const auto torn = crypto::TearOff::create(leaves, salts, {0});
+    benchmark::DoNotOptimize(torn.verify_against(tree.root()));
+  }
+}
+BENCHMARK(BM_TearOffCreateVerify)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ZkpRangeProve(benchmark::State& state) {
+  Rng rng(8);
+  const crypto::Group& group = crypto::Group::test_group();
+  const crypto::Pedersen pedersen(group);
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  auto [commitment, opening] = pedersen.commit(crypto::BigInt(100), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::prove_range(
+        group, commitment, opening, bits, common::to_bytes("b"), rng));
+  }
+}
+BENCHMARK(BM_ZkpRangeProve)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_ZkpRangeVerify(benchmark::State& state) {
+  Rng rng(9);
+  const crypto::Group& group = crypto::Group::test_group();
+  const crypto::Pedersen pedersen(group);
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  auto [commitment, opening] = pedersen.commit(crypto::BigInt(100), rng);
+  const auto proof = crypto::prove_range(group, commitment, opening, bits,
+                                         common::to_bytes("b"), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify_range(group, commitment, proof,
+                                                  bits, common::to_bytes("b")));
+  }
+}
+BENCHMARK(BM_ZkpRangeVerify)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  Rng rng(10);
+  const auto keys = crypto::PaillierKeyPair::generate(
+      rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::paillier_encrypt(keys.public_key(), crypto::BigInt(123456), rng));
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierAdd(benchmark::State& state) {
+  Rng rng(11);
+  const auto keys = crypto::PaillierKeyPair::generate(rng, 256);
+  const auto a = crypto::paillier_encrypt(keys.public_key(), crypto::BigInt(1), rng);
+  const auto b = crypto::paillier_encrypt(keys.public_key(), crypto::BigInt(2), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::paillier_add(keys.public_key(), a, b));
+  }
+}
+BENCHMARK(BM_PaillierAdd);
+
+void BM_PaillierDecrypt(benchmark::State& state) {
+  Rng rng(12);
+  const auto keys = crypto::PaillierKeyPair::generate(rng, 256);
+  const auto ct = crypto::paillier_encrypt(keys.public_key(), crypto::BigInt(9), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keys.decrypt(ct));
+  }
+}
+BENCHMARK(BM_PaillierDecrypt)->Unit(benchmark::kMillisecond);
+
+void BM_MpcSecureSum(benchmark::State& state) {
+  const crypto::Shamir field(
+      crypto::BigInt::from_decimal("2305843009213693951"));
+  const int parties = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    net::SimNetwork net{Rng(13)};
+    Rng rng(14);
+    mpc::SecureSum protocol(field, net);
+    std::map<std::string, crypto::BigInt> inputs;
+    for (int i = 0; i < parties; ++i) {
+      inputs["P" + std::to_string(i)] =
+          crypto::BigInt(static_cast<std::uint64_t>(i));
+    }
+    benchmark::DoNotOptimize(protocol.run(inputs, rng));
+  }
+  state.counters["messages"] = 2.0 * parties * (parties - 1);
+}
+BENCHMARK(BM_MpcSecureSum)->Arg(3)->Arg(5)->Arg(9)->Unit(benchmark::kMillisecond);
+
+void BM_TeeSealedInvoke(benchmark::State& state) {
+  Rng rng(15);
+  net::LeakageAuditor auditor;
+  tee::Manufacturer manufacturer(crypto::Group::test_group(), rng);
+  tee::Enclave enclave("host", manufacturer, "d", auditor, rng, 0);
+  enclave.load(std::make_shared<contracts::FunctionContract>(
+      "cc", 1, [](contracts::ContractContext& ctx, const std::string&) {
+        ctx.put("k", common::to_bytes("v"));
+        return contracts::InvokeStatus::Ok;
+      }));
+  tee::EnclaveClient client(crypto::Group::test_group(), rng);
+  client.accept(enclave.open_session(client.public_key(), rng));
+  const tee::InvokeRequest request{"cc", "go", common::to_bytes("x")};
+  for (auto _ : state) {
+    const auto sealed = client.seal(request, rng);
+    benchmark::DoNotOptimize(enclave.invoke(sealed));
+  }
+}
+BENCHMARK(BM_TeeSealedInvoke);
+
+void BM_TeeAttest(benchmark::State& state) {
+  Rng rng(16);
+  net::LeakageAuditor auditor;
+  tee::Manufacturer manufacturer(crypto::Group::test_group(), rng);
+  tee::Enclave enclave("host", manufacturer, "d", auditor, rng, 0);
+  const Bytes nonce = rng.next_bytes(16);
+  for (auto _ : state) {
+    const auto quote = enclave.attest(nonce);
+    benchmark::DoNotOptimize(tee::verify_quote(
+        crypto::Group::test_group(), manufacturer.root_key(), quote,
+        enclave.measurement(), nonce, 0));
+  }
+}
+BENCHMARK(BM_TeeAttest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// E2 — regenerate Figure 1.
+//
+// The figure is a decision flowchart mapping data-confidentiality
+// requirements to mechanisms. We regenerate it two ways:
+//   1. the paper's named paths, printed with their full decision trace;
+//   2. an exhaustive sweep of all 2^8 requirement profiles, printed as a
+//      compact profile -> mechanisms table (the flowchart in extension).
+#include <cstdio>
+#include <string>
+
+#include "core/decision.hpp"
+
+namespace {
+
+using namespace veil::core;
+
+void print_recommendation(const char* title, const DataRequirements& req) {
+  std::printf("--- %s\n", title);
+  std::printf("    requirements: %s\n", req.describe().c_str());
+  const Recommendation rec = DecisionEngine::for_data(req);
+  for (const std::string& line : rec.rationale) {
+    std::printf("    path: %s\n", line.c_str());
+  }
+  std::printf("    => mechanisms:");
+  if (rec.mechanisms.empty()) std::printf(" (none — plain shared ledger)");
+  for (Mechanism m : rec.mechanisms) {
+    std::printf(" [%s]", to_string(m).c_str());
+  }
+  std::printf("\n");
+  for (const std::string& caveat : rec.caveats) {
+    std::printf("    caveat: %s\n", caveat.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 1 — Guide to mapping confidentiality requirements on "
+              "data to available techniques.\n\n");
+
+  // The named paths of §3.2.
+  {
+    DataRequirements req;
+    req.deletion_required = true;
+    print_recommendation("Right to be forgotten (GDPR)", req);
+  }
+  {
+    DataRequirements req;
+    req.encrypted_sharing_allowed = false;
+    print_recommendation("Encrypted data may not be shared", req);
+  }
+  {
+    DataRequirements req;
+    req.hide_within_transaction = true;
+    print_recommendation("Data hidden from some transaction parties", req);
+  }
+  {
+    DataRequirements req;
+    req.uninvolved_validation = true;
+    print_recommendation("Uninvolved parties must validate", req);
+  }
+  {
+    DataRequirements req;
+    req.private_inputs = true;
+    print_recommendation("Precondition on private data (boolean affirmation)",
+                         req);
+  }
+  {
+    DataRequirements req;
+    req.private_inputs = true;
+    req.shared_function_on_private = true;
+    print_recommendation("Shared function on private values (secret ballot)",
+                         req);
+  }
+  {
+    DataRequirements req;
+    req.untrusted_node_admin = true;
+    print_recommendation("Third-party node administrator", req);
+  }
+
+  // Exhaustive sweep.
+  std::printf("=== Exhaustive requirement-space sweep (256 profiles)\n");
+  std::printf("%-10s%s\n", "profile", "recommended mechanisms");
+  for (int mask = 0; mask < 256; ++mask) {
+    DataRequirements req;
+    req.deletion_required = mask & 1;
+    req.encrypted_sharing_allowed = mask & 2;
+    req.onchain_record_desired = mask & 4;
+    req.hide_within_transaction = mask & 8;
+    req.uninvolved_validation = mask & 16;
+    req.private_inputs = mask & 32;
+    req.shared_function_on_private = mask & 64;
+    req.untrusted_node_admin = mask & 128;
+    const Recommendation rec = DecisionEngine::for_data(req);
+    std::string mechanisms;
+    for (Mechanism m : rec.mechanisms) {
+      if (!mechanisms.empty()) mechanisms += ", ";
+      mechanisms += to_string(m);
+    }
+    if (mechanisms.empty()) mechanisms = "(plain shared ledger)";
+    std::printf("0x%02x      %s\n", mask, mechanisms.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// E3 — Section 4's letter-of-credit case study, end to end:
+// run the design guide, assess the platforms, build the recommended
+// network and execute the LoC lifecycle, then report the leakage matrix.
+#include <cstdio>
+
+#include "core/assessment.hpp"
+#include "crypto/aes.hpp"
+#include "offchain/store.hpp"
+#include "platforms/fabric/fabric.hpp"
+
+namespace {
+
+using namespace veil;
+using common::to_bytes;
+
+std::shared_ptr<contracts::FunctionContract> loc_contract() {
+  return std::make_shared<contracts::FunctionContract>(
+      "letter-of-credit", 1,
+      [](contracts::ContractContext& ctx, const std::string& action) {
+        const common::Bytes args(ctx.args().begin(), ctx.args().end());
+        if (action == "apply") {
+          ctx.put("loc/status", to_bytes("applied"));
+          ctx.put("loc/terms", args);
+          return contracts::InvokeStatus::Ok;
+        }
+        for (const char* step : {"issue", "ship", "pay"}) {
+          if (action == step) {
+            ctx.get("loc/status");
+            ctx.put("loc/status", to_bytes(action));
+            return contracts::InvokeStatus::Ok;
+          }
+        }
+        return contracts::InvokeStatus::UnknownAction;
+      });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Section 4 — letter-of-credit case study\n\n");
+
+  // Step 1: run the design guide on the paper's stated requirements.
+  const core::RequirementProfile profile = core::letter_of_credit_profile();
+  const core::Recommendation rec = core::DecisionEngine::for_profile(profile);
+  std::printf("Design-guide recommendation for '%s':\n",
+              profile.use_case.c_str());
+  for (const auto& line : rec.rationale) std::printf("  path: %s\n", line.c_str());
+  std::printf("  mechanisms:");
+  for (core::Mechanism m : rec.mechanisms) {
+    std::printf(" [%s]", core::to_string(m).c_str());
+  }
+  std::printf("\n\n");
+
+  // Step 2: assess platforms against the recommendation.
+  const auto ranked =
+      core::assess(rec, core::CapabilityMatrix::paper_table1());
+  std::printf("Platform assessment:\n%s\n", core::render(ranked).c_str());
+
+  // Step 3: build the recommended design and run the lifecycle.
+  net::SimNetwork net{common::Rng(42)};
+  common::Rng rng(43);
+  fabric::FabricNetwork fab(net, crypto::Group::test_group(), rng);
+  for (const char* org :
+       {"IssuingBank", "AdvisingBank", "Buyer", "Seller", "OtherCorp"}) {
+    fab.add_org(org);
+  }
+  fab.create_channel("loc", {"IssuingBank", "AdvisingBank", "Buyer", "Seller"});
+  fab.install_chaincode("loc", "IssuingBank", loc_contract(),
+                        contracts::EndorsementPolicy::require("IssuingBank"));
+
+  offchain::OffChainStore pii_store("IssuingBank",
+                                    offchain::Hosting::PeerLocal,
+                                    net.auditor());
+  const crypto::Digest pii_digest =
+      pii_store.put("buyer-kyc", to_bytes("passport=P1234567"));
+
+  const common::Bytes shared_key = rng.next_bytes(32);
+  const common::Bytes sealed_terms = crypto::seal(
+      shared_key, to_bytes("amount=1,000,000 USD"), rng.next_bytes(16));
+
+  int committed = 0;
+  for (const auto& [client, action, args] :
+       std::vector<std::tuple<std::string, std::string, common::Bytes>>{
+           {"Buyer", "apply", sealed_terms},
+           {"IssuingBank", "issue", {}},
+           {"Seller", "ship", crypto::digest_bytes(pii_digest)},
+           {"IssuingBank", "pay", {}}}) {
+    const auto receipt =
+        fab.submit("loc", client, "letter-of-credit", action, args);
+    std::printf("  %-12s %-6s -> %s\n", client.c_str(), action.c_str(),
+                receipt.committed ? "committed" : receipt.reason.c_str());
+    if (receipt.committed) ++committed;
+  }
+
+  // GDPR deletion at the end of the relationship.
+  pii_store.purge(pii_digest);
+  std::printf("\nPII purged from off-chain store: %s (hash stub remains on "
+              "ledger)\n",
+              pii_store.purged(pii_digest) ? "yes" : "no");
+
+  // Step 4: leakage summary.
+  std::printf("\nLeakage summary (plaintext bytes observed):\n");
+  for (const char* who :
+       {"peer.IssuingBank", "peer.Buyer", "peer.Seller", "peer.OtherCorp",
+        "orderer-org"}) {
+    std::printf("  %-20s tx-data=%-8llu everything=%-8llu\n", who,
+                static_cast<unsigned long long>(
+                    net.auditor().bytes_seen(who, "tx/")),
+                static_cast<unsigned long long>(
+                    net.auditor().bytes_seen(who, "")));
+  }
+
+  const bool outsider_clean =
+      net.auditor().bytes_seen("peer.OtherCorp", "") == 0;
+  std::printf("\n%d/4 lifecycle steps committed; uninvolved org leakage: %s\n",
+              committed, outsider_clean ? "ZERO (as designed)" : "NONZERO");
+  return (committed == 4 && outsider_clean) ? 0 : 1;
+}

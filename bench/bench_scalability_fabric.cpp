@@ -1,0 +1,148 @@
+// E4 — Fabric scalability of confidentiality mechanisms (§3.4 / [11]).
+//
+// Series reproduced (shape, not absolute numbers):
+//   * committed tx throughput vs number of channels — channels are
+//     independent ledgers, so aggregate throughput grows with them;
+//   * plain on-channel data vs Private Data Collections — PDC adds
+//     member dissemination, costing throughput but removing payload from
+//     the ledger;
+//   * endorsement-policy breadth — every additional required org adds an
+//     execution + signature.
+#include <benchmark/benchmark.h>
+
+#include "platforms/fabric/fabric.hpp"
+
+namespace {
+
+using namespace veil;
+using common::to_bytes;
+
+std::shared_ptr<contracts::FunctionContract> put_contract() {
+  return std::make_shared<contracts::FunctionContract>(
+      "cc", 1, [](contracts::ContractContext& ctx, const std::string& a) {
+        ctx.put("k/" + a, common::Bytes(ctx.args().begin(), ctx.args().end()));
+        return contracts::InvokeStatus::Ok;
+      });
+}
+
+void BM_FabricThroughputVsChannels(benchmark::State& state) {
+  const int channels = static_cast<int>(state.range(0));
+  net::SimNetwork net{common::Rng(1)};
+  common::Rng rng(2);
+  fabric::FabricNetwork fab(net, crypto::Group::test_group(), rng);
+  fab.add_org("OrgA");
+  fab.add_org("OrgB");
+  for (int c = 0; c < channels; ++c) {
+    const std::string name = "ch" + std::to_string(c);
+    fab.create_channel(name, {"OrgA", "OrgB"});
+    fab.install_chaincode(name, "OrgA", put_contract(),
+                          contracts::EndorsementPolicy::require("OrgA"));
+  }
+  std::uint64_t committed = 0;
+  int seq = 0;
+  for (auto _ : state) {
+    // One tx per channel per iteration: channels process independently.
+    for (int c = 0; c < channels; ++c) {
+      const auto r = fab.submit("ch" + std::to_string(c), "OrgA", "cc",
+                                "a" + std::to_string(seq), to_bytes("v"));
+      if (r.committed) ++committed;
+    }
+    ++seq;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+  state.counters["channels"] = channels;
+  state.counters["tx_per_iter"] = channels;
+}
+BENCHMARK(BM_FabricThroughputVsChannels)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FabricPlainVsPdc(benchmark::State& state) {
+  const bool use_pdc = state.range(0) == 1;
+  net::SimNetwork net{common::Rng(3)};
+  common::Rng rng(4);
+  fabric::FabricNetwork fab(net, crypto::Group::test_group(), rng);
+  for (const char* org : {"OrgA", "OrgB", "OrgC", "OrgD"}) fab.add_org(org);
+  fab.create_channel("ch", {"OrgA", "OrgB", "OrgC", "OrgD"});
+  fab.install_chaincode("ch", "OrgA", put_contract(),
+                        contracts::EndorsementPolicy::require("OrgA"));
+  fab.define_collection("ch", {"ab", {"OrgA", "OrgB"}, 0});
+  const common::Bytes payload(512, 0x5a);
+  int seq = 0;
+  std::uint64_t committed = 0;
+  for (auto _ : state) {
+    const std::string key = "k" + std::to_string(seq++);
+    fabric::TxReceipt r;
+    if (use_pdc) {
+      r = fab.submit("ch", "OrgA", "cc", key, to_bytes("ref"),
+                     fabric::PrivatePayload{"ab", key, payload});
+    } else {
+      r = fab.submit("ch", "OrgA", "cc", key, payload);
+    }
+    if (r.committed) ++committed;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+  state.SetLabel(use_pdc ? "private-data-collection" : "on-channel-data");
+}
+BENCHMARK(BM_FabricPlainVsPdc)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_FabricEndorsementBreadth(benchmark::State& state) {
+  const int endorsers = static_cast<int>(state.range(0));
+  net::SimNetwork net{common::Rng(5)};
+  common::Rng rng(6);
+  fabric::FabricNetwork fab(net, crypto::Group::test_group(), rng);
+  std::set<std::string> members;
+  std::vector<contracts::EndorsementPolicy> clauses;
+  for (int i = 0; i < endorsers; ++i) {
+    const std::string org = "Org" + std::to_string(i);
+    fab.add_org(org);
+    members.insert(org);
+    clauses.push_back(contracts::EndorsementPolicy::require(org));
+  }
+  fab.create_channel("ch", members);
+  auto policy = endorsers == 1
+                    ? clauses[0]
+                    : contracts::EndorsementPolicy::all_of(clauses);
+  // Every endorsing org needs the chaincode installed.
+  for (int i = 0; i < endorsers; ++i) {
+    fab.install_chaincode("ch", "Org" + std::to_string(i), put_contract(),
+                          policy);
+  }
+  int seq = 0;
+  std::uint64_t committed = 0;
+  for (auto _ : state) {
+    const auto r = fab.submit("ch", "Org0", "cc",
+                              "a" + std::to_string(seq++), to_bytes("v"));
+    if (r.committed) ++committed;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+  state.counters["endorsers"] = endorsers;
+}
+BENCHMARK(BM_FabricEndorsementBreadth)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FabricIdemixOverhead(benchmark::State& state) {
+  const bool idemix = state.range(0) == 1;
+  net::SimNetwork net{common::Rng(7)};
+  common::Rng rng(8);
+  fabric::FabricNetwork fab(net, crypto::Group::test_group(), rng);
+  fab.add_org("OrgA");
+  fab.add_org("OrgB");
+  fab.create_channel("ch", {"OrgA", "OrgB"});
+  fab.install_chaincode("ch", "OrgB", put_contract(),
+                        contracts::EndorsementPolicy::require("OrgB"));
+  const auto cred = fab.issue_idemix_credential("OrgA", "role=client");
+  int seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fab.submit("ch", "OrgA", "cc", "a" + std::to_string(seq++),
+                   to_bytes("v"), {}, idemix ? &*cred : nullptr));
+  }
+  state.SetLabel(idemix ? "idemix-client" : "named-client");
+}
+BENCHMARK(BM_FabricIdemixOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// E6 — Quorum performance (§3.4 / [5]).
+//
+// Series reproduced:
+//   * public vs private transaction throughput — private transactions
+//     pay for transaction-manager dissemination, so public > private;
+//   * private tx cost vs recipient-set size — the gap grows with the
+//     number of participants;
+//   * network bytes per private tx vs participants.
+#include <benchmark/benchmark.h>
+
+#include "platforms/quorum/quorum.hpp"
+
+namespace {
+
+using namespace veil;
+using common::to_bytes;
+
+void BM_QuorumPublicTx(benchmark::State& state) {
+  net::SimNetwork net{common::Rng(1)};
+  common::Rng rng(2);
+  quorum::QuorumNetwork quorum(net, crypto::Group::test_group(), rng, 1);
+  for (int i = 0; i < 8; ++i) quorum.add_node("N" + std::to_string(i));
+  const common::Bytes value(16384, 0x42);
+  int seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quorum.submit_public(
+        "N0", {{"k" + std::to_string(seq++), value, false}}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QuorumPublicTx)->Unit(benchmark::kMicrosecond);
+
+void BM_QuorumPrivateTxVsRecipients(benchmark::State& state) {
+  const int recipients = static_cast<int>(state.range(0));
+  net::SimNetwork net{common::Rng(3)};
+  common::Rng rng(4);
+  quorum::QuorumNetwork quorum(net, crypto::Group::test_group(), rng, 1);
+  for (int i = 0; i < 8; ++i) quorum.add_node("N" + std::to_string(i));
+  std::set<std::string> to;
+  for (int i = 1; i <= recipients; ++i) to.insert("N" + std::to_string(i));
+  const common::Bytes value(16384, 0x42);
+  int seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quorum.submit_private(
+        "N0", to, {{"k" + std::to_string(seq++), value, false}}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["recipients"] = recipients;
+}
+BENCHMARK(BM_QuorumPrivateTxVsRecipients)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(7)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_QuorumNetworkBytesPerPrivateTx(benchmark::State& state) {
+  const int recipients = static_cast<int>(state.range(0));
+  net::SimNetwork net{common::Rng(5)};
+  common::Rng rng(6);
+  quorum::QuorumNetwork quorum(net, crypto::Group::test_group(), rng, 1);
+  for (int i = 0; i < 8; ++i) quorum.add_node("N" + std::to_string(i));
+  std::set<std::string> to;
+  for (int i = 1; i <= recipients; ++i) to.insert("N" + std::to_string(i));
+  const common::Bytes value(1024, 0x42);
+  int seq = 0;
+  std::uint64_t bytes_before = net.stats().bytes_sent;
+  std::uint64_t txs = 0;
+  for (auto _ : state) {
+    quorum.submit_private("N0", to,
+                          {{"k" + std::to_string(seq++), value, false}});
+    ++txs;
+  }
+  const std::uint64_t total = net.stats().bytes_sent - bytes_before;
+  state.counters["net_bytes_per_tx"] =
+      txs ? static_cast<double>(total) / static_cast<double>(txs) : 0.0;
+  state.counters["recipients"] = recipients;
+}
+BENCHMARK(BM_QuorumNetworkBytesPerPrivateTx)->Arg(1)->Arg(4)->Arg(7)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_QuorumBlockSealing(benchmark::State& state) {
+  const int block_size = static_cast<int>(state.range(0));
+  net::SimNetwork net{common::Rng(7)};
+  common::Rng rng(8);
+  quorum::QuorumNetwork quorum(net, crypto::Group::test_group(), rng,
+                               static_cast<std::size_t>(block_size));
+  for (int i = 0; i < 4; ++i) quorum.add_node("N" + std::to_string(i));
+  const common::Bytes value(128, 0x42);
+  int seq = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < block_size; ++i) {
+      quorum.submit_public("N0",
+                           {{"k" + std::to_string(seq++), value, false}});
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          block_size);
+  state.counters["block_size"] = block_size;
+}
+BENCHMARK(BM_QuorumBlockSealing)->Arg(1)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

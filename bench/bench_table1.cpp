@@ -1,0 +1,53 @@
+// E1 — regenerate Table 1.
+//
+// Prints the platform x mechanism capability matrix in the paper's row
+// order and, next to each cell, whether the demonstration harness could
+// actually exhibit the mechanism on the simulated platform ('ok' for
+// demonstrated, '--' for requires-rewriting cells, which is the expected
+// outcome for '-' entries).
+#include <cstdio>
+#include <string>
+
+#include "core/capability.hpp"
+#include "core/demonstration.hpp"
+
+int main() {
+  using namespace veil::core;
+
+  std::printf("Table 1 — Comparison of permissioned DLTs with respect to\n");
+  std::printf("privacy and confidentiality mechanisms.\n");
+  std::printf("Legend: + native, * implementable, - substantial rewrite\n\n");
+
+  const CapabilityMatrix& matrix = CapabilityMatrix::paper_table1();
+
+  std::printf("%-14s%-40s", "Category", "Mechanism");
+  for (const char* p : {"HLF", "Corda", "Quorum"}) std::printf("%-14s", p);
+  std::printf("\n%s\n", std::string(96, '-').c_str());
+
+  int verified = 0, expected_gaps = 0, mismatches = 0;
+  for (const auto& [category, mech] : table1_rows()) {
+    std::printf("%-14s%-40s", category.c_str(), to_string(mech).c_str());
+    for (Platform platform :
+         {Platform::Fabric, Platform::Corda, Platform::Quorum}) {
+      const Support support = matrix.at(platform, mech);
+      const DemoResult demo = demonstrate(platform, mech);
+      const bool expect_demo = support != Support::HardRewrite;
+      const char* status;
+      if (demo.demonstrated == expect_demo) {
+        status = expect_demo ? "ok" : "--";
+        if (expect_demo) ++verified;
+        else ++expected_gaps;
+      } else {
+        status = "!!";
+        ++mismatches;
+      }
+      std::printf("%-4s[%s]%-5s", symbol(support).c_str(), status, "");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n%d cells demonstrated in simulation, %d '-' cells "
+              "confirmed non-native, %d mismatches vs the paper\n",
+              verified, expected_gaps, mismatches);
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+// The design guide as a command-line tool (paper §3).
+//
+// Answer the Figure 1 / §3.1 / §3.3 questions with flags and get the
+// recommended mechanisms, the decision path, and a platform ranking.
+//
+//   $ ./design_guide --deletion --hide-group --untrusted-admin
+//   $ ./design_guide --preset=letter-of-credit
+//   $ ./design_guide --help
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/assessment.hpp"
+
+namespace {
+
+using namespace veil::core;
+
+void usage() {
+  std::printf(
+      "usage: design_guide [flags]\n"
+      "data confidentiality (Figure 1):\n"
+      "  --deletion             regulatory deletion required (GDPR)\n"
+      "  --no-encrypted-share   encrypted data may not be shared\n"
+      "  --no-onchain-record    no on-chain record desired\n"
+      "  --hide-within-tx       hide data from some tx participants\n"
+      "  --uninvolved-validate  uninvolved parties must validate\n"
+      "  --private-inputs       inputs can't be shared between parties\n"
+      "  --shared-function      shared function on private values\n"
+      "  --untrusted-admin      node admin is an untrusted third party\n"
+      "privacy of interactions (§3.1):\n"
+      "  --hide-group           hide the group from the network\n"
+      "  --hide-subgroup        hide a sub-group on a shared ledger\n"
+      "  --private-individual   individual must stay fully private\n"
+      "business logic (§3.3):\n"
+      "  --private-logic        keep business logic private\n"
+      "  --builtin-versioning   need in-DLT contract versioning\n"
+      "  --hide-logic-admin     hide logic/data from node admin\n"
+      "  --language-freedom     free choice of programming language\n"
+      "presets:\n"
+      "  --preset=letter-of-credit   the paper's Section 4 case study\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RequirementProfile profile;
+  profile.use_case = "custom";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--preset=letter-of-credit") {
+      profile = letter_of_credit_profile();
+    } else if (arg == "--deletion") {
+      profile.data.deletion_required = true;
+    } else if (arg == "--no-encrypted-share") {
+      profile.data.encrypted_sharing_allowed = false;
+    } else if (arg == "--no-onchain-record") {
+      profile.data.onchain_record_desired = false;
+    } else if (arg == "--hide-within-tx") {
+      profile.data.hide_within_transaction = true;
+    } else if (arg == "--uninvolved-validate") {
+      profile.data.uninvolved_validation = true;
+    } else if (arg == "--private-inputs") {
+      profile.data.private_inputs = true;
+    } else if (arg == "--shared-function") {
+      profile.data.private_inputs = true;
+      profile.data.shared_function_on_private = true;
+    } else if (arg == "--untrusted-admin") {
+      profile.data.untrusted_node_admin = true;
+    } else if (arg == "--hide-group") {
+      profile.parties.hide_group_from_network = true;
+    } else if (arg == "--hide-subgroup") {
+      profile.parties.hide_subgroup_on_ledger = true;
+    } else if (arg == "--private-individual") {
+      profile.parties.fully_private_individual = true;
+    } else if (arg == "--private-logic") {
+      profile.logic.keep_logic_private = true;
+    } else if (arg == "--builtin-versioning") {
+      profile.logic.need_builtin_versioning = true;
+    } else if (arg == "--hide-logic-admin") {
+      profile.logic.hide_from_node_admin = true;
+      profile.logic.keep_logic_private = true;
+    } else if (arg == "--language-freedom") {
+      profile.logic.language_freedom = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("=== veil design guide ===\n\nrequirements (%s):\n",
+              profile.use_case.c_str());
+  std::printf("  parties: %s\n", profile.parties.describe().c_str());
+  std::printf("  data:    %s\n", profile.data.describe().c_str());
+  std::printf("  logic:   %s\n\n", profile.logic.describe().c_str());
+
+  const Recommendation rec = DecisionEngine::for_profile(profile);
+  std::printf("decision path:\n");
+  for (const auto& line : rec.rationale) std::printf("  - %s\n", line.c_str());
+  std::printf("\nrecommended mechanisms:\n");
+  if (rec.mechanisms.empty()) std::printf("  (none — a plain shared ledger suffices)\n");
+  for (Mechanism m : rec.mechanisms) {
+    const MechanismInfo& mi = info(m);
+    std::printf("  * %s [%s]\n      %s\n", mi.name.c_str(),
+                to_string(mi.maturity).c_str(), mi.summary.c_str());
+  }
+  if (!rec.caveats.empty()) {
+    std::printf("\ncaveats:\n");
+    for (const auto& caveat : rec.caveats) {
+      std::printf("  ! %s\n", caveat.c_str());
+    }
+  }
+
+  std::printf("\nplatform assessment (Table 1):\n%s",
+              render(assess(rec, CapabilityMatrix::paper_table1())).c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: stand up a Fabric-style network with a private channel,
+// run a contract through endorse -> order -> validate, and inspect who
+// could see what.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "net/report.hpp"
+#include "platforms/fabric/fabric.hpp"
+
+int main() {
+  using namespace veil;
+  using common::to_bytes;
+
+  // 1. A deterministic simulated network; every run is reproducible.
+  net::SimNetwork network{common::Rng(2024)};
+  common::Rng rng(7);
+
+  // 2. A Fabric-style platform with three organizations.
+  fabric::FabricNetwork fab(network, crypto::Group::default_group(), rng);
+  fab.add_org("Acme");
+  fab.add_org("Globex");
+  fab.add_org("Initech");  // will NOT be part of the deal
+
+  // 3. A private channel — the paper's "separation of ledgers".
+  fab.create_channel("acme-globex", {"Acme", "Globex"});
+
+  // 4. A tiny smart contract, installed on the endorser's peer only.
+  auto contract = std::make_shared<contracts::FunctionContract>(
+      "orders", 1,
+      [](contracts::ContractContext& ctx, const std::string& action) {
+        if (action != "place") return contracts::InvokeStatus::UnknownAction;
+        const auto count = ctx.get("order-count");
+        const int n = count ? std::stoi(common::to_string(*count)) : 0;
+        ctx.put("order-count", to_bytes(std::to_string(n + 1)));
+        ctx.put("order/" + std::to_string(n),
+                common::Bytes(ctx.args().begin(), ctx.args().end()));
+        return contracts::InvokeStatus::Ok;
+      });
+  fab.install_chaincode("acme-globex", "Acme", contract,
+                        contracts::EndorsementPolicy::require("Acme"));
+
+  // 5. Submit a transaction: endorse -> order -> validate -> commit.
+  const auto receipt = fab.submit("acme-globex", "Globex", "orders", "place",
+                                  to_bytes("100 widgets @ $5"));
+  std::printf("transaction %s: %s\n", receipt.tx_id.c_str(),
+              receipt.committed ? "committed" : receipt.reason.c_str());
+
+  // 6. Both members hold identical replicas.
+  const auto order = fab.state("acme-globex", "Globex").get("order/0");
+  std::printf("Globex's replica says order/0 = \"%s\"\n",
+              order ? common::to_string(order->value).c_str() : "<missing>");
+
+  // 7. And the leakage auditor proves the uninvolved org learned nothing.
+  std::printf("\nWho observed the transaction data?\n");
+  for (const char* who :
+       {"peer.Acme", "peer.Globex", "peer.Initech", "orderer-org"}) {
+    std::printf("  %-14s %s\n", who,
+                fab.auditor().saw(who, "tx/" + receipt.tx_id + "/data")
+                    ? "saw plaintext"
+                    : "saw nothing");
+  }
+  // 8. A full audit report, straight from the leakage log.
+  std::printf("\nLeakage report (all labels):\n%s",
+              net::render_summary(net::summarize(fab.auditor())).c_str());
+  std::printf("\n%s",
+              net::render_disclosures(
+                  "tx/" + receipt.tx_id + "/data",
+                  net::disclosures(fab.auditor(),
+                                   "tx/" + receipt.tx_id + "/data"))
+                  .c_str());
+
+  std::printf("\nNote the shared ordering service DID see the data — the\n"
+              "paper's §3.4 caveat. Run the letter_of_credit example to see\n"
+              "the mitigations (encryption, member-run orderer).\n");
+  return receipt.committed ? 0 : 1;
+}

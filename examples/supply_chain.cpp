@@ -1,0 +1,92 @@
+// Supply-chain custody on a Corda-style ledger.
+//
+// Items move Farm -> Mill -> Distributor -> Shop. Requirements, mapped by
+// the design guide:
+//  * custody hops are bilateral — competitors must not learn who supplies
+//    whom (peer-to-peer transactions / separation of ledgers);
+//  * intermediaries stay pseudonymous on the states themselves (one-time
+//    public keys + linkage certificates);
+//  * the final buyer must verify PROVENANCE — an unbroken, notarized
+//    custody chain back to the farm (backchain resolution) — accepting
+//    that resolution reveals the chain's history to them.
+//
+//   $ ./supply_chain
+#include <cstdio>
+
+#include "platforms/corda/corda.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace veil;
+  using common::to_bytes;
+
+  net::SimNetwork network{common::Rng(1000)};
+  common::Rng rng(1001);
+  corda::CordaNetwork corda(network, crypto::Group::default_group(), rng);
+
+  const std::vector<std::string> chain = {"Farm", "Mill", "Distributor",
+                                          "Shop"};
+  for (const std::string& p : chain) corda.add_party(p);
+  corda.add_party("Competitor");  // watches, learns nothing
+  corda.add_notary("Notary", /*validating=*/false);
+
+  std::printf("=== Coffee custody chain: Farm -> Mill -> Distributor -> Shop ===\n\n");
+
+  // Drive three items through the chain with the workload generator.
+  workload::SupplyChainConfig config;
+  config.hops_per_item = 3;
+  workload::SupplyChainWorkload workload(chain, config, 555);
+
+  std::map<std::string, corda::StateRef> current_ref;  // item -> state
+  std::string last_item;
+  for (const workload::CustodyEvent& event : workload.take(9)) {
+    corda::FlowResult result;
+    if (event.hop == 0) {
+      // Producer issues the item.
+      result = corda.issue(event.from, "Custody", event.inspection,
+                           {event.from}, "Notary");
+      current_ref[event.item] = corda.vault(event.from).back().ref;
+    }
+    // Transfer custody with one-time keys (pseudonymous holders).
+    result = corda.transact(
+        event.from, {current_ref[event.item]},
+        {corda::OutputSpec{"Custody", event.inspection, {event.to}}},
+        "Notary", /*confidential=*/true);
+    current_ref[event.item] = corda.vault(event.to).back().ref;
+    std::printf("  %-7s hop %u: %-12s -> %-12s %s\n", event.item.c_str(),
+                event.hop, event.from.c_str(), event.to.c_str(),
+                result.success ? "ok" : result.reason.c_str());
+    if (event.final_hop) last_item = event.item;
+  }
+
+  // The shop verifies provenance of the last delivered item.
+  const auto provenance =
+      corda.resolve_backchain("Shop", current_ref[last_item]);
+  std::printf("\nShop verifies provenance of %s: %s (%zu notarized hops)\n",
+              last_item.c_str(), provenance.valid ? "VALID" : "BROKEN",
+              provenance.depth);
+
+  // Pseudonymity: the state names a one-time key, which only the direct
+  // counterparty can resolve.
+  const auto shop_state = corda.vault("Shop").back();
+  const std::string holder = shop_state.participants.front();
+  std::printf("on-ledger holder of the item: \"%s\"\n", holder.c_str());
+  if (holder.rfind("ot:", 0) == 0) {
+    const std::string fp = holder.substr(3);
+    const auto resolved = corda.resolve_confidential("Shop", fp);
+    const auto competitor_view =
+        corda.resolve_confidential("Competitor", fp);
+    std::printf("  Shop resolves it to: %s; Competitor resolves it to: %s\n",
+                resolved ? resolved->c_str() : "(cannot)",
+                competitor_view ? competitor_view->c_str() : "(cannot)");
+  }
+
+  // And the competitor observed nothing at all.
+  std::printf("\nCompetitor observations: %llu bytes (plaintext), %llu "
+              "(any form)\n",
+              static_cast<unsigned long long>(
+                  network.auditor().bytes_seen("Competitor", "")),
+              static_cast<unsigned long long>(
+                  network.auditor().opaque_bytes_seen("Competitor", "")));
+  return provenance.valid ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// Independent validation of confidential transactions via a TEE —
+// Figure 1's branch: "if independent validation while keeping data
+// confidential is desirable, uninvolved nodes can provision trusted
+// execution environments".
+//
+// Scenario: Acme and Globex trade under a volume cap that a REGULATOR
+// must enforce — but the regulator may not see the trades. The regulator
+// hosts an enclave; the parties (1) remote-attest that the enclave runs
+// the agreed compliance contract, then (2) submit each trade sealed to
+// the enclave. The enclave validates and keeps a running total; the
+// regulator's machine only ever handles ciphertext.
+//
+//   $ ./tee_validation
+#include <cstdio>
+
+#include "tee/enclave.hpp"
+
+namespace {
+
+using namespace veil;
+using common::to_bytes;
+
+// The agreed compliance logic: accept a trade iff the running total
+// stays below the cap.
+std::shared_ptr<contracts::FunctionContract> compliance_contract() {
+  return std::make_shared<contracts::FunctionContract>(
+      "volume-cap", 1,
+      [](contracts::ContractContext& ctx, const std::string& action) {
+        if (action != "trade") return contracts::InvokeStatus::UnknownAction;
+        constexpr long kCap = 10'000'000;
+        const long amount = std::stol(common::to_string(
+            common::Bytes(ctx.args().begin(), ctx.args().end())));
+        const auto total_raw = ctx.get("total");
+        const long total =
+            total_raw ? std::stol(common::to_string(*total_raw)) : 0;
+        if (total + amount > kCap) return contracts::InvokeStatus::Rejected;
+        ctx.put("total", to_bytes(std::to_string(total + amount)));
+        return contracts::InvokeStatus::Ok;
+      });
+}
+
+}  // namespace
+
+int main() {
+  common::Rng rng(7777);
+  net::LeakageAuditor auditor;
+  const crypto::Group& group = crypto::Group::default_group();
+
+  std::printf("=== Confidential trades, independently validated in a TEE ===\n\n");
+
+  // The chip vendor provisions the regulator's enclave.
+  tee::Manufacturer manufacturer(group, rng);
+  tee::Enclave enclave("regulator-host", manufacturer, "regulator-tee-0",
+                       auditor, rng, 0);
+  enclave.load(compliance_contract());
+
+  // Step 1 — remote attestation: the trading parties check that the
+  // regulator's enclave really runs the agreed compliance build.
+  const crypto::Digest expected =
+      compliance_contract()->code_digest();
+  crypto::Sha256 h;
+  h.update("veil.tee.measurement");
+  h.update(common::BytesView(expected.data(), expected.size()));
+  const crypto::Digest expected_measurement = h.finalize();
+
+  const common::Bytes nonce = rng.next_bytes(16);
+  const tee::AttestationQuote quote = enclave.attest(nonce);
+  const bool attested =
+      tee::verify_quote(group, manufacturer.root_key(), quote,
+                        expected_measurement, nonce, 0);
+  std::printf("remote attestation by Acme/Globex: %s\n",
+              attested ? "verified (measurement matches agreed build)"
+                       : "FAILED");
+
+  // Step 2 — sealed trade submissions.
+  tee::EnclaveClient acme(group, rng);
+  acme.accept(enclave.open_session(acme.public_key(), rng));
+
+  const long trades[] = {4'000'000, 3'500'000, 2'000'000, 1'000'000};
+  for (long amount : trades) {
+    const auto sealed = acme.seal(
+        tee::InvokeRequest{"volume-cap", "trade",
+                           to_bytes(std::to_string(amount))},
+        rng);
+    const auto response = enclave.invoke(sealed);
+    const auto verdict = response ? acme.open(*response) : std::nullopt;
+    std::printf("  trade %9ld -> %s\n", amount,
+                verdict && verdict->ok ? "validated"
+                                       : "REJECTED (cap exceeded)");
+  }
+
+  // Step 3 — what did the regulator's machine actually see?
+  std::printf("\nregulator-host observations:\n");
+  std::printf("  plaintext bytes: %llu\n",
+              static_cast<unsigned long long>(
+                  auditor.bytes_seen("regulator-host", "")));
+  std::printf("  ciphertext bytes: %llu\n",
+              static_cast<unsigned long long>(
+                  auditor.opaque_bytes_seen("regulator-host", "")));
+  std::printf("\nThe regulator enforced the cap (last trade rejected at the\n"
+              "10M limit) without ever seeing a single trade in the clear —\n"
+              "the Figure 1 TEE branch, end to end.\n");
+  return attested ? 0 : 1;
+}

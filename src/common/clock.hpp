@@ -1,0 +1,29 @@
+// Simulated clock.
+//
+// The network simulation advances this clock explicitly; nothing in the
+// framework reads wall time, which keeps every run reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace veil::common {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Move time forward. Time never goes backwards.
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  void advance_by(SimTime delta) { now_ += delta; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace veil::common

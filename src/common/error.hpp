@@ -1,0 +1,44 @@
+// Error hierarchy for the veil framework.
+//
+// Exceptions signal protocol violations, malformed inputs and broken
+// invariants. Expected, recoverable outcomes (signature verification
+// failures, missing keys) are reported through return values instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace veil::common {
+
+/// Base class for all veil errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Cryptographic misuse: bad key sizes, malformed ciphertext, etc.
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error("crypto: " + what) {}
+};
+
+/// Ledger-layer violation: invalid block linkage, unknown channel, etc.
+class LedgerError : public Error {
+ public:
+  explicit LedgerError(const std::string& what) : Error("ledger: " + what) {}
+};
+
+/// A party attempted an operation it is not authorized for.
+class AccessError : public Error {
+ public:
+  explicit AccessError(const std::string& what) : Error("access: " + what) {}
+};
+
+/// Protocol state machine violation (out-of-order messages, etc.).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : Error("protocol: " + what) {}
+};
+
+}  // namespace veil::common

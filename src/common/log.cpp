@@ -1,0 +1,32 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace veil::common {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const std::string& component, const std::string& msg) {
+  if (level < g_level) return;
+  std::clog << "[" << level_name(level) << "] " << component << ": " << msg
+            << '\n';
+}
+
+}  // namespace veil::common

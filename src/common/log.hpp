@@ -1,0 +1,43 @@
+// Minimal leveled logger.
+//
+// Simulations are chatty; default level is Warn so tests and benches stay
+// quiet. Examples raise the level to Info to narrate protocol steps.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace veil::common {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a log line if `level` is at or above the global threshold.
+void log(LogLevel level, const std::string& component, const std::string& msg);
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_info(const std::string& component, const Args&... args) {
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log(LogLevel::Info, component, os.str());
+}
+
+template <typename... Args>
+void log_warn(const std::string& component, const Args&... args) {
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log(LogLevel::Warn, component, os.str());
+}
+
+}  // namespace veil::common

@@ -1,0 +1,44 @@
+// Deterministic random number generation.
+//
+// All randomness in the framework flows through `Rng` so that simulations,
+// tests and benchmarks are reproducible from a seed. The generator is
+// xoshiro256** (public domain, Blackman & Vigna) — NOT cryptographically
+// secure; in this simulated environment determinism is a feature, and the
+// security arguments of the crypto layer are structural, not entropic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace veil::common {
+
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 so that nearby seeds give unrelated
+  /// streams.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next 64 uniform random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). Throws std::invalid_argument if bound == 0.
+  /// Uses rejection sampling, so the distribution is exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Fill a fresh buffer with `n` random bytes.
+  Bytes next_bytes(std::size_t n);
+
+  /// Fork an independent child generator (for giving each simulated
+  /// party its own stream while keeping global determinism).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace veil::common

@@ -1,0 +1,67 @@
+// Canonical binary serialization.
+//
+// Every signed or hashed structure in the framework (transactions, blocks,
+// certificates, attestation quotes) is encoded with Writer/Reader so that
+// two parties always produce byte-identical encodings. Integers are
+// little-endian fixed width; variable data is length-prefixed with a
+// varint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace veil::common {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void varint(std::uint64_t v);
+  void boolean(bool v);
+  /// Length-prefixed byte string.
+  void bytes(BytesView v);
+  /// Length-prefixed UTF-8 string.
+  void str(std::string_view v);
+  /// Raw bytes, no length prefix (caller manages framing).
+  void raw(BytesView v);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Throws veil::common::Error-derived SerializeError on truncated or
+/// malformed input; never reads past the end of the buffer.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t varint();
+  bool boolean();
+  Bytes bytes();
+  std::string str();
+  Bytes raw(std::size_t n);
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace veil::common

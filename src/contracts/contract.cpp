@@ -1,0 +1,43 @@
+#include "contracts/contract.hpp"
+
+#include "common/serialize.hpp"
+
+namespace veil::contracts {
+
+ContractContext::ContractContext(const ledger::WorldState& state,
+                                 common::BytesView args)
+    : state_(&state), args_(args) {}
+
+std::optional<common::Bytes> ContractContext::get(const std::string& key) {
+  const auto entry = state_->get(key);
+  reads_.push_back(
+      ledger::ReadAccess{key, entry ? entry->version : 0});
+  if (!entry) return std::nullopt;
+  return entry->value;
+}
+
+void ContractContext::put(const std::string& key, common::Bytes value) {
+  writes_.push_back(ledger::KvWrite{key, std::move(value), false});
+}
+
+void ContractContext::del(const std::string& key) {
+  writes_.push_back(ledger::KvWrite{key, {}, true});
+}
+
+crypto::Digest SmartContract::code_digest() const {
+  common::Writer w;
+  w.str(name());
+  w.u32(version());
+  return crypto::sha256(w.data());
+}
+
+FunctionContract::FunctionContract(std::string name, std::uint32_t version,
+                                   Handler handler)
+    : name_(std::move(name)), version_(version), handler_(std::move(handler)) {}
+
+InvokeStatus FunctionContract::invoke(ContractContext& ctx,
+                                      const std::string& action) {
+  return handler_(ctx, action);
+}
+
+}  // namespace veil::contracts

@@ -1,0 +1,112 @@
+#include "contracts/endorsement.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace veil::contracts {
+
+EndorsementPolicy EndorsementPolicy::require(std::string org) {
+  EndorsementPolicy p;
+  p.kind_ = Kind::Require;
+  p.org_ = std::move(org);
+  return p;
+}
+
+EndorsementPolicy EndorsementPolicy::all_of(
+    std::vector<EndorsementPolicy> children) {
+  if (children.empty()) {
+    throw common::Error("EndorsementPolicy::all_of: empty");
+  }
+  EndorsementPolicy p;
+  p.kind_ = Kind::All;
+  p.children_ = std::move(children);
+  return p;
+}
+
+EndorsementPolicy EndorsementPolicy::any_of(
+    std::vector<EndorsementPolicy> children) {
+  if (children.empty()) {
+    throw common::Error("EndorsementPolicy::any_of: empty");
+  }
+  EndorsementPolicy p;
+  p.kind_ = Kind::Any;
+  p.children_ = std::move(children);
+  return p;
+}
+
+EndorsementPolicy EndorsementPolicy::k_of(
+    std::size_t k, std::vector<EndorsementPolicy> children) {
+  if (k == 0 || k > children.size()) {
+    throw common::Error("EndorsementPolicy::k_of: invalid k");
+  }
+  EndorsementPolicy p;
+  p.kind_ = Kind::KOf;
+  p.k_ = k;
+  p.children_ = std::move(children);
+  return p;
+}
+
+bool EndorsementPolicy::satisfied_by(
+    const std::set<std::string>& endorsers) const {
+  switch (kind_) {
+    case Kind::Require:
+      return endorsers.contains(org_);
+    case Kind::All:
+      for (const EndorsementPolicy& child : children_) {
+        if (!child.satisfied_by(endorsers)) return false;
+      }
+      return true;
+    case Kind::Any:
+      for (const EndorsementPolicy& child : children_) {
+        if (child.satisfied_by(endorsers)) return true;
+      }
+      return false;
+    case Kind::KOf: {
+      std::size_t satisfied = 0;
+      for (const EndorsementPolicy& child : children_) {
+        if (child.satisfied_by(endorsers)) ++satisfied;
+      }
+      return satisfied >= k_;
+    }
+  }
+  return false;
+}
+
+std::set<std::string> EndorsementPolicy::mentioned_orgs() const {
+  std::set<std::string> orgs;
+  if (kind_ == Kind::Require) {
+    orgs.insert(org_);
+    return orgs;
+  }
+  for (const EndorsementPolicy& child : children_) {
+    const std::set<std::string> sub = child.mentioned_orgs();
+    orgs.insert(sub.begin(), sub.end());
+  }
+  return orgs;
+}
+
+std::string EndorsementPolicy::describe() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::Require:
+      os << org_;
+      break;
+    case Kind::All:
+    case Kind::Any:
+    case Kind::KOf: {
+      if (kind_ == Kind::All) os << "AND(";
+      else if (kind_ == Kind::Any) os << "OR(";
+      else os << k_ << "-of(";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i) os << ", ";
+        os << children_[i].describe();
+      }
+      os << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace veil::contracts

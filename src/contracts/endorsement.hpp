@@ -1,0 +1,47 @@
+// Endorsement policies: AND / OR / K-of-N expressions over organizations.
+//
+// A policy states which parties must sign a transaction before it is
+// valid (§2.3: "a list of parties that need to endorse or sign a
+// transaction"). The set of orgs a policy mentions is also the minimum
+// set of nodes that must hold the contract code — the coupling between
+// endorsement breadth and code confidentiality that the Table 1 "install
+// contract on involved nodes" row captures.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace veil::contracts {
+
+class EndorsementPolicy {
+ public:
+  /// A single named org must endorse.
+  static EndorsementPolicy require(std::string org);
+  /// All sub-policies must be satisfied.
+  static EndorsementPolicy all_of(std::vector<EndorsementPolicy> children);
+  /// At least one sub-policy must be satisfied.
+  static EndorsementPolicy any_of(std::vector<EndorsementPolicy> children);
+  /// At least `k` sub-policies must be satisfied.
+  static EndorsementPolicy k_of(std::size_t k,
+                                std::vector<EndorsementPolicy> children);
+
+  bool satisfied_by(const std::set<std::string>& endorsers) const;
+
+  /// Every org the policy mentions (the maximal endorser set).
+  std::set<std::string> mentioned_orgs() const;
+
+  /// Human-readable form, e.g. "AND(BankA, OR(BankB, BankC))".
+  std::string describe() const;
+
+ private:
+  enum class Kind { Require, All, Any, KOf };
+
+  Kind kind_ = Kind::Require;
+  std::string org_;
+  std::size_t k_ = 0;
+  std::vector<EndorsementPolicy> children_;
+};
+
+}  // namespace veil::contracts

@@ -1,0 +1,28 @@
+#include "contracts/engine.hpp"
+
+namespace veil::contracts {
+
+std::optional<ExecutionResult> ExecutionEngine::execute(
+    const std::string& node, const std::string& contract,
+    const std::string& action, common::BytesView args,
+    const ledger::WorldState& state, const std::string& channel) const {
+  const std::shared_ptr<SmartContract> code = registry_->find(node, contract);
+  if (!code) return std::nullopt;
+
+  ContractContext ctx(state, args);
+  const InvokeStatus status = code->invoke(ctx, action);
+
+  ExecutionResult result;
+  result.status = status;
+  if (status == InvokeStatus::Ok) {
+    result.tx.channel = channel;
+    result.tx.contract = contract;
+    result.tx.action = action;
+    result.tx.reads = ctx.reads();
+    result.tx.writes = ctx.writes();
+    result.tx.payload.assign(args.begin(), args.end());
+  }
+  return result;
+}
+
+}  // namespace veil::contracts

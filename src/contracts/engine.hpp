@@ -1,0 +1,41 @@
+// On-ledger execution engine: run installed contract code against a
+// node's world state and capture the read/write sets into a transaction
+// draft. Endorsement collection and ordering are the platform's job.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "contracts/contract.hpp"
+#include "contracts/registry.hpp"
+#include "ledger/state.hpp"
+#include "ledger/transaction.hpp"
+
+namespace veil::contracts {
+
+struct ExecutionResult {
+  InvokeStatus status = InvokeStatus::Rejected;
+  ledger::Transaction tx;  // populated with reads/writes when status == Ok
+};
+
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(const ContractRegistry& registry)
+      : registry_(&registry) {}
+
+  /// Execute `contract`::`action` using `node`'s installed copy over
+  /// `state`. Returns nullopt if the contract is not installed on the
+  /// node (the §2.3 boundary: a node without the code cannot execute or
+  /// inspect it).
+  std::optional<ExecutionResult> execute(const std::string& node,
+                                         const std::string& contract,
+                                         const std::string& action,
+                                         common::BytesView args,
+                                         const ledger::WorldState& state,
+                                         const std::string& channel) const;
+
+ private:
+  const ContractRegistry* registry_;
+};
+
+}  // namespace veil::contracts

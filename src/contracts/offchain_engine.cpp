@@ -1,0 +1,71 @@
+#include "contracts/offchain_engine.hpp"
+
+namespace veil::contracts {
+
+OffChainEngine::OffChainEngine(std::string owner, net::LeakageAuditor& auditor)
+    : owner_(std::move(owner)), auditor_(&auditor) {}
+
+void OffChainEngine::load(std::shared_ptr<SmartContract> contract) {
+  auditor_->record(owner_, "contract/" + contract->name() + "/code",
+                   contract->code_size());
+  contracts_[contract->name()] = std::move(contract);
+}
+
+bool OffChainEngine::has(const std::string& contract_name) const {
+  return contracts_.contains(contract_name);
+}
+
+std::optional<crypto::Digest> OffChainEngine::code_digest(
+    const std::string& contract_name) const {
+  const auto it = contracts_.find(contract_name);
+  if (it == contracts_.end()) return std::nullopt;
+  return it->second->code_digest();
+}
+
+std::optional<ExecutionResult> OffChainEngine::execute(
+    const std::string& contract, const std::string& action,
+    common::BytesView args, const ledger::WorldState& state,
+    const std::string& channel) const {
+  const auto it = contracts_.find(contract);
+  if (it == contracts_.end()) return std::nullopt;
+
+  ContractContext ctx(state, args);
+  const InvokeStatus status = it->second->invoke(ctx, action);
+
+  ExecutionResult result;
+  result.status = status;
+  if (status == InvokeStatus::Ok) {
+    result.tx.channel = channel;
+    // The ledger only ever sees the read/write stub — the business logic
+    // name and code stay inside the engine.
+    result.tx.contract = "rw-stub";
+    result.tx.action = "apply";
+    result.tx.reads = ctx.reads();
+    result.tx.writes = ctx.writes();
+  }
+  return result;
+}
+
+bool OffChainEngine::versions_consistent(
+    const std::vector<const OffChainEngine*>& engines,
+    const std::string& contract) {
+  std::optional<crypto::Digest> reference;
+  for (const OffChainEngine* engine : engines) {
+    const auto digest = engine->code_digest(contract);
+    if (!digest) return false;  // an engine missing the code counts as drift
+    if (!reference) {
+      reference = digest;
+    } else if (*reference != *digest) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OffChainEngine::results_diverge(const ExecutionResult& a,
+                                     const ExecutionResult& b) {
+  if (a.status != b.status) return true;
+  return a.tx.writes != b.tx.writes || a.tx.reads != b.tx.reads;
+}
+
+}  // namespace veil::contracts

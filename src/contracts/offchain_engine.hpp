@@ -1,0 +1,68 @@
+// Off-chain execution engine (§2.3).
+//
+// Business logic runs outside the DLT: the ledger sees only read/write
+// stubs, so the code is never distributed to other nodes (the engine
+// owner is the only principal that observes it). The paper calls out two
+// costs, both modelled here:
+//
+//  * Version control leaves the DLT layer — engines at different orgs
+//    can drift; `versions_consistent` is the out-of-band check operators
+//    must run, and drift manifests as mismatched write sets between
+//    endorsers (detect_divergence).
+//  * The implementation language is free — represented by contracts not
+//    needing registry distribution at all.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "contracts/engine.hpp"
+#include "net/leakage.hpp"
+
+namespace veil::contracts {
+
+class OffChainEngine {
+ public:
+  /// `owner` is the org operating this engine; only the owner observes
+  /// the contract code.
+  OffChainEngine(std::string owner, net::LeakageAuditor& auditor);
+
+  /// Load business logic into this engine (out-of-band distribution).
+  void load(std::shared_ptr<SmartContract> contract);
+
+  bool has(const std::string& contract_name) const;
+
+  /// Code digest of the loaded contract, for drift checks.
+  std::optional<crypto::Digest> code_digest(
+      const std::string& contract_name) const;
+
+  /// Execute against `state`; the resulting transaction references the
+  /// on-ledger stub contract "rw-stub" rather than the business logic.
+  std::optional<ExecutionResult> execute(const std::string& contract,
+                                         const std::string& action,
+                                         common::BytesView args,
+                                         const ledger::WorldState& state,
+                                         const std::string& channel) const;
+
+  const std::string& owner() const { return owner_; }
+
+  /// True iff every engine holds the same code digest for `contract`.
+  static bool versions_consistent(
+      const std::vector<const OffChainEngine*>& engines,
+      const std::string& contract);
+
+  /// Compare two execution results for write-set divergence — how version
+  /// drift is actually caught at endorsement time.
+  static bool results_diverge(const ExecutionResult& a,
+                              const ExecutionResult& b);
+
+ private:
+  std::string owner_;
+  net::LeakageAuditor* auditor_;
+  std::map<std::string, std::shared_ptr<SmartContract>> contracts_;
+};
+
+}  // namespace veil::contracts

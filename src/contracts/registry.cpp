@@ -1,0 +1,42 @@
+#include "contracts/registry.hpp"
+
+namespace veil::contracts {
+
+void ContractRegistry::install(const std::string& node,
+                               std::shared_ptr<SmartContract> contract) {
+  auditor_->record(node, "contract/" + contract->name() + "/code",
+                   contract->code_size());
+  installs_[node][contract->name()] = std::move(contract);
+}
+
+void ContractRegistry::uninstall(const std::string& node,
+                                 const std::string& contract_name) {
+  const auto it = installs_.find(node);
+  if (it != installs_.end()) it->second.erase(contract_name);
+}
+
+bool ContractRegistry::installed(const std::string& node,
+                                 const std::string& contract_name) const {
+  const auto it = installs_.find(node);
+  return it != installs_.end() && it->second.contains(contract_name);
+}
+
+std::shared_ptr<SmartContract> ContractRegistry::find(
+    const std::string& node, const std::string& contract_name) const {
+  const auto it = installs_.find(node);
+  if (it == installs_.end()) return nullptr;
+  const auto jt = it->second.find(contract_name);
+  if (jt == it->second.end()) return nullptr;
+  return jt->second;
+}
+
+std::set<std::string> ContractRegistry::nodes_with(
+    const std::string& contract_name) const {
+  std::set<std::string> nodes;
+  for (const auto& [node, contracts] : installs_) {
+    if (contracts.contains(contract_name)) nodes.insert(node);
+  }
+  return nodes;
+}
+
+}  // namespace veil::contracts

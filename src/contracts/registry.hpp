@@ -1,0 +1,47 @@
+// Contract registry: install-on-involved-nodes-only (§2.3).
+//
+// Installing a contract on a node reveals its code to that node (and its
+// administrator) — recorded in the leakage auditor under
+// "contract/<name>/code". Keeping the install set minimal is the
+// structural mechanism for business-logic confidentiality that all three
+// platforms support in some form (Table 1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "contracts/contract.hpp"
+#include "net/leakage.hpp"
+
+namespace veil::contracts {
+
+class ContractRegistry {
+ public:
+  explicit ContractRegistry(net::LeakageAuditor& auditor)
+      : auditor_(&auditor) {}
+
+  /// Install on a node. The node (admin) now sees the code.
+  void install(const std::string& node,
+               std::shared_ptr<SmartContract> contract);
+
+  void uninstall(const std::string& node, const std::string& contract_name);
+
+  bool installed(const std::string& node,
+                 const std::string& contract_name) const;
+
+  /// nullptr if not installed on that node.
+  std::shared_ptr<SmartContract> find(const std::string& node,
+                                      const std::string& contract_name) const;
+
+  /// All nodes holding the contract — the code-visibility set.
+  std::set<std::string> nodes_with(const std::string& contract_name) const;
+
+ private:
+  net::LeakageAuditor* auditor_;
+  std::map<std::string, std::map<std::string, std::shared_ptr<SmartContract>>>
+      installs_;  // node -> name -> contract
+};
+
+}  // namespace veil::contracts

@@ -1,0 +1,73 @@
+#include "core/assessment.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace veil::core {
+
+std::vector<PlatformAssessment> assess(const Recommendation& recommendation,
+                                       const CapabilityMatrix& matrix) {
+  std::vector<PlatformAssessment> out;
+  for (Platform platform :
+       {Platform::Fabric, Platform::Corda, Platform::Quorum}) {
+    PlatformAssessment a;
+    a.platform = platform;
+    double total = 0;
+    for (Mechanism mech : recommendation.mechanisms) {
+      switch (matrix.at(platform, mech)) {
+        case Support::Native:
+          ++a.native;
+          total += 1.0;
+          break;
+        case Support::Extendable:
+          ++a.extendable;
+          total += 0.5;
+          a.gaps.push_back(to_string(mech) + ": custom implementation needed");
+          break;
+        case Support::HardRewrite:
+          ++a.blocked;
+          a.gaps.push_back(to_string(mech) +
+                           ": requires substantial rewriting");
+          break;
+        case Support::NotApplicable:
+          // Does not count against the platform (e.g. Corda has no global
+          // contract installation to restrict).
+          total += 1.0;
+          break;
+      }
+    }
+    a.score = recommendation.mechanisms.empty()
+                  ? 1.0
+                  : total / static_cast<double>(recommendation.mechanisms.size());
+    out.push_back(std::move(a));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PlatformAssessment& x, const PlatformAssessment& y) {
+              if (x.score != y.score) return x.score > y.score;
+              if (x.native != y.native) return x.native > y.native;
+              return static_cast<int>(x.platform) < static_cast<int>(y.platform);
+            });
+  return out;
+}
+
+std::string render(const std::vector<PlatformAssessment>& assessments) {
+  std::ostringstream os;
+  os << std::left << std::setw(10) << "Platform" << std::setw(8) << "score"
+     << std::setw(8) << "native" << std::setw(12) << "extendable"
+     << std::setw(9) << "blocked" << "gaps\n";
+  for (const PlatformAssessment& a : assessments) {
+    os << std::left << std::setw(10) << to_string(a.platform) << std::setw(8)
+       << std::fixed << std::setprecision(2) << a.score << std::setw(8)
+       << a.native << std::setw(12) << a.extendable << std::setw(9)
+       << a.blocked;
+    for (std::size_t i = 0; i < a.gaps.size(); ++i) {
+      if (i) os << "; ";
+      os << a.gaps[i];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace veil::core

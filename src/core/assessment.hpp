@@ -1,0 +1,31 @@
+// Platform assessment: given a use case's recommended mechanisms and the
+// capability matrix, score each platform and report gaps (Section 3's
+// "guide for assessing DLT platforms", applied in Section 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/capability.hpp"
+#include "core/decision.hpp"
+
+namespace veil::core {
+
+struct PlatformAssessment {
+  Platform platform;
+  int native = 0;       // required mechanisms supported natively
+  int extendable = 0;   // supportable with custom work
+  int blocked = 0;      // would require substantial rewriting
+  double score = 0.0;   // native=1.0, extendable=0.5, blocked=0
+  std::vector<std::string> gaps;  // human-readable blocked/extendable notes
+};
+
+/// Assess all three platforms against a recommendation; result is sorted
+/// best-first (score desc, then native count desc, then enum order).
+std::vector<PlatformAssessment> assess(const Recommendation& recommendation,
+                                       const CapabilityMatrix& matrix);
+
+/// Render an assessment table.
+std::string render(const std::vector<PlatformAssessment>& assessments);
+
+}  // namespace veil::core

@@ -1,0 +1,115 @@
+#include "core/capability.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace veil::core {
+
+std::string to_string(Platform p) {
+  switch (p) {
+    case Platform::Fabric: return "HLF";
+    case Platform::Corda: return "Corda";
+    case Platform::Quorum: return "Quorum";
+  }
+  return "?";
+}
+
+std::string symbol(Support s) {
+  switch (s) {
+    case Support::Native: return "+";
+    case Support::Extendable: return "*";
+    case Support::HardRewrite: return "-";
+    case Support::NotApplicable: return "N/A";
+  }
+  return "?";
+}
+
+Support CapabilityMatrix::at(Platform platform, Mechanism mechanism) const {
+  const auto it = cells_.find({platform, mechanism});
+  if (it == cells_.end()) {
+    throw common::Error("capability matrix: missing cell");
+  }
+  return it->second;
+}
+
+void CapabilityMatrix::set(Platform platform, Mechanism mechanism,
+                           Support support) {
+  cells_[{platform, mechanism}] = support;
+}
+
+const CapabilityMatrix& CapabilityMatrix::paper_table1() {
+  static const CapabilityMatrix matrix = [] {
+    CapabilityMatrix m;
+    using M = Mechanism;
+    using S = Support;
+    const auto row = [&m](M mech, S fabric, S corda, S quorum) {
+      m.set(Platform::Fabric, mech, fabric);
+      m.set(Platform::Corda, mech, corda);
+      m.set(Platform::Quorum, mech, quorum);
+    };
+    // Parties
+    row(M::SeparationOfLedgers, S::Native, S::Native, S::Native);
+    row(M::OneTimePublicKeys, S::HardRewrite, S::Native, S::Extendable);
+    row(M::ZkpIdentity, S::Native, S::HardRewrite, S::HardRewrite);
+    // Transactions (separation row is shared with Parties in the paper;
+    // repeated here because the matrix is keyed by mechanism).
+    row(M::OffChainData, S::Native, S::Extendable, S::HardRewrite);
+    row(M::SymmetricEncryption, S::Native, S::Native, S::Native);
+    row(M::MerkleTearOffs, S::Extendable, S::Native, S::HardRewrite);
+    row(M::ZkProofs, S::Extendable, S::Extendable, S::Extendable);
+    row(M::MultipartyComputation, S::Extendable, S::Extendable, S::Extendable);
+    row(M::HomomorphicEncryption, S::Extendable, S::Extendable, S::Extendable);
+    row(M::TrustedExecution, S::HardRewrite, S::HardRewrite, S::HardRewrite);
+    // Logic
+    row(M::InstallOnInvolvedNodes, S::Native, S::NotApplicable, S::Native);
+    row(M::OffChainExecutionEngine, S::Extendable, S::Native, S::HardRewrite);
+    row(M::TeeForLogic, S::HardRewrite, S::HardRewrite, S::HardRewrite);
+    // Misc
+    row(M::PrivateSequencer, S::Native, S::Native, S::Native);
+    row(M::OpenSource, S::Native, S::Native, S::Native);
+    return m;
+  }();
+  return matrix;
+}
+
+const std::vector<std::pair<std::string, Mechanism>>& table1_rows() {
+  static const std::vector<std::pair<std::string, Mechanism>> rows = {
+      {"Parties", Mechanism::SeparationOfLedgers},
+      {"Parties", Mechanism::OneTimePublicKeys},
+      {"Parties", Mechanism::ZkpIdentity},
+      {"Transactions", Mechanism::SeparationOfLedgers},
+      {"Transactions", Mechanism::OffChainData},
+      {"Transactions", Mechanism::SymmetricEncryption},
+      {"Transactions", Mechanism::MerkleTearOffs},
+      {"Transactions", Mechanism::ZkProofs},
+      {"Transactions", Mechanism::MultipartyComputation},
+      {"Transactions", Mechanism::HomomorphicEncryption},
+      {"Logic", Mechanism::InstallOnInvolvedNodes},
+      {"Logic", Mechanism::OffChainExecutionEngine},
+      {"Logic", Mechanism::TeeForLogic},
+      {"Misc.", Mechanism::PrivateSequencer},
+      {"Misc.", Mechanism::OpenSource},
+  };
+  return rows;
+}
+
+std::string CapabilityMatrix::render() const {
+  std::ostringstream os;
+  os << std::left << std::setw(14) << "Category" << std::setw(42)
+     << "Mechanism" << std::setw(8) << "HLF" << std::setw(8) << "Corda"
+     << std::setw(8) << "Quorum" << "\n";
+  os << std::string(78, '-') << "\n";
+  for (const auto& [category, mech] : table1_rows()) {
+    os << std::left << std::setw(14) << category << std::setw(42)
+       << to_string(mech);
+    for (Platform p : {Platform::Fabric, Platform::Corda, Platform::Quorum}) {
+      os << std::setw(8) << symbol(at(p, mech));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace veil::core

@@ -1,0 +1,188 @@
+#include "core/decision.hpp"
+
+#include <algorithm>
+
+namespace veil::core {
+
+bool Recommendation::recommends(Mechanism m) const {
+  return std::find(mechanisms.begin(), mechanisms.end(), m) !=
+         mechanisms.end();
+}
+
+namespace {
+
+void add(Recommendation& rec, Mechanism m) {
+  if (!rec.recommends(m)) rec.mechanisms.push_back(m);
+}
+
+}  // namespace
+
+Recommendation DecisionEngine::for_data(const DataRequirements& req) {
+  Recommendation rec;
+
+  // Fork 1 — regulatory deletion. Ledgers are append-only, so deletable
+  // data must live off-chain; the hash on the ledger still evidences it.
+  if (req.deletion_required) {
+    rec.rationale.push_back(
+        "deletion required -> data must be stored off-chain");
+    add(rec, Mechanism::OffChainData);
+    if (req.onchain_record_desired) {
+      rec.rationale.push_back(
+          "on-chain record desired -> publish hash of off-chain data");
+    }
+    rec.caveats.push_back(
+        "allowing deletion contradicts the promise of an immutable, "
+        "auditable record; only the hash stub remains");
+  }
+
+  // Fork 2 — can ciphertext be shared with the wider network? If not,
+  // the group needs a segregated ledger (nothing, not even ciphertext,
+  // leaves the partition).
+  if (!req.encrypted_sharing_allowed) {
+    rec.rationale.push_back(
+        "encrypted data may not be shared -> segregate the ledger");
+    add(rec, Mechanism::SeparationOfLedgers);
+  } else if (req.onchain_record_desired && !req.uninvolved_validation) {
+    // Fork 3 — on-chain records with only involved validators: segregated
+    // ledgers are "more generally the preferred solution".
+    rec.rationale.push_back(
+        "on-chain record desired, only involved parties validate -> "
+        "segregated ledger preferred");
+    add(rec, Mechanism::SeparationOfLedgers);
+  }
+
+  // Fork 4 — hiding data from some participants of the same transaction.
+  if (req.hide_within_transaction) {
+    rec.rationale.push_back(
+        "transaction contains data irrelevant/private to some "
+        "participants -> Merkle tree tear-offs");
+    add(rec, Mechanism::MerkleTearOffs);
+  }
+
+  // Fork 5 — uninvolved parties must validate confidential transactions.
+  if (req.uninvolved_validation) {
+    rec.rationale.push_back(
+        "independent validation with confidential data -> provision "
+        "trusted execution environments on uninvolved nodes");
+    add(rec, Mechanism::TrustedExecution);
+    rec.caveats.push_back(
+        "homomorphic computation may eventually enable processing of "
+        "encrypted values, but is not mature enough to date");
+  }
+
+  // Fork 6 — private inputs that cannot be shared between the parties.
+  if (req.private_inputs) {
+    if (req.shared_function_on_private) {
+      rec.rationale.push_back(
+          "shared function on private values (e.g. secret ballot) -> "
+          "multiparty computation");
+      add(rec, Mechanism::MultipartyComputation);
+    } else {
+      rec.rationale.push_back(
+          "precondition on private data -> zero-knowledge proof gives "
+          "boolean affirmation");
+      add(rec, Mechanism::ZkProofs);
+    }
+    rec.caveats.push_back(
+        "ZKPs/MPC must be implemented per scenario; platforms are still "
+        "working on native support");
+  }
+
+  // Side branch (not in the diagram, §3.2 closing note) — untrusted node
+  // administration.
+  if (req.untrusted_node_admin) {
+    rec.rationale.push_back(
+        "node administered by an untrusted third party -> encrypt "
+        "transaction data (symmetric or asymmetric)");
+    add(rec, Mechanism::SymmetricEncryption);
+  }
+
+  if (rec.mechanisms.empty()) {
+    rec.rationale.push_back(
+        "no restriction triggered -> plain shared ledger is acceptable");
+  }
+  return rec;
+}
+
+Recommendation DecisionEngine::for_parties(const PartyRequirements& req) {
+  Recommendation rec;
+  if (req.hide_group_from_network) {
+    rec.rationale.push_back(
+        "group interactions must be hidden from the network -> separate "
+        "ledger for the group");
+    add(rec, Mechanism::SeparationOfLedgers);
+  }
+  if (req.hide_subgroup_on_ledger) {
+    rec.rationale.push_back(
+        "sub-group on a ledger must not reveal that they transact -> "
+        "one-time public keys");
+    add(rec, Mechanism::OneTimePublicKeys);
+    rec.caveats.push_back(
+        "counterparties needing signature verification receive a linkage "
+        "certificate; keep its distribution minimal");
+  }
+  if (req.fully_private_individual) {
+    rec.rationale.push_back(
+        "individual must sign/commit while fully private -> "
+        "zero-knowledge proof of identity");
+    add(rec, Mechanism::ZkpIdentity);
+  }
+  if (rec.mechanisms.empty()) {
+    rec.rationale.push_back("no interaction-privacy requirement");
+  }
+  return rec;
+}
+
+Recommendation DecisionEngine::for_logic(const LogicRequirements& req) {
+  Recommendation rec;
+  if (req.hide_from_node_admin) {
+    rec.rationale.push_back(
+        "node admin must not see code/data -> run contracts inside a "
+        "trusted execution environment");
+    add(rec, Mechanism::TeeForLogic);
+  } else if (req.keep_logic_private) {
+    if (req.language_freedom) {
+      rec.rationale.push_back(
+          "private logic + free language choice -> off-chain execution "
+          "engine");
+      add(rec, Mechanism::OffChainExecutionEngine);
+      if (req.need_builtin_versioning) {
+        rec.caveats.push_back(
+            "an external engine forfeits the DLT's in-built contract "
+            "version control; version management moves outside the DLT "
+            "layer");
+      }
+    } else {
+      rec.rationale.push_back(
+          "private logic, platform language acceptable -> install "
+          "contracts on involved nodes only");
+      add(rec, Mechanism::InstallOnInvolvedNodes);
+    }
+  } else if (req.language_freedom) {
+    rec.rationale.push_back(
+        "language freedom desired (e.g. domain-specific languages) -> "
+        "off-chain execution engine");
+    add(rec, Mechanism::OffChainExecutionEngine);
+  }
+  if (rec.mechanisms.empty()) {
+    rec.rationale.push_back(
+        "logic is not confidential -> standard on-ledger contracts");
+  }
+  return rec;
+}
+
+Recommendation DecisionEngine::for_profile(const RequirementProfile& profile) {
+  Recommendation all;
+  for (const Recommendation& part :
+       {for_parties(profile.parties), for_data(profile.data),
+        for_logic(profile.logic)}) {
+    for (Mechanism m : part.mechanisms) add(all, m);
+    all.rationale.insert(all.rationale.end(), part.rationale.begin(),
+                         part.rationale.end());
+    all.caveats.insert(all.caveats.end(), part.caveats.begin(),
+                       part.caveats.end());
+  }
+  return all;
+}
+
+}  // namespace veil::core

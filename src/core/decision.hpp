@@ -1,0 +1,41 @@
+// The design guide's decision procedures (Section 3, Figure 1).
+//
+// Each procedure maps a requirement struct to recommended mechanisms and
+// records the decision path taken — the executable form of Figure 1's
+// flowchart and the prose rules of §3.1 and §3.3. bench_figure1 sweeps
+// the whole requirement space and prints every path.
+#pragma once
+
+#include <vector>
+
+#include "core/mechanisms.hpp"
+#include "core/requirements.hpp"
+
+namespace veil::core {
+
+struct Recommendation {
+  std::vector<Mechanism> mechanisms;
+  /// One line per decision fork taken, in order — the Figure 1 path.
+  std::vector<std::string> rationale;
+  /// Warnings the guide attaches (maturity, residual leaks, trade-offs).
+  std::vector<std::string> caveats;
+
+  bool recommends(Mechanism m) const;
+};
+
+class DecisionEngine {
+ public:
+  /// Figure 1: data-confidentiality requirements -> mechanisms.
+  static Recommendation for_data(const DataRequirements& req);
+
+  /// §3.1: privacy-of-interaction requirements -> mechanisms.
+  static Recommendation for_parties(const PartyRequirements& req);
+
+  /// §3.3: business-logic requirements -> mechanisms.
+  static Recommendation for_logic(const LogicRequirements& req);
+
+  /// Full profile: union of the three, deduplicated.
+  static Recommendation for_profile(const RequirementProfile& profile);
+};
+
+}  // namespace veil::core

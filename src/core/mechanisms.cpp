@@ -1,0 +1,95 @@
+#include "core/mechanisms.hpp"
+
+#include "common/error.hpp"
+
+namespace veil::core {
+
+const std::vector<MechanismInfo>& mechanism_catalog() {
+  static const std::vector<MechanismInfo> catalog = {
+      {Mechanism::SeparationOfLedgers, "Separation of ledgers",
+       Category::PartyPrivacy, Maturity::Production,
+       "Private per-group ledgers; data and membership visible only inside "
+       "the partition"},
+      {Mechanism::OneTimePublicKeys, "One-time public keys",
+       Category::PartyPrivacy, Maturity::Production,
+       "Pseudonymous keys mask asset owners; linkage certificates disclose "
+       "identity to chosen counterparties only"},
+      {Mechanism::ZkpIdentity, "Zero-knowledge proof of identity",
+       Category::PartyPrivacy, Maturity::Emerging,
+       "Prove credential possession without revealing identity; signatures "
+       "unlinkable to each other"},
+      {Mechanism::OffChainData, "Off-chain data", Category::DataConfidentiality,
+       Maturity::Production,
+       "Private data in an off-chain store; ledger carries a hash; enables "
+       "GDPR deletion"},
+      {Mechanism::SymmetricEncryption, "Symmetric key encryption",
+       Category::DataConfidentiality, Maturity::Production,
+       "AES-encrypted values with keys shared via PKI"},
+      {Mechanism::MerkleTearOffs, "Merkle tree tear-offs",
+       Category::DataConfidentiality, Maturity::Production,
+       "Sign the Merkle root; counterparties verify without the hidden "
+       "branches"},
+      {Mechanism::ZkProofs, "Zero-knowledge proofs",
+       Category::DataConfidentiality, Maturity::Emerging,
+       "Boolean affirmation (e.g. sufficient funds) without revealing raw "
+       "values; scenario-specific"},
+      {Mechanism::MultipartyComputation, "Multiparty computation",
+       Category::DataConfidentiality, Maturity::Emerging,
+       "Shared function on private inputs; no private value ever shared"},
+      {Mechanism::HomomorphicEncryption, "Homomorphic encryption",
+       Category::DataConfidentiality, Maturity::ProofOfConcept,
+       "Compute on ciphertext; limited operations, infeasible for current "
+       "systems"},
+      {Mechanism::TrustedExecution, "Trusted execution environments",
+       Category::DataConfidentiality, Maturity::Emerging,
+       "Hardware-isolated execution with remote attestation; code and data "
+       "hidden from the host"},
+      {Mechanism::InstallOnInvolvedNodes, "Install contract on involved nodes",
+       Category::LogicConfidentiality, Maturity::Production,
+       "Distribute contract code only to endorsing nodes"},
+      {Mechanism::OffChainExecutionEngine, "Off-chain execution engine",
+       Category::LogicConfidentiality, Maturity::Production,
+       "Business logic outside the DLT; ledger stores read/write stubs; "
+       "free language choice, external version control"},
+      {Mechanism::TeeForLogic, "TEE for business logic",
+       Category::LogicConfidentiality, Maturity::Emerging,
+       "Execute contracts inside enclaves; logic invisible even to the node "
+       "administrator"},
+      {Mechanism::PrivateSequencer, "Private sequencing service",
+       Category::Misc, Maturity::Production,
+       "Parties can run the ordering/notary service themselves"},
+      {Mechanism::OpenSource, "Open source", Category::Misc,
+       Maturity::Production, "Code base is publicly auditable"},
+  };
+  return catalog;
+}
+
+const MechanismInfo& info(Mechanism m) {
+  for (const MechanismInfo& entry : mechanism_catalog()) {
+    if (entry.id == m) return entry;
+  }
+  throw common::Error("unknown mechanism");
+}
+
+std::string to_string(Mechanism m) { return info(m).name; }
+
+std::string to_string(Category c) {
+  switch (c) {
+    case Category::PartyPrivacy: return "Parties";
+    case Category::DataConfidentiality: return "Transactions";
+    case Category::LogicConfidentiality: return "Logic";
+    case Category::Misc: return "Misc.";
+  }
+  return "?";
+}
+
+std::string to_string(Maturity m) {
+  switch (m) {
+    case Maturity::Production: return "production";
+    case Maturity::Emerging: return "emerging";
+    case Maturity::ProofOfConcept: return "proof-of-concept";
+  }
+  return "?";
+}
+
+}  // namespace veil::core

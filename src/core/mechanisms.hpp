@@ -1,0 +1,60 @@
+// The mechanism catalog of Section 2 — every privacy/confidentiality
+// technique the paper surveys, with its category and maturity level.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace veil::core {
+
+enum class Mechanism {
+  // §2.1 Privacy of interactions
+  SeparationOfLedgers,
+  OneTimePublicKeys,
+  ZkpIdentity,
+  // §2.2 Confidentiality of transactions and data
+  OffChainData,
+  SymmetricEncryption,
+  MerkleTearOffs,
+  ZkProofs,
+  MultipartyComputation,
+  HomomorphicEncryption,
+  TrustedExecution,
+  // §2.3 Confidentiality of business logic
+  InstallOnInvolvedNodes,
+  OffChainExecutionEngine,
+  TeeForLogic,
+  // Misc rows of Table 1
+  PrivateSequencer,
+  OpenSource,
+};
+
+enum class Category {
+  PartyPrivacy,
+  DataConfidentiality,
+  LogicConfidentiality,
+  Misc,
+};
+
+/// Maturity as assessed in §2: Production = deployable today; Emerging =
+/// scenario-specific implementations exist (ZKP, MPC); ProofOfConcept =
+/// infeasible for current systems (homomorphic computation).
+enum class Maturity { Production, Emerging, ProofOfConcept };
+
+struct MechanismInfo {
+  Mechanism id;
+  std::string name;
+  Category category;
+  Maturity maturity;
+  std::string summary;
+};
+
+/// All fifteen mechanisms in Table 1 order.
+const std::vector<MechanismInfo>& mechanism_catalog();
+
+const MechanismInfo& info(Mechanism m);
+std::string to_string(Mechanism m);
+std::string to_string(Category c);
+std::string to_string(Maturity m);
+
+}  // namespace veil::core

@@ -1,0 +1,71 @@
+#include "core/requirements.hpp"
+
+#include <sstream>
+
+namespace veil::core {
+
+namespace {
+void flag(std::ostringstream& os, const char* name, bool value) {
+  os << name << "=" << (value ? "yes" : "no") << " ";
+}
+}  // namespace
+
+std::string DataRequirements::describe() const {
+  std::ostringstream os;
+  flag(os, "deletion", deletion_required);
+  flag(os, "share-encrypted", encrypted_sharing_allowed);
+  flag(os, "onchain-record", onchain_record_desired);
+  flag(os, "hide-within-tx", hide_within_transaction);
+  flag(os, "uninvolved-validation", uninvolved_validation);
+  flag(os, "private-inputs", private_inputs);
+  flag(os, "shared-function", shared_function_on_private);
+  flag(os, "untrusted-admin", untrusted_node_admin);
+  return os.str();
+}
+
+std::string PartyRequirements::describe() const {
+  std::ostringstream os;
+  flag(os, "hide-group", hide_group_from_network);
+  flag(os, "hide-subgroup", hide_subgroup_on_ledger);
+  flag(os, "private-individual", fully_private_individual);
+  return os.str();
+}
+
+std::string LogicRequirements::describe() const {
+  std::ostringstream os;
+  flag(os, "private-logic", keep_logic_private);
+  flag(os, "builtin-versioning", need_builtin_versioning);
+  flag(os, "hide-from-admin", hide_from_node_admin);
+  flag(os, "language-freedom", language_freedom);
+  return os.str();
+}
+
+RequirementProfile letter_of_credit_profile() {
+  RequirementProfile profile;
+  profile.use_case = "letter-of-credit";
+
+  profile.data.deletion_required = true;  // PII under GDPR
+  profile.data.encrypted_sharing_allowed = true;
+  profile.data.onchain_record_desired = true;
+  profile.data.hide_within_transaction = false;
+  profile.data.uninvolved_validation = false;  // validators are the parties
+  profile.data.private_inputs = false;
+  profile.data.shared_function_on_private = false;
+  // A trusted third party may run the orderer — with data encrypted.
+  profile.data.untrusted_node_admin = true;
+
+  profile.parties.hide_group_from_network = true;  // buyer-seller secrecy
+  profile.parties.hide_subgroup_on_ledger = false;
+  profile.parties.fully_private_individual = false;
+
+  // "logic contained in a letter of credit is highly standardized and
+  // non-confidential"
+  profile.logic.keep_logic_private = false;
+  profile.logic.need_builtin_versioning = true;
+  profile.logic.hide_from_node_admin = false;
+  profile.logic.language_freedom = false;
+
+  return profile;
+}
+
+}  // namespace veil::core

@@ -1,0 +1,75 @@
+// Requirement model — the questions an architect answers before the
+// design guide (Section 3) can recommend mechanisms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace veil::core {
+
+/// §3.2 / Figure 1 — data-confidentiality requirements.
+struct DataRequirements {
+  /// Regulatory deletion obligations (GDPR "right to be forgotten").
+  bool deletion_required = false;
+  /// May encrypted data be shared with the wider network? (Given enough
+  /// compute, ciphertext can be broken; some parties refuse to share it.)
+  bool encrypted_sharing_allowed = true;
+  /// Is an on-chain record desired (endorsement protocols / append-only
+  /// audit trail)?
+  bool onchain_record_desired = true;
+  /// Must some data in a transaction stay hidden from SOME participants
+  /// of that same transaction?
+  bool hide_within_transaction = false;
+  /// Must uninvolved network parties be able to validate correctness of
+  /// otherwise-confidential transactions?
+  bool uninvolved_validation = false;
+  /// Does the transaction rely on private data that cannot be shared even
+  /// between the transacting parties?
+  bool private_inputs = false;
+  /// Must a shared function be computed on those private values (secret
+  /// ballot, aggregate statistics)?
+  bool shared_function_on_private = false;
+  /// Is a node administered by a third party that must not see raw data?
+  bool untrusted_node_admin = false;
+
+  std::string describe() const;
+};
+
+/// §3.1 — privacy-of-interaction requirements.
+struct PartyRequirements {
+  /// A known group wants its interactions hidden from the network.
+  bool hide_group_from_network = false;
+  /// A sub-group on a ledger must not reveal that they transact.
+  bool hide_subgroup_on_ledger = false;
+  /// An individual party must sign/commit while staying fully private.
+  bool fully_private_individual = false;
+
+  std::string describe() const;
+};
+
+/// §3.3 — business-logic confidentiality requirements (the four criteria).
+struct LogicRequirements {
+  bool keep_logic_private = false;
+  bool need_builtin_versioning = false;
+  bool hide_from_node_admin = false;
+  bool language_freedom = false;
+
+  std::string describe() const;
+};
+
+/// Everything about a use case in one place.
+struct RequirementProfile {
+  std::string use_case;
+  DataRequirements data;
+  PartyRequirements parties;
+  LogicRequirements logic;
+};
+
+/// §4 — the letter-of-credit case study, as stated in the paper:
+/// PII must be deletable (GDPR), encrypted data may be shared and stored,
+/// buyer/seller relationships and agreement details hidden from the
+/// network, validators are the transacting parties, logic is standardized
+/// and non-confidential.
+RequirementProfile letter_of_credit_profile();
+
+}  // namespace veil::core

@@ -1,0 +1,261 @@
+#include "crypto/aes.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "crypto/hmac.hpp"
+
+namespace veil::crypto {
+
+namespace {
+
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr std::uint8_t kRcon[11] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1b, 0x36};
+
+std::uint8_t inv_sbox(std::uint8_t v) {
+  // Built lazily once; 256-entry inverse of kSbox.
+  static const auto table = [] {
+    std::array<std::uint8_t, 256> t{};
+    for (int i = 0; i < 256; ++i) t[kSbox[i]] = static_cast<std::uint8_t>(i);
+    return t;
+  }();
+  return table[v];
+}
+
+std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+}
+
+std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  while (b) {
+    if (b & 1) p ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+Aes::Aes(common::BytesView key) : key_size_(key.size()) {
+  if (key_size_ != 16 && key_size_ != 32) {
+    throw common::CryptoError("Aes: key must be 16 or 32 bytes");
+  }
+  const int nk = static_cast<int>(key_size_ / 4);
+  rounds_ = nk + 6;
+  const int total_words = 4 * (rounds_ + 1);
+
+  std::memcpy(round_keys_.data(), key.data(), key_size_);
+  for (int i = nk; i < total_words; ++i) {
+    std::uint8_t temp[4];
+    std::memcpy(temp, round_keys_.data() + 4 * (i - 1), 4);
+    if (i % nk == 0) {
+      // RotWord + SubWord + Rcon.
+      const std::uint8_t t0 = temp[0];
+      temp[0] = static_cast<std::uint8_t>(kSbox[temp[1]] ^ kRcon[i / nk]);
+      temp[1] = kSbox[temp[2]];
+      temp[2] = kSbox[temp[3]];
+      temp[3] = kSbox[t0];
+    } else if (nk == 8 && i % nk == 4) {
+      for (int k = 0; k < 4; ++k) temp[k] = kSbox[temp[k]];
+    }
+    for (int k = 0; k < 4; ++k) {
+      round_keys_[4 * i + k] =
+          round_keys_[4 * (i - nk) + k] ^ temp[k];
+    }
+  }
+}
+
+void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  std::uint8_t s[16];
+  for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[i];
+
+  for (int round = 1; round <= rounds_; ++round) {
+    // SubBytes.
+    for (auto& b : s) b = kSbox[b];
+    // ShiftRows (state is column-major: s[4*c + r]).
+    std::uint8_t t[16];
+    for (int c = 0; c < 4; ++c) {
+      for (int r = 0; r < 4; ++r) t[4 * c + r] = s[4 * ((c + r) % 4) + r];
+    }
+    std::memcpy(s, t, 16);
+    // MixColumns (skipped in the final round).
+    if (round < rounds_) {
+      for (int c = 0; c < 4; ++c) {
+        std::uint8_t* col = s + 4 * c;
+        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+        col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+        col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+        col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+      }
+    }
+    // AddRoundKey.
+    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[16 * round + i];
+  }
+  std::memcpy(out, s, 16);
+}
+
+void Aes::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  std::uint8_t s[16];
+  for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[16 * rounds_ + i];
+
+  for (int round = rounds_ - 1; round >= 0; --round) {
+    // InvShiftRows.
+    std::uint8_t t[16];
+    for (int c = 0; c < 4; ++c) {
+      for (int r = 0; r < 4; ++r) t[4 * ((c + r) % 4) + r] = s[4 * c + r];
+    }
+    std::memcpy(s, t, 16);
+    // InvSubBytes.
+    for (auto& b : s) b = inv_sbox(b);
+    // AddRoundKey.
+    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[16 * round + i];
+    // InvMixColumns (skipped after the last round-key addition).
+    if (round > 0) {
+      for (int c = 0; c < 4; ++c) {
+        std::uint8_t* col = s + 4 * c;
+        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = static_cast<std::uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^
+                                           gmul(a2, 13) ^ gmul(a3, 9));
+        col[1] = static_cast<std::uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^
+                                           gmul(a2, 11) ^ gmul(a3, 13));
+        col[2] = static_cast<std::uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^
+                                           gmul(a2, 14) ^ gmul(a3, 11));
+        col[3] = static_cast<std::uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^
+                                           gmul(a2, 9) ^ gmul(a3, 14));
+      }
+    }
+  }
+  std::memcpy(out, s, 16);
+}
+
+common::Bytes aes_ctr(common::BytesView key, common::BytesView nonce16,
+                      common::BytesView data) {
+  if (nonce16.size() != 16) {
+    throw common::CryptoError("aes_ctr: nonce must be 16 bytes");
+  }
+  const Aes cipher(key);
+  common::Bytes out(data.size());
+  std::uint8_t counter[16];
+  std::memcpy(counter, nonce16.data(), 16);
+  std::uint8_t keystream[16];
+  for (std::size_t off = 0; off < data.size(); off += 16) {
+    cipher.encrypt_block(counter, keystream);
+    const std::size_t n = std::min<std::size_t>(16, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ keystream[i];
+    // Increment the counter (big-endian, low 8 bytes).
+    for (int i = 15; i >= 8; --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+
+common::Bytes aes_cbc_encrypt(common::BytesView key, common::BytesView iv16,
+                              common::BytesView plaintext) {
+  if (iv16.size() != 16) {
+    throw common::CryptoError("aes_cbc_encrypt: IV must be 16 bytes");
+  }
+  const Aes cipher(key);
+  // PKCS#7 pad.
+  const std::size_t pad = 16 - plaintext.size() % 16;
+  common::Bytes padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+
+  common::Bytes out(padded.size());
+  std::uint8_t prev[16];
+  std::memcpy(prev, iv16.data(), 16);
+  for (std::size_t off = 0; off < padded.size(); off += 16) {
+    std::uint8_t block[16];
+    for (int i = 0; i < 16; ++i) block[i] = padded[off + i] ^ prev[i];
+    cipher.encrypt_block(block, out.data() + off);
+    std::memcpy(prev, out.data() + off, 16);
+  }
+  return out;
+}
+
+std::optional<common::Bytes> aes_cbc_decrypt(common::BytesView key,
+                                             common::BytesView iv16,
+                                             common::BytesView ciphertext) {
+  if (iv16.size() != 16) {
+    throw common::CryptoError("aes_cbc_decrypt: IV must be 16 bytes");
+  }
+  if (ciphertext.empty() || ciphertext.size() % 16 != 0) return std::nullopt;
+  const Aes cipher(key);
+  common::Bytes out(ciphertext.size());
+  std::uint8_t prev[16];
+  std::memcpy(prev, iv16.data(), 16);
+  for (std::size_t off = 0; off < ciphertext.size(); off += 16) {
+    std::uint8_t block[16];
+    cipher.decrypt_block(ciphertext.data() + off, block);
+    for (int i = 0; i < 16; ++i) out[off + i] = block[i] ^ prev[i];
+    std::memcpy(prev, ciphertext.data() + off, 16);
+  }
+  const std::uint8_t pad = out.back();
+  if (pad == 0 || pad > 16 || pad > out.size()) return std::nullopt;
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) return std::nullopt;
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+common::Bytes seal(common::BytesView key, common::BytesView plaintext,
+                   common::BytesView nonce16) {
+  // Derive independent cipher and MAC keys so a single shared secret is safe.
+  const common::Bytes enc_key = hkdf({}, key, "veil.seal.enc", 32);
+  const common::Bytes mac_key = hkdf({}, key, "veil.seal.mac", 32);
+
+  common::Bytes out(nonce16.begin(), nonce16.end());
+  const common::Bytes ct = aes_ctr(enc_key, nonce16, plaintext);
+  out.insert(out.end(), ct.begin(), ct.end());
+  const Digest tag = hmac_sha256(mac_key, out);
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::optional<common::Bytes> open(common::BytesView key,
+                                  common::BytesView sealed) {
+  if (sealed.size() < 16 + kSha256DigestSize) return std::nullopt;
+  const common::Bytes enc_key = hkdf({}, key, "veil.seal.enc", 32);
+  const common::Bytes mac_key = hkdf({}, key, "veil.seal.mac", 32);
+
+  const std::size_t body_len = sealed.size() - kSha256DigestSize;
+  const common::BytesView body = sealed.subspan(0, body_len);
+  const common::BytesView tag = sealed.subspan(body_len);
+  const Digest expect = hmac_sha256(mac_key, body);
+  if (!common::ct_equal(tag, common::BytesView(expect.data(), expect.size()))) {
+    return std::nullopt;
+  }
+  const common::BytesView nonce = sealed.subspan(0, 16);
+  const common::BytesView ct = sealed.subspan(16, body_len - 16);
+  return aes_ctr(enc_key, nonce, ct);
+}
+
+}  // namespace veil::crypto

@@ -1,0 +1,62 @@
+// AES-128/AES-256 (FIPS 197) with CTR and CBC modes, from scratch.
+//
+// Symmetric key encryption is the paper's §2.2 mechanism for keeping
+// transaction data confidential from node administrators and from the
+// ordering service. CTR is used for payload encryption; CBC+PKCS#7 is
+// provided for completeness and for sealed TEE storage.
+//
+// An authenticated composition (encrypt-then-MAC with HMAC-SHA256) is
+// exposed as `seal`/`open` — that is what higher layers use.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace veil::crypto {
+
+/// AES block cipher. Key must be 16 (AES-128) or 32 (AES-256) bytes.
+class Aes {
+ public:
+  explicit Aes(common::BytesView key);
+
+  static constexpr std::size_t kBlockSize = 16;
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+  std::size_t key_size() const { return key_size_; }
+
+ private:
+  std::size_t key_size_;
+  int rounds_;
+  // Max 15 round keys of 16 bytes (AES-256).
+  std::array<std::uint8_t, 240> round_keys_{};
+};
+
+/// CTR mode. Nonce must be 16 bytes; encryption == decryption.
+common::Bytes aes_ctr(common::BytesView key, common::BytesView nonce16,
+                      common::BytesView data);
+
+/// CBC mode with PKCS#7 padding. IV must be 16 bytes.
+common::Bytes aes_cbc_encrypt(common::BytesView key, common::BytesView iv16,
+                              common::BytesView plaintext);
+
+/// Returns nullopt on bad padding (does not throw: wrong key is an
+/// expected outcome when probing confidentiality in tests).
+std::optional<common::Bytes> aes_cbc_decrypt(common::BytesView key,
+                                             common::BytesView iv16,
+                                             common::BytesView ciphertext);
+
+/// Authenticated encryption: AES-CTR + HMAC-SHA256 (encrypt-then-MAC).
+/// Output layout: nonce(16) || ciphertext || tag(32).
+common::Bytes seal(common::BytesView key, common::BytesView plaintext,
+                   common::BytesView nonce16);
+
+/// Returns nullopt if the tag does not verify.
+std::optional<common::Bytes> open(common::BytesView key,
+                                  common::BytesView sealed);
+
+}  // namespace veil::crypto

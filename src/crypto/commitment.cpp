@@ -1,0 +1,31 @@
+#include "crypto/commitment.hpp"
+
+namespace veil::crypto {
+
+std::pair<Commitment, Opening> Pedersen::commit(const BigInt& value,
+                                                common::Rng& rng) const {
+  Opening opening{value % group_->q(), group_->random_scalar(rng)};
+  return {commit_with(opening.value, opening.blinding), opening};
+}
+
+Commitment Pedersen::commit_with(const BigInt& value,
+                                 const BigInt& blinding) const {
+  const BigInt v = value % group_->q();
+  const BigInt b = blinding % group_->q();
+  return Commitment{group_->mul(group_->pow_g(v), group_->pow_h(b))};
+}
+
+bool Pedersen::open(const Commitment& commitment, const Opening& opening) const {
+  return commit_with(opening.value, opening.blinding) == commitment;
+}
+
+Commitment Pedersen::add(const Commitment& a, const Commitment& b) const {
+  return Commitment{group_->mul(a.c, b.c)};
+}
+
+Opening Pedersen::add_openings(const Opening& a, const Opening& b) const {
+  return Opening{(a.value + b.value) % group_->q(),
+                 (a.blinding + b.blinding) % group_->q()};
+}
+
+}  // namespace veil::crypto

@@ -1,0 +1,52 @@
+// Pedersen commitments.
+//
+// C = g^value * h^blinding — perfectly hiding, computationally binding.
+// Used by the ZKP layer (range proofs, proof of funds) and by the
+// Idemix-style anonymous credential system.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/group.hpp"
+
+namespace veil::crypto {
+
+struct Commitment {
+  BigInt c;
+
+  common::Bytes encode() const { return c.to_bytes_be(); }
+  bool operator==(const Commitment&) const = default;
+};
+
+/// A commitment together with its opening (kept by the committer).
+struct Opening {
+  BigInt value;
+  BigInt blinding;
+};
+
+class Pedersen {
+ public:
+  explicit Pedersen(const Group& group) : group_(&group) {}
+
+  /// Commit to `value` with a fresh random blinding factor.
+  std::pair<Commitment, Opening> commit(const BigInt& value,
+                                        common::Rng& rng) const;
+
+  /// Commit with an explicit blinding factor.
+  Commitment commit_with(const BigInt& value, const BigInt& blinding) const;
+
+  /// Check an opening against a commitment.
+  bool open(const Commitment& commitment, const Opening& opening) const;
+
+  /// Homomorphic addition: commit(a)*commit(b) commits to a+b with the
+  /// summed blinding factors.
+  Commitment add(const Commitment& a, const Commitment& b) const;
+  Opening add_openings(const Opening& a, const Opening& b) const;
+
+  const Group& group() const { return *group_; }
+
+ private:
+  const Group* group_;
+};
+
+}  // namespace veil::crypto

@@ -1,0 +1,50 @@
+#include "crypto/elgamal.hpp"
+
+#include "common/serialize.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace veil::crypto {
+
+namespace {
+common::Bytes derive_key(const BigInt& shared) {
+  return hkdf({}, shared.to_bytes_be(), "veil.elgamal.kem", 32);
+}
+}  // namespace
+
+common::Bytes ElGamalCiphertext::encode() const {
+  common::Writer w;
+  w.bytes(ephemeral_key.to_bytes_be());
+  w.bytes(sealed);
+  return w.take();
+}
+
+ElGamalCiphertext ElGamalCiphertext::decode(common::BytesView data) {
+  common::Reader r(data);
+  ElGamalCiphertext ct;
+  ct.ephemeral_key = BigInt::from_bytes_be(r.bytes());
+  ct.sealed = r.bytes();
+  return ct;
+}
+
+ElGamalCiphertext elgamal_encrypt(const Group& group,
+                                  const PublicKey& recipient,
+                                  common::BytesView plaintext,
+                                  common::Rng& rng) {
+  const BigInt k = group.random_scalar(rng);
+  const BigInt shared = group.pow(recipient.y, k);
+  ElGamalCiphertext ct;
+  ct.ephemeral_key = group.pow_g(k);
+  ct.sealed = seal(derive_key(shared), plaintext, rng.next_bytes(16));
+  return ct;
+}
+
+std::optional<common::Bytes> elgamal_decrypt(const KeyPair& recipient,
+                                             const ElGamalCiphertext& ct) {
+  const Group& group = recipient.group();
+  if (!group.is_element(ct.ephemeral_key)) return std::nullopt;
+  const BigInt shared = group.pow(ct.ephemeral_key, recipient.secret());
+  return open(derive_key(shared), ct.sealed);
+}
+
+}  // namespace veil::crypto

@@ -1,0 +1,40 @@
+// Hybrid ElGamal public-key encryption (§3.2: "transaction data can be
+// encrypted through symmetric or asymmetric cryptography").
+//
+// KEM/DEM construction over the Schnorr group: an ephemeral DH exchange
+// derives an AES key, the payload travels as an authenticated AES-CTR
+// ciphertext. Used when a sender must encrypt to a party whose only
+// published material is its (certificate-bound) public key — no prior
+// shared secret required.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/signature.hpp"
+
+namespace veil::crypto {
+
+struct ElGamalCiphertext {
+  BigInt ephemeral_key;     // g^k
+  common::Bytes sealed;     // seal(H(pub^k), plaintext)
+
+  common::Bytes encode() const;
+  static ElGamalCiphertext decode(common::BytesView data);
+
+  std::size_t size() const { return encode().size(); }
+};
+
+/// Encrypt `plaintext` to the holder of `recipient`'s secret key.
+ElGamalCiphertext elgamal_encrypt(const Group& group,
+                                  const PublicKey& recipient,
+                                  common::BytesView plaintext,
+                                  common::Rng& rng);
+
+/// Decrypt with the recipient's keypair; nullopt on MAC failure (wrong
+/// key or tampered ciphertext).
+std::optional<common::Bytes> elgamal_decrypt(const KeyPair& recipient,
+                                             const ElGamalCiphertext& ct);
+
+}  // namespace veil::crypto

@@ -1,0 +1,88 @@
+#include "crypto/group.hpp"
+
+#include "common/error.hpp"
+#include "crypto/group_params.hpp"
+
+namespace veil::crypto {
+
+Group::Group(BigInt p, BigInt q, BigInt g, BigInt h)
+    : p_(std::move(p)), q_(std::move(q)), g_(std::move(g)), h_(std::move(h)) {
+  if (((p_ - BigInt(1)) % q_) != BigInt()) {
+    throw common::CryptoError("Group: q does not divide p-1");
+  }
+  if (!is_element(g_) || !is_element(h_)) {
+    throw common::CryptoError("Group: generator not in subgroup");
+  }
+}
+
+const Group& Group::default_group() {
+  static const Group group(BigInt::from_hex(params::kDefaultP),
+                           BigInt::from_hex(params::kDefaultQ),
+                           BigInt::from_hex(params::kDefaultG),
+                           BigInt::from_hex(params::kDefaultH));
+  return group;
+}
+
+const Group& Group::test_group() {
+  static const Group group(BigInt::from_hex(params::kTestP),
+                           BigInt::from_hex(params::kTestQ),
+                           BigInt::from_hex(params::kTestG),
+                           BigInt::from_hex(params::kTestH));
+  return group;
+}
+
+Group Group::generate(common::Rng& rng, std::size_t p_bits,
+                      std::size_t q_bits) {
+  const BigInt q = BigInt::generate_prime(rng, q_bits);
+  // Find p = q*k + 1 prime.
+  BigInt p, k;
+  for (;;) {
+    k = BigInt::random_bits(rng, p_bits - q_bits);
+    if (k.is_odd()) k += BigInt(1);  // keep p odd: q odd, k even
+    p = q * k + BigInt(1);
+    if (p.bit_length() != p_bits) continue;
+    if (p.is_probable_prime(rng)) break;
+  }
+  // Generators: random base lifted into the order-q subgroup.
+  const BigInt exp = (p - BigInt(1)) / q;
+  BigInt g;
+  do {
+    g = BigInt::random_below(rng, p).mod_pow(exp, p);
+  } while (g == BigInt(1) || g.is_zero());
+  BigInt h;
+  do {
+    h = BigInt::random_below(rng, p).mod_pow(exp, p);
+  } while (h == BigInt(1) || h.is_zero() || h == g);
+  return Group(p, q, g, h);
+}
+
+BigInt Group::random_scalar(common::Rng& rng) const {
+  BigInt s;
+  do {
+    s = BigInt::random_below(rng, q_);
+  } while (s.is_zero());
+  return s;
+}
+
+bool Group::is_element(const BigInt& x) const {
+  if (x.is_zero() || x >= p_) return false;
+  return x.mod_pow(q_, p_) == BigInt(1);
+}
+
+BigInt Group::hash_to_scalar(common::BytesView data) const {
+  // Two counter-separated digests give 512 bits, enough that reduction
+  // mod a 256-bit q is statistically uniform.
+  const Digest d0 = Sha256().update("veil.h2s.0").update(data).finalize();
+  const Digest d1 = Sha256().update("veil.h2s.1").update(data).finalize();
+  common::Bytes wide = digest_bytes(d0);
+  const common::Bytes more = digest_bytes(d1);
+  wide.insert(wide.end(), more.begin(), more.end());
+  return BigInt::from_bytes_be(wide) % q_;
+}
+
+BigInt Group::hash_to_element(common::BytesView data) const {
+  const BigInt e = hash_to_scalar(data);
+  return pow_g(e + BigInt(1));  // never the identity
+}
+
+}  // namespace veil::crypto

@@ -1,0 +1,68 @@
+// Schnorr (prime-order subgroup) parameters over Z_p*.
+//
+// All discrete-log based primitives — Schnorr signatures, Pedersen
+// commitments, sigma-protocol ZKPs, Idemix-style credentials — operate in
+// a subgroup of order q inside Z_p* (DSA-style parameters, q | p-1).
+// Fixed parameter sets were generated once with tools/gen_group_params and
+// are compiled in, mirroring how production systems pin RFC 3526 groups.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "crypto/bigint.hpp"
+#include "crypto/sha256.hpp"
+
+namespace veil::crypto {
+
+class Group {
+ public:
+  /// p: field prime; q: subgroup order (q | p-1); g: generator of the
+  /// order-q subgroup; h: second independent generator (for Pedersen),
+  /// derived as SHA-based hash-to-group so log_g(h) is unknown.
+  Group(BigInt p, BigInt q, BigInt g, BigInt h);
+
+  /// 1024-bit p / 256-bit q production-style parameters.
+  static const Group& default_group();
+
+  /// 512-bit p / 160-bit q parameters for fast unit tests.
+  static const Group& test_group();
+
+  /// Generate fresh parameters (slow; used by the parameter tool and by
+  /// property tests that should not depend on the pinned groups).
+  static Group generate(common::Rng& rng, std::size_t p_bits,
+                        std::size_t q_bits);
+
+  const BigInt& p() const { return p_; }
+  const BigInt& q() const { return q_; }
+  const BigInt& g() const { return g_; }
+  const BigInt& h() const { return h_; }
+
+  /// g^e mod p.
+  BigInt pow_g(const BigInt& e) const { return g_.mod_pow(e, p_); }
+  /// h^e mod p.
+  BigInt pow_h(const BigInt& e) const { return h_.mod_pow(e, p_); }
+  /// a*b mod p.
+  BigInt mul(const BigInt& a, const BigInt& b) const { return (a * b) % p_; }
+  /// a^e mod p.
+  BigInt pow(const BigInt& a, const BigInt& e) const { return a.mod_pow(e, p_); }
+  /// Multiplicative inverse mod p.
+  BigInt inv(const BigInt& a) const { return a.mod_inverse(p_); }
+
+  /// Uniform scalar in [1, q).
+  BigInt random_scalar(common::Rng& rng) const;
+
+  /// True iff x is a member of the order-q subgroup (x^q == 1, x != 0).
+  bool is_element(const BigInt& x) const;
+
+  /// Map arbitrary bytes to a scalar mod q (for Fiat-Shamir challenges).
+  BigInt hash_to_scalar(common::BytesView data) const;
+
+  /// Map arbitrary bytes to a group element (hash-to-group via exponent).
+  BigInt hash_to_element(common::BytesView data) const;
+
+ private:
+  BigInt p_, q_, g_, h_;
+};
+
+}  // namespace veil::crypto

@@ -1,0 +1,66 @@
+#include "crypto/hmac.hpp"
+
+#include "common/error.hpp"
+
+namespace veil::crypto {
+
+Digest hmac_sha256(common::BytesView key, common::BytesView data) {
+  constexpr std::size_t kBlockSize = 64;
+
+  common::Bytes k(kBlockSize, 0);
+  if (key.size() > kBlockSize) {
+    const Digest kd = sha256(key);
+    std::copy(kd.begin(), kd.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  common::Bytes ipad(kBlockSize), opad(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  const Digest inner = Sha256().update(ipad).update(data).finalize();
+  return Sha256()
+      .update(opad)
+      .update(common::BytesView(inner.data(), inner.size()))
+      .finalize();
+}
+
+Digest hkdf_extract(common::BytesView salt, common::BytesView ikm) {
+  if (salt.empty()) {
+    const common::Bytes zero(kSha256DigestSize, 0);
+    return hmac_sha256(zero, ikm);
+  }
+  return hmac_sha256(salt, ikm);
+}
+
+common::Bytes hkdf_expand(const Digest& prk, std::string_view info,
+                          std::size_t length) {
+  if (length > 255 * kSha256DigestSize) {
+    throw common::CryptoError("hkdf_expand: length too large");
+  }
+  common::Bytes out;
+  out.reserve(length);
+  common::Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    common::Bytes block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    const Digest d = hmac_sha256(
+        common::BytesView(prk.data(), prk.size()), block);
+    t.assign(d.begin(), d.end());
+    const std::size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+common::Bytes hkdf(common::BytesView salt, common::BytesView ikm,
+                   std::string_view info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace veil::crypto

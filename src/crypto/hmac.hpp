@@ -1,0 +1,28 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HKDF derives per-purpose keys (channel keys, PDC dissemination keys,
+// TEE sealing keys) from shared secrets established via the PKI layer.
+#pragma once
+
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace veil::crypto {
+
+/// HMAC-SHA256 over `data` with `key` (any key length).
+Digest hmac_sha256(common::BytesView key, common::BytesView data);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Digest hkdf_extract(common::BytesView salt, common::BytesView ikm);
+
+/// HKDF-Expand: derive `length` bytes (<= 255*32) bound to `info`.
+common::Bytes hkdf_expand(const Digest& prk, std::string_view info,
+                          std::size_t length);
+
+/// Extract-then-expand convenience.
+common::Bytes hkdf(common::BytesView salt, common::BytesView ikm,
+                   std::string_view info, std::size_t length);
+
+}  // namespace veil::crypto

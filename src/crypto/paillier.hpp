@@ -1,0 +1,61 @@
+// Paillier additively homomorphic encryption (§2.2 "Homomorphic
+// computation").
+//
+// Enables computing sums on encrypted values: an uninvolved validator can
+// aggregate encrypted ledger entries and vouch for the arithmetic without
+// seeing plaintext. The paper notes the approach is proof-of-concept
+// grade, supports only limited operations, and is expensive — our bench
+// (bench_crypto) quantifies that gap against AES and plain arithmetic.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/bigint.hpp"
+
+namespace veil::crypto {
+
+struct PaillierPublicKey {
+  BigInt n;         // modulus p*q
+  BigInt n_squared; // cached n^2
+  BigInt g;         // n + 1
+
+  common::Bytes encode() const;
+  static PaillierPublicKey decode(common::BytesView data);
+};
+
+struct PaillierCiphertext {
+  BigInt c;
+  bool operator==(const PaillierCiphertext&) const = default;
+};
+
+class PaillierKeyPair {
+ public:
+  /// Generate with two fresh primes of `prime_bits` each.
+  static PaillierKeyPair generate(common::Rng& rng, std::size_t prime_bits = 256);
+
+  const PaillierPublicKey& public_key() const { return public_; }
+
+  /// Decrypt. Throws common::CryptoError on malformed ciphertext.
+  BigInt decrypt(const PaillierCiphertext& ct) const;
+
+ private:
+  PaillierPublicKey public_;
+  BigInt lambda_;  // lcm(p-1, q-1)
+  BigInt mu_;      // (L(g^lambda mod n^2))^-1 mod n
+};
+
+/// Encrypt `m` (must be < n) under `pk`.
+PaillierCiphertext paillier_encrypt(const PaillierPublicKey& pk,
+                                    const BigInt& m, common::Rng& rng);
+
+/// Homomorphic addition: Dec(add(E(a), E(b))) == a + b (mod n).
+PaillierCiphertext paillier_add(const PaillierPublicKey& pk,
+                                const PaillierCiphertext& a,
+                                const PaillierCiphertext& b);
+
+/// Homomorphic scalar multiply: Dec(mul_plain(E(a), k)) == a*k (mod n).
+PaillierCiphertext paillier_mul_plain(const PaillierPublicKey& pk,
+                                      const PaillierCiphertext& a,
+                                      const BigInt& k);
+
+}  // namespace veil::crypto

@@ -1,0 +1,52 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the single hash function used throughout the framework: block
+// linkage, transaction ids, Merkle trees, HMAC, Fiat–Shamir challenges and
+// TEE measurements all reduce to it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace veil::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256. Typical use: construct, update() any number of
+/// times, finalize() once.
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(common::BytesView data);
+  Sha256& update(std::string_view data);
+
+  /// Finalize and return the digest. The object must not be reused after.
+  Digest finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot convenience.
+Digest sha256(common::BytesView data);
+Digest sha256(std::string_view data);
+
+/// Digest as an owned byte buffer (handy for serialization).
+common::Bytes digest_bytes(const Digest& d);
+
+/// Digest rendered as lowercase hex.
+std::string digest_hex(const Digest& d);
+
+}  // namespace veil::crypto

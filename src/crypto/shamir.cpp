@@ -1,0 +1,82 @@
+#include "crypto/shamir.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace veil::crypto {
+
+Shamir::Shamir(BigInt prime) : prime_(std::move(prime)) {
+  if (prime_ < BigInt(3)) {
+    throw common::CryptoError("Shamir: prime too small");
+  }
+}
+
+std::vector<Share> Shamir::split(const BigInt& secret, std::size_t threshold,
+                                 std::size_t share_count,
+                                 common::Rng& rng) const {
+  if (threshold == 0 || threshold > share_count) {
+    throw common::CryptoError("Shamir: invalid threshold");
+  }
+  if (secret >= prime_) {
+    throw common::CryptoError("Shamir: secret >= field prime");
+  }
+  // Random polynomial of degree threshold-1 with constant term = secret.
+  std::vector<BigInt> coeffs;
+  coeffs.push_back(secret);
+  for (std::size_t i = 1; i < threshold; ++i) {
+    coeffs.push_back(BigInt::random_below(rng, prime_));
+  }
+  std::vector<Share> shares;
+  shares.reserve(share_count);
+  for (std::size_t i = 1; i <= share_count; ++i) {
+    const BigInt x(static_cast<std::uint64_t>(i));
+    // Horner evaluation.
+    BigInt y;
+    for (std::size_t j = coeffs.size(); j-- > 0;) {
+      y = (y * x + coeffs[j]) % prime_;
+    }
+    shares.push_back(Share{i, y});
+  }
+  return shares;
+}
+
+BigInt Shamir::reconstruct(const std::vector<Share>& shares) const {
+  if (shares.empty()) throw common::CryptoError("Shamir: no shares");
+  std::set<std::uint64_t> xs;
+  for (const Share& s : shares) {
+    if (!xs.insert(s.x).second) {
+      throw common::CryptoError("Shamir: duplicate share point");
+    }
+  }
+  // Lagrange interpolation at 0: sum_i y_i * prod_{j!=i} x_j/(x_j - x_i).
+  BigInt secret;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    BigInt num(1), den(1);
+    const BigInt xi(shares[i].x);
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (i == j) continue;
+      const BigInt xj(shares[j].x);
+      num = (num * xj) % prime_;
+      const BigInt diff =
+          (xj + prime_ - (xi % prime_)) % prime_;  // xj - xi mod p
+      den = (den * diff) % prime_;
+    }
+    const BigInt lagrange = (num * den.mod_inverse(prime_)) % prime_;
+    secret = (secret + shares[i].y * lagrange) % prime_;
+  }
+  return secret;
+}
+
+Share Shamir::add(const Share& a, const Share& b) const {
+  if (a.x != b.x) {
+    throw common::CryptoError("Shamir: adding shares at different points");
+  }
+  return Share{a.x, (a.y + b.y) % prime_};
+}
+
+Share Shamir::scale(const Share& s, const BigInt& k) const {
+  return Share{s.x, (s.y * k) % prime_};
+}
+
+}  // namespace veil::crypto

@@ -1,0 +1,50 @@
+// Shamir secret sharing over a prime field.
+//
+// The substrate for the MPC module (§2.2 "Multiparty computation"):
+// parties split private inputs into additive-friendly polynomial shares,
+// exchange shares, and reconstruct only aggregate results.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/bigint.hpp"
+
+namespace veil::crypto {
+
+struct Share {
+  std::uint64_t x = 0;  // evaluation point (party index, 1-based)
+  BigInt y;             // polynomial value
+
+  bool operator==(const Share&) const = default;
+};
+
+class Shamir {
+ public:
+  /// Field modulus must be prime and larger than any secret.
+  explicit Shamir(BigInt prime);
+
+  /// The field prime used by all shares.
+  const BigInt& prime() const { return prime_; }
+
+  /// Split `secret` into `share_count` shares with reconstruction
+  /// threshold `threshold` (any `threshold` shares reconstruct; fewer
+  /// reveal nothing).
+  std::vector<Share> split(const BigInt& secret, std::size_t threshold,
+                           std::size_t share_count, common::Rng& rng) const;
+
+  /// Lagrange interpolation at x=0. Throws if shares have duplicate x.
+  BigInt reconstruct(const std::vector<Share>& shares) const;
+
+  /// Pointwise share addition — shares of a+b from shares of a and b at
+  /// the same evaluation points (the MPC building block).
+  Share add(const Share& a, const Share& b) const;
+
+  /// Multiply a share by a public constant.
+  Share scale(const Share& s, const BigInt& k) const;
+
+ private:
+  BigInt prime_;
+};
+
+}  // namespace veil::crypto

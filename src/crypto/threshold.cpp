@@ -1,0 +1,72 @@
+#include "crypto/threshold.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace veil::crypto {
+
+ThresholdElGamal ThresholdElGamal::deal(const Group& group,
+                                        std::size_t threshold,
+                                        std::size_t share_count,
+                                        common::Rng& rng) {
+  if (threshold == 0 || threshold > share_count) {
+    throw common::CryptoError("ThresholdElGamal: invalid threshold");
+  }
+  ThresholdElGamal out(group, threshold);
+  // Master secret, immediately shared and forgotten.
+  const BigInt secret = group.random_scalar(rng);
+  out.public_key_ = PublicKey{group.pow_g(secret)};
+  const Shamir shamir(group.q());
+  for (const Share& s : shamir.split(secret, threshold, share_count, rng)) {
+    out.shares_.push_back(KeyShare{s.x, s.y});
+  }
+  return out;
+}
+
+ElGamalCiphertext ThresholdElGamal::encrypt(common::BytesView plaintext,
+                                            common::Rng& rng) const {
+  return elgamal_encrypt(*group_, public_key_, plaintext, rng);
+}
+
+PartialDecryption ThresholdElGamal::partial_decrypt(
+    const Group& group, const KeyShare& share, const ElGamalCiphertext& ct) {
+  return PartialDecryption{share.index,
+                           group.pow(ct.ephemeral_key, share.value)};
+}
+
+std::optional<common::Bytes> ThresholdElGamal::combine(
+    const ElGamalCiphertext& ct,
+    const std::vector<PartialDecryption>& partials) const {
+  if (partials.size() < threshold_) return std::nullopt;
+  std::set<std::uint64_t> seen;
+  for (const PartialDecryption& p : partials) {
+    if (!seen.insert(p.index).second) return std::nullopt;  // duplicates
+  }
+
+  // Lagrange interpolation in the exponent at x = 0, over the first
+  // `threshold_` partials.
+  const BigInt& q = group_->q();
+  BigInt shared(1);
+  const std::size_t t = threshold_;
+  for (std::size_t i = 0; i < t; ++i) {
+    BigInt num(1), den(1);
+    const BigInt xi(partials[i].index);
+    for (std::size_t j = 0; j < t; ++j) {
+      if (i == j) continue;
+      const BigInt xj(partials[j].index);
+      num = (num * xj) % q;
+      den = (den * ((xj + q - (xi % q)) % q)) % q;
+    }
+    const BigInt lambda = (num * den.mod_inverse(q)) % q;
+    shared = group_->mul(shared, group_->pow(partials[i].value, lambda));
+  }
+
+  const common::Bytes key =
+      hkdf({}, shared.to_bytes_be(), "veil.elgamal.kem", 32);
+  return open(key, ct.sealed);
+}
+
+}  // namespace veil::crypto

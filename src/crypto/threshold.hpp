@@ -1,0 +1,74 @@
+// Threshold ElGamal decryption.
+//
+// Extends the hybrid ElGamal scheme so that decryption requires t of n
+// key-share holders — no single party (not even the dealer, once shares
+// are distributed and the master secret erased) can decrypt alone.
+//
+// Enterprise-DLT use: escrowed access. Transaction payloads are encrypted
+// to a committee key (e.g. regulators + consortium members); opening one
+// later requires a quorum, which the ledger can record — addressing the
+// §3.4 concern that some single party (orderer, cloud admin) otherwise
+// ends up all-seeing.
+//
+// Construction: the secret x is Shamir-shared; the public key is y = g^x.
+// Each holder i computes a partial decryption d_i = c1^{x_i} for a
+// ciphertext (c1 = g^k, DEM part). Any t partials combine via Lagrange
+// exponents to c1^x = y^k, the KEM shared secret.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/elgamal.hpp"
+#include "crypto/shamir.hpp"
+
+namespace veil::crypto {
+
+struct KeyShare {
+  std::uint64_t index = 0;  // 1-based share point
+  BigInt value;             // x_i
+};
+
+struct PartialDecryption {
+  std::uint64_t index = 0;
+  BigInt value;  // c1^{x_i} mod p
+};
+
+class ThresholdElGamal {
+ public:
+  /// Deal a fresh committee key: n shares, threshold t.
+  /// The dealer's transient master secret is not retained.
+  static ThresholdElGamal deal(const Group& group, std::size_t threshold,
+                               std::size_t share_count, common::Rng& rng);
+
+  const PublicKey& public_key() const { return public_key_; }
+  std::size_t threshold() const { return threshold_; }
+  const std::vector<KeyShare>& shares() const { return shares_; }
+
+  /// Encrypt to the committee (standard hybrid ElGamal under y).
+  ElGamalCiphertext encrypt(common::BytesView plaintext,
+                            common::Rng& rng) const;
+
+  /// One holder's contribution for a ciphertext.
+  static PartialDecryption partial_decrypt(const Group& group,
+                                           const KeyShare& share,
+                                           const ElGamalCiphertext& ct);
+
+  /// Combine >= threshold partials and open the ciphertext. Returns
+  /// nullopt if partials are insufficient/inconsistent or the DEM MAC
+  /// fails (e.g. a corrupted partial).
+  std::optional<common::Bytes> combine(
+      const ElGamalCiphertext& ct,
+      const std::vector<PartialDecryption>& partials) const;
+
+ private:
+  ThresholdElGamal(const Group& group, std::size_t threshold)
+      : group_(&group), threshold_(threshold) {}
+
+  const Group* group_;
+  std::size_t threshold_;
+  PublicKey public_key_;
+  std::vector<KeyShare> shares_;
+};
+
+}  // namespace veil::crypto

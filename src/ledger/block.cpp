@@ -1,0 +1,76 @@
+#include "ledger/block.hpp"
+
+#include "common/serialize.hpp"
+
+namespace veil::ledger {
+
+namespace {
+
+crypto::Digest compute_tx_root(const std::vector<Transaction>& txs) {
+  if (txs.empty()) {
+    // Empty blocks are legal (config blocks, heartbeats).
+    return crypto::sha256(std::string_view("veil.block.empty"));
+  }
+  std::vector<common::Bytes> leaves;
+  leaves.reserve(txs.size());
+  for (const Transaction& tx : txs) leaves.push_back(tx.encode());
+  return crypto::MerkleTree::build(leaves).root();
+}
+
+}  // namespace
+
+common::Bytes BlockHeader::encode() const {
+  common::Writer w;
+  w.u64(height);
+  w.raw(common::BytesView(previous_hash.data(), previous_hash.size()));
+  w.raw(common::BytesView(tx_root.data(), tx_root.size()));
+  w.u64(timestamp);
+  return w.take();
+}
+
+crypto::Digest BlockHeader::hash() const { return crypto::sha256(encode()); }
+
+Block Block::make(std::uint64_t height, const crypto::Digest& previous_hash,
+                  std::vector<Transaction> txs, common::SimTime timestamp) {
+  Block block;
+  block.header.height = height;
+  block.header.previous_hash = previous_hash;
+  block.header.timestamp = timestamp;
+  block.transactions = std::move(txs);
+  block.header.tx_root = compute_tx_root(block.transactions);
+  return block;
+}
+
+bool Block::body_matches_header() const {
+  return compute_tx_root(transactions) == header.tx_root;
+}
+
+common::Bytes Block::encode() const {
+  common::Writer w;
+  w.bytes(header.encode());
+  w.varint(transactions.size());
+  for (const Transaction& tx : transactions) w.bytes(tx.encode());
+  return w.take();
+}
+
+Block Block::decode(common::BytesView data) {
+  common::Reader r(data);
+  Block block;
+  const common::Bytes hdr = r.bytes();
+  common::Reader hr(hdr);
+  block.header.height = hr.u64();
+  common::Bytes d = hr.raw(crypto::kSha256DigestSize);
+  std::copy(d.begin(), d.end(), block.header.previous_hash.begin());
+  d = hr.raw(crypto::kSha256DigestSize);
+  std::copy(d.begin(), d.end(), block.header.tx_root.begin());
+  block.header.timestamp = hr.u64();
+
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const common::Bytes enc = r.bytes();
+    block.transactions.push_back(Transaction::decode(enc));
+  }
+  return block;
+}
+
+}  // namespace veil::ledger

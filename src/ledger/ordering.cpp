@@ -1,0 +1,53 @@
+#include "ledger/ordering.hpp"
+
+namespace veil::ledger {
+
+OrderingService::ChannelTip::ChannelTip() {
+  prev_hash = crypto::sha256(std::string_view("veil.chain.genesis"));
+}
+
+OrderingService::OrderingService(std::string operator_name,
+                                 OrdererDeployment deployment,
+                                 net::LeakageAuditor& auditor,
+                                 std::size_t batch_size)
+    : operator_name_(std::move(operator_name)),
+      deployment_(deployment),
+      auditor_(&auditor),
+      batch_size_(batch_size) {}
+
+std::vector<Block> OrderingService::submit(const Transaction& tx,
+                                           common::SimTime now) {
+  // The operator of the ordering service sees the entire transaction —
+  // the §3.4 leak this module exists to model.
+  record_visibility(*auditor_, operator_name_, tx);
+
+  ChannelTip& tip = channels_[tx.channel];
+  tip.pending.push_back(tx);
+  ++ordered_count_;
+
+  std::vector<Block> blocks;
+  if (tip.pending.size() >= batch_size_) {
+    blocks.push_back(cut(tx.channel, now));
+  }
+  return blocks;
+}
+
+std::vector<Block> OrderingService::flush(common::SimTime now) {
+  std::vector<Block> blocks;
+  for (auto& [channel, tip] : channels_) {
+    if (!tip.pending.empty()) blocks.push_back(cut(channel, now));
+  }
+  return blocks;
+}
+
+Block OrderingService::cut(const std::string& channel, common::SimTime now) {
+  ChannelTip& tip = channels_[channel];
+  std::vector<Transaction> txs(tip.pending.begin(), tip.pending.end());
+  tip.pending.clear();
+  Block block = Block::make(tip.next_height, tip.prev_hash, std::move(txs), now);
+  tip.prev_hash = block.header.hash();
+  ++tip.next_height;
+  return block;
+}
+
+}  // namespace veil::ledger

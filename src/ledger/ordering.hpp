@@ -1,0 +1,69 @@
+// Ordering service (§3.4 "Ordering transactions").
+//
+// The service that sequences transactions into blocks. The paper's key
+// observation: for Fabric and Corda "this service has visibility of all
+// DLT events, including parties to transactions and transaction details",
+// so architects must weigh whether parties can run their own.
+//
+// Two deployments model that choice:
+//  * SHARED  — one operator sequences every channel and observes every
+//    transaction that crosses it (visibility recorded in the auditor).
+//  * PRIVATE — the channel members run their own instance; only the
+//    member-operator observes.
+//
+// The service is channel-aware: each channel gets its own chain of block
+// numbers, and blocks are cut by size or explicit flush.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ledger/block.hpp"
+#include "net/leakage.hpp"
+
+namespace veil::ledger {
+
+enum class OrdererDeployment { Shared, Private };
+
+class OrderingService {
+ public:
+  /// `operator_name` is the principal that administers this instance and
+  /// therefore observes submitted transactions.
+  OrderingService(std::string operator_name, OrdererDeployment deployment,
+                  net::LeakageAuditor& auditor, std::size_t batch_size = 16);
+
+  /// Submit for ordering. Visibility of the transaction by the operator
+  /// is recorded. Returns blocks cut as a result (0 or 1).
+  std::vector<Block> submit(const Transaction& tx, common::SimTime now);
+
+  /// Cut a block per channel from any pending transactions.
+  std::vector<Block> flush(common::SimTime now);
+
+  const std::string& operator_name() const { return operator_name_; }
+  OrdererDeployment deployment() const { return deployment_; }
+
+  std::uint64_t transactions_ordered() const { return ordered_count_; }
+
+ private:
+  Block cut(const std::string& channel, common::SimTime now);
+
+  struct ChannelTip {
+    std::uint64_t next_height = 0;
+    crypto::Digest prev_hash;
+    std::deque<Transaction> pending;
+    ChannelTip();
+  };
+
+  std::string operator_name_;
+  OrdererDeployment deployment_;
+  net::LeakageAuditor* auditor_;
+  std::size_t batch_size_;
+  std::map<std::string, ChannelTip> channels_;
+  std::uint64_t ordered_count_ = 0;
+};
+
+}  // namespace veil::ledger

@@ -1,0 +1,60 @@
+#include "ledger/state.hpp"
+
+namespace veil::ledger {
+
+std::optional<VersionedValue> WorldState::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void WorldState::put(const std::string& key, common::Bytes value) {
+  auto& entry = entries_[key];
+  entry.value = std::move(value);
+  ++entry.version;
+}
+
+void WorldState::erase(const std::string& key) { entries_.erase(key); }
+
+std::vector<std::pair<std::string, VersionedValue>> WorldState::get_range(
+    const std::string& start_key, const std::string& end_key) const {
+  std::vector<std::pair<std::string, VersionedValue>> out;
+  auto it = entries_.lower_bound(start_key);
+  const auto end =
+      end_key.empty() ? entries_.end() : entries_.lower_bound(end_key);
+  for (; it != end; ++it) out.emplace_back(it->first, it->second);
+  return out;
+}
+
+std::vector<std::pair<std::string, VersionedValue>> WorldState::get_by_prefix(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, VersionedValue>> out;
+  for (auto it = entries_.lower_bound(prefix);
+       it != entries_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+CommitResult WorldState::apply(const Transaction& tx) {
+  // Phase 1: validate reads. Version 0 means "key did not exist".
+  for (const ReadAccess& read : tx.reads) {
+    const auto it = entries_.find(read.key);
+    const std::uint64_t current = (it == entries_.end()) ? 0 : it->second.version;
+    if (current != read.version) return CommitResult::MvccConflict;
+  }
+  // Phase 2: apply writes.
+  for (const KvWrite& write : tx.writes) {
+    if (write.is_delete) {
+      entries_.erase(write.key);
+    } else {
+      auto& entry = entries_[write.key];
+      entry.value = write.value;
+      ++entry.version;
+    }
+  }
+  return CommitResult::Applied;
+}
+
+}  // namespace veil::ledger

@@ -1,0 +1,59 @@
+// Versioned key-value world state with MVCC validation.
+//
+// Fabric-style commit rule: a transaction's read set must match the
+// current versions of the keys it read at endorsement time; otherwise the
+// transaction is marked invalid at commit (it stays on the chain but does
+// not mutate state).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "ledger/transaction.hpp"
+
+namespace veil::ledger {
+
+struct VersionedValue {
+  common::Bytes value;
+  std::uint64_t version = 0;
+};
+
+enum class CommitResult { Applied, MvccConflict };
+
+class WorldState {
+ public:
+  std::optional<VersionedValue> get(const std::string& key) const;
+
+  /// Direct write (used by contract execution to build write sets; commit
+  /// of ordered transactions should go through apply()).
+  void put(const std::string& key, common::Bytes value);
+  void erase(const std::string& key);
+
+  /// Validate the read set against current versions, then apply the write
+  /// set. Returns MvccConflict (without side effects) on stale reads.
+  CommitResult apply(const Transaction& tx);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Ordered view of all entries (snapshots, state digests).
+  const std::map<std::string, VersionedValue>& entries() const {
+    return entries_;
+  }
+
+  /// Range query over [start_key, end_key); empty end_key means "to the
+  /// end". Used by rich chaincode (ledger scans) and state snapshots.
+  std::vector<std::pair<std::string, VersionedValue>> get_range(
+      const std::string& start_key, const std::string& end_key) const;
+
+  /// All keys sharing a prefix (composite-key queries).
+  std::vector<std::pair<std::string, VersionedValue>> get_by_prefix(
+      const std::string& prefix) const;
+
+ private:
+  std::map<std::string, VersionedValue> entries_;
+};
+
+}  // namespace veil::ledger

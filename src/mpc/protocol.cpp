@@ -1,0 +1,135 @@
+#include "mpc/protocol.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace veil::mpc {
+
+namespace {
+
+common::Bytes encode_share(const crypto::Share& share) {
+  common::Writer w;
+  w.u64(share.x);
+  w.bytes(share.y.to_bytes_be());
+  return w.take();
+}
+
+crypto::Share decode_share(common::BytesView data) {
+  common::Reader r(data);
+  crypto::Share share;
+  share.x = r.u64();
+  share.y = crypto::BigInt::from_bytes_be(r.bytes());
+  return share;
+}
+
+}  // namespace
+
+SecureSum::SecureSum(crypto::Shamir field, net::SimNetwork& network)
+    : field_(std::move(field)), network_(&network) {}
+
+MpcResult SecureSum::run(const std::map<std::string, crypto::BigInt>& inputs,
+                         common::Rng& rng) {
+  if (inputs.size() < 2) {
+    throw common::ProtocolError("SecureSum: needs at least 2 parties");
+  }
+  const std::size_t n = inputs.size();
+  std::vector<std::string> parties;
+  parties.reserve(n);
+  for (const auto& [name, value] : inputs) parties.push_back(name);
+
+  // Per-party protocol state.
+  struct PartyState {
+    crypto::BigInt partial;             // sum of received shares
+    std::vector<crypto::Share> finals;  // broadcast partials
+  };
+  std::map<std::string, PartyState> state;
+  net::LeakageAuditor& auditor = network_->auditor();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& name = parties[i];
+    // Each party privately observes its own input.
+    auditor.record(name, "mpc/input/" + name,
+                   inputs.at(name).to_bytes_be().size());
+    network_->attach(name, [this, name, &state](const net::Message& msg) {
+      const crypto::Share share = decode_share(msg.payload);
+      PartyState& ps = state[name];
+      if (msg.topic == "mpc.share") {
+        ps.partial = (ps.partial + share.y) % field_.prime();
+      } else if (msg.topic == "mpc.partial") {
+        ps.finals.push_back(share);
+      }
+    });
+  }
+
+  const std::uint64_t messages_before = network_->stats().messages_sent;
+
+  // Round 1: split and disseminate shares (threshold = n, so even n-1
+  // colluding parties learn nothing about an honest input).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& from = parties[i];
+    const std::vector<crypto::Share> shares =
+        field_.split(inputs.at(from), n, n, rng);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        state[from].partial =
+            (state[from].partial + shares[j].y) % field_.prime();
+      } else {
+        network_->send(from, parties[j], "mpc.share", encode_share(shares[j]));
+      }
+    }
+  }
+  network_->run();
+
+  // Round 2: broadcast share-of-total.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& from = parties[i];
+    const crypto::Share partial{i + 1, state[from].partial};
+    state[from].finals.push_back(partial);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      network_->send(from, parties[j], "mpc.partial", encode_share(partial));
+    }
+  }
+  network_->run();
+
+  // Round 3: every party reconstructs; verify they all agree.
+  crypto::BigInt result;
+  bool first = true;
+  for (const std::string& name : parties) {
+    const crypto::BigInt local = field_.reconstruct(state[name].finals);
+    if (first) {
+      result = local;
+      first = false;
+    } else if (local != result) {
+      throw common::ProtocolError("SecureSum: parties disagree on result");
+    }
+  }
+
+  for (const std::string& name : parties) network_->detach(name);
+
+  MpcResult out;
+  out.value = result;
+  out.messages_exchanged = network_->stats().messages_sent - messages_before;
+  out.rounds = 2;
+  return out;
+}
+
+BallotResult secret_ballot(const crypto::Shamir& field,
+                           net::SimNetwork& network,
+                           const std::map<std::string, bool>& votes,
+                           common::Rng& rng) {
+  std::map<std::string, crypto::BigInt> inputs;
+  for (const auto& [name, vote] : votes) {
+    inputs[name] = crypto::BigInt(vote ? 1 : 0);
+  }
+  SecureSum sum(field, network);
+  const MpcResult result = sum.run(inputs, rng);
+
+  BallotResult ballot;
+  ballot.yes = result.value.to_u64();
+  ballot.no = votes.size() - ballot.yes;
+  ballot.messages_exchanged = result.messages_exchanged;
+  return ballot;
+}
+
+}  // namespace veil::mpc

@@ -1,0 +1,65 @@
+// Multiparty computation over Shamir shares (§2.2).
+//
+// "Each party carries out a computation on their private data and shares
+// the result with the other parties. All collected results are then used
+// by each party to compute the same shared function, resulting in one
+// consistent value that can be committed to the ledger."
+//
+// Protocol (secure sum, the linear-function workhorse):
+//   round 1 — every party splits its input into n shares (threshold n)
+//             and sends share j to party j over the simulated network;
+//   round 2 — every party adds the shares it received (a share of the
+//             total) and broadcasts that partial;
+//   round 3 — everyone interpolates the n partials at x=0.
+//
+// No party ever observes another party's input — only shares, which are
+// uniformly random in the field. The leakage auditor log lets tests
+// assert exactly that. Secret ballots and averages are thin wrappers over
+// the sum.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/shamir.hpp"
+#include "net/network.hpp"
+
+namespace veil::mpc {
+
+struct MpcResult {
+  crypto::BigInt value;
+  std::uint64_t messages_exchanged = 0;
+  int rounds = 0;
+};
+
+class SecureSum {
+ public:
+  /// `field` must exceed any possible sum of inputs.
+  SecureSum(crypto::Shamir field, net::SimNetwork& network);
+
+  /// Run the protocol among `inputs.size()` parties (name -> private
+  /// input). Every party learns only the sum. Requires >= 2 parties.
+  MpcResult run(const std::map<std::string, crypto::BigInt>& inputs,
+                common::Rng& rng);
+
+ private:
+  crypto::Shamir field_;
+  net::SimNetwork* network_;
+};
+
+/// Secret ballot (§3.2's example of a shared function on private
+/// values): yes/no votes tallied without revealing individual votes.
+struct BallotResult {
+  std::uint64_t yes = 0;
+  std::uint64_t no = 0;
+  std::uint64_t messages_exchanged = 0;
+};
+
+BallotResult secret_ballot(const crypto::Shamir& field,
+                           net::SimNetwork& network,
+                           const std::map<std::string, bool>& votes,
+                           common::Rng& rng);
+
+}  // namespace veil::mpc

@@ -1,0 +1,72 @@
+#include "net/leakage.hpp"
+
+namespace veil::net {
+
+namespace {
+bool has_prefix(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+}  // namespace
+
+void LeakageAuditor::record(const Principal& observer, std::string label,
+                            std::uint64_t bytes, bool plaintext) {
+  log_.push_back(Observation{observer, std::move(label), bytes, plaintext});
+}
+
+bool LeakageAuditor::saw(const Principal& observer,
+                         std::string_view label_prefix) const {
+  for (const Observation& o : log_) {
+    if (o.plaintext && o.observer == observer &&
+        has_prefix(o.label, label_prefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LeakageAuditor::saw_any_form(const Principal& observer,
+                                  std::string_view label_prefix) const {
+  for (const Observation& o : log_) {
+    if (o.observer == observer && has_prefix(o.label, label_prefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::set<Principal> LeakageAuditor::observers_of(
+    std::string_view label_prefix) const {
+  std::set<Principal> out;
+  for (const Observation& o : log_) {
+    if (o.plaintext && has_prefix(o.label, label_prefix)) {
+      out.insert(o.observer);
+    }
+  }
+  return out;
+}
+
+std::uint64_t LeakageAuditor::bytes_seen(const Principal& observer,
+                                         std::string_view label_prefix) const {
+  std::uint64_t total = 0;
+  for (const Observation& o : log_) {
+    if (o.plaintext && o.observer == observer &&
+        has_prefix(o.label, label_prefix)) {
+      total += o.bytes;
+    }
+  }
+  return total;
+}
+
+std::uint64_t LeakageAuditor::opaque_bytes_seen(
+    const Principal& observer, std::string_view label_prefix) const {
+  std::uint64_t total = 0;
+  for (const Observation& o : log_) {
+    if (!o.plaintext && o.observer == observer &&
+        has_prefix(o.label, label_prefix)) {
+      total += o.bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace veil::net

@@ -1,0 +1,89 @@
+#include "net/network.hpp"
+
+#include "common/error.hpp"
+
+namespace veil::net {
+
+SimNetwork::SimNetwork(common::Rng rng, LatencyModel latency)
+    : rng_(rng), latency_(latency) {}
+
+void SimNetwork::attach(const Principal& name, Handler handler) {
+  handlers_[name] = std::move(handler);
+}
+
+void SimNetwork::detach(const Principal& name) { handlers_.erase(name); }
+
+bool SimNetwork::attached(const Principal& name) const {
+  return handlers_.contains(name);
+}
+
+bool SimNetwork::reachable(const Principal& from, const Principal& to) const {
+  if (partitions_.empty()) return true;
+  for (const auto& group : partitions_) {
+    if (group.contains(from)) return group.contains(to);
+  }
+  // Senders outside any declared partition reach nobody during a split.
+  return false;
+}
+
+void SimNetwork::send(const Principal& from, const Principal& to,
+                      const std::string& topic, common::Bytes payload) {
+  if (!handlers_.contains(to)) {
+    throw common::ProtocolError("send to unknown principal: " + to);
+  }
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+
+  if (drop_probability_ > 0.0 && rng_.next_double() < drop_probability_) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  if (!reachable(from, to)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  const common::SimTime latency =
+      latency_.base_us +
+      (latency_.jitter_us ? rng_.next_below(latency_.jitter_us) : 0) +
+      static_cast<common::SimTime>(latency_.per_byte_us *
+                                   static_cast<double>(payload.size()));
+  Message msg{from, to, topic, std::move(payload), clock_.now(),
+              clock_.now() + latency};
+  queue_.push(Pending{msg.delivered_at, sequence_++, std::move(msg)});
+}
+
+void SimNetwork::broadcast(const Principal& from, const std::string& topic,
+                           const common::Bytes& payload) {
+  for (const auto& [name, handler] : handlers_) {
+    if (name == from) continue;
+    send(from, name, topic, payload);
+  }
+}
+
+std::size_t SimNetwork::run() {
+  std::size_t delivered = 0;
+  while (!queue_.empty()) {
+    Pending next = queue_.top();
+    queue_.pop();
+    clock_.advance_to(next.deliver_at);
+    const auto it = handlers_.find(next.message.to);
+    if (it == handlers_.end()) {
+      ++stats_.messages_dropped;  // receiver detached in flight
+      continue;
+    }
+    // The recipient observes the raw bytes of everything delivered to it.
+    auditor_.record(next.message.to, "net/" + next.message.topic,
+                    next.message.payload.size());
+    ++stats_.messages_delivered;
+    ++delivered;
+    it->second(next.message);
+  }
+  return delivered;
+}
+
+void SimNetwork::set_partitions(std::vector<std::set<Principal>> partitions) {
+  partitions_ = std::move(partitions);
+}
+
+}  // namespace veil::net

@@ -1,0 +1,105 @@
+#include "net/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace veil::net {
+
+namespace {
+bool has_prefix(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+}  // namespace
+
+std::vector<PrincipalSummary> summarize(const LeakageAuditor& auditor,
+                                        std::string_view label_prefix) {
+  struct Acc {
+    std::uint64_t plain = 0;
+    std::uint64_t opaque = 0;
+    std::set<std::string> labels;
+  };
+  std::map<Principal, Acc> acc;
+  for (const Observation& o : auditor.observations()) {
+    if (!has_prefix(o.label, label_prefix)) continue;
+    Acc& a = acc[o.observer];
+    if (o.plaintext) {
+      a.plain += o.bytes;
+      a.labels.insert(o.label);
+    } else {
+      a.opaque += o.bytes;
+    }
+  }
+  std::vector<PrincipalSummary> out;
+  out.reserve(acc.size());
+  for (const auto& [principal, a] : acc) {
+    out.push_back(
+        PrincipalSummary{principal, a.plain, a.opaque, a.labels.size()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PrincipalSummary& x, const PrincipalSummary& y) {
+              if (x.plaintext_bytes != y.plaintext_bytes) {
+                return x.plaintext_bytes > y.plaintext_bytes;
+              }
+              return x.principal < y.principal;
+            });
+  return out;
+}
+
+std::string render_summary(const std::vector<PrincipalSummary>& summary) {
+  std::ostringstream os;
+  os << std::left << std::setw(24) << "principal" << std::setw(18)
+     << "plaintext bytes" << std::setw(16) << "opaque bytes"
+     << "distinct items\n";
+  os << std::string(72, '-') << "\n";
+  for (const PrincipalSummary& row : summary) {
+    os << std::left << std::setw(24) << row.principal << std::setw(18)
+       << row.plaintext_bytes << std::setw(16) << row.opaque_bytes
+       << row.distinct_labels << "\n";
+  }
+  return os.str();
+}
+
+std::vector<DisclosureRecord> disclosures(const LeakageAuditor& auditor,
+                                          std::string_view label_prefix) {
+  std::map<Principal, DisclosureRecord> acc;
+  for (const Observation& o : auditor.observations()) {
+    if (!has_prefix(o.label, label_prefix)) continue;
+    DisclosureRecord& r = acc[o.observer];
+    r.principal = o.observer;
+    if (o.plaintext) {
+      r.saw_plaintext = true;
+    } else {
+      r.saw_opaque = true;
+    }
+  }
+  std::vector<DisclosureRecord> out;
+  out.reserve(acc.size());
+  for (const auto& [principal, record] : acc) out.push_back(record);
+  return out;
+}
+
+std::string render_disclosures(std::string_view label_prefix,
+                               const std::vector<DisclosureRecord>& records) {
+  std::ostringstream os;
+  os << "disclosure record for \"" << label_prefix << "\":\n";
+  if (records.empty()) {
+    os << "  (no principal observed this datum in any form)\n";
+    return os.str();
+  }
+  for (const DisclosureRecord& r : records) {
+    os << "  " << std::left << std::setw(24) << r.principal;
+    if (r.saw_plaintext) {
+      os << "PLAINTEXT";
+      if (r.saw_opaque) os << " + ciphertext/hash";
+    } else {
+      os << "ciphertext/hash only";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace veil::net

@@ -1,0 +1,46 @@
+// Leakage report rendering.
+//
+// Turns a LeakageAuditor log into human-readable audit artifacts: a
+// per-principal summary (plaintext vs opaque bytes, distinct data items)
+// and a per-label observer listing. Examples and operators use this to
+// answer the design guide's bottom-line question — "who could see what?"
+// — without writing auditor queries by hand.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/leakage.hpp"
+
+namespace veil::net {
+
+struct PrincipalSummary {
+  Principal principal;
+  std::uint64_t plaintext_bytes = 0;
+  std::uint64_t opaque_bytes = 0;
+  std::size_t distinct_labels = 0;  // labels seen in plaintext
+};
+
+/// Per-principal totals, sorted by plaintext bytes (descending) then name.
+/// `label_prefix` restricts the report to one subsystem ("tx/", "pdc/").
+std::vector<PrincipalSummary> summarize(const LeakageAuditor& auditor,
+                                        std::string_view label_prefix = "");
+
+/// Render the summary as a fixed-width table.
+std::string render_summary(const std::vector<PrincipalSummary>& summary);
+
+/// For one datum (label prefix), list who saw it and in what form —
+/// the per-item disclosure record an auditor would ask for.
+struct DisclosureRecord {
+  Principal principal;
+  bool saw_plaintext = false;
+  bool saw_opaque = false;
+};
+std::vector<DisclosureRecord> disclosures(const LeakageAuditor& auditor,
+                                          std::string_view label_prefix);
+
+std::string render_disclosures(std::string_view label_prefix,
+                               const std::vector<DisclosureRecord>& records);
+
+}  // namespace veil::net

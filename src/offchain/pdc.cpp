@@ -1,0 +1,71 @@
+#include "offchain/pdc.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace veil::offchain {
+
+void PdcManager::define(CollectionConfig config) {
+  collections_[config.name] = std::move(config);
+}
+
+const CollectionConfig* PdcManager::config(const std::string& name) const {
+  const auto it = collections_.find(name);
+  if (it == collections_.end()) return nullptr;
+  return &it->second;
+}
+
+std::optional<ledger::HashRef> PdcManager::put_private(
+    const std::string& collection, const std::string& key,
+    common::Bytes value, std::uint64_t current_block) {
+  const auto it = collections_.find(collection);
+  if (it == collections_.end()) return std::nullopt;
+
+  // Dissemination: every member org's peer receives the plaintext.
+  const std::string label = "pdc/" + collection + "/" + key;
+  for (const std::string& member : it->second.members) {
+    auditor_->record(member, label, value.size());
+  }
+
+  ledger::HashRef ref{label, crypto::sha256(value)};
+  data_[collection][key] = Entry{std::move(value), current_block};
+  return ref;
+}
+
+std::optional<common::Bytes> PdcManager::get_private(
+    const std::string& collection, const std::string& key,
+    const std::string& org) const {
+  const auto cfg = collections_.find(collection);
+  if (cfg == collections_.end() || !cfg->second.members.contains(org)) {
+    return std::nullopt;
+  }
+  const auto coll = data_.find(collection);
+  if (coll == data_.end()) return std::nullopt;
+  const auto entry = coll->second.find(key);
+  if (entry == coll->second.end()) return std::nullopt;
+  return entry->second.value;
+}
+
+bool PdcManager::purge(const std::string& collection, const std::string& key) {
+  const auto coll = data_.find(collection);
+  if (coll == data_.end()) return false;
+  return coll->second.erase(key) > 0;
+}
+
+std::size_t PdcManager::expire(std::uint64_t current_block) {
+  std::size_t purged = 0;
+  for (auto& [name, entries] : data_) {
+    const CollectionConfig& cfg = collections_.at(name);
+    if (cfg.block_to_live == 0) continue;
+    for (auto it = entries.begin(); it != entries.end();) {
+      if (current_block >= it->second.stored_at_block + cfg.block_to_live) {
+        it = entries.erase(it);
+        ++purged;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return purged;
+}
+
+}  // namespace veil::offchain

@@ -1,0 +1,76 @@
+// Private Data Collections (§5 Hyperledger Fabric).
+//
+// Sub-channel confidentiality: data is disseminated peer-to-peer to the
+// collection's member orgs and kept in their private stores; the channel
+// ledger carries only a hash. The paper's caveat is preserved by the
+// Fabric adapter: the transaction that references a collection lists the
+// collection's members, so PDCs give data confidentiality but NOT privacy
+// of interaction within the channel.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "ledger/transaction.hpp"
+#include "net/leakage.hpp"
+
+namespace veil::offchain {
+
+struct CollectionConfig {
+  std::string name;
+  std::set<std::string> members;  // org names
+  /// Blocks-to-live: 0 = keep forever; otherwise private data is
+  /// auto-purged after this many blocks (mirrors Fabric's blockToLive).
+  std::uint64_t block_to_live = 0;
+  /// Minimum number of OTHER member peers that must acknowledge receipt
+  /// of the private data before the submission is accepted (mirrors
+  /// Fabric's requiredPeerCount). 0 = best effort.
+  std::size_t required_peer_count = 0;
+};
+
+class PdcManager {
+ public:
+  explicit PdcManager(net::LeakageAuditor& auditor) : auditor_(&auditor) {}
+
+  /// Define (or replace) a collection.
+  void define(CollectionConfig config);
+
+  const CollectionConfig* config(const std::string& name) const;
+
+  /// Disseminate `value` to the collection members' private stores and
+  /// return the hash reference to embed in the channel transaction.
+  /// Returns nullopt for unknown collections. `current_block` drives
+  /// block-to-live expiry.
+  std::optional<ledger::HashRef> put_private(const std::string& collection,
+                                             const std::string& key,
+                                             common::Bytes value,
+                                             std::uint64_t current_block);
+
+  /// Read as `org`; nullopt if the org is not a member, the key is
+  /// unknown, or the data expired/purged.
+  std::optional<common::Bytes> get_private(const std::string& collection,
+                                           const std::string& key,
+                                           const std::string& org) const;
+
+  /// Explicit deletion (GDPR or blockToLive enforcement).
+  bool purge(const std::string& collection, const std::string& key);
+
+  /// Purge every entry whose block-to-live lapsed at `current_block`.
+  std::size_t expire(std::uint64_t current_block);
+
+ private:
+  struct Entry {
+    common::Bytes value;
+    std::uint64_t stored_at_block = 0;
+  };
+
+  net::LeakageAuditor* auditor_;
+  std::map<std::string, CollectionConfig> collections_;
+  // collection -> key -> entry
+  std::map<std::string, std::map<std::string, Entry>> data_;
+};
+
+}  // namespace veil::offchain

@@ -1,0 +1,50 @@
+#include "offchain/store.hpp"
+
+namespace veil::offchain {
+
+OffChainStore::OffChainStore(std::string admin, Hosting hosting,
+                             net::LeakageAuditor& auditor)
+    : admin_(std::move(admin)), hosting_(hosting), auditor_(&auditor) {}
+
+crypto::Digest OffChainStore::put(const std::string& label,
+                                  common::Bytes data) {
+  const crypto::Digest digest = crypto::sha256(data);
+  auditor_->record(admin_, "offchain/" + label, data.size());
+  const std::string key = crypto::digest_hex(digest);
+  data_[key] = std::move(data);
+  tombstones_[key] = false;
+  return digest;
+}
+
+std::optional<common::Bytes> OffChainStore::get(
+    const crypto::Digest& digest) const {
+  const auto it = data_.find(crypto::digest_hex(digest));
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool OffChainStore::verify(const ledger::HashRef& ref) const {
+  const auto data = get(ref.digest);
+  if (!data) return false;
+  return crypto::sha256(*data) == ref.digest;
+}
+
+bool OffChainStore::purge(const crypto::Digest& digest) {
+  const std::string key = crypto::digest_hex(digest);
+  const auto it = data_.find(key);
+  if (it == data_.end()) return false;
+  data_.erase(it);
+  tombstones_[key] = true;
+  return true;
+}
+
+bool OffChainStore::purged(const crypto::Digest& digest) const {
+  const auto it = tombstones_.find(crypto::digest_hex(digest));
+  return it != tombstones_.end() && it->second;
+}
+
+ledger::HashRef make_ref(const std::string& label, common::BytesView data) {
+  return ledger::HashRef{label, crypto::sha256(data)};
+}
+
+}  // namespace veil::offchain

@@ -1,0 +1,71 @@
+// Hash-addressed off-chain data store (§2.2 "Off-chain data").
+//
+// Private data lives outside the ledger; transactions carry only its
+// SHA-256 digest (a HashRef). The store supports:
+//  * provenance verification — prove stored bytes match an on-ledger hash;
+//  * GDPR purge — delete the data while the on-ledger hash remains as an
+//    audit stub (the paper's point: deletion is possible precisely
+//    because the data never was on-chain);
+//  * peer-hosted vs external hosting, which differ in who administers the
+//    box and therefore who can observe plaintext (leakage-audited).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "ledger/transaction.hpp"
+#include "net/leakage.hpp"
+
+namespace veil::offchain {
+
+enum class Hosting {
+  PeerLocal,  // natively integrated on a peer; peer admin observes data
+  External,   // separate infrastructure; its operator observes data
+};
+
+class OffChainStore {
+ public:
+  /// `admin` is the principal administering the storage (peer org or
+  /// external provider); every stored plaintext is observable by it.
+  OffChainStore(std::string admin, Hosting hosting,
+                net::LeakageAuditor& auditor);
+
+  /// Store data; returns the digest to embed in a transaction. The store
+  /// admin observes the plaintext (recorded under "offchain/<label>").
+  crypto::Digest put(const std::string& label, common::Bytes data);
+
+  /// Retrieve by digest; nullopt if missing or purged.
+  std::optional<common::Bytes> get(const crypto::Digest& digest) const;
+
+  /// Verify that stored data still matches an on-ledger reference.
+  bool verify(const ledger::HashRef& ref) const;
+
+  /// GDPR deletion: remove the data. The digest remains known to the
+  /// ledger, but the content is unrecoverable from this store. Returns
+  /// false if the digest was not present.
+  bool purge(const crypto::Digest& digest);
+
+  /// True if the digest was stored here once but has been purged.
+  bool purged(const crypto::Digest& digest) const;
+
+  Hosting hosting() const { return hosting_; }
+  const std::string& admin() const { return admin_; }
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  std::string admin_;
+  Hosting hosting_;
+  net::LeakageAuditor* auditor_;
+  std::map<std::string, common::Bytes> data_;      // hex digest -> payload
+  std::map<std::string, bool> tombstones_;         // hex digest -> purged
+};
+
+/// Build an on-ledger reference for off-chain data without storing it
+/// (e.g. when the data will live in several parties' stores).
+ledger::HashRef make_ref(const std::string& label, common::BytesView data);
+
+}  // namespace veil::offchain

@@ -1,0 +1,52 @@
+#include "pki/ca.hpp"
+
+namespace veil::pki {
+
+CertificateAuthority::CertificateAuthority(std::string name,
+                                           const crypto::Group& group,
+                                           common::Rng& rng,
+                                           common::SimTime valid_until)
+    : name_(std::move(name)),
+      group_(&group),
+      keypair_(crypto::KeyPair::generate(group, rng)) {
+  root_cert_.serial = next_serial_++;
+  root_cert_.subject = name_;
+  root_cert_.issuer = name_;
+  root_cert_.subject_key = keypair_.public_key();
+  root_cert_.not_before = 0;
+  root_cert_.not_after = valid_until;
+  root_cert_.issuer_signature = keypair_.sign(root_cert_.to_be_signed());
+}
+
+Certificate CertificateAuthority::issue(
+    const std::string& subject, const crypto::PublicKey& key,
+    std::map<std::string, std::string> attributes, common::SimTime not_before,
+    common::SimTime not_after) {
+  Certificate cert;
+  cert.serial = next_serial_++;
+  cert.subject = subject;
+  cert.issuer = name_;
+  cert.subject_key = key;
+  cert.attributes = std::move(attributes);
+  cert.not_before = not_before;
+  cert.not_after = not_after;
+  cert.issuer_signature = keypair_.sign(cert.to_be_signed());
+  return cert;
+}
+
+void CertificateAuthority::revoke(std::uint64_t serial) {
+  revoked_.insert(serial);
+}
+
+bool CertificateAuthority::is_revoked(std::uint64_t serial) const {
+  return revoked_.contains(serial);
+}
+
+bool CertificateAuthority::validate(const Certificate& cert,
+                                    common::SimTime now) const {
+  if (cert.issuer != name_) return false;
+  if (is_revoked(cert.serial)) return false;
+  return cert.verify(*group_, keypair_.public_key(), now);
+}
+
+}  // namespace veil::pki

@@ -1,0 +1,59 @@
+// Certificate authority with revocation.
+//
+// Issues identity certificates, verifies chains rooted at itself and
+// maintains a revocation list. A network typically runs one root CA per
+// consortium (or per organization, with cross-certification handled by
+// registering multiple roots in the MembershipService).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/rng.hpp"
+#include "pki/certificate.hpp"
+
+namespace veil::pki {
+
+class CertificateAuthority {
+ public:
+  /// Create a root CA with a fresh keypair and a self-signed certificate.
+  CertificateAuthority(std::string name, const crypto::Group& group,
+                       common::Rng& rng,
+                       common::SimTime valid_until = ~common::SimTime{0});
+
+  const std::string& name() const { return name_; }
+  const Certificate& root_certificate() const { return root_cert_; }
+  const crypto::PublicKey& public_key() const {
+    return keypair_.public_key();
+  }
+  const crypto::Group& group() const { return *group_; }
+
+  /// Issue a certificate binding `subject` to `key` with `attributes`.
+  Certificate issue(const std::string& subject, const crypto::PublicKey& key,
+                    std::map<std::string, std::string> attributes,
+                    common::SimTime not_before, common::SimTime not_after);
+
+  /// Revoke by serial number; idempotent.
+  void revoke(std::uint64_t serial);
+  bool is_revoked(std::uint64_t serial) const;
+
+  /// Full validation: issuer signature, validity window, revocation.
+  bool validate(const Certificate& cert, common::SimTime now) const;
+
+  /// Access to the CA signing key for protocol layers built on top
+  /// (blind issuance in idemix.hpp signs with this key).
+  const crypto::KeyPair& keypair() const { return keypair_; }
+
+ private:
+  std::string name_;
+  const crypto::Group* group_;
+  crypto::KeyPair keypair_;
+  Certificate root_cert_;
+  std::uint64_t next_serial_ = 1;
+  std::set<std::uint64_t> revoked_;
+};
+
+}  // namespace veil::pki

@@ -1,0 +1,60 @@
+#include "pki/certificate.hpp"
+
+#include "common/serialize.hpp"
+
+namespace veil::pki {
+
+common::Bytes Certificate::to_be_signed() const {
+  common::Writer w;
+  w.u64(serial);
+  w.str(subject);
+  w.str(issuer);
+  w.bytes(subject_key.encode());
+  w.varint(attributes.size());
+  for (const auto& [key, value] : attributes) {
+    w.str(key);
+    w.str(value);
+  }
+  w.u64(not_before);
+  w.u64(not_after);
+  return w.take();
+}
+
+common::Bytes Certificate::encode() const {
+  common::Writer w;
+  w.bytes(to_be_signed());
+  w.bytes(issuer_signature.encode());
+  return w.take();
+}
+
+Certificate Certificate::decode(common::BytesView data) {
+  common::Reader outer(data);
+  const common::Bytes tbs = outer.bytes();
+  const common::Bytes sig = outer.bytes();
+
+  common::Reader r(tbs);
+  Certificate cert;
+  cert.serial = r.u64();
+  cert.subject = r.str();
+  cert.issuer = r.str();
+  const common::Bytes key = r.bytes();
+  cert.subject_key = crypto::PublicKey::decode(key);
+  const std::uint64_t attr_count = r.varint();
+  for (std::uint64_t i = 0; i < attr_count; ++i) {
+    std::string k = r.str();
+    cert.attributes[std::move(k)] = r.str();
+  }
+  cert.not_before = r.u64();
+  cert.not_after = r.u64();
+  cert.issuer_signature = crypto::Signature::decode(sig);
+  return cert;
+}
+
+bool Certificate::verify(const crypto::Group& group,
+                         const crypto::PublicKey& issuer_key,
+                         common::SimTime now) const {
+  if (now < not_before || now > not_after) return false;
+  return crypto::verify(group, issuer_key, to_be_signed(), issuer_signature);
+}
+
+}  // namespace veil::pki

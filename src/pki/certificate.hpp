@@ -1,0 +1,45 @@
+// X.509-style certificates binding names to Schnorr public keys.
+//
+// The paper (§2.1) assumes a PKI service "that allows parties to map
+// public keys to identities". Certificates here carry a subject name,
+// free-form attributes (org, role), a validity window in simulated time
+// and an issuer signature over the canonical encoding.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "crypto/signature.hpp"
+
+namespace veil::pki {
+
+struct Certificate {
+  std::uint64_t serial = 0;
+  std::string subject;
+  std::string issuer;
+  crypto::PublicKey subject_key;
+  std::map<std::string, std::string> attributes;
+  common::SimTime not_before = 0;
+  common::SimTime not_after = 0;
+  crypto::Signature issuer_signature;
+
+  /// Canonical encoding of everything except the signature (the signed
+  /// payload).
+  common::Bytes to_be_signed() const;
+
+  /// Full encoding including the signature.
+  common::Bytes encode() const;
+  static Certificate decode(common::BytesView data);
+
+  /// Signature check against the issuer's public key plus validity-window
+  /// check at `now`.
+  bool verify(const crypto::Group& group, const crypto::PublicKey& issuer_key,
+              common::SimTime now) const;
+
+  bool operator==(const Certificate&) const = default;
+};
+
+}  // namespace veil::pki

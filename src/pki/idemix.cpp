@@ -1,0 +1,130 @@
+#include "pki/idemix.hpp"
+
+#include "common/serialize.hpp"
+
+namespace veil::pki {
+
+namespace {
+
+common::Bytes credential_message(const crypto::PublicKey& pseudonym_key,
+                                 const std::string& attribute_class,
+                                 std::uint64_t epoch) {
+  common::Writer w;
+  w.str("veil.idemix.credential");
+  w.bytes(pseudonym_key.encode());
+  w.str(attribute_class);
+  w.u64(epoch);
+  return w.take();
+}
+
+}  // namespace
+
+common::Bytes IdemixCredential::signed_message() const {
+  return credential_message(pseudonym_key, attribute_class, epoch);
+}
+
+std::optional<IdemixIssuer::SessionStart> IdemixIssuer::begin(
+    const Certificate& identity_cert, const std::string& attribute_class,
+    common::SimTime now, common::Rng& rng) {
+  if (!ca_->validate(identity_cert, now)) return std::nullopt;
+  // Entitlement check: the identity certificate must carry the attribute
+  // class (e.g. attributes["class:org=Bank"] == "1").
+  if (!identity_cert.attributes.contains("class:" + attribute_class)) {
+    return std::nullopt;
+  }
+  const crypto::Group& group = ca_->group();
+  const crypto::BigInt k = group.random_scalar(rng);
+  const crypto::BigInt r = group.pow_g(k);
+
+  const std::uint64_t id = next_session_++;
+  log_.push_back(IssuerView{identity_cert.subject, attribute_class, r, {}});
+  sessions_[id] = Session{k, log_.size() - 1};
+  return SessionStart{id, r};
+}
+
+std::optional<crypto::BigInt> IdemixIssuer::complete(
+    std::uint64_t session_id, const crypto::BigInt& blinded_challenge) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return std::nullopt;
+  const crypto::Group& group = ca_->group();
+  const crypto::BigInt e = blinded_challenge % group.q();
+  log_[it->second.log_index].blinded_challenge = e;
+
+  // s = k - x*e mod q (matches the sign convention of crypto::verify).
+  const crypto::BigInt xe = (ca_->keypair().secret() * e) % group.q();
+  const crypto::BigInt s = (it->second.nonce + group.q() - xe) % group.q();
+  sessions_.erase(it);
+  return s;
+}
+
+std::optional<IdemixCredential> request_credential(
+    IdemixIssuer& issuer, const Certificate& identity_cert,
+    const std::string& attribute_class, common::SimTime now,
+    common::Rng& rng) {
+  const crypto::Group& group = issuer.group();
+  const crypto::BigInt y = issuer.public_key().y;
+
+  auto start = issuer.begin(identity_cert, attribute_class, now, rng);
+  if (!start) return std::nullopt;
+
+  // Holder side: fresh pseudonym key, blinding factors alpha/beta.
+  IdemixCredential cred;
+  cred.pseudonym_secret = group.random_scalar(rng);
+  cred.pseudonym_key = crypto::PublicKey{group.pow_g(cred.pseudonym_secret)};
+  cred.attribute_class = attribute_class;
+  cred.epoch = issuer.epoch();
+
+  const crypto::BigInt alpha = group.random_scalar(rng);
+  const crypto::BigInt beta = group.random_scalar(rng);
+  // R' = R * g^alpha * y^beta
+  const crypto::BigInt r_prime = group.mul(
+      group.mul(start->nonce_commitment, group.pow_g(alpha)),
+      group.pow(y, beta));
+  const common::Bytes message = cred.signed_message();
+  // e' = H(R' || y || m); blinded challenge e = e' - beta.
+  const crypto::BigInt e_prime =
+      crypto::schnorr_challenge(group, r_prime, y, message);
+  const crypto::BigInt e =
+      (e_prime + group.q() - (beta % group.q())) % group.q();
+
+  auto s = issuer.complete(start->session_id, e);
+  if (!s) return std::nullopt;
+
+  // Unblind: s' = s + alpha. Then g^{s'} * y^{e'} == R', so (e', s') is a
+  // standard Schnorr signature on m under the issuer key.
+  const crypto::BigInt s_prime = (*s + alpha) % group.q();
+  cred.issuer_signature = crypto::Signature{e_prime, s_prime};
+  return cred;
+}
+
+IdemixPresentation present(const crypto::Group& group,
+                           const IdemixCredential& credential,
+                           common::BytesView context, common::Rng& rng) {
+  IdemixPresentation p;
+  p.pseudonym_key = credential.pseudonym_key;
+  p.attribute_class = credential.attribute_class;
+  p.epoch = credential.epoch;
+  p.issuer_signature = credential.issuer_signature;
+  p.proof = crypto::prove_dlog(group, group.g(), credential.pseudonym_secret,
+                               context, rng);
+  return p;
+}
+
+bool verify_presentation(const crypto::Group& group,
+                         const crypto::PublicKey& issuer_key,
+                         const IdemixPresentation& presentation,
+                         common::BytesView context,
+                         std::uint64_t current_epoch) {
+  if (presentation.epoch != current_epoch) return false;
+  const common::Bytes message = credential_message(
+      presentation.pseudonym_key, presentation.attribute_class,
+      presentation.epoch);
+  if (!crypto::verify(group, issuer_key, message,
+                      presentation.issuer_signature)) {
+    return false;
+  }
+  return crypto::verify_dlog(group, group.g(), presentation.pseudonym_key.y,
+                             presentation.proof, context);
+}
+
+}  // namespace veil::pki

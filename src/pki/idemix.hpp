@@ -1,0 +1,135 @@
+// Idemix-style anonymous credentials (§2.1 "Zero-knowledge proof of
+// identity"; §5 "Fabric provides privacy of parties with Idemix").
+//
+// Trust model, matching Idemix at the design level:
+//   * The issuer (CA) authenticates the requester's real identity and
+//     checks entitlement to an attribute class ("org=Bank", "role=trader").
+//   * Credentials are issued with a BLIND Schnorr signature: the issuer
+//     never sees the pseudonym key it signs, so it cannot link later
+//     presentations back to the issuance session or identity.
+//   * A presentation shows: pseudonym key, attribute class, the issuer's
+//     (blind) signature, and a fresh ZK proof of knowledge of the
+//     pseudonym secret bound to the verifier's context. Verification
+//     needs only the issuing CA's public key — identity is never
+//     disclosed, and two presentations of different credentials are
+//     unlinkable.
+//
+// Simplification vs. production Idemix (documented in DESIGN.md): one
+// credential supports one attribute class and unlinkability across
+// presentations comes from holding a batch of single-class credentials
+// rather than from CL-signature randomization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/zkp.hpp"
+#include "pki/ca.hpp"
+
+namespace veil::pki {
+
+/// What the issuer is allowed to remember about an issuance session.
+/// Tests assert that nothing in here links to the resulting credential.
+struct IssuerView {
+  std::string identity;
+  std::string attribute_class;
+  crypto::BigInt nonce_commitment;   // R = g^k sent to the holder
+  crypto::BigInt blinded_challenge;  // e received from the holder
+};
+
+class IdemixIssuer {
+ public:
+  explicit IdemixIssuer(CertificateAuthority& ca) : ca_(&ca) {}
+
+  /// Step 1 — holder authenticates with its identity certificate and
+  /// requests a credential for `attribute_class`. The issuer checks the
+  /// certificate is valid and carries the attribute. Returns a session id
+  /// and the nonce commitment R, or nullopt if not entitled.
+  struct SessionStart {
+    std::uint64_t session_id;
+    crypto::BigInt nonce_commitment;
+  };
+  std::optional<SessionStart> begin(const Certificate& identity_cert,
+                                    const std::string& attribute_class,
+                                    common::SimTime now, common::Rng& rng);
+
+  /// Step 2 — holder sends the blinded challenge; issuer responds with
+  /// s = k - x*e. The issuer never sees the message being signed.
+  std::optional<crypto::BigInt> complete(std::uint64_t session_id,
+                                         const crypto::BigInt& blinded_challenge);
+
+  const crypto::PublicKey& public_key() const { return ca_->public_key(); }
+  const crypto::Group& group() const { return ca_->group(); }
+
+  /// Epoch-based revocation: advancing the epoch invalidates every
+  /// credential issued under earlier epochs (verifiers learn the current
+  /// epoch out of band, e.g. from channel configuration). Coarse-grained
+  /// by design — revoking one holder means re-issuing the cohort, the
+  /// price of unlinkability (the issuer cannot tell whose credential is
+  /// whose).
+  std::uint64_t epoch() const { return epoch_; }
+  void advance_epoch() { ++epoch_; }
+
+  /// Everything this issuer has observed, for leakage tests.
+  const std::vector<IssuerView>& audit_log() const { return log_; }
+
+ private:
+  struct Session {
+    crypto::BigInt nonce;  // k
+    std::size_t log_index;
+  };
+
+  CertificateAuthority* ca_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_session_ = 1;
+  std::map<std::uint64_t, Session> sessions_;
+  std::vector<IssuerView> log_;
+};
+
+/// An unlinkable credential held by a party.
+struct IdemixCredential {
+  crypto::BigInt pseudonym_secret;
+  crypto::PublicKey pseudonym_key;
+  std::string attribute_class;
+  std::uint64_t epoch = 0;             // issuance epoch (revocation)
+  crypto::Signature issuer_signature;  // blind-issued, verifies normally
+
+  /// The message the issuer signature covers.
+  common::Bytes signed_message() const;
+};
+
+/// A presentation of a credential to a verifier.
+struct IdemixPresentation {
+  crypto::PublicKey pseudonym_key;
+  std::string attribute_class;
+  std::uint64_t epoch = 0;
+  crypto::Signature issuer_signature;
+  crypto::DlogProof proof;  // PoK of pseudonym secret, context-bound
+};
+
+/// Run the full issuance protocol against `issuer`. Returns nullopt if
+/// the issuer refuses (invalid certificate / missing attribute).
+std::optional<IdemixCredential> request_credential(
+    IdemixIssuer& issuer, const Certificate& identity_cert,
+    const std::string& attribute_class, common::SimTime now,
+    common::Rng& rng);
+
+/// Create a context-bound presentation (context = verifier nonce or
+/// transaction hash; prevents replay).
+IdemixPresentation present(const crypto::Group& group,
+                           const IdemixCredential& credential,
+                           common::BytesView context, common::Rng& rng);
+
+/// Verify with the issuing CA's public key and the current revocation
+/// epoch (distributed out of band). Presentations from earlier epochs
+/// are rejected.
+bool verify_presentation(const crypto::Group& group,
+                         const crypto::PublicKey& issuer_key,
+                         const IdemixPresentation& presentation,
+                         common::BytesView context,
+                         std::uint64_t current_epoch = 0);
+
+}  // namespace veil::pki

@@ -1,0 +1,54 @@
+#include "pki/membership.hpp"
+
+#include "common/error.hpp"
+
+namespace veil::pki {
+
+MembershipService::MembershipService(CertificateAuthority& ca,
+                                     bool expose_directory)
+    : ca_(&ca), expose_directory_(expose_directory) {}
+
+bool MembershipService::onboard(const Certificate& cert, common::SimTime now) {
+  if (!ca_->validate(cert, now)) return false;
+  Member member{cert.subject, cert};
+  key_to_name_[cert.subject_key.fingerprint()] = cert.subject;
+  members_[cert.subject] = std::move(member);
+  return true;
+}
+
+void MembershipService::offboard(const std::string& name) {
+  const auto it = members_.find(name);
+  if (it == members_.end()) return;
+  key_to_name_.erase(it->second.certificate.subject_key.fingerprint());
+  members_.erase(it);
+}
+
+bool MembershipService::is_member(const std::string& name) const {
+  return members_.contains(name);
+}
+
+std::optional<Member> MembershipService::find_by_key(
+    const crypto::PublicKey& key) const {
+  const auto it = key_to_name_.find(key.fingerprint());
+  if (it == key_to_name_.end()) return std::nullopt;
+  return members_.at(it->second);
+}
+
+std::optional<Member> MembershipService::find_by_name(
+    const std::string& name) const {
+  const auto it = members_.find(name);
+  if (it == members_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> MembershipService::list_members() const {
+  if (!expose_directory_) {
+    throw common::AccessError("membership directory is not exposed");
+  }
+  std::vector<std::string> names;
+  names.reserve(members_.size());
+  for (const auto& [name, member] : members_) names.push_back(name);
+  return names;
+}
+
+}  // namespace veil::pki

@@ -1,0 +1,56 @@
+// Membership service (§2.1).
+//
+// Onboards verified parties onto the platform and maps public keys to
+// identities. The global directory is optional, reflecting the paper's
+// observation that exposing a membership list helps relationship
+// formation but may itself be a privacy concern.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pki/ca.hpp"
+
+namespace veil::pki {
+
+struct Member {
+  std::string name;          // organization or party name
+  Certificate certificate;   // identity certificate from the network CA
+};
+
+class MembershipService {
+ public:
+  /// `expose_directory` controls whether list_members() is available.
+  MembershipService(CertificateAuthority& ca, bool expose_directory);
+
+  /// Verify the certificate and onboard the party. Returns false (and
+  /// does not onboard) if the certificate fails validation.
+  bool onboard(const Certificate& cert, common::SimTime now);
+
+  void offboard(const std::string& name);
+
+  bool is_member(const std::string& name) const;
+
+  /// Resolve a public key fingerprint to an identity, as PKI consumers do
+  /// when verifying endorsements.
+  std::optional<Member> find_by_key(const crypto::PublicKey& key) const;
+
+  std::optional<Member> find_by_name(const std::string& name) const;
+
+  /// Global directory; throws common::AccessError if the network was
+  /// configured without one.
+  std::vector<std::string> list_members() const;
+
+  bool directory_exposed() const { return expose_directory_; }
+  std::size_t member_count() const { return members_.size(); }
+
+ private:
+  CertificateAuthority* ca_;
+  bool expose_directory_;
+  std::map<std::string, Member> members_;           // by name
+  std::map<std::string, std::string> key_to_name_;  // fingerprint -> name
+};
+
+}  // namespace veil::pki

@@ -1,0 +1,40 @@
+#include "pki/onetime.hpp"
+
+#include "common/serialize.hpp"
+
+namespace veil::pki {
+
+OneTimeKeyChain::OneTimeKeyChain(const crypto::Group& group,
+                                 common::Bytes master_secret)
+    : group_(&group), master_secret_(std::move(master_secret)) {}
+
+crypto::KeyPair OneTimeKeyChain::derive(std::uint64_t index) const {
+  common::Writer info;
+  info.str("veil.onetime");
+  info.u64(index);
+  const common::Bytes seed =
+      crypto::hkdf({}, master_secret_,
+                   std::string_view(reinterpret_cast<const char*>(
+                                        info.data().data()),
+                                    info.data().size()),
+                   64);
+  const crypto::BigInt secret = crypto::BigInt::from_bytes_be(seed);
+  return crypto::KeyPair::from_secret(*group_, secret);
+}
+
+crypto::KeyPair OneTimeKeyChain::next() { return derive(next_index_++); }
+
+std::optional<KeyLinkage> issue_linkage(CertificateAuthority& ca,
+                                        const Certificate& identity_cert,
+                                        const crypto::PublicKey& one_time_key,
+                                        common::SimTime now) {
+  if (!ca.validate(identity_cert, now)) return std::nullopt;
+  Certificate cert = ca.issue(
+      identity_cert.subject, one_time_key,
+      {{"linkage", "one-time"},
+       {"identity-serial", std::to_string(identity_cert.serial)}},
+      now, identity_cert.not_after);
+  return KeyLinkage{std::move(cert)};
+}
+
+}  // namespace veil::pki

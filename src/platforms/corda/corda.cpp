@@ -1,0 +1,400 @@
+#include "platforms/corda/corda.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace veil::corda {
+
+namespace {
+
+common::Bytes encode_ref(const StateRef& ref) {
+  common::Writer w;
+  w.str("input");
+  w.str(ref.tx_id);
+  w.u32(ref.index);
+  return w.take();
+}
+
+common::Bytes encode_output(const OutputSpec& output) {
+  common::Writer w;
+  w.str("output");
+  w.str(output.contract);
+  w.bytes(output.data);
+  w.varint(output.participants.size());
+  for (const std::string& p : output.participants) w.str(p);
+  return w.take();
+}
+
+std::uint64_t data_bytes(const std::vector<OutputSpec>& outputs) {
+  std::uint64_t total = 0;
+  for (const OutputSpec& o : outputs) total += o.data.size();
+  return total;
+}
+
+}  // namespace
+
+CordaNetwork::CordaNetwork(net::SimNetwork& network, const crypto::Group& group,
+                           common::Rng& rng)
+    : network_(&network),
+      group_(&group),
+      rng_(rng.fork()),
+      ca_("corda-doorman", group, rng_) {}
+
+void CordaNetwork::add_party(const std::string& name) {
+  if (parties_.contains(name)) return;
+  Party party{crypto::KeyPair::generate(*group_, rng_), pki::Certificate{},
+              nullptr, {}, {}};
+  party.certificate = ca_.issue(name, party.keypair.public_key(),
+                                {{"type", "party"}}, 0, ~common::SimTime{0});
+  party.onetime_chain = std::make_unique<pki::OneTimeKeyChain>(
+      *group_, rng_.next_bytes(32));
+  parties_.insert_or_assign(name, std::move(party));
+  network_->attach(name, [](const net::Message&) {});
+}
+
+void CordaNetwork::add_notary(const std::string& name, bool validating) {
+  notaries_.insert_or_assign(
+      name, Notary{crypto::KeyPair::generate(*group_, rng_), validating, {}, 0});
+  network_->attach(name, [](const net::Message&) {});
+}
+
+void CordaNetwork::register_contract(const std::string& contract,
+                                     ContractVerifier verifier) {
+  verifiers_[contract] = std::move(verifier);
+}
+
+void CordaNetwork::add_oracle(const std::string& name,
+                              std::map<std::string, std::string> facts) {
+  oracles_.insert_or_assign(
+      name,
+      Oracle{crypto::KeyPair::generate(*group_, rng_), std::move(facts)});
+  network_->attach(name, [](const net::Message&) {});
+}
+
+CordaNetwork::Party* CordaNetwork::signer_of(const std::string& participant,
+                                             const std::string& initiator) {
+  (void)initiator;  // flow-session bookkeeping point, not access control
+  const auto direct = parties_.find(participant);
+  if (direct != parties_.end()) return &direct->second;
+  const auto owner = onetime_owners_.find(participant);
+  if (owner != onetime_owners_.end()) return &parties_.at(owner->second);
+  return nullptr;
+}
+
+FlowResult CordaNetwork::issue(const std::string& party,
+                               const std::string& contract,
+                               common::Bytes data,
+                               const std::vector<std::string>& participants,
+                               const std::string& notary) {
+  OutputSpec output{contract, std::move(data), participants};
+  return transact(party, {}, {output}, notary);
+}
+
+FlowResult CordaNetwork::transact(const std::string& initiator,
+                                  const std::vector<StateRef>& inputs,
+                                  const std::vector<OutputSpec>& outputs,
+                                  const std::string& notary_name,
+                                  bool confidential,
+                                  const std::optional<OracleRequest>& oracle) {
+  const auto initiator_it = parties_.find(initiator);
+  if (initiator_it == parties_.end()) return {false, "", "unknown initiator"};
+  const auto notary_it = notaries_.find(notary_name);
+  if (notary_it == notaries_.end()) return {false, "", "unknown notary"};
+  Notary& notary = notary_it->second;
+
+  // --- Resolve inputs from the initiator's vault ---------------------------
+  std::vector<CordaState> consumed_states;
+  for (const StateRef& ref : inputs) {
+    const auto it = initiator_it->second.vault.find(ref);
+    if (it == initiator_it->second.vault.end()) {
+      return {false, "", "input not in initiator vault"};
+    }
+    consumed_states.push_back(it->second);
+  }
+
+  // --- Contract verification -------------------------------------------------
+  // Each contract touched by the transaction must accept it. Every
+  // signing participant re-runs this check (and a validating notary
+  // would too); one rejection vetoes the flow.
+  {
+    std::set<std::string> touched;
+    for (const CordaState& state : consumed_states) touched.insert(state.contract);
+    for (const OutputSpec& output : outputs) touched.insert(output.contract);
+    for (const std::string& contract : touched) {
+      const auto verifier = verifiers_.find(contract);
+      if (verifier != verifiers_.end() &&
+          !verifier->second(consumed_states, outputs)) {
+        return {false, "", "contract verification failed: " + contract};
+      }
+    }
+  }
+
+  // --- Confidential identities: swap names for one-time keys ---------------
+  std::vector<OutputSpec> final_outputs = outputs;
+  std::vector<pki::KeyLinkage> linkages;
+  if (confidential) {
+    for (OutputSpec& output : final_outputs) {
+      for (std::string& participant : output.participants) {
+        const auto owner = parties_.find(participant);
+        if (owner == parties_.end()) continue;  // already a fingerprint
+        const crypto::KeyPair onetime = owner->second.onetime_chain->next();
+        auto linkage = pki::issue_linkage(ca_, owner->second.certificate,
+                                          onetime.public_key(),
+                                          network_->clock().now());
+        if (!linkage) return {false, "", "linkage issuance failed"};
+        const std::string fingerprint = onetime.public_key().fingerprint();
+        onetime_owners_[fingerprint] = participant;
+        linkages.push_back(*linkage);
+        participant = "ot:" + fingerprint;
+      }
+    }
+  }
+
+  // --- Build the transaction Merkle tree -----------------------------------
+  std::vector<common::Bytes> leaves;
+  common::Writer command;
+  command.str(inputs.empty() ? "issue" : "transact");
+  command.u64(network_->clock().now());
+  command.u64(issue_counter_++);
+  leaves.push_back(command.take());
+  for (const StateRef& ref : inputs) leaves.push_back(encode_ref(ref));
+  const std::size_t first_output_leaf = leaves.size();
+  for (const OutputSpec& output : final_outputs) {
+    leaves.push_back(encode_output(output));
+  }
+  std::optional<std::size_t> fact_leaf;
+  if (oracle) {
+    common::Writer w;
+    w.str("fact");
+    w.str(oracle->fact_key);
+    w.str(oracle->fact_value);
+    fact_leaf = leaves.size();
+    leaves.push_back(w.take());
+  }
+  std::vector<common::Bytes> salts;
+  salts.reserve(leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    salts.push_back(rng_.next_bytes(16));
+  }
+  const crypto::MerkleTree tree = crypto::MerkleTree::build(leaves, salts);
+  const std::string tx_id = crypto::digest_hex(tree.root()).substr(0, 24);
+  const common::BytesView root_msg(tree.root().data(), tree.root().size());
+
+  // --- Gather participant signatures (peer-to-peer) ------------------------
+  std::set<std::string> all_participants;
+  for (const CordaState& state : consumed_states) {
+    for (const std::string& p : state.participants) all_participants.insert(p);
+  }
+  for (const OutputSpec& output : final_outputs) {
+    for (const std::string& p : output.participants) all_participants.insert(p);
+  }
+
+  common::Writer full_tx;
+  full_tx.varint(leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    full_tx.bytes(leaves[i]);
+    full_tx.bytes(salts[i]);
+  }
+  const common::Bytes full_tx_bytes = full_tx.take();
+
+  std::set<std::string> signer_parties;
+  for (const std::string& participant : all_participants) {
+    std::string name = participant;
+    if (name.starts_with("ot:")) name = name.substr(3);
+    Party* signer = signer_of(name, initiator);
+    if (signer == nullptr) return {false, tx_id, "unresolvable participant"};
+    // Find the actual party name for network addressing.
+    const auto owner = onetime_owners_.find(name);
+    signer_parties.insert(owner != onetime_owners_.end() ? owner->second
+                                                         : name);
+  }
+
+  for (const std::string& party : signer_parties) {
+    if (party != initiator) {
+      network_->send(initiator, party, "corda.sign-request", full_tx_bytes);
+    }
+    // Each signing participant sees the full transaction.
+    auditor().record(party, "tx/" + tx_id + "/data",
+                     data_bytes(final_outputs));
+    std::uint64_t party_bytes = 0;
+    for (const std::string& p : all_participants) party_bytes += p.size();
+    auditor().record(party, "tx/" + tx_id + "/parties", party_bytes,
+                     /*plaintext=*/!confidential);
+    // Share linkage certificates with co-participants only.
+    for (const pki::KeyLinkage& linkage : linkages) {
+      parties_.at(party).known_linkages
+          [linkage.certificate.subject_key.fingerprint()] =
+          linkage.identity();
+    }
+  }
+
+  std::vector<crypto::Signature> signatures;
+  for (const std::string& party : signer_parties) {
+    signatures.push_back(parties_.at(party).keypair.sign(root_msg));
+  }
+
+  // --- Oracle attestation over a tear-off -----------------------------------
+  if (oracle) {
+    const auto oracle_it = oracles_.find(oracle->oracle);
+    if (oracle_it == oracles_.end()) return {false, tx_id, "unknown oracle"};
+    const crypto::TearOff filtered =
+        crypto::TearOff::create(leaves, salts, {*fact_leaf});
+    network_->send(initiator, oracle->oracle, "corda.oracle-request",
+                   filtered.encode());
+    // Oracle sees only the fact component; the rest is torn off.
+    auditor().record(oracle->oracle, "tx/" + tx_id + "/fact",
+                     oracle->fact_key.size() + oracle->fact_value.size());
+    auditor().record(oracle->oracle, "tx/" + tx_id + "/data",
+                     data_bytes(final_outputs), /*plaintext=*/false);
+    if (!filtered.verify_against(tree.root())) {
+      return {false, tx_id, "tear-off verification failed"};
+    }
+    const auto fact = oracle_it->second.facts.find(oracle->fact_key);
+    if (fact == oracle_it->second.facts.end() ||
+        fact->second != oracle->fact_value) {
+      return {false, tx_id, "oracle refused: fact mismatch"};
+    }
+    signatures.push_back(oracle_it->second.keypair.sign(root_msg));
+  }
+
+  // --- Notarization ----------------------------------------------------------
+  for (const StateRef& ref : inputs) {
+    if (notary.consumed.contains(ref)) {
+      return {false, tx_id, "double spend rejected by notary"};
+    }
+  }
+  if (notary.validating) {
+    network_->send(initiator, notary_name, "corda.notarize", full_tx_bytes);
+    auditor().record(notary_name, "tx/" + tx_id + "/data",
+                     data_bytes(final_outputs));
+  } else {
+    // Non-validating: only the input refs are revealed.
+    std::vector<std::size_t> visible;
+    for (std::size_t i = 1; i <= inputs.size(); ++i) visible.push_back(i);
+    const crypto::TearOff filtered =
+        crypto::TearOff::create(leaves, salts, visible);
+    network_->send(initiator, notary_name, "corda.notarize",
+                   filtered.encode());
+    auditor().record(notary_name, "tx/" + tx_id + "/data",
+                     data_bytes(final_outputs), /*plaintext=*/false);
+    if (!filtered.verify_against(tree.root())) {
+      return {false, tx_id, "notary tear-off verification failed"};
+    }
+  }
+  for (const StateRef& ref : inputs) notary.consumed.insert(ref);
+  ++notary.notarized;
+  const crypto::Signature notary_sig = notary.keypair.sign(root_msg);
+  signatures.push_back(notary_sig);
+
+  // Record for backchain resolution.
+  TxRecord record;
+  record.root = tree.root();
+  record.inputs = inputs;
+  record.notary = notary_name;
+  record.notary_signature = notary_sig;
+  record.data_bytes = data_bytes(final_outputs);
+  record.is_issue = inputs.empty();
+  tx_records_[tx_id] = std::move(record);
+
+  // --- Finality: update vaults ------------------------------------------------
+  for (const std::string& party : signer_parties) {
+    if (party != initiator) {
+      network_->send(initiator, party, "corda.finalize", full_tx_bytes);
+    }
+    Party& p = parties_.at(party);
+    for (const StateRef& ref : inputs) p.vault.erase(ref);
+  }
+  for (std::size_t i = 0; i < final_outputs.size(); ++i) {
+    CordaState state;
+    state.ref = StateRef{tx_id,
+                         static_cast<std::uint32_t>(first_output_leaf + i)};
+    state.contract = final_outputs[i].contract;
+    state.data = final_outputs[i].data;
+    state.participants = final_outputs[i].participants;
+    for (const std::string& participant : state.participants) {
+      std::string name = participant;
+      if (name.starts_with("ot:")) {
+        const auto owner = onetime_owners_.find(name.substr(3));
+        if (owner == onetime_owners_.end()) continue;
+        name = owner->second;
+      }
+      parties_.at(name).vault[state.ref] = state;
+    }
+  }
+  network_->run();
+
+  return {true, tx_id, ""};
+}
+
+CordaNetwork::BackchainResult CordaNetwork::resolve_backchain(
+    const std::string& party, const StateRef& ref) {
+  BackchainResult result;
+  if (!parties_.contains(party)) {
+    result.reason = "unknown party";
+    return result;
+  }
+  std::vector<StateRef> frontier = {ref};
+  std::set<std::string> visited;
+  while (!frontier.empty()) {
+    const StateRef current = frontier.back();
+    frontier.pop_back();
+    if (!visited.insert(current.tx_id).second) continue;
+
+    const auto it = tx_records_.find(current.tx_id);
+    if (it == tx_records_.end()) {
+      result.reason = "missing ancestor transaction " + current.tx_id;
+      result.valid = false;
+      return result;
+    }
+    const TxRecord& record = it->second;
+
+    // Verify the notary's uniqueness attestation over the Merkle root,
+    // and that the record is self-consistent (tx id derives from root).
+    const auto notary = notaries_.find(record.notary);
+    if (notary == notaries_.end() ||
+        !crypto::verify(*group_, notary->second.keypair.public_key(),
+                        common::BytesView(record.root.data(),
+                                          record.root.size()),
+                        record.notary_signature) ||
+        crypto::digest_hex(record.root).substr(0, 24) != current.tx_id) {
+      result.reason = "invalid notarization on " + current.tx_id;
+      result.valid = false;
+      return result;
+    }
+
+    // The resolving party receives (and therefore observes) the full
+    // ancestor transaction — the backchain privacy trade-off.
+    auditor().record(party, "tx/" + current.tx_id + "/data",
+                     record.data_bytes);
+    result.tx_ids.push_back(current.tx_id);
+    ++result.depth;
+    for (const StateRef& input : record.inputs) frontier.push_back(input);
+  }
+  result.valid = true;
+  return result;
+}
+
+std::vector<CordaState> CordaNetwork::vault(const std::string& party) const {
+  std::vector<CordaState> out;
+  const auto it = parties_.find(party);
+  if (it == parties_.end()) return out;
+  out.reserve(it->second.vault.size());
+  for (const auto& [ref, state] : it->second.vault) out.push_back(state);
+  return out;
+}
+
+std::optional<std::string> CordaNetwork::resolve_confidential(
+    const std::string& party, const std::string& fingerprint) const {
+  const auto it = parties_.find(party);
+  if (it == parties_.end()) return std::nullopt;
+  const auto linkage = it->second.known_linkages.find(fingerprint);
+  if (linkage == it->second.known_linkages.end()) return std::nullopt;
+  return linkage->second;
+}
+
+std::uint64_t CordaNetwork::notarized_count(const std::string& notary) const {
+  const auto it = notaries_.find(notary);
+  return it == notaries_.end() ? 0 : it->second.notarized;
+}
+
+}  // namespace veil::corda

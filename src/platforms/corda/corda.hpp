@@ -1,0 +1,195 @@
+// Corda-style platform model (§5).
+//
+// Reproduced mechanics:
+//  * Peer-to-peer transactions — no broadcast; a transaction travels only
+//    to its participants and the notary. Privacy of interaction and data
+//    confidentiality follow from dissemination, not encryption.
+//  * Notary — uniqueness consensus over consumed input states. A
+//    NON-VALIDATING notary sees only input refs and the transaction root
+//    (metadata); a VALIDATING notary sees the full transaction — the
+//    confidentiality/assurance trade-off the paper discusses under
+//    "Ordering transactions".
+//  * One-time public keys — output participants can be listed as
+//    pseudonymous keys derived from a master secret; the CA-backed
+//    linkage certificate is shared only with counterparties.
+//  * Merkle tear-offs — transactions are Merkle trees over components;
+//    an oracle asked to attest a fact receives a filtered transaction
+//    with every other component torn off, and signs the root.
+//  * Flow logic off-platform — which parties must sign is decided by the
+//    initiating flow; on-ledger "contract" code only names the rules
+//    (business logic never crosses the wire).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/merkle.hpp"
+#include "net/network.hpp"
+#include "pki/membership.hpp"
+#include "pki/onetime.hpp"
+
+namespace veil::corda {
+
+struct StateRef {
+  std::string tx_id;
+  std::uint32_t index = 0;
+
+  auto operator<=>(const StateRef&) const = default;
+};
+
+struct CordaState {
+  StateRef ref;
+  std::string contract;
+  common::Bytes data;
+  /// Party names, or one-time key fingerprints when confidential
+  /// identities are in use.
+  std::vector<std::string> participants;
+};
+
+struct FlowResult {
+  bool success = false;
+  std::string tx_id;
+  std::string reason;
+};
+
+struct OutputSpec {
+  std::string contract;
+  common::Bytes data;
+  std::vector<std::string> participants;
+};
+
+/// Ask an oracle to attest that `fact_key` has `fact_value` as part of
+/// the transaction, revealing only that component to it.
+struct OracleRequest {
+  std::string oracle;
+  std::string fact_key;
+  std::string fact_value;
+};
+
+class CordaNetwork {
+ public:
+  CordaNetwork(net::SimNetwork& network, const crypto::Group& group,
+               common::Rng& rng);
+
+  void add_party(const std::string& name);
+  void add_notary(const std::string& name, bool validating);
+
+  /// Contract verification rule (§5: "The on-chain contract is used to
+  /// verify..."): every signing participant — and a VALIDATING notary —
+  /// runs the verifier for each contract touched by a transaction.
+  /// Returning false vetoes the transaction.
+  using ContractVerifier = std::function<bool(
+      const std::vector<CordaState>& inputs,
+      const std::vector<OutputSpec>& outputs)>;
+  void register_contract(const std::string& contract,
+                         ContractVerifier verifier);
+  /// An oracle attests facts from its feed (key -> value).
+  void add_oracle(const std::string& name,
+                  std::map<std::string, std::string> facts);
+
+  /// Issue a fresh state onto the ledger (notarized, no inputs).
+  FlowResult issue(const std::string& party, const std::string& contract,
+                   common::Bytes data,
+                   const std::vector<std::string>& participants,
+                   const std::string& notary);
+
+  /// Consume `inputs`, produce `outputs`; gathers signatures from every
+  /// participant, the oracle (if requested) and the notary.
+  /// With `confidential=true` output participants are rewritten to fresh
+  /// one-time keys; linkage certificates travel only to co-participants.
+  FlowResult transact(const std::string& initiator,
+                      const std::vector<StateRef>& inputs,
+                      const std::vector<OutputSpec>& outputs,
+                      const std::string& notary, bool confidential = false,
+                      const std::optional<OracleRequest>& oracle = {});
+
+  /// Unconsumed states visible to `party`.
+  std::vector<CordaState> vault(const std::string& party) const;
+
+  /// Backchain resolution: when a party receives a state, it must verify
+  /// the full provenance chain back to issuance (every ancestor
+  /// transaction's notary signature over its Merkle root). Returns the
+  /// verified chain depth and the ancestor tx ids.
+  ///
+  /// Reproduces Corda's documented privacy trade-off: resolution hands
+  /// the resolving party every ancestor transaction, so the new owner
+  /// learns the asset's full history — recorded in the leakage auditor.
+  struct BackchainResult {
+    bool valid = false;
+    std::size_t depth = 0;
+    std::vector<std::string> tx_ids;
+    std::string reason;
+  };
+  BackchainResult resolve_backchain(const std::string& party,
+                                    const StateRef& ref);
+
+  /// Resolve a one-time key fingerprint to an identity — only succeeds
+  /// for parties that were handed the linkage certificate.
+  std::optional<std::string> resolve_confidential(
+      const std::string& party, const std::string& fingerprint) const;
+
+  net::LeakageAuditor& auditor() { return network_->auditor(); }
+  const crypto::Group& group() const { return *group_; }
+
+  std::uint64_t notarized_count(const std::string& notary) const;
+
+ private:
+  struct Party {
+    crypto::KeyPair keypair;
+    pki::Certificate certificate;
+    std::unique_ptr<pki::OneTimeKeyChain> onetime_chain;
+    std::map<StateRef, CordaState> vault;
+    // fingerprint -> identity, learned via linkage certs.
+    std::map<std::string, std::string> known_linkages;
+  };
+
+  struct Notary {
+    crypto::KeyPair keypair;
+    bool validating = false;
+    std::set<StateRef> consumed;
+    std::uint64_t notarized = 0;
+  };
+
+  struct Oracle {
+    crypto::KeyPair keypair;
+    std::map<std::string, std::string> facts;
+  };
+
+  /// Immutable record of a notarized transaction, kept for backchain
+  /// resolution.
+  struct TxRecord {
+    crypto::Digest root{};
+    std::vector<StateRef> inputs;
+    std::string notary;
+    crypto::Signature notary_signature;  // over the Merkle root
+    std::uint64_t data_bytes = 0;        // output payload volume
+    bool is_issue = false;
+  };
+
+  /// The party that controls signing for `participant` (a real name or a
+  /// fingerprint the initiator knows the owner of).
+  Party* signer_of(const std::string& participant,
+                   const std::string& initiator);
+
+  net::SimNetwork* network_;
+  const crypto::Group* group_;
+  common::Rng rng_;
+  pki::CertificateAuthority ca_;
+  std::map<std::string, Party> parties_;
+  std::map<std::string, Notary> notaries_;
+  std::map<std::string, Oracle> oracles_;
+  // fingerprint -> owning party (network-internal bookkeeping only; not
+  // exposed to parties without a linkage certificate).
+  std::map<std::string, std::string> onetime_owners_;
+  std::map<std::string, TxRecord> tx_records_;  // by tx id
+  std::map<std::string, ContractVerifier> verifiers_;
+  std::uint64_t issue_counter_ = 0;
+};
+
+}  // namespace veil::corda

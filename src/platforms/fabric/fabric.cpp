@@ -1,0 +1,427 @@
+#include "platforms/fabric/fabric.hpp"
+
+#include "common/error.hpp"
+
+namespace veil::fabric {
+
+namespace {
+constexpr common::SimTime kCertLifetime = ~common::SimTime{0};
+}
+
+FabricNetwork::FabricNetwork(net::SimNetwork& network,
+                             const crypto::Group& group, common::Rng& rng,
+                             FabricConfig config)
+    : network_(&network),
+      group_(&group),
+      rng_(rng.fork()),
+      config_(config),
+      ca_("fabric-ca", group, rng_),
+      membership_(ca_, config.expose_member_directory),
+      idemix_issuer_(ca_),
+      registry_(network.auditor()),
+      engine_(registry_) {
+  if (config_.orderer_deployment == ledger::OrdererDeployment::Shared) {
+    shared_orderer_ = std::make_unique<ledger::OrderingService>(
+        "orderer-org", ledger::OrdererDeployment::Shared, network.auditor(),
+        config_.block_size);
+  }
+}
+
+void FabricNetwork::add_org(const std::string& org) {
+  if (orgs_.contains(org)) return;
+  crypto::KeyPair keypair = crypto::KeyPair::generate(*group_, rng_);
+  pki::Certificate cert = ca_.issue(org, keypair.public_key(),
+                                    {{"type", "org"}}, 0, kCertLifetime);
+  membership_.onboard(cert, network_->clock().now());
+
+  // The peer's block-delivery handler: catch up on any blocks missed
+  // (the orderer's delivery service), then validate and commit.
+  const std::string peer = peer_of(org);
+  network_->attach(peer, [this, org](const net::Message& msg) {
+    if (msg.topic == "fabric.pdc-push") {
+      // Gossip receipt of private data: acknowledge to the submitter.
+      network_->send(peer_of(org), msg.from, "fabric.pdc-ack", msg.payload);
+      return;
+    }
+    if (msg.topic == "fabric.pdc-ack") {
+      ++pdc_acks_[common::to_string(msg.payload)];
+      return;
+    }
+    if (msg.topic != "fabric.block") return;
+    const ledger::Block block = ledger::Block::decode(msg.payload);
+    if (block.transactions.empty()) return;
+    const std::string& channel_name = block.transactions.front().channel;
+    const auto ch = channels_.find(channel_name);
+    if (ch == channels_.end() || !ch->second.members.contains(org)) return;
+    PeerReplica& replica = ch->second.replicas.at(org);
+
+    if (block.header.height < replica.chain.height()) return;  // duplicate
+    while (replica.chain.height() < block.header.height) {
+      commit_block(org, ch->second,
+                   ch->second.ordered_log[replica.chain.height()]);
+    }
+    commit_block(org, ch->second, block);
+  });
+
+  orgs_.insert_or_assign(org, Org{std::move(keypair), std::move(cert)});
+}
+
+std::optional<pki::IdemixCredential> FabricNetwork::issue_idemix_credential(
+    const std::string& org, const std::string& attribute_class) {
+  const auto it = orgs_.find(org);
+  if (it == orgs_.end()) return std::nullopt;
+  // Re-issue the identity certificate carrying the attribute class.
+  auto attrs = it->second.certificate.attributes;
+  attrs["class:" + attribute_class] = "1";
+  it->second.certificate =
+      ca_.issue(org, it->second.keypair.public_key(), attrs, 0, kCertLifetime);
+  return pki::request_credential(idemix_issuer_, it->second.certificate,
+                                 attribute_class, network_->clock().now(),
+                                 rng_);
+}
+
+void FabricNetwork::create_channel(const std::string& channel,
+                                   const std::set<std::string>& members) {
+  for (const std::string& member : members) {
+    if (!orgs_.contains(member)) {
+      throw common::ProtocolError("create_channel: unknown org " + member);
+    }
+  }
+  auto [it, inserted] =
+      channels_.try_emplace(channel, network_->auditor());
+  if (!inserted) throw common::ProtocolError("channel exists: " + channel);
+  it->second.members = members;
+  for (const std::string& member : members) {
+    it->second.replicas.try_emplace(member);
+  }
+  if (config_.orderer_deployment == ledger::OrdererDeployment::Private) {
+    // The first member (alphabetical) operates the channel's orderer.
+    it->second.private_orderer = std::make_unique<ledger::OrderingService>(
+        *members.begin(), ledger::OrdererDeployment::Private,
+        network_->auditor(), config_.block_size);
+  }
+}
+
+void FabricNetwork::join_channel(const std::string& channel,
+                                 const std::string& org, JoinMode mode) {
+  if (!orgs_.contains(org)) {
+    throw common::ProtocolError("join_channel: unknown org " + org);
+  }
+  auto& ch = channels_.at(channel);
+
+  if (mode == JoinMode::Snapshot && !ch.members.empty()) {
+    // Bootstrap from an existing member's state snapshot + chain
+    // checkpoint: current data only, no transaction history.
+    const PeerReplica& donor = ch.replicas.at(*ch.members.begin());
+    PeerReplica replica;
+    replica.state = donor.state;
+    replica.chain = ledger::Chain::from_checkpoint(donor.chain.height(),
+                                                   donor.chain.tip_hash());
+    std::uint64_t snapshot_bytes = 0;
+    for (const auto& [key, entry] : replica.state.entries()) {
+      snapshot_bytes += key.size() + entry.value.size();
+    }
+    network_->auditor().record(peer_of(org),
+                               "channel/" + channel + "/state-snapshot",
+                               snapshot_bytes);
+    ch.members.insert(org);
+    ch.replicas.insert_or_assign(org, std::move(replica));
+    return;
+  }
+
+  ch.members.insert(org);
+  ch.replicas.try_emplace(org);
+  // Replay bootstrap: the delivery service replays blocks from genesis,
+  // so the joiner observes the channel's entire history.
+  for (const ledger::Block& block : ch.ordered_log) {
+    commit_block(org, ch, block);
+  }
+}
+
+void FabricNetwork::leave_channel(const std::string& channel,
+                                  const std::string& org) {
+  auto& ch = channels_.at(channel);
+  ch.members.erase(org);
+  // Replica intentionally retained: shared data cannot be recalled.
+}
+
+void FabricNetwork::install_chaincode(
+    const std::string& channel, const std::string& org,
+    std::shared_ptr<contracts::SmartContract> chaincode,
+    contracts::EndorsementPolicy policy) {
+  auto& ch = channels_.at(channel);
+  if (!ch.members.contains(org)) {
+    throw common::AccessError("install_chaincode: " + org +
+                              " not a member of " + channel);
+  }
+  ch.policies.insert_or_assign(chaincode->name(), std::move(policy));
+  registry_.install(peer_of(org), std::move(chaincode));
+}
+
+void FabricNetwork::upgrade_chaincode(
+    const std::string& channel, const std::string& org,
+    std::shared_ptr<contracts::SmartContract> chaincode) {
+  auto& ch = channels_.at(channel);
+  if (!ch.members.contains(org)) {
+    throw common::AccessError("upgrade_chaincode: " + org +
+                              " not a member of " + channel);
+  }
+  registry_.install(peer_of(org), std::move(chaincode));
+}
+
+std::optional<std::uint32_t> FabricNetwork::chaincode_version(
+    const std::string& org, const std::string& chaincode) const {
+  const auto code = registry_.find(peer_of(org), chaincode);
+  if (!code) return std::nullopt;
+  return code->version();
+}
+
+void FabricNetwork::define_collection(const std::string& channel,
+                                      offchain::CollectionConfig config) {
+  channels_.at(channel).pdc.define(std::move(config));
+}
+
+ledger::OrderingService& FabricNetwork::orderer_for(Channel& channel) {
+  if (channel.private_orderer) return *channel.private_orderer;
+  return *shared_orderer_;
+}
+
+std::string FabricNetwork::orderer_operator(const std::string& channel) const {
+  const auto& ch = channels_.at(channel);
+  if (ch.private_orderer) return ch.private_orderer->operator_name();
+  return shared_orderer_->operator_name();
+}
+
+void FabricNetwork::commit_block(const std::string& org, Channel& channel,
+                                 const ledger::Block& block) {
+  PeerReplica& replica = channel.replicas.at(org);
+  replica.chain.append(block);
+  for (const ledger::Transaction& tx : block.transactions) {
+    // Every member peer sees the full transaction.
+    record_visibility(network_->auditor(), peer_of(org), tx);
+
+    bool valid = tx.endorsements_valid(*group_);
+    if (valid) {
+      const auto policy = channel.policies.find(tx.contract);
+      if (policy != channel.policies.end()) {
+        std::set<std::string> endorsers;
+        for (const ledger::Endorsement& e : tx.endorsements) {
+          // Endorsement counts only if the key really belongs to the org.
+          const auto known = orgs_.find(e.endorser);
+          if (known != orgs_.end() &&
+              known->second.keypair.public_key() == e.key) {
+            endorsers.insert(e.endorser);
+          }
+        }
+        valid = policy->second.satisfied_by(endorsers);
+      }
+    }
+    ledger::CommitResult commit = ledger::CommitResult::MvccConflict;
+    if (valid) commit = replica.state.apply(tx);
+
+    TxReceipt receipt;
+    receipt.tx_id = tx.id();
+    receipt.committed = valid && commit == ledger::CommitResult::Applied;
+    receipt.reason = !valid              ? "endorsement policy unsatisfied"
+                     : receipt.committed ? ""
+                                         : "mvcc conflict";
+    // Count each transaction once, on its first recorded commit
+    // (validation is deterministic, so replicas agree).
+    const bool first_record = !receipts_.contains(tx.id());
+    receipts_[tx.id()] = receipt;
+    if (receipt.committed && first_record) ++committed_count_;
+  }
+}
+
+void FabricNetwork::deliver_block(const std::string& channel_name,
+                                  const ledger::Block& block) {
+  auto& ch = channels_.at(channel_name);
+  // The orderer's delivery service retains every cut block; peers that
+  // miss a delivery seek into this log to catch up.
+  ch.ordered_log.push_back(block);
+  ch.block_height = block.header.height + 1;
+  ch.pdc.expire(ch.block_height);
+
+  const common::Bytes encoded = block.encode();
+  const std::string from = orderer_operator(channel_name);
+  for (const std::string& member : ch.members) {
+    network_->send(from, peer_of(member), "fabric.block", encoded);
+  }
+  network_->run();
+}
+
+TxReceipt FabricNetwork::submit(const std::string& channel,
+                                const std::string& client_org,
+                                const std::string& chaincode,
+                                const std::string& action,
+                                common::BytesView args,
+                                const std::optional<PrivatePayload>& private_data,
+                                const pki::IdemixCredential* idemix) {
+  const auto ch_it = channels_.find(channel);
+  if (ch_it == channels_.end()) return {false, "", "unknown channel"};
+  Channel& ch = ch_it->second;
+  if (!ch.members.contains(client_org)) {
+    return {false, "", "client not a channel member"};
+  }
+  const auto policy_it = ch.policies.find(chaincode);
+  if (policy_it == ch.policies.end()) {
+    return {false, "", "chaincode not installed on channel"};
+  }
+
+  // --- Endorsement phase -------------------------------------------------
+  const std::set<std::string> endorsing_orgs =
+      policy_it->second.mentioned_orgs();
+  std::optional<contracts::ExecutionResult> reference;
+  std::optional<crypto::Digest> reference_code;
+  std::vector<std::string> endorsers;
+  for (const std::string& org : endorsing_orgs) {
+    if (!ch.members.contains(org)) continue;
+    // In-built version control: all endorsers must run identical code.
+    if (const auto code = registry_.find(peer_of(org), chaincode)) {
+      if (!reference_code) {
+        reference_code = code->code_digest();
+      } else if (*reference_code != code->code_digest()) {
+        return {false, "", "chaincode version mismatch between endorsers"};
+      }
+    }
+    auto result = engine_.execute(peer_of(org), chaincode, action, args,
+                                  ch.replicas.at(org).state, channel);
+    if (!result || result->status != contracts::InvokeStatus::Ok) continue;
+    if (!reference) {
+      reference = std::move(result);
+    } else if (reference->tx.writes != result->tx.writes ||
+               reference->tx.reads != result->tx.reads) {
+      return {false, "", "endorsers diverged"};
+    }
+    endorsers.push_back(org);
+  }
+  if (!reference) return {false, "", "no endorsements"};
+  {
+    std::set<std::string> endorser_set(endorsers.begin(), endorsers.end());
+    if (!policy_it->second.satisfied_by(endorser_set)) {
+      return {false, "", "endorsement policy unsatisfied"};
+    }
+  }
+
+  ledger::Transaction tx = std::move(reference->tx);
+  tx.timestamp = network_->clock().now();
+
+  // --- Private data (PDC) -------------------------------------------------
+  if (private_data) {
+    const offchain::CollectionConfig* pre_cfg =
+        ch.pdc.config(private_data->collection);
+    if (pre_cfg == nullptr) return {false, "", "unknown collection"};
+
+    // Gossip dissemination with acknowledgements: the submission is only
+    // accepted once requiredPeerCount member peers confirmed receipt —
+    // otherwise a flaky network could leave the hash on the ledger with
+    // the data held by nobody but the submitter.
+    const std::string dissemination_id =
+        "pdc-" + std::to_string(pdc_dissemination_seq_++);
+    pdc_acks_[dissemination_id] = 0;
+    for (const std::string& member : pre_cfg->members) {
+      if (member == client_org || !ch.members.contains(member)) continue;
+      network_->send(peer_of(client_org), peer_of(member), "fabric.pdc-push",
+                     common::to_bytes(dissemination_id));
+    }
+    network_->run();
+    if (pdc_acks_[dissemination_id] < pre_cfg->required_peer_count) {
+      pdc_acks_.erase(dissemination_id);
+      return {false, "", "insufficient pdc dissemination"};
+    }
+    pdc_acks_.erase(dissemination_id);
+
+    const auto ref = ch.pdc.put_private(private_data->collection,
+                                        private_data->key,
+                                        private_data->value, ch.block_height);
+    if (!ref) return {false, "", "unknown collection"};
+    tx.hash_refs.push_back(*ref);
+    // The paper's caveat: members of the collection are listed in the
+    // transaction itself.
+    const offchain::CollectionConfig* cfg =
+        ch.pdc.config(private_data->collection);
+    for (const std::string& member : cfg->members) {
+      tx.participants.push_back("pdc-member:" + member);
+    }
+  }
+
+  // --- Client identity -----------------------------------------------------
+  if (idemix != nullptr) {
+    // Anonymous client: transaction carries the unlinkable pseudonym and a
+    // context-bound proof of possession.
+    const crypto::Digest digest = tx.body_digest();
+    const pki::IdemixPresentation presentation = pki::present(
+        *group_, *idemix, common::BytesView(digest.data(), digest.size()),
+        rng_);
+    tx.participants.push_back("idemix:" +
+                              presentation.pseudonym_key.fingerprint());
+    tx.parties_pseudonymous = true;
+    if (!pki::verify_presentation(*group_, ca_.public_key(), presentation,
+                                  common::BytesView(digest.data(),
+                                                    digest.size()),
+                                  idemix_issuer_.epoch())) {
+      return {false, "", "idemix presentation invalid"};
+    }
+  } else {
+    tx.participants.push_back("client:" + client_org);
+  }
+  for (const std::string& org : endorsers) tx.participants.push_back(org);
+
+  // --- Endorsement signatures ---------------------------------------------
+  for (const std::string& org : endorsers) {
+    tx.endorse(org, orgs_.at(org).keypair);
+  }
+
+  // --- Ordering + delivery --------------------------------------------------
+  const std::string tx_id = tx.id();
+  ledger::OrderingService& orderer = orderer_for(ch);
+  for (const ledger::Block& block :
+       orderer.submit(tx, network_->clock().now())) {
+    deliver_block(channel, block);
+  }
+  for (const ledger::Block& block : orderer.flush(network_->clock().now())) {
+    if (!block.transactions.empty()) {
+      deliver_block(block.transactions.front().channel, block);
+    }
+  }
+
+  const auto receipt = receipts_.find(tx_id);
+  if (receipt == receipts_.end()) return {false, tx_id, "not delivered"};
+  return receipt->second;
+}
+
+const ledger::WorldState& FabricNetwork::state(const std::string& channel,
+                                               const std::string& org) const {
+  const auto& ch = channels_.at(channel);
+  const auto it = ch.replicas.find(org);
+  if (it == ch.replicas.end()) {
+    throw common::AccessError(org + " holds no replica of " + channel);
+  }
+  return it->second.state;
+}
+
+const ledger::Chain& FabricNetwork::chain(const std::string& channel,
+                                          const std::string& org) const {
+  const auto& ch = channels_.at(channel);
+  const auto it = ch.replicas.find(org);
+  if (it == ch.replicas.end()) {
+    throw common::AccessError(org + " holds no replica of " + channel);
+  }
+  return it->second.chain;
+}
+
+std::optional<common::Bytes> FabricNetwork::read_private(
+    const std::string& channel, const std::string& collection,
+    const std::string& key, const std::string& org) const {
+  const auto it = channels_.find(channel);
+  if (it == channels_.end()) return std::nullopt;
+  return it->second.pdc.get_private(collection, key, org);
+}
+
+bool FabricNetwork::is_channel_member(const std::string& channel,
+                                      const std::string& org) const {
+  const auto it = channels_.find(channel);
+  return it != channels_.end() && it->second.members.contains(org);
+}
+
+}  // namespace veil::fabric

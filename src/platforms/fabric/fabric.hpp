@@ -1,0 +1,204 @@
+// Hyperledger-Fabric-style platform model (§5).
+//
+// Reproduced mechanics:
+//  * Channels — a separate ledger per subset of orgs; non-members hold no
+//    replica and never observe channel traffic. Channel membership itself
+//    is not revealed to the wider network.
+//  * Endorse -> order -> validate — clients collect endorsements
+//    according to a per-chaincode endorsement policy, the ordering
+//    service sequences endorsed transactions into blocks, and every
+//    member peer independently validates (policy + MVCC) before commit.
+//  * Chaincode confidentiality — code is visible only on peers where it
+//    is installed (ContractRegistry accounting).
+//  * Ordering-service visibility — a SHARED orderer observes every
+//    transaction on every channel (the §3.4 caveat); channels can instead
+//    run a PRIVATE orderer operated by a member.
+//  * Private Data Collections — data disseminated only to collection
+//    members, hash-on-ledger; the transaction still lists the collection
+//    members (the paper's caveat on PDC privacy).
+//  * Idemix — clients may transact under anonymous credentials; the
+//    transaction then carries an unlinkable pseudonym instead of the
+//    client identity.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "contracts/endorsement.hpp"
+#include "contracts/engine.hpp"
+#include "contracts/registry.hpp"
+#include "ledger/chain.hpp"
+#include "ledger/ordering.hpp"
+#include "ledger/state.hpp"
+#include "net/network.hpp"
+#include "offchain/pdc.hpp"
+#include "pki/idemix.hpp"
+#include "pki/membership.hpp"
+
+namespace veil::fabric {
+
+struct FabricConfig {
+  /// Shared: one orderer operated by "orderer-org" sequences every
+  /// channel. Private: each channel's first member operates its own.
+  ledger::OrdererDeployment orderer_deployment =
+      ledger::OrdererDeployment::Shared;
+  std::size_t block_size = 8;
+  bool expose_member_directory = true;
+};
+
+struct TxReceipt {
+  bool committed = false;
+  std::string tx_id;
+  std::string reason;
+};
+
+/// Optional private-data attachment for a submission.
+struct PrivatePayload {
+  std::string collection;
+  std::string key;
+  common::Bytes value;
+};
+
+class FabricNetwork {
+ public:
+  FabricNetwork(net::SimNetwork& network, const crypto::Group& group,
+                common::Rng& rng, FabricConfig config = {});
+
+  /// Onboard an organization: issues an identity certificate, registers
+  /// with the membership service and attaches a peer to the network.
+  void add_org(const std::string& org);
+
+  /// Grant an org an Idemix attribute class (on its identity cert) and
+  /// obtain an anonymous credential for it.
+  std::optional<pki::IdemixCredential> issue_idemix_credential(
+      const std::string& org, const std::string& attribute_class);
+
+  /// Create a channel among `members`. Throws if any member is unknown.
+  void create_channel(const std::string& channel,
+                      const std::set<std::string>& members);
+
+  /// How a late joiner's peer bootstraps:
+  ///  * Replay   — receive and validate every historical block; the
+  ///    joiner sees the channel's FULL transaction history.
+  ///  * Snapshot — receive a state snapshot plus a chain checkpoint from
+  ///    an existing member; the joiner sees current state but NO
+  ///    historical transactions (the privacy-preserving option).
+  enum class JoinMode { Replay, Snapshot };
+
+  /// Add an org to an existing channel.
+  void join_channel(const std::string& channel, const std::string& org,
+                    JoinMode mode = JoinMode::Replay);
+
+  /// Remove an org. Its peer stops receiving new blocks; the replica it
+  /// already holds is NOT clawed back (data, once shared, is out).
+  void leave_channel(const std::string& channel, const std::string& org);
+
+  /// Install chaincode on one org's peer (code becomes visible there).
+  void install_chaincode(const std::string& channel, const std::string& org,
+                         std::shared_ptr<contracts::SmartContract> chaincode,
+                         contracts::EndorsementPolicy policy);
+
+  /// Upgrade chaincode on one org's peer. Until every endorsing org has
+  /// upgraded, submissions fail with a version mismatch — the in-built
+  /// version control the paper's §3.3 criterion (2) refers to.
+  void upgrade_chaincode(const std::string& channel, const std::string& org,
+                         std::shared_ptr<contracts::SmartContract> chaincode);
+
+  /// Version of the chaincode installed on an org's peer, if any.
+  std::optional<std::uint32_t> chaincode_version(
+      const std::string& org, const std::string& chaincode) const;
+
+  /// Define a private data collection on a channel.
+  void define_collection(const std::string& channel,
+                         offchain::CollectionConfig config);
+
+  /// Full transaction flow. `client_org` drives the submission; if
+  /// `idemix` is set the transaction carries the pseudonym instead of the
+  /// org name. Returns the commit outcome after ordering and validation.
+  TxReceipt submit(const std::string& channel, const std::string& client_org,
+                   const std::string& chaincode, const std::string& action,
+                   common::BytesView args,
+                   const std::optional<PrivatePayload>& private_data = {},
+                   const pki::IdemixCredential* idemix = nullptr);
+
+  /// Member-only access to an org's channel replica.
+  const ledger::WorldState& state(const std::string& channel,
+                                  const std::string& org) const;
+  const ledger::Chain& chain(const std::string& channel,
+                             const std::string& org) const;
+
+  /// Private-data read as an org (nullopt when not a collection member).
+  std::optional<common::Bytes> read_private(const std::string& channel,
+                                            const std::string& collection,
+                                            const std::string& key,
+                                            const std::string& org) const;
+
+  bool is_channel_member(const std::string& channel,
+                         const std::string& org) const;
+
+  pki::MembershipService& membership() { return membership_; }
+  pki::IdemixIssuer& idemix_issuer() { return idemix_issuer_; }
+  net::LeakageAuditor& auditor() { return network_->auditor(); }
+  const crypto::Group& group() const { return *group_; }
+
+  /// Principal name of the orderer operator for a channel.
+  std::string orderer_operator(const std::string& channel) const;
+
+  std::uint64_t committed_tx_count() const { return committed_count_; }
+
+ private:
+  struct Org {
+    crypto::KeyPair keypair;
+    pki::Certificate certificate;
+  };
+
+  struct PeerReplica {
+    ledger::Chain chain;
+    ledger::WorldState state;
+  };
+
+  struct Channel {
+    std::set<std::string> members;
+    std::map<std::string, PeerReplica> replicas;  // org -> replica
+    std::map<std::string, contracts::EndorsementPolicy> policies;
+    std::unique_ptr<ledger::OrderingService> private_orderer;
+    offchain::PdcManager pdc;
+    std::uint64_t block_height = 0;
+    /// Every block the orderer has cut, in order — the delivery service
+    /// peers seek into when they missed deliveries.
+    std::vector<ledger::Block> ordered_log;
+
+    explicit Channel(net::LeakageAuditor& auditor) : pdc(auditor) {}
+  };
+
+  ledger::OrderingService& orderer_for(Channel& channel);
+  void deliver_block(const std::string& channel_name,
+                     const ledger::Block& block);
+  /// Validate and commit one block into one org's replica.
+  void commit_block(const std::string& org, Channel& channel,
+                    const ledger::Block& block);
+  static std::string peer_of(const std::string& org) { return "peer." + org; }
+
+  net::SimNetwork* network_;
+  const crypto::Group* group_;
+  common::Rng rng_;
+  FabricConfig config_;
+  pki::CertificateAuthority ca_;
+  pki::MembershipService membership_;
+  pki::IdemixIssuer idemix_issuer_;
+  contracts::ContractRegistry registry_;
+  contracts::ExecutionEngine engine_;
+  std::unique_ptr<ledger::OrderingService> shared_orderer_;
+  std::map<std::string, Org> orgs_;
+  std::map<std::string, Channel> channels_;
+  std::map<std::string, TxReceipt> receipts_;  // by tx id
+  std::map<std::string, std::size_t> pdc_acks_;  // dissemination id -> acks
+  std::uint64_t pdc_dissemination_seq_ = 0;
+  std::uint64_t committed_count_ = 0;
+};
+
+}  // namespace veil::fabric

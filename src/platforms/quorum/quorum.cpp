@@ -1,0 +1,204 @@
+#include "platforms/quorum/quorum.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace veil::quorum {
+
+QuorumNetwork::QuorumNetwork(net::SimNetwork& network,
+                             const crypto::Group& group, common::Rng& rng,
+                             std::size_t block_size)
+    : network_(&network),
+      group_(&group),
+      rng_(rng.fork()),
+      block_size_(block_size) {
+  tip_hash_ = crypto::sha256(std::string_view("veil.chain.genesis"));
+}
+
+void QuorumNetwork::add_node(const std::string& org) {
+  if (nodes_.contains(org)) return;
+  nodes_.insert_or_assign(
+      org, Node{crypto::KeyPair::generate(*group_, rng_), {}, {}, {}, {}});
+  network_->attach(org, [](const net::Message&) {});
+}
+
+TxResult QuorumNetwork::submit_public(
+    const std::string& from, const std::vector<ledger::KvWrite>& writes) {
+  if (!nodes_.contains(from)) return {false, "", "unknown node"};
+  ledger::Transaction tx;
+  tx.channel = "quorum";
+  tx.contract = "evm";
+  tx.action = "public";
+  tx.participants = {from};
+  tx.writes = writes;
+  tx.timestamp = network_->clock().now();
+  common::Writer nonce;
+  nonce.u64(nonce_++);
+  tx.payload = nonce.take();
+  tx.endorse(from, nodes_.at(from).keypair);
+  ++public_count_;
+  return enqueue(std::move(tx), {}, {}, {});
+}
+
+TxResult QuorumNetwork::submit_private(const std::string& from,
+                                       const std::set<std::string>& recipients,
+                                       const std::vector<ledger::KvWrite>& writes,
+                                       common::Bytes payload) {
+  if (!nodes_.contains(from)) return {false, "", "unknown node"};
+  for (const std::string& r : recipients) {
+    if (!nodes_.contains(r)) return {false, "", "unknown recipient " + r};
+  }
+
+  // Serialize the private detail; only its hash goes on chain.
+  common::Writer w;
+  w.varint(writes.size());
+  for (const ledger::KvWrite& kv : writes) {
+    w.str(kv.key);
+    w.bytes(kv.value);
+    w.boolean(kv.is_delete);
+  }
+  w.bytes(payload);
+  w.u64(nonce_++);
+  const common::Bytes private_blob = w.take();
+
+  ledger::Transaction tx;
+  tx.channel = "quorum";
+  tx.contract = "evm";
+  tx.action = "private";
+  // DOCUMENTED FLAW: the participant list is public on the chain.
+  tx.participants.push_back(from);
+  for (const std::string& r : recipients) tx.participants.push_back(r);
+  tx.payload = crypto::digest_bytes(crypto::sha256(private_blob));
+  tx.data_opaque = true;  // chain carries hash only
+  tx.timestamp = network_->clock().now();
+  tx.endorse(from, nodes_.at(from).keypair);
+  ++private_count_;
+  return enqueue(std::move(tx), recipients, writes, private_blob);
+}
+
+TxResult QuorumNetwork::enqueue(ledger::Transaction tx,
+                                const std::set<std::string>& private_recipients,
+                                const std::vector<ledger::KvWrite>& private_writes,
+                                const common::Bytes& private_payload) {
+  const std::string tx_id = tx.id();
+  const std::string from = tx.participants.front();
+
+  if (tx.action == "private") {
+    // Transaction-manager dissemination (Tessera-style): the payload is
+    // sealed under a per-recipient pair key, pushed, and opened at the
+    // recipient's transaction manager. This per-recipient crypto is what
+    // makes private transactions slower than public ones — the [5]
+    // performance result reproduced by bench_scalability_quorum.
+    std::set<std::string> holders = private_recipients;
+    holders.insert(from);
+    for (const std::string& holder : holders) {
+      if (holder == from) {
+        auditor().record(holder, "tx/" + tx_id + "/data",
+                         private_payload.size());
+        nodes_.at(holder).tm_store[tx_id] = private_payload;
+        continue;
+      }
+      const common::Bytes pair_key = crypto::hkdf(
+          {}, common::to_bytes(from + "|" + holder), "quorum.tm.pair", 32);
+      common::Writer nonce;
+      nonce.u64(nonce_++);
+      common::Bytes nonce16 = nonce.take();
+      nonce16.resize(16, 0);
+      const common::Bytes sealed =
+          crypto::seal(pair_key, private_payload, nonce16);
+      network_->send(from, holder, "quorum.tm-push", sealed);
+      const auto opened = crypto::open(pair_key, sealed);
+      if (!opened) return {false, tx_id, "tm decryption failed"};
+      auditor().record(holder, "tx/" + tx_id + "/data", opened->size());
+      nodes_.at(holder).tm_store[tx_id] = *opened;
+    }
+    private_details_[tx_id] = PrivateDetail{holders, private_writes};
+  }
+
+  pending_.push_back(std::move(tx));
+  if (pending_.size() >= block_size_) seal_block();
+  return {true, tx_id, ""};
+}
+
+void QuorumNetwork::seal_block() {
+  if (pending_.empty()) return;
+  ledger::Block block = ledger::Block::make(
+      next_height_, tip_hash_, std::move(pending_), network_->clock().now());
+  pending_.clear();
+  tip_hash_ = block.header.hash();
+  ++next_height_;
+  deliver(block);
+}
+
+void QuorumNetwork::deliver(const ledger::Block& block) {
+  const common::Bytes encoded = block.encode();
+  for (auto& [org, node] : nodes_) {
+    network_->send(block.transactions.front().participants.front(), org,
+                   "quorum.block", encoded);
+    node.chain.append(block);
+    for (const ledger::Transaction& tx : block.transactions) {
+      // Every node sees the full on-chain form: public payload in clear,
+      // private payload as hash — but always the participant list.
+      record_visibility(auditor(), org, tx);
+      if (tx.action == "public") {
+        for (const ledger::KvWrite& kv : tx.writes) {
+          if (kv.is_delete) {
+            node.public_state.erase(kv.key);
+          } else {
+            node.public_state.put(kv.key, kv.value);
+          }
+        }
+      } else {
+        const auto detail = private_details_.find(tx.id());
+        if (detail != private_details_.end() &&
+            detail->second.recipients.contains(org)) {
+          // Recipients decrypt via their TM store and update private state.
+          for (const ledger::KvWrite& kv : detail->second.writes) {
+            if (kv.is_delete) {
+              node.private_state.erase(kv.key);
+            } else {
+              node.private_state.put(kv.key, kv.value);
+            }
+          }
+        }
+      }
+    }
+  }
+  network_->run();
+}
+
+const ledger::Chain& QuorumNetwork::public_chain(const std::string& org) const {
+  return nodes_.at(org).chain;
+}
+
+const ledger::WorldState& QuorumNetwork::public_state(
+    const std::string& org) const {
+  return nodes_.at(org).public_state;
+}
+
+const ledger::WorldState& QuorumNetwork::private_state(
+    const std::string& org) const {
+  return nodes_.at(org).private_state;
+}
+
+std::optional<common::Bytes> QuorumNetwork::private_payload(
+    const std::string& org, const std::string& tx_id) const {
+  const auto node = nodes_.find(org);
+  if (node == nodes_.end()) return std::nullopt;
+  const auto it = node->second.tm_store.find(tx_id);
+  if (it == node->second.tm_store.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> QuorumNetwork::private_owner(
+    const std::string& org, const std::string& asset) const {
+  const auto node = nodes_.find(org);
+  if (node == nodes_.end()) return std::nullopt;
+  const auto entry = node->second.private_state.get("asset/" + asset + "/owner");
+  if (!entry) return std::nullopt;
+  return common::to_string(entry->value);
+}
+
+}  // namespace veil::quorum

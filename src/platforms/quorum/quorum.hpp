@@ -1,0 +1,115 @@
+// Quorum-style platform model (§5).
+//
+// Reproduced mechanics:
+//  * One public ledger replicated to every node; public transactions are
+//    visible to all in full.
+//  * Private transactions — the payload goes to a transaction-manager
+//    (Tessera-like) store and is released only to the named recipients;
+//    the public chain carries the payload HASH. Every node sees that a
+//    private transaction happened.
+//  * Documented flaw 1 (participant leak): the on-chain private
+//    transaction includes its participant list, revealing who interacts
+//    with whom to the entire network.
+//  * Documented flaw 2 (double spend): private state is validated only by
+//    the involved parties; nothing stops an owner from privately
+//    transferring the same asset to two disjoint recipient sets. The
+//    adapter faithfully allows this; tests reproduce it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ledger/chain.hpp"
+#include "ledger/state.hpp"
+#include "net/network.hpp"
+#include "pki/ca.hpp"
+
+namespace veil::quorum {
+
+struct TxResult {
+  bool accepted = false;
+  std::string tx_id;
+  std::string reason;
+};
+
+class QuorumNetwork {
+ public:
+  QuorumNetwork(net::SimNetwork& network, const crypto::Group& group,
+                common::Rng& rng, std::size_t block_size = 4);
+
+  void add_node(const std::string& org);
+
+  /// Public transaction: key/value writes visible to every node.
+  TxResult submit_public(const std::string& from,
+                         const std::vector<ledger::KvWrite>& writes);
+
+  /// Private transaction: `payload`/`writes` go only to `recipients`
+  /// (+ sender); the public chain carries hash + participant list.
+  TxResult submit_private(const std::string& from,
+                          const std::set<std::string>& recipients,
+                          const std::vector<ledger::KvWrite>& writes,
+                          common::Bytes payload = {});
+
+  /// Force any pending transactions into a block.
+  void seal_block();
+
+  /// Node views.
+  const ledger::Chain& public_chain(const std::string& org) const;
+  const ledger::WorldState& public_state(const std::string& org) const;
+  const ledger::WorldState& private_state(const std::string& org) const;
+
+  /// Private payload retrieval through the transaction manager; nullopt
+  /// for non-recipients.
+  std::optional<common::Bytes> private_payload(const std::string& org,
+                                               const std::string& tx_id) const;
+
+  /// Convenience for the double-spend demonstration: who does `org`
+  /// believe owns `asset` (from its private state)?
+  std::optional<std::string> private_owner(const std::string& org,
+                                           const std::string& asset) const;
+
+  net::LeakageAuditor& auditor() { return network_->auditor(); }
+
+  std::uint64_t public_tx_count() const { return public_count_; }
+  std::uint64_t private_tx_count() const { return private_count_; }
+
+ private:
+  struct Node {
+    crypto::KeyPair keypair;
+    ledger::Chain chain;
+    ledger::WorldState public_state;
+    ledger::WorldState private_state;
+    // Tessera-like store: tx id -> plaintext payload (recipients only).
+    std::map<std::string, common::Bytes> tm_store;
+  };
+
+  TxResult enqueue(ledger::Transaction tx,
+                   const std::set<std::string>& private_recipients,
+                   const std::vector<ledger::KvWrite>& private_writes,
+                   const common::Bytes& private_payload);
+  void deliver(const ledger::Block& block);
+
+  net::SimNetwork* network_;
+  const crypto::Group* group_;
+  common::Rng rng_;
+  std::size_t block_size_;
+  std::map<std::string, Node> nodes_;
+  std::vector<ledger::Transaction> pending_;
+  // tx id -> (recipients, private writes) — dissemination bookkeeping.
+  struct PrivateDetail {
+    std::set<std::string> recipients;
+    std::vector<ledger::KvWrite> writes;
+  };
+  std::map<std::string, PrivateDetail> private_details_;
+  std::uint64_t next_height_ = 0;
+  crypto::Digest tip_hash_{};
+  std::uint64_t public_count_ = 0;
+  std::uint64_t private_count_ = 0;
+  std::uint64_t nonce_ = 0;
+};
+
+}  // namespace veil::quorum

@@ -1,0 +1,61 @@
+#include "tee/attestation.hpp"
+
+#include "common/serialize.hpp"
+
+namespace veil::tee {
+
+common::Bytes AttestationQuote::to_be_signed() const {
+  common::Writer w;
+  w.str("veil.tee.quote");
+  w.raw(common::BytesView(measurement.data(), measurement.size()));
+  w.bytes(nonce);
+  w.u64(device_cert.serial);
+  return w.take();
+}
+
+Manufacturer::Manufacturer(const crypto::Group& group, common::Rng& rng)
+    : group_(&group), root_(crypto::KeyPair::generate(group, rng)) {}
+
+Manufacturer::Provision Manufacturer::provision(const std::string& device_id,
+                                                common::SimTime now) {
+  // Device keys are derived from the root secret and device id, mirroring
+  // fused-at-manufacturing keys (deterministic per device).
+  common::Writer seed;
+  seed.str("veil.tee.device");
+  seed.str(device_id);
+  seed.bytes(root_.secret().to_bytes_be());
+  const crypto::BigInt secret =
+      crypto::BigInt::from_bytes_be(
+          crypto::digest_bytes(crypto::sha256(seed.data())));
+  crypto::KeyPair device_key = crypto::KeyPair::from_secret(*group_, secret);
+
+  pki::Certificate cert;
+  cert.serial = next_serial_++;
+  cert.subject = "tee-device/" + device_id;
+  cert.issuer = "tee-manufacturer";
+  cert.subject_key = device_key.public_key();
+  cert.attributes["tee"] = "device";
+  cert.not_before = now;
+  cert.not_after = ~common::SimTime{0};
+  cert.issuer_signature = root_.sign(cert.to_be_signed());
+  return Provision{std::move(device_key), std::move(cert)};
+}
+
+bool verify_quote(const crypto::Group& group,
+                  const crypto::PublicKey& manufacturer_root,
+                  const AttestationQuote& quote,
+                  const crypto::Digest& expected_measurement,
+                  common::BytesView expected_nonce, common::SimTime now) {
+  if (quote.measurement != expected_measurement) return false;
+  if (!common::ct_equal(quote.nonce, expected_nonce)) return false;
+  if (!quote.device_cert.verify(group, manufacturer_root, now)) return false;
+  if (quote.device_cert.attributes.find("tee") ==
+          quote.device_cert.attributes.end() ||
+      quote.device_cert.attributes.at("tee") != "device") {
+    return false;
+  }
+  return crypto::verify(group, quote.device_cert.subject_key,
+                        quote.to_be_signed(), quote.quote_signature);
+}
+
+}  // namespace veil::tee

@@ -1,0 +1,58 @@
+// Remote attestation for simulated enclaves (§2.2 "Trusted execution
+// environments").
+//
+// Trust chain mirrors SGX at the design level: the manufacturer embeds a
+// device key at provisioning time and publishes its root public key; an
+// enclave produces quotes — signatures over (measurement, nonce) by its
+// device key — and ships them with the manufacturer-signed device
+// certificate. A verifier needs only the manufacturer root key.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signature.hpp"
+#include "pki/certificate.hpp"
+
+namespace veil::tee {
+
+struct AttestationQuote {
+  crypto::Digest measurement{};       // hash of the code inside the enclave
+  common::Bytes nonce;                // verifier freshness challenge
+  pki::Certificate device_cert;       // manufacturer-signed device key
+  crypto::Signature quote_signature;  // device-key signature over the quote
+
+  common::Bytes to_be_signed() const;
+};
+
+/// The hardware manufacturer: provisions device keys and endorses them.
+class Manufacturer {
+ public:
+  Manufacturer(const crypto::Group& group, common::Rng& rng);
+
+  /// Provision a new device key for an enclave identified by `device_id`.
+  struct Provision {
+    crypto::KeyPair device_key;
+    pki::Certificate device_cert;
+  };
+  Provision provision(const std::string& device_id, common::SimTime now);
+
+  const crypto::PublicKey& root_key() const { return root_.public_key(); }
+  const crypto::Group& group() const { return *group_; }
+
+ private:
+  const crypto::Group* group_;
+  crypto::KeyPair root_;
+  std::uint64_t next_serial_ = 1;
+};
+
+/// Verify a quote: device certificate chains to the manufacturer, quote
+/// signature verifies under the device key, measurement and nonce match.
+bool verify_quote(const crypto::Group& group,
+                  const crypto::PublicKey& manufacturer_root,
+                  const AttestationQuote& quote,
+                  const crypto::Digest& expected_measurement,
+                  common::BytesView expected_nonce, common::SimTime now);
+
+}  // namespace veil::tee

@@ -1,0 +1,230 @@
+#include "tee/enclave.hpp"
+
+#include "common/serialize.hpp"
+#include "crypto/hmac.hpp"
+
+namespace veil::tee {
+
+common::Bytes InvokeRequest::encode() const {
+  common::Writer w;
+  w.str(contract);
+  w.str(action);
+  w.bytes(args);
+  return w.take();
+}
+
+InvokeRequest InvokeRequest::decode(common::BytesView data) {
+  common::Reader r(data);
+  InvokeRequest req;
+  req.contract = r.str();
+  req.action = r.str();
+  req.args = r.bytes();
+  return req;
+}
+
+common::Bytes InvokeResponse::encode() const {
+  common::Writer w;
+  w.boolean(ok);
+  w.varint(writes.size());
+  for (const ledger::KvWrite& kv : writes) {
+    w.str(kv.key);
+    w.bytes(kv.value);
+    w.boolean(kv.is_delete);
+  }
+  w.raw(common::BytesView(state_root.data(), state_root.size()));
+  return w.take();
+}
+
+InvokeResponse InvokeResponse::decode(common::BytesView data) {
+  common::Reader r(data);
+  InvokeResponse resp;
+  resp.ok = r.boolean();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ledger::KvWrite kv;
+    kv.key = r.str();
+    kv.value = r.bytes();
+    kv.is_delete = r.boolean();
+    resp.writes.push_back(std::move(kv));
+  }
+  const common::Bytes d = r.raw(crypto::kSha256DigestSize);
+  std::copy(d.begin(), d.end(), resp.state_root.begin());
+  return resp;
+}
+
+Enclave::Enclave(std::string host, Manufacturer& manufacturer,
+                 const std::string& device_id, net::LeakageAuditor& auditor,
+                 common::Rng& rng, common::SimTime now)
+    : host_(std::move(host)),
+      group_(&manufacturer.group()),
+      device_key_(crypto::KeyPair::generate(manufacturer.group(), rng)),
+      device_cert_(pki::Certificate{}),
+      auditor_(&auditor) {
+  // Re-provision through the manufacturer so the cert chains to its root.
+  auto provision = manufacturer.provision(device_id, now);
+  device_key_ = std::move(provision.device_key);
+  device_cert_ = std::move(provision.device_cert);
+}
+
+void Enclave::load(std::shared_ptr<contracts::SmartContract> contract) {
+  // Host observes only the encrypted code image.
+  auditor_->record(host_, "contract/" + contract->name() + "/code",
+                   contract->code_size(), /*plaintext=*/false);
+  contracts_[contract->name()] = std::move(contract);
+}
+
+crypto::Digest Enclave::measurement() const {
+  crypto::Sha256 h;
+  h.update("veil.tee.measurement");
+  for (const auto& [name, contract] : contracts_) {
+    const crypto::Digest d = contract->code_digest();
+    h.update(common::BytesView(d.data(), d.size()));
+  }
+  return h.finalize();
+}
+
+AttestationQuote Enclave::attest(common::BytesView nonce) const {
+  AttestationQuote quote;
+  quote.measurement = measurement();
+  quote.nonce.assign(nonce.begin(), nonce.end());
+  quote.device_cert = device_cert_;
+  quote.quote_signature = device_key_.sign(quote.to_be_signed());
+  return quote;
+}
+
+Enclave::SessionOffer Enclave::open_session(
+    const crypto::PublicKey& client_key, common::Rng& rng) {
+  // Ephemeral DH: session key = HKDF(client_pub ^ eph_secret).
+  const crypto::KeyPair ephemeral = crypto::KeyPair::generate(*group_, rng);
+  const crypto::BigInt shared =
+      client_key.y.mod_pow(ephemeral.secret(), group_->p());
+  const common::Bytes key =
+      crypto::hkdf({}, shared.to_bytes_be(), "veil.tee.session", 32);
+
+  const std::uint64_t id = next_session_++;
+  sessions_[id] = key;
+  return SessionOffer{id, ephemeral.public_key()};
+}
+
+std::optional<SealedResponse> Enclave::invoke(const SealedRequest& request) {
+  const auto session = sessions_.find(request.session_id);
+  if (session == sessions_.end()) return std::nullopt;
+
+  // Host-side visibility: ciphertext only.
+  auditor_->record(host_, "tee/request", request.ciphertext.size(),
+                   /*plaintext=*/false);
+
+  const auto plaintext = crypto::open(session->second, request.ciphertext);
+  if (!plaintext) return std::nullopt;
+  const InvokeRequest req = InvokeRequest::decode(*plaintext);
+
+  InvokeResponse resp;
+  const auto it = contracts_.find(req.contract);
+  if (it != contracts_.end()) {
+    contracts::ContractContext ctx(state_, req.args);
+    if (it->second->invoke(ctx, req.action) == contracts::InvokeStatus::Ok) {
+      resp.ok = true;
+      resp.writes = ctx.writes();
+      for (const ledger::KvWrite& kv : resp.writes) {
+        if (kv.is_delete) {
+          state_.erase(kv.key);
+        } else {
+          state_.put(kv.key, kv.value);
+        }
+      }
+    }
+  }
+  resp.state_root = state_digest();
+
+  // Seal the response with a fresh counter nonce.
+  common::Writer nonce;
+  nonce.u64(request.session_id);
+  nonce.u64(++nonce_counter_);
+  common::Bytes nonce16 = nonce.take();
+  nonce16.resize(16, 0);
+
+  SealedResponse sealed;
+  sealed.ciphertext = crypto::seal(session->second, resp.encode(), nonce16);
+  auditor_->record(host_, "tee/response", sealed.ciphertext.size(),
+                   /*plaintext=*/false);
+  return sealed;
+}
+
+common::Bytes Enclave::sealing_key() const {
+  return crypto::hkdf({}, device_key_.secret().to_bytes_be(),
+                      "veil.tee.sealing", 32);
+}
+
+crypto::Digest Enclave::state_digest() const {
+  crypto::Sha256 h;
+  h.update("veil.tee.state");
+  for (const auto& [key, entry] : state_.entries()) {
+    h.update(key);
+    h.update(entry.value);
+  }
+  return h.finalize();
+}
+
+common::Bytes Enclave::seal_state() const {
+  common::Writer w;
+  w.varint(state_.entries().size());
+  for (const auto& [key, entry] : state_.entries()) {
+    w.str(key);
+    w.bytes(entry.value);
+    w.u64(entry.version);
+  }
+  common::Writer nonce;
+  nonce.str("sealstate");
+  nonce.u64(state_.entries().size());
+  common::Bytes nonce16 = nonce.take();
+  nonce16.resize(16, 0);
+  common::Bytes sealed = crypto::seal(sealing_key(), w.data(), nonce16);
+  auditor_->record(host_, "tee/sealed-state", sealed.size(),
+                   /*plaintext=*/false);
+  return sealed;
+}
+
+bool Enclave::unseal_state(common::BytesView sealed) {
+  const auto plaintext = crypto::open(sealing_key(), sealed);
+  if (!plaintext) return false;
+  common::Reader r(*plaintext);
+  ledger::WorldState restored;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string key = r.str();
+    common::Bytes value = r.bytes();
+    const std::uint64_t version = r.u64();
+    // put() bumps version by 1 each call; replay to reach the recorded one.
+    for (std::uint64_t v = 0; v < version; ++v) restored.put(key, value);
+  }
+  state_ = std::move(restored);
+  return true;
+}
+
+EnclaveClient::EnclaveClient(const crypto::Group& group, common::Rng& rng)
+    : keypair_(crypto::KeyPair::generate(group, rng)) {}
+
+void EnclaveClient::accept(const Enclave::SessionOffer& offer) {
+  const crypto::BigInt shared =
+      offer.enclave_key.y.mod_pow(keypair_.secret(), keypair_.group().p());
+  session_key_ = crypto::hkdf({}, shared.to_bytes_be(), "veil.tee.session", 32);
+  session_id_ = offer.session_id;
+}
+
+SealedRequest EnclaveClient::seal(const InvokeRequest& request,
+                                  common::Rng& rng) const {
+  SealedRequest sealed;
+  sealed.session_id = session_id_;
+  sealed.ciphertext =
+      crypto::seal(session_key_, request.encode(), rng.next_bytes(16));
+  return sealed;
+}
+
+std::optional<InvokeResponse> EnclaveClient::open(
+    const SealedResponse& response) const {
+  const auto plaintext = crypto::open(session_key_, response.ciphertext);
+  if (!plaintext) return std::nullopt;
+  return InvokeResponse::decode(*plaintext);
+}
+
+}  // namespace veil::tee

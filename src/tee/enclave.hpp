@@ -1,0 +1,141 @@
+// Simulated enclave: host-blind execution of smart contracts (§2.2, §2.3).
+//
+// Design-level properties preserved from real TEEs:
+//  * Code measurement — the enclave reports a digest of the loaded
+//    contract; a verifier compares it against the expected build.
+//  * Remote attestation — quotes signed by a manufacturer-provisioned
+//    device key (attestation.hpp).
+//  * Encrypted I/O — clients establish a DH session with the enclave and
+//    exchange sealed request/response blobs. The HOST principal observes
+//    only ciphertext: every datum crossing the enclave boundary is
+//    recorded in the leakage auditor with plaintext=false.
+//  * Sealed storage — enclave state persisted through the host is
+//    encrypted under a key derived from the device key.
+//
+// This lets an UNINVOLVED node validate confidential transactions: it
+// hosts the enclave, the enclave re-executes the contract on sealed
+// inputs, and the host learns nothing but sizes (Figure 1's "independent
+// validation while keeping data confidential" branch).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "contracts/contract.hpp"
+#include "crypto/aes.hpp"
+#include "ledger/state.hpp"
+#include "net/leakage.hpp"
+#include "tee/attestation.hpp"
+
+namespace veil::tee {
+
+/// A sealed invocation request, produced by EnclaveClient.
+struct SealedRequest {
+  std::uint64_t session_id = 0;
+  common::Bytes ciphertext;
+};
+
+struct SealedResponse {
+  common::Bytes ciphertext;
+};
+
+/// Plaintext request/response formats (sealed on the wire).
+struct InvokeRequest {
+  std::string contract;
+  std::string action;
+  common::Bytes args;
+
+  common::Bytes encode() const;
+  static InvokeRequest decode(common::BytesView data);
+};
+
+struct InvokeResponse {
+  bool ok = false;
+  std::vector<ledger::KvWrite> writes;
+  crypto::Digest state_root{};  // digest over the enclave's private state
+
+  common::Bytes encode() const;
+  static InvokeResponse decode(common::BytesView data);
+};
+
+class Enclave {
+ public:
+  /// `host` is the (potentially untrusted) principal operating the
+  /// machine; everything it can observe is recorded with plaintext=false.
+  Enclave(std::string host, Manufacturer& manufacturer,
+          const std::string& device_id, net::LeakageAuditor& auditor,
+          common::Rng& rng, common::SimTime now);
+
+  /// Load contract code. Delivery is assumed encrypted to the enclave
+  /// (the host sees ciphertext of the code only).
+  void load(std::shared_ptr<contracts::SmartContract> contract);
+
+  /// Measurement of all loaded code (order-independent).
+  crypto::Digest measurement() const;
+
+  AttestationQuote attest(common::BytesView nonce) const;
+
+  /// DH session establishment: client sends its ephemeral public key and
+  /// receives the enclave's. Both derive the same AES session key.
+  struct SessionOffer {
+    std::uint64_t session_id;
+    crypto::PublicKey enclave_key;
+  };
+  SessionOffer open_session(const crypto::PublicKey& client_key,
+                            common::Rng& rng);
+
+  /// Execute a sealed request inside the enclave. The host observes only
+  /// ciphertext sizes. Returns nullopt on unknown session or MAC failure.
+  std::optional<SealedResponse> invoke(const SealedRequest& request);
+
+  /// Sealed storage: export the private state encrypted under the device
+  /// sealing key (host can persist, not read).
+  common::Bytes seal_state() const;
+  bool unseal_state(common::BytesView sealed);
+
+  const std::string& host() const { return host_; }
+  const ledger::WorldState& private_state() const { return state_; }
+
+ private:
+  common::Bytes session_key(std::uint64_t session_id) const;
+  common::Bytes sealing_key() const;
+  crypto::Digest state_digest() const;
+
+  std::string host_;
+  const crypto::Group* group_;
+  crypto::KeyPair device_key_;
+  pki::Certificate device_cert_;
+  net::LeakageAuditor* auditor_;
+  std::map<std::string, std::shared_ptr<contracts::SmartContract>> contracts_;
+  ledger::WorldState state_;
+  std::map<std::uint64_t, common::Bytes> sessions_;  // id -> AES key
+  std::uint64_t next_session_ = 1;
+  std::uint64_t nonce_counter_ = 0;
+};
+
+/// Client-side helper for talking to an enclave.
+class EnclaveClient {
+ public:
+  EnclaveClient(const crypto::Group& group, common::Rng& rng);
+
+  /// Complete session setup from the enclave's offer.
+  void accept(const Enclave::SessionOffer& offer);
+
+  const crypto::PublicKey& public_key() const {
+    return keypair_.public_key();
+  }
+  std::uint64_t session_id() const { return session_id_; }
+
+  SealedRequest seal(const InvokeRequest& request, common::Rng& rng) const;
+  std::optional<InvokeResponse> open(const SealedResponse& response) const;
+
+ private:
+  crypto::KeyPair keypair_;
+  std::uint64_t session_id_ = 0;
+  common::Bytes session_key_;
+};
+
+}  // namespace veil::tee

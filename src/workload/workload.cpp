@@ -1,0 +1,86 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace veil::workload {
+
+TradeWorkload::TradeWorkload(std::vector<std::string> parties,
+                             TradeConfig config, std::uint64_t seed)
+    : parties_(std::move(parties)), config_(config), rng_(seed) {
+  if (parties_.size() < 2) {
+    throw common::Error("TradeWorkload: needs at least 2 parties");
+  }
+}
+
+std::size_t TradeWorkload::pick_party() {
+  if (config_.hub_bias <= 0.0) return rng_.next_below(parties_.size());
+  // Repeated-minimum sampling: taking the min of k uniform draws skews
+  // selection toward low indices; k grows with the bias.
+  const int draws = 1 + static_cast<int>(config_.hub_bias);
+  std::size_t best = rng_.next_below(parties_.size());
+  for (int i = 1; i < draws; ++i) {
+    best = std::min(best, rng_.next_below(parties_.size()));
+  }
+  return best;
+}
+
+TradeEvent TradeWorkload::next() {
+  TradeEvent event;
+  const std::size_t buyer = pick_party();
+  std::size_t seller = pick_party();
+  while (seller == buyer) seller = rng_.next_below(parties_.size());
+  event.buyer = parties_[buyer];
+  event.seller = parties_[seller];
+  event.amount = 1 + rng_.next_below(config_.max_amount);
+  event.details = rng_.next_bytes(config_.details_bytes);
+  event.confidential = rng_.next_double() < config_.confidential_fraction;
+  return event;
+}
+
+std::vector<TradeEvent> TradeWorkload::take(std::size_t n) {
+  std::vector<TradeEvent> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+SupplyChainWorkload::SupplyChainWorkload(std::vector<std::string> chain,
+                                         SupplyChainConfig config,
+                                         std::uint64_t seed)
+    : chain_(std::move(chain)), config_(config), rng_(seed) {
+  if (chain_.size() < 2) {
+    throw common::Error("SupplyChainWorkload: needs at least 2 custodians");
+  }
+  config_.hops_per_item = std::min<std::uint32_t>(
+      config_.hops_per_item, static_cast<std::uint32_t>(chain_.size() - 1));
+  if (config_.hops_per_item == 0) config_.hops_per_item = 1;
+}
+
+CustodyEvent SupplyChainWorkload::next() {
+  CustodyEvent event;
+  event.item = "item-" + std::to_string(item_counter_);
+  event.hop = current_hop_;
+  event.from = chain_[current_hop_];
+  event.to = chain_[current_hop_ + 1];
+  event.inspection = rng_.next_bytes(config_.inspection_bytes);
+  event.final_hop = (current_hop_ + 1 == config_.hops_per_item);
+
+  if (event.final_hop) {
+    ++item_counter_;
+    current_hop_ = 0;
+  } else {
+    ++current_hop_;
+  }
+  return event;
+}
+
+std::vector<CustodyEvent> SupplyChainWorkload::take(std::size_t n) {
+  std::vector<CustodyEvent> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace veil::workload

@@ -1,0 +1,97 @@
+// Synthetic enterprise workload generators.
+//
+// §3.4 closes with: "when designing a solution, custom scalability tests
+// may need to be designed to fit the particular use case". This module
+// is that tooling: deterministic, parameterized event streams for the
+// two use-case families the paper's introduction motivates — bilateral
+// financial trades (letters of credit, swaps) and multi-hop custody
+// (supply chain). bench targets and examples consume these streams and
+// replay them against any platform adapter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace veil::workload {
+
+/// A bilateral trade between two parties.
+struct TradeEvent {
+  std::string buyer;
+  std::string seller;
+  std::uint64_t amount = 0;
+  common::Bytes details;   // contract terms blob
+  bool confidential = false;  // must this trade be hidden from the rest?
+};
+
+struct TradeConfig {
+  /// Fraction of trades whose terms are confidential.
+  double confidential_fraction = 0.8;
+  /// Size of the generated terms blob.
+  std::size_t details_bytes = 256;
+  std::uint64_t max_amount = 10'000'000;
+  /// Zipf-ish skew: 0 = uniform pairs; higher values concentrate trading
+  /// on the first parties (realistic hub-and-spoke markets).
+  double hub_bias = 0.0;
+};
+
+class TradeWorkload {
+ public:
+  /// Requires >= 2 parties.
+  TradeWorkload(std::vector<std::string> parties, TradeConfig config,
+                std::uint64_t seed);
+
+  TradeEvent next();
+
+  /// Generate a batch.
+  std::vector<TradeEvent> take(std::size_t n);
+
+  const std::vector<std::string>& parties() const { return parties_; }
+
+ private:
+  std::size_t pick_party();
+
+  std::vector<std::string> parties_;
+  TradeConfig config_;
+  common::Rng rng_;
+};
+
+/// One hop in an item's custody chain.
+struct CustodyEvent {
+  std::string item;
+  std::string from;
+  std::string to;
+  std::uint32_t hop = 0;       // 0-based position in the item's chain
+  bool final_hop = false;      // delivery to the last party
+  common::Bytes inspection;    // hop-specific certificate blob
+};
+
+struct SupplyChainConfig {
+  std::uint32_t hops_per_item = 4;  // producer -> ... -> retailer
+  std::size_t inspection_bytes = 64;
+};
+
+class SupplyChainWorkload {
+ public:
+  /// `chain` is the ordered list of custodians (>= 2).
+  SupplyChainWorkload(std::vector<std::string> chain,
+                      SupplyChainConfig config, std::uint64_t seed);
+
+  /// The next event; items progress hop by hop, new items start as
+  /// previous ones are delivered.
+  CustodyEvent next();
+
+  std::vector<CustodyEvent> take(std::size_t n);
+
+ private:
+  std::vector<std::string> chain_;
+  SupplyChainConfig config_;
+  common::Rng rng_;
+  std::uint64_t item_counter_ = 0;
+  std::uint32_t current_hop_ = 0;
+};
+
+}  // namespace veil::workload

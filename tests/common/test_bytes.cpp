@@ -1,0 +1,60 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veil::common {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7e};
+  EXPECT_EQ(to_hex(data), "0001abff7e");
+  EXPECT_EQ(from_hex("0001abff7e"), data);
+  EXPECT_EQ(from_hex("0001ABFF7E"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, StringConversionRoundTrip) {
+  const std::string s = "hello \x01 world";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+}
+
+TEST(Bytes, ConstantTimeEqualLengthMismatch) {
+  EXPECT_FALSE(ct_equal(Bytes{1, 2}, Bytes{1, 2, 3}));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, Concat) {
+  EXPECT_EQ(concat(Bytes{1}, Bytes{2, 3}), (Bytes{1, 2, 3}));
+  EXPECT_EQ(concat(Bytes{1}, Bytes{2}, Bytes{3}), (Bytes{1, 2, 3}));
+  EXPECT_EQ(concat(Bytes{}, Bytes{}), Bytes{});
+}
+
+TEST(Bytes, Xor) {
+  EXPECT_EQ(xor_bytes(Bytes{0xff, 0x0f}, Bytes{0x0f, 0xff}),
+            (Bytes{0xf0, 0xf0}));
+  EXPECT_THROW(xor_bytes(Bytes{1}, Bytes{1, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace veil::common

@@ -1,0 +1,97 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace veil::common {
+namespace {
+
+TEST(Serialize, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, VarintRoundTrip) {
+  const std::uint64_t values[] = {0,    1,    127,        128,
+                                  300,  16383, 16384,      1ULL << 32,
+                                  ~0ULL};
+  Writer w;
+  for (std::uint64_t v : values) w.varint(v);
+  Reader r(w.data());
+  for (std::uint64_t v : values) EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, VarintCompactness) {
+  Writer w;
+  w.varint(127);
+  EXPECT_EQ(w.data().size(), 1u);
+  Writer w2;
+  w2.varint(128);
+  EXPECT_EQ(w2.data().size(), 2u);
+}
+
+TEST(Serialize, BytesAndStrings) {
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello");
+  w.bytes(Bytes{});
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.bytes().empty());
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  Writer w;
+  w.u64(12345);
+  const Bytes& buf = w.data();
+  Reader r(BytesView(buf.data(), 4));
+  EXPECT_THROW(r.u64(), Error);
+}
+
+TEST(Serialize, TruncatedBytesThrows) {
+  Writer w;
+  w.varint(100);  // claims 100 bytes follow, but none do
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), Error);
+}
+
+TEST(Serialize, MalformedBooleanThrows) {
+  const Bytes buf = {2};
+  Reader r(buf);
+  EXPECT_THROW(r.boolean(), Error);
+}
+
+TEST(Serialize, VarintOverflowThrows) {
+  // 10 bytes of 0xff encode more than 64 bits.
+  const Bytes buf(10, 0xff);
+  Reader r(buf);
+  EXPECT_THROW(r.varint(), Error);
+}
+
+TEST(Serialize, RawReadExact) {
+  Writer w;
+  w.raw(Bytes{9, 8, 7});
+  Reader r(w.data());
+  EXPECT_EQ(r.raw(3), (Bytes{9, 8, 7}));
+  EXPECT_THROW(r.raw(1), Error);
+}
+
+}  // namespace
+}  // namespace veil::common

@@ -1,0 +1,85 @@
+#include "contracts/contract.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veil::contracts {
+namespace {
+
+using common::to_bytes;
+
+std::shared_ptr<FunctionContract> counter_contract() {
+  return std::make_shared<FunctionContract>(
+      "counter", 1,
+      [](ContractContext& ctx, const std::string& action) -> InvokeStatus {
+        if (action == "increment") {
+          const auto current = ctx.get("count");
+          const int value =
+              current ? std::stoi(common::to_string(*current)) : 0;
+          ctx.put("count", to_bytes(std::to_string(value + 1)));
+          return InvokeStatus::Ok;
+        }
+        if (action == "reset") {
+          ctx.del("count");
+          return InvokeStatus::Ok;
+        }
+        return InvokeStatus::UnknownAction;
+      });
+}
+
+TEST(ContractContext, RecordsReadVersions) {
+  ledger::WorldState state;
+  state.put("k", to_bytes("v"));
+  state.put("k", to_bytes("v2"));  // version 2
+  ContractContext ctx(state, {});
+  EXPECT_EQ(ctx.get("k"), to_bytes("v2"));
+  EXPECT_EQ(ctx.get("missing"), std::nullopt);
+  ASSERT_EQ(ctx.reads().size(), 2u);
+  EXPECT_EQ(ctx.reads()[0].version, 2u);
+  EXPECT_EQ(ctx.reads()[1].version, 0u);  // absent key reads version 0
+}
+
+TEST(ContractContext, BuffersWritesWithoutMutatingState) {
+  ledger::WorldState state;
+  ContractContext ctx(state, {});
+  ctx.put("a", to_bytes("1"));
+  ctx.del("b");
+  EXPECT_EQ(ctx.writes().size(), 2u);
+  EXPECT_TRUE(ctx.writes()[1].is_delete);
+  EXPECT_FALSE(state.get("a").has_value());  // state untouched
+}
+
+TEST(ContractContext, ArgsArePassedThrough) {
+  ledger::WorldState state;
+  const common::Bytes args = to_bytes("amount=5");
+  ContractContext ctx(state, args);
+  EXPECT_EQ(common::Bytes(ctx.args().begin(), ctx.args().end()), args);
+}
+
+TEST(FunctionContract, InvokeDispatch) {
+  ledger::WorldState state;
+  auto contract = counter_contract();
+  ContractContext ctx(state, {});
+  EXPECT_EQ(contract->invoke(ctx, "increment"), InvokeStatus::Ok);
+  EXPECT_EQ(ctx.writes().size(), 1u);
+  EXPECT_EQ(ctx.writes()[0].value, to_bytes("1"));
+  ContractContext ctx2(state, {});
+  EXPECT_EQ(contract->invoke(ctx2, "bogus"), InvokeStatus::UnknownAction);
+}
+
+TEST(FunctionContract, NameAndVersion) {
+  auto contract = counter_contract();
+  EXPECT_EQ(contract->name(), "counter");
+  EXPECT_EQ(contract->version(), 1u);
+}
+
+TEST(SmartContract, CodeDigestDependsOnNameAndVersion) {
+  const FunctionContract a("cc", 1, nullptr);
+  const FunctionContract b("cc", 2, nullptr);
+  const FunctionContract c("dd", 1, nullptr);
+  EXPECT_NE(a.code_digest(), b.code_digest());
+  EXPECT_NE(a.code_digest(), c.code_digest());
+  EXPECT_EQ(a.code_digest(), FunctionContract("cc", 1, nullptr).code_digest());
+}
+
+}  // namespace
+}  // namespace veil::contracts

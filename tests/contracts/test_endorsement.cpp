@@ -1,0 +1,102 @@
+#include "contracts/endorsement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace veil::contracts {
+namespace {
+
+using Policy = EndorsementPolicy;
+
+TEST(Endorsement, RequireSingleOrg) {
+  const Policy p = Policy::require("BankA");
+  EXPECT_TRUE(p.satisfied_by({"BankA"}));
+  EXPECT_TRUE(p.satisfied_by({"BankA", "BankB"}));
+  EXPECT_FALSE(p.satisfied_by({"BankB"}));
+  EXPECT_FALSE(p.satisfied_by({}));
+}
+
+TEST(Endorsement, AllOf) {
+  const Policy p =
+      Policy::all_of({Policy::require("A"), Policy::require("B")});
+  EXPECT_TRUE(p.satisfied_by({"A", "B"}));
+  EXPECT_TRUE(p.satisfied_by({"A", "B", "C"}));
+  EXPECT_FALSE(p.satisfied_by({"A"}));
+  EXPECT_FALSE(p.satisfied_by({"B"}));
+}
+
+TEST(Endorsement, AnyOf) {
+  const Policy p =
+      Policy::any_of({Policy::require("A"), Policy::require("B")});
+  EXPECT_TRUE(p.satisfied_by({"A"}));
+  EXPECT_TRUE(p.satisfied_by({"B"}));
+  EXPECT_FALSE(p.satisfied_by({"C"}));
+}
+
+TEST(Endorsement, KOfN) {
+  const Policy p = Policy::k_of(
+      2, {Policy::require("A"), Policy::require("B"), Policy::require("C")});
+  EXPECT_FALSE(p.satisfied_by({"A"}));
+  EXPECT_TRUE(p.satisfied_by({"A", "C"}));
+  EXPECT_TRUE(p.satisfied_by({"A", "B", "C"}));
+}
+
+TEST(Endorsement, NestedPolicies) {
+  // AND(A, OR(B, C)) — a classic two-org sign-off with an alternate.
+  const Policy p = Policy::all_of(
+      {Policy::require("A"),
+       Policy::any_of({Policy::require("B"), Policy::require("C")})});
+  EXPECT_TRUE(p.satisfied_by({"A", "B"}));
+  EXPECT_TRUE(p.satisfied_by({"A", "C"}));
+  EXPECT_FALSE(p.satisfied_by({"A"}));
+  EXPECT_FALSE(p.satisfied_by({"B", "C"}));
+}
+
+TEST(Endorsement, MentionedOrgs) {
+  const Policy p = Policy::k_of(
+      2, {Policy::require("A"),
+          Policy::all_of({Policy::require("B"), Policy::require("C")}),
+          Policy::require("A")});  // duplicate mention
+  const auto orgs = p.mentioned_orgs();
+  EXPECT_EQ(orgs, (std::set<std::string>{"A", "B", "C"}));
+}
+
+TEST(Endorsement, Describe) {
+  const Policy p = Policy::all_of(
+      {Policy::require("A"),
+       Policy::any_of({Policy::require("B"), Policy::require("C")})});
+  EXPECT_EQ(p.describe(), "AND(A, OR(B, C))");
+  EXPECT_EQ(Policy::k_of(2, {Policy::require("X"), Policy::require("Y"),
+                             Policy::require("Z")})
+                .describe(),
+            "2-of(X, Y, Z)");
+}
+
+TEST(Endorsement, InvalidConstructionsThrow) {
+  EXPECT_THROW(Policy::all_of({}), common::Error);
+  EXPECT_THROW(Policy::any_of({}), common::Error);
+  EXPECT_THROW(Policy::k_of(0, {Policy::require("A")}), common::Error);
+  EXPECT_THROW(Policy::k_of(3, {Policy::require("A"), Policy::require("B")}),
+               common::Error);
+}
+
+class EndorsementBreadth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EndorsementBreadth, MentionedOrgsEqualsPolicyWidth) {
+  // Table 1 coupling: the broader the policy, the more nodes need the
+  // contract code.
+  const std::size_t n = GetParam();
+  std::vector<Policy> clauses;
+  for (std::size_t i = 0; i < n; ++i) {
+    clauses.push_back(Policy::require("Org" + std::to_string(i)));
+  }
+  const Policy p = Policy::k_of((n + 1) / 2, clauses);
+  EXPECT_EQ(p.mentioned_orgs().size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, EndorsementBreadth,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace veil::contracts

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "contracts/engine.hpp"
+#include "contracts/offchain_engine.hpp"
+#include "contracts/registry.hpp"
+
+namespace veil::contracts {
+namespace {
+
+using common::to_bytes;
+
+std::shared_ptr<FunctionContract> writer_contract(const std::string& name,
+                                                  std::uint32_t version,
+                                                  const std::string& suffix = "") {
+  return std::make_shared<FunctionContract>(
+      name, version,
+      [suffix](ContractContext& ctx, const std::string& action) {
+        if (action != "write") return InvokeStatus::UnknownAction;
+        ctx.get("input");
+        ctx.put("output",
+                common::to_bytes(common::to_string(common::Bytes(
+                                     ctx.args().begin(), ctx.args().end())) +
+                                 suffix));
+        return InvokeStatus::Ok;
+      });
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  net::LeakageAuditor auditor_;
+  ContractRegistry registry_{auditor_};
+  ExecutionEngine engine_{registry_};
+  ledger::WorldState state_;
+};
+
+TEST_F(EngineTest, ExecuteProducesReadWriteSets) {
+  registry_.install("peer.A", writer_contract("cc", 1));
+  const auto result =
+      engine_.execute("peer.A", "cc", "write", to_bytes("x"), state_, "ch");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, InvokeStatus::Ok);
+  EXPECT_EQ(result->tx.channel, "ch");
+  EXPECT_EQ(result->tx.contract, "cc");
+  ASSERT_EQ(result->tx.reads.size(), 1u);
+  EXPECT_EQ(result->tx.reads[0].key, "input");
+  ASSERT_EQ(result->tx.writes.size(), 1u);
+  EXPECT_EQ(result->tx.writes[0].value, to_bytes("x"));
+}
+
+TEST_F(EngineTest, NodeWithoutInstallCannotExecute) {
+  registry_.install("peer.A", writer_contract("cc", 1));
+  EXPECT_FALSE(
+      engine_.execute("peer.B", "cc", "write", {}, state_, "ch").has_value());
+}
+
+TEST_F(EngineTest, UnknownActionReported) {
+  registry_.install("peer.A", writer_contract("cc", 1));
+  const auto result =
+      engine_.execute("peer.A", "cc", "nope", {}, state_, "ch");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, InvokeStatus::UnknownAction);
+}
+
+TEST_F(EngineTest, RegistryTracksCodeVisibility) {
+  registry_.install("peer.A", writer_contract("secret", 1));
+  registry_.install("peer.B", writer_contract("secret", 1));
+  EXPECT_TRUE(auditor_.saw("peer.A", "contract/secret/code"));
+  EXPECT_TRUE(auditor_.saw("peer.B", "contract/secret/code"));
+  EXPECT_FALSE(auditor_.saw("peer.C", "contract/secret/code"));
+  EXPECT_EQ(registry_.nodes_with("secret"),
+            (std::set<std::string>{"peer.A", "peer.B"}));
+}
+
+TEST_F(EngineTest, UninstallRemovesAccess) {
+  registry_.install("peer.A", writer_contract("cc", 1));
+  registry_.uninstall("peer.A", "cc");
+  EXPECT_FALSE(registry_.installed("peer.A", "cc"));
+  EXPECT_FALSE(
+      engine_.execute("peer.A", "cc", "write", {}, state_, "ch").has_value());
+}
+
+// --- Off-chain execution engine ----------------------------------------------
+
+class OffChainEngineTest : public ::testing::Test {
+ protected:
+  net::LeakageAuditor auditor_;
+  ledger::WorldState state_;
+};
+
+TEST_F(OffChainEngineTest, ExecutesAndHidesLogicName) {
+  OffChainEngine engine("OrgA", auditor_);
+  engine.load(writer_contract("pricing", 1));
+  const auto result =
+      engine.execute("pricing", "write", to_bytes("42"), state_, "ch");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, InvokeStatus::Ok);
+  // The ledger sees only the stub, never the business-logic name.
+  EXPECT_EQ(result->tx.contract, "rw-stub");
+}
+
+TEST_F(OffChainEngineTest, CodeVisibleToOwnerOnly) {
+  OffChainEngine engine("OrgA", auditor_);
+  engine.load(writer_contract("pricing", 1));
+  EXPECT_TRUE(auditor_.saw("OrgA", "contract/pricing/code"));
+  EXPECT_FALSE(auditor_.saw("OrgB", "contract/pricing/code"));
+}
+
+TEST_F(OffChainEngineTest, MissingContract) {
+  OffChainEngine engine("OrgA", auditor_);
+  EXPECT_FALSE(engine.has("ghost"));
+  EXPECT_FALSE(engine.execute("ghost", "write", {}, state_, "ch").has_value());
+  EXPECT_FALSE(engine.code_digest("ghost").has_value());
+}
+
+TEST_F(OffChainEngineTest, VersionConsistencyDetection) {
+  OffChainEngine a("OrgA", auditor_), b("OrgB", auditor_), c("OrgC", auditor_);
+  a.load(writer_contract("model", 3));
+  b.load(writer_contract("model", 3));
+  c.load(writer_contract("model", 4));  // drifted
+  EXPECT_TRUE(OffChainEngine::versions_consistent({&a, &b}, "model"));
+  EXPECT_FALSE(OffChainEngine::versions_consistent({&a, &b, &c}, "model"));
+  // An engine missing the contract entirely also counts as drift.
+  OffChainEngine empty("OrgD", auditor_);
+  EXPECT_FALSE(OffChainEngine::versions_consistent({&a, &empty}, "model"));
+}
+
+TEST_F(OffChainEngineTest, DriftManifestsAsDivergentWriteSets) {
+  // The paper's warning: without in-DLT version control, engines can
+  // drift and produce different results for the same invocation.
+  OffChainEngine a("OrgA", auditor_), b("OrgB", auditor_);
+  a.load(writer_contract("model", 1, ""));
+  b.load(writer_contract("model", 1, "-DRIFTED"));
+  const auto ra = a.execute("model", "write", to_bytes("in"), state_, "ch");
+  const auto rb = b.execute("model", "write", to_bytes("in"), state_, "ch");
+  ASSERT_TRUE(ra && rb);
+  EXPECT_TRUE(OffChainEngine::results_diverge(*ra, *rb));
+  // Identical engines do not diverge.
+  OffChainEngine a2("OrgA2", auditor_);
+  a2.load(writer_contract("model", 1, ""));
+  const auto ra2 = a2.execute("model", "write", to_bytes("in"), state_, "ch");
+  EXPECT_FALSE(OffChainEngine::results_diverge(*ra, *ra2));
+}
+
+}  // namespace
+}  // namespace veil::contracts

@@ -1,0 +1,87 @@
+#include "core/assessment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/requirements.hpp"
+
+namespace veil::core {
+namespace {
+
+using M = Mechanism;
+
+Recommendation rec_of(std::vector<M> mechanisms) {
+  Recommendation rec;
+  rec.mechanisms = std::move(mechanisms);
+  return rec;
+}
+
+TEST(Assessment, AllNativeScoresOne) {
+  const auto results = assess(rec_of({M::SeparationOfLedgers, M::OpenSource}),
+                              CapabilityMatrix::paper_table1());
+  for (const auto& a : results) {
+    EXPECT_DOUBLE_EQ(a.score, 1.0) << to_string(a.platform);
+    EXPECT_EQ(a.native, 2);
+    EXPECT_TRUE(a.gaps.empty());
+  }
+}
+
+TEST(Assessment, BlockedMechanismsScoreZeroAndReportGaps) {
+  // TEE for logic is '—' everywhere.
+  const auto results =
+      assess(rec_of({M::TeeForLogic}), CapabilityMatrix::paper_table1());
+  for (const auto& a : results) {
+    EXPECT_DOUBLE_EQ(a.score, 0.0);
+    EXPECT_EQ(a.blocked, 1);
+    ASSERT_EQ(a.gaps.size(), 1u);
+    EXPECT_NE(a.gaps[0].find("substantial rewriting"), std::string::npos);
+  }
+}
+
+TEST(Assessment, RankingFavoursNativeSupport) {
+  // One-time public keys: Corda native, Quorum extendable, Fabric blocked.
+  const auto results =
+      assess(rec_of({M::OneTimePublicKeys}), CapabilityMatrix::paper_table1());
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].platform, Platform::Corda);
+  EXPECT_EQ(results[1].platform, Platform::Quorum);
+  EXPECT_EQ(results[2].platform, Platform::Fabric);
+  EXPECT_GT(results[0].score, results[1].score);
+  EXPECT_GT(results[1].score, results[2].score);
+}
+
+TEST(Assessment, NotApplicableDoesNotPenalise) {
+  // Install-on-involved-nodes is N/A for Corda; Corda must tie with the
+  // native platforms.
+  const auto results = assess(rec_of({M::InstallOnInvolvedNodes}),
+                              CapabilityMatrix::paper_table1());
+  for (const auto& a : results) {
+    EXPECT_DOUBLE_EQ(a.score, 1.0) << to_string(a.platform);
+  }
+}
+
+TEST(Assessment, EmptyRecommendationPerfectScores) {
+  const auto results = assess(rec_of({}), CapabilityMatrix::paper_table1());
+  for (const auto& a : results) EXPECT_DOUBLE_EQ(a.score, 1.0);
+}
+
+TEST(Assessment, LetterOfCreditFavoursFabric) {
+  // The LoC profile recommends off-chain data + separation + symmetric
+  // encryption. Fabric supports all three natively (PDC/peer off-chain
+  // data is '+' only for Fabric), so it must rank first.
+  const auto rec = DecisionEngine::for_profile(letter_of_credit_profile());
+  const auto results = assess(rec, CapabilityMatrix::paper_table1());
+  EXPECT_EQ(results[0].platform, Platform::Fabric);
+  EXPECT_GT(results[0].score, results[2].score);
+}
+
+TEST(Assessment, RenderMentionsAllPlatforms) {
+  const auto results =
+      assess(rec_of({M::ZkProofs}), CapabilityMatrix::paper_table1());
+  const std::string out = render(results);
+  for (const char* p : {"HLF", "Corda", "Quorum"}) {
+    EXPECT_NE(out.find(p), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace veil::core

@@ -1,0 +1,239 @@
+#include "core/decision.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veil::core {
+namespace {
+
+using M = Mechanism;
+
+// --- Figure 1 named paths -----------------------------------------------------
+
+TEST(DecisionData, DeletionRequiresOffChain) {
+  DataRequirements req;
+  req.deletion_required = true;
+  const auto rec = DecisionEngine::for_data(req);
+  EXPECT_TRUE(rec.recommends(M::OffChainData));
+  EXPECT_FALSE(rec.caveats.empty());  // immutability caveat attached
+}
+
+TEST(DecisionData, NoEncryptedSharingMeansSegregation) {
+  DataRequirements req;
+  req.encrypted_sharing_allowed = false;
+  const auto rec = DecisionEngine::for_data(req);
+  EXPECT_TRUE(rec.recommends(M::SeparationOfLedgers));
+}
+
+TEST(DecisionData, OnChainRecordPrefersSegregatedLedgers) {
+  DataRequirements req;  // defaults: on-chain desired, involved validators
+  const auto rec = DecisionEngine::for_data(req);
+  EXPECT_TRUE(rec.recommends(M::SeparationOfLedgers));
+}
+
+TEST(DecisionData, HideWithinTransactionAddsTearOffs) {
+  DataRequirements req;
+  req.hide_within_transaction = true;
+  const auto rec = DecisionEngine::for_data(req);
+  EXPECT_TRUE(rec.recommends(M::MerkleTearOffs));
+}
+
+TEST(DecisionData, UninvolvedValidationNeedsTee) {
+  DataRequirements req;
+  req.uninvolved_validation = true;
+  const auto rec = DecisionEngine::for_data(req);
+  EXPECT_TRUE(rec.recommends(M::TrustedExecution));
+  // The homomorphic-maturity caveat must be present.
+  bool he_caveat = false;
+  for (const auto& c : rec.caveats) {
+    if (c.find("omomorphic") != std::string::npos) he_caveat = true;
+  }
+  EXPECT_TRUE(he_caveat);
+  // And TEE replaces the segregated-ledger default on this branch.
+  EXPECT_FALSE(rec.recommends(M::SeparationOfLedgers));
+}
+
+TEST(DecisionData, PrivateInputsBooleanAffirmationIsZkp) {
+  DataRequirements req;
+  req.private_inputs = true;
+  const auto rec = DecisionEngine::for_data(req);
+  EXPECT_TRUE(rec.recommends(M::ZkProofs));
+  EXPECT_FALSE(rec.recommends(M::MultipartyComputation));
+}
+
+TEST(DecisionData, SharedFunctionOnPrivateValuesIsMpc) {
+  DataRequirements req;
+  req.private_inputs = true;
+  req.shared_function_on_private = true;
+  const auto rec = DecisionEngine::for_data(req);
+  EXPECT_TRUE(rec.recommends(M::MultipartyComputation));
+  EXPECT_FALSE(rec.recommends(M::ZkProofs));
+}
+
+TEST(DecisionData, UntrustedAdminAddsEncryption) {
+  DataRequirements req;
+  req.untrusted_node_admin = true;
+  const auto rec = DecisionEngine::for_data(req);
+  EXPECT_TRUE(rec.recommends(M::SymmetricEncryption));
+}
+
+TEST(DecisionData, NoRestrictionsNoMechanisms) {
+  DataRequirements req;
+  req.onchain_record_desired = false;
+  const auto rec = DecisionEngine::for_data(req);
+  EXPECT_TRUE(rec.mechanisms.empty());
+  EXPECT_FALSE(rec.rationale.empty());
+}
+
+TEST(DecisionData, RationaleTracksEveryFork) {
+  DataRequirements req;
+  req.deletion_required = true;
+  req.hide_within_transaction = true;
+  req.untrusted_node_admin = true;
+  const auto rec = DecisionEngine::for_data(req);
+  EXPECT_GE(rec.rationale.size(), 3u);
+}
+
+// Exhaustive sweep: engine is total and deterministic over the whole
+// requirement space (2^8 profiles).
+TEST(DecisionData, TotalOverRequirementSpace) {
+  for (int mask = 0; mask < 256; ++mask) {
+    DataRequirements req;
+    req.deletion_required = mask & 1;
+    req.encrypted_sharing_allowed = mask & 2;
+    req.onchain_record_desired = mask & 4;
+    req.hide_within_transaction = mask & 8;
+    req.uninvolved_validation = mask & 16;
+    req.private_inputs = mask & 32;
+    req.shared_function_on_private = mask & 64;
+    req.untrusted_node_admin = mask & 128;
+    const auto rec1 = DecisionEngine::for_data(req);
+    const auto rec2 = DecisionEngine::for_data(req);
+    EXPECT_EQ(rec1.mechanisms.size(), rec2.mechanisms.size()) << mask;
+    EXPECT_FALSE(rec1.rationale.empty()) << mask;
+    // Invariants that must hold on every path:
+    if (req.deletion_required) {
+      EXPECT_TRUE(rec1.recommends(M::OffChainData)) << mask;
+    }
+    if (req.private_inputs && req.shared_function_on_private) {
+      EXPECT_TRUE(rec1.recommends(M::MultipartyComputation)) << mask;
+    }
+    if (req.untrusted_node_admin) {
+      EXPECT_TRUE(rec1.recommends(M::SymmetricEncryption)) << mask;
+    }
+  }
+}
+
+// --- §3.1 party privacy --------------------------------------------------------
+
+TEST(DecisionParties, GroupHidingIsSeparation) {
+  PartyRequirements req;
+  req.hide_group_from_network = true;
+  EXPECT_TRUE(DecisionEngine::for_parties(req).recommends(
+      M::SeparationOfLedgers));
+}
+
+TEST(DecisionParties, SubgroupHidingIsOneTimeKeys) {
+  PartyRequirements req;
+  req.hide_subgroup_on_ledger = true;
+  EXPECT_TRUE(
+      DecisionEngine::for_parties(req).recommends(M::OneTimePublicKeys));
+}
+
+TEST(DecisionParties, FullyPrivateIndividualIsZkpIdentity) {
+  PartyRequirements req;
+  req.fully_private_individual = true;
+  EXPECT_TRUE(DecisionEngine::for_parties(req).recommends(M::ZkpIdentity));
+}
+
+TEST(DecisionParties, LayeredRequirementsStack) {
+  PartyRequirements req;
+  req.hide_group_from_network = true;
+  req.hide_subgroup_on_ledger = true;
+  req.fully_private_individual = true;
+  const auto rec = DecisionEngine::for_parties(req);
+  EXPECT_EQ(rec.mechanisms.size(), 3u);
+}
+
+// --- §3.3 logic confidentiality -------------------------------------------------
+
+TEST(DecisionLogic, HideFromAdminIsTee) {
+  LogicRequirements req;
+  req.hide_from_node_admin = true;
+  req.keep_logic_private = true;
+  const auto rec = DecisionEngine::for_logic(req);
+  EXPECT_TRUE(rec.recommends(M::TeeForLogic));
+  EXPECT_FALSE(rec.recommends(M::InstallOnInvolvedNodes));
+}
+
+TEST(DecisionLogic, PrivateLogicPlatformLanguageIsInstallRestriction) {
+  LogicRequirements req;
+  req.keep_logic_private = true;
+  EXPECT_TRUE(DecisionEngine::for_logic(req).recommends(
+      M::InstallOnInvolvedNodes));
+}
+
+TEST(DecisionLogic, PrivateLogicWithLanguageFreedomIsOffChainEngine) {
+  LogicRequirements req;
+  req.keep_logic_private = true;
+  req.language_freedom = true;
+  EXPECT_TRUE(DecisionEngine::for_logic(req).recommends(
+      M::OffChainExecutionEngine));
+}
+
+TEST(DecisionLogic, VersioningCaveatForExternalEngine) {
+  LogicRequirements req;
+  req.keep_logic_private = true;
+  req.language_freedom = true;
+  req.need_builtin_versioning = true;
+  const auto rec = DecisionEngine::for_logic(req);
+  bool versioning_caveat = false;
+  for (const auto& c : rec.caveats) {
+    if (c.find("version") != std::string::npos) versioning_caveat = true;
+  }
+  EXPECT_TRUE(versioning_caveat);
+}
+
+TEST(DecisionLogic, LanguageFreedomAloneStillOffChainEngine) {
+  LogicRequirements req;
+  req.language_freedom = true;
+  EXPECT_TRUE(DecisionEngine::for_logic(req).recommends(
+      M::OffChainExecutionEngine));
+}
+
+TEST(DecisionLogic, NoRequirementsNoMechanisms) {
+  const auto rec = DecisionEngine::for_logic({});
+  EXPECT_TRUE(rec.mechanisms.empty());
+}
+
+// --- Profile union ----------------------------------------------------------------
+
+TEST(DecisionProfile, UnionDeduplicates) {
+  RequirementProfile profile;
+  profile.parties.hide_group_from_network = true;  // -> separation
+  profile.data.encrypted_sharing_allowed = false;  // -> separation again
+  const auto rec = DecisionEngine::for_profile(profile);
+  int separation_count = 0;
+  for (M m : rec.mechanisms) {
+    if (m == M::SeparationOfLedgers) ++separation_count;
+  }
+  EXPECT_EQ(separation_count, 1);
+}
+
+TEST(DecisionProfile, LetterOfCreditMatchesPaperSection4) {
+  // The paper's conclusion for the LoC case: off-ledger PII, segregated
+  // ledger for the transacting group, encrypted data if a third party
+  // runs the orderer.
+  const auto rec =
+      DecisionEngine::for_profile(letter_of_credit_profile());
+  EXPECT_TRUE(rec.recommends(M::OffChainData));
+  EXPECT_TRUE(rec.recommends(M::SeparationOfLedgers));
+  EXPECT_TRUE(rec.recommends(M::SymmetricEncryption));
+  // Logic is standardized and non-confidential: no logic mechanisms.
+  EXPECT_FALSE(rec.recommends(M::TeeForLogic));
+  EXPECT_FALSE(rec.recommends(M::OffChainExecutionEngine));
+  // No uninvolved validation: no TEE for data either.
+  EXPECT_FALSE(rec.recommends(M::TrustedExecution));
+}
+
+}  // namespace
+}  // namespace veil::core

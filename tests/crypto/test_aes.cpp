@@ -1,0 +1,146 @@
+#include "crypto/aes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace veil::crypto {
+namespace {
+
+using common::Bytes;
+using common::from_hex;
+using common::to_bytes;
+
+// FIPS 197 Appendix C.1: AES-128 single-block known answer.
+TEST(Aes, Fips197Aes128Block) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes plain = from_hex("00112233445566778899aabbccddeeff");
+  const Aes cipher(key);
+  std::uint8_t out[16];
+  cipher.encrypt_block(plain.data(), out);
+  EXPECT_EQ(common::to_hex(common::BytesView(out, 16)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+  std::uint8_t back[16];
+  cipher.decrypt_block(out, back);
+  EXPECT_EQ(common::to_hex(common::BytesView(back, 16)),
+            common::to_hex(plain));
+}
+
+// FIPS 197 Appendix C.3: AES-256 single-block known answer.
+TEST(Aes, Fips197Aes256Block) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes plain = from_hex("00112233445566778899aabbccddeeff");
+  const Aes cipher(key);
+  std::uint8_t out[16];
+  cipher.encrypt_block(plain.data(), out);
+  EXPECT_EQ(common::to_hex(common::BytesView(out, 16)),
+            "8ea2b7ca516745bfeafc49904b496089");
+}
+
+// NIST SP 800-38A F.5.1: AES-128-CTR.
+TEST(Aes, Sp80038aCtr128) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes nonce = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes plain = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51");
+  const Bytes ct = aes_ctr(key, nonce, plain);
+  EXPECT_EQ(common::to_hex(ct),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff");
+  EXPECT_EQ(aes_ctr(key, nonce, ct), plain);
+}
+
+TEST(Aes, InvalidKeySizeThrows) {
+  EXPECT_THROW(Aes(Bytes(15, 0)), common::CryptoError);
+  EXPECT_THROW(Aes(Bytes(24, 0)), common::CryptoError);  // AES-192 unsupported
+  EXPECT_THROW(Aes(Bytes(0, 0)), common::CryptoError);
+}
+
+TEST(Aes, CtrRejectsBadNonce) {
+  EXPECT_THROW(aes_ctr(Bytes(16, 1), Bytes(8, 0), Bytes{1}),
+               common::CryptoError);
+}
+
+TEST(Aes, CbcRoundTripVariousLengths) {
+  common::Rng rng(1);
+  const Bytes key = rng.next_bytes(32);
+  const Bytes iv = rng.next_bytes(16);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 31u, 32u, 100u}) {
+    const Bytes plain = rng.next_bytes(len);
+    const Bytes ct = aes_cbc_encrypt(key, iv, plain);
+    EXPECT_EQ(ct.size() % 16, 0u);
+    EXPECT_GT(ct.size(), plain.size());  // always padded
+    const auto back = aes_cbc_decrypt(key, iv, ct);
+    ASSERT_TRUE(back.has_value()) << "len=" << len;
+    EXPECT_EQ(*back, plain);
+  }
+}
+
+TEST(Aes, CbcWrongKeyFailsPadding) {
+  common::Rng rng(2);
+  const Bytes key = rng.next_bytes(16);
+  const Bytes iv = rng.next_bytes(16);
+  const Bytes ct = aes_cbc_encrypt(key, iv, to_bytes("attack at dawn"));
+  // Overwhelmingly likely to fail the padding check with the wrong key.
+  const auto out = aes_cbc_decrypt(rng.next_bytes(16), iv, ct);
+  if (out) {
+    EXPECT_NE(*out, to_bytes("attack at dawn"));
+  }
+}
+
+TEST(Aes, CbcMalformedCiphertext) {
+  const Bytes key(16, 7);
+  const Bytes iv(16, 9);
+  EXPECT_EQ(aes_cbc_decrypt(key, iv, Bytes{}), std::nullopt);
+  EXPECT_EQ(aes_cbc_decrypt(key, iv, Bytes(15, 0)), std::nullopt);
+}
+
+TEST(Aes, SealOpenRoundTrip) {
+  common::Rng rng(3);
+  const Bytes key = rng.next_bytes(32);
+  const Bytes msg = to_bytes("confidential trade data");
+  const Bytes sealed = seal(key, msg, rng.next_bytes(16));
+  const auto opened = open(key, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST(Aes, OpenRejectsWrongKey) {
+  common::Rng rng(4);
+  const Bytes sealed = seal(rng.next_bytes(32), to_bytes("m"), rng.next_bytes(16));
+  EXPECT_EQ(open(rng.next_bytes(32), sealed), std::nullopt);
+}
+
+TEST(Aes, OpenRejectsTamperedCiphertext) {
+  common::Rng rng(5);
+  const Bytes key = rng.next_bytes(32);
+  Bytes sealed = seal(key, to_bytes("message"), rng.next_bytes(16));
+  for (std::size_t i : {std::size_t{0}, std::size_t{16}, sealed.size() - 1}) {
+    Bytes tampered = sealed;
+    tampered[i] ^= 0x01;
+    EXPECT_EQ(open(key, tampered), std::nullopt) << "flip at " << i;
+  }
+}
+
+TEST(Aes, OpenRejectsTruncated) {
+  common::Rng rng(6);
+  const Bytes key = rng.next_bytes(32);
+  const Bytes sealed = seal(key, to_bytes("message"), rng.next_bytes(16));
+  EXPECT_EQ(open(key, common::BytesView(sealed.data(), 40)), std::nullopt);
+  EXPECT_EQ(open(key, Bytes{}), std::nullopt);
+}
+
+TEST(Aes, SealEmptyPlaintext) {
+  common::Rng rng(7);
+  const Bytes key = rng.next_bytes(32);
+  const Bytes sealed = seal(key, Bytes{}, rng.next_bytes(16));
+  const auto opened = open(key, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+}  // namespace
+}  // namespace veil::crypto

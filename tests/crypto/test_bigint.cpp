@@ -1,0 +1,225 @@
+#include "crypto/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace veil::crypto {
+namespace {
+
+TEST(BigInt, ConstructionAndConversion) {
+  EXPECT_TRUE(BigInt().is_zero());
+  EXPECT_EQ(BigInt(0).to_u64(), 0u);
+  EXPECT_EQ(BigInt(1).to_u64(), 1u);
+  EXPECT_EQ(BigInt(~0ULL).to_u64(), ~0ULL);
+}
+
+TEST(BigInt, HexRoundTrip) {
+  for (const char* hex :
+       {"0", "1", "ff", "100", "deadbeef", "123456789abcdef0123456789abcdef"}) {
+    const BigInt v = BigInt::from_hex(hex);
+    EXPECT_EQ(BigInt::from_hex(v.to_hex()), v) << hex;
+  }
+  EXPECT_EQ(BigInt::from_hex("ff").to_u64(), 255u);
+  EXPECT_THROW(BigInt::from_hex("xyz"), common::CryptoError);
+}
+
+TEST(BigInt, DecimalRoundTrip) {
+  const char* cases[] = {"0", "1", "10", "4294967296",
+                         "340282366920938463463374607431768211456"};
+  for (const char* dec : cases) {
+    EXPECT_EQ(BigInt::from_decimal(dec).to_decimal(), dec);
+  }
+  EXPECT_THROW(BigInt::from_decimal("12a"), common::CryptoError);
+}
+
+TEST(BigInt, BytesRoundTrip) {
+  common::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const common::Bytes raw = rng.next_bytes(1 + rng.next_below(64));
+    const BigInt v = BigInt::from_bytes_be(raw);
+    EXPECT_EQ(BigInt::from_bytes_be(v.to_bytes_be()), v);
+  }
+  EXPECT_EQ(BigInt(0x1234).to_bytes_be(4), common::from_hex("00001234"));
+}
+
+TEST(BigInt, Comparison) {
+  EXPECT_LT(BigInt(1), BigInt(2));
+  EXPECT_GT(BigInt::from_hex("10000000000000000"), BigInt(~0ULL));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+}
+
+TEST(BigInt, AddSubInverse) {
+  common::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = BigInt::random_bits(rng, 1 + rng.next_below(256));
+    const BigInt b = BigInt::random_bits(rng, 1 + rng.next_below(256));
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a + b) - a, b);
+  }
+}
+
+TEST(BigInt, SubtractBelowZeroThrows) {
+  EXPECT_THROW(BigInt(1) - BigInt(2), common::CryptoError);
+}
+
+TEST(BigInt, AdditionCarryChain) {
+  const BigInt max32 = BigInt::from_hex("ffffffff");
+  EXPECT_EQ((max32 + BigInt(1)).to_hex(), "100000000");
+  const BigInt big = BigInt::from_hex("ffffffffffffffffffffffff");
+  EXPECT_EQ((big + BigInt(1)).to_hex(), "1000000000000000000000000");
+}
+
+TEST(BigInt, MultiplicationKnownAnswers) {
+  EXPECT_EQ((BigInt(0) * BigInt(12345)).to_u64(), 0u);
+  EXPECT_EQ((BigInt(123456789) * BigInt(987654321)).to_decimal(),
+            "121932631112635269");
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+  const BigInt max64(~0ULL);
+  EXPECT_EQ((max64 * max64).to_hex(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(BigInt, DivModProperty) {
+  common::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = BigInt::random_bits(rng, 1 + rng.next_below(512));
+    const BigInt b = BigInt::random_bits(rng, 1 + rng.next_below(300));
+    const auto dm = a.divmod(b);
+    EXPECT_LT(dm.remainder, b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+  }
+}
+
+TEST(BigInt, DivideByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt(0), common::CryptoError);
+  EXPECT_THROW(BigInt(1) % BigInt(0), common::CryptoError);
+}
+
+TEST(BigInt, KnuthAddBackCase) {
+  // Divisor shaped to trigger the rare add-back branch of algorithm D.
+  const BigInt a = BigInt::from_hex("800000000000000000000003");
+  const BigInt b = BigInt::from_hex("200000000000000000000001");
+  const auto dm = a.divmod(b);
+  EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+  EXPECT_LT(dm.remainder, b);
+}
+
+TEST(BigInt, Shifts) {
+  EXPECT_EQ((BigInt(1) << 100).to_hex(),
+            "10000000000000000000000000");
+  EXPECT_EQ((BigInt::from_hex("10000000000000000000000000") >> 100).to_u64(),
+            1u);
+  EXPECT_EQ((BigInt(0xff) >> 4).to_u64(), 0xfu);
+  EXPECT_TRUE((BigInt(1) >> 1).is_zero());
+  common::Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    const BigInt v = BigInt::random_bits(rng, 200);
+    const std::size_t s = rng.next_below(250);
+    EXPECT_EQ((v << s) >> s, v);
+  }
+}
+
+TEST(BigInt, BitAccess) {
+  const BigInt v = BigInt::from_hex("8000000000000001");
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_FALSE(v.bit(64));
+  EXPECT_EQ(v.bit_length(), 64u);
+  EXPECT_EQ(BigInt().bit_length(), 0u);
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+}
+
+TEST(BigInt, ModPowKnownAnswers) {
+  // 2^10 mod 1000 = 24
+  EXPECT_EQ(BigInt(2).mod_pow(BigInt(10), BigInt(1000)).to_u64(), 24u);
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  const BigInt p(1000003);
+  EXPECT_EQ(BigInt(2).mod_pow(p - BigInt(1), p).to_u64(), 1u);
+  EXPECT_EQ(BigInt(5).mod_pow(BigInt(0), p).to_u64(), 1u);
+  EXPECT_TRUE(BigInt(5).mod_pow(BigInt(3), BigInt(1)).is_zero());
+}
+
+TEST(BigInt, ModInverseProperty) {
+  common::Rng rng(5);
+  const BigInt p = BigInt::generate_prime(rng, 128);
+  for (int i = 0; i < 30; ++i) {
+    BigInt a = BigInt::random_below(rng, p);
+    if (a.is_zero()) a = BigInt(1);
+    const BigInt inv = a.mod_inverse(p);
+    EXPECT_EQ((a * inv) % p, BigInt(1));
+  }
+}
+
+TEST(BigInt, ModInverseNotInvertibleThrows) {
+  EXPECT_THROW(BigInt(6).mod_inverse(BigInt(9)), common::CryptoError);
+  EXPECT_THROW(BigInt(0).mod_inverse(BigInt(7)), common::CryptoError);
+}
+
+TEST(BigInt, GcdLcm) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_u64(), 6u);
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)).to_u64(), 1u);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_u64(), 5u);
+  EXPECT_EQ(BigInt::lcm(BigInt(4), BigInt(6)).to_u64(), 12u);
+  EXPECT_TRUE(BigInt::lcm(BigInt(0), BigInt(6)).is_zero());
+}
+
+TEST(BigInt, RandomBelowBounds) {
+  common::Rng rng(6);
+  const BigInt bound = BigInt::from_hex("10000000001");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(BigInt::random_below(rng, bound), bound);
+  }
+}
+
+TEST(BigInt, RandomBitsExactLength) {
+  common::Rng rng(7);
+  for (std::size_t bits : {8u, 17u, 64u, 129u, 256u}) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(BigInt::random_bits(rng, bits).bit_length(), bits);
+    }
+  }
+}
+
+TEST(BigInt, PrimalityKnownValues) {
+  common::Rng rng(8);
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 97ULL, 65537ULL, 1000003ULL}) {
+    EXPECT_TRUE(BigInt(p).is_probable_prime(rng)) << p;
+  }
+  for (std::uint64_t c : {0ULL, 1ULL, 4ULL, 100ULL, 65541ULL, 1000001ULL}) {
+    EXPECT_FALSE(BigInt(c).is_probable_prime(rng)) << c;
+  }
+  // Carmichael numbers must be rejected.
+  EXPECT_FALSE(BigInt(561).is_probable_prime(rng));
+  EXPECT_FALSE(BigInt(41041).is_probable_prime(rng));
+}
+
+TEST(BigInt, GeneratePrimeHasRequestedSize) {
+  common::Rng rng(9);
+  const BigInt p = BigInt::generate_prime(rng, 96);
+  EXPECT_EQ(p.bit_length(), 96u);
+  EXPECT_TRUE(p.is_probable_prime(rng));
+  EXPECT_TRUE(p.is_odd());
+}
+
+class BigIntModArithmetic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigIntModArithmetic, FermatAndDistributivity) {
+  common::Rng rng(GetParam());
+  const BigInt p = BigInt::generate_prime(rng, 64 + GetParam() % 64);
+  const BigInt a = BigInt::random_below(rng, p);
+  const BigInt b = BigInt::random_below(rng, p);
+  // (a+b) mod p distributes.
+  EXPECT_EQ(((a % p) + (b % p)) % p, (a + b) % p);
+  // (a*b)^e = a^e * b^e mod p.
+  const BigInt e(65537);
+  EXPECT_EQ(((a * b) % p).mod_pow(e, p),
+            (a.mod_pow(e, p) * b.mod_pow(e, p)) % p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntModArithmetic,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace veil::crypto

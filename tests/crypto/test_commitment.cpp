@@ -1,0 +1,90 @@
+#include "crypto/commitment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veil::crypto {
+namespace {
+
+class PedersenTest : public ::testing::Test {
+ protected:
+  const Group& group_ = Group::test_group();
+  Pedersen pedersen_{group_};
+  common::Rng rng_{77};
+};
+
+TEST_F(PedersenTest, CommitOpenRoundTrip) {
+  auto [commitment, opening] = pedersen_.commit(BigInt(42), rng_);
+  EXPECT_TRUE(pedersen_.open(commitment, opening));
+}
+
+TEST_F(PedersenTest, WrongValueFailsOpen) {
+  auto [commitment, opening] = pedersen_.commit(BigInt(42), rng_);
+  Opening wrong = opening;
+  wrong.value = BigInt(43);
+  EXPECT_FALSE(pedersen_.open(commitment, wrong));
+}
+
+TEST_F(PedersenTest, WrongBlindingFailsOpen) {
+  auto [commitment, opening] = pedersen_.commit(BigInt(42), rng_);
+  Opening wrong = opening;
+  wrong.blinding = (wrong.blinding + BigInt(1)) % group_.q();
+  EXPECT_FALSE(pedersen_.open(commitment, wrong));
+}
+
+TEST_F(PedersenTest, HidingSameValueDifferentCommitments) {
+  auto [c1, o1] = pedersen_.commit(BigInt(7), rng_);
+  auto [c2, o2] = pedersen_.commit(BigInt(7), rng_);
+  EXPECT_NE(c1, c2);  // fresh blinding hides equality of values
+}
+
+TEST_F(PedersenTest, HomomorphicAddition) {
+  auto [c1, o1] = pedersen_.commit(BigInt(30), rng_);
+  auto [c2, o2] = pedersen_.commit(BigInt(12), rng_);
+  const Commitment sum = pedersen_.add(c1, c2);
+  const Opening sum_opening = pedersen_.add_openings(o1, o2);
+  EXPECT_EQ(sum_opening.value, BigInt(42));
+  EXPECT_TRUE(pedersen_.open(sum, sum_opening));
+}
+
+TEST_F(PedersenTest, CommitZero) {
+  auto [commitment, opening] = pedersen_.commit(BigInt(0), rng_);
+  EXPECT_TRUE(pedersen_.open(commitment, opening));
+  // A commitment to zero is h^r, never the identity for r != 0.
+  EXPECT_NE(commitment.c, BigInt(1));
+}
+
+TEST_F(PedersenTest, ValueReducedModQ) {
+  const BigInt big = group_.q() + BigInt(5);
+  auto [c1, o1] = pedersen_.commit(big, rng_);
+  const Commitment c2 = pedersen_.commit_with(BigInt(5), o1.blinding);
+  EXPECT_EQ(c1, c2);
+}
+
+TEST_F(PedersenTest, CommitmentIsGroupElement) {
+  auto [commitment, opening] = pedersen_.commit(BigInt(999), rng_);
+  EXPECT_TRUE(group_.is_element(commitment.c));
+}
+
+class PedersenHomomorphism
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PedersenHomomorphism, SumsCommute) {
+  const Group& group = Group::test_group();
+  const Pedersen pedersen(group);
+  common::Rng rng(101);
+  const auto [a, b] = GetParam();
+  auto [ca, oa] = pedersen.commit(BigInt(a), rng);
+  auto [cb, ob] = pedersen.commit(BigInt(b), rng);
+  EXPECT_EQ(pedersen.add(ca, cb), pedersen.add(cb, ca));
+  const Opening sum = pedersen.add_openings(oa, ob);
+  EXPECT_TRUE(pedersen.open(pedersen.add(ca, cb), sum));
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, PedersenHomomorphism,
+                         ::testing::Values(std::pair{0, 0}, std::pair{1, 0},
+                                           std::pair{100, 200},
+                                           std::pair{65535, 1},
+                                           std::pair{123456, 654321}));
+
+}  // namespace
+}  // namespace veil::crypto

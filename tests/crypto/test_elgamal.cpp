@@ -1,0 +1,96 @@
+#include "crypto/elgamal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veil::crypto {
+namespace {
+
+using common::to_bytes;
+
+class ElGamalTest : public ::testing::Test {
+ protected:
+  const Group& group_ = Group::test_group();
+  common::Rng rng_{4242};
+  KeyPair recipient_ = KeyPair::generate(group_, rng_);
+};
+
+TEST_F(ElGamalTest, EncryptDecryptRoundTrip) {
+  const auto ct = elgamal_encrypt(group_, recipient_.public_key(),
+                                  to_bytes("wire instructions"), rng_);
+  const auto pt = elgamal_decrypt(recipient_, ct);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_EQ(*pt, to_bytes("wire instructions"));
+}
+
+TEST_F(ElGamalTest, WrongRecipientCannotDecrypt) {
+  const KeyPair other = KeyPair::generate(group_, rng_);
+  const auto ct = elgamal_encrypt(group_, recipient_.public_key(),
+                                  to_bytes("m"), rng_);
+  EXPECT_FALSE(elgamal_decrypt(other, ct).has_value());
+}
+
+TEST_F(ElGamalTest, CiphertextIsRandomized) {
+  const auto a =
+      elgamal_encrypt(group_, recipient_.public_key(), to_bytes("m"), rng_);
+  const auto b =
+      elgamal_encrypt(group_, recipient_.public_key(), to_bytes("m"), rng_);
+  EXPECT_NE(a.ephemeral_key, b.ephemeral_key);
+  EXPECT_NE(a.sealed, b.sealed);
+}
+
+TEST_F(ElGamalTest, TamperingDetected) {
+  auto ct = elgamal_encrypt(group_, recipient_.public_key(),
+                            to_bytes("payload"), rng_);
+  ct.sealed[ct.sealed.size() / 2] ^= 0x01;
+  EXPECT_FALSE(elgamal_decrypt(recipient_, ct).has_value());
+}
+
+TEST_F(ElGamalTest, SwappedEphemeralKeyDetected) {
+  const auto a = elgamal_encrypt(group_, recipient_.public_key(),
+                                 to_bytes("m1"), rng_);
+  auto b = elgamal_encrypt(group_, recipient_.public_key(),
+                           to_bytes("m2"), rng_);
+  b.ephemeral_key = a.ephemeral_key;  // mix-and-match
+  EXPECT_FALSE(elgamal_decrypt(recipient_, b).has_value());
+}
+
+TEST_F(ElGamalTest, RejectsNonGroupEphemeralKey) {
+  auto ct = elgamal_encrypt(group_, recipient_.public_key(),
+                            to_bytes("m"), rng_);
+  ct.ephemeral_key = BigInt(0);
+  EXPECT_FALSE(elgamal_decrypt(recipient_, ct).has_value());
+  ct.ephemeral_key = group_.p() + BigInt(7);
+  EXPECT_FALSE(elgamal_decrypt(recipient_, ct).has_value());
+}
+
+TEST_F(ElGamalTest, EmptyAndLargePayloads) {
+  for (std::size_t n : {0u, 1u, 4096u}) {
+    const common::Bytes payload = rng_.next_bytes(n);
+    const auto ct =
+        elgamal_encrypt(group_, recipient_.public_key(), payload, rng_);
+    const auto pt = elgamal_decrypt(recipient_, ct);
+    ASSERT_TRUE(pt.has_value()) << n;
+    EXPECT_EQ(*pt, payload);
+  }
+}
+
+TEST_F(ElGamalTest, EncodingRoundTrip) {
+  const auto ct = elgamal_encrypt(group_, recipient_.public_key(),
+                                  to_bytes("serialize me"), rng_);
+  const auto decoded = ElGamalCiphertext::decode(ct.encode());
+  const auto pt = elgamal_decrypt(recipient_, decoded);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_EQ(*pt, to_bytes("serialize me"));
+  EXPECT_GT(ct.size(), 0u);
+}
+
+TEST_F(ElGamalTest, CertificateBoundEncryption) {
+  // Typical use: encrypt to a key found in a counterparty's certificate.
+  const auto ct = elgamal_encrypt(
+      group_, PublicKey{recipient_.public_key().y}, to_bytes("via-cert"),
+      rng_);
+  EXPECT_EQ(elgamal_decrypt(recipient_, ct), to_bytes("via-cert"));
+}
+
+}  // namespace
+}  // namespace veil::crypto

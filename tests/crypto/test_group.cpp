@@ -1,0 +1,114 @@
+#include "crypto/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "common/rng.hpp"
+
+namespace veil::crypto {
+namespace {
+
+TEST(Group, PinnedDefaultGroupIsValid) {
+  const Group& g = Group::default_group();
+  common::Rng rng(1);
+  EXPECT_EQ(g.q().bit_length(), 256u);
+  EXPECT_EQ(g.p().bit_length(), 1024u);
+  EXPECT_TRUE(g.p().is_probable_prime(rng));
+  EXPECT_TRUE(g.q().is_probable_prime(rng));
+  EXPECT_TRUE(((g.p() - BigInt(1)) % g.q()).is_zero());
+  EXPECT_TRUE(g.is_element(g.g()));
+  EXPECT_TRUE(g.is_element(g.h()));
+  EXPECT_NE(g.g(), g.h());
+}
+
+TEST(Group, PinnedTestGroupIsValid) {
+  const Group& g = Group::test_group();
+  common::Rng rng(2);
+  EXPECT_EQ(g.q().bit_length(), 160u);
+  EXPECT_EQ(g.p().bit_length(), 512u);
+  EXPECT_TRUE(g.p().is_probable_prime(rng));
+  EXPECT_TRUE(g.q().is_probable_prime(rng));
+}
+
+TEST(Group, GeneratorHasOrderQ) {
+  const Group& g = Group::test_group();
+  EXPECT_EQ(g.pow_g(g.q()), BigInt(1));
+  EXPECT_NE(g.pow_g(BigInt(1)), BigInt(1));
+}
+
+TEST(Group, ElementMembership) {
+  const Group& g = Group::test_group();
+  common::Rng rng(3);
+  // Powers of g are members.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(g.is_element(g.pow_g(g.random_scalar(rng))));
+  }
+  EXPECT_FALSE(g.is_element(BigInt(0)));
+  EXPECT_FALSE(g.is_element(g.p()));
+  EXPECT_FALSE(g.is_element(g.p() + BigInt(1)));
+}
+
+TEST(Group, RandomScalarRange) {
+  const Group& g = Group::test_group();
+  common::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt s = g.random_scalar(rng);
+    EXPECT_FALSE(s.is_zero());
+    EXPECT_LT(s, g.q());
+  }
+}
+
+TEST(Group, HashToScalarDeterministicAndBounded) {
+  const Group& g = Group::test_group();
+  const BigInt a = g.hash_to_scalar(common::to_bytes("message"));
+  EXPECT_EQ(a, g.hash_to_scalar(common::to_bytes("message")));
+  EXPECT_NE(a, g.hash_to_scalar(common::to_bytes("other")));
+  EXPECT_LT(a, g.q());
+}
+
+TEST(Group, HashToElementInGroup) {
+  const Group& g = Group::test_group();
+  const BigInt e = g.hash_to_element(common::to_bytes("anything"));
+  EXPECT_TRUE(g.is_element(e));
+  EXPECT_NE(e, BigInt(1));
+}
+
+TEST(Group, ExponentLaws) {
+  const Group& g = Group::test_group();
+  common::Rng rng(5);
+  const BigInt a = g.random_scalar(rng);
+  const BigInt b = g.random_scalar(rng);
+  // g^a * g^b == g^(a+b mod q)
+  EXPECT_EQ(g.mul(g.pow_g(a), g.pow_g(b)), g.pow_g((a + b) % g.q()));
+  // (g^a)^b == g^(ab mod q)
+  EXPECT_EQ(g.pow(g.pow_g(a), b), g.pow_g((a * b) % g.q()));
+}
+
+TEST(Group, InverseLaw) {
+  const Group& g = Group::test_group();
+  common::Rng rng(6);
+  const BigInt x = g.pow_g(g.random_scalar(rng));
+  EXPECT_EQ(g.mul(x, g.inv(x)), BigInt(1));
+}
+
+TEST(Group, GenerateProducesConsistentParameters) {
+  common::Rng rng(7);
+  const Group g = Group::generate(rng, 256, 80);
+  EXPECT_EQ(g.p().bit_length(), 256u);
+  EXPECT_EQ(g.q().bit_length(), 80u);
+  EXPECT_EQ(g.pow_g(g.q()), BigInt(1));
+  EXPECT_EQ(g.pow_h(g.q()), BigInt(1));
+}
+
+TEST(Group, ConstructorValidatesParameters) {
+  const Group& g = Group::test_group();
+  // q not dividing p-1
+  EXPECT_THROW(Group(g.p(), g.q() + BigInt(2), g.g(), g.h()),
+               common::CryptoError);
+  // generator outside the subgroup
+  EXPECT_THROW(Group(g.p(), g.q(), BigInt(0), g.h()), common::CryptoError);
+}
+
+}  // namespace
+}  // namespace veil::crypto

@@ -1,0 +1,79 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "common/bytes.hpp"
+
+namespace veil::crypto {
+namespace {
+
+using common::to_bytes;
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(sha256(std::string_view(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(sha256(std::string_view("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      digest_hex(sha256(std::string_view(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.finalize(), sha256(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Exercise padding around the 55/56/64-byte boundaries.
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string msg(len, 'x');
+    Sha256 incremental;
+    for (char c : msg) incremental.update(std::string_view(&c, 1));
+    EXPECT_EQ(incremental.finalize(), sha256(msg)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, DoubleFinalizeThrows) {
+  Sha256 h;
+  h.update(std::string_view("x"));
+  h.finalize();
+  EXPECT_THROW(h.finalize(), common::CryptoError);
+}
+
+TEST(Sha256, UpdateAfterFinalizeThrows) {
+  Sha256 h;
+  h.finalize();
+  EXPECT_THROW(h.update(std::string_view("x")), common::CryptoError);
+}
+
+TEST(Sha256, DigestBytesMatchesHex) {
+  const Digest d = sha256(std::string_view("abc"));
+  EXPECT_EQ(common::to_hex(digest_bytes(d)), digest_hex(d));
+}
+
+}  // namespace
+}  // namespace veil::crypto

@@ -1,0 +1,132 @@
+#include "crypto/shamir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace veil::crypto {
+namespace {
+
+const char* kPrime = "2305843009213693951";  // 2^61 - 1, Mersenne prime
+
+class ShamirTest : public ::testing::Test {
+ protected:
+  Shamir shamir_{BigInt::from_decimal(kPrime)};
+  common::Rng rng_{808};
+};
+
+TEST_F(ShamirTest, SplitReconstructExactThreshold) {
+  const BigInt secret(123456789);
+  const auto shares = shamir_.split(secret, 3, 5, rng_);
+  ASSERT_EQ(shares.size(), 5u);
+  EXPECT_EQ(shamir_.reconstruct({shares[0], shares[2], shares[4]}), secret);
+}
+
+TEST_F(ShamirTest, AllShareSubsetsOfThresholdSizeWork) {
+  const BigInt secret(42);
+  const auto shares = shamir_.split(secret, 2, 4, rng_);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_EQ(shamir_.reconstruct({shares[i], shares[j]}), secret);
+    }
+  }
+}
+
+TEST_F(ShamirTest, BelowThresholdRevealsNothing) {
+  // With t-1 shares the secret is information-theoretically hidden: for
+  // any candidate secret there exists a consistent polynomial. Check
+  // statistically: one share from splits of two different secrets is
+  // identically distributed (can't distinguish by value range).
+  const auto shares_a = shamir_.split(BigInt(1), 3, 3, rng_);
+  const auto shares_b = shamir_.split(BigInt(1000000), 3, 3, rng_);
+  // Interpolating 2 of 3 shares with a forged third gives arbitrary values;
+  // reconstructing from fewer than threshold must NOT equal the secret
+  // except by negligible chance.
+  const BigInt wrong = shamir_.reconstruct({shares_a[0], shares_a[1]});
+  EXPECT_NE(wrong, BigInt(1));  // 2-point interpolation of a degree-2 poly
+}
+
+TEST_F(ShamirTest, MoreThanThresholdAlsoWorks) {
+  const BigInt secret(777);
+  const auto shares = shamir_.split(secret, 2, 5, rng_);
+  EXPECT_EQ(shamir_.reconstruct(shares), secret);
+}
+
+TEST_F(ShamirTest, ZeroSecret) {
+  const auto shares = shamir_.split(BigInt(0), 3, 4, rng_);
+  EXPECT_EQ(shamir_.reconstruct(shares), BigInt(0));
+}
+
+TEST_F(ShamirTest, ThresholdOneIsConstantPolynomial) {
+  const auto shares = shamir_.split(BigInt(5), 1, 3, rng_);
+  for (const Share& s : shares) EXPECT_EQ(s.y, BigInt(5));
+}
+
+TEST_F(ShamirTest, InvalidParametersThrow) {
+  EXPECT_THROW(shamir_.split(BigInt(1), 0, 3, rng_), common::CryptoError);
+  EXPECT_THROW(shamir_.split(BigInt(1), 4, 3, rng_), common::CryptoError);
+  EXPECT_THROW(
+      shamir_.split(BigInt::from_decimal(kPrime), 2, 3, rng_),
+      common::CryptoError);
+  EXPECT_THROW(shamir_.reconstruct({}), common::CryptoError);
+}
+
+TEST_F(ShamirTest, DuplicateSharePointsThrow) {
+  const auto shares = shamir_.split(BigInt(9), 2, 3, rng_);
+  EXPECT_THROW(shamir_.reconstruct({shares[0], shares[0]}),
+               common::CryptoError);
+}
+
+TEST_F(ShamirTest, ShareAdditionGivesShareOfSum) {
+  const BigInt a(1000), b(2345);
+  const auto shares_a = shamir_.split(a, 3, 3, rng_);
+  const auto shares_b = shamir_.split(b, 3, 3, rng_);
+  std::vector<Share> sum_shares;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sum_shares.push_back(shamir_.add(shares_a[i], shares_b[i]));
+  }
+  EXPECT_EQ(shamir_.reconstruct(sum_shares), a + b);
+}
+
+TEST_F(ShamirTest, ShareScalingGivesShareOfProduct) {
+  const BigInt secret(321);
+  const auto shares = shamir_.split(secret, 2, 3, rng_);
+  std::vector<Share> scaled;
+  for (const Share& s : shares) scaled.push_back(shamir_.scale(s, BigInt(7)));
+  EXPECT_EQ(shamir_.reconstruct(scaled), BigInt(321 * 7));
+}
+
+TEST_F(ShamirTest, AddMismatchedPointsThrows) {
+  const auto shares = shamir_.split(BigInt(1), 2, 3, rng_);
+  EXPECT_THROW(shamir_.add(shares[0], shares[1]), common::CryptoError);
+}
+
+TEST(Shamir, TinyFieldRejected) {
+  EXPECT_THROW(Shamir(BigInt(2)), common::CryptoError);
+}
+
+class ShamirParams
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ShamirParams, RoundTripAcrossConfigurations) {
+  const auto [threshold, count] = GetParam();
+  Shamir shamir(BigInt::from_decimal(kPrime));
+  common::Rng rng(threshold * 100 + count);
+  const BigInt secret = BigInt::random_below(rng, BigInt(1) << 60);
+  const auto shares = shamir.split(secret, threshold, count, rng);
+  // Use the first `threshold` shares.
+  std::vector<Share> subset(shares.begin(),
+                            shares.begin() + static_cast<long>(threshold));
+  EXPECT_EQ(shamir.reconstruct(subset), secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ShamirParams,
+    ::testing::Values(std::pair{1u, 1u}, std::pair{2u, 2u}, std::pair{2u, 10u},
+                      std::pair{5u, 5u}, std::pair{7u, 10u},
+                      std::pair{10u, 20u}));
+
+}  // namespace
+}  // namespace veil::crypto

@@ -1,0 +1,121 @@
+#include "crypto/signature.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace veil::crypto {
+namespace {
+
+using common::to_bytes;
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  const Group& group_ = Group::test_group();
+  common::Rng rng_{42};
+};
+
+TEST_F(SignatureTest, SignVerifyRoundTrip) {
+  const KeyPair kp = KeyPair::generate(group_, rng_);
+  const auto sig = kp.sign(to_bytes("hello ledger"));
+  EXPECT_TRUE(verify(group_, kp.public_key(), to_bytes("hello ledger"), sig));
+}
+
+TEST_F(SignatureTest, RejectsWrongMessage) {
+  const KeyPair kp = KeyPair::generate(group_, rng_);
+  const auto sig = kp.sign(to_bytes("message A"));
+  EXPECT_FALSE(verify(group_, kp.public_key(), to_bytes("message B"), sig));
+}
+
+TEST_F(SignatureTest, RejectsWrongKey) {
+  const KeyPair alice = KeyPair::generate(group_, rng_);
+  const KeyPair bob = KeyPair::generate(group_, rng_);
+  const auto sig = alice.sign(to_bytes("m"));
+  EXPECT_FALSE(verify(group_, bob.public_key(), to_bytes("m"), sig));
+}
+
+TEST_F(SignatureTest, RejectsTamperedSignature) {
+  const KeyPair kp = KeyPair::generate(group_, rng_);
+  Signature sig = kp.sign(to_bytes("m"));
+  sig.response = (sig.response + BigInt(1)) % group_.q();
+  EXPECT_FALSE(verify(group_, kp.public_key(), to_bytes("m"), sig));
+  Signature sig2 = kp.sign(to_bytes("m"));
+  sig2.challenge = (sig2.challenge + BigInt(1)) % group_.q();
+  EXPECT_FALSE(verify(group_, kp.public_key(), to_bytes("m"), sig2));
+}
+
+TEST_F(SignatureTest, RejectsOutOfRangeComponents) {
+  const KeyPair kp = KeyPair::generate(group_, rng_);
+  Signature sig = kp.sign(to_bytes("m"));
+  sig.response = sig.response + group_.q();
+  EXPECT_FALSE(verify(group_, kp.public_key(), to_bytes("m"), sig));
+}
+
+TEST_F(SignatureTest, RejectsInvalidPublicKey) {
+  const KeyPair kp = KeyPair::generate(group_, rng_);
+  const auto sig = kp.sign(to_bytes("m"));
+  PublicKey bogus{BigInt(0)};
+  EXPECT_FALSE(verify(group_, bogus, to_bytes("m"), sig));
+}
+
+TEST_F(SignatureTest, DeterministicNonce) {
+  // Same key + message => identical signature (RFC 6979 style).
+  const KeyPair kp = KeyPair::generate(group_, rng_);
+  EXPECT_EQ(kp.sign(to_bytes("m")), kp.sign(to_bytes("m")));
+  EXPECT_NE(kp.sign(to_bytes("m1")), kp.sign(to_bytes("m2")));
+}
+
+TEST_F(SignatureTest, FromSecretIsDeterministic) {
+  const BigInt secret(123456789);
+  const KeyPair a = KeyPair::from_secret(group_, secret);
+  const KeyPair b = KeyPair::from_secret(group_, secret);
+  EXPECT_EQ(a.public_key(), b.public_key());
+}
+
+TEST_F(SignatureTest, FromSecretRejectsZero) {
+  EXPECT_THROW(KeyPair::from_secret(group_, group_.q()),
+               common::CryptoError);
+}
+
+TEST_F(SignatureTest, EncodingRoundTrips) {
+  const KeyPair kp = KeyPair::generate(group_, rng_);
+  const PublicKey pub2 = PublicKey::decode(kp.public_key().encode());
+  EXPECT_EQ(pub2, kp.public_key());
+  const Signature sig = kp.sign(to_bytes("m"));
+  const Signature sig2 = Signature::decode(sig.encode());
+  EXPECT_EQ(sig2, sig);
+  EXPECT_TRUE(verify(group_, pub2, to_bytes("m"), sig2));
+}
+
+TEST_F(SignatureTest, FingerprintStableAndDistinct) {
+  const KeyPair a = KeyPair::generate(group_, rng_);
+  const KeyPair b = KeyPair::generate(group_, rng_);
+  EXPECT_EQ(a.public_key().fingerprint(), a.public_key().fingerprint());
+  EXPECT_NE(a.public_key().fingerprint(), b.public_key().fingerprint());
+  EXPECT_EQ(a.public_key().fingerprint().size(), 16u);
+}
+
+TEST_F(SignatureTest, WorksInDefaultGroupToo) {
+  const Group& group = Group::default_group();
+  const KeyPair kp = KeyPair::generate(group, rng_);
+  const auto sig = kp.sign(to_bytes("production-size group"));
+  EXPECT_TRUE(
+      verify(group, kp.public_key(), to_bytes("production-size group"), sig));
+}
+
+class SignatureMessages : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SignatureMessages, VariousMessageSizes) {
+  const Group& group = Group::test_group();
+  common::Rng rng(GetParam());
+  const KeyPair kp = KeyPair::generate(group, rng);
+  const common::Bytes msg = rng.next_bytes(GetParam());
+  const auto sig = kp.sign(msg);
+  EXPECT_TRUE(verify(group, kp.public_key(), msg, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SignatureMessages,
+                         ::testing::Values(0, 1, 32, 100, 1000, 10000));
+
+}  // namespace
+}  // namespace veil::crypto

@@ -1,0 +1,126 @@
+#include "crypto/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace veil::crypto {
+namespace {
+
+using common::to_bytes;
+
+class ThresholdTest : public ::testing::Test {
+ protected:
+  const Group& group_ = Group::test_group();
+  common::Rng rng_{9090};
+};
+
+TEST_F(ThresholdTest, QuorumDecrypts) {
+  const auto committee = ThresholdElGamal::deal(group_, 3, 5, rng_);
+  const auto ct = committee.encrypt(to_bytes("escrowed payload"), rng_);
+
+  std::vector<PartialDecryption> partials;
+  for (std::size_t i : {0u, 2u, 4u}) {
+    partials.push_back(ThresholdElGamal::partial_decrypt(
+        group_, committee.shares()[i], ct));
+  }
+  const auto pt = committee.combine(ct, partials);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_EQ(*pt, to_bytes("escrowed payload"));
+}
+
+TEST_F(ThresholdTest, AnyQuorumWorks) {
+  const auto committee = ThresholdElGamal::deal(group_, 2, 4, rng_);
+  const auto ct = committee.encrypt(to_bytes("m"), rng_);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      const std::vector<PartialDecryption> partials = {
+          ThresholdElGamal::partial_decrypt(group_, committee.shares()[a], ct),
+          ThresholdElGamal::partial_decrypt(group_, committee.shares()[b], ct),
+      };
+      EXPECT_EQ(committee.combine(ct, partials), to_bytes("m"))
+          << a << "," << b;
+    }
+  }
+}
+
+TEST_F(ThresholdTest, BelowThresholdFails) {
+  const auto committee = ThresholdElGamal::deal(group_, 3, 5, rng_);
+  const auto ct = committee.encrypt(to_bytes("m"), rng_);
+  const std::vector<PartialDecryption> partials = {
+      ThresholdElGamal::partial_decrypt(group_, committee.shares()[0], ct),
+      ThresholdElGamal::partial_decrypt(group_, committee.shares()[1], ct),
+  };
+  EXPECT_FALSE(committee.combine(ct, partials).has_value());
+}
+
+TEST_F(ThresholdTest, DuplicatePartialsRejected) {
+  const auto committee = ThresholdElGamal::deal(group_, 2, 3, rng_);
+  const auto ct = committee.encrypt(to_bytes("m"), rng_);
+  const auto p0 =
+      ThresholdElGamal::partial_decrypt(group_, committee.shares()[0], ct);
+  EXPECT_FALSE(committee.combine(ct, {p0, p0}).has_value());
+}
+
+TEST_F(ThresholdTest, CorruptedPartialFailsAuthenticatedOpen) {
+  const auto committee = ThresholdElGamal::deal(group_, 2, 3, rng_);
+  const auto ct = committee.encrypt(to_bytes("m"), rng_);
+  auto p0 =
+      ThresholdElGamal::partial_decrypt(group_, committee.shares()[0], ct);
+  const auto p1 =
+      ThresholdElGamal::partial_decrypt(group_, committee.shares()[1], ct);
+  p0.value = group_.mul(p0.value, group_.g());  // corrupt contribution
+  // The derived KEM key is wrong, so the DEM MAC rejects.
+  EXPECT_FALSE(committee.combine(ct, {p0, p1}).has_value());
+}
+
+TEST_F(ThresholdTest, SingleHolderCannotDecryptAlone) {
+  // The defining property: no share alone is the key.
+  const auto committee = ThresholdElGamal::deal(group_, 2, 2, rng_);
+  const auto ct = committee.encrypt(to_bytes("secret"), rng_);
+  for (const KeyShare& share : committee.shares()) {
+    const KeyPair lone = KeyPair::from_secret(group_, share.value);
+    EXPECT_FALSE(elgamal_decrypt(lone, ct).has_value());
+  }
+}
+
+TEST_F(ThresholdTest, ThresholdOneDegeneratesToPlainElGamal) {
+  const auto committee = ThresholdElGamal::deal(group_, 1, 1, rng_);
+  const auto ct = committee.encrypt(to_bytes("m"), rng_);
+  const auto p =
+      ThresholdElGamal::partial_decrypt(group_, committee.shares()[0], ct);
+  EXPECT_EQ(committee.combine(ct, {p}), to_bytes("m"));
+}
+
+TEST_F(ThresholdTest, InvalidDealParametersThrow) {
+  EXPECT_THROW(ThresholdElGamal::deal(group_, 0, 3, rng_),
+               common::CryptoError);
+  EXPECT_THROW(ThresholdElGamal::deal(group_, 4, 3, rng_),
+               common::CryptoError);
+}
+
+class ThresholdConfigs
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ThresholdConfigs, RoundTrip) {
+  const auto [t, n] = GetParam();
+  const Group& group = Group::test_group();
+  common::Rng rng(t * 31 + n);
+  const auto committee = ThresholdElGamal::deal(group, t, n, rng);
+  const common::Bytes msg = rng.next_bytes(100);
+  const auto ct = committee.encrypt(msg, rng);
+  std::vector<PartialDecryption> partials;
+  for (std::size_t i = 0; i < t; ++i) {
+    partials.push_back(ThresholdElGamal::partial_decrypt(
+        group, committee.shares()[n - 1 - i], ct));
+  }
+  EXPECT_EQ(committee.combine(ct, partials), msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ThresholdConfigs,
+    ::testing::Values(std::pair{1u, 3u}, std::pair{2u, 3u}, std::pair{3u, 3u},
+                      std::pair{3u, 7u}, std::pair{5u, 9u}));
+
+}  // namespace
+}  // namespace veil::crypto

@@ -1,0 +1,193 @@
+#include "crypto/zkp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace veil::crypto {
+namespace {
+
+using common::to_bytes;
+
+class ZkpTest : public ::testing::Test {
+ protected:
+  const Group& group_ = Group::test_group();
+  Pedersen pedersen_{group_};
+  common::Rng rng_{2024};
+};
+
+// --- Dlog proofs (ZKP of identity) ------------------------------------------
+
+TEST_F(ZkpTest, DlogCompleteness) {
+  const BigInt secret = group_.random_scalar(rng_);
+  const BigInt y = group_.pow_g(secret);
+  const auto proof =
+      prove_dlog(group_, group_.g(), secret, to_bytes("ctx"), rng_);
+  EXPECT_TRUE(verify_dlog(group_, group_.g(), y, proof, to_bytes("ctx")));
+}
+
+TEST_F(ZkpTest, DlogRejectsWrongStatement) {
+  const BigInt secret = group_.random_scalar(rng_);
+  const BigInt other = group_.pow_g(group_.random_scalar(rng_));
+  const auto proof =
+      prove_dlog(group_, group_.g(), secret, to_bytes("ctx"), rng_);
+  EXPECT_FALSE(verify_dlog(group_, group_.g(), other, proof, to_bytes("ctx")));
+}
+
+TEST_F(ZkpTest, DlogContextBinding) {
+  const BigInt secret = group_.random_scalar(rng_);
+  const BigInt y = group_.pow_g(secret);
+  const auto proof =
+      prove_dlog(group_, group_.g(), secret, to_bytes("session-1"), rng_);
+  // Replaying under another context must fail.
+  EXPECT_FALSE(
+      verify_dlog(group_, group_.g(), y, proof, to_bytes("session-2")));
+}
+
+TEST_F(ZkpTest, DlogProofsAreRandomized) {
+  // Two proofs of the same statement differ => unlinkable presentations.
+  const BigInt secret = group_.random_scalar(rng_);
+  const auto p1 = prove_dlog(group_, group_.g(), secret, to_bytes("c"), rng_);
+  const auto p2 = prove_dlog(group_, group_.g(), secret, to_bytes("c"), rng_);
+  EXPECT_NE(p1.commitment, p2.commitment);
+}
+
+TEST_F(ZkpTest, DlogTamperedProofFails) {
+  const BigInt secret = group_.random_scalar(rng_);
+  const BigInt y = group_.pow_g(secret);
+  auto proof = prove_dlog(group_, group_.g(), secret, to_bytes("c"), rng_);
+  proof.response = (proof.response + BigInt(1)) % group_.q();
+  EXPECT_FALSE(verify_dlog(group_, group_.g(), y, proof, to_bytes("c")));
+}
+
+TEST_F(ZkpTest, DlogWorksOverBaseH) {
+  const BigInt secret = group_.random_scalar(rng_);
+  const BigInt y = group_.pow_h(secret);
+  const auto proof =
+      prove_dlog(group_, group_.h(), secret, to_bytes("c"), rng_);
+  EXPECT_TRUE(verify_dlog(group_, group_.h(), y, proof, to_bytes("c")));
+}
+
+TEST_F(ZkpTest, DlogEncodingRoundTrip) {
+  const BigInt secret = group_.random_scalar(rng_);
+  const BigInt y = group_.pow_g(secret);
+  const auto proof = prove_dlog(group_, group_.g(), secret, to_bytes("c"), rng_);
+  const auto decoded = DlogProof::decode(proof.encode());
+  EXPECT_TRUE(verify_dlog(group_, group_.g(), y, decoded, to_bytes("c")));
+}
+
+// --- Bit proofs --------------------------------------------------------------
+
+TEST_F(ZkpTest, BitProofCompletenessBothValues) {
+  for (bool bit : {false, true}) {
+    auto [commitment, opening] = pedersen_.commit(BigInt(bit ? 1 : 0), rng_);
+    const auto proof = prove_bit(group_, commitment, bit, opening.blinding,
+                                 to_bytes("c"), rng_);
+    EXPECT_TRUE(verify_bit(group_, commitment, proof, to_bytes("c")))
+        << "bit=" << bit;
+  }
+}
+
+TEST_F(ZkpTest, BitProofSoundness) {
+  // A commitment to 2 cannot produce a valid bit proof with either branch.
+  auto [commitment, opening] = pedersen_.commit(BigInt(2), rng_);
+  const auto proof_as_0 = prove_bit(group_, commitment, false,
+                                    opening.blinding, to_bytes("c"), rng_);
+  EXPECT_FALSE(verify_bit(group_, commitment, proof_as_0, to_bytes("c")));
+  const auto proof_as_1 = prove_bit(group_, commitment, true,
+                                    opening.blinding, to_bytes("c"), rng_);
+  EXPECT_FALSE(verify_bit(group_, commitment, proof_as_1, to_bytes("c")));
+}
+
+TEST_F(ZkpTest, BitProofContextBinding) {
+  auto [commitment, opening] = pedersen_.commit(BigInt(1), rng_);
+  const auto proof = prove_bit(group_, commitment, true, opening.blinding,
+                               to_bytes("ctx-a"), rng_);
+  EXPECT_FALSE(verify_bit(group_, commitment, proof, to_bytes("ctx-b")));
+}
+
+// --- Range proofs (proof of sufficient funds) --------------------------------
+
+TEST_F(ZkpTest, RangeProofCompleteness) {
+  for (std::uint64_t value : {0ULL, 1ULL, 100ULL, 65535ULL}) {
+    auto [commitment, opening] = pedersen_.commit(BigInt(value), rng_);
+    const auto proof = prove_range(group_, commitment, opening, 16,
+                                   to_bytes("funds"), rng_);
+    EXPECT_TRUE(verify_range(group_, commitment, proof, 16, to_bytes("funds")))
+        << value;
+  }
+}
+
+TEST_F(ZkpTest, RangeProofRejectsOutOfRangeAtProveTime) {
+  auto [commitment, opening] = pedersen_.commit(BigInt(65536), rng_);
+  EXPECT_THROW(
+      prove_range(group_, commitment, opening, 16, to_bytes("f"), rng_),
+      common::CryptoError);
+}
+
+TEST_F(ZkpTest, RangeProofWrongCommitmentFails) {
+  auto [c1, o1] = pedersen_.commit(BigInt(500), rng_);
+  auto [c2, o2] = pedersen_.commit(BigInt(500), rng_);
+  const auto proof = prove_range(group_, c1, o1, 16, to_bytes("f"), rng_);
+  EXPECT_FALSE(verify_range(group_, c2, proof, 16, to_bytes("f")));
+}
+
+TEST_F(ZkpTest, RangeProofContextBinding) {
+  auto [commitment, opening] = pedersen_.commit(BigInt(5), rng_);
+  const auto proof =
+      prove_range(group_, commitment, opening, 8, to_bytes("tx-1"), rng_);
+  EXPECT_FALSE(verify_range(group_, commitment, proof, 8, to_bytes("tx-2")));
+}
+
+TEST_F(ZkpTest, RangeProofBitCountMismatchFails) {
+  auto [commitment, opening] = pedersen_.commit(BigInt(5), rng_);
+  const auto proof =
+      prove_range(group_, commitment, opening, 8, to_bytes("f"), rng_);
+  EXPECT_FALSE(verify_range(group_, commitment, proof, 16, to_bytes("f")));
+}
+
+TEST_F(ZkpTest, SufficientFundsScenario) {
+  // The paper's example: prove balance >= amount without revealing either.
+  const BigInt balance(9000), amount(2500);
+  auto [commitment, opening] =
+      pedersen_.commit(balance - amount, rng_);
+  const auto proof = prove_range(group_, commitment, opening, 16,
+                                 to_bytes("payment-affirmation"), rng_);
+  EXPECT_TRUE(verify_range(group_, commitment, proof, 16,
+                           to_bytes("payment-affirmation")));
+
+  // Insufficient funds: balance - amount would be negative, so the prover
+  // cannot even form the difference as a non-negative value in range.
+  const BigInt small_balance(100);
+  EXPECT_THROW((void)(small_balance - amount), common::CryptoError);
+}
+
+TEST_F(ZkpTest, RangeProofEncodingRoundTrip) {
+  auto [commitment, opening] = pedersen_.commit(BigInt(77), rng_);
+  const auto proof =
+      prove_range(group_, commitment, opening, 8, to_bytes("f"), rng_);
+  const auto decoded = RangeProof::decode(proof.encode(), 8);
+  EXPECT_TRUE(verify_range(group_, commitment, decoded, 8, to_bytes("f")));
+  EXPECT_GT(proof.encoded_size(), 0u);
+}
+
+class RangeProofWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RangeProofWidths, BoundaryValues) {
+  const Group& group = Group::test_group();
+  const Pedersen pedersen(group);
+  common::Rng rng(500 + GetParam());
+  const std::size_t bits = GetParam();
+  // Largest in-range value: 2^bits - 1.
+  const BigInt max_value = (BigInt(1) << bits) - BigInt(1);
+  auto [commitment, opening] = pedersen.commit(max_value, rng);
+  const auto proof =
+      prove_range(group, commitment, opening, bits, to_bytes("b"), rng);
+  EXPECT_TRUE(verify_range(group, commitment, proof, bits, to_bytes("b")));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RangeProofWidths,
+                         ::testing::Values(1, 2, 4, 8, 12, 16));
+
+}  // namespace
+}  // namespace veil::crypto

@@ -1,0 +1,135 @@
+// Failure injection: privacy mechanisms must fail CLOSED. Lost or
+// partitioned traffic may stall commits, but must never cause partial
+// commits, replica divergence, or information leaks.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mpc/protocol.hpp"
+#include "platforms/fabric/fabric.hpp"
+
+namespace veil {
+namespace {
+
+using common::to_bytes;
+
+std::shared_ptr<contracts::FunctionContract> put_contract() {
+  return std::make_shared<contracts::FunctionContract>(
+      "cc", 1, [](contracts::ContractContext& ctx, const std::string& a) {
+        ctx.put("k/" + a, common::Bytes(ctx.args().begin(), ctx.args().end()));
+        return contracts::InvokeStatus::Ok;
+      });
+}
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  FailureInjectionTest()
+      : net_(common::Rng(1234)),
+        rng_(1235),
+        fab_(net_, crypto::Group::test_group(), rng_) {
+    fab_.add_org("OrgA");
+    fab_.add_org("OrgB");
+    fab_.create_channel("ch", {"OrgA", "OrgB"});
+    fab_.install_chaincode("ch", "OrgA", put_contract(),
+                           contracts::EndorsementPolicy::require("OrgA"));
+  }
+
+  net::SimNetwork net_;
+  common::Rng rng_;
+  fabric::FabricNetwork fab_;
+};
+
+TEST_F(FailureInjectionTest, TotalMessageLossStallsCommit) {
+  net_.set_drop_probability(1.0);
+  const auto receipt = fab_.submit("ch", "OrgA", "cc", "a", to_bytes("v"));
+  EXPECT_FALSE(receipt.committed);
+  EXPECT_EQ(receipt.reason, "not delivered");
+  // No peer applied anything — fail closed, not partial.
+  EXPECT_FALSE(fab_.state("ch", "OrgA").get("k/a").has_value());
+  EXPECT_FALSE(fab_.state("ch", "OrgB").get("k/a").has_value());
+  EXPECT_EQ(fab_.chain("ch", "OrgA").height(), 0u);
+}
+
+TEST_F(FailureInjectionTest, RecoveryAfterLossHeals) {
+  net_.set_drop_probability(1.0);
+  EXPECT_FALSE(fab_.submit("ch", "OrgA", "cc", "a", to_bytes("v")).committed);
+  net_.set_drop_probability(0.0);
+  // A fresh submission (fresh endorsement over current state) commits.
+  const auto receipt = fab_.submit("ch", "OrgA", "cc", "b", to_bytes("w"));
+  EXPECT_TRUE(receipt.committed) << receipt.reason;
+  EXPECT_TRUE(fab_.state("ch", "OrgB").get("k/b").has_value());
+}
+
+TEST_F(FailureInjectionTest, PartitionFromOrdererStallsBothPeers) {
+  // Peers can reach each other but not the orderer's delivery channel.
+  net_.set_partitions({{"peer.OrgA", "peer.OrgB"}});
+  const auto receipt = fab_.submit("ch", "OrgA", "cc", "a", to_bytes("v"));
+  EXPECT_FALSE(receipt.committed);
+  // Replica heights agree (both at zero) — no divergence.
+  EXPECT_EQ(fab_.chain("ch", "OrgA").height(),
+            fab_.chain("ch", "OrgB").height());
+
+  net_.set_partitions({});
+  const auto healed = fab_.submit("ch", "OrgA", "cc", "b", to_bytes("w"));
+  EXPECT_TRUE(healed.committed);
+  EXPECT_EQ(fab_.chain("ch", "OrgA").height(),
+            fab_.chain("ch", "OrgB").height());
+}
+
+TEST_F(FailureInjectionTest, PartitionOfOnePeerKeepsReplicasConsistent) {
+  // Only OrgB is cut off from block delivery.
+  net_.set_partitions({{"orderer-org", "peer.OrgA"}, {"peer.OrgB"}});
+  const auto receipt = fab_.submit("ch", "OrgA", "cc", "a", to_bytes("v"));
+  // OrgA committed, OrgB is behind — but never wrong.
+  EXPECT_TRUE(receipt.committed);
+  EXPECT_EQ(fab_.chain("ch", "OrgA").height(), 1u);
+  EXPECT_EQ(fab_.chain("ch", "OrgB").height(), 0u);
+  EXPECT_TRUE(fab_.chain("ch", "OrgB").verify_integrity());
+  // And the partitioned peer leaked nothing to anyone.
+  EXPECT_TRUE(fab_.chain("ch", "OrgA").verify_integrity());
+}
+
+TEST_F(FailureInjectionTest, LossNeverLeaksToOutsiders) {
+  fab_.add_org("OrgC");
+  net_.set_drop_probability(0.5);
+  for (int i = 0; i < 20; ++i) {
+    fab_.submit("ch", "OrgA", "cc", "x" + std::to_string(i), to_bytes("v"));
+  }
+  // Whatever was lost or delivered, the non-member saw nothing.
+  EXPECT_FALSE(fab_.auditor().saw("peer.OrgC", "tx/"));
+  EXPECT_FALSE(fab_.auditor().saw("peer.OrgC", "net/"));
+}
+
+TEST(FailureInjectionMpc, MessageLossIsDetectedNotMiscomputed) {
+  // With shares lost, parties reconstruct different values; the protocol
+  // must detect the disagreement rather than return a wrong sum.
+  const crypto::Shamir field(
+      crypto::BigInt::from_decimal("2305843009213693951"));
+  net::SimNetwork net{common::Rng(5)};
+  net.set_drop_probability(1.0);
+  common::Rng rng(6);
+  mpc::SecureSum protocol(field, net);
+  EXPECT_THROW(protocol.run({{"A", crypto::BigInt(10)},
+                             {"B", crypto::BigInt(20)},
+                             {"C", crypto::BigInt(30)}},
+                            rng),
+               common::ProtocolError);
+}
+
+TEST(FailureInjectionMpc, CleanNetworkStillWorksAfterFailedRun) {
+  const crypto::Shamir field(
+      crypto::BigInt::from_decimal("2305843009213693951"));
+  net::SimNetwork net{common::Rng(7)};
+  common::Rng rng(8);
+  mpc::SecureSum protocol(field, net);
+  net.set_drop_probability(1.0);
+  EXPECT_THROW(
+      protocol.run({{"A", crypto::BigInt(1)}, {"B", crypto::BigInt(2)}}, rng),
+      common::ProtocolError);
+  net.set_drop_probability(0.0);
+  const auto result =
+      protocol.run({{"A", crypto::BigInt(1)}, {"B", crypto::BigInt(2)}}, rng);
+  EXPECT_EQ(result.value, crypto::BigInt(3));
+}
+
+}  // namespace
+}  // namespace veil

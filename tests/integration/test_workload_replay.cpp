@@ -1,0 +1,117 @@
+// Replay the synthetic trade workload end-to-end on the Fabric model and
+// check the global privacy invariants hold across an entire stream of
+// transactions — not just for a single hand-built case.
+#include <gtest/gtest.h>
+
+#include "platforms/fabric/fabric.hpp"
+#include "workload/workload.hpp"
+
+namespace veil {
+namespace {
+
+std::shared_ptr<contracts::FunctionContract> trade_contract() {
+  return std::make_shared<contracts::FunctionContract>(
+      "trades", 1,
+      [](contracts::ContractContext& ctx, const std::string& action) {
+        ctx.put("trade/" + action,
+                common::Bytes(ctx.args().begin(), ctx.args().end()));
+        return contracts::InvokeStatus::Ok;
+      });
+}
+
+TEST(WorkloadReplay, FabricChannelPerPairIsolatesEveryTrade) {
+  net::SimNetwork net{common::Rng(99)};
+  common::Rng rng(100);
+  fabric::FabricNetwork fab(net, crypto::Group::test_group(), rng);
+  const std::vector<std::string> traders = {"BankA", "BankB", "BankC"};
+  for (const std::string& p : traders) fab.add_org(p);
+  fab.add_org("Watcher");
+
+  auto channel_of = [&](const std::string& a, const std::string& b) {
+    const std::string name = a < b ? a + "-" + b : b + "-" + a;
+    if (!fab.is_channel_member(name, a)) {
+      fab.create_channel(name, {a, b});
+      fab.install_chaincode(name, a, trade_contract(),
+                            contracts::EndorsementPolicy::require(a));
+    }
+    return name;
+  };
+
+  workload::TradeConfig config;
+  config.details_bytes = 64;
+  workload::TradeWorkload workload(traders, config, 2025);
+
+  std::size_t committed = 0, seq = 0;
+  std::vector<std::pair<std::string, std::string>> trade_log;  // tx, third
+  for (const workload::TradeEvent& trade : workload.take(40)) {
+    const auto receipt =
+        fab.submit(channel_of(trade.buyer, trade.seller), trade.buyer,
+                   "trades", std::to_string(seq++), trade.details);
+    ASSERT_TRUE(receipt.committed) << receipt.reason;
+    ++committed;
+    // The trader NOT in this trade.
+    for (const std::string& p : traders) {
+      if (p != trade.buyer && p != trade.seller) {
+        trade_log.emplace_back(receipt.tx_id, p);
+      }
+    }
+  }
+  EXPECT_EQ(committed, 40u);
+
+  // Invariant 1: the onboarded-but-uninvolved org saw nothing, ever.
+  EXPECT_EQ(net.auditor().bytes_seen("peer.Watcher", ""), 0u);
+
+  // Invariant 2: for EVERY trade, the third trader (who trades on other
+  // channels!) observed neither data nor parties of that trade.
+  for (const auto& [tx_id, third] : trade_log) {
+    EXPECT_FALSE(net.auditor().saw("peer." + third, "tx/" + tx_id + "/"))
+        << third << " leaked on " << tx_id;
+  }
+
+  // Invariant 3: the shared orderer saw every single trade (§3.4) —
+  // the across-the-board counterpart of invariant 2.
+  for (const auto& [tx_id, third] : trade_log) {
+    EXPECT_TRUE(net.auditor().saw("orderer-org", "tx/" + tx_id + "/data"));
+  }
+}
+
+TEST(WorkloadReplay, SupplyChainOnFabricWithPdc) {
+  // Custody chain on one channel, inspection reports confined to the
+  // {current holder, next holder} pair via per-hop collections.
+  net::SimNetwork net{common::Rng(7)};
+  common::Rng rng(8);
+  fabric::FabricNetwork fab(net, crypto::Group::test_group(), rng);
+  const std::vector<std::string> chain = {"Farm", "Mill", "Shop"};
+  for (const std::string& p : chain) fab.add_org(p);
+  fab.create_channel("custody", {"Farm", "Mill", "Shop"});
+  fab.install_chaincode("custody", "Farm", trade_contract(),
+                        contracts::EndorsementPolicy::require("Farm"));
+  fab.define_collection("custody", {"farm-mill", {"Farm", "Mill"}, 0, 0});
+  fab.define_collection("custody", {"mill-shop", {"Mill", "Shop"}, 0, 0});
+
+  workload::SupplyChainConfig config;
+  config.hops_per_item = 2;
+  workload::SupplyChainWorkload workload(chain, config, 9);
+
+  for (const workload::CustodyEvent& event : workload.take(8)) {
+    const std::string collection =
+        event.hop == 0 ? "farm-mill" : "mill-shop";
+    const auto receipt = fab.submit(
+        "custody", "Farm", "trades", event.item + "/" + std::to_string(event.hop),
+        common::to_bytes(event.item),
+        fabric::PrivatePayload{collection, event.item, event.inspection});
+    ASSERT_TRUE(receipt.committed) << receipt.reason;
+  }
+
+  // Inspection reports stayed within their hop pair: the Shop cannot read
+  // farm-mill data and the Farm cannot read mill-shop data.
+  EXPECT_FALSE(
+      fab.read_private("custody", "farm-mill", "item-0", "Shop").has_value());
+  EXPECT_FALSE(
+      fab.read_private("custody", "mill-shop", "item-0", "Farm").has_value());
+  EXPECT_TRUE(
+      fab.read_private("custody", "farm-mill", "item-0", "Mill").has_value());
+}
+
+}  // namespace
+}  // namespace veil

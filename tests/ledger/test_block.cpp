@@ -1,0 +1,69 @@
+#include "ledger/block.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veil::ledger {
+namespace {
+
+Transaction tx_with_action(const std::string& action) {
+  Transaction tx;
+  tx.channel = "ch";
+  tx.contract = "cc";
+  tx.action = action;
+  tx.writes = {{"k/" + action, common::to_bytes(action), false}};
+  return tx;
+}
+
+crypto::Digest genesis_hash() {
+  return crypto::sha256(std::string_view("veil.chain.genesis"));
+}
+
+TEST(Block, MakeComputesRoot) {
+  const Block block =
+      Block::make(0, genesis_hash(), {tx_with_action("a")}, 100);
+  EXPECT_TRUE(block.body_matches_header());
+  EXPECT_EQ(block.header.height, 0u);
+  EXPECT_EQ(block.header.timestamp, 100u);
+}
+
+TEST(Block, EmptyBlockIsLegal) {
+  const Block block = Block::make(0, genesis_hash(), {}, 1);
+  EXPECT_TRUE(block.body_matches_header());
+}
+
+TEST(Block, TamperedTransactionDetected) {
+  Block block = Block::make(
+      0, genesis_hash(), {tx_with_action("a"), tx_with_action("b")}, 1);
+  block.transactions[1].action = "evil";
+  EXPECT_FALSE(block.body_matches_header());
+}
+
+TEST(Block, RemovedTransactionDetected) {
+  Block block = Block::make(
+      0, genesis_hash(), {tx_with_action("a"), tx_with_action("b")}, 1);
+  block.transactions.pop_back();
+  EXPECT_FALSE(block.body_matches_header());
+}
+
+TEST(Block, HeaderHashDependsOnEverything) {
+  const Block a = Block::make(0, genesis_hash(), {tx_with_action("x")}, 1);
+  const Block b = Block::make(1, genesis_hash(), {tx_with_action("x")}, 1);
+  const Block c = Block::make(0, genesis_hash(), {tx_with_action("y")}, 1);
+  const Block d = Block::make(0, genesis_hash(), {tx_with_action("x")}, 2);
+  EXPECT_NE(a.header.hash(), b.header.hash());
+  EXPECT_NE(a.header.hash(), c.header.hash());
+  EXPECT_NE(a.header.hash(), d.header.hash());
+}
+
+TEST(Block, EncodingRoundTrip) {
+  const Block block = Block::make(
+      7, genesis_hash(), {tx_with_action("a"), tx_with_action("b")}, 55);
+  const Block decoded = Block::decode(block.encode());
+  EXPECT_EQ(decoded.header, block.header);
+  ASSERT_EQ(decoded.transactions.size(), 2u);
+  EXPECT_EQ(decoded.transactions[0].id(), block.transactions[0].id());
+  EXPECT_TRUE(decoded.body_matches_header());
+}
+
+}  // namespace
+}  // namespace veil::ledger

@@ -1,0 +1,167 @@
+#include "ledger/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace veil::ledger {
+namespace {
+
+Transaction make_tx(int i) {
+  Transaction tx;
+  tx.channel = "ch";
+  tx.contract = "cc";
+  tx.action = "act-" + std::to_string(i);
+  return tx;
+}
+
+Block next_block(const Chain& chain, std::vector<Transaction> txs) {
+  return Block::make(chain.height(), chain.tip_hash(), std::move(txs),
+                     chain.height() * 10);
+}
+
+TEST(Chain, AppendAndQuery) {
+  Chain chain;
+  chain.append(next_block(chain, {make_tx(0)}));
+  chain.append(next_block(chain, {make_tx(1), make_tx(2)}));
+  EXPECT_EQ(chain.height(), 2u);
+  const auto block = chain.block_at(1);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->transactions.size(), 2u);
+  EXPECT_FALSE(chain.block_at(2).has_value());
+}
+
+TEST(Chain, RejectsWrongHeight) {
+  Chain chain;
+  Block block = Block::make(5, chain.tip_hash(), {make_tx(0)}, 0);
+  EXPECT_THROW(chain.append(block), common::LedgerError);
+}
+
+TEST(Chain, RejectsWrongPreviousHash) {
+  Chain chain;
+  chain.append(next_block(chain, {make_tx(0)}));
+  Block bad = Block::make(1, crypto::sha256(std::string_view("wrong")),
+                          {make_tx(1)}, 0);
+  EXPECT_THROW(chain.append(bad), common::LedgerError);
+}
+
+TEST(Chain, RejectsTamperedBody) {
+  Chain chain;
+  Block block = next_block(chain, {make_tx(0)});
+  block.transactions[0].action = "evil";
+  EXPECT_THROW(chain.append(block), common::LedgerError);
+}
+
+TEST(Chain, FindTransactionBlock) {
+  Chain chain;
+  const Transaction needle = make_tx(42);
+  chain.append(next_block(chain, {make_tx(0)}));
+  chain.append(next_block(chain, {needle}));
+  const auto found = chain.find_transaction_block(needle.id());
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->header.height, 1u);
+  EXPECT_FALSE(chain.find_transaction_block("nonexistent").has_value());
+}
+
+TEST(Chain, IntegrityHoldsAfterAppends) {
+  Chain chain;
+  for (int i = 0; i < 10; ++i) chain.append(next_block(chain, {make_tx(i)}));
+  EXPECT_TRUE(chain.verify_integrity());
+}
+
+TEST(Chain, PruneMovesBlocksToArchive) {
+  Chain chain;
+  for (int i = 0; i < 10; ++i) chain.append(next_block(chain, {make_tx(i)}));
+  EXPECT_EQ(chain.prune(4), 4u);
+  EXPECT_EQ(chain.archived_count(), 4u);
+  EXPECT_EQ(chain.live_blocks().size(), 6u);
+  EXPECT_EQ(chain.height(), 10u);  // logical height unchanged
+}
+
+TEST(Chain, ArchivedBlocksStillAvailable) {
+  // The paper's caveat: "archived entries are generally still available
+  // to parties on request" — pruning is NOT deletion.
+  Chain chain;
+  const Transaction tx0 = make_tx(0);
+  chain.append(next_block(chain, {tx0}));
+  for (int i = 1; i < 5; ++i) chain.append(next_block(chain, {make_tx(i)}));
+  chain.prune(3);
+  const auto block = chain.block_at(0);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->transactions[0].id(), tx0.id());
+  EXPECT_TRUE(chain.find_transaction_block(tx0.id()).has_value());
+}
+
+TEST(Chain, AppendContinuesAfterPrune) {
+  Chain chain;
+  for (int i = 0; i < 5; ++i) chain.append(next_block(chain, {make_tx(i)}));
+  chain.prune(5);  // prune everything live
+  chain.append(next_block(chain, {make_tx(5)}));
+  EXPECT_EQ(chain.height(), 6u);
+  EXPECT_TRUE(chain.verify_integrity());
+}
+
+TEST(Chain, IntegrityVerificationSpansArchive) {
+  Chain chain;
+  for (int i = 0; i < 6; ++i) chain.append(next_block(chain, {make_tx(i)}));
+  chain.prune(3);
+  EXPECT_TRUE(chain.verify_integrity());
+}
+
+TEST(Chain, PruneBeyondHeightIsBounded) {
+  Chain chain;
+  chain.append(next_block(chain, {make_tx(0)}));
+  EXPECT_EQ(chain.prune(100), 1u);
+  EXPECT_EQ(chain.prune(100), 0u);  // nothing left to prune
+}
+
+
+TEST(Chain, CheckpointBootstrap) {
+  // Build a source chain, then bootstrap a new one from its tip.
+  Chain source;
+  for (int i = 0; i < 5; ++i) source.append(next_block(source, {make_tx(i)}));
+
+  Chain booted = Chain::from_checkpoint(source.height(), source.tip_hash());
+  EXPECT_EQ(booted.height(), 5u);
+  EXPECT_EQ(booted.checkpoint_height(), 5u);
+  EXPECT_FALSE(booted.block_at(0).has_value());  // history not held
+  EXPECT_TRUE(booted.verify_integrity());
+
+  // Appending continues from the checkpoint.
+  booted.append(next_block(booted, {make_tx(100)}));
+  EXPECT_EQ(booted.height(), 6u);
+  EXPECT_TRUE(booted.verify_integrity());
+  EXPECT_TRUE(booted.block_at(5).has_value());
+
+  // And the same block appends to the source chain identically.
+  source.append(next_block(source, {make_tx(100)}));
+  EXPECT_EQ(source.tip_hash(), booted.tip_hash());
+}
+
+TEST(Chain, CheckpointRejectsWrongContinuation) {
+  Chain source;
+  source.append(next_block(source, {make_tx(0)}));
+  Chain booted = Chain::from_checkpoint(source.height(), source.tip_hash());
+  // Wrong height.
+  Block bad = Block::make(5, source.tip_hash(), {make_tx(1)}, 0);
+  EXPECT_THROW(booted.append(bad), common::LedgerError);
+  // Wrong previous hash.
+  Block bad2 = Block::make(1, crypto::sha256(std::string_view("x")),
+                           {make_tx(1)}, 0);
+  EXPECT_THROW(booted.append(bad2), common::LedgerError);
+}
+
+TEST(Chain, CheckpointedChainPrunes) {
+  Chain source;
+  for (int i = 0; i < 3; ++i) source.append(next_block(source, {make_tx(i)}));
+  Chain booted = Chain::from_checkpoint(source.height(), source.tip_hash());
+  for (int i = 3; i < 8; ++i) booted.append(next_block(booted, {make_tx(i)}));
+  EXPECT_EQ(booted.prune(6), 3u);  // prunes heights 3,4,5
+  EXPECT_TRUE(booted.block_at(4).has_value());   // archived
+  EXPECT_TRUE(booted.block_at(7).has_value());   // live
+  EXPECT_FALSE(booted.block_at(2).has_value());  // before checkpoint
+  EXPECT_TRUE(booted.verify_integrity());
+}
+
+}  // namespace
+}  // namespace veil::ledger

@@ -1,0 +1,131 @@
+#include "ledger/state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veil::ledger {
+namespace {
+
+using common::to_bytes;
+
+TEST(WorldState, PutGetAndVersions) {
+  WorldState state;
+  EXPECT_FALSE(state.get("k").has_value());
+  state.put("k", to_bytes("v1"));
+  auto entry = state.get("k");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->value, to_bytes("v1"));
+  EXPECT_EQ(entry->version, 1u);
+  state.put("k", to_bytes("v2"));
+  EXPECT_EQ(state.get("k")->version, 2u);
+}
+
+TEST(WorldState, Erase) {
+  WorldState state;
+  state.put("k", to_bytes("v"));
+  state.erase("k");
+  EXPECT_FALSE(state.get("k").has_value());
+}
+
+TEST(WorldState, ApplyFreshWrites) {
+  WorldState state;
+  Transaction tx;
+  tx.reads = {{"new-key", 0}};  // expects key absent
+  tx.writes = {{"new-key", to_bytes("hello"), false}};
+  EXPECT_EQ(state.apply(tx), CommitResult::Applied);
+  EXPECT_EQ(state.get("new-key")->value, to_bytes("hello"));
+}
+
+TEST(WorldState, MvccConflictOnStaleRead) {
+  WorldState state;
+  state.put("k", to_bytes("v1"));  // version 1
+
+  Transaction stale;
+  stale.reads = {{"k", 0}};  // endorsed before the put
+  stale.writes = {{"k", to_bytes("clobber"), false}};
+  EXPECT_EQ(state.apply(stale), CommitResult::MvccConflict);
+  // No side effects on conflict.
+  EXPECT_EQ(state.get("k")->value, to_bytes("v1"));
+  EXPECT_EQ(state.get("k")->version, 1u);
+}
+
+TEST(WorldState, MvccConflictOnDeletedKey) {
+  WorldState state;
+  state.put("k", to_bytes("v"));
+  Transaction tx;
+  tx.reads = {{"k", 1}};
+  state.erase("k");
+  EXPECT_EQ(state.apply(tx), CommitResult::MvccConflict);
+}
+
+TEST(WorldState, SequentialTransactionsAdvanceVersions) {
+  WorldState state;
+  Transaction tx1;
+  tx1.reads = {{"counter", 0}};
+  tx1.writes = {{"counter", to_bytes("1"), false}};
+  EXPECT_EQ(state.apply(tx1), CommitResult::Applied);
+
+  Transaction tx2;
+  tx2.reads = {{"counter", 1}};
+  tx2.writes = {{"counter", to_bytes("2"), false}};
+  EXPECT_EQ(state.apply(tx2), CommitResult::Applied);
+
+  // Replay of tx2 conflicts (version moved on).
+  EXPECT_EQ(state.apply(tx2), CommitResult::MvccConflict);
+  EXPECT_EQ(state.get("counter")->value, to_bytes("2"));
+}
+
+TEST(WorldState, DeleteWriteRemovesKey) {
+  WorldState state;
+  state.put("gone", to_bytes("x"));
+  Transaction tx;
+  tx.writes = {{"gone", {}, true}};
+  EXPECT_EQ(state.apply(tx), CommitResult::Applied);
+  EXPECT_FALSE(state.get("gone").has_value());
+}
+
+TEST(WorldState, EmptyReadSetAlwaysApplies) {
+  WorldState state;
+  state.put("k", to_bytes("v"));
+  Transaction blind;
+  blind.writes = {{"k", to_bytes("w"), false}};
+  EXPECT_EQ(state.apply(blind), CommitResult::Applied);
+}
+
+TEST(WorldState, EntriesViewOrdered) {
+  WorldState state;
+  state.put("b", to_bytes("2"));
+  state.put("a", to_bytes("1"));
+  const auto& entries = state.entries();
+  EXPECT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.begin()->first, "a");
+}
+
+
+TEST(WorldState, RangeQuery) {
+  WorldState state;
+  for (const char* k : {"a/1", "a/2", "b/1", "b/2", "c/1"}) {
+    state.put(k, to_bytes(k));
+  }
+  const auto range = state.get_range("a/2", "c/1");
+  ASSERT_EQ(range.size(), 3u);
+  EXPECT_EQ(range[0].first, "a/2");
+  EXPECT_EQ(range[2].first, "b/2");
+  // Open-ended range.
+  EXPECT_EQ(state.get_range("b/", "").size(), 3u);
+  // Empty range.
+  EXPECT_TRUE(state.get_range("x", "z").empty());
+}
+
+TEST(WorldState, PrefixQuery) {
+  WorldState state;
+  for (const char* k : {"order/1", "order/2", "orderbook", "user/1"}) {
+    state.put(k, to_bytes("v"));
+  }
+  EXPECT_EQ(state.get_by_prefix("order/").size(), 2u);
+  EXPECT_EQ(state.get_by_prefix("order").size(), 3u);
+  EXPECT_EQ(state.get_by_prefix("z").size(), 0u);
+  EXPECT_EQ(state.get_by_prefix("").size(), 4u);
+}
+
+}  // namespace
+}  // namespace veil::ledger

@@ -1,0 +1,132 @@
+#include "ledger/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veil::ledger {
+namespace {
+
+Transaction sample_tx() {
+  Transaction tx;
+  tx.channel = "trade";
+  tx.contract = "loc";
+  tx.action = "open";
+  tx.participants = {"BankA", "Seller"};
+  tx.reads = {{"loc/1", 3}};
+  tx.writes = {{"loc/1", common::to_bytes("open"), false},
+               {"loc/old", {}, true}};
+  tx.payload = common::to_bytes("amount=5000");
+  tx.hash_refs = {{"pii", crypto::sha256(std::string_view("ssn"))}};
+  tx.timestamp = 12345;
+  return tx;
+}
+
+TEST(Transaction, IdIsDeterministic) {
+  EXPECT_EQ(sample_tx().id(), sample_tx().id());
+  EXPECT_EQ(sample_tx().id().size(), 24u);
+}
+
+TEST(Transaction, IdChangesWithContent) {
+  const std::string base_id = sample_tx().id();
+  Transaction tx = sample_tx();
+  tx.action = "close";
+  EXPECT_NE(tx.id(), base_id);
+  Transaction tx2 = sample_tx();
+  tx2.writes[0].value = common::to_bytes("closed");
+  EXPECT_NE(tx2.id(), base_id);
+  Transaction tx3 = sample_tx();
+  tx3.participants.push_back("Buyer");
+  EXPECT_NE(tx3.id(), base_id);
+}
+
+TEST(Transaction, EndorsementsDontChangeId) {
+  const crypto::Group& group = crypto::Group::test_group();
+  common::Rng rng(1);
+  Transaction tx = sample_tx();
+  const std::string id = tx.id();
+  tx.endorse("BankA", crypto::KeyPair::generate(group, rng));
+  EXPECT_EQ(tx.id(), id);
+}
+
+TEST(Transaction, EncodingRoundTrip) {
+  const crypto::Group& group = crypto::Group::test_group();
+  common::Rng rng(2);
+  Transaction tx = sample_tx();
+  tx.data_opaque = true;
+  tx.parties_pseudonymous = true;
+  tx.endorse("BankA", crypto::KeyPair::generate(group, rng));
+
+  const Transaction decoded = Transaction::decode(tx.encode());
+  EXPECT_EQ(decoded.id(), tx.id());
+  EXPECT_EQ(decoded.channel, tx.channel);
+  EXPECT_EQ(decoded.reads, tx.reads);
+  EXPECT_EQ(decoded.writes, tx.writes);
+  EXPECT_EQ(decoded.hash_refs, tx.hash_refs);
+  EXPECT_EQ(decoded.data_opaque, true);
+  EXPECT_EQ(decoded.parties_pseudonymous, true);
+  ASSERT_EQ(decoded.endorsements.size(), 1u);
+  EXPECT_TRUE(decoded.endorsements_valid(group));
+}
+
+TEST(Transaction, EndorsementVerification) {
+  const crypto::Group& group = crypto::Group::test_group();
+  common::Rng rng(3);
+  const crypto::KeyPair alice = crypto::KeyPair::generate(group, rng);
+  const crypto::KeyPair bob = crypto::KeyPair::generate(group, rng);
+  Transaction tx = sample_tx();
+  tx.endorse("alice", alice);
+  tx.endorse("bob", bob);
+  EXPECT_TRUE(tx.endorsements_valid(group));
+}
+
+TEST(Transaction, TamperedEndorsementDetected) {
+  const crypto::Group& group = crypto::Group::test_group();
+  common::Rng rng(4);
+  Transaction tx = sample_tx();
+  tx.endorse("alice", crypto::KeyPair::generate(group, rng));
+  // Modify the body after endorsement: signature no longer matches.
+  tx.action = "tampered";
+  EXPECT_FALSE(tx.endorsements_valid(group));
+}
+
+TEST(Transaction, SwappedEndorserKeyDetected) {
+  const crypto::Group& group = crypto::Group::test_group();
+  common::Rng rng(5);
+  const crypto::KeyPair mallory = crypto::KeyPair::generate(group, rng);
+  Transaction tx = sample_tx();
+  tx.endorse("alice", crypto::KeyPair::generate(group, rng));
+  tx.endorsements[0].key = mallory.public_key();
+  EXPECT_FALSE(tx.endorsements_valid(group));
+}
+
+TEST(Transaction, DataSizeCountsPayloadAndWrites) {
+  const Transaction tx = sample_tx();
+  EXPECT_EQ(tx.data_size(),
+            tx.payload.size() + tx.writes[0].value.size());
+}
+
+TEST(Transaction, VisibilityRecordingPlaintext) {
+  net::LeakageAuditor auditor;
+  const Transaction tx = sample_tx();
+  record_visibility(auditor, "orderer", tx);
+  const std::string prefix = "tx/" + tx.id() + "/";
+  EXPECT_TRUE(auditor.saw("orderer", prefix + "data"));
+  EXPECT_TRUE(auditor.saw("orderer", prefix + "parties"));
+  EXPECT_TRUE(auditor.saw("orderer", prefix + "metadata"));
+}
+
+TEST(Transaction, VisibilityRecordingOpaque) {
+  net::LeakageAuditor auditor;
+  Transaction tx = sample_tx();
+  tx.data_opaque = true;
+  tx.parties_pseudonymous = true;
+  record_visibility(auditor, "orderer", tx);
+  const std::string prefix = "tx/" + tx.id() + "/";
+  EXPECT_FALSE(auditor.saw("orderer", prefix + "data"));
+  EXPECT_TRUE(auditor.saw_any_form("orderer", prefix + "data"));
+  EXPECT_FALSE(auditor.saw("orderer", prefix + "parties"));
+  // Metadata (channel/contract/action) is always visible to the orderer.
+  EXPECT_TRUE(auditor.saw("orderer", prefix + "metadata"));
+}
+
+}  // namespace
+}  // namespace veil::ledger

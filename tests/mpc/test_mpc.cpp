@@ -1,0 +1,144 @@
+#include "mpc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace veil::mpc {
+namespace {
+
+using crypto::BigInt;
+
+const char* kPrime = "2305843009213693951";  // 2^61 - 1
+
+class MpcTest : public ::testing::Test {
+ protected:
+  crypto::Shamir field_{BigInt::from_decimal(kPrime)};
+  net::SimNetwork net_{common::Rng(99)};
+  common::Rng rng_{100};
+};
+
+TEST_F(MpcTest, SecureSumCorrect) {
+  SecureSum protocol(field_, net_);
+  const auto result = protocol.run(
+      {{"A", BigInt(100)}, {"B", BigInt(250)}, {"C", BigInt(7)}}, rng_);
+  EXPECT_EQ(result.value, BigInt(357));
+  EXPECT_EQ(result.rounds, 2);
+}
+
+TEST_F(MpcTest, TwoPartyMinimum) {
+  SecureSum protocol(field_, net_);
+  const auto result =
+      protocol.run({{"A", BigInt(5)}, {"B", BigInt(6)}}, rng_);
+  EXPECT_EQ(result.value, BigInt(11));
+  EXPECT_THROW(protocol.run({{"A", BigInt(1)}}, rng_),
+               common::ProtocolError);
+}
+
+TEST_F(MpcTest, ZeroInputsAllowed) {
+  SecureSum protocol(field_, net_);
+  const auto result =
+      protocol.run({{"A", BigInt(0)}, {"B", BigInt(0)}}, rng_);
+  EXPECT_TRUE(result.value.is_zero());
+}
+
+TEST_F(MpcTest, NoPartyObservesAnotherInput) {
+  // §2.2: "no private values need to be shared between parties".
+  SecureSum protocol(field_, net_);
+  protocol.run({{"A", BigInt(11)}, {"B", BigInt(22)}, {"C", BigInt(33)}},
+               rng_);
+  for (const char* owner : {"A", "B", "C"}) {
+    for (const char* other : {"A", "B", "C"}) {
+      const bool saw = net_.auditor().saw(
+          owner, std::string("mpc/input/") + other);
+      EXPECT_EQ(saw, std::string(owner) == other)
+          << owner << " vs " << other;
+    }
+  }
+}
+
+TEST_F(MpcTest, MessageComplexityIsQuadratic) {
+  SecureSum protocol(field_, net_);
+  const auto result = protocol.run(
+      {{"A", BigInt(1)}, {"B", BigInt(2)}, {"C", BigInt(3)}, {"D", BigInt(4)}},
+      rng_);
+  // Two rounds of all-to-all among n parties: 2 * n * (n-1).
+  EXPECT_EQ(result.messages_exchanged, 2u * 4u * 3u);
+}
+
+TEST_F(MpcTest, LargeInputsNearFieldBoundaryWrap) {
+  // Sums are modular in the field: callers must size the field to the
+  // domain (documented behaviour).
+  const BigInt prime = BigInt::from_decimal(kPrime);
+  SecureSum protocol(field_, net_);
+  const auto result = protocol.run(
+      {{"A", prime - BigInt(1)}, {"B", BigInt(3)}}, rng_);
+  EXPECT_EQ(result.value, BigInt(2));
+}
+
+TEST_F(MpcTest, DeterministicGivenSeeds) {
+  net::SimNetwork net1{common::Rng(5)}, net2{common::Rng(5)};
+  common::Rng r1(6), r2(6);
+  SecureSum p1(field_, net1), p2(field_, net2);
+  const std::map<std::string, BigInt> inputs = {{"A", BigInt(10)},
+                                                {"B", BigInt(20)}};
+  EXPECT_EQ(p1.run(inputs, r1).value, p2.run(inputs, r2).value);
+}
+
+TEST_F(MpcTest, SecretBallotTally) {
+  const auto result = secret_ballot(
+      field_, net_,
+      {{"A", true}, {"B", false}, {"C", true}, {"D", true}, {"E", false}},
+      rng_);
+  EXPECT_EQ(result.yes, 3u);
+  EXPECT_EQ(result.no, 2u);
+}
+
+TEST_F(MpcTest, UnanimousBallots) {
+  const auto all_yes =
+      secret_ballot(field_, net_, {{"A", true}, {"B", true}}, rng_);
+  EXPECT_EQ(all_yes.yes, 2u);
+  EXPECT_EQ(all_yes.no, 0u);
+  const auto all_no =
+      secret_ballot(field_, net_, {{"A", false}, {"B", false}}, rng_);
+  EXPECT_EQ(all_no.yes, 0u);
+  EXPECT_EQ(all_no.no, 2u);
+}
+
+TEST_F(MpcTest, BallotPrivacy) {
+  secret_ballot(field_, net_, {{"Voter1", true}, {"Voter2", false}}, rng_);
+  EXPECT_FALSE(net_.auditor().saw("Voter1", "mpc/input/Voter2"));
+  EXPECT_FALSE(net_.auditor().saw("Voter2", "mpc/input/Voter1"));
+}
+
+TEST_F(MpcTest, PartiesDetachedAfterRun) {
+  SecureSum protocol(field_, net_);
+  protocol.run({{"A", BigInt(1)}, {"B", BigInt(2)}}, rng_);
+  EXPECT_FALSE(net_.attached("A"));
+  EXPECT_FALSE(net_.attached("B"));
+  // Network is reusable for a second run.
+  const auto again = protocol.run({{"A", BigInt(3)}, {"B", BigInt(4)}}, rng_);
+  EXPECT_EQ(again.value, BigInt(7));
+}
+
+class MpcPartyCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpcPartyCounts, SumScalesWithParties) {
+  crypto::Shamir field(BigInt::from_decimal(kPrime));
+  net::SimNetwork net{common::Rng(GetParam())};
+  common::Rng rng(GetParam() + 1);
+  SecureSum protocol(field, net);
+  std::map<std::string, BigInt> inputs;
+  std::uint64_t expected = 0;
+  for (int i = 0; i < GetParam(); ++i) {
+    inputs["P" + std::to_string(i)] = BigInt(static_cast<std::uint64_t>(i * 7));
+    expected += static_cast<std::uint64_t>(i * 7);
+  }
+  EXPECT_EQ(protocol.run(inputs, rng).value, BigInt(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, MpcPartyCounts,
+                         ::testing::Values(2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace veil::mpc

@@ -1,0 +1,73 @@
+#include "net/leakage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veil::net {
+namespace {
+
+TEST(Leakage, RecordAndQuery) {
+  LeakageAuditor auditor;
+  auditor.record("orderer", "tx/1/data", 100);
+  EXPECT_TRUE(auditor.saw("orderer", "tx/1/data"));
+  EXPECT_FALSE(auditor.saw("peer", "tx/1/data"));
+  EXPECT_EQ(auditor.bytes_seen("orderer", "tx/1/data"), 100u);
+}
+
+TEST(Leakage, PrefixMatching) {
+  LeakageAuditor auditor;
+  auditor.record("p", "tx/42/data", 10);
+  auditor.record("p", "tx/42/parties", 5);
+  auditor.record("p", "tx/43/data", 7);
+  EXPECT_TRUE(auditor.saw("p", "tx/42/"));
+  EXPECT_EQ(auditor.bytes_seen("p", "tx/42/"), 15u);
+  EXPECT_EQ(auditor.bytes_seen("p", "tx/"), 22u);
+  EXPECT_EQ(auditor.bytes_seen("p", ""), 22u);
+  EXPECT_FALSE(auditor.saw("p", "tx/44/"));
+}
+
+TEST(Leakage, OpaqueObservationsDontCountAsPlaintext) {
+  LeakageAuditor auditor;
+  auditor.record("orderer", "tx/1/data", 32, /*plaintext=*/false);
+  EXPECT_FALSE(auditor.saw("orderer", "tx/1/data"));
+  EXPECT_TRUE(auditor.saw_any_form("orderer", "tx/1/data"));
+  EXPECT_EQ(auditor.bytes_seen("orderer", "tx/1/data"), 0u);
+  EXPECT_EQ(auditor.opaque_bytes_seen("orderer", "tx/1/data"), 32u);
+}
+
+TEST(Leakage, ObserversOf) {
+  LeakageAuditor auditor;
+  auditor.record("a", "secret", 1);
+  auditor.record("b", "secret", 1);
+  auditor.record("c", "secret", 1, /*plaintext=*/false);
+  const auto observers = auditor.observers_of("secret");
+  EXPECT_EQ(observers.size(), 2u);
+  EXPECT_TRUE(observers.contains("a"));
+  EXPECT_TRUE(observers.contains("b"));
+  EXPECT_FALSE(observers.contains("c"));  // only saw ciphertext
+}
+
+TEST(Leakage, MultipleObservationsAccumulate) {
+  LeakageAuditor auditor;
+  auditor.record("p", "x", 10);
+  auditor.record("p", "x", 20);
+  EXPECT_EQ(auditor.bytes_seen("p", "x"), 30u);
+  EXPECT_EQ(auditor.observations().size(), 2u);
+}
+
+TEST(Leakage, ClearResets) {
+  LeakageAuditor auditor;
+  auditor.record("p", "x", 10);
+  auditor.clear();
+  EXPECT_FALSE(auditor.saw("p", "x"));
+  EXPECT_TRUE(auditor.observations().empty());
+}
+
+TEST(Leakage, EmptyAuditorSeesNothing) {
+  const LeakageAuditor auditor;
+  EXPECT_FALSE(auditor.saw("anyone", ""));
+  EXPECT_TRUE(auditor.observers_of("").empty());
+  EXPECT_EQ(auditor.bytes_seen("anyone"), 0u);
+}
+
+}  // namespace
+}  // namespace veil::net

@@ -1,0 +1,172 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace veil::net {
+namespace {
+
+using common::Bytes;
+using common::Rng;
+using common::to_bytes;
+
+TEST(Network, PointToPointDelivery) {
+  SimNetwork net{Rng(1)};
+  std::vector<std::string> received;
+  net.attach("alice", [](const Message&) {});
+  net.attach("bob", [&](const Message& m) {
+    received.push_back(common::to_string(m.payload));
+  });
+  net.send("alice", "bob", "greeting", to_bytes("hi"));
+  EXPECT_EQ(net.run(), 1u);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "hi");
+}
+
+TEST(Network, SendToUnknownThrows) {
+  SimNetwork net{Rng(1)};
+  net.attach("alice", [](const Message&) {});
+  EXPECT_THROW(net.send("alice", "nobody", "t", {}), common::ProtocolError);
+}
+
+TEST(Network, DeliveryOrderRespectsSimTime) {
+  SimNetwork net{Rng(2), LatencyModel{100, 0, 0.0}};
+  std::vector<std::string> order;
+  net.attach("a", [](const Message&) {});
+  net.attach("b", [&](const Message& m) { order.push_back(m.topic); });
+  net.send("a", "b", "first", {});
+  net.send("a", "b", "second", {});
+  net.run();
+  ASSERT_EQ(order.size(), 2u);
+  // Equal latency: FIFO by sequence number.
+  EXPECT_EQ(order[0], "first");
+  EXPECT_EQ(order[1], "second");
+}
+
+TEST(Network, HandlersCanSendMore) {
+  SimNetwork net{Rng(3)};
+  int pongs = 0;
+  net.attach("ping", [&](const Message& m) {
+    if (m.topic == "pong") ++pongs;
+  });
+  net.attach("pong", [&](const Message& m) {
+    net.send("pong", "ping", "pong", m.payload);
+  });
+  net.send("ping", "pong", "ping", to_bytes("x"));
+  net.run();
+  EXPECT_EQ(pongs, 1);
+}
+
+TEST(Network, ClockAdvancesWithDeliveries) {
+  SimNetwork net{Rng(4), LatencyModel{500, 0, 0.0}};
+  net.attach("a", [](const Message&) {});
+  net.attach("b", [](const Message&) {});
+  EXPECT_EQ(net.clock().now(), 0u);
+  net.send("a", "b", "t", {});
+  net.run();
+  EXPECT_GE(net.clock().now(), 500u);
+}
+
+TEST(Network, PerByteLatency) {
+  SimNetwork net{Rng(5), LatencyModel{0, 0, 1.0}};
+  common::SimTime delivered_at = 0;
+  net.attach("a", [](const Message&) {});
+  net.attach("b", [&](const Message& m) { delivered_at = m.delivered_at; });
+  net.send("a", "b", "t", Bytes(1000, 0));
+  net.run();
+  EXPECT_GE(delivered_at, 1000u);
+}
+
+TEST(Network, BroadcastReachesAllButSender) {
+  SimNetwork net{Rng(6)};
+  int count = 0;
+  for (const char* name : {"a", "b", "c", "d"}) {
+    net.attach(name, [&](const Message&) { ++count; });
+  }
+  net.broadcast("a", "announce", to_bytes("x"));
+  net.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Network, DropProbabilityDropsEverythingAtOne) {
+  SimNetwork net{Rng(7)};
+  int received = 0;
+  net.attach("a", [](const Message&) {});
+  net.attach("b", [&](const Message&) { ++received; });
+  net.set_drop_probability(1.0);
+  for (int i = 0; i < 10; ++i) net.send("a", "b", "t", {});
+  net.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().messages_dropped, 10u);
+}
+
+TEST(Network, PartitionBlocksCrossGroupTraffic) {
+  SimNetwork net{Rng(8)};
+  int ab = 0, ac = 0;
+  net.attach("a", [](const Message&) {});
+  net.attach("b", [&](const Message&) { ++ab; });
+  net.attach("c", [&](const Message&) { ++ac; });
+  net.set_partitions({{"a", "b"}, {"c"}});
+  net.send("a", "b", "t", {});
+  net.send("a", "c", "t", {});
+  net.run();
+  EXPECT_EQ(ab, 1);
+  EXPECT_EQ(ac, 0);
+  // Healing the partition restores delivery.
+  net.set_partitions({});
+  net.send("a", "c", "t", {});
+  net.run();
+  EXPECT_EQ(ac, 1);
+}
+
+TEST(Network, DetachedReceiverCountsAsDrop) {
+  SimNetwork net{Rng(9)};
+  net.attach("a", [](const Message&) {});
+  net.attach("b", [](const Message&) {});
+  net.send("a", "b", "t", {});
+  net.detach("b");
+  net.run();
+  EXPECT_EQ(net.stats().messages_delivered, 0u);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST(Network, StatsAccumulate) {
+  SimNetwork net{Rng(10)};
+  net.attach("a", [](const Message&) {});
+  net.attach("b", [](const Message&) {});
+  net.send("a", "b", "t", Bytes(10, 0));
+  net.send("b", "a", "t", Bytes(20, 0));
+  net.run();
+  EXPECT_EQ(net.stats().messages_sent, 2u);
+  EXPECT_EQ(net.stats().messages_delivered, 2u);
+  EXPECT_EQ(net.stats().bytes_sent, 30u);
+}
+
+TEST(Network, RecipientObservationRecorded) {
+  SimNetwork net{Rng(11)};
+  net.attach("a", [](const Message&) {});
+  net.attach("b", [](const Message&) {});
+  net.send("a", "b", "secret-topic", Bytes(64, 1));
+  net.run();
+  EXPECT_TRUE(net.auditor().saw("b", "net/secret-topic"));
+  EXPECT_FALSE(net.auditor().saw("a", "net/secret-topic"));
+  EXPECT_EQ(net.auditor().bytes_seen("b", "net/secret-topic"), 64u);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto trace = [](std::uint64_t seed) {
+    SimNetwork net{Rng(seed)};
+    std::vector<common::SimTime> times;
+    net.attach("a", [](const Message&) {});
+    net.attach("b", [&](const Message& m) { times.push_back(m.delivered_at); });
+    for (int i = 0; i < 20; ++i) net.send("a", "b", "t", Bytes(i, 0));
+    net.run();
+    return times;
+  };
+  EXPECT_EQ(trace(123), trace(123));
+  EXPECT_NE(trace(123), trace(456));
+}
+
+}  // namespace
+}  // namespace veil::net

@@ -1,0 +1,92 @@
+#include "net/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veil::net {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auditor_.record("orderer", "tx/1/data", 100);
+    auditor_.record("orderer", "tx/1/parties", 10);
+    auditor_.record("orderer", "tx/2/data", 50);
+    auditor_.record("peerA", "tx/1/data", 100);
+    auditor_.record("peerB", "tx/1/data", 100, /*plaintext=*/false);
+    auditor_.record("peerA", "pdc/coll/k", 30);
+  }
+
+  LeakageAuditor auditor_;
+};
+
+TEST_F(ReportTest, SummaryTotalsAndOrdering) {
+  const auto summary = summarize(auditor_);
+  ASSERT_EQ(summary.size(), 3u);
+  // Sorted by plaintext bytes descending: orderer (160) > peerA (130) >
+  // peerB (0 plaintext).
+  EXPECT_EQ(summary[0].principal, "orderer");
+  EXPECT_EQ(summary[0].plaintext_bytes, 160u);
+  EXPECT_EQ(summary[0].distinct_labels, 3u);
+  EXPECT_EQ(summary[1].principal, "peerA");
+  EXPECT_EQ(summary[1].plaintext_bytes, 130u);
+  EXPECT_EQ(summary[2].principal, "peerB");
+  EXPECT_EQ(summary[2].plaintext_bytes, 0u);
+  EXPECT_EQ(summary[2].opaque_bytes, 100u);
+}
+
+TEST_F(ReportTest, SummaryPrefixFilter) {
+  const auto summary = summarize(auditor_, "pdc/");
+  ASSERT_EQ(summary.size(), 1u);
+  EXPECT_EQ(summary[0].principal, "peerA");
+  EXPECT_EQ(summary[0].plaintext_bytes, 30u);
+}
+
+TEST_F(ReportTest, SummaryRepeatedLabelsCountOnce) {
+  auditor_.record("orderer", "tx/1/data", 5);  // same label again
+  const auto summary = summarize(auditor_);
+  EXPECT_EQ(summary[0].distinct_labels, 3u);   // unchanged
+  EXPECT_EQ(summary[0].plaintext_bytes, 165u);  // bytes accumulate
+}
+
+TEST_F(ReportTest, RenderSummaryContainsEveryPrincipal) {
+  const std::string out = render_summary(summarize(auditor_));
+  for (const char* p : {"orderer", "peerA", "peerB"}) {
+    EXPECT_NE(out.find(p), std::string::npos) << p;
+  }
+  EXPECT_NE(out.find("plaintext bytes"), std::string::npos);
+}
+
+TEST_F(ReportTest, DisclosuresDistinguishForms) {
+  const auto records = disclosures(auditor_, "tx/1/data");
+  ASSERT_EQ(records.size(), 3u);
+  for (const DisclosureRecord& r : records) {
+    if (r.principal == "peerB") {
+      EXPECT_FALSE(r.saw_plaintext);
+      EXPECT_TRUE(r.saw_opaque);
+    } else {
+      EXPECT_TRUE(r.saw_plaintext);
+    }
+  }
+}
+
+TEST_F(ReportTest, DisclosuresEmptyForUnknownLabel) {
+  EXPECT_TRUE(disclosures(auditor_, "tx/999/").empty());
+  const std::string out = render_disclosures("tx/999/", {});
+  EXPECT_NE(out.find("no principal observed"), std::string::npos);
+}
+
+TEST_F(ReportTest, RenderDisclosuresMarksForms) {
+  const std::string out =
+      render_disclosures("tx/1/data", disclosures(auditor_, "tx/1/data"));
+  EXPECT_NE(out.find("PLAINTEXT"), std::string::npos);
+  EXPECT_NE(out.find("ciphertext/hash only"), std::string::npos);
+}
+
+TEST(Report, EmptyAuditor) {
+  LeakageAuditor empty;
+  EXPECT_TRUE(summarize(empty).empty());
+  EXPECT_FALSE(render_summary({}).empty());  // header still renders
+}
+
+}  // namespace
+}  // namespace veil::net

@@ -1,0 +1,90 @@
+#include "offchain/pdc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+
+namespace veil::offchain {
+namespace {
+
+using common::to_bytes;
+
+class PdcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    manager_.define({"ab-collection", {"OrgA", "OrgB"}, 0});
+  }
+
+  net::LeakageAuditor auditor_;
+  PdcManager manager_{auditor_};
+};
+
+TEST_F(PdcTest, MembersReadNonMembersDont) {
+  const auto ref =
+      manager_.put_private("ab-collection", "deal", to_bytes("1M"), 0);
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_TRUE(manager_.get_private("ab-collection", "deal", "OrgA").has_value());
+  EXPECT_TRUE(manager_.get_private("ab-collection", "deal", "OrgB").has_value());
+  EXPECT_FALSE(
+      manager_.get_private("ab-collection", "deal", "OrgC").has_value());
+}
+
+TEST_F(PdcTest, HashRefMatchesData) {
+  const common::Bytes value = to_bytes("secret-price");
+  const auto ref = manager_.put_private("ab-collection", "k", value, 0);
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->digest, crypto::sha256(value));
+}
+
+TEST_F(PdcTest, UnknownCollectionRejected) {
+  EXPECT_FALSE(manager_.put_private("ghost", "k", to_bytes("v"), 0).has_value());
+  EXPECT_FALSE(manager_.get_private("ghost", "k", "OrgA").has_value());
+}
+
+TEST_F(PdcTest, DisseminationRecordedPerMember) {
+  manager_.put_private("ab-collection", "deal", to_bytes("payload"), 0);
+  EXPECT_TRUE(auditor_.saw("OrgA", "pdc/ab-collection/deal"));
+  EXPECT_TRUE(auditor_.saw("OrgB", "pdc/ab-collection/deal"));
+  EXPECT_FALSE(auditor_.saw("OrgC", "pdc/ab-collection/deal"));
+}
+
+TEST_F(PdcTest, PurgeRemovesData) {
+  manager_.put_private("ab-collection", "pii", to_bytes("name=X"), 0);
+  EXPECT_TRUE(manager_.purge("ab-collection", "pii"));
+  EXPECT_FALSE(
+      manager_.get_private("ab-collection", "pii", "OrgA").has_value());
+  EXPECT_FALSE(manager_.purge("ab-collection", "pii"));  // already gone
+}
+
+TEST_F(PdcTest, BlockToLiveExpiry) {
+  manager_.define({"ephemeral", {"OrgA"}, 3});
+  manager_.put_private("ephemeral", "k", to_bytes("v"), 10);
+  EXPECT_TRUE(manager_.get_private("ephemeral", "k", "OrgA").has_value());
+  EXPECT_EQ(manager_.expire(12), 0u);  // not yet
+  EXPECT_TRUE(manager_.get_private("ephemeral", "k", "OrgA").has_value());
+  EXPECT_EQ(manager_.expire(13), 1u);  // 10 + 3 reached
+  EXPECT_FALSE(manager_.get_private("ephemeral", "k", "OrgA").has_value());
+}
+
+TEST_F(PdcTest, KeepForeverCollectionNeverExpires) {
+  manager_.put_private("ab-collection", "k", to_bytes("v"), 0);
+  EXPECT_EQ(manager_.expire(1000000), 0u);
+  EXPECT_TRUE(manager_.get_private("ab-collection", "k", "OrgA").has_value());
+}
+
+TEST_F(PdcTest, ConfigLookup) {
+  const CollectionConfig* cfg = manager_.config("ab-collection");
+  ASSERT_NE(cfg, nullptr);
+  EXPECT_EQ(cfg->members.size(), 2u);
+  EXPECT_EQ(manager_.config("nope"), nullptr);
+}
+
+TEST_F(PdcTest, OverwriteUpdatesValue) {
+  manager_.put_private("ab-collection", "k", to_bytes("v1"), 0);
+  manager_.put_private("ab-collection", "k", to_bytes("v2"), 1);
+  EXPECT_EQ(manager_.get_private("ab-collection", "k", "OrgA"),
+            to_bytes("v2"));
+}
+
+}  // namespace
+}  // namespace veil::offchain

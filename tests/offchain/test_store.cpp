@@ -1,0 +1,89 @@
+#include "offchain/store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veil::offchain {
+namespace {
+
+using common::to_bytes;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  net::LeakageAuditor auditor_;
+  OffChainStore store_{"peer-admin", Hosting::PeerLocal, auditor_};
+};
+
+TEST_F(StoreTest, PutGetRoundTrip) {
+  const auto digest = store_.put("kyc", to_bytes("passport=X1"));
+  const auto data = store_.get(digest);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(*data, to_bytes("passport=X1"));
+}
+
+TEST_F(StoreTest, DigestMatchesContent) {
+  const auto digest = store_.put("doc", to_bytes("hello"));
+  EXPECT_EQ(digest, crypto::sha256(to_bytes("hello")));
+}
+
+TEST_F(StoreTest, VerifyAgainstLedgerRef) {
+  const common::Bytes data = to_bytes("contract-scan.pdf");
+  const auto digest = store_.put("doc", data);
+  EXPECT_TRUE(store_.verify(ledger::HashRef{"doc", digest}));
+  // A reference to data we do not hold fails.
+  EXPECT_FALSE(store_.verify(
+      ledger::HashRef{"doc", crypto::sha256(to_bytes("other"))}));
+}
+
+TEST_F(StoreTest, GdprPurgeDeletesDataKeepsTombstone) {
+  // §2.2: off-chain storage "has the additional property of enabling data
+  // to be deleted, for example, if required by law".
+  const auto digest = store_.put("pii", to_bytes("ssn=123-45-6789"));
+  EXPECT_TRUE(store_.purge(digest));
+  EXPECT_FALSE(store_.get(digest).has_value());
+  EXPECT_TRUE(store_.purged(digest));
+  // The on-ledger hash ref still exists but can no longer be resolved.
+  EXPECT_FALSE(store_.verify(ledger::HashRef{"pii", digest}));
+}
+
+TEST_F(StoreTest, PurgeUnknownDigestReturnsFalse) {
+  EXPECT_FALSE(store_.purge(crypto::sha256(to_bytes("never-stored"))));
+  EXPECT_FALSE(store_.purged(crypto::sha256(to_bytes("never-stored"))));
+}
+
+TEST_F(StoreTest, AdminObservesPlaintext) {
+  // Whoever administers the store sees the data — the trust decision the
+  // design guide surfaces (peer-local vs external hosting).
+  store_.put("secret", to_bytes("confidential"));
+  EXPECT_TRUE(auditor_.saw("peer-admin", "offchain/secret"));
+  EXPECT_FALSE(auditor_.saw("other-org", "offchain/secret"));
+}
+
+TEST_F(StoreTest, ExternalHostingAttributesToProvider) {
+  OffChainStore external("cloud-provider", Hosting::External, auditor_);
+  external.put("data", to_bytes("x"));
+  EXPECT_TRUE(auditor_.saw("cloud-provider", "offchain/data"));
+  EXPECT_EQ(external.hosting(), Hosting::External);
+}
+
+TEST_F(StoreTest, MakeRefWithoutStoring) {
+  const common::Bytes data = to_bytes("shared-doc");
+  const ledger::HashRef ref = make_ref("doc", data);
+  EXPECT_EQ(ref.digest, crypto::sha256(data));
+  EXPECT_EQ(ref.label, "doc");
+  // Not in the store.
+  EXPECT_FALSE(store_.get(ref.digest).has_value());
+}
+
+TEST_F(StoreTest, RestoreAfterPurgeIsPossible) {
+  // Re-storing identical data resurrects the same digest (content-addressed).
+  const common::Bytes data = to_bytes("value");
+  const auto digest = store_.put("d", data);
+  store_.purge(digest);
+  const auto digest2 = store_.put("d", data);
+  EXPECT_EQ(digest, digest2);
+  EXPECT_TRUE(store_.get(digest).has_value());
+  EXPECT_FALSE(store_.purged(digest));
+}
+
+}  // namespace
+}  // namespace veil::offchain

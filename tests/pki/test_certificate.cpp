@@ -1,0 +1,92 @@
+#include "pki/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pki/ca.hpp"
+
+namespace veil::pki {
+namespace {
+
+class CertificateTest : public ::testing::Test {
+ protected:
+  const crypto::Group& group_ = crypto::Group::test_group();
+  common::Rng rng_{11};
+  CertificateAuthority ca_{"root-ca", group_, rng_};
+};
+
+TEST_F(CertificateTest, RootIsSelfSigned) {
+  const Certificate& root = ca_.root_certificate();
+  EXPECT_EQ(root.subject, root.issuer);
+  EXPECT_TRUE(root.verify(group_, ca_.public_key(), 0));
+}
+
+TEST_F(CertificateTest, IssueAndValidate) {
+  const crypto::KeyPair kp = crypto::KeyPair::generate(group_, rng_);
+  const Certificate cert =
+      ca_.issue("BankA", kp.public_key(), {{"org", "bank"}}, 0, 1000);
+  EXPECT_TRUE(ca_.validate(cert, 500));
+  EXPECT_EQ(cert.subject, "BankA");
+  EXPECT_EQ(cert.attributes.at("org"), "bank");
+}
+
+TEST_F(CertificateTest, ValidityWindowEnforced) {
+  const crypto::KeyPair kp = crypto::KeyPair::generate(group_, rng_);
+  const Certificate cert = ca_.issue("B", kp.public_key(), {}, 100, 200);
+  EXPECT_FALSE(ca_.validate(cert, 99));
+  EXPECT_TRUE(ca_.validate(cert, 100));
+  EXPECT_TRUE(ca_.validate(cert, 200));
+  EXPECT_FALSE(ca_.validate(cert, 201));
+}
+
+TEST_F(CertificateTest, TamperedSubjectFailsVerification) {
+  const crypto::KeyPair kp = crypto::KeyPair::generate(group_, rng_);
+  Certificate cert = ca_.issue("Honest", kp.public_key(), {}, 0, 1000);
+  cert.subject = "Mallory";
+  EXPECT_FALSE(ca_.validate(cert, 10));
+}
+
+TEST_F(CertificateTest, TamperedAttributesFailVerification) {
+  const crypto::KeyPair kp = crypto::KeyPair::generate(group_, rng_);
+  Certificate cert =
+      ca_.issue("A", kp.public_key(), {{"role", "viewer"}}, 0, 1000);
+  cert.attributes["role"] = "admin";
+  EXPECT_FALSE(ca_.validate(cert, 10));
+}
+
+TEST_F(CertificateTest, ForeignCaRejected) {
+  CertificateAuthority other("other-ca", group_, rng_);
+  const crypto::KeyPair kp = crypto::KeyPair::generate(group_, rng_);
+  const Certificate cert = other.issue("X", kp.public_key(), {}, 0, 1000);
+  EXPECT_FALSE(ca_.validate(cert, 10));
+  // And direct verification under the wrong issuer key fails too.
+  EXPECT_FALSE(cert.verify(group_, ca_.public_key(), 10));
+}
+
+TEST_F(CertificateTest, RevocationIsEnforcedAndIdempotent) {
+  const crypto::KeyPair kp = crypto::KeyPair::generate(group_, rng_);
+  const Certificate cert = ca_.issue("R", kp.public_key(), {}, 0, 1000);
+  EXPECT_TRUE(ca_.validate(cert, 10));
+  ca_.revoke(cert.serial);
+  ca_.revoke(cert.serial);
+  EXPECT_TRUE(ca_.is_revoked(cert.serial));
+  EXPECT_FALSE(ca_.validate(cert, 10));
+}
+
+TEST_F(CertificateTest, SerialsAreUnique) {
+  const crypto::KeyPair kp = crypto::KeyPair::generate(group_, rng_);
+  const Certificate a = ca_.issue("A", kp.public_key(), {}, 0, 10);
+  const Certificate b = ca_.issue("B", kp.public_key(), {}, 0, 10);
+  EXPECT_NE(a.serial, b.serial);
+}
+
+TEST_F(CertificateTest, EncodingRoundTrip) {
+  const crypto::KeyPair kp = crypto::KeyPair::generate(group_, rng_);
+  const Certificate cert =
+      ca_.issue("RoundTrip", kp.public_key(), {{"a", "1"}, {"b", "2"}}, 5, 99);
+  const Certificate decoded = Certificate::decode(cert.encode());
+  EXPECT_EQ(decoded, cert);
+  EXPECT_TRUE(ca_.validate(decoded, 50));
+}
+
+}  // namespace
+}  // namespace veil::pki

@@ -1,0 +1,142 @@
+#include "pki/idemix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veil::pki {
+namespace {
+
+class IdemixTest : public ::testing::Test {
+ protected:
+  Certificate issue_identity(const std::string& name,
+                             const std::string& attr_class) {
+    const crypto::KeyPair kp = crypto::KeyPair::generate(group_, rng_);
+    return ca_.issue(name, kp.public_key(), {{"class:" + attr_class, "1"}}, 0,
+                     1000);
+  }
+
+  const crypto::Group& group_ = crypto::Group::test_group();
+  common::Rng rng_{41};
+  CertificateAuthority ca_{"idemix-ca", group_, rng_};
+  IdemixIssuer issuer_{ca_};
+};
+
+TEST_F(IdemixTest, IssueAndPresent) {
+  const Certificate identity = issue_identity("Alice", "role=trader");
+  const auto cred =
+      request_credential(issuer_, identity, "role=trader", 10, rng_);
+  ASSERT_TRUE(cred.has_value());
+
+  const auto presentation =
+      present(group_, *cred, common::to_bytes("verifier-nonce"), rng_);
+  EXPECT_TRUE(verify_presentation(group_, ca_.public_key(), presentation,
+                                  common::to_bytes("verifier-nonce")));
+  EXPECT_EQ(presentation.attribute_class, "role=trader");
+}
+
+TEST_F(IdemixTest, BlindSignatureVerifiesAsOrdinarySchnorr) {
+  const Certificate identity = issue_identity("Alice", "c");
+  const auto cred = request_credential(issuer_, identity, "c", 10, rng_);
+  ASSERT_TRUE(cred.has_value());
+  EXPECT_TRUE(crypto::verify(group_, ca_.public_key(), cred->signed_message(),
+                             cred->issuer_signature));
+}
+
+TEST_F(IdemixTest, IssuerRefusesMissingAttribute) {
+  const Certificate identity = issue_identity("Alice", "role=trader");
+  EXPECT_FALSE(
+      request_credential(issuer_, identity, "role=admin", 10, rng_)
+          .has_value());
+}
+
+TEST_F(IdemixTest, IssuerRefusesInvalidCertificate) {
+  Certificate identity = issue_identity("Alice", "c");
+  identity.subject = "Mallory";
+  EXPECT_FALSE(request_credential(issuer_, identity, "c", 10, rng_)
+                   .has_value());
+}
+
+TEST_F(IdemixTest, IssuerRefusesRevokedCertificate) {
+  const Certificate identity = issue_identity("Alice", "c");
+  ca_.revoke(identity.serial);
+  EXPECT_FALSE(request_credential(issuer_, identity, "c", 10, rng_)
+                   .has_value());
+}
+
+TEST_F(IdemixTest, PresentationContextBound) {
+  const Certificate identity = issue_identity("Alice", "c");
+  const auto cred = request_credential(issuer_, identity, "c", 10, rng_);
+  const auto presentation =
+      present(group_, *cred, common::to_bytes("tx-1"), rng_);
+  // Replaying the same presentation for a different context fails.
+  EXPECT_FALSE(verify_presentation(group_, ca_.public_key(), presentation,
+                                   common::to_bytes("tx-2")));
+}
+
+TEST_F(IdemixTest, ForgedAttributeClassFails) {
+  const Certificate identity = issue_identity("Alice", "role=viewer");
+  const auto cred =
+      request_credential(issuer_, identity, "role=viewer", 10, rng_);
+  IdemixPresentation p = present(group_, *cred, common::to_bytes("n"), rng_);
+  p.attribute_class = "role=admin";  // claim a class that was never signed
+  EXPECT_FALSE(verify_presentation(group_, ca_.public_key(), p,
+                                   common::to_bytes("n")));
+}
+
+TEST_F(IdemixTest, PresentationWithoutSecretFails) {
+  // A thief who observed a presentation knows the pseudonym key and the
+  // issuer signature, but cannot produce a fresh context-bound proof.
+  const Certificate identity = issue_identity("Alice", "c");
+  const auto cred = request_credential(issuer_, identity, "c", 10, rng_);
+  const auto observed = present(group_, *cred, common::to_bytes("old"), rng_);
+
+  IdemixCredential stolen = *cred;
+  stolen.pseudonym_secret = group_.random_scalar(rng_);  // wrong secret
+  const auto forged = present(group_, stolen, common::to_bytes("new"), rng_);
+  EXPECT_FALSE(verify_presentation(group_, ca_.public_key(), forged,
+                                   common::to_bytes("new")));
+}
+
+TEST_F(IdemixTest, IssuerCannotLinkCredentialToSession) {
+  // The unlinkability property: nothing the issuer saw during issuance
+  // appears in (or determines) the credential's public parts.
+  const Certificate identity = issue_identity("Alice", "c");
+  const auto cred = request_credential(issuer_, identity, "c", 10, rng_);
+  ASSERT_TRUE(cred.has_value());
+  ASSERT_EQ(issuer_.audit_log().size(), 1u);
+  const IssuerView& view = issuer_.audit_log().front();
+
+  // The issuer saw the identity (that is the Idemix trust model)...
+  EXPECT_EQ(view.identity, "Alice");
+  // ...but the challenge it signed is the BLINDED one, not the
+  // credential's actual challenge, and the nonce commitment differs from
+  // the signature's commitment-derived value.
+  EXPECT_NE(view.blinded_challenge, cred->issuer_signature.challenge);
+  // And the pseudonym key never crossed the issuance channel.
+  EXPECT_NE(view.nonce_commitment, cred->pseudonym_key.y);
+}
+
+TEST_F(IdemixTest, TwoCredentialsAreUnlinkable) {
+  const Certificate identity = issue_identity("Alice", "c");
+  const auto cred1 = request_credential(issuer_, identity, "c", 10, rng_);
+  const auto cred2 = request_credential(issuer_, identity, "c", 10, rng_);
+  ASSERT_TRUE(cred1 && cred2);
+  // Distinct pseudonyms, distinct signatures — presentations of the two
+  // share no identifier.
+  EXPECT_NE(cred1->pseudonym_key, cred2->pseudonym_key);
+  EXPECT_NE(cred1->issuer_signature, cred2->issuer_signature);
+}
+
+TEST_F(IdemixTest, CompleteUnknownSessionFails) {
+  EXPECT_FALSE(issuer_.complete(999, crypto::BigInt(1)).has_value());
+}
+
+TEST_F(IdemixTest, SessionIsSingleUse) {
+  const Certificate identity = issue_identity("Alice", "c");
+  auto start = issuer_.begin(identity, "c", 10, rng_);
+  ASSERT_TRUE(start.has_value());
+  EXPECT_TRUE(issuer_.complete(start->session_id, crypto::BigInt(5)));
+  EXPECT_FALSE(issuer_.complete(start->session_id, crypto::BigInt(5)));
+}
+
+}  // namespace
+}  // namespace veil::pki

@@ -1,0 +1,95 @@
+#include "pki/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace veil::pki {
+namespace {
+
+class MembershipTest : public ::testing::Test {
+ protected:
+  Certificate issue_for(const std::string& name) {
+    const crypto::KeyPair kp = crypto::KeyPair::generate(group_, rng_);
+    keys_.push_back(kp.public_key());
+    return ca_.issue(name, kp.public_key(), {}, 0, 1000);
+  }
+
+  const crypto::Group& group_ = crypto::Group::test_group();
+  common::Rng rng_{21};
+  CertificateAuthority ca_{"net-ca", group_, rng_};
+  std::vector<crypto::PublicKey> keys_;
+};
+
+TEST_F(MembershipTest, OnboardValidMember) {
+  MembershipService svc(ca_, true);
+  EXPECT_TRUE(svc.onboard(issue_for("BankA"), 10));
+  EXPECT_TRUE(svc.is_member("BankA"));
+  EXPECT_EQ(svc.member_count(), 1u);
+}
+
+TEST_F(MembershipTest, RejectInvalidCertificate) {
+  MembershipService svc(ca_, true);
+  Certificate cert = issue_for("Evil");
+  cert.subject = "Disguised";
+  EXPECT_FALSE(svc.onboard(cert, 10));
+  EXPECT_FALSE(svc.is_member("Disguised"));
+}
+
+TEST_F(MembershipTest, RejectRevokedCertificate) {
+  MembershipService svc(ca_, true);
+  const Certificate cert = issue_for("Revoked");
+  ca_.revoke(cert.serial);
+  EXPECT_FALSE(svc.onboard(cert, 10));
+}
+
+TEST_F(MembershipTest, FindByKey) {
+  MembershipService svc(ca_, true);
+  const Certificate cert = issue_for("BankB");
+  svc.onboard(cert, 10);
+  const auto member = svc.find_by_key(cert.subject_key);
+  ASSERT_TRUE(member.has_value());
+  EXPECT_EQ(member->name, "BankB");
+  // Unknown key.
+  const crypto::KeyPair stranger = crypto::KeyPair::generate(group_, rng_);
+  EXPECT_FALSE(svc.find_by_key(stranger.public_key()).has_value());
+}
+
+TEST_F(MembershipTest, FindByName) {
+  MembershipService svc(ca_, true);
+  svc.onboard(issue_for("BankC"), 10);
+  EXPECT_TRUE(svc.find_by_name("BankC").has_value());
+  EXPECT_FALSE(svc.find_by_name("Nobody").has_value());
+}
+
+TEST_F(MembershipTest, DirectoryExposedListsAll) {
+  MembershipService svc(ca_, true);
+  svc.onboard(issue_for("A"), 10);
+  svc.onboard(issue_for("B"), 10);
+  const auto names = svc.list_members();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST_F(MembershipTest, HiddenDirectoryThrows) {
+  // §2.1: the global membership list is optional — hiding it is itself a
+  // privacy mechanism.
+  MembershipService svc(ca_, false);
+  svc.onboard(issue_for("Private"), 10);
+  EXPECT_FALSE(svc.directory_exposed());
+  EXPECT_THROW(svc.list_members(), common::AccessError);
+  // Targeted lookup still works for parties that know each other.
+  EXPECT_TRUE(svc.find_by_name("Private").has_value());
+}
+
+TEST_F(MembershipTest, OffboardRemovesMemberAndKey) {
+  MembershipService svc(ca_, true);
+  const Certificate cert = issue_for("Leaver");
+  svc.onboard(cert, 10);
+  svc.offboard("Leaver");
+  EXPECT_FALSE(svc.is_member("Leaver"));
+  EXPECT_FALSE(svc.find_by_key(cert.subject_key).has_value());
+  svc.offboard("Leaver");  // idempotent
+}
+
+}  // namespace
+}  // namespace veil::pki

@@ -1,0 +1,101 @@
+#include "pki/onetime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veil::pki {
+namespace {
+
+class OneTimeKeyTest : public ::testing::Test {
+ protected:
+  const crypto::Group& group_ = crypto::Group::test_group();
+  common::Rng rng_{31};
+  CertificateAuthority ca_{"ca", group_, rng_};
+};
+
+TEST_F(OneTimeKeyTest, DerivationIsDeterministic) {
+  common::Rng r(1);
+  const common::Bytes master = r.next_bytes(32);
+  OneTimeKeyChain chain_a(group_, master);
+  OneTimeKeyChain chain_b(group_, master);
+  EXPECT_EQ(chain_a.derive(7).public_key(), chain_b.derive(7).public_key());
+}
+
+TEST_F(OneTimeKeyTest, DistinctIndicesGiveDistinctKeys) {
+  OneTimeKeyChain chain(group_, rng_.next_bytes(32));
+  const auto k0 = chain.derive(0).public_key();
+  const auto k1 = chain.derive(1).public_key();
+  const auto k2 = chain.derive(2).public_key();
+  EXPECT_NE(k0, k1);
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(k0, k2);
+}
+
+TEST_F(OneTimeKeyTest, DistinctMastersGiveDistinctKeys) {
+  OneTimeKeyChain a(group_, rng_.next_bytes(32));
+  OneTimeKeyChain b(group_, rng_.next_bytes(32));
+  EXPECT_NE(a.derive(0).public_key(), b.derive(0).public_key());
+}
+
+TEST_F(OneTimeKeyTest, NextAdvancesCounter) {
+  OneTimeKeyChain chain(group_, rng_.next_bytes(32));
+  const auto k0 = chain.next();
+  const auto k1 = chain.next();
+  EXPECT_EQ(chain.issued_count(), 2u);
+  EXPECT_NE(k0.public_key(), k1.public_key());
+  // next() is just derive(counter).
+  EXPECT_EQ(k0.public_key(), chain.derive(0).public_key());
+}
+
+TEST_F(OneTimeKeyTest, DerivedKeysSign) {
+  OneTimeKeyChain chain(group_, rng_.next_bytes(32));
+  const crypto::KeyPair kp = chain.next();
+  const auto sig = kp.sign(common::to_bytes("asset transfer"));
+  EXPECT_TRUE(crypto::verify(group_, kp.public_key(),
+                             common::to_bytes("asset transfer"), sig));
+}
+
+TEST_F(OneTimeKeyTest, LinkageCertificateBindsIdentity) {
+  const crypto::KeyPair identity_key = crypto::KeyPair::generate(group_, rng_);
+  const Certificate identity =
+      ca_.issue("BankA", identity_key.public_key(), {}, 0, 1000);
+  OneTimeKeyChain chain(group_, rng_.next_bytes(32));
+  const crypto::KeyPair onetime = chain.next();
+
+  const auto linkage =
+      issue_linkage(ca_, identity, onetime.public_key(), 10);
+  ASSERT_TRUE(linkage.has_value());
+  EXPECT_EQ(linkage->identity(), "BankA");
+  EXPECT_EQ(linkage->certificate.subject_key, onetime.public_key());
+  EXPECT_TRUE(ca_.validate(linkage->certificate, 10));
+}
+
+TEST_F(OneTimeKeyTest, LinkageRefusedForInvalidIdentity) {
+  const crypto::KeyPair identity_key = crypto::KeyPair::generate(group_, rng_);
+  Certificate identity =
+      ca_.issue("BankB", identity_key.public_key(), {}, 0, 1000);
+  identity.subject = "Forged";
+  OneTimeKeyChain chain(group_, rng_.next_bytes(32));
+  EXPECT_FALSE(
+      issue_linkage(ca_, identity, chain.next().public_key(), 10).has_value());
+}
+
+TEST_F(OneTimeKeyTest, LinkageRefusedForRevokedIdentity) {
+  const crypto::KeyPair identity_key = crypto::KeyPair::generate(group_, rng_);
+  const Certificate identity =
+      ca_.issue("BankC", identity_key.public_key(), {}, 0, 1000);
+  ca_.revoke(identity.serial);
+  OneTimeKeyChain chain(group_, rng_.next_bytes(32));
+  EXPECT_FALSE(
+      issue_linkage(ca_, identity, chain.next().public_key(), 10).has_value());
+}
+
+TEST_F(OneTimeKeyTest, FingerprintDoesNotRevealIdentity) {
+  // The pseudonymous fingerprint carries no relation to the identity
+  // string — unlinkability holds unless the linkage cert is shared.
+  OneTimeKeyChain chain(group_, common::to_bytes("BankA-master-secret"));
+  const std::string fp = chain.next().public_key().fingerprint();
+  EXPECT_EQ(fp.find("BankA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace veil::pki

@@ -1,0 +1,340 @@
+#include "platforms/corda/corda.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veil::corda {
+namespace {
+
+using common::to_bytes;
+
+class CordaTest : public ::testing::Test {
+ protected:
+  CordaTest()
+      : net_(common::Rng(17)),
+        rng_(18),
+        corda_(net_, crypto::Group::test_group(), rng_) {
+    for (const char* p : {"Alice", "Bob", "Carol"}) corda_.add_party(p);
+    corda_.add_notary("Notary", /*validating=*/false);
+  }
+
+  StateRef issue_cash(const std::string& owner, const std::string& amount) {
+    const auto result = corda_.issue(owner, "Cash", to_bytes(amount),
+                                     {owner}, "Notary");
+    EXPECT_TRUE(result.success) << result.reason;
+    return corda_.vault(owner).back().ref;
+  }
+
+  net::SimNetwork net_;
+  common::Rng rng_;
+  CordaNetwork corda_;
+};
+
+TEST_F(CordaTest, IssueCreatesVaultState) {
+  corda_.issue("Alice", "Cash", to_bytes("100"), {"Alice"}, "Notary");
+  const auto vault = corda_.vault("Alice");
+  ASSERT_EQ(vault.size(), 1u);
+  EXPECT_EQ(vault[0].data, to_bytes("100"));
+  EXPECT_EQ(vault[0].contract, "Cash");
+}
+
+TEST_F(CordaTest, TransferMovesState) {
+  const StateRef ref = issue_cash("Alice", "100");
+  const auto result = corda_.transact(
+      "Alice", {ref},
+      {OutputSpec{"Cash", to_bytes("100"), {"Bob"}}}, "Notary");
+  EXPECT_TRUE(result.success) << result.reason;
+  EXPECT_TRUE(corda_.vault("Alice").empty());
+  ASSERT_EQ(corda_.vault("Bob").size(), 1u);
+  EXPECT_EQ(corda_.vault("Bob")[0].data, to_bytes("100"));
+}
+
+TEST_F(CordaTest, PeerToPeerConfidentiality) {
+  // §5: "interactions between parties are kept private, both in terms of
+  // the relationships that exist and data shared between them".
+  const StateRef ref = issue_cash("Alice", "500");
+  const auto result = corda_.transact(
+      "Alice", {ref},
+      {OutputSpec{"Cash", to_bytes("500"), {"Alice", "Bob"}}}, "Notary");
+  ASSERT_TRUE(result.success);
+  const std::string prefix = "tx/" + result.tx_id + "/";
+  EXPECT_TRUE(corda_.auditor().saw("Bob", prefix + "data"));
+  EXPECT_FALSE(corda_.auditor().saw("Carol", prefix + "data"));
+  EXPECT_FALSE(corda_.auditor().saw("Carol", prefix + "parties"));
+  // Carol received no network traffic at all for this transaction.
+  EXPECT_FALSE(corda_.auditor().saw("Carol", "net/corda.sign-request"));
+  EXPECT_FALSE(corda_.auditor().saw("Carol", "net/corda.finalize"));
+}
+
+TEST_F(CordaTest, NotaryPreventsDoubleSpend) {
+  const StateRef ref = issue_cash("Alice", "100");
+  const auto first = corda_.transact(
+      "Alice", {ref}, {OutputSpec{"Cash", to_bytes("100"), {"Bob"}}},
+      "Notary");
+  EXPECT_TRUE(first.success);
+  // Alice's vault no longer holds the ref, but try replaying it directly.
+  const auto second = corda_.transact(
+      "Alice", {ref}, {OutputSpec{"Cash", to_bytes("100"), {"Carol"}}},
+      "Notary");
+  EXPECT_FALSE(second.success);
+  EXPECT_EQ(second.reason, "input not in initiator vault");
+}
+
+TEST_F(CordaTest, NotaryRejectsReplayedConsumedState) {
+  // Even if the initiator still "had" the state (simulated replay), the
+  // notary's consumed set is authoritative.
+  const StateRef ref = issue_cash("Alice", "100");
+  // Keep a copy of the vault state, consume it, then re-insert via a
+  // second issue with identical data and try to trick the notary by
+  // reusing the consumed ref. The direct replay path is covered above;
+  // here we check notarized_count advances per transaction.
+  const auto before = corda_.notarized_count("Notary");
+  corda_.transact("Alice", {ref},
+                  {OutputSpec{"Cash", to_bytes("100"), {"Bob"}}}, "Notary");
+  EXPECT_EQ(corda_.notarized_count("Notary"), before + 1);
+}
+
+TEST_F(CordaTest, NonValidatingNotarySeesNoData) {
+  const StateRef ref = issue_cash("Alice", "13,000 EUR");
+  const auto result = corda_.transact(
+      "Alice", {ref},
+      {OutputSpec{"Cash", to_bytes("13,000 EUR"), {"Bob"}}}, "Notary");
+  ASSERT_TRUE(result.success);
+  EXPECT_FALSE(
+      corda_.auditor().saw("Notary", "tx/" + result.tx_id + "/data"));
+  EXPECT_TRUE(corda_.auditor().saw_any_form(
+      "Notary", "tx/" + result.tx_id + "/data"));
+}
+
+TEST_F(CordaTest, ValidatingNotarySeesEverything) {
+  corda_.add_notary("ValidatingNotary", /*validating=*/true);
+  const auto issued = corda_.issue("Alice", "Cash", to_bytes("x"),
+                                   {"Alice"}, "ValidatingNotary");
+  const StateRef ref = corda_.vault("Alice").back().ref;
+  const auto result = corda_.transact(
+      "Alice", {ref}, {OutputSpec{"Cash", to_bytes("x"), {"Bob"}}},
+      "ValidatingNotary");
+  ASSERT_TRUE(result.success);
+  EXPECT_TRUE(corda_.auditor().saw("ValidatingNotary",
+                                   "tx/" + result.tx_id + "/data"));
+}
+
+TEST_F(CordaTest, ConfidentialIdentitiesUseOneTimeKeys) {
+  const StateRef ref = issue_cash("Alice", "42");
+  const auto result = corda_.transact(
+      "Alice", {ref}, {OutputSpec{"Cash", to_bytes("42"), {"Bob"}}},
+      "Notary", /*confidential=*/true);
+  ASSERT_TRUE(result.success) << result.reason;
+  const auto bob_vault = corda_.vault("Bob");
+  ASSERT_EQ(bob_vault.size(), 1u);
+  const std::string participant = bob_vault[0].participants[0];
+  EXPECT_TRUE(participant.starts_with("ot:"));
+  EXPECT_EQ(participant.find("Bob"), std::string::npos);
+
+  // Counterparties hold the linkage; outsiders cannot resolve.
+  const std::string fp = participant.substr(3);
+  EXPECT_EQ(corda_.resolve_confidential("Alice", fp), "Bob");
+  EXPECT_FALSE(corda_.resolve_confidential("Carol", fp).has_value());
+}
+
+TEST_F(CordaTest, FreshOneTimeKeyPerTransaction) {
+  const StateRef r1 = issue_cash("Alice", "1");
+  const StateRef r2 = issue_cash("Alice", "2");
+  const auto t1 = corda_.transact(
+      "Alice", {r1}, {OutputSpec{"Cash", to_bytes("1"), {"Bob"}}}, "Notary",
+      true);
+  const auto t2 = corda_.transact(
+      "Alice", {r2}, {OutputSpec{"Cash", to_bytes("2"), {"Bob"}}}, "Notary",
+      true);
+  ASSERT_TRUE(t1.success && t2.success);
+  const auto vault = corda_.vault("Bob");
+  ASSERT_EQ(vault.size(), 2u);
+  // Two transfers to the same party use unlinkable keys.
+  EXPECT_NE(vault[0].participants[0], vault[1].participants[0]);
+}
+
+TEST_F(CordaTest, OracleTearOffFlow) {
+  corda_.add_oracle("FxOracle", {{"USD/EUR", "0.93"}});
+  const StateRef ref = issue_cash("Alice", "trade@?");
+  const auto result = corda_.transact(
+      "Alice", {ref},
+      {OutputSpec{"Cash", to_bytes("trade@0.93"), {"Alice", "Bob"}}},
+      "Notary", false, OracleRequest{"FxOracle", "USD/EUR", "0.93"});
+  ASSERT_TRUE(result.success) << result.reason;
+  // Oracle attests without seeing transaction data.
+  EXPECT_TRUE(
+      corda_.auditor().saw("FxOracle", "tx/" + result.tx_id + "/fact"));
+  EXPECT_FALSE(
+      corda_.auditor().saw("FxOracle", "tx/" + result.tx_id + "/data"));
+}
+
+TEST_F(CordaTest, OracleRefusesWrongFact) {
+  corda_.add_oracle("FxOracle", {{"USD/EUR", "0.93"}});
+  const StateRef ref = issue_cash("Alice", "x");
+  const auto result = corda_.transact(
+      "Alice", {ref},
+      {OutputSpec{"Cash", to_bytes("x"), {"Alice"}}}, "Notary", false,
+      OracleRequest{"FxOracle", "USD/EUR", "1.50"});
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.reason, "oracle refused: fact mismatch");
+}
+
+TEST_F(CordaTest, UnknownEntitiesRejected) {
+  EXPECT_FALSE(corda_.transact("Ghost", {}, {}, "Notary").success);
+  EXPECT_FALSE(corda_.transact("Alice", {}, {}, "GhostNotary").success);
+  const StateRef bogus{"nonexistent", 0};
+  EXPECT_FALSE(
+      corda_.transact("Alice", {bogus}, {}, "Notary").success);
+}
+
+TEST_F(CordaTest, MultiOutputSplit) {
+  const StateRef ref = issue_cash("Alice", "100");
+  const auto result = corda_.transact(
+      "Alice", {ref},
+      {OutputSpec{"Cash", to_bytes("60"), {"Bob"}},
+       OutputSpec{"Cash", to_bytes("40"), {"Alice"}}},
+      "Notary");
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(corda_.vault("Bob").size(), 1u);
+  EXPECT_EQ(corda_.vault("Alice").size(), 1u);
+  EXPECT_EQ(corda_.vault("Alice")[0].data, to_bytes("40"));
+}
+
+
+TEST_F(CordaTest, BackchainResolvesToIssuance) {
+  // Alice -> Bob -> Carol: Carol resolves the chain back to the issue.
+  const StateRef issued = issue_cash("Alice", "100");
+  const auto t1 = corda_.transact(
+      "Alice", {issued}, {OutputSpec{"Cash", to_bytes("100"), {"Bob"}}},
+      "Notary");
+  ASSERT_TRUE(t1.success);
+  const auto bob_ref = corda_.vault("Bob").front().ref;
+  const auto t2 = corda_.transact(
+      "Bob", {bob_ref}, {OutputSpec{"Cash", to_bytes("100"), {"Carol"}}},
+      "Notary");
+  ASSERT_TRUE(t2.success);
+
+  const auto carol_ref = corda_.vault("Carol").front().ref;
+  const auto chain = corda_.resolve_backchain("Carol", carol_ref);
+  EXPECT_TRUE(chain.valid) << chain.reason;
+  EXPECT_EQ(chain.depth, 3u);  // issue + two transfers
+  EXPECT_EQ(chain.tx_ids.front(), t2.tx_id);
+}
+
+TEST_F(CordaTest, BackchainRevealsHistoryToNewOwner) {
+  // The documented trade-off: resolution hands Carol every ancestor tx,
+  // including the Alice->Bob hop she was never part of.
+  const StateRef issued = issue_cash("Alice", "77");
+  const auto t1 = corda_.transact(
+      "Alice", {issued}, {OutputSpec{"Cash", to_bytes("77"), {"Bob"}}},
+      "Notary");
+  const auto bob_ref = corda_.vault("Bob").front().ref;
+  const auto t2 = corda_.transact(
+      "Bob", {bob_ref}, {OutputSpec{"Cash", to_bytes("77"), {"Carol"}}},
+      "Notary");
+
+  EXPECT_FALSE(corda_.auditor().saw("Carol", "tx/" + t1.tx_id + "/data"));
+  const auto chain =
+      corda_.resolve_backchain("Carol", corda_.vault("Carol").front().ref);
+  ASSERT_TRUE(chain.valid);
+  // After resolution Carol has observed the ancestor transaction data.
+  EXPECT_TRUE(corda_.auditor().saw("Carol", "tx/" + t1.tx_id + "/data"));
+}
+
+TEST_F(CordaTest, BackchainOfUnknownRefFails) {
+  const auto result =
+      corda_.resolve_backchain("Alice", StateRef{"not-a-tx", 0});
+  EXPECT_FALSE(result.valid);
+  EXPECT_NE(result.reason.find("missing ancestor"), std::string::npos);
+  EXPECT_FALSE(
+      corda_.resolve_backchain("Ghost", StateRef{"x", 0}).valid);
+}
+
+TEST_F(CordaTest, BackchainDepthGrowsWithTransfers) {
+  StateRef ref = issue_cash("Alice", "5");
+  const std::vector<std::string> owners = {"Bob", "Carol", "Alice", "Bob"};
+  std::string holder = "Alice";
+  for (const std::string& next : owners) {
+    const auto r = corda_.transact(
+        holder, {ref}, {OutputSpec{"Cash", to_bytes("5"), {next}}},
+        "Notary");
+    ASSERT_TRUE(r.success) << r.reason;
+    ref = corda_.vault(next).back().ref;
+    holder = next;
+  }
+  const auto chain = corda_.resolve_backchain(holder, ref);
+  EXPECT_TRUE(chain.valid);
+  EXPECT_EQ(chain.depth, 1u + owners.size());
+}
+
+
+namespace {
+// Cash conservation: numeric sum of inputs equals sum of outputs.
+long value_of(const common::Bytes& data) {
+  return std::stol(common::to_string(data));
+}
+}  // namespace
+
+TEST_F(CordaTest, ContractVerifierEnforcesConservation) {
+  corda_.register_contract(
+      "Cash", [](const std::vector<CordaState>& inputs,
+                 const std::vector<OutputSpec>& outputs) {
+        long in = 0, out = 0;
+        for (const auto& s : inputs) in += value_of(s.data);
+        for (const auto& o : outputs) out += value_of(o.data);
+        return inputs.empty() || in == out;  // issuance exempt
+      });
+
+  const StateRef ref = issue_cash("Alice", "100");
+  // Forging money: 100 in, 150 out -> vetoed by the contract.
+  const auto forged = corda_.transact(
+      "Alice", {ref},
+      {OutputSpec{"Cash", to_bytes("150"), {"Bob"}}}, "Notary");
+  EXPECT_FALSE(forged.success);
+  EXPECT_EQ(forged.reason, "contract verification failed: Cash");
+  // The state was NOT consumed by the failed attempt.
+  EXPECT_EQ(corda_.vault("Alice").size(), 1u);
+
+  // A conserving split passes.
+  const auto split = corda_.transact(
+      "Alice", {ref},
+      {OutputSpec{"Cash", to_bytes("60"), {"Bob"}},
+       OutputSpec{"Cash", to_bytes("40"), {"Alice"}}},
+      "Notary");
+  EXPECT_TRUE(split.success) << split.reason;
+}
+
+TEST_F(CordaTest, UnregisteredContractsAreNotVetoed) {
+  const StateRef ref = issue_cash("Alice", "100");
+  // "Cash" has no verifier here; anything goes (flow logic decides).
+  const auto r = corda_.transact(
+      "Alice", {ref},
+      {OutputSpec{"Cash", to_bytes("999999"), {"Bob"}}}, "Notary");
+  EXPECT_TRUE(r.success);
+}
+
+TEST_F(CordaTest, VerifierSeesCrossContractTransaction) {
+  // A swap touching two contracts runs both verifiers.
+  int cash_checks = 0, bond_checks = 0;
+  corda_.register_contract(
+      "Cash", [&cash_checks](const std::vector<CordaState>&,
+                             const std::vector<OutputSpec>&) {
+        ++cash_checks;
+        return true;
+      });
+  corda_.register_contract(
+      "Bond", [&bond_checks](const std::vector<CordaState>&,
+                             const std::vector<OutputSpec>&) {
+        ++bond_checks;
+        return true;
+      });
+  const StateRef cash = issue_cash("Alice", "100");
+  const auto r = corda_.transact(
+      "Alice", {cash},
+      {OutputSpec{"Bond", to_bytes("100"), {"Alice"}}}, "Notary");
+  EXPECT_TRUE(r.success);
+  EXPECT_GE(cash_checks, 1);
+  EXPECT_GE(bond_checks, 1);
+}
+
+}  // namespace
+}  // namespace veil::corda

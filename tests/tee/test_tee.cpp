@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "tee/enclave.hpp"
+
+namespace veil::tee {
+namespace {
+
+using common::to_bytes;
+
+std::shared_ptr<contracts::FunctionContract> adder_contract() {
+  return std::make_shared<contracts::FunctionContract>(
+      "adder", 1,
+      [](contracts::ContractContext& ctx, const std::string& action) {
+        if (action != "add") return contracts::InvokeStatus::UnknownAction;
+        const auto current = ctx.get("sum");
+        const int base = current ? std::stoi(common::to_string(*current)) : 0;
+        const int delta = std::stoi(common::to_string(
+            common::Bytes(ctx.args().begin(), ctx.args().end())));
+        ctx.put("sum", to_bytes(std::to_string(base + delta)));
+        return contracts::InvokeStatus::Ok;
+      });
+}
+
+class TeeTest : public ::testing::Test {
+ protected:
+  TeeTest()
+      : manufacturer_(crypto::Group::test_group(), rng_),
+        enclave_("untrusted-host", manufacturer_, "dev-1", auditor_, rng_,
+                 0) {}
+
+  common::Rng rng_{606};
+  net::LeakageAuditor auditor_;
+  Manufacturer manufacturer_;
+  Enclave enclave_;
+};
+
+TEST_F(TeeTest, AttestationVerifies) {
+  enclave_.load(adder_contract());
+  const common::Bytes nonce = rng_.next_bytes(16);
+  const AttestationQuote quote = enclave_.attest(nonce);
+  EXPECT_TRUE(verify_quote(crypto::Group::test_group(),
+                           manufacturer_.root_key(), quote,
+                           enclave_.measurement(), nonce, 10));
+}
+
+TEST_F(TeeTest, AttestationRejectsWrongMeasurement) {
+  enclave_.load(adder_contract());
+  const common::Bytes nonce = rng_.next_bytes(16);
+  const AttestationQuote quote = enclave_.attest(nonce);
+  const crypto::Digest wrong = crypto::sha256(to_bytes("other-code"));
+  EXPECT_FALSE(verify_quote(crypto::Group::test_group(),
+                            manufacturer_.root_key(), quote, wrong, nonce,
+                            10));
+}
+
+TEST_F(TeeTest, AttestationRejectsStaleNonce) {
+  const AttestationQuote quote = enclave_.attest(rng_.next_bytes(16));
+  EXPECT_FALSE(verify_quote(crypto::Group::test_group(),
+                            manufacturer_.root_key(), quote,
+                            enclave_.measurement(), rng_.next_bytes(16), 10));
+}
+
+TEST_F(TeeTest, AttestationRejectsForgedDeviceCert) {
+  const common::Bytes nonce = rng_.next_bytes(16);
+  AttestationQuote quote = enclave_.attest(nonce);
+  // A different "manufacturer" cannot vouch for this device.
+  common::Rng rng2(707);
+  Manufacturer rogue(crypto::Group::test_group(), rng2);
+  EXPECT_FALSE(verify_quote(crypto::Group::test_group(), rogue.root_key(),
+                            quote, enclave_.measurement(), nonce, 10));
+}
+
+TEST_F(TeeTest, MeasurementChangesWithLoadedCode) {
+  const crypto::Digest before = enclave_.measurement();
+  enclave_.load(adder_contract());
+  EXPECT_NE(enclave_.measurement(), before);
+}
+
+TEST_F(TeeTest, SealedInvokeRoundTrip) {
+  enclave_.load(adder_contract());
+  EnclaveClient client(crypto::Group::test_group(), rng_);
+  client.accept(enclave_.open_session(client.public_key(), rng_));
+
+  const SealedRequest request =
+      client.seal(InvokeRequest{"adder", "add", to_bytes("5")}, rng_);
+  const auto sealed_response = enclave_.invoke(request);
+  ASSERT_TRUE(sealed_response.has_value());
+  const auto response = client.open(*sealed_response);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->ok);
+  ASSERT_EQ(response->writes.size(), 1u);
+  EXPECT_EQ(response->writes[0].value, to_bytes("5"));
+}
+
+TEST_F(TeeTest, EnclaveStateAccumulates) {
+  enclave_.load(adder_contract());
+  EnclaveClient client(crypto::Group::test_group(), rng_);
+  client.accept(enclave_.open_session(client.public_key(), rng_));
+  for (int i = 0; i < 3; ++i) {
+    const auto resp = enclave_.invoke(
+        client.seal(InvokeRequest{"adder", "add", to_bytes("10")}, rng_));
+    ASSERT_TRUE(resp.has_value());
+  }
+  EXPECT_EQ(enclave_.private_state().get("sum")->value, to_bytes("30"));
+}
+
+TEST_F(TeeTest, HostSeesOnlyCiphertext) {
+  // The defining property (§2.2): the node admin cannot inspect code or
+  // data inside the enclave.
+  enclave_.load(adder_contract());
+  EnclaveClient client(crypto::Group::test_group(), rng_);
+  client.accept(enclave_.open_session(client.public_key(), rng_));
+  enclave_.invoke(
+      client.seal(InvokeRequest{"adder", "add", to_bytes("7")}, rng_));
+
+  EXPECT_FALSE(auditor_.saw("untrusted-host", "contract/adder/code"));
+  EXPECT_TRUE(auditor_.saw_any_form("untrusted-host", "contract/adder/code"));
+  EXPECT_FALSE(auditor_.saw("untrusted-host", "tee/request"));
+  EXPECT_TRUE(auditor_.saw_any_form("untrusted-host", "tee/request"));
+  EXPECT_GT(auditor_.opaque_bytes_seen("untrusted-host", "tee/"), 0u);
+  EXPECT_EQ(auditor_.bytes_seen("untrusted-host", "tee/"), 0u);
+}
+
+TEST_F(TeeTest, InvokeUnknownSessionFails) {
+  SealedRequest bogus{999, to_bytes("junk")};
+  EXPECT_FALSE(enclave_.invoke(bogus).has_value());
+}
+
+TEST_F(TeeTest, InvokeTamperedCiphertextFails) {
+  enclave_.load(adder_contract());
+  EnclaveClient client(crypto::Group::test_group(), rng_);
+  client.accept(enclave_.open_session(client.public_key(), rng_));
+  SealedRequest request =
+      client.seal(InvokeRequest{"adder", "add", to_bytes("5")}, rng_);
+  request.ciphertext[20] ^= 0xff;
+  EXPECT_FALSE(enclave_.invoke(request).has_value());
+}
+
+TEST_F(TeeTest, EavesdropperCannotOpenResponses) {
+  enclave_.load(adder_contract());
+  EnclaveClient client(crypto::Group::test_group(), rng_);
+  client.accept(enclave_.open_session(client.public_key(), rng_));
+  const auto sealed = enclave_.invoke(
+      client.seal(InvokeRequest{"adder", "add", to_bytes("1")}, rng_));
+  ASSERT_TRUE(sealed.has_value());
+  // A second client with its own session key cannot read the response.
+  EnclaveClient eve(crypto::Group::test_group(), rng_);
+  eve.accept(enclave_.open_session(eve.public_key(), rng_));
+  EXPECT_FALSE(eve.open(*sealed).has_value());
+}
+
+TEST_F(TeeTest, SealedStorageRoundTrip) {
+  enclave_.load(adder_contract());
+  EnclaveClient client(crypto::Group::test_group(), rng_);
+  client.accept(enclave_.open_session(client.public_key(), rng_));
+  enclave_.invoke(
+      client.seal(InvokeRequest{"adder", "add", to_bytes("42")}, rng_));
+
+  const common::Bytes sealed = enclave_.seal_state();
+  // Host persists the blob but sees only ciphertext.
+  EXPECT_FALSE(auditor_.saw("untrusted-host", "tee/sealed-state"));
+
+  // A fresh enclave on the same device restores the state.
+  Enclave restored("untrusted-host", manufacturer_, "dev-1", auditor_, rng_,
+                   0);
+  restored.load(adder_contract());
+  EXPECT_TRUE(restored.unseal_state(sealed));
+  EXPECT_EQ(restored.private_state().get("sum")->value, to_bytes("42"));
+}
+
+TEST_F(TeeTest, SealedStateBoundToDevice) {
+  const common::Bytes sealed = enclave_.seal_state();
+  // A different device has a different sealing key.
+  Enclave other("host2", manufacturer_, "dev-2", auditor_, rng_, 0);
+  EXPECT_FALSE(other.unseal_state(sealed));
+}
+
+TEST_F(TeeTest, UnknownContractInsideEnclaveReportsFailure) {
+  EnclaveClient client(crypto::Group::test_group(), rng_);
+  client.accept(enclave_.open_session(client.public_key(), rng_));
+  const auto sealed = enclave_.invoke(
+      client.seal(InvokeRequest{"ghost", "add", to_bytes("1")}, rng_));
+  ASSERT_TRUE(sealed.has_value());
+  const auto response = client.open(*sealed);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->ok);
+}
+
+}  // namespace
+}  // namespace veil::tee

@@ -1,0 +1,124 @@
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace veil::workload {
+namespace {
+
+TEST(TradeWorkload, DeterministicFromSeed) {
+  TradeWorkload a({"A", "B", "C"}, {}, 42);
+  TradeWorkload b({"A", "B", "C"}, {}, 42);
+  for (int i = 0; i < 50; ++i) {
+    const TradeEvent x = a.next();
+    const TradeEvent y = b.next();
+    EXPECT_EQ(x.buyer, y.buyer);
+    EXPECT_EQ(x.seller, y.seller);
+    EXPECT_EQ(x.amount, y.amount);
+    EXPECT_EQ(x.details, y.details);
+  }
+}
+
+TEST(TradeWorkload, BuyerNeverEqualsSeller) {
+  TradeWorkload w({"A", "B"}, {}, 7);
+  for (const TradeEvent& e : w.take(200)) {
+    EXPECT_NE(e.buyer, e.seller);
+  }
+}
+
+TEST(TradeWorkload, ConfidentialFractionRespected) {
+  TradeConfig config;
+  config.confidential_fraction = 0.5;
+  TradeWorkload w({"A", "B", "C", "D"}, config, 11);
+  int confidential = 0;
+  const auto events = w.take(1000);
+  for (const TradeEvent& e : events) confidential += e.confidential;
+  EXPECT_GT(confidential, 400);
+  EXPECT_LT(confidential, 600);
+
+  TradeConfig all_public;
+  all_public.confidential_fraction = 0.0;
+  TradeWorkload w2({"A", "B"}, all_public, 12);
+  for (const TradeEvent& e : w2.take(100)) EXPECT_FALSE(e.confidential);
+}
+
+TEST(TradeWorkload, AmountsAndDetailsSized) {
+  TradeConfig config;
+  config.max_amount = 100;
+  config.details_bytes = 32;
+  TradeWorkload w({"A", "B"}, config, 13);
+  for (const TradeEvent& e : w.take(200)) {
+    EXPECT_GE(e.amount, 1u);
+    EXPECT_LE(e.amount, 100u);
+    EXPECT_EQ(e.details.size(), 32u);
+  }
+}
+
+TEST(TradeWorkload, HubBiasConcentratesTraffic) {
+  std::vector<std::string> parties;
+  for (int i = 0; i < 10; ++i) parties.push_back("P" + std::to_string(i));
+  TradeConfig biased;
+  biased.hub_bias = 4.0;
+  TradeWorkload hub(parties, biased, 14);
+  TradeWorkload flat(parties, {}, 14);
+  auto count_p0 = [](TradeWorkload& w) {
+    int n = 0;
+    for (const TradeEvent& e : w.take(500)) {
+      if (e.buyer == "P0" || e.seller == "P0") ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count_p0(hub), count_p0(flat));
+}
+
+TEST(TradeWorkload, TooFewPartiesThrows) {
+  EXPECT_THROW(TradeWorkload({"solo"}, {}, 1), common::Error);
+}
+
+TEST(SupplyChain, ItemsProgressThroughHops) {
+  SupplyChainConfig config;
+  config.hops_per_item = 3;
+  SupplyChainWorkload w({"Farm", "Mill", "Dist", "Shop"}, config, 21);
+  const auto events = w.take(6);  // two full item journeys
+  // Item 0: hops 0,1,2; item 1: hops 0,1,2.
+  EXPECT_EQ(events[0].item, "item-0");
+  EXPECT_EQ(events[0].from, "Farm");
+  EXPECT_EQ(events[0].to, "Mill");
+  EXPECT_FALSE(events[0].final_hop);
+  EXPECT_EQ(events[2].to, "Shop");
+  EXPECT_TRUE(events[2].final_hop);
+  EXPECT_EQ(events[3].item, "item-1");
+  EXPECT_EQ(events[3].hop, 0u);
+}
+
+TEST(SupplyChain, HopsClampedToChainLength) {
+  SupplyChainConfig config;
+  config.hops_per_item = 99;
+  SupplyChainWorkload w({"A", "B", "C"}, config, 22);
+  const auto events = w.take(2);
+  EXPECT_EQ(events[1].to, "C");
+  EXPECT_TRUE(events[1].final_hop);
+}
+
+TEST(SupplyChain, DeterministicAndDistinctInspections) {
+  SupplyChainWorkload a({"A", "B", "C"}, {}, 23);
+  SupplyChainWorkload b({"A", "B", "C"}, {}, 23);
+  std::set<std::string> seen;
+  for (int i = 0; i < 10; ++i) {
+    const CustodyEvent x = a.next();
+    const CustodyEvent y = b.next();
+    EXPECT_EQ(x.inspection, y.inspection);
+    seen.insert(common::to_hex(x.inspection));
+  }
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(SupplyChain, TooShortChainThrows) {
+  EXPECT_THROW(SupplyChainWorkload({"only"}, {}, 1), common::Error);
+}
+
+}  // namespace
+}  // namespace veil::workload

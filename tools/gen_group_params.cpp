@@ -1,0 +1,35 @@
+// One-off generator for the pinned Schnorr-group parameters in
+// src/crypto/group_params.hpp. Run manually; output is committed.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "crypto/group.hpp"
+
+int main() {
+  using veil::common::Rng;
+  using veil::crypto::Group;
+
+  Rng rng(0x7e11a9c0ffee5eedULL);
+
+  const Group def = Group::generate(rng, 1024, 256);
+  const Group test = Group::generate(rng, 512, 160);
+
+  std::printf("inline constexpr const char* kDefaultP = \"%s\";\n",
+              def.p().to_hex().c_str());
+  std::printf("inline constexpr const char* kDefaultQ = \"%s\";\n",
+              def.q().to_hex().c_str());
+  std::printf("inline constexpr const char* kDefaultG = \"%s\";\n",
+              def.g().to_hex().c_str());
+  std::printf("inline constexpr const char* kDefaultH = \"%s\";\n\n",
+              def.h().to_hex().c_str());
+
+  std::printf("inline constexpr const char* kTestP = \"%s\";\n",
+              test.p().to_hex().c_str());
+  std::printf("inline constexpr const char* kTestQ = \"%s\";\n",
+              test.q().to_hex().c_str());
+  std::printf("inline constexpr const char* kTestG = \"%s\";\n",
+              test.g().to_hex().c_str());
+  std::printf("inline constexpr const char* kTestH = \"%s\";\n",
+              test.h().to_hex().c_str());
+  return 0;
+}
