@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_letter_of_credit.dir/bench_letter_of_credit.cpp.o"
+  "CMakeFiles/bench_letter_of_credit.dir/bench_letter_of_credit.cpp.o.d"
+  "bench_letter_of_credit"
+  "bench_letter_of_credit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_letter_of_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

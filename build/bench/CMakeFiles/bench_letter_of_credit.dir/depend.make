@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_letter_of_credit.
+# This may be replaced when dependencies are built.

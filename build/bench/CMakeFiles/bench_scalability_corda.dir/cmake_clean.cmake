@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_corda.dir/bench_scalability_corda.cpp.o"
+  "CMakeFiles/bench_scalability_corda.dir/bench_scalability_corda.cpp.o.d"
+  "bench_scalability_corda"
+  "bench_scalability_corda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_corda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_fabric.dir/bench_scalability_fabric.cpp.o"
+  "CMakeFiles/bench_scalability_fabric.dir/bench_scalability_fabric.cpp.o.d"
+  "bench_scalability_fabric"
+  "bench_scalability_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

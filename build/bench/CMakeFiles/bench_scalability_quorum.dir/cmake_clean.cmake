@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_quorum.dir/bench_scalability_quorum.cpp.o"
+  "CMakeFiles/bench_scalability_quorum.dir/bench_scalability_quorum.cpp.o.d"
+  "bench_scalability_quorum"
+  "bench_scalability_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

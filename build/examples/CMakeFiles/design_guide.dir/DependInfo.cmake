@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/design_guide.cpp" "examples/CMakeFiles/design_guide.dir/design_guide.cpp.o" "gcc" "examples/CMakeFiles/design_guide.dir/design_guide.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/veil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/veil_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/offchain/CMakeFiles/veil_offchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/fabric/CMakeFiles/veil_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/contracts/CMakeFiles/veil_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/corda/CMakeFiles/veil_corda.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/quorum/CMakeFiles/veil_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/veil_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/veil_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/veil_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/veil_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/veil_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/veil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_guide.dir/design_guide.cpp.o"
+  "CMakeFiles/design_guide.dir/design_guide.cpp.o.d"
+  "design_guide"
+  "design_guide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_guide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/letter_of_credit.dir/letter_of_credit.cpp.o"
+  "CMakeFiles/letter_of_credit.dir/letter_of_credit.cpp.o.d"
+  "letter_of_credit"
+  "letter_of_credit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/letter_of_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

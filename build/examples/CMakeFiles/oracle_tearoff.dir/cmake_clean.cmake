@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_tearoff.dir/oracle_tearoff.cpp.o"
+  "CMakeFiles/oracle_tearoff.dir/oracle_tearoff.cpp.o.d"
+  "oracle_tearoff"
+  "oracle_tearoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_tearoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

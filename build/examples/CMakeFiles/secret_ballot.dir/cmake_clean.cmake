@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secret_ballot.dir/secret_ballot.cpp.o"
+  "CMakeFiles/secret_ballot.dir/secret_ballot.cpp.o.d"
+  "secret_ballot"
+  "secret_ballot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secret_ballot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

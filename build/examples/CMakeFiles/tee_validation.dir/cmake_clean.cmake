@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tee_validation.dir/tee_validation.cpp.o"
+  "CMakeFiles/tee_validation.dir/tee_validation.cpp.o.d"
+  "tee_validation"
+  "tee_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tee_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

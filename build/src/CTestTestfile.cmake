@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("pki")
+subdirs("net")
+subdirs("ledger")
+subdirs("contracts")
+subdirs("offchain")
+subdirs("tee")
+subdirs("mpc")
+subdirs("platforms/fabric")
+subdirs("platforms/corda")
+subdirs("platforms/quorum")
+subdirs("core")
+subdirs("workload")

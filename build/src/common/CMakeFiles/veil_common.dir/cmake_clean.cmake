@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_common.dir/bytes.cpp.o"
+  "CMakeFiles/veil_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/veil_common.dir/log.cpp.o"
+  "CMakeFiles/veil_common.dir/log.cpp.o.d"
+  "CMakeFiles/veil_common.dir/rng.cpp.o"
+  "CMakeFiles/veil_common.dir/rng.cpp.o.d"
+  "CMakeFiles/veil_common.dir/serialize.cpp.o"
+  "CMakeFiles/veil_common.dir/serialize.cpp.o.d"
+  "libveil_common.a"
+  "libveil_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contracts/contract.cpp" "src/contracts/CMakeFiles/veil_contracts.dir/contract.cpp.o" "gcc" "src/contracts/CMakeFiles/veil_contracts.dir/contract.cpp.o.d"
+  "/root/repo/src/contracts/endorsement.cpp" "src/contracts/CMakeFiles/veil_contracts.dir/endorsement.cpp.o" "gcc" "src/contracts/CMakeFiles/veil_contracts.dir/endorsement.cpp.o.d"
+  "/root/repo/src/contracts/engine.cpp" "src/contracts/CMakeFiles/veil_contracts.dir/engine.cpp.o" "gcc" "src/contracts/CMakeFiles/veil_contracts.dir/engine.cpp.o.d"
+  "/root/repo/src/contracts/offchain_engine.cpp" "src/contracts/CMakeFiles/veil_contracts.dir/offchain_engine.cpp.o" "gcc" "src/contracts/CMakeFiles/veil_contracts.dir/offchain_engine.cpp.o.d"
+  "/root/repo/src/contracts/registry.cpp" "src/contracts/CMakeFiles/veil_contracts.dir/registry.cpp.o" "gcc" "src/contracts/CMakeFiles/veil_contracts.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ledger/CMakeFiles/veil_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/veil_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/veil_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/veil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

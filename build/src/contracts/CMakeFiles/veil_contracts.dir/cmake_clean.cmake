@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_contracts.dir/contract.cpp.o"
+  "CMakeFiles/veil_contracts.dir/contract.cpp.o.d"
+  "CMakeFiles/veil_contracts.dir/endorsement.cpp.o"
+  "CMakeFiles/veil_contracts.dir/endorsement.cpp.o.d"
+  "CMakeFiles/veil_contracts.dir/engine.cpp.o"
+  "CMakeFiles/veil_contracts.dir/engine.cpp.o.d"
+  "CMakeFiles/veil_contracts.dir/offchain_engine.cpp.o"
+  "CMakeFiles/veil_contracts.dir/offchain_engine.cpp.o.d"
+  "CMakeFiles/veil_contracts.dir/registry.cpp.o"
+  "CMakeFiles/veil_contracts.dir/registry.cpp.o.d"
+  "libveil_contracts.a"
+  "libveil_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

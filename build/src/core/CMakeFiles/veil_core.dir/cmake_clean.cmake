@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_core.dir/assessment.cpp.o"
+  "CMakeFiles/veil_core.dir/assessment.cpp.o.d"
+  "CMakeFiles/veil_core.dir/capability.cpp.o"
+  "CMakeFiles/veil_core.dir/capability.cpp.o.d"
+  "CMakeFiles/veil_core.dir/decision.cpp.o"
+  "CMakeFiles/veil_core.dir/decision.cpp.o.d"
+  "CMakeFiles/veil_core.dir/demonstration.cpp.o"
+  "CMakeFiles/veil_core.dir/demonstration.cpp.o.d"
+  "CMakeFiles/veil_core.dir/mechanisms.cpp.o"
+  "CMakeFiles/veil_core.dir/mechanisms.cpp.o.d"
+  "CMakeFiles/veil_core.dir/requirements.cpp.o"
+  "CMakeFiles/veil_core.dir/requirements.cpp.o.d"
+  "libveil_core.a"
+  "libveil_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

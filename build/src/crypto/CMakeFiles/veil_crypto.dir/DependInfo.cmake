@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/veil_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/bigint.cpp" "src/crypto/CMakeFiles/veil_crypto.dir/bigint.cpp.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/bigint.cpp.o.d"
+  "/root/repo/src/crypto/commitment.cpp" "src/crypto/CMakeFiles/veil_crypto.dir/commitment.cpp.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/commitment.cpp.o.d"
+  "/root/repo/src/crypto/elgamal.cpp" "src/crypto/CMakeFiles/veil_crypto.dir/elgamal.cpp.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/elgamal.cpp.o.d"
+  "/root/repo/src/crypto/group.cpp" "src/crypto/CMakeFiles/veil_crypto.dir/group.cpp.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/group.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/veil_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/veil_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/paillier.cpp" "src/crypto/CMakeFiles/veil_crypto.dir/paillier.cpp.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/paillier.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/veil_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/shamir.cpp" "src/crypto/CMakeFiles/veil_crypto.dir/shamir.cpp.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/shamir.cpp.o.d"
+  "/root/repo/src/crypto/signature.cpp" "src/crypto/CMakeFiles/veil_crypto.dir/signature.cpp.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/signature.cpp.o.d"
+  "/root/repo/src/crypto/threshold.cpp" "src/crypto/CMakeFiles/veil_crypto.dir/threshold.cpp.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/threshold.cpp.o.d"
+  "/root/repo/src/crypto/zkp.cpp" "src/crypto/CMakeFiles/veil_crypto.dir/zkp.cpp.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/zkp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/veil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

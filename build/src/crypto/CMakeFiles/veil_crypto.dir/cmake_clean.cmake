@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_crypto.dir/aes.cpp.o"
+  "CMakeFiles/veil_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/veil_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/veil_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/veil_crypto.dir/commitment.cpp.o"
+  "CMakeFiles/veil_crypto.dir/commitment.cpp.o.d"
+  "CMakeFiles/veil_crypto.dir/elgamal.cpp.o"
+  "CMakeFiles/veil_crypto.dir/elgamal.cpp.o.d"
+  "CMakeFiles/veil_crypto.dir/group.cpp.o"
+  "CMakeFiles/veil_crypto.dir/group.cpp.o.d"
+  "CMakeFiles/veil_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/veil_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/veil_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/veil_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/veil_crypto.dir/paillier.cpp.o"
+  "CMakeFiles/veil_crypto.dir/paillier.cpp.o.d"
+  "CMakeFiles/veil_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/veil_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/veil_crypto.dir/shamir.cpp.o"
+  "CMakeFiles/veil_crypto.dir/shamir.cpp.o.d"
+  "CMakeFiles/veil_crypto.dir/signature.cpp.o"
+  "CMakeFiles/veil_crypto.dir/signature.cpp.o.d"
+  "CMakeFiles/veil_crypto.dir/threshold.cpp.o"
+  "CMakeFiles/veil_crypto.dir/threshold.cpp.o.d"
+  "CMakeFiles/veil_crypto.dir/zkp.cpp.o"
+  "CMakeFiles/veil_crypto.dir/zkp.cpp.o.d"
+  "libveil_crypto.a"
+  "libveil_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_ledger.dir/block.cpp.o"
+  "CMakeFiles/veil_ledger.dir/block.cpp.o.d"
+  "CMakeFiles/veil_ledger.dir/chain.cpp.o"
+  "CMakeFiles/veil_ledger.dir/chain.cpp.o.d"
+  "CMakeFiles/veil_ledger.dir/ordering.cpp.o"
+  "CMakeFiles/veil_ledger.dir/ordering.cpp.o.d"
+  "CMakeFiles/veil_ledger.dir/state.cpp.o"
+  "CMakeFiles/veil_ledger.dir/state.cpp.o.d"
+  "CMakeFiles/veil_ledger.dir/transaction.cpp.o"
+  "CMakeFiles/veil_ledger.dir/transaction.cpp.o.d"
+  "libveil_ledger.a"
+  "libveil_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_mpc.dir/protocol.cpp.o"
+  "CMakeFiles/veil_mpc.dir/protocol.cpp.o.d"
+  "libveil_mpc.a"
+  "libveil_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_net.dir/leakage.cpp.o"
+  "CMakeFiles/veil_net.dir/leakage.cpp.o.d"
+  "CMakeFiles/veil_net.dir/network.cpp.o"
+  "CMakeFiles/veil_net.dir/network.cpp.o.d"
+  "CMakeFiles/veil_net.dir/report.cpp.o"
+  "CMakeFiles/veil_net.dir/report.cpp.o.d"
+  "libveil_net.a"
+  "libveil_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

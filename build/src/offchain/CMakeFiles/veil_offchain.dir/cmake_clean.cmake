@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_offchain.dir/pdc.cpp.o"
+  "CMakeFiles/veil_offchain.dir/pdc.cpp.o.d"
+  "CMakeFiles/veil_offchain.dir/store.cpp.o"
+  "CMakeFiles/veil_offchain.dir/store.cpp.o.d"
+  "libveil_offchain.a"
+  "libveil_offchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_offchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pki/ca.cpp" "src/pki/CMakeFiles/veil_pki.dir/ca.cpp.o" "gcc" "src/pki/CMakeFiles/veil_pki.dir/ca.cpp.o.d"
+  "/root/repo/src/pki/certificate.cpp" "src/pki/CMakeFiles/veil_pki.dir/certificate.cpp.o" "gcc" "src/pki/CMakeFiles/veil_pki.dir/certificate.cpp.o.d"
+  "/root/repo/src/pki/idemix.cpp" "src/pki/CMakeFiles/veil_pki.dir/idemix.cpp.o" "gcc" "src/pki/CMakeFiles/veil_pki.dir/idemix.cpp.o.d"
+  "/root/repo/src/pki/membership.cpp" "src/pki/CMakeFiles/veil_pki.dir/membership.cpp.o" "gcc" "src/pki/CMakeFiles/veil_pki.dir/membership.cpp.o.d"
+  "/root/repo/src/pki/onetime.cpp" "src/pki/CMakeFiles/veil_pki.dir/onetime.cpp.o" "gcc" "src/pki/CMakeFiles/veil_pki.dir/onetime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/veil_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/veil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

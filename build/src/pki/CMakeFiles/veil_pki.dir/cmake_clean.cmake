@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_pki.dir/ca.cpp.o"
+  "CMakeFiles/veil_pki.dir/ca.cpp.o.d"
+  "CMakeFiles/veil_pki.dir/certificate.cpp.o"
+  "CMakeFiles/veil_pki.dir/certificate.cpp.o.d"
+  "CMakeFiles/veil_pki.dir/idemix.cpp.o"
+  "CMakeFiles/veil_pki.dir/idemix.cpp.o.d"
+  "CMakeFiles/veil_pki.dir/membership.cpp.o"
+  "CMakeFiles/veil_pki.dir/membership.cpp.o.d"
+  "CMakeFiles/veil_pki.dir/onetime.cpp.o"
+  "CMakeFiles/veil_pki.dir/onetime.cpp.o.d"
+  "libveil_pki.a"
+  "libveil_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

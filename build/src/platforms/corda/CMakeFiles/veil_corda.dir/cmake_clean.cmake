@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_corda.dir/corda.cpp.o"
+  "CMakeFiles/veil_corda.dir/corda.cpp.o.d"
+  "libveil_corda.a"
+  "libveil_corda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_corda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

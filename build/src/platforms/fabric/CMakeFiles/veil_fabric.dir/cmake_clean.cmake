@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/veil_fabric.dir/fabric.cpp.o.d"
+  "libveil_fabric.a"
+  "libveil_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

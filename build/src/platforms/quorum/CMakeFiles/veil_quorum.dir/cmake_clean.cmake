@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_quorum.dir/quorum.cpp.o"
+  "CMakeFiles/veil_quorum.dir/quorum.cpp.o.d"
+  "libveil_quorum.a"
+  "libveil_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

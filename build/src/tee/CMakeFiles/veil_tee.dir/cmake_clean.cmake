@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_tee.dir/attestation.cpp.o"
+  "CMakeFiles/veil_tee.dir/attestation.cpp.o.d"
+  "CMakeFiles/veil_tee.dir/enclave.cpp.o"
+  "CMakeFiles/veil_tee.dir/enclave.cpp.o.d"
+  "libveil_tee.a"
+  "libveil_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

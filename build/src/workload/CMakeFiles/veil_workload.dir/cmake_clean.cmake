@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_workload.dir/workload.cpp.o"
+  "CMakeFiles/veil_workload.dir/workload.cpp.o.d"
+  "libveil_workload.a"
+  "libveil_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_bytes.cpp" "tests/CMakeFiles/veil_tests.dir/common/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/common/test_bytes.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/veil_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_serialize.cpp" "tests/CMakeFiles/veil_tests.dir/common/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/common/test_serialize.cpp.o.d"
+  "/root/repo/tests/contracts/test_contract.cpp" "tests/CMakeFiles/veil_tests.dir/contracts/test_contract.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/contracts/test_contract.cpp.o.d"
+  "/root/repo/tests/contracts/test_endorsement.cpp" "tests/CMakeFiles/veil_tests.dir/contracts/test_endorsement.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/contracts/test_endorsement.cpp.o.d"
+  "/root/repo/tests/contracts/test_engines.cpp" "tests/CMakeFiles/veil_tests.dir/contracts/test_engines.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/contracts/test_engines.cpp.o.d"
+  "/root/repo/tests/core/test_assessment.cpp" "tests/CMakeFiles/veil_tests.dir/core/test_assessment.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/core/test_assessment.cpp.o.d"
+  "/root/repo/tests/core/test_capability.cpp" "tests/CMakeFiles/veil_tests.dir/core/test_capability.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/core/test_capability.cpp.o.d"
+  "/root/repo/tests/core/test_decision.cpp" "tests/CMakeFiles/veil_tests.dir/core/test_decision.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/core/test_decision.cpp.o.d"
+  "/root/repo/tests/core/test_demonstration.cpp" "tests/CMakeFiles/veil_tests.dir/core/test_demonstration.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/core/test_demonstration.cpp.o.d"
+  "/root/repo/tests/crypto/test_aes.cpp" "tests/CMakeFiles/veil_tests.dir/crypto/test_aes.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/crypto/test_aes.cpp.o.d"
+  "/root/repo/tests/crypto/test_bigint.cpp" "tests/CMakeFiles/veil_tests.dir/crypto/test_bigint.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/crypto/test_bigint.cpp.o.d"
+  "/root/repo/tests/crypto/test_commitment.cpp" "tests/CMakeFiles/veil_tests.dir/crypto/test_commitment.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/crypto/test_commitment.cpp.o.d"
+  "/root/repo/tests/crypto/test_elgamal.cpp" "tests/CMakeFiles/veil_tests.dir/crypto/test_elgamal.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/crypto/test_elgamal.cpp.o.d"
+  "/root/repo/tests/crypto/test_group.cpp" "tests/CMakeFiles/veil_tests.dir/crypto/test_group.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/crypto/test_group.cpp.o.d"
+  "/root/repo/tests/crypto/test_hmac.cpp" "tests/CMakeFiles/veil_tests.dir/crypto/test_hmac.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/crypto/test_hmac.cpp.o.d"
+  "/root/repo/tests/crypto/test_merkle.cpp" "tests/CMakeFiles/veil_tests.dir/crypto/test_merkle.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/crypto/test_merkle.cpp.o.d"
+  "/root/repo/tests/crypto/test_paillier.cpp" "tests/CMakeFiles/veil_tests.dir/crypto/test_paillier.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/crypto/test_paillier.cpp.o.d"
+  "/root/repo/tests/crypto/test_sha256.cpp" "tests/CMakeFiles/veil_tests.dir/crypto/test_sha256.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/crypto/test_sha256.cpp.o.d"
+  "/root/repo/tests/crypto/test_shamir.cpp" "tests/CMakeFiles/veil_tests.dir/crypto/test_shamir.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/crypto/test_shamir.cpp.o.d"
+  "/root/repo/tests/crypto/test_signature.cpp" "tests/CMakeFiles/veil_tests.dir/crypto/test_signature.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/crypto/test_signature.cpp.o.d"
+  "/root/repo/tests/crypto/test_threshold.cpp" "tests/CMakeFiles/veil_tests.dir/crypto/test_threshold.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/crypto/test_threshold.cpp.o.d"
+  "/root/repo/tests/crypto/test_zkp.cpp" "tests/CMakeFiles/veil_tests.dir/crypto/test_zkp.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/crypto/test_zkp.cpp.o.d"
+  "/root/repo/tests/integration/test_cross_platform.cpp" "tests/CMakeFiles/veil_tests.dir/integration/test_cross_platform.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/integration/test_cross_platform.cpp.o.d"
+  "/root/repo/tests/integration/test_failure_injection.cpp" "tests/CMakeFiles/veil_tests.dir/integration/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/integration/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/integration/test_letter_of_credit.cpp" "tests/CMakeFiles/veil_tests.dir/integration/test_letter_of_credit.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/integration/test_letter_of_credit.cpp.o.d"
+  "/root/repo/tests/integration/test_quorum_mitigation.cpp" "tests/CMakeFiles/veil_tests.dir/integration/test_quorum_mitigation.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/integration/test_quorum_mitigation.cpp.o.d"
+  "/root/repo/tests/integration/test_robustness.cpp" "tests/CMakeFiles/veil_tests.dir/integration/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/integration/test_robustness.cpp.o.d"
+  "/root/repo/tests/integration/test_workload_replay.cpp" "tests/CMakeFiles/veil_tests.dir/integration/test_workload_replay.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/integration/test_workload_replay.cpp.o.d"
+  "/root/repo/tests/ledger/test_block.cpp" "tests/CMakeFiles/veil_tests.dir/ledger/test_block.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/ledger/test_block.cpp.o.d"
+  "/root/repo/tests/ledger/test_chain.cpp" "tests/CMakeFiles/veil_tests.dir/ledger/test_chain.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/ledger/test_chain.cpp.o.d"
+  "/root/repo/tests/ledger/test_ordering.cpp" "tests/CMakeFiles/veil_tests.dir/ledger/test_ordering.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/ledger/test_ordering.cpp.o.d"
+  "/root/repo/tests/ledger/test_state.cpp" "tests/CMakeFiles/veil_tests.dir/ledger/test_state.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/ledger/test_state.cpp.o.d"
+  "/root/repo/tests/ledger/test_transaction.cpp" "tests/CMakeFiles/veil_tests.dir/ledger/test_transaction.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/ledger/test_transaction.cpp.o.d"
+  "/root/repo/tests/mpc/test_mpc.cpp" "tests/CMakeFiles/veil_tests.dir/mpc/test_mpc.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/mpc/test_mpc.cpp.o.d"
+  "/root/repo/tests/net/test_leakage.cpp" "tests/CMakeFiles/veil_tests.dir/net/test_leakage.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/net/test_leakage.cpp.o.d"
+  "/root/repo/tests/net/test_network.cpp" "tests/CMakeFiles/veil_tests.dir/net/test_network.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/net/test_network.cpp.o.d"
+  "/root/repo/tests/net/test_report.cpp" "tests/CMakeFiles/veil_tests.dir/net/test_report.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/net/test_report.cpp.o.d"
+  "/root/repo/tests/offchain/test_pdc.cpp" "tests/CMakeFiles/veil_tests.dir/offchain/test_pdc.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/offchain/test_pdc.cpp.o.d"
+  "/root/repo/tests/offchain/test_store.cpp" "tests/CMakeFiles/veil_tests.dir/offchain/test_store.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/offchain/test_store.cpp.o.d"
+  "/root/repo/tests/pki/test_certificate.cpp" "tests/CMakeFiles/veil_tests.dir/pki/test_certificate.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/pki/test_certificate.cpp.o.d"
+  "/root/repo/tests/pki/test_idemix.cpp" "tests/CMakeFiles/veil_tests.dir/pki/test_idemix.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/pki/test_idemix.cpp.o.d"
+  "/root/repo/tests/pki/test_membership.cpp" "tests/CMakeFiles/veil_tests.dir/pki/test_membership.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/pki/test_membership.cpp.o.d"
+  "/root/repo/tests/pki/test_onetime.cpp" "tests/CMakeFiles/veil_tests.dir/pki/test_onetime.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/pki/test_onetime.cpp.o.d"
+  "/root/repo/tests/platforms/test_corda.cpp" "tests/CMakeFiles/veil_tests.dir/platforms/test_corda.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/platforms/test_corda.cpp.o.d"
+  "/root/repo/tests/platforms/test_fabric.cpp" "tests/CMakeFiles/veil_tests.dir/platforms/test_fabric.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/platforms/test_fabric.cpp.o.d"
+  "/root/repo/tests/platforms/test_quorum.cpp" "tests/CMakeFiles/veil_tests.dir/platforms/test_quorum.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/platforms/test_quorum.cpp.o.d"
+  "/root/repo/tests/tee/test_tee.cpp" "tests/CMakeFiles/veil_tests.dir/tee/test_tee.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/tee/test_tee.cpp.o.d"
+  "/root/repo/tests/workload/test_workload.cpp" "tests/CMakeFiles/veil_tests.dir/workload/test_workload.cpp.o" "gcc" "tests/CMakeFiles/veil_tests.dir/workload/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/veil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/veil_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/offchain/CMakeFiles/veil_offchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/veil_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/fabric/CMakeFiles/veil_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/contracts/CMakeFiles/veil_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/corda/CMakeFiles/veil_corda.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/quorum/CMakeFiles/veil_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/veil_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/veil_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/veil_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/veil_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/veil_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/veil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
