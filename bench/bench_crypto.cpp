@@ -9,6 +9,7 @@
 
 #include "crypto/aes.hpp"
 #include "crypto/merkle.hpp"
+#include "crypto/montgomery.hpp"
 #include "crypto/paillier.hpp"
 #include "crypto/shamir.hpp"
 #include "crypto/zkp.hpp"
@@ -20,6 +21,70 @@ namespace {
 using namespace veil;
 using common::Bytes;
 using common::Rng;
+
+// RFC 3526 group 14 (2048-bit MODP) prime — the reference hard modulus
+// for the bignum hot-path benchmarks below.
+const char* const kRfc3526Group14P =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+// Full-width modular exponentiation mod the RFC 3526 2048-bit prime: the
+// dominant cost inside Paillier, ElGamal, ZKPs and credential issuance.
+// Seed square-and-multiply measured ~103 ms/op on the reference machine;
+// the Montgomery windowed path must stay >= 5x below that.
+void BM_ModPow_2048(benchmark::State& state) {
+  Rng rng(42);
+  const crypto::BigInt p = crypto::BigInt::from_hex(kRfc3526Group14P);
+  const crypto::BigInt base = crypto::BigInt::random_below(rng, p);
+  const crypto::BigInt exp = crypto::BigInt::random_bits(rng, 2048);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.mod_pow(exp, p));
+  }
+}
+BENCHMARK(BM_ModPow_2048)->Unit(benchmark::kMillisecond);
+
+// One 2048-bit Montgomery product (REDC), the inner-loop unit of every
+// exponentiation above.
+void BM_MontgomeryMul(benchmark::State& state) {
+  Rng rng(43);
+  const crypto::BigInt p = crypto::BigInt::from_hex(kRfc3526Group14P);
+  const auto ctx = crypto::MontgomeryCtx::create(p);
+  const crypto::BigInt a = ctx->to_mont(crypto::BigInt::random_below(rng, p));
+  const crypto::BigInt b = ctx->to_mont(crypto::BigInt::random_below(rng, p));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx->mul(a, b));
+  }
+}
+BENCHMARK(BM_MontgomeryMul);
+
+// Plain 2048x2048-bit multiply (Karatsuba above the limb threshold).
+void BM_BigIntMul_2048(benchmark::State& state) {
+  Rng rng(44);
+  const crypto::BigInt a = crypto::BigInt::random_bits(rng, 2048);
+  const crypto::BigInt b = crypto::BigInt::random_bits(rng, 2048);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul_2048);
+
+// Fixed-base generator exponentiation through the precomputed table, as
+// used by Pedersen commitments, Schnorr signing and ElGamal keygen.
+void BM_FixedBasePowG(benchmark::State& state) {
+  Rng rng(45);
+  const crypto::Group& group = crypto::Group::default_group();
+  const crypto::BigInt e = group.random_scalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.pow_g(e));
+  }
+}
+BENCHMARK(BM_FixedBasePowG);
 
 void BM_Sha256_1KiB(benchmark::State& state) {
   Rng rng(1);

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs the crypto microbenchmarks and records machine-readable results at
+# the repo root (BENCH_crypto.json) so the perf trajectory is tracked
+# across PRs.
+#
+# Usage:
+#   bench/run_benches.sh                  # all of bench_crypto
+#   BENCH_FILTER='BM_ModPow.*' bench/run_benches.sh
+#   BUILD_DIR=out bench/run_benches.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+FILTER="${BENCH_FILTER:-.*}"
+OUT="${BENCH_OUT:-$ROOT/BENCH_crypto.json}"
+
+if [[ ! -x "$BUILD/bench/bench_crypto" ]]; then
+  echo "bench_crypto not built; run: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+# Write to a temp file first: a filter matching nothing makes the bench
+# binary emit an empty file with exit 0, which must not clobber $OUT.
+TMP="$(mktemp "${OUT}.XXXXXX")"
+trap 'rm -f "$TMP"' EXIT
+
+"$BUILD/bench/bench_crypto" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out="$TMP" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPS:-1}"
+
+if [[ ! -s "$TMP" ]]; then
+  echo "no benchmarks matched filter '$FILTER'; $OUT left untouched" >&2
+  exit 1
+fi
+mv "$TMP" "$OUT"
+trap - EXIT
+
+# Stamp the pre-optimization baselines into the context block so each
+# snapshot carries its own before/after comparison (PR 1 measured the
+# seed square-and-multiply at 102.8 ms for BM_ModPow_2048).
+python3 - "$OUT" <<'PY'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+data["context"]["seed_baseline_ms"] = {"BM_ModPow_2048": 102.8}
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+PY
+
+echo "wrote $OUT"

@@ -4,11 +4,16 @@
 #include <array>
 
 #include "common/error.hpp"
+#include "crypto/montgomery.hpp"
 
 namespace veil::crypto {
 
 namespace {
 constexpr std::uint64_t kBase = 1ULL << 32;
+
+// Below this operand size the O(n^2) schoolbook kernel wins on constant
+// factors; above it one Karatsuba split (recursively) is faster.
+constexpr std::size_t kKaratsubaLimbs = 24;
 
 // Small primes for sieving before Miller-Rabin.
 constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
@@ -28,7 +33,11 @@ void BigInt::trim() {
 }
 
 BigInt BigInt::from_hex(std::string_view hex) {
-  BigInt out;
+  // Collect nibble values first (validating), then pack limbs directly
+  // from the least-significant end — linear instead of the quadratic
+  // shift-and-add accumulation.
+  std::vector<std::uint8_t> nibbles;
+  nibbles.reserve(hex.size());
   for (char c : hex) {
     int v;
     if (c >= '0' && c <= '9') v = c - '0';
@@ -36,16 +45,35 @@ BigInt BigInt::from_hex(std::string_view hex) {
     else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
     else if (c == ' ' || c == '\n' || c == '\t') continue;
     else throw common::CryptoError("BigInt::from_hex: invalid character");
-    out = (out << 4) + BigInt(static_cast<std::uint64_t>(v));
+    nibbles.push_back(static_cast<std::uint8_t>(v));
   }
+  BigInt out;
+  const std::size_t n = nibbles.size();
+  out.limbs_.assign((n + 7) / 8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t v = nibbles[n - 1 - i];
+    out.limbs_[i / 8] |= v << (4 * (i % 8));
+  }
+  out.trim();
   return out;
 }
 
 BigInt BigInt::from_bytes_be(common::BytesView bytes) {
   BigInt out;
-  for (std::uint8_t b : bytes) {
-    out = (out << 8) + BigInt(b);
+  const std::size_t n = bytes.size();
+  out.limbs_.assign((n + 3) / 4, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t b = bytes[n - 1 - i];
+    out.limbs_[i / 4] |= b << (8 * (i % 4));
   }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::from_limbs(std::vector<std::uint32_t> limbs) {
+  BigInt out;
+  out.limbs_ = std::move(limbs);
+  out.trim();
   return out;
 }
 
@@ -179,8 +207,34 @@ BigInt BigInt::operator-(const BigInt& rhs) const {
   return sub_magnitudes(*this, rhs);
 }
 
+BigInt BigInt::karatsuba_mul(const BigInt& a, const BigInt& b) {
+  // Split both operands at m limbs: a = a1*B^m + a0, b = b1*B^m + b0, so
+  // a*b = z2*B^2m + z1*B^m + z0 with z1 = (a0+a1)(b0+b1) - z0 - z2 —
+  // three half-size products instead of four.
+  const std::size_t m = std::max(a.limbs_.size(), b.limbs_.size()) / 2;
+  const auto split = [m](const BigInt& v, BigInt& lo, BigInt& hi) {
+    const std::size_t cut = std::min(m, v.limbs_.size());
+    lo.limbs_.assign(v.limbs_.begin(),
+                     v.limbs_.begin() + static_cast<std::ptrdiff_t>(cut));
+    lo.trim();
+    hi.limbs_.assign(v.limbs_.begin() + static_cast<std::ptrdiff_t>(cut),
+                     v.limbs_.end());
+    hi.trim();
+  };
+  BigInt a0, a1, b0, b1;
+  split(a, a0, a1);
+  split(b, b0, b1);
+  const BigInt z0 = a0 * b0;
+  const BigInt z2 = a1 * b1;
+  const BigInt z1 = (a0 + a1) * (b0 + b1) - z0 - z2;
+  return z0 + (z1 << (32 * m)) + (z2 << (64 * m));
+}
+
 BigInt BigInt::operator*(const BigInt& rhs) const {
   if (is_zero() || rhs.is_zero()) return BigInt();
+  if (limbs_.size() >= kKaratsubaLimbs && rhs.limbs_.size() >= kKaratsubaLimbs) {
+    return karatsuba_mul(*this, rhs);
+  }
   BigInt out;
   out.limbs_.assign(limbs_.size() + rhs.limbs_.size(), 0);
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
@@ -339,6 +393,14 @@ BigInt BigInt::operator%(const BigInt& rhs) const { return divmod(rhs).remainder
 BigInt BigInt::mod_pow(const BigInt& exponent, const BigInt& modulus) const {
   if (modulus.is_zero()) throw common::CryptoError("mod_pow: zero modulus");
   if (modulus == BigInt(1)) return BigInt();
+  // Odd moduli with non-trivial exponents go through the Montgomery
+  // context (cached per modulus); very short exponents and even moduli
+  // stay on the classic path, where the window setup would not pay off.
+  if (modulus.is_odd() && exponent.bit_length() > 16) {
+    if (const auto ctx = MontgomeryCtx::shared(modulus)) {
+      return ctx->pow(*this, exponent);
+    }
+  }
   BigInt result(1);
   BigInt base = *this % modulus;
   const std::size_t bits = exponent.bit_length();
@@ -444,15 +506,24 @@ bool BigInt::is_probable_prime(common::Rng& rng, int rounds) const {
     d = d >> 1;
     ++r;
   }
+  // The sieve already rejected even candidates, so a Montgomery context
+  // always exists here; build it once (not via the shared cache — each
+  // candidate is a fresh modulus and would only churn it) and reuse it
+  // across all rounds. The squaring chain stays in the Montgomery domain:
+  // the representation is a bijection on [0, n), so comparing against the
+  // Montgomery form of n-1 is exact.
+  const auto ctx = MontgomeryCtx::create(*this);
+  const BigInt minus_one_mont = ctx->to_mont(n_minus_1);
   for (int round = 0; round < rounds; ++round) {
     const BigInt a =
         BigInt(2) + random_below(rng, *this - BigInt(4));
-    BigInt x = a.mod_pow(d, *this);
+    const BigInt x = ctx->pow(a, d);
     if (x == BigInt(1) || x == n_minus_1) continue;
     bool witness = true;
+    BigInt xm = ctx->to_mont(x);
     for (std::size_t i = 0; i + 1 < r; ++i) {
-      x = (x * x) % *this;
-      if (x == n_minus_1) {
+      xm = ctx->sqr(xm);
+      if (xm == minus_one_mont) {
         witness = false;
         break;
       }

@@ -3,8 +3,10 @@
 // This is the number-theoretic substrate for every public-key primitive in
 // the framework: Schnorr signatures and ZK proofs, Pedersen commitments,
 // Paillier homomorphic encryption and Shamir secret sharing. Limbs are
-// 32-bit with 64-bit intermediates; division is Knuth algorithm D, so
-// modular exponentiation on 1024-2048 bit operands is fast enough to
+// 32-bit with 64-bit intermediates; division is Knuth algorithm D;
+// multiplication switches to Karatsuba above a limb threshold; and
+// mod_pow routes odd moduli through the Montgomery/REDC fast path in
+// montgomery.hpp, so 1024-2048 bit exponentiation is fast enough to
 // generate primes at runtime.
 //
 // BigInt is non-negative. Subtraction below zero throws; signed
@@ -92,10 +94,18 @@ class BigInt {
   /// groups in group.hpp.
   static BigInt generate_safe_prime(common::Rng& rng, std::size_t bits);
 
+  /// Low-level limb access for the Montgomery/REDC kernels
+  /// (montgomery.cpp), which work on raw limbs to avoid per-step
+  /// allocation. Least-significant limb first, no trailing zeros.
+  const std::vector<std::uint32_t>& limbs() const { return limbs_; }
+  /// Adopt a least-significant-first limb vector (trailing zeros allowed).
+  static BigInt from_limbs(std::vector<std::uint32_t> limbs);
+
  private:
   void trim();
   static BigInt add_magnitudes(const BigInt& a, const BigInt& b);
   static BigInt sub_magnitudes(const BigInt& a, const BigInt& b);  // a >= b
+  static BigInt karatsuba_mul(const BigInt& a, const BigInt& b);
 
   // Least-significant limb first; no trailing zero limbs (zero == empty).
   std::vector<std::uint32_t> limbs_;

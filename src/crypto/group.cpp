@@ -5,13 +5,56 @@
 
 namespace veil::crypto {
 
+FixedBaseTable::FixedBaseTable(std::shared_ptr<const MontgomeryCtx> ctx,
+                               BigInt base, std::size_t max_exp_bits)
+    : ctx_(std::move(ctx)), base_(std::move(base)) {
+  const std::size_t digits = (max_exp_bits + kWindowBits - 1) / kWindowBits;
+  windows_.resize(digits);
+  // cur = base^(16^i) in Montgomery form, advanced one window at a time.
+  BigInt cur = ctx_->to_mont(base_);
+  for (std::size_t i = 0; i < digits; ++i) {
+    windows_[i][0] = ctx_->one();
+    windows_[i][1] = cur;
+    for (std::size_t d = 2; d < windows_[i].size(); ++d) {
+      windows_[i][d] = ctx_->mul(windows_[i][d - 1], cur);
+    }
+    cur = ctx_->mul(windows_[i][15], cur);  // base^(16^(i+1))
+  }
+}
+
+BigInt FixedBaseTable::pow(const BigInt& e) const {
+  if (e.bit_length() > windows_.size() * kWindowBits) {
+    return ctx_->pow(base_, e);
+  }
+  // Product of one table entry per 4-bit exponent digit; no squarings.
+  BigInt acc = ctx_->one();
+  const std::vector<std::uint32_t>& limbs = e.limbs();
+  for (std::size_t i = 0; i < limbs.size(); ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      const std::uint32_t digit = (limbs[i] >> (4 * j)) & 0xf;
+      if (digit) acc = ctx_->mul(acc, windows_[i * 8 + j][digit]);
+    }
+  }
+  return ctx_->from_mont(acc);
+}
+
 Group::Group(BigInt p, BigInt q, BigInt g, BigInt h)
     : p_(std::move(p)), q_(std::move(q)), g_(std::move(g)), h_(std::move(h)) {
+  // The Montgomery context must exist before the is_element checks below,
+  // which route through pow().
+  mont_p_ = MontgomeryCtx::shared(p_);
   if (((p_ - BigInt(1)) % q_) != BigInt()) {
     throw common::CryptoError("Group: q does not divide p-1");
   }
   if (!is_element(g_) || !is_element(h_)) {
     throw common::CryptoError("Group: generator not in subgroup");
+  }
+  if (mont_p_) {
+    // Scalars are mod q; +1 covers hash_to_element's e+1 lift. Anything
+    // longer falls back to the generic windowed pow inside the table.
+    const std::size_t exp_bits = q_.bit_length() + 1;
+    g_table_ = std::make_shared<const FixedBaseTable>(mont_p_, g_, exp_bits);
+    h_table_ = std::make_shared<const FixedBaseTable>(mont_p_, h_, exp_bits);
   }
 }
 

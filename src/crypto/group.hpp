@@ -7,13 +7,42 @@
 // are compiled in, mirroring how production systems pin RFC 3526 groups.
 #pragma once
 
+#include <array>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "crypto/bigint.hpp"
+#include "crypto/montgomery.hpp"
 #include "crypto/sha256.hpp"
 
 namespace veil::crypto {
+
+/// Precomputed powers of a fixed base modulo an odd n, for the
+/// repeated-generator exponentiations that dominate Pedersen commitments,
+/// Schnorr signing, ElGamal keygen and the ZKP prover/verifier: with
+/// base^(d·16^i) tabulated for every 4-bit digit position, an
+/// exponentiation costs one Montgomery multiply per digit and no
+/// squarings at all.
+class FixedBaseTable {
+ public:
+  /// Tabulates powers covering exponents up to `max_exp_bits` bits;
+  /// longer exponents fall back to the generic windowed pow.
+  FixedBaseTable(std::shared_ptr<const MontgomeryCtx> ctx, BigInt base,
+                 std::size_t max_exp_bits);
+
+  /// base^e mod n.
+  BigInt pow(const BigInt& e) const;
+  const BigInt& base() const { return base_; }
+
+ private:
+  static constexpr std::size_t kWindowBits = 4;
+  std::shared_ptr<const MontgomeryCtx> ctx_;
+  BigInt base_;
+  // windows_[i][d] = base^(d * 16^i) in Montgomery form.
+  std::vector<std::array<BigInt, 16>> windows_;
+};
 
 class Group {
  public:
@@ -38,16 +67,25 @@ class Group {
   const BigInt& g() const { return g_; }
   const BigInt& h() const { return h_; }
 
-  /// g^e mod p.
-  BigInt pow_g(const BigInt& e) const { return g_.mod_pow(e, p_); }
-  /// h^e mod p.
-  BigInt pow_h(const BigInt& e) const { return h_.mod_pow(e, p_); }
+  /// g^e mod p (fixed-base table).
+  BigInt pow_g(const BigInt& e) const {
+    return g_table_ ? g_table_->pow(e) : g_.mod_pow(e, p_);
+  }
+  /// h^e mod p (fixed-base table).
+  BigInt pow_h(const BigInt& e) const {
+    return h_table_ ? h_table_->pow(e) : h_.mod_pow(e, p_);
+  }
   /// a*b mod p.
   BigInt mul(const BigInt& a, const BigInt& b) const { return (a * b) % p_; }
-  /// a^e mod p.
-  BigInt pow(const BigInt& a, const BigInt& e) const { return a.mod_pow(e, p_); }
+  /// a^e mod p (Montgomery context cached in the group).
+  BigInt pow(const BigInt& a, const BigInt& e) const {
+    return mont_p_ ? mont_p_->pow(a, e) : a.mod_pow(e, p_);
+  }
   /// Multiplicative inverse mod p.
   BigInt inv(const BigInt& a) const { return a.mod_inverse(p_); }
+
+  /// The group's Montgomery context for Z_p* arithmetic.
+  const std::shared_ptr<const MontgomeryCtx>& mont() const { return mont_p_; }
 
   /// Uniform scalar in [1, q).
   BigInt random_scalar(common::Rng& rng) const;
@@ -63,6 +101,10 @@ class Group {
 
  private:
   BigInt p_, q_, g_, h_;
+  // Shared so Group keeps value semantics: copies reuse the same
+  // precomputation (all members above are immutable after construction).
+  std::shared_ptr<const MontgomeryCtx> mont_p_;
+  std::shared_ptr<const FixedBaseTable> g_table_, h_table_;
 };
 
 }  // namespace veil::crypto

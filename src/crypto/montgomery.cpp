@@ -1,0 +1,138 @@
+#include "crypto/montgomery.hpp"
+
+#include <array>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace veil::crypto {
+
+namespace {
+
+// -x^-1 mod 2^32 for odd x, by Newton iteration: each step doubles the
+// number of correct low bits, and x itself is already correct mod 8.
+std::uint32_t neg_inverse_u32(std::uint32_t x) {
+  std::uint32_t inv = x;
+  for (int i = 0; i < 4; ++i) inv *= 2u - x * inv;
+  return ~inv + 1u;
+}
+
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(const BigInt& n) : n_(n) {
+  k_ = n_.limbs().size();
+  n0inv_ = neg_inverse_u32(n_.limbs()[0]);
+  const BigInt r = BigInt(1) << (32 * k_);
+  r_mod_n_ = r % n_;
+  r2_mod_n_ = (r_mod_n_ * r_mod_n_) % n_;
+}
+
+std::shared_ptr<const MontgomeryCtx> MontgomeryCtx::create(const BigInt& n) {
+  if (n.is_zero() || !n.is_odd() || n == BigInt(1)) return nullptr;
+  return std::shared_ptr<const MontgomeryCtx>(new MontgomeryCtx(n));
+}
+
+std::shared_ptr<const MontgomeryCtx> MontgomeryCtx::shared(const BigInt& n) {
+  if (n.is_zero() || !n.is_odd() || n == BigInt(1)) return nullptr;
+  static std::mutex mu;
+  static std::map<BigInt, std::shared_ptr<const MontgomeryCtx>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  const auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  auto ctx = create(n);
+  // Transient moduli (e.g. prime-generation candidates) must not pin
+  // memory forever; the working set of live groups/keys is tiny, so a
+  // wholesale reset on overflow is enough.
+  if (cache.size() >= 64) cache.clear();
+  cache.emplace(n, ctx);
+  return ctx;
+}
+
+// CIOS (coarsely integrated operand scanning) Montgomery multiplication:
+// interleaves the a_i*b partial products with the REDC reduction so the
+// working value never grows past k+2 limbs. Result is a*b*R^-1 mod n.
+BigInt MontgomeryCtx::mul(const BigInt& a, const BigInt& b) const {
+  const std::vector<std::uint32_t>& al = a.limbs();
+  const std::vector<std::uint32_t>& bl = b.limbs();
+  const std::vector<std::uint32_t>& nl = n_.limbs();
+
+  std::vector<std::uint32_t> t(k_ + 2, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::uint64_t ai = i < al.size() ? al[i] : 0;
+    // t += a_i * b
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint64_t bj = j < bl.size() ? bl[j] : 0;
+      const std::uint64_t cur = t[j] + ai * bj + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = t[k_] + carry;
+    t[k_] = static_cast<std::uint32_t>(cur);
+    t[k_ + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+    // t = (t + m*n) / 2^32 with m chosen so the low limb cancels.
+    const std::uint32_t m = t[0] * n0inv_;
+    cur = t[0] + static_cast<std::uint64_t>(m) * nl[0];
+    carry = cur >> 32;
+    for (std::size_t j = 1; j < k_; ++j) {
+      cur = t[j] + static_cast<std::uint64_t>(m) * nl[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    cur = t[k_] + carry;
+    t[k_ - 1] = static_cast<std::uint32_t>(cur);
+    t[k_] = t[k_ + 1] + static_cast<std::uint32_t>(cur >> 32);
+  }
+
+  t.resize(k_ + 1);
+  BigInt out = BigInt::from_limbs(std::move(t));
+  if (out >= n_) out = out - n_;
+  return out;
+}
+
+BigInt MontgomeryCtx::to_mont(const BigInt& a) const {
+  return mul(a < n_ ? a : a % n_, r2_mod_n_);
+}
+
+BigInt MontgomeryCtx::from_mont(const BigInt& a) const {
+  return mul(a, BigInt(1));
+}
+
+BigInt MontgomeryCtx::pow(const BigInt& base, const BigInt& exponent) const {
+  const BigInt b = base < n_ ? base : base % n_;
+  if (exponent.is_zero()) return BigInt(1);
+  if (b.is_zero()) return BigInt();
+
+  // Odd powers b^1, b^3, ..., b^15 in Montgomery form.
+  std::array<BigInt, 8> odd;
+  odd[0] = to_mont(b);
+  const BigInt b2 = sqr(odd[0]);
+  for (std::size_t i = 1; i < odd.size(); ++i) odd[i] = mul(odd[i - 1], b2);
+
+  // Sliding 4-bit window, most-significant bit first. Zero bits cost one
+  // squaring; each window of up to 4 bits costs one table multiply.
+  BigInt acc = one();
+  std::ptrdiff_t i = static_cast<std::ptrdiff_t>(exponent.bit_length()) - 1;
+  while (i >= 0) {
+    if (!exponent.bit(static_cast<std::size_t>(i))) {
+      acc = sqr(acc);
+      --i;
+      continue;
+    }
+    std::ptrdiff_t low = i - 3 > 0 ? i - 3 : 0;
+    while (!exponent.bit(static_cast<std::size_t>(low))) ++low;
+    std::uint32_t window = 0;
+    for (std::ptrdiff_t j = i; j >= low; --j) {
+      acc = sqr(acc);
+      window = (window << 1) | exponent.bit(static_cast<std::size_t>(j));
+    }
+    acc = mul(acc, odd[window >> 1]);
+    i = low - 1;
+  }
+  return from_mont(acc);
+}
+
+}  // namespace veil::crypto

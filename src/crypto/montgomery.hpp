@@ -1,0 +1,62 @@
+// Montgomery-form modular arithmetic (REDC) for odd moduli.
+//
+// Every public-key mechanism in the framework — Schnorr, Pedersen, sigma
+// ZKPs, Paillier, threshold ElGamal, Idemix credentials — bottoms out in
+// modular exponentiation. The naive path reduces with a full Knuth
+// division after every multiply; Montgomery form replaces that division
+// with two multiplications and a shift (REDC), and the windowed
+// exponentiation cuts the multiply count by ~4x on top. Contexts are
+// cheap to build but not free (one R^2 mod n division), so callers with a
+// long-lived modulus hold one context and reuse it; `shared()` provides a
+// process-wide cache keyed by modulus for call sites that only see the
+// modulus value (e.g. BigInt::mod_pow itself).
+//
+// Only odd moduli are representable (REDC requires gcd(n, 2^32) == 1);
+// `create`/`shared` return nullptr for even, zero, or unit moduli and
+// callers fall back to the classic square-and-multiply path.
+#pragma once
+
+#include <memory>
+
+#include "crypto/bigint.hpp"
+
+namespace veil::crypto {
+
+class MontgomeryCtx {
+ public:
+  /// Context for an odd modulus n > 1, or nullptr when n is unusable
+  /// (zero, one, or even) and the caller must fall back.
+  static std::shared_ptr<const MontgomeryCtx> create(const BigInt& n);
+
+  /// Process-wide cache keyed by modulus value, so repeated mod_pow calls
+  /// against the same group/key modulus reuse one context instead of
+  /// recomputing R^2 mod n per call.
+  static std::shared_ptr<const MontgomeryCtx> shared(const BigInt& n);
+
+  const BigInt& modulus() const { return n_; }
+
+  /// a*R mod n — bring a (any magnitude) into the Montgomery domain.
+  BigInt to_mont(const BigInt& a) const;
+  /// a*R^-1 mod n — leave the Montgomery domain.
+  BigInt from_mont(const BigInt& a) const;
+  /// Montgomery product: mul(aR, bR) = abR mod n. Inputs must be < n.
+  BigInt mul(const BigInt& a, const BigInt& b) const;
+  BigInt sqr(const BigInt& a) const { return mul(a, a); }
+  /// Montgomery form of 1 (R mod n).
+  const BigInt& one() const { return r_mod_n_; }
+
+  /// (base ^ exponent) mod n, normal domain in and out. 4-bit sliding
+  /// window over an odd-powers table.
+  BigInt pow(const BigInt& base, const BigInt& exponent) const;
+
+ private:
+  explicit MontgomeryCtx(const BigInt& n);
+
+  BigInt n_;
+  std::size_t k_ = 0;        // limb count of n_
+  std::uint32_t n0inv_ = 0;  // -n^-1 mod 2^32
+  BigInt r_mod_n_;           // R mod n, R = 2^(32k)
+  BigInt r2_mod_n_;          // R^2 mod n, converts into the domain
+};
+
+}  // namespace veil::crypto

@@ -24,6 +24,7 @@ PaillierPublicKey PaillierPublicKey::decode(common::BytesView data) {
   pk.n = BigInt::from_bytes_be(r.bytes());
   pk.n_squared = pk.n * pk.n;
   pk.g = pk.n + BigInt(1);
+  pk.mont_n2 = MontgomeryCtx::shared(pk.n_squared);
   return pk;
 }
 
@@ -39,9 +40,10 @@ PaillierKeyPair PaillierKeyPair::generate(common::Rng& rng,
   kp.public_.n = p * q;
   kp.public_.n_squared = kp.public_.n * kp.public_.n;
   kp.public_.g = kp.public_.n + BigInt(1);
+  kp.public_.mont_n2 = MontgomeryCtx::shared(kp.public_.n_squared);
   kp.lambda_ = BigInt::lcm(p - BigInt(1), q - BigInt(1));
   // mu = (L(g^lambda mod n^2))^-1 mod n
-  const BigInt gl = kp.public_.g.mod_pow(kp.lambda_, kp.public_.n_squared);
+  const BigInt gl = kp.public_.mont_n2->pow(kp.public_.g, kp.lambda_);
   kp.mu_ = paillier_l(gl, kp.public_.n).mod_inverse(kp.public_.n);
   return kp;
 }
@@ -50,7 +52,7 @@ BigInt PaillierKeyPair::decrypt(const PaillierCiphertext& ct) const {
   if (ct.c.is_zero() || ct.c >= public_.n_squared) {
     throw common::CryptoError("paillier: malformed ciphertext");
   }
-  const BigInt cl = ct.c.mod_pow(lambda_, public_.n_squared);
+  const BigInt cl = public_.mont_n2->pow(ct.c, lambda_);
   return (paillier_l(cl, public_.n) * mu_) % public_.n;
 }
 
@@ -63,7 +65,8 @@ PaillierCiphertext paillier_encrypt(const PaillierPublicKey& pk,
   } while (r.is_zero() || BigInt::gcd(r, pk.n) != BigInt(1));
   // c = g^m * r^n mod n^2; with g = n+1, g^m = 1 + m*n (mod n^2).
   const BigInt gm = (BigInt(1) + m * pk.n) % pk.n_squared;
-  const BigInt rn = r.mod_pow(pk.n, pk.n_squared);
+  const BigInt rn = pk.mont_n2 ? pk.mont_n2->pow(r, pk.n)
+                               : r.mod_pow(pk.n, pk.n_squared);
   return PaillierCiphertext{(gm * rn) % pk.n_squared};
 }
 
@@ -76,7 +79,8 @@ PaillierCiphertext paillier_add(const PaillierPublicKey& pk,
 PaillierCiphertext paillier_mul_plain(const PaillierPublicKey& pk,
                                       const PaillierCiphertext& a,
                                       const BigInt& k) {
-  return PaillierCiphertext{a.c.mod_pow(k, pk.n_squared)};
+  return PaillierCiphertext{pk.mont_n2 ? pk.mont_n2->pow(a.c, k)
+                                       : a.c.mod_pow(k, pk.n_squared)};
 }
 
 }  // namespace veil::crypto

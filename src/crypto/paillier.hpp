@@ -8,9 +8,12 @@
 // (bench_crypto) quantifies that gap against AES and plain arithmetic.
 #pragma once
 
+#include <memory>
+
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "crypto/bigint.hpp"
+#include "crypto/montgomery.hpp"
 
 namespace veil::crypto {
 
@@ -18,6 +21,10 @@ struct PaillierPublicKey {
   BigInt n;         // modulus p*q
   BigInt n_squared; // cached n^2
   BigInt g;         // n + 1
+  // Montgomery context for n^2 (odd, since n is a product of odd primes);
+  // every encrypt/decrypt/scalar-multiply exponentiates mod n^2, so the
+  // context lives with the key instead of being rebuilt per call.
+  std::shared_ptr<const MontgomeryCtx> mont_n2;
 
   common::Bytes encode() const;
   static PaillierPublicKey decode(common::BytesView data);

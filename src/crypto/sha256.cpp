@@ -77,6 +77,7 @@ void Sha256::process_block(const std::uint8_t* block) {
 
 Sha256& Sha256::update(common::BytesView data) {
   if (finalized_) throw common::CryptoError("Sha256: update after finalize");
+  if (data.empty()) return *this;  // data.data() may be null; memcpy forbids it
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -96,8 +96,7 @@ Enclave::SessionOffer Enclave::open_session(
     const crypto::PublicKey& client_key, common::Rng& rng) {
   // Ephemeral DH: session key = HKDF(client_pub ^ eph_secret).
   const crypto::KeyPair ephemeral = crypto::KeyPair::generate(*group_, rng);
-  const crypto::BigInt shared =
-      client_key.y.mod_pow(ephemeral.secret(), group_->p());
+  const crypto::BigInt shared = group_->pow(client_key.y, ephemeral.secret());
   const common::Bytes key =
       crypto::hkdf({}, shared.to_bytes_be(), "veil.tee.session", 32);
 
@@ -206,7 +205,7 @@ EnclaveClient::EnclaveClient(const crypto::Group& group, common::Rng& rng)
 
 void EnclaveClient::accept(const Enclave::SessionOffer& offer) {
   const crypto::BigInt shared =
-      offer.enclave_key.y.mod_pow(keypair_.secret(), keypair_.group().p());
+      keypair_.group().pow(offer.enclave_key.y, keypair_.secret());
   session_key_ = crypto::hkdf({}, shared.to_bytes_be(), "veil.tee.session", 32);
   session_id_ = offer.session_id;
 }

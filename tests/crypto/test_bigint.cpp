@@ -44,6 +44,36 @@ TEST(BigInt, BytesRoundTrip) {
   EXPECT_EQ(BigInt(0x1234).to_bytes_be(4), common::from_hex("00001234"));
 }
 
+TEST(BigInt, BytesRoundTripRandomWidths) {
+  // Exercises the direct limb-packing deserializer across widths that hit
+  // every limb-boundary alignment, including multi-KB values.
+  common::Rng rng(101);
+  for (std::size_t width : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 31u, 32u, 33u,
+                            63u, 64u, 65u, 127u, 255u, 256u, 1024u, 4096u}) {
+    const common::Bytes raw = rng.next_bytes(width);
+    const BigInt v = BigInt::from_bytes_be(raw);
+    EXPECT_EQ(BigInt::from_bytes_be(v.to_bytes_be()), v) << width;
+    // Leading zero bytes must not change the value.
+    common::Bytes padded(3, 0);
+    padded.insert(padded.end(), raw.begin(), raw.end());
+    EXPECT_EQ(BigInt::from_bytes_be(padded), v) << width;
+  }
+  EXPECT_TRUE(BigInt::from_bytes_be({}).is_zero());
+  EXPECT_TRUE(BigInt::from_bytes_be(common::Bytes(8, 0)).is_zero());
+}
+
+TEST(BigInt, HexAndBytesAgree) {
+  common::Rng rng(102);
+  for (int i = 0; i < 30; ++i) {
+    const common::Bytes raw = rng.next_bytes(1 + rng.next_below(96));
+    EXPECT_EQ(BigInt::from_hex(common::to_hex(raw)),
+              BigInt::from_bytes_be(raw));
+  }
+  // Odd-length hex strings (leading implicit zero nibble).
+  EXPECT_EQ(BigInt::from_hex("123").to_u64(), 0x123u);
+  EXPECT_EQ(BigInt::from_hex("0000123").to_u64(), 0x123u);
+}
+
 TEST(BigInt, Comparison) {
   EXPECT_LT(BigInt(1), BigInt(2));
   EXPECT_GT(BigInt::from_hex("10000000000000000"), BigInt(~0ULL));
@@ -139,6 +169,120 @@ TEST(BigInt, ModPowKnownAnswers) {
   EXPECT_EQ(BigInt(2).mod_pow(p - BigInt(1), p).to_u64(), 1u);
   EXPECT_EQ(BigInt(5).mod_pow(BigInt(0), p).to_u64(), 1u);
   EXPECT_TRUE(BigInt(5).mod_pow(BigInt(3), BigInt(1)).is_zero());
+}
+
+// RFC 3526 group 14: the 2048-bit MODP prime. Used as a known-good odd
+// modulus that drives mod_pow through the Montgomery fast path.
+const char* const kRfc3526Group14P =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+TEST(BigInt, ModPowRfc3526KnownAnswers) {
+  const BigInt p = BigInt::from_hex(kRfc3526Group14P);
+  ASSERT_EQ(p.bit_length(), 2048u);
+  // Fermat: a^(p-1) == 1 mod p for the standardized prime.
+  for (std::uint64_t a : {2ULL, 3ULL, 65537ULL}) {
+    EXPECT_EQ(BigInt(a).mod_pow(p - BigInt(1), p), BigInt(1)) << a;
+  }
+  // p = 2q+1 is a safe prime and p == 7 (mod 8), so 2 is a quadratic
+  // residue: the standard generator g=2 lands in the order-q subgroup.
+  const BigInt q = (p - BigInt(1)) >> 1;
+  EXPECT_EQ(BigInt(2).mod_pow(q, p), BigInt(1));
+  // Euler's criterion: every base raises to +-1 mod p under q, and
+  // non-residues (half of all bases) give exactly p-1.
+  bool found_non_residue = false;
+  for (std::uint64_t a = 2; a < 40; ++a) {
+    const BigInt r = BigInt(a).mod_pow(q, p);
+    ASSERT_TRUE(r == BigInt(1) || r == p - BigInt(1)) << a;
+    if (r == p - BigInt(1)) found_non_residue = true;
+  }
+  EXPECT_TRUE(found_non_residue);
+}
+
+// Reference square-and-multiply used to cross-check the windowed
+// Montgomery exponentiation bit-for-bit.
+BigInt naive_mod_pow(const BigInt& base, const BigInt& exp, const BigInt& mod) {
+  BigInt result(1);
+  BigInt b = base % mod;
+  for (std::size_t i = 0; i < exp.bit_length(); ++i) {
+    if (exp.bit(i)) result = (result * b) % mod;
+    b = (b * b) % mod;
+  }
+  return result;
+}
+
+TEST(BigInt, ModPowMatchesNaiveReference) {
+  common::Rng rng(103);
+  for (std::size_t bits : {33u, 64u, 128u, 384u, 1024u}) {
+    for (int i = 0; i < 4; ++i) {
+      BigInt m = BigInt::random_bits(rng, bits);
+      if (!m.is_odd()) m += BigInt(1);  // odd => Montgomery path
+      const BigInt base = BigInt::random_bits(rng, bits + 17);
+      const BigInt exp = BigInt::random_bits(rng, bits);
+      EXPECT_EQ(base.mod_pow(exp, m), naive_mod_pow(base, exp, m))
+          << bits << " bits";
+    }
+  }
+}
+
+TEST(BigInt, ModPowEvenModulusFallback) {
+  common::Rng rng(104);
+  for (int i = 0; i < 8; ++i) {
+    BigInt m = BigInt::random_bits(rng, 160);
+    if (m.is_odd()) m += BigInt(1);  // even => classic path
+    const BigInt base = BigInt::random_bits(rng, 200);
+    const BigInt exp = BigInt::random_bits(rng, 80);
+    EXPECT_EQ(base.mod_pow(exp, m), naive_mod_pow(base, exp, m));
+  }
+  // 3^5 mod 2^64 has a trivial closed form.
+  EXPECT_EQ(BigInt(3).mod_pow(BigInt(5), BigInt(1) << 64).to_u64(), 243u);
+}
+
+TEST(BigInt, ModPowEdgeCases) {
+  const BigInt p = BigInt::from_hex(kRfc3526Group14P);
+  // Zero exponent: 1 for any base, including 0^0 by our convention.
+  EXPECT_EQ(BigInt(0).mod_pow(BigInt(0), p), BigInt(1));
+  EXPECT_EQ(p.mod_pow(BigInt(0), p), BigInt(1));
+  // One exponent: base reduced mod modulus.
+  const BigInt a = BigInt::from_hex("deadbeefcafebabe");
+  EXPECT_EQ(a.mod_pow(BigInt(1), p), a);
+  EXPECT_EQ((p + a).mod_pow(BigInt(1), p), a);
+  // Zero base with positive exponent.
+  EXPECT_TRUE(BigInt(0).mod_pow(BigInt(12345), p).is_zero());
+  // Base equal to the modulus reduces to zero.
+  EXPECT_TRUE(p.mod_pow(BigInt(3), p).is_zero());
+  // Modulus one collapses everything to zero; modulus zero throws.
+  EXPECT_TRUE(a.mod_pow(a, BigInt(1)).is_zero());
+  EXPECT_THROW(a.mod_pow(a, BigInt(0)), common::CryptoError);
+}
+
+TEST(BigInt, KaratsubaMatchesSchoolbook) {
+  // Products large enough to take the Karatsuba split (>= 24 limbs each
+  // side), validated against the schoolbook kernel by chunking one
+  // operand below the threshold.
+  common::Rng rng(105);
+  for (std::size_t bits : {768u, 1024u, 2048u, 4096u}) {
+    const BigInt a = BigInt::random_bits(rng, bits);
+    const BigInt b = BigInt::random_bits(rng, bits + 96);
+    const BigInt product = a * b;
+    // Recompute via 256-bit chunks of b (each chunk multiply is
+    // schoolbook since the chunk stays under the threshold).
+    BigInt expected;
+    for (std::size_t off = 0; off < b.bit_length(); off += 256) {
+      BigInt chunk = (b >> off) % (BigInt(1) << 256);
+      expected += (a * chunk) << off;
+    }
+    EXPECT_EQ(product, expected) << bits;
+    // And the divmod property must hold.
+    EXPECT_EQ(product / a, b);
+    EXPECT_TRUE((product % a).is_zero());
+  }
 }
 
 TEST(BigInt, ModInverseProperty) {

@@ -1,0 +1,129 @@
+#include "crypto/montgomery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/group.hpp"
+
+namespace veil::crypto {
+namespace {
+
+BigInt naive_mod_pow(const BigInt& base, const BigInt& exp, const BigInt& mod) {
+  BigInt result(1);
+  BigInt b = base % mod;
+  for (std::size_t i = 0; i < exp.bit_length(); ++i) {
+    if (exp.bit(i)) result = (result * b) % mod;
+    b = (b * b) % mod;
+  }
+  return result;
+}
+
+TEST(Montgomery, RejectsUnusableModuli) {
+  EXPECT_EQ(MontgomeryCtx::create(BigInt(0)), nullptr);
+  EXPECT_EQ(MontgomeryCtx::create(BigInt(1)), nullptr);
+  EXPECT_EQ(MontgomeryCtx::create(BigInt(4096)), nullptr);
+  EXPECT_EQ(MontgomeryCtx::shared(BigInt::from_hex("10000000000000000")),
+            nullptr);
+  EXPECT_NE(MontgomeryCtx::create(BigInt(3)), nullptr);
+}
+
+TEST(Montgomery, DomainRoundTrip) {
+  common::Rng rng(1);
+  for (std::size_t bits : {8u, 32u, 64u, 257u, 1024u}) {
+    BigInt n = BigInt::random_bits(rng, bits);
+    if (!n.is_odd()) n += BigInt(1);
+    const auto ctx = MontgomeryCtx::create(n);
+    ASSERT_NE(ctx, nullptr);
+    for (int i = 0; i < 10; ++i) {
+      const BigInt a = BigInt::random_below(rng, n);
+      EXPECT_EQ(ctx->from_mont(ctx->to_mont(a)), a);
+    }
+    // to_mont reduces oversized inputs.
+    const BigInt big = BigInt::random_bits(rng, bits + 40);
+    EXPECT_EQ(ctx->from_mont(ctx->to_mont(big)), big % n);
+    // one() is the Montgomery form of 1.
+    EXPECT_EQ(ctx->from_mont(ctx->one()), BigInt(1));
+  }
+}
+
+TEST(Montgomery, MulMatchesModularProduct) {
+  common::Rng rng(2);
+  for (std::size_t bits : {16u, 96u, 512u, 2048u}) {
+    BigInt n = BigInt::random_bits(rng, bits);
+    if (!n.is_odd()) n += BigInt(1);
+    const auto ctx = MontgomeryCtx::create(n);
+    for (int i = 0; i < 10; ++i) {
+      const BigInt a = BigInt::random_below(rng, n);
+      const BigInt b = BigInt::random_below(rng, n);
+      const BigInt got =
+          ctx->from_mont(ctx->mul(ctx->to_mont(a), ctx->to_mont(b)));
+      EXPECT_EQ(got, (a * b) % n) << bits;
+    }
+  }
+}
+
+TEST(Montgomery, PowMatchesNaiveReference) {
+  common::Rng rng(3);
+  for (std::size_t bits : {9u, 33u, 160u, 768u}) {
+    BigInt n = BigInt::random_bits(rng, bits);
+    if (!n.is_odd()) n += BigInt(1);
+    const auto ctx = MontgomeryCtx::create(n);
+    for (int i = 0; i < 5; ++i) {
+      const BigInt base = BigInt::random_bits(rng, bits + 11);
+      const BigInt exp = BigInt::random_bits(rng, 1 + rng.next_below(bits));
+      EXPECT_EQ(ctx->pow(base, exp), naive_mod_pow(base, exp, n)) << bits;
+    }
+  }
+}
+
+TEST(Montgomery, PowEdgeCases) {
+  const auto ctx = MontgomeryCtx::create(BigInt(1000003));
+  EXPECT_EQ(ctx->pow(BigInt(0), BigInt(0)), BigInt(1));
+  EXPECT_EQ(ctx->pow(BigInt(5), BigInt(0)), BigInt(1));
+  EXPECT_TRUE(ctx->pow(BigInt(0), BigInt(77)).is_zero());
+  EXPECT_EQ(ctx->pow(BigInt(5), BigInt(1)), BigInt(5));
+  // Exponent with long zero runs (stresses the sliding-window scanner).
+  const BigInt exp = BigInt(1) << 255;
+  EXPECT_EQ(ctx->pow(BigInt(3), exp), naive_mod_pow(BigInt(3), exp, BigInt(1000003)));
+  // All-ones exponent (maximal windows).
+  const BigInt ones = (BigInt(1) << 128) - BigInt(1);
+  EXPECT_EQ(ctx->pow(BigInt(3), ones), naive_mod_pow(BigInt(3), ones, BigInt(1000003)));
+}
+
+TEST(Montgomery, SharedCacheReturnsSameContext) {
+  const BigInt n = BigInt::from_hex("c000000000000000000000000000000d");
+  const auto a = MontgomeryCtx::shared(n);
+  const auto b = MontgomeryCtx::shared(n);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->modulus(), n);
+}
+
+TEST(FixedBaseTable, MatchesGenericPow) {
+  common::Rng rng(4);
+  const Group& group = Group::test_group();
+  const auto ctx = MontgomeryCtx::create(group.p());
+  const FixedBaseTable table(ctx, group.g(), group.q().bit_length() + 1);
+  for (int i = 0; i < 20; ++i) {
+    const BigInt e = BigInt::random_below(rng, group.q());
+    EXPECT_EQ(table.pow(e), ctx->pow(group.g(), e));
+  }
+  EXPECT_EQ(table.pow(BigInt(0)), BigInt(1));
+  EXPECT_EQ(table.pow(BigInt(1)), group.g());
+  // Exponents wider than the table fall back to the generic path.
+  const BigInt wide = BigInt::random_bits(rng, group.q().bit_length() + 64);
+  EXPECT_EQ(table.pow(wide), ctx->pow(group.g(), wide));
+}
+
+TEST(FixedBaseTable, GroupGeneratorsRouteThroughTables) {
+  common::Rng rng(5);
+  const Group& group = Group::default_group();
+  for (int i = 0; i < 5; ++i) {
+    const BigInt e = group.random_scalar(rng);
+    EXPECT_EQ(group.pow_g(e), group.pow(group.g(), e));
+    EXPECT_EQ(group.pow_h(e), group.pow(group.h(), e));
+  }
+}
+
+}  // namespace
+}  // namespace veil::crypto
