@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Runs the crypto microbenchmarks and records machine-readable results at
 # the repo root (BENCH_crypto.json) so the perf trajectory is tracked
-# across PRs.
+# across PRs. Also runs the fault-tolerance cost sweep (bench_faults:
+# throughput/latency vs 0-30% message loss) into BENCH_faults.json.
 #
 # Usage:
-#   bench/run_benches.sh                  # all of bench_crypto
+#   bench/run_benches.sh                  # all of bench_crypto + bench_faults
 #   BENCH_FILTER='BM_ModPow.*' bench/run_benches.sh
+#   BENCH_SKIP_FAULTS=1 bench/run_benches.sh   # crypto only
 #   BUILD_DIR=out bench/run_benches.sh
 set -euo pipefail
 
@@ -51,3 +53,25 @@ with open(path, "w") as f:
 PY
 
 echo "wrote $OUT"
+
+# ---- Fault-tolerance sweep (reliable delivery under 0-30% loss) ------------
+if [[ -z "${BENCH_SKIP_FAULTS:-}" ]]; then
+  FAULTS_OUT="${BENCH_FAULTS_OUT:-$ROOT/BENCH_faults.json}"
+  if [[ ! -x "$BUILD/bench/bench_faults" ]]; then
+    echo "bench_faults not built; skipping fault sweep" >&2
+  else
+    FTMP="$(mktemp "${FAULTS_OUT}.XXXXXX")"
+    trap 'rm -f "$FTMP"' EXIT
+    "$BUILD/bench/bench_faults" \
+      --benchmark_out="$FTMP" \
+      --benchmark_out_format=json \
+      --benchmark_repetitions="${BENCH_REPS:-1}"
+    if [[ -s "$FTMP" ]]; then
+      mv "$FTMP" "$FAULTS_OUT"
+      echo "wrote $FAULTS_OUT"
+    else
+      echo "bench_faults produced no output; $FAULTS_OUT left untouched" >&2
+    fi
+    trap - EXIT
+  fi
+fi

@@ -1,5 +1,7 @@
 #include "ledger/state.hpp"
 
+#include "common/serialize.hpp"
+
 namespace veil::ledger {
 
 std::optional<VersionedValue> WorldState::get(const std::string& key) const {
@@ -55,6 +57,36 @@ CommitResult WorldState::apply(const Transaction& tx) {
     }
   }
   return CommitResult::Applied;
+}
+
+common::Bytes WorldState::encode() const {
+  common::Writer w;
+  w.varint(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    w.str(key);
+    w.bytes(entry.value);
+    w.u64(entry.version);
+  }
+  return w.take();
+}
+
+WorldState WorldState::decode(common::BytesView data) {
+  common::Reader r(data);
+  WorldState state;
+  const std::uint64_t count = r.varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string key = r.str();
+    VersionedValue entry;
+    entry.value = r.bytes();
+    entry.version = r.u64();
+    state.entries_.insert_or_assign(std::move(key), std::move(entry));
+  }
+  return state;
+}
+
+crypto::Digest WorldState::digest() const {
+  // std::map iteration is key-ordered, so the encoding is canonical.
+  return crypto::sha256(encode());
 }
 
 }  // namespace veil::ledger

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
 #include "ledger/transaction.hpp"
 
 namespace veil::ledger {
@@ -51,6 +52,15 @@ class WorldState {
   /// All keys sharing a prefix (composite-key queries).
   std::vector<std::pair<std::string, VersionedValue>> get_by_prefix(
       const std::string& prefix) const;
+
+  /// Canonical hash over all (key, value, version) entries. Two replicas
+  /// that applied the same transactions in the same order have equal
+  /// digests — the bit-identical-state check chaos tests assert.
+  crypto::Digest digest() const;
+
+  /// Canonical full-state serialization (WAL checkpoints, snapshots).
+  common::Bytes encode() const;
+  static WorldState decode(common::BytesView data);
 
  private:
   std::map<std::string, VersionedValue> entries_;

@@ -1,0 +1,93 @@
+#include "ledger/wal.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace veil::ledger {
+
+void WriteAheadLog::append(std::uint8_t type, common::BytesView payload) {
+  common::Writer w;
+  w.u8(type);
+  w.bytes(payload);
+  const crypto::Digest checksum = crypto::sha256(payload);
+  w.raw(common::BytesView(checksum.data(), checksum.size()));
+  const common::Bytes record = w.take();
+  log_.insert(log_.end(), record.begin(), record.end());
+  ++record_count_;
+}
+
+std::vector<WriteAheadLog::Record> WriteAheadLog::recover() const {
+  std::vector<Record> out;
+  common::Reader r(log_);
+  std::size_t clean_end = 0;
+  try {
+    while (!r.done()) {
+      Record rec;
+      rec.type = r.u8();
+      rec.payload = r.bytes();
+      const common::Bytes checksum = r.raw(crypto::kSha256DigestSize);
+      const crypto::Digest expected = crypto::sha256(rec.payload);
+      if (!std::equal(checksum.begin(), checksum.end(), expected.begin())) {
+        break;  // corrupt record: stop at the clean prefix
+      }
+      out.push_back(std::move(rec));
+      clean_end = log_.size() - r.remaining();
+    }
+  } catch (const common::Error&) {
+    // Torn tail: the last record was cut mid-write. Keep the prefix.
+  }
+  torn_tail_bytes_ = log_.size() - clean_end;
+  return out;
+}
+
+void WriteAheadLog::tear(std::size_t bytes) {
+  if (bytes >= log_.size()) {
+    log_.clear();
+  } else {
+    log_.resize(log_.size() - bytes);
+  }
+}
+
+void WriteAheadLog::corrupt_byte(std::size_t offset) {
+  if (offset < log_.size()) log_[offset] ^= 0x5a;
+}
+
+void wal_log_checkpoint(WriteAheadLog& wal, std::uint64_t height,
+                        const crypto::Digest& tip_hash,
+                        const WorldState& state) {
+  common::Writer w;
+  w.u64(height);
+  w.raw(common::BytesView(tip_hash.data(), tip_hash.size()));
+  w.bytes(state.encode());
+  wal.append(kWalCheckpoint, w.take());
+}
+
+void wal_log_block(WriteAheadLog& wal, const Block& block) {
+  wal.append(kWalBlock, block.encode());
+}
+
+WalRecovery wal_recover_blocks(const WriteAheadLog& wal) {
+  WalRecovery recovery;
+  for (const WriteAheadLog::Record& rec : wal.recover()) {
+    try {
+      if (rec.type == kWalCheckpoint) {
+        common::Reader r(rec.payload);
+        WalCheckpoint cp;
+        cp.height = r.u64();
+        const common::Bytes hash = r.raw(crypto::kSha256DigestSize);
+        std::copy(hash.begin(), hash.end(), cp.tip_hash.begin());
+        cp.state = WorldState::decode(r.bytes());
+        recovery.checkpoint = std::move(cp);
+      } else if (rec.type == kWalBlock) {
+        recovery.blocks.push_back(Block::decode(rec.payload));
+      }
+      // Unknown record types are skipped (forward compatibility).
+    } catch (const common::Error&) {
+      break;  // undecodable payload: treat like a torn tail
+    }
+  }
+  return recovery;
+}
+
+}  // namespace veil::ledger

@@ -1,0 +1,91 @@
+// Write-ahead log for crash recovery.
+//
+// The simulation's crash model: a crash-stopped peer loses everything in
+// memory (chain, world state, vault) but keeps its durable log. The WAL
+// is that durable log — an append-only sequence of checksummed records a
+// restarted peer replays to rebuild exactly the state it had committed.
+//
+// Invariants (documented for chaos-test authors in docs/fault_model.md):
+//  * Records are appended BEFORE the in-memory mutation they describe, so
+//    a replayed WAL is never behind committed state.
+//  * Each record carries a SHA-256 checksum; recovery stops at the first
+//    torn or corrupt record and returns the clean prefix (a torn tail is
+//    an expected crash artifact, not an error).
+//  * Replay is deterministic: applying the recovered records in order
+//    yields a state digest bit-identical to the pre-crash one.
+//
+// The log is record-typed and payload-agnostic so every platform model
+// can use it: Fabric/Quorum log blocks (plus an optional snapshot
+// checkpoint), Corda logs vault mutations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ledger/block.hpp"
+#include "ledger/state.hpp"
+
+namespace veil::ledger {
+
+class WriteAheadLog {
+ public:
+  struct Record {
+    std::uint8_t type = 0;
+    common::Bytes payload;
+  };
+
+  /// Append one record (type is application-defined).
+  void append(std::uint8_t type, common::BytesView payload);
+
+  /// Decode the clean prefix of the log. Torn or corrupt trailing data is
+  /// ignored; `torn_tail_bytes()` reports how much was discarded by the
+  /// last recover() call.
+  std::vector<Record> recover() const;
+
+  /// Simulate a torn write: chop `bytes` off the end of the log (tests).
+  void tear(std::size_t bytes);
+
+  /// Flip one byte in place (tests: bit-rot must not break recovery of
+  /// the records before it).
+  void corrupt_byte(std::size_t offset);
+
+  void clear() { log_.clear(); }
+  std::size_t size_bytes() const { return log_.size(); }
+  std::size_t record_count() const { return record_count_; }
+  std::size_t torn_tail_bytes() const { return torn_tail_bytes_; }
+
+ private:
+  common::Bytes log_;
+  std::size_t record_count_ = 0;
+  mutable std::size_t torn_tail_bytes_ = 0;
+};
+
+// ---- Block-replica logging (Fabric peers, Quorum nodes) -------------------
+
+/// Record types used by block-replica WALs.
+inline constexpr std::uint8_t kWalCheckpoint = 1;  // snapshot bootstrap
+inline constexpr std::uint8_t kWalBlock = 2;
+
+struct WalCheckpoint {
+  std::uint64_t height = 0;
+  crypto::Digest tip_hash{};
+  WorldState state;
+};
+
+void wal_log_checkpoint(WriteAheadLog& wal, std::uint64_t height,
+                        const crypto::Digest& tip_hash,
+                        const WorldState& state);
+void wal_log_block(WriteAheadLog& wal, const Block& block);
+
+struct WalRecovery {
+  std::optional<WalCheckpoint> checkpoint;
+  std::vector<Block> blocks;
+};
+
+/// Decode a block-replica WAL. Undecodable records (beyond the checksum
+/// layer) terminate recovery at that point, like a torn tail.
+WalRecovery wal_recover_blocks(const WriteAheadLog& wal);
+
+}  // namespace veil::ledger

@@ -1,0 +1,68 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+
+namespace veil::net {
+
+FaultPlan& FaultPlan::drop_window(common::SimTime from, common::SimTime until,
+                                  double p) {
+  drop_from(from, p);
+  if (until > from) drop_from(until, 0.0);
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_from(common::SimTime at, double p) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::SetDropRate;
+  e.drop_rate = p;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition_at(common::SimTime at,
+                                   std::vector<std::set<Principal>> groups) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::SetPartitions;
+  e.partitions = std::move(groups);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal_at(common::SimTime at) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::Heal;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_at(common::SimTime at, Principal principal) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::Crash;
+  e.principal = std::move(principal);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart_at(common::SimTime at, Principal principal) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::Restart;
+  e.principal = std::move(principal);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+std::vector<FaultEvent> FaultPlan::ordered_events() const {
+  std::vector<FaultEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+}  // namespace veil::net

@@ -1,0 +1,86 @@
+// Deterministic fault schedules.
+//
+// A FaultPlan is a seed-reproducible script of network faults — drop-rate
+// windows, partition/heal events, and crash-stop/restart of named
+// principals — expressed against the simulated clock. SimNetwork applies
+// the plan's events lazily as simulated time advances, replacing the
+// ad-hoc set_drop_probability/set_partitions toggling that chaos tests
+// used to do by hand. Because every event is pinned to a SimTime and the
+// network's RNG is seeded, a fault schedule replays identically run after
+// run — the property the chaos suite's assertions depend on.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/leakage.hpp"
+
+namespace veil::net {
+
+/// One scheduled fault event. Events with equal times apply in insertion
+/// order (stable sort), so a plan is deterministic even when windows abut.
+struct FaultEvent {
+  enum class Kind {
+    SetDropRate,  // drop_rate takes effect for sends at/after `at`
+    SetPartitions,
+    Heal,     // remove all partitions
+    Crash,    // crash-stop `principal`: loses volatile state, unreachable
+    Restart,  // bring `principal` back; its restart hook replays its WAL
+  };
+
+  common::SimTime at = 0;
+  Kind kind = Kind::SetDropRate;
+  double drop_rate = 0.0;
+  std::vector<std::set<Principal>> partitions;
+  Principal principal;
+};
+
+/// Builder-style schedule. All methods return *this so plans read as a
+/// timeline:
+///
+///   FaultPlan plan;
+///   plan.drop_window(0, 2'000'000, 0.2)      // 20% loss for 2 sim-seconds
+///       .partition_at(500'000, {{"peer.A"}, {"peer.B", "orderer-org"}})
+///       .heal_at(900'000)
+///       .crash_at(1'200'000, "peer.B")
+///       .restart_at(1'600'000, "peer.B");
+///   network.set_fault_plan(plan);
+class FaultPlan {
+ public:
+  /// Uniform message loss with probability `p` for sends in [from, until).
+  /// Overlapping windows: the latest event at or before the send wins.
+  FaultPlan& drop_window(common::SimTime from, common::SimTime until,
+                         double p);
+
+  /// Set the loss probability from `at` onward (no automatic end).
+  FaultPlan& drop_from(common::SimTime at, double p);
+
+  /// Split the network into groups at `at`; cross-group messages drop.
+  FaultPlan& partition_at(common::SimTime at,
+                          std::vector<std::set<Principal>> groups);
+
+  /// Remove all partitions at `at`.
+  FaultPlan& heal_at(common::SimTime at);
+
+  /// Crash-stop `principal` at `at`: its crash hook fires (volatile state
+  /// is lost), and until restarted it neither sends nor receives.
+  FaultPlan& crash_at(common::SimTime at, Principal principal);
+
+  /// Restart `principal` at `at`: its restart hook fires (WAL replay,
+  /// catch-up) and it rejoins the network.
+  FaultPlan& restart_at(common::SimTime at, Principal principal);
+
+  /// Events sorted by time (stable on ties). Called once by SimNetwork.
+  std::vector<FaultEvent> ordered_events() const;
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace veil::net

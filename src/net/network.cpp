@@ -26,20 +26,77 @@ bool SimNetwork::reachable(const Principal& from, const Principal& to) const {
   return false;
 }
 
+void SimNetwork::set_fault_plan(const FaultPlan& plan) {
+  fault_events_ = plan.ordered_events();
+  next_fault_ = 0;
+}
+
+void SimNetwork::set_crash_hook(const Principal& name, LifecycleHook hook) {
+  crash_hooks_[name] = std::move(hook);
+}
+
+void SimNetwork::set_restart_hook(const Principal& name, LifecycleHook hook) {
+  restart_hooks_[name] = std::move(hook);
+}
+
+void SimNetwork::crash(const Principal& name) {
+  if (!crashed_.insert(name).second) return;
+  const auto hook = crash_hooks_.find(name);
+  if (hook != crash_hooks_.end() && hook->second) hook->second();
+}
+
+void SimNetwork::restart(const Principal& name) {
+  if (crashed_.erase(name) == 0) return;
+  const auto hook = restart_hooks_.find(name);
+  if (hook != restart_hooks_.end() && hook->second) hook->second();
+}
+
+void SimNetwork::apply_faults_until(common::SimTime now) {
+  while (next_fault_ < fault_events_.size() &&
+         fault_events_[next_fault_].at <= now) {
+    const FaultEvent& e = fault_events_[next_fault_++];
+    switch (e.kind) {
+      case FaultEvent::Kind::SetDropRate:
+        drop_probability_ = e.drop_rate;
+        break;
+      case FaultEvent::Kind::SetPartitions:
+        partitions_ = e.partitions;
+        break;
+      case FaultEvent::Kind::Heal:
+        partitions_.clear();
+        break;
+      case FaultEvent::Kind::Crash:
+        crash(e.principal);
+        break;
+      case FaultEvent::Kind::Restart:
+        restart(e.principal);
+        break;
+    }
+  }
+}
+
 void SimNetwork::send(const Principal& from, const Principal& to,
                       const std::string& topic, common::Bytes payload) {
+  apply_faults_until(clock_.now());
   if (!handlers_.contains(to)) {
     throw common::ProtocolError("send to unknown principal: " + to);
   }
   ++stats_.messages_sent;
   stats_.bytes_sent += payload.size();
 
+  if (crashed_.contains(from) || crashed_.contains(to)) {
+    ++stats_.messages_dropped;
+    ++stats_.dropped_crashed;
+    return;
+  }
   if (drop_probability_ > 0.0 && rng_.next_double() < drop_probability_) {
     ++stats_.messages_dropped;
+    ++stats_.dropped_random_loss;
     return;
   }
   if (!reachable(from, to)) {
     ++stats_.messages_dropped;
+    ++stats_.dropped_partition;
     return;
   }
 
@@ -50,7 +107,7 @@ void SimNetwork::send(const Principal& from, const Principal& to,
                                    static_cast<double>(payload.size()));
   Message msg{from, to, topic, std::move(payload), clock_.now(),
               clock_.now() + latency};
-  queue_.push(Pending{msg.delivered_at, sequence_++, std::move(msg)});
+  queue_.push(Pending{msg.delivered_at, sequence_++, std::move(msg), nullptr});
 }
 
 void SimNetwork::broadcast(const Principal& from, const std::string& topic,
@@ -61,15 +118,37 @@ void SimNetwork::broadcast(const Principal& from, const std::string& topic,
   }
 }
 
+void SimNetwork::schedule(common::SimTime at, std::function<void()> fn) {
+  if (at < clock_.now()) at = clock_.now();
+  Pending p;
+  p.deliver_at = at;
+  p.sequence = sequence_++;
+  p.timer = std::move(fn);
+  queue_.push(std::move(p));
+}
+
 std::size_t SimNetwork::run() {
   std::size_t delivered = 0;
   while (!queue_.empty()) {
     Pending next = queue_.top();
     queue_.pop();
     clock_.advance_to(next.deliver_at);
+    // Fault events scheduled before this delivery take effect first, so a
+    // crash at time T suppresses deliveries at T' >= T.
+    apply_faults_until(clock_.now());
+    if (next.timer) {
+      next.timer();
+      continue;
+    }
     const auto it = handlers_.find(next.message.to);
     if (it == handlers_.end()) {
       ++stats_.messages_dropped;  // receiver detached in flight
+      ++stats_.dropped_detached;
+      continue;
+    }
+    if (crashed_.contains(next.message.to)) {
+      ++stats_.messages_dropped;  // receiver crashed while in flight
+      ++stats_.dropped_crashed;
       continue;
     }
     // The recipient observes the raw bytes of everything delivered to it.
@@ -78,6 +157,15 @@ std::size_t SimNetwork::run() {
     ++stats_.messages_delivered;
     ++delivered;
     it->second(next.message);
+  }
+  // Let any remaining fault events (e.g. a restart after the last
+  // message) fire rather than strand them behind an empty queue.
+  if (next_fault_ < fault_events_.size()) {
+    const common::SimTime last = fault_events_.back().at;
+    clock_.advance_to(last);
+    apply_faults_until(last);
+    // Restart hooks may have queued catch-up traffic; drain it.
+    if (!queue_.empty()) delivered += run();
   }
   return delivered;
 }

@@ -6,10 +6,12 @@
 // trace is reproducible. Handlers may send further messages; run() drains
 // the event queue.
 //
-// Fault injection (drop probability, partitions) exists because the
-// ordering and platform layers must behave sanely when peers are
-// unreachable — and because privacy mechanisms must not silently fail
-// open under faults.
+// Fault injection (drop probability, partitions, crash-stop) exists
+// because the ordering and platform layers must behave sanely when peers
+// are unreachable — and because privacy mechanisms must not silently fail
+// open under faults. Scripted fault schedules (net/fault.hpp) are applied
+// as simulated time advances; protocols that need delivery guarantees on
+// a lossy network layer a ReliableChannel (net/reliable.hpp) on top.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +25,7 @@
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "net/fault.hpp"
 #include "net/leakage.hpp"
 
 namespace veil::net {
@@ -45,13 +48,24 @@ struct LatencyModel {
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_dropped = 0;  // total across all causes below
   std::uint64_t bytes_sent = 0;
+
+  // Drop breakdown by cause.
+  std::uint64_t dropped_random_loss = 0;
+  std::uint64_t dropped_partition = 0;
+  std::uint64_t dropped_detached = 0;  // receiver detached in flight
+  std::uint64_t dropped_crashed = 0;   // sender or receiver crash-stopped
+
+  // Reliable-delivery accounting (incremented by ReliableChannel).
+  std::uint64_t retransmits = 0;
+  std::uint64_t duplicates_suppressed = 0;
 };
 
 class SimNetwork {
  public:
   using Handler = std::function<void(const Message&)>;
+  using LifecycleHook = std::function<void()>;
 
   SimNetwork(common::Rng rng, LatencyModel latency = {});
 
@@ -71,9 +85,14 @@ class SimNetwork {
   void broadcast(const Principal& from, const std::string& topic,
                  const common::Bytes& payload);
 
-  /// Deliver all queued messages (and any they trigger) in time order.
-  /// Returns the number delivered.
+  /// Deliver all queued messages and timers (and any they trigger) in
+  /// time order. Returns the number of messages delivered.
   std::size_t run();
+
+  /// Schedule `fn` to run at simulated time `at` (clamped to now). Timers
+  /// share the delivery queue, so ordering against messages is exact.
+  /// ReliableChannel uses this for retransmission timeouts.
+  void schedule(common::SimTime at, std::function<void()> fn);
 
   /// Probability in [0,1] that any given message is silently dropped.
   void set_drop_probability(double p) { drop_probability_ = p; }
@@ -82,18 +101,43 @@ class SimNetwork {
   /// An empty partition list removes the partition.
   void set_partitions(std::vector<std::set<Principal>> partitions);
 
+  /// Install a scripted fault schedule. Events fire as simulated time
+  /// advances (at send and delivery points). Replaces any earlier plan;
+  /// events whose time has already passed fire immediately on the next
+  /// send/run.
+  void set_fault_plan(const FaultPlan& plan);
+
+  /// Crash/restart hooks, invoked when a FaultPlan (or crash()/restart())
+  /// crash-stops or revives `name`. The crash hook models losing volatile
+  /// state; the restart hook models WAL replay + catch-up.
+  void set_crash_hook(const Principal& name, LifecycleHook hook);
+  void set_restart_hook(const Principal& name, LifecycleHook hook);
+
+  /// Immediate crash-stop / restart (FaultPlan events route through
+  /// these; tests may call them directly).
+  void crash(const Principal& name);
+  void restart(const Principal& name);
+  bool crashed(const Principal& name) const { return crashed_.contains(name); }
+
   const common::SimClock& clock() const { return clock_; }
   const NetworkStats& stats() const { return stats_; }
   LeakageAuditor& auditor() { return auditor_; }
   const LeakageAuditor& auditor() const { return auditor_; }
 
+  /// ReliableChannel accounting hooks.
+  void count_retransmit() { ++stats_.retransmits; }
+  void count_duplicate() { ++stats_.duplicates_suppressed; }
+
  private:
   bool reachable(const Principal& from, const Principal& to) const;
+  /// Apply all fault-plan events scheduled at or before `now`.
+  void apply_faults_until(common::SimTime now);
 
   struct Pending {
     common::SimTime deliver_at;
     std::uint64_t sequence;  // tie-break for determinism
     Message message;
+    std::function<void()> timer;  // set => timer event, not a message
     bool operator>(const Pending& other) const {
       if (deliver_at != other.deliver_at) return deliver_at > other.deliver_at;
       return sequence > other.sequence;
@@ -108,6 +152,11 @@ class SimNetwork {
   std::uint64_t sequence_ = 0;
   double drop_probability_ = 0.0;
   std::vector<std::set<Principal>> partitions_;
+  std::set<Principal> crashed_;
+  std::map<Principal, LifecycleHook> crash_hooks_;
+  std::map<Principal, LifecycleHook> restart_hooks_;
+  std::vector<FaultEvent> fault_events_;  // time-ordered
+  std::size_t next_fault_ = 0;
   NetworkStats stats_;
   LeakageAuditor auditor_;
 };

@@ -1,0 +1,150 @@
+#include "net/reliable.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace veil::net {
+
+namespace {
+// Wire magics distinguish data envelopes from acks and reject junk early.
+constexpr std::uint32_t kDataMagic = 0x56524331;  // "VRC1"
+constexpr std::uint32_t kAckMagic = 0x56524341;   // "VRCA"
+constexpr const char* kAckTopic = "rel.ack";
+
+common::Bytes encode_ack(std::uint64_t seq) {
+  common::Writer w;
+  w.u32(kAckMagic);
+  w.u64(seq);
+  return w.take();
+}
+}  // namespace
+
+common::Bytes ReliableChannel::Envelope::encode() const {
+  common::Writer w;
+  w.u32(kDataMagic);
+  w.u64(seq);
+  w.bytes(payload);
+  return w.take();
+}
+
+ReliableChannel::Envelope ReliableChannel::Envelope::decode(
+    common::BytesView data) {
+  common::Reader r(data);
+  if (r.u32() != kDataMagic) {
+    throw common::ProtocolError("reliable: bad envelope magic");
+  }
+  Envelope env;
+  env.seq = r.u64();
+  env.payload = r.bytes();
+  if (!r.done()) throw common::ProtocolError("reliable: trailing bytes");
+  return env;
+}
+
+bool ReliableChannel::SeenWindow::fresh(std::uint64_t seq) {
+  if (seq < next) return false;
+  if (seq == next) {
+    ++next;
+    // Absorb any out-of-order arrivals that are now contiguous.
+    while (!ahead.empty() && *ahead.begin() == next) {
+      ahead.erase(ahead.begin());
+      ++next;
+    }
+    return true;
+  }
+  return ahead.insert(seq).second;
+}
+
+ReliableChannel::ReliableChannel(SimNetwork& network, RetryPolicy policy)
+    : network_(&network), policy_(policy) {}
+
+void ReliableChannel::attach(const Principal& name,
+                             SimNetwork::Handler handler) {
+  network_->attach(name, [this, name, handler = std::move(handler)](
+                             const Message& msg) {
+    on_message(name, handler, msg);
+  });
+}
+
+void ReliableChannel::on_message(const Principal& self,
+                                 const SimNetwork::Handler& handler,
+                                 const Message& msg) {
+  if (msg.topic == kAckTopic) {
+    try {
+      common::Reader r(msg.payload);
+      if (r.u32() != kAckMagic) return;
+      const std::uint64_t seq = r.u64();
+      // The ack travels receiver -> sender, so the original direction is
+      // (msg.to, msg.from).
+      if (in_flight_.erase(Key{msg.to, msg.from, seq}) > 0) ++stats_.acked;
+    } catch (const common::Error&) {
+      ++stats_.malformed;
+    }
+    return;
+  }
+
+  Envelope env;
+  try {
+    env = Envelope::decode(msg.payload);
+  } catch (const common::Error&) {
+    ++stats_.malformed;  // fail closed: undecodable traffic is dropped
+    return;
+  }
+  // Ack even duplicates — the earlier ack may have been lost.
+  network_->send(self, msg.from, kAckTopic, encode_ack(env.seq));
+  if (!seen_[{msg.from, self}].fresh(env.seq)) {
+    ++stats_.duplicates_suppressed;
+    network_->count_duplicate();
+    return;
+  }
+  if (!handler) return;  // send-only endpoint
+  Message inner = msg;
+  inner.payload = std::move(env.payload);
+  handler(inner);
+}
+
+void ReliableChannel::send(const Principal& from, const Principal& to,
+                           const std::string& topic, common::Bytes payload) {
+  Envelope env;
+  env.seq = next_seq_[{from, to}]++;
+  env.payload = std::move(payload);
+
+  Key key{from, to, env.seq};
+  InFlight flight;
+  flight.topic = topic;
+  flight.wire = env.encode();
+  flight.timeout = policy_.initial_timeout_us;
+  ++stats_.sent;
+  network_->send(from, to, topic, flight.wire);
+  in_flight_.insert_or_assign(key, std::move(flight));
+  arm_timer(std::move(key));
+}
+
+void ReliableChannel::arm_timer(Key key) {
+  const auto it = in_flight_.find(key);
+  if (it == in_flight_.end()) return;
+  const common::SimTime fire_at = network_->clock().now() + it->second.timeout;
+  network_->schedule(fire_at, [this, key = std::move(key)]() {
+    const auto flight = in_flight_.find(key);
+    if (flight == in_flight_.end()) return;  // acked in the meantime
+    InFlight& f = flight->second;
+    // A crashed sender loses its retransmission state; a detached
+    // receiver will never ack. Both end the retry loop — fail closed.
+    if (f.attempts >= policy_.max_attempts ||
+        network_->crashed(key.from) || !network_->attached(key.to)) {
+      ++stats_.gave_up;
+      in_flight_.erase(flight);
+      return;
+    }
+    ++f.attempts;
+    ++stats_.retransmits;
+    network_->count_retransmit();
+    network_->send(key.from, key.to, f.topic, f.wire);
+    f.timeout = static_cast<common::SimTime>(
+        static_cast<double>(f.timeout) * policy_.backoff_factor);
+    arm_timer(key);
+  });
+}
+
+}  // namespace veil::net

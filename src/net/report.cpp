@@ -102,4 +102,26 @@ std::string render_disclosures(std::string_view label_prefix,
   return os.str();
 }
 
+std::string render_network_stats(const NetworkStats& stats) {
+  const auto line = [](std::ostringstream& os, std::string_view label,
+                       std::uint64_t value) {
+    os << "  " << std::left << std::setw(28) << label << value << "\n";
+  };
+  std::ostringstream os;
+  os << "network delivery report:\n";
+  line(os, "messages sent", stats.messages_sent);
+  line(os, "messages delivered", stats.messages_delivered);
+  line(os, "bytes sent", stats.bytes_sent);
+  line(os, "messages dropped", stats.messages_dropped);
+  os << "drop breakdown by cause:\n";
+  line(os, "random loss", stats.dropped_random_loss);
+  line(os, "partition", stats.dropped_partition);
+  line(os, "detached receiver", stats.dropped_detached);
+  line(os, "crash-stopped endpoint", stats.dropped_crashed);
+  os << "reliable delivery:\n";
+  line(os, "retransmits", stats.retransmits);
+  line(os, "duplicates suppressed", stats.duplicates_suppressed);
+  return os.str();
+}
+
 }  // namespace veil::net

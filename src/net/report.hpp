@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/leakage.hpp"
+#include "net/network.hpp"
 
 namespace veil::net {
 
@@ -42,5 +43,11 @@ std::vector<DisclosureRecord> disclosures(const LeakageAuditor& auditor,
 
 std::string render_disclosures(std::string_view label_prefix,
                                const std::vector<DisclosureRecord>& records);
+
+/// Render delivery/fault accounting: totals, a drop breakdown by cause
+/// (random loss, partition, detached receiver, crash-stop), and the
+/// reliable-channel counters (retransmits, duplicates suppressed). The
+/// chaos-test how-to in docs/fault_model.md reads from this table.
+std::string render_network_stats(const NetworkStats& stats);
 
 }  // namespace veil::net

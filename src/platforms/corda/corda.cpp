@@ -31,6 +31,47 @@ std::uint64_t data_bytes(const std::vector<OutputSpec>& outputs) {
   return total;
 }
 
+// Vault WAL record types (generic typed records, see ledger/wal.hpp).
+constexpr std::uint8_t kWalVaultAdd = 10;
+constexpr std::uint8_t kWalVaultConsume = 11;
+constexpr std::uint8_t kWalLinkage = 12;
+
+common::Bytes encode_state(const CordaState& state) {
+  common::Writer w;
+  w.str(state.ref.tx_id);
+  w.u32(state.ref.index);
+  w.str(state.contract);
+  w.bytes(state.data);
+  w.varint(state.participants.size());
+  for (const std::string& p : state.participants) w.str(p);
+  return w.take();
+}
+
+CordaState decode_state(common::BytesView data) {
+  common::Reader r(data);
+  CordaState state;
+  state.ref.tx_id = r.str();
+  state.ref.index = r.u32();
+  state.contract = r.str();
+  state.data = r.bytes();
+  const std::uint64_t count = r.varint();
+  for (std::uint64_t i = 0; i < count; ++i) state.participants.push_back(r.str());
+  return state;
+}
+
+/// Flow wire format: the tx id (handlers key their context on it)
+/// followed by the actual payload bytes.
+common::Bytes flow_wire(const std::string& tx_id, common::BytesView body) {
+  common::Writer w;
+  w.str(tx_id);
+  w.raw(body);
+  return w.take();
+}
+
+common::BytesView root_view(const crypto::Digest& root) {
+  return common::BytesView(root.data(), root.size());
+}
+
 }  // namespace
 
 CordaNetwork::CordaNetwork(net::SimNetwork& network, const crypto::Group& group,
@@ -38,24 +79,31 @@ CordaNetwork::CordaNetwork(net::SimNetwork& network, const crypto::Group& group,
     : network_(&network),
       group_(&group),
       rng_(rng.fork()),
-      ca_("corda-doorman", group, rng_) {}
+      ca_("corda-doorman", group, rng_),
+      channel_(network) {}
 
 void CordaNetwork::add_party(const std::string& name) {
   if (parties_.contains(name)) return;
   Party party{crypto::KeyPair::generate(*group_, rng_), pki::Certificate{},
-              nullptr, {}, {}};
+              nullptr, {}, {}, {}};
   party.certificate = ca_.issue(name, party.keypair.public_key(),
                                 {{"type", "party"}}, 0, ~common::SimTime{0});
   party.onetime_chain = std::make_unique<pki::OneTimeKeyChain>(
       *group_, rng_.next_bytes(32));
   parties_.insert_or_assign(name, std::move(party));
-  network_->attach(name, [](const net::Message&) {});
+  channel_.attach(name, [this, name](const net::Message& msg) {
+    on_party_message(name, msg);
+  });
+  network_->set_crash_hook(name, [this, name] { on_party_crash(name); });
+  network_->set_restart_hook(name, [this, name] { on_party_restart(name); });
 }
 
 void CordaNetwork::add_notary(const std::string& name, bool validating) {
   notaries_.insert_or_assign(
       name, Notary{crypto::KeyPair::generate(*group_, rng_), validating, {}, 0});
-  network_->attach(name, [](const net::Message&) {});
+  channel_.attach(name, [this, name](const net::Message& msg) {
+    on_notary_message(name, msg);
+  });
 }
 
 void CordaNetwork::register_contract(const std::string& contract,
@@ -68,7 +116,264 @@ void CordaNetwork::add_oracle(const std::string& name,
   oracles_.insert_or_assign(
       name,
       Oracle{crypto::KeyPair::generate(*group_, rng_), std::move(facts)});
-  network_->attach(name, [](const net::Message&) {});
+  channel_.attach(name, [this, name](const net::Message& msg) {
+    on_oracle_message(name, msg);
+  });
+}
+
+void CordaNetwork::observe_transaction(const std::string& self,
+                                       const PendingFlow& flow) {
+  // A signing participant receives the full transaction.
+  auditor().record(self, "tx/" + flow.tx_id + "/data", flow.out_bytes);
+  auditor().record(self, "tx/" + flow.tx_id + "/parties", flow.parties_bytes,
+                   /*plaintext=*/!flow.confidential);
+}
+
+void CordaNetwork::install_linkages(const std::string& self,
+                                    const PendingFlow& flow) {
+  Party& party = parties_.at(self);
+  for (const pki::KeyLinkage& linkage : flow.linkages) {
+    const std::string fingerprint =
+        linkage.certificate.subject_key.fingerprint();
+    const std::string identity = linkage.identity();
+    common::Writer w;
+    w.str(fingerprint);
+    w.str(identity);
+    party.wal.append(kWalLinkage, w.take());
+    party.known_linkages[fingerprint] = identity;
+  }
+}
+
+void CordaNetwork::apply_finality(const std::string& self,
+                                  const PendingFlow& flow) {
+  Party& party = parties_.at(self);
+  for (const StateRef& ref : flow.inputs) {
+    if (!party.vault.contains(ref)) continue;
+    common::Writer w;
+    w.str(ref.tx_id);
+    w.u32(ref.index);
+    party.wal.append(kWalVaultConsume, w.take());
+    party.vault.erase(ref);
+  }
+  for (std::size_t i = 0; i < flow.outputs.size(); ++i) {
+    CordaState state;
+    state.ref = StateRef{
+        flow.tx_id, static_cast<std::uint32_t>(flow.first_output_leaf + i)};
+    state.contract = flow.outputs[i].contract;
+    state.data = flow.outputs[i].data;
+    state.participants = flow.outputs[i].participants;
+    bool mine = false;
+    for (const std::string& participant : state.participants) {
+      std::string name = participant;
+      if (name.starts_with("ot:")) {
+        const auto owner = onetime_owners_.find(name.substr(3));
+        if (owner == onetime_owners_.end()) continue;
+        name = owner->second;
+      }
+      if (name == self) {
+        mine = true;
+        break;
+      }
+    }
+    if (!mine) continue;
+    party.wal.append(kWalVaultAdd, encode_state(state));
+    party.vault[state.ref] = state;
+  }
+}
+
+void CordaNetwork::on_party_crash(const std::string& name) {
+  Party& party = parties_.at(name);
+  party.vault.clear();
+  party.known_linkages.clear();
+}
+
+void CordaNetwork::on_party_restart(const std::string& name) {
+  Party& party = parties_.at(name);
+  party.vault.clear();
+  party.known_linkages.clear();
+  for (const ledger::WriteAheadLog::Record& rec : party.wal.recover()) {
+    try {
+      common::Reader r(rec.payload);
+      if (rec.type == kWalVaultAdd) {
+        const CordaState state = decode_state(rec.payload);
+        party.vault[state.ref] = state;
+      } else if (rec.type == kWalVaultConsume) {
+        StateRef ref;
+        ref.tx_id = r.str();
+        ref.index = r.u32();
+        party.vault.erase(ref);
+      } else if (rec.type == kWalLinkage) {
+        const std::string fingerprint = r.str();
+        party.known_linkages[fingerprint] = r.str();
+      }
+    } catch (const common::Error&) {
+      break;  // undecodable payload: treat like a torn tail
+    }
+  }
+}
+
+void CordaNetwork::on_party_message(const std::string& self,
+                                    const net::Message& msg) {
+  common::Reader r(msg.payload);
+  std::string tx_id;
+  try {
+    tx_id = r.str();
+  } catch (const common::Error&) {
+    return;  // malformed frame: drop
+  }
+  const auto flow_it = pending_.find(tx_id);
+  if (flow_it == pending_.end()) return;  // stale retransmit of a dead flow
+  PendingFlow& flow = flow_it->second;
+
+  if (msg.topic == "corda.sign-request") {
+    observe_transaction(self, flow);
+    install_linkages(self, flow);
+    common::Writer w;
+    w.str(tx_id);
+    w.str(self);
+    w.bytes(parties_.at(self).keypair.sign(root_view(flow.root)).encode());
+    channel_.send(self, msg.from, "corda.sign-response", w.take());
+  } else if (msg.topic == "corda.sign-response") {
+    try {
+      const std::string signer = r.str();
+      flow.signatures[signer] = crypto::Signature::decode(r.bytes());
+    } catch (const common::Error&) {
+    }
+  } else if (msg.topic == "corda.finalize") {
+    apply_finality(self, flow);
+    common::Writer w;
+    w.str(tx_id);
+    w.str(self);
+    channel_.send(self, msg.from, "corda.finalize-ack", w.take());
+  } else if (msg.topic == "corda.finalize-ack") {
+    try {
+      flow.finalize_acks.insert(r.str());
+    } catch (const common::Error&) {
+    }
+  } else if (msg.topic == "corda.oracle-response" ||
+             msg.topic == "corda.notarize-response") {
+    try {
+      if (r.boolean()) {
+        const crypto::Signature sig = crypto::Signature::decode(r.bytes());
+        if (msg.topic == "corda.oracle-response") {
+          flow.oracle_signature = sig;
+        } else {
+          flow.notary_signature = sig;
+        }
+      } else {
+        flow.refusal = r.str();
+      }
+    } catch (const common::Error&) {
+    }
+  }
+}
+
+void CordaNetwork::on_notary_message(const std::string& self,
+                                     const net::Message& msg) {
+  if (msg.topic != "corda.notarize") return;
+  std::string tx_id;
+  common::Bytes body;
+  try {
+    common::Reader r(msg.payload);
+    tx_id = r.str();
+    body = r.raw(r.remaining());
+  } catch (const common::Error&) {
+    return;
+  }
+  const auto flow_it = pending_.find(tx_id);
+  if (flow_it == pending_.end()) return;
+  PendingFlow& flow = flow_it->second;
+  Notary& notary = notaries_.at(self);
+
+  std::string refusal;
+  if (notary.validating) {
+    auditor().record(self, "tx/" + tx_id + "/data", flow.out_bytes);
+  } else {
+    // Non-validating: only the input refs arrive in clear; the rest is a
+    // tear-off the notary verifies against the signed root.
+    auditor().record(self, "tx/" + tx_id + "/data", flow.out_bytes,
+                     /*plaintext=*/false);
+    try {
+      const crypto::TearOff filtered = crypto::TearOff::decode(body);
+      if (!filtered.verify_against(flow.root)) {
+        refusal = "notary tear-off verification failed";
+      }
+    } catch (const common::Error&) {
+      refusal = "notary tear-off verification failed";
+    }
+  }
+  if (refusal.empty()) {
+    for (const StateRef& ref : flow.inputs) {
+      if (notary.consumed.contains(ref)) {
+        refusal = "double spend rejected by notary";
+        break;
+      }
+    }
+  }
+
+  common::Writer w;
+  w.str(tx_id);
+  if (!refusal.empty()) {
+    w.boolean(false);
+    w.str(refusal);
+  } else {
+    for (const StateRef& ref : flow.inputs) notary.consumed.insert(ref);
+    ++notary.notarized;
+    w.boolean(true);
+    w.bytes(notary.keypair.sign(root_view(flow.root)).encode());
+  }
+  channel_.send(self, msg.from, "corda.notarize-response", w.take());
+}
+
+void CordaNetwork::on_oracle_message(const std::string& self,
+                                     const net::Message& msg) {
+  if (msg.topic != "corda.oracle-request") return;
+  std::string tx_id;
+  common::Bytes body;
+  try {
+    common::Reader r(msg.payload);
+    tx_id = r.str();
+    body = r.raw(r.remaining());
+  } catch (const common::Error&) {
+    return;
+  }
+  const auto flow_it = pending_.find(tx_id);
+  if (flow_it == pending_.end()) return;
+  PendingFlow& flow = flow_it->second;
+  Oracle& oracle = oracles_.at(self);
+
+  // Oracle sees only the fact component; the rest is torn off.
+  auditor().record(self, "tx/" + tx_id + "/fact",
+                   flow.fact_key.size() + flow.fact_value.size());
+  auditor().record(self, "tx/" + tx_id + "/data", flow.out_bytes,
+                   /*plaintext=*/false);
+
+  std::string refusal;
+  try {
+    const crypto::TearOff filtered = crypto::TearOff::decode(body);
+    if (!filtered.verify_against(flow.root)) {
+      refusal = "tear-off verification failed";
+    }
+  } catch (const common::Error&) {
+    refusal = "tear-off verification failed";
+  }
+  if (refusal.empty()) {
+    const auto fact = oracle.facts.find(flow.fact_key);
+    if (fact == oracle.facts.end() || fact->second != flow.fact_value) {
+      refusal = "oracle refused: fact mismatch";
+    }
+  }
+
+  common::Writer w;
+  w.str(tx_id);
+  if (!refusal.empty()) {
+    w.boolean(false);
+    w.str(refusal);
+  } else {
+    w.boolean(true);
+    w.bytes(oracle.keypair.sign(root_view(flow.root)).encode());
+  }
+  channel_.send(self, msg.from, "corda.oracle-response", w.take());
 }
 
 CordaNetwork::Party* CordaNetwork::signer_of(const std::string& participant,
@@ -209,120 +514,109 @@ FlowResult CordaNetwork::transact(const std::string& initiator,
                                                          : name);
   }
 
-  for (const std::string& party : signer_parties) {
-    if (party != initiator) {
-      network_->send(initiator, party, "corda.sign-request", full_tx_bytes);
+  // --- Register the flow context, then run the message rounds --------------
+  {
+    PendingFlow flow;
+    flow.tx_id = tx_id;
+    flow.root = tree.root();
+    flow.inputs = inputs;
+    flow.outputs = final_outputs;
+    flow.first_output_leaf = first_output_leaf;
+    flow.linkages = std::move(linkages);
+    flow.confidential = confidential;
+    flow.out_bytes = data_bytes(final_outputs);
+    for (const std::string& p : all_participants) {
+      flow.parties_bytes += p.size();
     }
-    // Each signing participant sees the full transaction.
-    auditor().record(party, "tx/" + tx_id + "/data",
-                     data_bytes(final_outputs));
-    std::uint64_t party_bytes = 0;
-    for (const std::string& p : all_participants) party_bytes += p.size();
-    auditor().record(party, "tx/" + tx_id + "/parties", party_bytes,
-                     /*plaintext=*/!confidential);
-    // Share linkage certificates with co-participants only.
-    for (const pki::KeyLinkage& linkage : linkages) {
-      parties_.at(party).known_linkages
-          [linkage.certificate.subject_key.fingerprint()] =
-          linkage.identity();
+    if (oracle) {
+      flow.fact_key = oracle->fact_key;
+      flow.fact_value = oracle->fact_value;
     }
+    pending_.insert_or_assign(tx_id, std::move(flow));
   }
+  PendingFlow& flow = pending_.at(tx_id);
+  const auto fail = [&](std::string reason) {
+    pending_.erase(tx_id);
+    return FlowResult{false, tx_id, std::move(reason)};
+  };
 
-  std::vector<crypto::Signature> signatures;
+  // --- Signature round (peer-to-peer) ---------------------------------------
+  // The initiator signs locally; every other signer party receives the
+  // full transaction and responds with its signature. A counterparty the
+  // network cannot reach (after bounded retries) fails the flow closed —
+  // nothing is consumed, no vault changes.
+  observe_transaction(initiator, flow);
+  install_linkages(initiator, flow);
+  flow.signatures[initiator] = initiator_it->second.keypair.sign(root_msg);
   for (const std::string& party : signer_parties) {
-    signatures.push_back(parties_.at(party).keypair.sign(root_msg));
+    if (party == initiator) continue;
+    channel_.send(initiator, party, "corda.sign-request",
+                  flow_wire(tx_id, full_tx_bytes));
+  }
+  network_->run();
+  for (const std::string& party : signer_parties) {
+    if (!flow.signatures.contains(party)) {
+      return fail("signature round incomplete: " + party + " unreachable");
+    }
   }
 
   // --- Oracle attestation over a tear-off -----------------------------------
   if (oracle) {
-    const auto oracle_it = oracles_.find(oracle->oracle);
-    if (oracle_it == oracles_.end()) return {false, tx_id, "unknown oracle"};
+    if (!oracles_.contains(oracle->oracle)) return fail("unknown oracle");
     const crypto::TearOff filtered =
         crypto::TearOff::create(leaves, salts, {*fact_leaf});
-    network_->send(initiator, oracle->oracle, "corda.oracle-request",
-                   filtered.encode());
-    // Oracle sees only the fact component; the rest is torn off.
-    auditor().record(oracle->oracle, "tx/" + tx_id + "/fact",
-                     oracle->fact_key.size() + oracle->fact_value.size());
-    auditor().record(oracle->oracle, "tx/" + tx_id + "/data",
-                     data_bytes(final_outputs), /*plaintext=*/false);
-    if (!filtered.verify_against(tree.root())) {
-      return {false, tx_id, "tear-off verification failed"};
-    }
-    const auto fact = oracle_it->second.facts.find(oracle->fact_key);
-    if (fact == oracle_it->second.facts.end() ||
-        fact->second != oracle->fact_value) {
-      return {false, tx_id, "oracle refused: fact mismatch"};
-    }
-    signatures.push_back(oracle_it->second.keypair.sign(root_msg));
+    channel_.send(initiator, oracle->oracle, "corda.oracle-request",
+                  flow_wire(tx_id, filtered.encode()));
+    network_->run();
+    if (!flow.refusal.empty()) return fail(flow.refusal);
+    if (!flow.oracle_signature) return fail("oracle round incomplete");
   }
 
   // --- Notarization ----------------------------------------------------------
-  for (const StateRef& ref : inputs) {
-    if (notary.consumed.contains(ref)) {
-      return {false, tx_id, "double spend rejected by notary"};
+  {
+    common::Bytes body;
+    if (notary.validating) {
+      body = full_tx_bytes;
+    } else {
+      // Non-validating: only the input refs are revealed.
+      std::vector<std::size_t> visible;
+      for (std::size_t i = 1; i <= inputs.size(); ++i) visible.push_back(i);
+      body = crypto::TearOff::create(leaves, salts, visible).encode();
     }
+    channel_.send(initiator, notary_name, "corda.notarize",
+                  flow_wire(tx_id, body));
+    network_->run();
+    if (!flow.refusal.empty()) return fail(flow.refusal);
+    if (!flow.notary_signature) return fail("notarization incomplete");
   }
-  if (notary.validating) {
-    network_->send(initiator, notary_name, "corda.notarize", full_tx_bytes);
-    auditor().record(notary_name, "tx/" + tx_id + "/data",
-                     data_bytes(final_outputs));
-  } else {
-    // Non-validating: only the input refs are revealed.
-    std::vector<std::size_t> visible;
-    for (std::size_t i = 1; i <= inputs.size(); ++i) visible.push_back(i);
-    const crypto::TearOff filtered =
-        crypto::TearOff::create(leaves, salts, visible);
-    network_->send(initiator, notary_name, "corda.notarize",
-                   filtered.encode());
-    auditor().record(notary_name, "tx/" + tx_id + "/data",
-                     data_bytes(final_outputs), /*plaintext=*/false);
-    if (!filtered.verify_against(tree.root())) {
-      return {false, tx_id, "notary tear-off verification failed"};
-    }
-  }
-  for (const StateRef& ref : inputs) notary.consumed.insert(ref);
-  ++notary.notarized;
-  const crypto::Signature notary_sig = notary.keypair.sign(root_msg);
-  signatures.push_back(notary_sig);
 
   // Record for backchain resolution.
   TxRecord record;
   record.root = tree.root();
   record.inputs = inputs;
   record.notary = notary_name;
-  record.notary_signature = notary_sig;
-  record.data_bytes = data_bytes(final_outputs);
+  record.notary_signature = *flow.notary_signature;
+  record.data_bytes = flow.out_bytes;
   record.is_issue = inputs.empty();
   tx_records_[tx_id] = std::move(record);
 
-  // --- Finality: update vaults ------------------------------------------------
+  // --- Finality: every signer party applies the vault update ----------------
+  apply_finality(initiator, flow);
   for (const std::string& party : signer_parties) {
-    if (party != initiator) {
-      network_->send(initiator, party, "corda.finalize", full_tx_bytes);
-    }
-    Party& p = parties_.at(party);
-    for (const StateRef& ref : inputs) p.vault.erase(ref);
-  }
-  for (std::size_t i = 0; i < final_outputs.size(); ++i) {
-    CordaState state;
-    state.ref = StateRef{tx_id,
-                         static_cast<std::uint32_t>(first_output_leaf + i)};
-    state.contract = final_outputs[i].contract;
-    state.data = final_outputs[i].data;
-    state.participants = final_outputs[i].participants;
-    for (const std::string& participant : state.participants) {
-      std::string name = participant;
-      if (name.starts_with("ot:")) {
-        const auto owner = onetime_owners_.find(name.substr(3));
-        if (owner == onetime_owners_.end()) continue;
-        name = owner->second;
-      }
-      parties_.at(name).vault[state.ref] = state;
-    }
+    if (party == initiator) continue;
+    channel_.send(initiator, party, "corda.finalize",
+                  flow_wire(tx_id, full_tx_bytes));
   }
   network_->run();
+  for (const std::string& party : signer_parties) {
+    if (party != initiator && !flow.finalize_acks.contains(party)) {
+      // Notarized but a counterparty never confirmed storage: surface it
+      // rather than silently diverging vaults.
+      return fail("finality incomplete: " + party + " unreachable");
+    }
+  }
 
+  pending_.erase(tx_id);
   return {true, tx_id, ""};
 }
 

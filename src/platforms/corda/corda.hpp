@@ -30,7 +30,10 @@
 #include <vector>
 
 #include "crypto/merkle.hpp"
+#include "crypto/signature.hpp"
+#include "ledger/wal.hpp"
 #include "net/network.hpp"
+#include "net/reliable.hpp"
 #include "pki/membership.hpp"
 #include "pki/onetime.hpp"
 
@@ -135,6 +138,7 @@ class CordaNetwork {
       const std::string& party, const std::string& fingerprint) const;
 
   net::LeakageAuditor& auditor() { return network_->auditor(); }
+  net::ReliableChannel& reliable() { return channel_; }
   const crypto::Group& group() const { return *group_; }
 
   std::uint64_t notarized_count(const std::string& notary) const;
@@ -147,6 +151,9 @@ class CordaNetwork {
     std::map<StateRef, CordaState> vault;
     // fingerprint -> identity, learned via linkage certs.
     std::map<std::string, std::string> known_linkages;
+    /// Durable vault log: add/consume/linkage records survive a
+    /// crash-stop and rebuild the vault on restart.
+    ledger::WriteAheadLog wal;
   };
 
   struct Notary {
@@ -177,10 +184,50 @@ class CordaNetwork {
   Party* signer_of(const std::string& participant,
                    const std::string& initiator);
 
+  /// In-flight flow context, keyed by tx id. Handlers look the flow up
+  /// when a request arrives; the wire still carries the real payload, so
+  /// the leakage auditor sees honest byte counts.
+  struct PendingFlow {
+    std::string tx_id;
+    crypto::Digest root{};
+    std::vector<StateRef> inputs;
+    std::vector<OutputSpec> outputs;  // confidential identities applied
+    std::size_t first_output_leaf = 0;
+    std::vector<pki::KeyLinkage> linkages;
+    bool confidential = false;
+    std::uint64_t out_bytes = 0;
+    std::uint64_t parties_bytes = 0;
+    std::string fact_key;
+    std::string fact_value;
+    // Collected responses (each arrives only if the network delivers it).
+    std::map<std::string, crypto::Signature> signatures;
+    std::optional<crypto::Signature> oracle_signature;
+    std::optional<crypto::Signature> notary_signature;
+    std::string refusal;  // oracle/notary rejection reason
+    std::set<std::string> finalize_acks;
+  };
+
+  void on_party_message(const std::string& self, const net::Message& msg);
+  void on_notary_message(const std::string& self, const net::Message& msg);
+  void on_oracle_message(const std::string& self, const net::Message& msg);
+  /// Record what a signing participant observes by receiving the full tx.
+  void observe_transaction(const std::string& self, const PendingFlow& flow);
+  /// Install (and WAL-log) linkage certificates shared with `self`.
+  void install_linkages(const std::string& self, const PendingFlow& flow);
+  /// Consume inputs / store outputs in `self`'s vault, WAL-first.
+  void apply_finality(const std::string& self, const PendingFlow& flow);
+  void on_party_crash(const std::string& name);
+  void on_party_restart(const std::string& name);
+
   net::SimNetwork* network_;
   const crypto::Group* group_;
   common::Rng rng_;
   pki::CertificateAuthority ca_;
+  /// Flow sessions ride the reliable channel: lost sign-requests or
+  /// notarization messages are retransmitted; a dead counterparty makes
+  /// the flow fail closed instead of hanging half-finished.
+  net::ReliableChannel channel_;
+  std::map<std::string, PendingFlow> pending_;
   std::map<std::string, Party> parties_;
   std::map<std::string, Notary> notaries_;
   std::map<std::string, Oracle> oracles_;

@@ -19,11 +19,15 @@ FabricNetwork::FabricNetwork(net::SimNetwork& network,
       membership_(ca_, config.expose_member_directory),
       idemix_issuer_(ca_),
       registry_(network.auditor()),
-      engine_(registry_) {
+      engine_(registry_),
+      channel_(network) {
   if (config_.orderer_deployment == ledger::OrdererDeployment::Shared) {
     shared_orderer_ = std::make_unique<ledger::OrderingService>(
         "orderer-org", ledger::OrdererDeployment::Shared, network.auditor(),
         config_.block_size);
+    // Send/ack-only endpoint: the orderer never receives app traffic, but
+    // block deliveries it sends need the acks routed back to it.
+    channel_.attach("orderer-org", nullptr);
   }
 }
 
@@ -35,12 +39,14 @@ void FabricNetwork::add_org(const std::string& org) {
   membership_.onboard(cert, network_->clock().now());
 
   // The peer's block-delivery handler: catch up on any blocks missed
-  // (the orderer's delivery service), then validate and commit.
+  // (the orderer's delivery service), then validate and commit. The
+  // reliable channel dedups retransmissions, so this fires exactly once
+  // per distinct message.
   const std::string peer = peer_of(org);
-  network_->attach(peer, [this, org](const net::Message& msg) {
+  channel_.attach(peer, [this, org](const net::Message& msg) {
     if (msg.topic == "fabric.pdc-push") {
       // Gossip receipt of private data: acknowledge to the submitter.
-      network_->send(peer_of(org), msg.from, "fabric.pdc-ack", msg.payload);
+      channel_.send(peer_of(org), msg.from, "fabric.pdc-ack", msg.payload);
       return;
     }
     if (msg.topic == "fabric.pdc-ack") {
@@ -62,8 +68,54 @@ void FabricNetwork::add_org(const std::string& org) {
     }
     commit_block(org, ch->second, block);
   });
+  network_->set_crash_hook(peer, [this, org] { on_crash(org); });
+  network_->set_restart_hook(peer, [this, org] { on_restart(org); });
 
   orgs_.insert_or_assign(org, Org{std::move(keypair), std::move(cert)});
+}
+
+void FabricNetwork::on_crash(const std::string& org) {
+  for (auto& [name, ch] : channels_) {
+    const auto it = ch.replicas.find(org);
+    if (it == ch.replicas.end()) continue;
+    // Memory is gone; the WAL is the only thing that survives.
+    it->second.chain = ledger::Chain();
+    it->second.state = ledger::WorldState();
+  }
+}
+
+void FabricNetwork::on_restart(const std::string& org) {
+  for (auto& [name, ch] : channels_) {
+    const auto it = ch.replicas.find(org);
+    if (it == ch.replicas.end()) continue;
+    PeerReplica& replica = it->second;
+    const ledger::WalRecovery recovered =
+        ledger::wal_recover_blocks(replica.wal);
+    if (recovered.checkpoint) {
+      // Snapshot-joined peer: bootstrap from the checkpoint record.
+      replica.state = recovered.checkpoint->state;
+      replica.chain = ledger::Chain::from_checkpoint(
+          recovered.checkpoint->height, recovered.checkpoint->tip_hash);
+    }
+    for (const ledger::Block& block : recovered.blocks) {
+      commit_block(org, ch, block, /*replay=*/true);
+    }
+    // Blocks delivered while down: seek into the delivery service's log.
+    while (replica.chain.height() < ch.ordered_log.size()) {
+      commit_block(org, ch, ch.ordered_log[replica.chain.height()]);
+    }
+  }
+}
+
+void FabricNetwork::resync(const std::string& channel) {
+  auto& ch = channels_.at(channel);
+  for (const std::string& member : ch.members) {
+    if (network_->crashed(peer_of(member))) continue;
+    PeerReplica& replica = ch.replicas.at(member);
+    while (replica.chain.height() < ch.ordered_log.size()) {
+      commit_block(member, ch, ch.ordered_log[replica.chain.height()]);
+    }
+  }
 }
 
 std::optional<pki::IdemixCredential> FabricNetwork::issue_idemix_credential(
@@ -99,6 +151,8 @@ void FabricNetwork::create_channel(const std::string& channel,
     it->second.private_orderer = std::make_unique<ledger::OrderingService>(
         *members.begin(), ledger::OrdererDeployment::Private,
         network_->auditor(), config_.block_size);
+    // The operator principal sends block deliveries and collects acks.
+    channel_.attach(it->second.private_orderer->operator_name(), nullptr);
   }
 }
 
@@ -124,6 +178,10 @@ void FabricNetwork::join_channel(const std::string& channel,
     network_->auditor().record(peer_of(org),
                                "channel/" + channel + "/state-snapshot",
                                snapshot_bytes);
+    // The snapshot is the joiner's durable bootstrap: a checkpoint record
+    // lets a crashed joiner recover without any historical blocks.
+    ledger::wal_log_checkpoint(replica.wal, replica.chain.height(),
+                               replica.chain.tip_hash(), replica.state);
     ch.members.insert(org);
     ch.replicas.insert_or_assign(org, std::move(replica));
     return;
@@ -193,12 +251,15 @@ std::string FabricNetwork::orderer_operator(const std::string& channel) const {
 }
 
 void FabricNetwork::commit_block(const std::string& org, Channel& channel,
-                                 const ledger::Block& block) {
+                                 const ledger::Block& block, bool replay) {
   PeerReplica& replica = channel.replicas.at(org);
+  // WAL invariant: the block is durable before any in-memory mutation.
+  if (!replay) ledger::wal_log_block(replica.wal, block);
   replica.chain.append(block);
   for (const ledger::Transaction& tx : block.transactions) {
-    // Every member peer sees the full transaction.
-    record_visibility(network_->auditor(), peer_of(org), tx);
+    // Every member peer sees the full transaction (recorded once, at the
+    // original commit — WAL replay is a local re-read, not a new leak).
+    if (!replay) record_visibility(network_->auditor(), peer_of(org), tx);
 
     bool valid = tx.endorsements_valid(*group_);
     if (valid) {
@@ -245,7 +306,7 @@ void FabricNetwork::deliver_block(const std::string& channel_name,
   const common::Bytes encoded = block.encode();
   const std::string from = orderer_operator(channel_name);
   for (const std::string& member : ch.members) {
-    network_->send(from, peer_of(member), "fabric.block", encoded);
+    channel_.send(from, peer_of(member), "fabric.block", encoded);
   }
   network_->run();
 }
@@ -321,8 +382,8 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
     pdc_acks_[dissemination_id] = 0;
     for (const std::string& member : pre_cfg->members) {
       if (member == client_org || !ch.members.contains(member)) continue;
-      network_->send(peer_of(client_org), peer_of(member), "fabric.pdc-push",
-                     common::to_bytes(dissemination_id));
+      channel_.send(peer_of(client_org), peer_of(member), "fabric.pdc-push",
+                    common::to_bytes(dissemination_id));
     }
     network_->run();
     if (pdc_acks_[dissemination_id] < pre_cfg->required_peer_count) {

@@ -34,7 +34,9 @@
 #include "ledger/chain.hpp"
 #include "ledger/ordering.hpp"
 #include "ledger/state.hpp"
+#include "ledger/wal.hpp"
 #include "net/network.hpp"
+#include "net/reliable.hpp"
 #include "offchain/pdc.hpp"
 #include "pki/idemix.hpp"
 #include "pki/membership.hpp"
@@ -140,9 +142,16 @@ class FabricNetwork {
   bool is_channel_member(const std::string& channel,
                          const std::string& org) const;
 
+  /// Delivery-service seek: every live member peer that missed block
+  /// deliveries (loss, partition, give-up after bounded retries) replays
+  /// the orderer's log up to the current height. Crashed peers catch up
+  /// on restart instead.
+  void resync(const std::string& channel);
+
   pki::MembershipService& membership() { return membership_; }
   pki::IdemixIssuer& idemix_issuer() { return idemix_issuer_; }
   net::LeakageAuditor& auditor() { return network_->auditor(); }
+  net::ReliableChannel& reliable() { return channel_; }
   const crypto::Group& group() const { return *group_; }
 
   /// Principal name of the orderer operator for a channel.
@@ -159,6 +168,8 @@ class FabricNetwork {
   struct PeerReplica {
     ledger::Chain chain;
     ledger::WorldState state;
+    /// Durable log: survives a crash-stop; replayed on restart.
+    ledger::WriteAheadLog wal;
   };
 
   struct Channel {
@@ -178,9 +189,17 @@ class FabricNetwork {
   ledger::OrderingService& orderer_for(Channel& channel);
   void deliver_block(const std::string& channel_name,
                      const ledger::Block& block);
-  /// Validate and commit one block into one org's replica.
+  /// Validate and commit one block into one org's replica. `replay` marks
+  /// WAL recovery: the block is already durable and was already observed
+  /// pre-crash, so it is neither re-logged nor re-recorded in the auditor.
   void commit_block(const std::string& org, Channel& channel,
-                    const ledger::Block& block);
+                    const ledger::Block& block, bool replay = false);
+  /// Crash-stop: volatile replica state (chain, world state) is lost; the
+  /// WAL is durable and survives.
+  void on_crash(const std::string& org);
+  /// Restart: rebuild each replica from its WAL (checkpoint + blocks),
+  /// then catch up on blocks delivered while down via the delivery log.
+  void on_restart(const std::string& org);
   static std::string peer_of(const std::string& org) { return "peer." + org; }
 
   net::SimNetwork* network_;
@@ -192,6 +211,10 @@ class FabricNetwork {
   pki::IdemixIssuer idemix_issuer_;
   contracts::ContractRegistry registry_;
   contracts::ExecutionEngine engine_;
+  /// All platform traffic rides the reliable channel: at-least-once on the
+  /// lossy wire, exactly-once to handlers. Bounded retries keep the
+  /// fail-closed behavior on a dead network.
+  net::ReliableChannel channel_;
   std::unique_ptr<ledger::OrderingService> shared_orderer_;
   std::map<std::string, Org> orgs_;
   std::map<std::string, Channel> channels_;

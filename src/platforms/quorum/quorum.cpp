@@ -7,21 +7,44 @@
 
 namespace veil::quorum {
 
+common::Bytes PrivateEnvelope::encode() const {
+  common::Writer w;
+  w.str(tx_id);
+  w.str(sender);
+  w.bytes(sealed);
+  return w.take();
+}
+
+PrivateEnvelope PrivateEnvelope::decode(common::BytesView data) {
+  common::Reader r(data);
+  PrivateEnvelope env;
+  env.tx_id = r.str();
+  env.sender = r.str();
+  env.sealed = r.bytes();
+  if (!r.done()) throw common::Error("PrivateEnvelope: trailing data");
+  return env;
+}
+
 QuorumNetwork::QuorumNetwork(net::SimNetwork& network,
                              const crypto::Group& group, common::Rng& rng,
                              std::size_t block_size)
     : network_(&network),
       group_(&group),
       rng_(rng.fork()),
-      block_size_(block_size) {
+      block_size_(block_size),
+      channel_(network) {
   tip_hash_ = crypto::sha256(std::string_view("veil.chain.genesis"));
 }
 
 void QuorumNetwork::add_node(const std::string& org) {
   if (nodes_.contains(org)) return;
   nodes_.insert_or_assign(
-      org, Node{crypto::KeyPair::generate(*group_, rng_), {}, {}, {}, {}});
-  network_->attach(org, [](const net::Message&) {});
+      org, Node{crypto::KeyPair::generate(*group_, rng_), {}, {}, {}, {}, {}});
+  channel_.attach(org, [this, org](const net::Message& msg) {
+    on_node_message(org, msg);
+  });
+  network_->set_crash_hook(org, [this, org] { on_node_crash(org); });
+  network_->set_restart_hook(org, [this, org] { on_node_restart(org); });
 }
 
 TxResult QuorumNetwork::submit_public(
@@ -87,39 +110,94 @@ TxResult QuorumNetwork::enqueue(ledger::Transaction tx,
 
   if (tx.action == "private") {
     // Transaction-manager dissemination (Tessera-style): the payload is
-    // sealed under a per-recipient pair key, pushed, and opened at the
-    // recipient's transaction manager. This per-recipient crypto is what
-    // makes private transactions slower than public ones — the [5]
-    // performance result reproduced by bench_scalability_quorum.
-    std::set<std::string> holders = private_recipients;
-    holders.insert(from);
-    for (const std::string& holder : holders) {
-      if (holder == from) {
-        auditor().record(holder, "tx/" + tx_id + "/data",
-                         private_payload.size());
-        nodes_.at(holder).tm_store[tx_id] = private_payload;
-        continue;
-      }
+    // sealed under a per-recipient pair key, pushed over the reliable
+    // channel, and opened at the recipient's transaction manager. This
+    // per-recipient crypto is what makes private transactions slower than
+    // public ones — the [5] performance result reproduced by
+    // bench_scalability_quorum.
+    auditor().record(from, "tx/" + tx_id + "/data", private_payload.size());
+    nodes_.at(from).tm_store[tx_id] = private_payload;
+    tm_acks_[tx_id] = {};
+    for (const std::string& holder : private_recipients) {
+      if (holder == from) continue;
       const common::Bytes pair_key = crypto::hkdf(
           {}, common::to_bytes(from + "|" + holder), "quorum.tm.pair", 32);
       common::Writer nonce;
       nonce.u64(nonce_++);
       common::Bytes nonce16 = nonce.take();
       nonce16.resize(16, 0);
-      const common::Bytes sealed =
-          crypto::seal(pair_key, private_payload, nonce16);
-      network_->send(from, holder, "quorum.tm-push", sealed);
-      const auto opened = crypto::open(pair_key, sealed);
-      if (!opened) return {false, tx_id, "tm decryption failed"};
-      auditor().record(holder, "tx/" + tx_id + "/data", opened->size());
-      nodes_.at(holder).tm_store[tx_id] = *opened;
+      PrivateEnvelope env;
+      env.tx_id = tx_id;
+      env.sender = from;
+      env.sealed = crypto::seal(pair_key, private_payload, nonce16);
+      channel_.send(from, holder, "quorum.tm-push", env.encode());
     }
+    network_->run();
+    std::size_t acked = 0;
+    for (const std::string& holder : private_recipients) {
+      if (holder == from || tm_acks_[tx_id].contains(holder)) ++acked;
+    }
+    tm_acks_.erase(tx_id);
+    if (acked < private_recipients.size()) {
+      // Fail closed: without every recipient's transaction manager
+      // confirming receipt, the hash must not reach the chain — a private
+      // transaction nobody can open is worse than no transaction.
+      nodes_.at(from).tm_store.erase(tx_id);
+      return {false, tx_id, "private payload dissemination incomplete"};
+    }
+    std::set<std::string> holders = private_recipients;
+    holders.insert(from);
     private_details_[tx_id] = PrivateDetail{holders, private_writes};
   }
 
   pending_.push_back(std::move(tx));
   if (pending_.size() >= block_size_) seal_block();
   return {true, tx_id, ""};
+}
+
+void QuorumNetwork::on_node_message(const std::string& self,
+                                    const net::Message& msg) {
+  if (msg.topic == "quorum.tm-push") {
+    PrivateEnvelope env;
+    try {
+      env = PrivateEnvelope::decode(msg.payload);
+    } catch (const common::Error&) {
+      return;  // malformed envelope: drop, never store garbage
+    }
+    const common::Bytes pair_key =
+        crypto::hkdf({}, common::to_bytes(env.sender + "|" + self),
+                     "quorum.tm.pair", 32);
+    const auto opened = crypto::open(pair_key, env.sealed);
+    if (!opened) return;  // wrong key or tampered blob: no ack, no store
+    auditor().record(self, "tx/" + env.tx_id + "/data", opened->size());
+    nodes_.at(self).tm_store[env.tx_id] = *opened;
+    common::Writer w;
+    w.str(env.tx_id);
+    w.str(self);
+    channel_.send(self, msg.from, "quorum.tm-ack", w.take());
+  } else if (msg.topic == "quorum.tm-ack") {
+    try {
+      common::Reader r(msg.payload);
+      const std::string tx_id = r.str();
+      const std::string holder = r.str();
+      const auto acks = tm_acks_.find(tx_id);
+      if (acks != tm_acks_.end()) acks->second.insert(holder);
+    } catch (const common::Error&) {
+    }
+  } else if (msg.topic == "quorum.block") {
+    ledger::Block block;
+    try {
+      block = ledger::Block::decode(msg.payload);
+    } catch (const common::Error&) {
+      return;
+    }
+    Node& node = nodes_.at(self);
+    if (block.header.height < node.chain.height()) return;  // duplicate
+    while (node.chain.height() < block.header.height) {
+      apply_block(self, ordered_log_[node.chain.height()]);
+    }
+    apply_block(self, block);
+  }
 }
 
 void QuorumNetwork::seal_block() {
@@ -132,41 +210,81 @@ void QuorumNetwork::seal_block() {
   deliver(block);
 }
 
-void QuorumNetwork::deliver(const ledger::Block& block) {
-  const common::Bytes encoded = block.encode();
-  for (auto& [org, node] : nodes_) {
-    network_->send(block.transactions.front().participants.front(), org,
-                   "quorum.block", encoded);
-    node.chain.append(block);
-    for (const ledger::Transaction& tx : block.transactions) {
-      // Every node sees the full on-chain form: public payload in clear,
-      // private payload as hash — but always the participant list.
-      record_visibility(auditor(), org, tx);
-      if (tx.action == "public") {
-        for (const ledger::KvWrite& kv : tx.writes) {
-          if (kv.is_delete) {
-            node.public_state.erase(kv.key);
-          } else {
-            node.public_state.put(kv.key, kv.value);
-          }
+void QuorumNetwork::apply_block(const std::string& org,
+                                const ledger::Block& block, bool replay) {
+  Node& node = nodes_.at(org);
+  // WAL invariant: the block is durable before any in-memory mutation.
+  if (!replay) ledger::wal_log_block(node.wal, block);
+  node.chain.append(block);
+  for (const ledger::Transaction& tx : block.transactions) {
+    // Every node sees the full on-chain form: public payload in clear,
+    // private payload as hash — but always the participant list.
+    // (Recorded once, at the original commit; WAL replay is a local
+    // re-read, not a new leak.)
+    if (!replay) record_visibility(auditor(), org, tx);
+    if (tx.action == "public") {
+      for (const ledger::KvWrite& kv : tx.writes) {
+        if (kv.is_delete) {
+          node.public_state.erase(kv.key);
+        } else {
+          node.public_state.put(kv.key, kv.value);
         }
-      } else {
-        const auto detail = private_details_.find(tx.id());
-        if (detail != private_details_.end() &&
-            detail->second.recipients.contains(org)) {
-          // Recipients decrypt via their TM store and update private state.
-          for (const ledger::KvWrite& kv : detail->second.writes) {
-            if (kv.is_delete) {
-              node.private_state.erase(kv.key);
-            } else {
-              node.private_state.put(kv.key, kv.value);
-            }
+      }
+    } else {
+      const auto detail = private_details_.find(tx.id());
+      if (detail != private_details_.end() &&
+          detail->second.recipients.contains(org)) {
+        // Recipients decrypt via their TM store and update private state.
+        for (const ledger::KvWrite& kv : detail->second.writes) {
+          if (kv.is_delete) {
+            node.private_state.erase(kv.key);
+          } else {
+            node.private_state.put(kv.key, kv.value);
           }
         }
       }
     }
   }
+}
+
+void QuorumNetwork::deliver(const ledger::Block& block) {
+  ordered_log_.push_back(block);
+  const common::Bytes encoded = block.encode();
+  const std::string& from = block.transactions.front().participants.front();
+  for (const auto& [org, node] : nodes_) {
+    channel_.send(from, org, "quorum.block", encoded);
+  }
   network_->run();
+}
+
+void QuorumNetwork::sync() {
+  for (auto& [org, node] : nodes_) {
+    if (network_->crashed(org)) continue;
+    while (node.chain.height() < ordered_log_.size()) {
+      apply_block(org, ordered_log_[node.chain.height()]);
+    }
+  }
+}
+
+void QuorumNetwork::on_node_crash(const std::string& org) {
+  Node& node = nodes_.at(org);
+  // Volatile replica state is gone; the WAL and the transaction-manager
+  // store (a separate durable process) survive.
+  node.chain = ledger::Chain();
+  node.public_state = ledger::WorldState();
+  node.private_state = ledger::WorldState();
+}
+
+void QuorumNetwork::on_node_restart(const std::string& org) {
+  Node& node = nodes_.at(org);
+  const ledger::WalRecovery recovered = ledger::wal_recover_blocks(node.wal);
+  for (const ledger::Block& block : recovered.blocks) {
+    apply_block(org, block, /*replay=*/true);
+  }
+  // Blocks sealed while down: seek into the shared delivery log.
+  while (node.chain.height() < ordered_log_.size()) {
+    apply_block(org, ordered_log_[node.chain.height()]);
+  }
 }
 
 const ledger::Chain& QuorumNetwork::public_chain(const std::string& org) const {

@@ -25,7 +25,9 @@
 
 #include "ledger/chain.hpp"
 #include "ledger/state.hpp"
+#include "ledger/wal.hpp"
 #include "net/network.hpp"
+#include "net/reliable.hpp"
 #include "pki/ca.hpp"
 
 namespace veil::quorum {
@@ -34,6 +36,19 @@ struct TxResult {
   bool accepted = false;
   std::string tx_id;
   std::string reason;
+};
+
+/// Tessera-style transaction-manager push: the private payload sealed
+/// under the sender/recipient pair key, plus routing metadata. Exposed
+/// for the decode-fuzz suite.
+struct PrivateEnvelope {
+  std::string tx_id;
+  std::string sender;
+  common::Bytes sealed;
+
+  common::Bytes encode() const;
+  /// Throws common::Error on malformed input.
+  static PrivateEnvelope decode(common::BytesView data);
 };
 
 class QuorumNetwork {
@@ -57,6 +72,11 @@ class QuorumNetwork {
   /// Force any pending transactions into a block.
   void seal_block();
 
+  /// Delivery catch-up: every live node that missed block deliveries
+  /// (loss, partition, retries exhausted) replays the shared block log up
+  /// to the current height. Crashed nodes catch up on restart instead.
+  void sync();
+
   /// Node views.
   const ledger::Chain& public_chain(const std::string& org) const;
   const ledger::WorldState& public_state(const std::string& org) const;
@@ -73,6 +93,7 @@ class QuorumNetwork {
                                            const std::string& asset) const;
 
   net::LeakageAuditor& auditor() { return network_->auditor(); }
+  net::ReliableChannel& reliable() { return channel_; }
 
   std::uint64_t public_tx_count() const { return public_count_; }
   std::uint64_t private_tx_count() const { return private_count_; }
@@ -84,7 +105,11 @@ class QuorumNetwork {
     ledger::WorldState public_state;
     ledger::WorldState private_state;
     // Tessera-like store: tx id -> plaintext payload (recipients only).
+    // The transaction manager is a separate durable process: it survives
+    // a node crash, like the WAL does.
     std::map<std::string, common::Bytes> tm_store;
+    /// Durable block log replayed on restart.
+    ledger::WriteAheadLog wal;
   };
 
   TxResult enqueue(ledger::Transaction tx,
@@ -92,13 +117,26 @@ class QuorumNetwork {
                    const std::vector<ledger::KvWrite>& private_writes,
                    const common::Bytes& private_payload);
   void deliver(const ledger::Block& block);
+  void on_node_message(const std::string& self, const net::Message& msg);
+  /// Append one block to one node's replica. `replay` marks WAL recovery
+  /// (already durable, already observed — no re-log, no auditor record).
+  void apply_block(const std::string& org, const ledger::Block& block,
+                   bool replay = false);
+  void on_node_crash(const std::string& org);
+  void on_node_restart(const std::string& org);
 
   net::SimNetwork* network_;
   const crypto::Group* group_;
   common::Rng rng_;
   std::size_t block_size_;
+  net::ReliableChannel channel_;
   std::map<std::string, Node> nodes_;
   std::vector<ledger::Transaction> pending_;
+  /// Every sealed block in order — the delivery log nodes seek into when
+  /// they missed deliveries (and the restart catch-up source).
+  std::vector<ledger::Block> ordered_log_;
+  // tx id -> recipients that confirmed TM receipt.
+  std::map<std::string, std::set<std::string>> tm_acks_;
   // tx id -> (recipients, private writes) — dissemination bookkeeping.
   struct PrivateDetail {
     std::set<std::string> recipients;

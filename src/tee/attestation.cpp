@@ -1,5 +1,8 @@
 #include "tee/attestation.hpp"
 
+#include <algorithm>
+
+#include "common/error.hpp"
 #include "common/serialize.hpp"
 
 namespace veil::tee {
@@ -11,6 +14,28 @@ common::Bytes AttestationQuote::to_be_signed() const {
   w.bytes(nonce);
   w.u64(device_cert.serial);
   return w.take();
+}
+
+common::Bytes AttestationQuote::encode() const {
+  common::Writer w;
+  w.raw(common::BytesView(measurement.data(), measurement.size()));
+  w.bytes(nonce);
+  w.bytes(device_cert.encode());
+  w.bytes(quote_signature.encode());
+  return w.take();
+}
+
+AttestationQuote AttestationQuote::decode(common::BytesView data) {
+  common::Reader r(data);
+  AttestationQuote quote;
+  const common::Bytes measurement = r.raw(crypto::kSha256DigestSize);
+  std::copy(measurement.begin(), measurement.end(),
+            quote.measurement.begin());
+  quote.nonce = r.bytes();
+  quote.device_cert = pki::Certificate::decode(r.bytes());
+  quote.quote_signature = crypto::Signature::decode(r.bytes());
+  if (!r.done()) throw common::Error("AttestationQuote: trailing data");
+  return quote;
 }
 
 Manufacturer::Manufacturer(const crypto::Group& group, common::Rng& rng)

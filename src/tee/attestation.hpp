@@ -24,6 +24,12 @@ struct AttestationQuote {
   crypto::Signature quote_signature;  // device-key signature over the quote
 
   common::Bytes to_be_signed() const;
+
+  /// Canonical wire form: a quote travels from the enclave host to the
+  /// verifier, so it must survive hostile input (decode-fuzz suite).
+  common::Bytes encode() const;
+  /// Throws common::Error on malformed input.
+  static AttestationQuote decode(common::BytesView data);
 };
 
 /// The hardware manufacturer: provisions device keys and endorses them.

@@ -6,9 +6,14 @@
 
 #include "common/error.hpp"
 #include "crypto/elgamal.hpp"
+#include "crypto/merkle.hpp"
 #include "crypto/zkp.hpp"
 #include "ledger/block.hpp"
+#include "ledger/state.hpp"
+#include "net/reliable.hpp"
 #include "pki/certificate.hpp"
+#include "platforms/quorum/quorum.hpp"
+#include "tee/attestation.hpp"
 
 namespace veil {
 namespace {
@@ -48,6 +53,17 @@ TEST_P(DecodeFuzz, RandomBuffers) {
     expect_no_crash(junk, [](const Bytes& d) {
       return crypto::RangeProof::decode(d, 8);
     });
+    expect_no_crash(junk, [](const Bytes& d) {
+      return quorum::PrivateEnvelope::decode(d);
+    });
+    expect_no_crash(junk, [](const Bytes& d) {
+      return tee::AttestationQuote::decode(d);
+    });
+    expect_no_crash(junk, [](const Bytes& d) {
+      return net::ReliableChannel::Envelope::decode(d);
+    });
+    expect_no_crash(junk,
+                    [](const Bytes& d) { return ledger::WorldState::decode(d); });
   }
 }
 
@@ -80,6 +96,86 @@ TEST_P(DecodeFuzz, BitFlippedValidEncodings) {
         static_cast<std::uint8_t>(1u << rng.next_below(8));
     expect_no_crash(flipped_block,
                     [](const Bytes& d) { return ledger::Block::decode(d); });
+  }
+}
+
+TEST_P(DecodeFuzz, BitFlippedFaultToleranceEncodings) {
+  // Valid encodings of the wire formats the robustness PR added or
+  // hardened: Merkle tear-off proofs, Quorum private-payload envelopes,
+  // TEE attestation quotes, and reliable-channel envelopes.
+  common::Rng rng(GetParam() ^ 0xfa017);
+
+  const std::vector<Bytes> leaves = {common::to_bytes("input-ref"),
+                                     common::to_bytes("amount:100"),
+                                     common::to_bytes("party:A"),
+                                     common::to_bytes("party:B")};
+  const std::vector<Bytes> salts = {rng.next_bytes(16), rng.next_bytes(16),
+                                    rng.next_bytes(16), rng.next_bytes(16)};
+  const Bytes tearoff_enc = crypto::TearOff::create(leaves, salts, {0, 2}).encode();
+
+  quorum::PrivateEnvelope env;
+  env.tx_id = "tx-fuzz";
+  env.sender = "NodeA";
+  env.sealed = rng.next_bytes(96);
+  const Bytes env_enc = env.encode();
+
+  tee::Manufacturer manufacturer(crypto::Group::test_group(), rng);
+  tee::Manufacturer::Provision prov = manufacturer.provision("dev-fuzz", 0);
+  tee::AttestationQuote quote;
+  quote.measurement = crypto::sha256(std::string_view("enclave-code"));
+  quote.nonce = rng.next_bytes(16);
+  quote.device_cert = prov.device_cert;
+  quote.quote_signature = prov.device_key.sign(quote.to_be_signed());
+  const Bytes quote_enc = quote.encode();
+
+  for (int i = 0; i < 100; ++i) {
+    Bytes flipped_tearoff = tearoff_enc;
+    flipped_tearoff[rng.next_below(flipped_tearoff.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    expect_no_crash(flipped_tearoff,
+                    [](const Bytes& d) { return crypto::TearOff::decode(d); });
+
+    Bytes flipped_env = env_enc;
+    flipped_env[rng.next_below(flipped_env.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    expect_no_crash(flipped_env, [](const Bytes& d) {
+      return quorum::PrivateEnvelope::decode(d);
+    });
+
+    Bytes flipped_quote = quote_enc;
+    flipped_quote[rng.next_below(flipped_quote.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    expect_no_crash(flipped_quote, [](const Bytes& d) {
+      return tee::AttestationQuote::decode(d);
+    });
+  }
+}
+
+TEST_P(DecodeFuzz, TruncatedFaultToleranceEncodings) {
+  common::Rng rng(GetParam() + 99);
+  quorum::PrivateEnvelope env;
+  env.tx_id = "tx-trunc";
+  env.sender = "NodeB";
+  env.sealed = rng.next_bytes(64);
+  const Bytes env_enc = env.encode();
+  for (std::size_t len = 0; len < env_enc.size(); len += 3) {
+    const Bytes truncated(env_enc.begin(),
+                          env_enc.begin() + static_cast<std::ptrdiff_t>(len));
+    expect_no_crash(truncated, [](const Bytes& d) {
+      return quorum::PrivateEnvelope::decode(d);
+    });
+  }
+
+  const std::vector<Bytes> leaves = {common::to_bytes("a"),
+                                     common::to_bytes("b")};
+  const Bytes tearoff_enc =
+      crypto::TearOff::create(leaves, {Bytes{}, Bytes{}}, {1}).encode();
+  for (std::size_t len = 0; len < tearoff_enc.size(); len += 3) {
+    const Bytes truncated(
+        tearoff_enc.begin(),
+        tearoff_enc.begin() + static_cast<std::ptrdiff_t>(len));
+    expect_no_crash(truncated,
+                    [](const Bytes& d) { return crypto::TearOff::decode(d); });
   }
 }
 
