@@ -2,12 +2,16 @@
 # Runs the crypto microbenchmarks and records machine-readable results at
 # the repo root (BENCH_crypto.json) so the perf trajectory is tracked
 # across PRs. Also runs the fault-tolerance cost sweep (bench_faults:
-# throughput/latency vs 0-30% message loss) into BENCH_faults.json.
+# throughput/latency vs 0-30% message loss) into BENCH_faults.json, and
+# the symmetric-kernel + thread-scaling suite (bench_parallel: AES-NI vs
+# T-table vs reference, SHA-NI vs scalar, pooled hot-path sweeps at
+# 1/2/4/8 threads) into BENCH_symmetric.json.
 #
 # Usage:
-#   bench/run_benches.sh                  # all of bench_crypto + bench_faults
+#   bench/run_benches.sh                  # bench_crypto + bench_faults + bench_parallel
 #   BENCH_FILTER='BM_ModPow.*' bench/run_benches.sh
-#   BENCH_SKIP_FAULTS=1 bench/run_benches.sh   # crypto only
+#   BENCH_SKIP_FAULTS=1 bench/run_benches.sh      # skip fault sweep
+#   BENCH_SKIP_PARALLEL=1 bench/run_benches.sh    # skip symmetric/thread suite
 #   BUILD_DIR=out bench/run_benches.sh
 set -euo pipefail
 
@@ -71,6 +75,44 @@ if [[ -z "${BENCH_SKIP_FAULTS:-}" ]]; then
       echo "wrote $FAULTS_OUT"
     else
       echo "bench_faults produced no output; $FAULTS_OUT left untouched" >&2
+    fi
+    trap - EXIT
+  fi
+fi
+
+# ---- Symmetric kernels + thread scaling ------------------------------------
+# Thread-sweep numbers only mean something relative to the host's core
+# count, so the CPU count is stamped into the context block alongside
+# which hardware kernels were available (the aesni/sha_ni rows register
+# conditionally on CPUID).
+if [[ -z "${BENCH_SKIP_PARALLEL:-}" ]]; then
+  SYM_OUT="${BENCH_SYMMETRIC_OUT:-$ROOT/BENCH_symmetric.json}"
+  if [[ ! -x "$BUILD/bench/bench_parallel" ]]; then
+    echo "bench_parallel not built; skipping symmetric/thread suite" >&2
+  else
+    STMP="$(mktemp "${SYM_OUT}.XXXXXX")"
+    trap 'rm -f "$STMP"' EXIT
+    "$BUILD/bench/bench_parallel" \
+      --benchmark_out="$STMP" \
+      --benchmark_out_format=json \
+      --benchmark_repetitions="${BENCH_REPS:-1}"
+    if [[ -s "$STMP" ]]; then
+      mv "$STMP" "$SYM_OUT"
+      python3 - "$SYM_OUT" <<'PY'
+import json, os, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+names = {b.get("name", "") for b in data.get("benchmarks", [])}
+data["context"]["host_cpus"] = os.cpu_count()
+data["context"]["aesni_available"] = any("aesni" in n for n in names)
+data["context"]["shani_available"] = any("sha_ni" in n for n in names)
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+PY
+      echo "wrote $SYM_OUT"
+    else
+      echo "bench_parallel produced no output; $SYM_OUT left untouched" >&2
     fi
     trap - EXIT
   fi

@@ -52,6 +52,12 @@ class SmartContract {
   virtual std::uint32_t version() const = 0;
 
   /// Execute `action`. Reads/writes go through the context.
+  ///
+  /// Concurrency contract: the endorsement fan-out may invoke the same
+  /// contract object from several pool threads at once (one per
+  /// endorsing org). Implementations must keep all per-invocation state
+  /// in `ctx` / locals — a contract that mutates member state inside
+  /// invoke() is a bug (and will trip the TSan CI job).
   virtual InvokeStatus invoke(ContractContext& ctx,
                               const std::string& action) = 0;
 

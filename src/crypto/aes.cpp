@@ -1,8 +1,12 @@
 #include "crypto/aes.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "common/error.hpp"
+#include "crypto/aes_kernels.hpp"
+#include "crypto/cpu_features.hpp"
 #include "crypto/hmac.hpp"
 
 namespace veil::crypto {
@@ -36,21 +40,19 @@ constexpr std::uint8_t kSbox[256] = {
 constexpr std::uint8_t kRcon[11] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
                                     0x20, 0x40, 0x80, 0x1b, 0x36};
 
-std::uint8_t inv_sbox(std::uint8_t v) {
-  // Built lazily once; 256-entry inverse of kSbox.
-  static const auto table = [] {
-    std::array<std::uint8_t, 256> t{};
-    for (int i = 0; i < 256; ++i) t[kSbox[i]] = static_cast<std::uint8_t>(i);
-    return t;
-  }();
-  return table[v];
-}
+// Inverse S-box as a compile-time table (the seed built it lazily behind
+// an init-guard branch on every decrypt call).
+constexpr std::array<std::uint8_t, 256> kInvSbox = [] {
+  std::array<std::uint8_t, 256> t{};
+  for (int i = 0; i < 256; ++i) t[kSbox[i]] = static_cast<std::uint8_t>(i);
+  return t;
+}();
 
-std::uint8_t xtime(std::uint8_t x) {
+constexpr std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
 }
 
-std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+constexpr std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
   std::uint8_t p = 0;
   while (b) {
     if (b & 1) p ^= a;
@@ -60,7 +62,94 @@ std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
   return p;
 }
 
+// GF(2^8) multiplication tables for the InvMixColumns coefficients,
+// replacing the per-byte shift-and-xor loop of the seed.
+constexpr std::array<std::uint8_t, 256> make_mul_table(std::uint8_t c) {
+  std::array<std::uint8_t, 256> t{};
+  for (int i = 0; i < 256; ++i) t[i] = gf_mul(static_cast<std::uint8_t>(i), c);
+  return t;
+}
+constexpr std::array<std::uint8_t, 256> kMul9 = make_mul_table(9);
+constexpr std::array<std::uint8_t, 256> kMul11 = make_mul_table(11);
+constexpr std::array<std::uint8_t, 256> kMul13 = make_mul_table(13);
+constexpr std::array<std::uint8_t, 256> kMul14 = make_mul_table(14);
+
+// Encryption T-tables: Te_r[x] packs the MixColumns contribution of
+// S(x) appearing in state row r, as a big-endian column word. One round
+// becomes four words of 4 lookups + xor each.
+constexpr std::array<std::uint32_t, 256> kTe0 = [] {
+  std::array<std::uint32_t, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[i];
+    const std::uint8_t s2 = xtime(s);
+    const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+    t[i] = static_cast<std::uint32_t>(s2) << 24 |
+           static_cast<std::uint32_t>(s) << 16 |
+           static_cast<std::uint32_t>(s) << 8 | s3;
+  }
+  return t;
+}();
+
+constexpr std::uint32_t rotr32(std::uint32_t v, int n) {
+  return (v >> n) | (v << (32 - n));
+}
+
+constexpr std::array<std::uint32_t, 256> rotate_table(
+    const std::array<std::uint32_t, 256>& src, int n) {
+  std::array<std::uint32_t, 256> t{};
+  for (int i = 0; i < 256; ++i) t[i] = rotr32(src[i], n);
+  return t;
+}
+constexpr std::array<std::uint32_t, 256> kTe1 = rotate_table(kTe0, 8);
+constexpr std::array<std::uint32_t, 256> kTe2 = rotate_table(kTe0, 16);
+constexpr std::array<std::uint32_t, 256> kTe3 = rotate_table(kTe0, 24);
+
+inline std::uint32_t be32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 |
+         static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 | p[3];
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+std::atomic<AesKernel> g_aes_kernel{AesKernel::Auto};
+
+AesKernel resolve_kernel() {
+  const AesKernel k = g_aes_kernel.load(std::memory_order_relaxed);
+  const bool hw =
+#if defined(VEIL_HAVE_AESNI)
+      cpu_has_aesni() && cpu_has_sse41();
+#else
+      false;
+#endif
+  if (k == AesKernel::Auto) return hw ? AesKernel::AesNi : AesKernel::TTable;
+  if (k == AesKernel::AesNi && !hw) return AesKernel::TTable;
+  return k;
+}
+
 }  // namespace
+
+void set_aes_kernel(AesKernel kernel) {
+  g_aes_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+AesKernel active_aes_kernel() { return resolve_kernel(); }
+
+const char* aes_kernel_name() {
+  switch (resolve_kernel()) {
+    case AesKernel::AesNi:
+      return "aesni";
+    case AesKernel::TTable:
+      return "ttable";
+    default:
+      return "reference";
+  }
+}
 
 Aes::Aes(common::BytesView key) : key_size_(key.size()) {
   if (key_size_ != 16 && key_size_ != 32) {
@@ -89,13 +178,28 @@ Aes::Aes(common::BytesView key) : key_size_(key.size()) {
           round_keys_[4 * (i - nk) + k] ^ temp[k];
     }
   }
+  for (int i = 0; i < total_words; ++i) {
+    round_key_words_[i] = be32(round_keys_.data() + 4 * i);
+  }
+#if defined(VEIL_HAVE_AESNI)
+  if (cpu_has_aesni() && cpu_has_sse41()) {
+    aesni_make_dec_schedule(round_keys_.data(), rounds_,
+                            dec_round_keys_.data());
+    have_dec_schedule_ = true;
+  }
+#endif
 }
 
-void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
-  std::uint8_t s[16];
-  for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[i];
+namespace {
 
-  for (int round = 1; round <= rounds_; ++round) {
+// The seed's byte-at-a-time kernel, retained verbatim as the reference
+// oracle and pre-optimization baseline.
+void encrypt_block_reference(const std::uint8_t* rk, int rounds,
+                             const std::uint8_t in[16], std::uint8_t out[16]) {
+  std::uint8_t s[16];
+  for (int i = 0; i < 16; ++i) s[i] = in[i] ^ rk[i];
+
+  for (int round = 1; round <= rounds; ++round) {
     // SubBytes.
     for (auto& b : s) b = kSbox[b];
     // ShiftRows (state is column-major: s[4*c + r]).
@@ -105,7 +209,7 @@ void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
     }
     std::memcpy(s, t, 16);
     // MixColumns (skipped in the final round).
-    if (round < rounds_) {
+    if (round < rounds) {
       for (int c = 0; c < 4; ++c) {
         std::uint8_t* col = s + 4 * c;
         const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
@@ -116,12 +220,152 @@ void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
       }
     }
     // AddRoundKey.
-    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[16 * round + i];
+    for (int i = 0; i < 16; ++i) s[i] ^= rk[16 * round + i];
   }
   std::memcpy(out, s, 16);
 }
 
+// T-table kernel: state as four big-endian column words; each round is
+// 16 table lookups. ShiftRows is absorbed into which word supplies each
+// byte (row r comes from column c+r).
+void encrypt_block_ttable(const std::uint32_t* rkw, int rounds,
+                          const std::uint8_t in[16], std::uint8_t out[16]) {
+  std::uint32_t x0 = be32(in) ^ rkw[0];
+  std::uint32_t x1 = be32(in + 4) ^ rkw[1];
+  std::uint32_t x2 = be32(in + 8) ^ rkw[2];
+  std::uint32_t x3 = be32(in + 12) ^ rkw[3];
+
+  for (int round = 1; round < rounds; ++round) {
+    const std::uint32_t* rk = rkw + 4 * round;
+    const std::uint32_t y0 = kTe0[x0 >> 24] ^ kTe1[(x1 >> 16) & 0xff] ^
+                             kTe2[(x2 >> 8) & 0xff] ^ kTe3[x3 & 0xff] ^ rk[0];
+    const std::uint32_t y1 = kTe0[x1 >> 24] ^ kTe1[(x2 >> 16) & 0xff] ^
+                             kTe2[(x3 >> 8) & 0xff] ^ kTe3[x0 & 0xff] ^ rk[1];
+    const std::uint32_t y2 = kTe0[x2 >> 24] ^ kTe1[(x3 >> 16) & 0xff] ^
+                             kTe2[(x0 >> 8) & 0xff] ^ kTe3[x1 & 0xff] ^ rk[2];
+    const std::uint32_t y3 = kTe0[x3 >> 24] ^ kTe1[(x0 >> 16) & 0xff] ^
+                             kTe2[(x1 >> 8) & 0xff] ^ kTe3[x2 & 0xff] ^ rk[3];
+    x0 = y0;
+    x1 = y1;
+    x2 = y2;
+    x3 = y3;
+  }
+
+  // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+  const std::uint32_t* rk = rkw + 4 * rounds;
+  const std::uint32_t y0 =
+      (static_cast<std::uint32_t>(kSbox[x0 >> 24]) << 24 |
+       static_cast<std::uint32_t>(kSbox[(x1 >> 16) & 0xff]) << 16 |
+       static_cast<std::uint32_t>(kSbox[(x2 >> 8) & 0xff]) << 8 |
+       kSbox[x3 & 0xff]) ^
+      rk[0];
+  const std::uint32_t y1 =
+      (static_cast<std::uint32_t>(kSbox[x1 >> 24]) << 24 |
+       static_cast<std::uint32_t>(kSbox[(x2 >> 16) & 0xff]) << 16 |
+       static_cast<std::uint32_t>(kSbox[(x3 >> 8) & 0xff]) << 8 |
+       kSbox[x0 & 0xff]) ^
+      rk[1];
+  const std::uint32_t y2 =
+      (static_cast<std::uint32_t>(kSbox[x2 >> 24]) << 24 |
+       static_cast<std::uint32_t>(kSbox[(x3 >> 16) & 0xff]) << 16 |
+       static_cast<std::uint32_t>(kSbox[(x0 >> 8) & 0xff]) << 8 |
+       kSbox[x1 & 0xff]) ^
+      rk[2];
+  const std::uint32_t y3 =
+      (static_cast<std::uint32_t>(kSbox[x3 >> 24]) << 24 |
+       static_cast<std::uint32_t>(kSbox[(x0 >> 16) & 0xff]) << 16 |
+       static_cast<std::uint32_t>(kSbox[(x1 >> 8) & 0xff]) << 8 |
+       kSbox[x2 & 0xff]) ^
+      rk[3];
+
+  store_be32(out, y0);
+  store_be32(out + 4, y1);
+  store_be32(out + 8, y2);
+  store_be32(out + 12, y3);
+}
+
+}  // namespace
+
+void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  switch (resolve_kernel()) {
+#if defined(VEIL_HAVE_AESNI)
+    case AesKernel::AesNi:
+      aesni_encrypt_blocks(round_keys_.data(), rounds_, in, out, 1);
+      return;
+#endif
+    case AesKernel::Reference:
+      encrypt_block_reference(round_keys_.data(), rounds_, in, out);
+      return;
+    default:
+      encrypt_block_ttable(round_key_words_.data(), rounds_, in, out);
+      return;
+  }
+}
+
+void Aes::encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                         std::size_t n) const {
+  switch (resolve_kernel()) {
+#if defined(VEIL_HAVE_AESNI)
+    case AesKernel::AesNi:
+      aesni_encrypt_blocks(round_keys_.data(), rounds_, in, out, n);
+      return;
+#endif
+    case AesKernel::Reference:
+      for (std::size_t i = 0; i < n; ++i) {
+        encrypt_block_reference(round_keys_.data(), rounds_, in + 16 * i,
+                                out + 16 * i);
+      }
+      return;
+    default:
+      for (std::size_t i = 0; i < n; ++i) {
+        encrypt_block_ttable(round_key_words_.data(), rounds_, in + 16 * i,
+                             out + 16 * i);
+      }
+      return;
+  }
+}
+
+void Aes::ctr_xor(const std::uint8_t counter16[16], const std::uint8_t* in,
+                  std::uint8_t* out, std::size_t len) const {
+#if defined(VEIL_HAVE_AESNI)
+  if (resolve_kernel() == AesKernel::AesNi) {
+    aesni_ctr_xor(round_keys_.data(), rounds_, counter16, in, out, len);
+    return;
+  }
+#endif
+  // Software path: materialize a chunk of counter blocks, encrypt them
+  // through the bulk entry point, XOR into the output.
+  std::uint8_t ctr[16];
+  std::memcpy(ctr, counter16, 16);
+  constexpr std::size_t kChunkBlocks = 32;
+  std::uint8_t counters[kChunkBlocks * 16];
+  std::uint8_t stream[kChunkBlocks * 16];
+  std::size_t off = 0;
+  while (off < len) {
+    const std::size_t remaining = len - off;
+    const std::size_t blocks =
+        std::min(kChunkBlocks, (remaining + 15) / 16);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      std::memcpy(counters + 16 * b, ctr, 16);
+      for (int i = 15; i >= 8; --i) {
+        if (++ctr[i] != 0) break;
+      }
+    }
+    encrypt_blocks(counters, stream, blocks);
+    const std::size_t take = std::min(remaining, blocks * 16);
+    for (std::size_t i = 0; i < take; ++i) out[off + i] = in[off + i] ^ stream[i];
+    off += take;
+  }
+}
+
 void Aes::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+#if defined(VEIL_HAVE_AESNI)
+  if (resolve_kernel() == AesKernel::AesNi && have_dec_schedule_) {
+    aesni_decrypt_blocks(round_keys_.data(), dec_round_keys_.data(), rounds_,
+                         in, out, 1);
+    return;
+  }
+#endif
   std::uint8_t s[16];
   for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[16 * rounds_ + i];
 
@@ -133,7 +377,7 @@ void Aes::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
     }
     std::memcpy(s, t, 16);
     // InvSubBytes.
-    for (auto& b : s) b = inv_sbox(b);
+    for (auto& b : s) b = kInvSbox[b];
     // AddRoundKey.
     for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[16 * round + i];
     // InvMixColumns (skipped after the last round-key addition).
@@ -141,14 +385,14 @@ void Aes::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
       for (int c = 0; c < 4; ++c) {
         std::uint8_t* col = s + 4 * c;
         const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-        col[0] = static_cast<std::uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^
-                                           gmul(a2, 13) ^ gmul(a3, 9));
-        col[1] = static_cast<std::uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^
-                                           gmul(a2, 11) ^ gmul(a3, 13));
-        col[2] = static_cast<std::uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^
-                                           gmul(a2, 14) ^ gmul(a3, 11));
-        col[3] = static_cast<std::uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^
-                                           gmul(a2, 9) ^ gmul(a3, 14));
+        col[0] = static_cast<std::uint8_t>(kMul14[a0] ^ kMul11[a1] ^
+                                           kMul13[a2] ^ kMul9[a3]);
+        col[1] = static_cast<std::uint8_t>(kMul9[a0] ^ kMul14[a1] ^
+                                           kMul11[a2] ^ kMul13[a3]);
+        col[2] = static_cast<std::uint8_t>(kMul13[a0] ^ kMul9[a1] ^
+                                           kMul14[a2] ^ kMul11[a3]);
+        col[3] = static_cast<std::uint8_t>(kMul11[a0] ^ kMul13[a1] ^
+                                           kMul9[a2] ^ kMul14[a3]);
       }
     }
   }
@@ -162,18 +406,7 @@ common::Bytes aes_ctr(common::BytesView key, common::BytesView nonce16,
   }
   const Aes cipher(key);
   common::Bytes out(data.size());
-  std::uint8_t counter[16];
-  std::memcpy(counter, nonce16.data(), 16);
-  std::uint8_t keystream[16];
-  for (std::size_t off = 0; off < data.size(); off += 16) {
-    cipher.encrypt_block(counter, keystream);
-    const std::size_t n = std::min<std::size_t>(16, data.size() - off);
-    for (std::size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ keystream[i];
-    // Increment the counter (big-endian, low 8 bytes).
-    for (int i = 15; i >= 8; --i) {
-      if (++counter[i] != 0) break;
-    }
-  }
+  cipher.ctr_xor(nonce16.data(), data.data(), out.data(), data.size());
   return out;
 }
 

@@ -5,6 +5,17 @@
 // ordering service. CTR is used for payload encryption; CBC+PKCS#7 is
 // provided for completeness and for sealed TEE storage.
 //
+// Three block kernels back the same API, selected at runtime:
+//   AesNi     — hardware AESENC/AESDEC, chosen automatically when CPUID
+//               reports AES-NI; 8-wide pipelined for CTR/ECB.
+//   TTable    — portable 4x1KiB T-table software path (the default
+//               fallback; ~4-6x the byte-wise kernel).
+//   Reference — the original byte-at-a-time S-box kernel, kept as the
+//               known-good oracle for KAT cross-checks and as the
+//               pre-optimization benchmark baseline.
+// All three are verified against the NIST SP 800-38A vectors by
+// tests/crypto/test_kat.cpp, and against each other on random inputs.
+//
 // An authenticated composition (encrypt-then-MAC with HMAC-SHA256) is
 // exposed as `seal`/`open` — that is what higher layers use.
 #pragma once
@@ -17,6 +28,22 @@
 
 namespace veil::crypto {
 
+/// Which AES block kernel services encrypt/decrypt calls.
+enum class AesKernel { Auto, AesNi, TTable, Reference };
+
+/// Override the process-wide kernel choice (tests/benchmarks). `Auto`
+/// restores CPUID dispatch. Requesting `AesNi` on a CPU without AES-NI
+/// silently degrades to `TTable` — query `active_aes_kernel()` to see
+/// what actually runs.
+void set_aes_kernel(AesKernel kernel);
+
+/// The kernel that will service the next call, with `Auto` resolved.
+AesKernel active_aes_kernel();
+
+/// Human-readable name of the active kernel ("aesni", "ttable",
+/// "reference") for benchmark context and docs.
+const char* aes_kernel_name();
+
 /// AES block cipher. Key must be 16 (AES-128) or 32 (AES-256) bytes.
 class Aes {
  public:
@@ -27,6 +54,16 @@ class Aes {
   void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
   void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
 
+  /// ECB over `n` consecutive blocks — the bulk entry point the mode
+  /// loops use so the AES-NI kernel can pipeline independent blocks.
+  void encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                      std::size_t n) const;
+
+  /// CTR keystream XOR: out[i] = in[i] ^ E(counter++) over `len` bytes.
+  /// Counter increment is big-endian over the low 8 bytes.
+  void ctr_xor(const std::uint8_t counter16[16], const std::uint8_t* in,
+               std::uint8_t* out, std::size_t len) const;
+
   std::size_t key_size() const { return key_size_; }
 
  private:
@@ -34,6 +71,11 @@ class Aes {
   int rounds_;
   // Max 15 round keys of 16 bytes (AES-256).
   std::array<std::uint8_t, 240> round_keys_{};
+  // Round keys as big-endian words, for the T-table kernel.
+  std::array<std::uint32_t, 60> round_key_words_{};
+  // AESIMC-transformed schedule for AESDEC (filled when AES-NI exists).
+  std::array<std::uint8_t, 240> dec_round_keys_{};
+  bool have_dec_schedule_ = false;
 };
 
 /// CTR mode. Nonce must be 16 bytes; encryption == decryption.

@@ -1,0 +1,47 @@
+// Internal entry points of the hardware symmetric-crypto kernels.
+//
+// These are implemented in separate translation units (aes_ni.cpp,
+// sha_ni.cpp) compiled with the matching -m flags; they must only be
+// called after the corresponding cpu_has_*() check succeeded, otherwise
+// the process dies on an illegal instruction. Dispatch lives in aes.cpp
+// and sha256.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace veil::crypto {
+
+#if defined(VEIL_HAVE_AESNI)
+/// Build the equivalent-inverse-cipher round keys (AESIMC of the middle
+/// encryption round keys) used by AESDEC. `enc` and `dec` are
+/// 16*(rounds+1)-byte schedules.
+void aesni_make_dec_schedule(const std::uint8_t* enc, int rounds,
+                             std::uint8_t* dec);
+
+/// ECB-encrypt `n` consecutive 16-byte blocks (pipelined 8-wide).
+void aesni_encrypt_blocks(const std::uint8_t* enc, int rounds,
+                          const std::uint8_t* in, std::uint8_t* out,
+                          std::size_t n);
+
+/// ECB-decrypt `n` consecutive 16-byte blocks. `enc` supplies the first
+/// and last round keys, `dec` the AESIMC-transformed middle ones.
+void aesni_decrypt_blocks(const std::uint8_t* enc, const std::uint8_t* dec,
+                          int rounds, const std::uint8_t* in,
+                          std::uint8_t* out, std::size_t n);
+
+/// CTR keystream-XOR over `len` bytes starting from `counter16`
+/// (big-endian increment of the low 8 bytes, matching aes_ctr).
+void aesni_ctr_xor(const std::uint8_t* enc, int rounds,
+                   const std::uint8_t counter16[16], const std::uint8_t* in,
+                   std::uint8_t* out, std::size_t len);
+#endif
+
+#if defined(VEIL_HAVE_SHANI)
+/// Compress `nblocks` consecutive 64-byte blocks into `state` (the eight
+/// working variables a..h as uint32).
+void shani_process_blocks(std::uint32_t state[8], const std::uint8_t* data,
+                          std::size_t nblocks);
+#endif
+
+}  // namespace veil::crypto

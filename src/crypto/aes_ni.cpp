@@ -1,0 +1,173 @@
+// AES-NI block kernels (compiled with -maes -msse4.1; see
+// src/crypto/CMakeLists.txt). Callers dispatch through aes.cpp only
+// after cpu_has_aesni() confirmed the instructions exist.
+//
+// The encryption schedule is the plain FIPS 197 byte schedule computed
+// by Aes's constructor — AES-NI consumes it directly. Only decryption
+// needs a derived schedule (AESIMC of the middle round keys, applied in
+// reverse), which aesni_make_dec_schedule produces once per key.
+#include "crypto/aes_kernels.hpp"
+
+#if defined(VEIL_HAVE_AESNI)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace veil::crypto {
+
+namespace {
+
+inline __m128i load_rk(const std::uint8_t* schedule, int round) {
+  return _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(schedule + 16 * round));
+}
+
+inline __m128i encrypt_one(__m128i block, const __m128i* rk, int rounds) {
+  block = _mm_xor_si128(block, rk[0]);
+  for (int r = 1; r < rounds; ++r) block = _mm_aesenc_si128(block, rk[r]);
+  return _mm_aesenclast_si128(block, rk[rounds]);
+}
+
+}  // namespace
+
+void aesni_make_dec_schedule(const std::uint8_t* enc, int rounds,
+                             std::uint8_t* dec) {
+  // dec[r] = AESIMC(enc[r]) for the middle rounds; first and last are
+  // copied untransformed (AESDECLAST / initial XOR use the raw keys).
+  std::memcpy(dec, enc, 16);
+  for (int r = 1; r < rounds; ++r) {
+    const __m128i k = _mm_aesimc_si128(load_rk(enc, r));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dec + 16 * r), k);
+  }
+  std::memcpy(dec + 16 * rounds, enc + 16 * rounds, 16);
+}
+
+void aesni_encrypt_blocks(const std::uint8_t* enc, int rounds,
+                          const std::uint8_t* in, std::uint8_t* out,
+                          std::size_t n) {
+  __m128i rk[15];
+  for (int r = 0; r <= rounds; ++r) rk[r] = load_rk(enc, r);
+
+  // 8-wide: AESENC has multi-cycle latency but single-cycle throughput,
+  // so independent blocks fill the pipeline.
+  while (n >= 8) {
+    __m128i b[8];
+    for (int i = 0; i < 8; ++i) {
+      b[i] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * i));
+      b[i] = _mm_xor_si128(b[i], rk[0]);
+    }
+    for (int r = 1; r < rounds; ++r) {
+      for (int i = 0; i < 8; ++i) b[i] = _mm_aesenc_si128(b[i], rk[r]);
+    }
+    for (int i = 0; i < 8; ++i) {
+      b[i] = _mm_aesenclast_si128(b[i], rk[rounds]);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i), b[i]);
+    }
+    in += 128;
+    out += 128;
+    n -= 8;
+  }
+  while (n > 0) {
+    const __m128i b = encrypt_one(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in)), rk, rounds);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), b);
+    in += 16;
+    out += 16;
+    --n;
+  }
+}
+
+void aesni_decrypt_blocks(const std::uint8_t* enc, const std::uint8_t* dec,
+                          int rounds, const std::uint8_t* in,
+                          std::uint8_t* out, std::size_t n) {
+  __m128i rk[15];
+  rk[0] = load_rk(enc, 0);
+  for (int r = 1; r < rounds; ++r) rk[r] = load_rk(dec, r);
+  rk[rounds] = load_rk(enc, rounds);
+
+  while (n >= 4) {
+    __m128i b[4];
+    for (int i = 0; i < 4; ++i) {
+      b[i] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * i));
+      b[i] = _mm_xor_si128(b[i], rk[rounds]);
+    }
+    for (int r = rounds - 1; r >= 1; --r) {
+      for (int i = 0; i < 4; ++i) b[i] = _mm_aesdec_si128(b[i], rk[r]);
+    }
+    for (int i = 0; i < 4; ++i) {
+      b[i] = _mm_aesdeclast_si128(b[i], rk[0]);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i), b[i]);
+    }
+    in += 64;
+    out += 64;
+    n -= 4;
+  }
+  while (n > 0) {
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+    b = _mm_xor_si128(b, rk[rounds]);
+    for (int r = rounds - 1; r >= 1; --r) b = _mm_aesdec_si128(b, rk[r]);
+    b = _mm_aesdeclast_si128(b, rk[0]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), b);
+    in += 16;
+    out += 16;
+    --n;
+  }
+}
+
+void aesni_ctr_xor(const std::uint8_t* enc, int rounds,
+                   const std::uint8_t counter16[16], const std::uint8_t* in,
+                   std::uint8_t* out, std::size_t len) {
+  __m128i rk[15];
+  for (int r = 0; r <= rounds; ++r) rk[r] = load_rk(enc, r);
+
+  std::uint8_t ctr[16];
+  std::memcpy(ctr, counter16, 16);
+  const auto bump = [&ctr] {
+    for (int i = 15; i >= 8; --i) {
+      if (++ctr[i] != 0) break;
+    }
+  };
+
+  std::uint8_t blocks[8 * 16];
+  while (len >= 8 * 16) {
+    for (int i = 0; i < 8; ++i) {
+      std::memcpy(blocks + 16 * i, ctr, 16);
+      bump();
+    }
+    __m128i b[8];
+    for (int i = 0; i < 8; ++i) {
+      b[i] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16 * i));
+      b[i] = _mm_xor_si128(b[i], rk[0]);
+    }
+    for (int r = 1; r < rounds; ++r) {
+      for (int i = 0; i < 8; ++i) b[i] = _mm_aesenc_si128(b[i], rk[r]);
+    }
+    for (int i = 0; i < 8; ++i) {
+      b[i] = _mm_aesenclast_si128(b[i], rk[rounds]);
+      const __m128i d =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i),
+                       _mm_xor_si128(b[i], d));
+    }
+    in += 128;
+    out += 128;
+    len -= 128;
+  }
+  while (len > 0) {
+    const __m128i ks = encrypt_one(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctr)), rk, rounds);
+    bump();
+    std::uint8_t stream[16];
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(stream), ks);
+    const std::size_t take = len < 16 ? len : 16;
+    for (std::size_t i = 0; i < take; ++i) out[i] = in[i] ^ stream[i];
+    in += take;
+    out += take;
+    len -= take;
+  }
+}
+
+}  // namespace veil::crypto
+
+#endif  // VEIL_HAVE_AESNI

@@ -1,8 +1,11 @@
 #include "crypto/sha256.hpp"
 
+#include <atomic>
 #include <cstring>
 
 #include "common/error.hpp"
+#include "crypto/aes_kernels.hpp"
+#include "crypto/cpu_features.hpp"
 
 namespace veil::crypto {
 
@@ -23,13 +26,22 @@ constexpr std::array<std::uint32_t, 64> kRoundConstants = {
 
 std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
-}  // namespace
+// One SHA-256 round with explicit register naming; the caller unrolls
+// eight of these per iteration so the variable rotation costs nothing.
+inline void sha_round(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                      std::uint32_t& d, std::uint32_t e, std::uint32_t f,
+                      std::uint32_t g, std::uint32_t& h, std::uint32_t k,
+                      std::uint32_t w) {
+  const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+  const std::uint32_t ch = (e & f) ^ (~e & g);
+  const std::uint32_t temp1 = h + s1 + ch + k + w;
+  const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+  const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+  d += temp1;
+  h = temp1 + s0 + maj;
+}
 
-Sha256::Sha256()
-    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
-
-void Sha256::process_block(const std::uint8_t* block) {
+void scalar_process_block(std::uint32_t* state, const std::uint8_t* block) {
   std::array<std::uint32_t, 64> w;
   for (int i = 0; i < 16; ++i) {
     w[i] = static_cast<std::uint32_t>(block[4 * i]) << 24 |
@@ -45,34 +57,80 @@ void Sha256::process_block(const std::uint8_t* block) {
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
 
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t temp1 = h + s1 + ch + kRoundConstants[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
+  // Unrolled 8 rounds per iteration: renaming replaces the seed's
+  // eight-way register shuffle at the bottom of every round.
+  for (int i = 0; i < 64; i += 8) {
+    sha_round(a, b, c, d, e, f, g, h, kRoundConstants[i], w[i]);
+    sha_round(h, a, b, c, d, e, f, g, kRoundConstants[i + 1], w[i + 1]);
+    sha_round(g, h, a, b, c, d, e, f, kRoundConstants[i + 2], w[i + 2]);
+    sha_round(f, g, h, a, b, c, d, e, kRoundConstants[i + 3], w[i + 3]);
+    sha_round(e, f, g, h, a, b, c, d, kRoundConstants[i + 4], w[i + 4]);
+    sha_round(d, e, f, g, h, a, b, c, kRoundConstants[i + 5], w[i + 5]);
+    sha_round(c, d, e, f, g, h, a, b, kRoundConstants[i + 6], w[i + 6]);
+    sha_round(b, c, d, e, f, g, h, a, kRoundConstants[i + 7], w[i + 7]);
   }
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+std::atomic<Sha256Kernel> g_sha_kernel{Sha256Kernel::Auto};
+
+Sha256Kernel resolve_sha_kernel() {
+  const Sha256Kernel k = g_sha_kernel.load(std::memory_order_relaxed);
+  const bool hw =
+#if defined(VEIL_HAVE_SHANI)
+      cpu_has_shani() && cpu_has_sse41();
+#else
+      false;
+#endif
+  if (k == Sha256Kernel::Auto) {
+    return hw ? Sha256Kernel::ShaNi : Sha256Kernel::Scalar;
+  }
+  if (k == Sha256Kernel::ShaNi && !hw) return Sha256Kernel::Scalar;
+  return k;
+}
+
+}  // namespace
+
+void set_sha256_kernel(Sha256Kernel kernel) {
+  g_sha_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+Sha256Kernel active_sha256_kernel() { return resolve_sha_kernel(); }
+
+const char* sha256_kernel_name() {
+  return resolve_sha_kernel() == Sha256Kernel::ShaNi ? "sha_ni" : "scalar";
+}
+
+Sha256::Sha256()
+    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
+
+void Sha256::process_block(const std::uint8_t* block) {
+  process_blocks(block, 1);
+}
+
+void Sha256::process_blocks(const std::uint8_t* data, std::size_t nblocks) {
+  if (nblocks == 0) return;
+#if defined(VEIL_HAVE_SHANI)
+  if (resolve_sha_kernel() == Sha256Kernel::ShaNi) {
+    shani_process_blocks(state_.data(), data, nblocks);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    scalar_process_block(state_.data(), data + 64 * i);
+  }
 }
 
 Sha256& Sha256::update(common::BytesView data) {
@@ -90,9 +148,10 @@ Sha256& Sha256::update(common::BytesView data) {
       buffer_len_ = 0;
     }
   }
-  while (offset + 64 <= data.size()) {
-    process_block(data.data() + offset);
-    offset += 64;
+  const std::size_t bulk = (data.size() - offset) / 64;
+  if (bulk > 0) {
+    process_blocks(data.data() + offset, bulk);
+    offset += 64 * bulk;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);

@@ -3,6 +3,13 @@
 // This is the single hash function used throughout the framework: block
 // linkage, transaction ids, Merkle trees, HMAC, Fiat–Shamir challenges and
 // TEE measurements all reduce to it.
+//
+// Two compression kernels back the same API, selected at runtime:
+//   ShaNi  — x86 SHA extensions (SHA256RNDS2/MSG1/MSG2), chosen
+//            automatically when CPUID reports them.
+//   Scalar — the portable FIPS 180-4 round loop.
+// Both are verified against the FIPS 180-4 / RFC 4231 vectors by
+// tests/crypto/test_kat.cpp, and against each other on random inputs.
 #pragma once
 
 #include <array>
@@ -16,6 +23,20 @@ namespace veil::crypto {
 inline constexpr std::size_t kSha256DigestSize = 32;
 
 using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Which compression kernel services Sha256 calls.
+enum class Sha256Kernel { Auto, ShaNi, Scalar };
+
+/// Override the process-wide kernel choice (tests/benchmarks). `Auto`
+/// restores CPUID dispatch; requesting `ShaNi` without hardware support
+/// silently degrades to `Scalar`.
+void set_sha256_kernel(Sha256Kernel kernel);
+
+/// The kernel that will service the next call, with `Auto` resolved.
+Sha256Kernel active_sha256_kernel();
+
+/// Human-readable name of the active kernel ("sha_ni", "scalar").
+const char* sha256_kernel_name();
 
 /// Incremental SHA-256. Typical use: construct, update() any number of
 /// times, finalize() once.
@@ -31,6 +52,7 @@ class Sha256 {
 
  private:
   void process_block(const std::uint8_t* block);
+  void process_blocks(const std::uint8_t* data, std::size_t nblocks);
 
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;

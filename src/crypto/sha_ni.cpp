@@ -1,0 +1,106 @@
+// SHA-256 compression via the x86 SHA extensions (compiled with
+// -msha -msse4.1). The round structure follows the canonical Intel
+// sequence: state lives in two XMM registers in ABEF/CDGH order, message
+// words advance through SHA256MSG1/SHA256MSG2, and each SHA256RNDS2
+// executes two rounds. Verified against the scalar kernel by the NIST
+// KAT suite (tests/crypto/test_kat.cpp).
+#include "crypto/aes_kernels.hpp"
+
+#if defined(VEIL_HAVE_SHANI)
+
+#include <immintrin.h>
+
+namespace veil::crypto {
+
+namespace {
+
+alignas(16) constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline __m128i k128(int i) {
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(kK + 4 * i));
+}
+
+}  // namespace
+
+void shani_process_blocks(std::uint32_t state[8], const std::uint8_t* data,
+                          std::size_t nblocks) {
+  // Big-endian byte shuffle for message loads.
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // Pack (a,b,c,d,e,f,g,h) into STATE0 = ABEF, STATE1 = CDGH.
+  __m128i tmp =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));  // DCBA
+  __m128i st1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));  // HGFE
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);  // CDAB
+  st1 = _mm_shuffle_epi32(st1, 0x1B);  // EFGH
+  __m128i st0 = _mm_alignr_epi8(tmp, st1, 8);   // ABEF
+  st1 = _mm_blend_epi16(st1, tmp, 0xF0);        // CDGH
+
+  while (nblocks > 0) {
+    const __m128i abef_save = st0;
+    const __m128i cdgh_save = st1;
+
+    // m[j] holds message words W[4j..4j+3]; the schedule advances in
+    // place: iteration i consumes m[i%4] for rounds 4i..4i+3 and (from
+    // i >= 3 on) extends the schedule four words ahead via MSG1/MSG2.
+    __m128i m[4];
+    for (int j = 0; j < 4; ++j) {
+      m[j] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16 * j)),
+          kShuffle);
+    }
+    for (int i = 0; i <= 14; ++i) {
+      const __m128i cur = m[i % 4];
+      __m128i msg = _mm_add_epi32(cur, k128(i));
+      st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+      if (i >= 3) {
+        const __m128i t = _mm_alignr_epi8(cur, m[(i + 3) % 4], 4);
+        m[(i + 1) % 4] = _mm_add_epi32(m[(i + 1) % 4], t);
+        m[(i + 1) % 4] = _mm_sha256msg2_epu32(m[(i + 1) % 4], cur);
+      }
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+      // The last two iterations' sigma0 prefetches feed words past W63.
+      if (i >= 1 && i <= 12) {
+        m[(i + 3) % 4] = _mm_sha256msg1_epu32(m[(i + 3) % 4], cur);
+      }
+    }
+
+    // Rounds 60-63.
+    __m128i msg = _mm_add_epi32(m[3], k128(15));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    st0 = _mm_add_epi32(st0, abef_save);
+    st1 = _mm_add_epi32(st1, cdgh_save);
+
+    data += 64;
+    --nblocks;
+  }
+
+  // Unpack ABEF/CDGH back to (a..h).
+  tmp = _mm_shuffle_epi32(st0, 0x1B);       // FEBA
+  st1 = _mm_shuffle_epi32(st1, 0xB1);       // DCHG
+  st0 = _mm_blend_epi16(tmp, st1, 0xF0);    // DCBA
+  st1 = _mm_alignr_epi8(st1, tmp, 8);       // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), st0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), st1);
+}
+
+}  // namespace veil::crypto
+
+#endif  // VEIL_HAVE_SHANI

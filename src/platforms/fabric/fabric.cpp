@@ -1,6 +1,7 @@
 #include "platforms/fabric/fabric.hpp"
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace veil::fabric {
 
@@ -256,12 +257,21 @@ void FabricNetwork::commit_block(const std::string& org, Channel& channel,
   // WAL invariant: the block is durable before any in-memory mutation.
   if (!replay) ledger::wal_log_block(replica.wal, block);
   replica.chain.append(block);
+  // Endorsement-signature verification dominates commit cost and is a
+  // pure function of each transaction — verify all of them across the
+  // pool, then walk the block serially (auditor records, state.apply and
+  // receipts keep their original order).
+  const std::vector<char> sig_valid = common::ThreadPool::global().parallel_map(
+      block.transactions.size(), [&](std::size_t i) -> char {
+        return block.transactions[i].endorsements_valid(*group_) ? 1 : 0;
+      });
+  std::size_t tx_index = 0;
   for (const ledger::Transaction& tx : block.transactions) {
     // Every member peer sees the full transaction (recorded once, at the
     // original commit — WAL replay is a local re-read, not a new leak).
     if (!replay) record_visibility(network_->auditor(), peer_of(org), tx);
 
-    bool valid = tx.endorsements_valid(*group_);
+    bool valid = sig_valid[tx_index++] != 0;
     if (valid) {
       const auto policy = channel.policies.find(tx.contract);
       if (policy != channel.policies.end()) {
@@ -332,12 +342,13 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
   // --- Endorsement phase -------------------------------------------------
   const std::set<std::string> endorsing_orgs =
       policy_it->second.mentioned_orgs();
-  std::optional<contracts::ExecutionResult> reference;
+  // In-built version control: all endorsers must run identical code.
+  // Cheap registry lookups stay serial; they also fix the eligible-org
+  // order (sorted, from the std::set) before the fan-out.
+  std::vector<std::string> eligible;
   std::optional<crypto::Digest> reference_code;
-  std::vector<std::string> endorsers;
   for (const std::string& org : endorsing_orgs) {
     if (!ch.members.contains(org)) continue;
-    // In-built version control: all endorsers must run identical code.
     if (const auto code = registry_.find(peer_of(org), chaincode)) {
       if (!reference_code) {
         reference_code = code->code_digest();
@@ -345,8 +356,24 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
         return {false, "", "chaincode version mismatch between endorsers"};
       }
     }
-    auto result = engine_.execute(peer_of(org), chaincode, action, args,
-                                  ch.replicas.at(org).state, channel);
+    eligible.push_back(org);
+  }
+
+  // Contract execution is independent per org — each runs against its
+  // own replica's state and execute() is pure — so it fans out across
+  // the pool. parallel_map returns results in input order, which keeps
+  // the reference/divergence fold below identical to the serial loop.
+  auto exec_results = common::ThreadPool::global().parallel_map(
+      eligible.size(), [&](std::size_t i) {
+        const std::string& org = eligible[i];
+        return engine_.execute(peer_of(org), chaincode, action, args,
+                               ch.replicas.at(org).state, channel);
+      });
+
+  std::optional<contracts::ExecutionResult> reference;
+  std::vector<std::string> endorsers;
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    auto& result = exec_results[i];
     if (!result || result->status != contracts::InvokeStatus::Ok) continue;
     if (!reference) {
       reference = std::move(result);
@@ -354,7 +381,7 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
                reference->tx.reads != result->tx.reads) {
       return {false, "", "endorsers diverged"};
     }
-    endorsers.push_back(org);
+    endorsers.push_back(eligible[i]);
   }
   if (!reference) return {false, "", "no endorsements"};
   {
@@ -429,8 +456,19 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
   for (const std::string& org : endorsers) tx.participants.push_back(org);
 
   // --- Endorsement signatures ---------------------------------------------
-  for (const std::string& org : endorsers) {
-    tx.endorse(org, orgs_.at(org).keypair);
+  // Every endorser signs the same body digest, and signing is
+  // deterministic (HMAC-derived nonce), so parallel signing produces the
+  // same bytes as the serial loop; order is preserved by parallel_map.
+  {
+    const crypto::Digest digest = tx.body_digest();
+    const common::BytesView msg(digest.data(), digest.size());
+    auto endorsements = common::ThreadPool::global().parallel_map(
+        endorsers.size(), [&](std::size_t i) {
+          const crypto::KeyPair& keypair = orgs_.at(endorsers[i]).keypair;
+          return ledger::Endorsement{endorsers[i], keypair.public_key(),
+                                     keypair.sign(msg)};
+        });
+    for (auto& e : endorsements) tx.endorsements.push_back(std::move(e));
   }
 
   // --- Ordering + delivery --------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/serialize.hpp"
+#include "common/thread_pool.hpp"
 #include "crypto/aes.hpp"
 #include "crypto/hmac.hpp"
 
@@ -118,19 +119,34 @@ TxResult QuorumNetwork::enqueue(ledger::Transaction tx,
     auditor().record(from, "tx/" + tx_id + "/data", private_payload.size());
     nodes_.at(from).tm_store[tx_id] = private_payload;
     tm_acks_[tx_id] = {};
+    // The per-recipient key derivation + sealing fans out across the
+    // pool. Nonces are drawn serially first (recipients iterate in
+    // sorted order) so the counter stream is identical at any thread
+    // count; the sends stay serial in the same order.
+    std::vector<std::string> push_targets;
+    std::vector<common::Bytes> nonces;
     for (const std::string& holder : private_recipients) {
       if (holder == from) continue;
-      const common::Bytes pair_key = crypto::hkdf(
-          {}, common::to_bytes(from + "|" + holder), "quorum.tm.pair", 32);
       common::Writer nonce;
       nonce.u64(nonce_++);
       common::Bytes nonce16 = nonce.take();
       nonce16.resize(16, 0);
+      push_targets.push_back(holder);
+      nonces.push_back(std::move(nonce16));
+    }
+    const auto sealed_payloads = common::ThreadPool::global().parallel_map(
+        push_targets.size(), [&](std::size_t i) {
+          const common::Bytes pair_key = crypto::hkdf(
+              {}, common::to_bytes(from + "|" + push_targets[i]),
+              "quorum.tm.pair", 32);
+          return crypto::seal(pair_key, private_payload, nonces[i]);
+        });
+    for (std::size_t i = 0; i < push_targets.size(); ++i) {
       PrivateEnvelope env;
       env.tx_id = tx_id;
       env.sender = from;
-      env.sealed = crypto::seal(pair_key, private_payload, nonce16);
-      channel_.send(from, holder, "quorum.tm-push", env.encode());
+      env.sealed = sealed_payloads[i];
+      channel_.send(from, push_targets[i], "quorum.tm-push", env.encode());
     }
     network_->run();
     std::size_t acked = 0;

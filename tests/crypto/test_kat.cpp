@@ -1,0 +1,245 @@
+// NIST known-answer tests run against EVERY available kernel.
+//
+// The hardware kernels (AES-NI, SHA-NI) and the software fallbacks
+// (T-table, scalar) must be indistinguishable through the public API;
+// each vector below is checked once per kernel, and the kernels are then
+// cross-checked against each other on random inputs — sizes chosen to
+// hit the 8-wide/4-wide SIMD main loops, their scalar tails, and the
+// incremental-buffer edge cases.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace veil::crypto {
+namespace {
+
+using common::Bytes;
+using common::from_hex;
+using common::to_hex;
+
+// Restores CPUID dispatch no matter how a test exits.
+struct KernelGuard {
+  ~KernelGuard() {
+    set_aes_kernel(AesKernel::Auto);
+    set_sha256_kernel(Sha256Kernel::Auto);
+  }
+};
+
+std::vector<AesKernel> available_aes_kernels() {
+  std::vector<AesKernel> ks{AesKernel::Reference, AesKernel::TTable};
+  set_aes_kernel(AesKernel::AesNi);
+  if (active_aes_kernel() == AesKernel::AesNi) ks.push_back(AesKernel::AesNi);
+  set_aes_kernel(AesKernel::Auto);
+  return ks;
+}
+
+std::vector<Sha256Kernel> available_sha_kernels() {
+  std::vector<Sha256Kernel> ks{Sha256Kernel::Scalar};
+  set_sha256_kernel(Sha256Kernel::ShaNi);
+  if (active_sha256_kernel() == Sha256Kernel::ShaNi) {
+    ks.push_back(Sha256Kernel::ShaNi);
+  }
+  set_sha256_kernel(Sha256Kernel::Auto);
+  return ks;
+}
+
+// NIST SP 800-38A F.5.1/F.5.2: AES-128 CTR, four blocks.
+TEST(Kat, Sp800_38aAes128Ctr) {
+  KernelGuard guard;
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes ctr = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes plain = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const std::string expect =
+      "874d6191b620e3261bef6864990db6ce"
+      "9806f66b7970fdff8617187bb9fffdff"
+      "5ae4df3edbd5d35e5b4f09020db03eab"
+      "1e031dda2fbe03d1792170a0f3009cee";
+  for (const AesKernel k : available_aes_kernels()) {
+    set_aes_kernel(k);
+    EXPECT_EQ(to_hex(aes_ctr(key, ctr, plain)), expect)
+        << "kernel=" << aes_kernel_name();
+    // CTR is an involution.
+    EXPECT_EQ(aes_ctr(key, ctr, aes_ctr(key, ctr, plain)), plain);
+  }
+}
+
+// NIST SP 800-38A F.5.5/F.5.6: AES-256 CTR, four blocks.
+TEST(Kat, Sp800_38aAes256Ctr) {
+  KernelGuard guard;
+  const Bytes key = from_hex(
+      "603deb1015ca71be2b73aef0857d7781"
+      "1f352c073b6108d72d9810a30914dff4");
+  const Bytes ctr = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes plain = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const std::string expect =
+      "601ec313775789a5b7a7f504bbf3d228"
+      "f443e3ca4d62b59aca84e990cacaf5c5"
+      "2b0930daa23de94ce87017ba2d84988d"
+      "dfc9c58db67aada613c2dd08457941a6";
+  for (const AesKernel k : available_aes_kernels()) {
+    set_aes_kernel(k);
+    EXPECT_EQ(to_hex(aes_ctr(key, ctr, plain)), expect)
+        << "kernel=" << aes_kernel_name();
+  }
+}
+
+// FIPS 180-4 single-block, two-block, and long multi-block messages.
+TEST(Kat, Fips180_4Sha256) {
+  KernelGuard guard;
+  for (const Sha256Kernel k : available_sha_kernels()) {
+    set_sha256_kernel(k);
+    EXPECT_EQ(digest_hex(sha256(std::string_view("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad")
+        << "kernel=" << sha256_kernel_name();
+    EXPECT_EQ(digest_hex(sha256(std::string_view(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1")
+        << "kernel=" << sha256_kernel_name();
+    // One million 'a': 15625 blocks through the bulk path.
+    const std::string million(1000000, 'a');
+    EXPECT_EQ(digest_hex(sha256(std::string_view(million))),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0")
+        << "kernel=" << sha256_kernel_name();
+  }
+}
+
+// RFC 4231 test cases 1, 2, 6 and 7 (short key, short data; key shorter
+// than a block; key and data longer than a block).
+TEST(Kat, Rfc4231HmacSha256) {
+  KernelGuard guard;
+  const Bytes key1(20, 0x0b);
+  const Bytes key6(131, 0xaa);
+  for (const Sha256Kernel k : available_sha_kernels()) {
+    set_sha256_kernel(k);
+    EXPECT_EQ(digest_hex(hmac_sha256(key1, common::to_bytes("Hi There"))),
+              "b0344c61d8db38535ca8afceaf0bf12b"
+              "881dc200c9833da726e9376c2e32cff7")
+        << "kernel=" << sha256_kernel_name();
+    EXPECT_EQ(
+        digest_hex(hmac_sha256(common::to_bytes("Jefe"),
+                               common::to_bytes("what do ya want for nothing?"))),
+        "5bdcc146bf60754e6a042426089575c7"
+        "5a003f089d2739839dec58b964ec3843")
+        << "kernel=" << sha256_kernel_name();
+    EXPECT_EQ(
+        digest_hex(hmac_sha256(
+            key6, common::to_bytes(
+                      "Test Using Larger Than Block-Size Key - Hash Key First"))),
+        "60e431591ee0b67f0d8a26aacbf5b77f"
+        "8e0bc6213728c5140546040f0ee37f54")
+        << "kernel=" << sha256_kernel_name();
+    EXPECT_EQ(
+        digest_hex(hmac_sha256(
+            key6,
+            common::to_bytes("This is a test using a larger than block-size "
+                             "key and a larger than block-size data. The key "
+                             "needs to be hashed before being used by the "
+                             "HMAC algorithm."))),
+        "9b09ffa71b942fcb27635fbcd5b0e944"
+        "bfdc63644f0713938a7f51535c3a35e2")
+        << "kernel=" << sha256_kernel_name();
+  }
+}
+
+// All AES kernels must agree bit-for-bit on random inputs. Lengths cover
+// the 8-wide CTR main loop, the block tail, and sub-block tails.
+TEST(Kat, AesKernelsAgreeOnRandomInputs) {
+  KernelGuard guard;
+  common::Rng rng(0xae5'cafe);
+  const std::vector<AesKernel> kernels = available_aes_kernels();
+  for (const std::size_t key_len : {16u, 32u}) {
+    const Bytes key = rng.next_bytes(key_len);
+    const Bytes iv = rng.next_bytes(16);
+    for (const std::size_t len : {0u, 1u, 15u, 16u, 17u, 127u, 128u, 129u,
+                                  1000u, 4096u}) {
+      const Bytes data = rng.next_bytes(len);
+      set_aes_kernel(kernels[0]);
+      const Bytes ref_ctr = aes_ctr(key, iv, data);
+      const Bytes ref_cbc = aes_cbc_encrypt(key, iv, data);
+      for (std::size_t i = 1; i < kernels.size(); ++i) {
+        set_aes_kernel(kernels[i]);
+        EXPECT_EQ(aes_ctr(key, iv, data), ref_ctr)
+            << "kernel=" << aes_kernel_name() << " len=" << len;
+        EXPECT_EQ(aes_cbc_encrypt(key, iv, data), ref_cbc)
+            << "kernel=" << aes_kernel_name() << " len=" << len;
+        const auto back = aes_cbc_decrypt(key, iv, ref_cbc);
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, data)
+            << "kernel=" << aes_kernel_name() << " len=" << len;
+      }
+    }
+  }
+}
+
+// Both SHA kernels must agree through arbitrary incremental chunkings,
+// which exercises the partial-buffer path around the bulk path.
+TEST(Kat, ShaKernelsAgreeOnRandomChunkings) {
+  KernelGuard guard;
+  common::Rng rng(0x5a'5a'5a);
+  const std::vector<Sha256Kernel> kernels = available_sha_kernels();
+  for (int trial = 0; trial < 20; ++trial) {
+    const Bytes data = rng.next_bytes(1 + rng.next_below(2000));
+    std::vector<Digest> digests;
+    for (const Sha256Kernel k : kernels) {
+      set_sha256_kernel(k);
+      Sha256 hasher;
+      std::size_t off = 0;
+      common::Rng chunker(trial);  // same chunking across kernels
+      while (off < data.size()) {
+        const std::size_t take =
+            std::min<std::size_t>(1 + chunker.next_below(200),
+                                  data.size() - off);
+        hasher.update(common::BytesView(data.data() + off, take));
+        off += take;
+      }
+      digests.push_back(hasher.finalize());
+    }
+    for (std::size_t i = 1; i < digests.size(); ++i) {
+      EXPECT_EQ(digests[i], digests[0]) << "trial=" << trial;
+    }
+  }
+}
+
+// seal/open must round-trip identically regardless of kernel, and a
+// ciphertext sealed by one kernel must open under another.
+TEST(Kat, SealOpenCrossKernel) {
+  KernelGuard guard;
+  common::Rng rng(7);
+  const Bytes key = rng.next_bytes(32);
+  const Bytes nonce = rng.next_bytes(16);
+  const Bytes msg = rng.next_bytes(333);
+  std::vector<Bytes> sealed;
+  for (const AesKernel k : available_aes_kernels()) {
+    set_aes_kernel(k);
+    sealed.push_back(seal(key, msg, nonce));
+  }
+  for (std::size_t i = 1; i < sealed.size(); ++i) {
+    EXPECT_EQ(sealed[i], sealed[0]);
+  }
+  for (const AesKernel k : available_aes_kernels()) {
+    set_aes_kernel(k);
+    const auto opened = open(key, sealed[0]);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, msg);
+  }
+}
+
+}  // namespace
+}  // namespace veil::crypto
