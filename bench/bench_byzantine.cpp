@@ -1,0 +1,152 @@
+// Byzantine-tier cost study: what detection buys and what it costs.
+//
+// Three questions, one series each:
+//   * BM_FabricValidationModeCost — cross-check overhead on HONEST
+//     traffic as Fabric's validation mode steps Trusting -> Validate ->
+//     Detect (arg 0/1/2). The Detect-vs-Validate delta is the price of
+//     the endorsement-consistency cross-check when nothing is wrong.
+//   * BM_QuorumCommitVsByzantine — commit throughput with 0/1/2
+//     actively replaying principals (arg), detection on. Shows the
+//     steady-state cost of living with convicted-and-quarantined peers.
+//   * BM_QuorumReplayDetectionLatency — simulated time from the replay
+//     hitting the wire to the first signed evidence record: the
+//     detection latency quoted in docs/fault_model.md.
+#include <benchmark/benchmark.h>
+
+#include "platforms/fabric/fabric.hpp"
+#include "platforms/quorum/quorum.hpp"
+
+namespace {
+
+using namespace veil;
+using common::to_bytes;
+
+std::shared_ptr<contracts::FunctionContract> put_contract() {
+  return std::make_shared<contracts::FunctionContract>(
+      "cc", 1, [](contracts::ContractContext& ctx, const std::string& a) {
+        ctx.put("k/" + a, common::Bytes(ctx.args().begin(), ctx.args().end()));
+        return contracts::InvokeStatus::Ok;
+      });
+}
+
+// Honest Fabric traffic under each validation mode. No attacker: the
+// measured delta between modes is pure cross-check overhead.
+void BM_FabricValidationModeCost(benchmark::State& state) {
+  net::SimNetwork net{common::Rng(41)};
+  common::Rng rng(42);
+  fabric::FabricNetwork fab(net, crypto::Group::test_group(), rng);
+  fab.add_org("OrgA");
+  fab.add_org("OrgB");
+  fab.create_channel("ch", {"OrgA", "OrgB"});
+  fab.install_chaincode("ch", "OrgA", put_contract(),
+                        contracts::EndorsementPolicy::require("OrgA"));
+  const auto mode = static_cast<fabric::FabricNetwork::ValidationMode>(
+      state.range(0));
+  fab.set_validation_mode(mode);
+  state.counters["mode"] = static_cast<double>(state.range(0));
+  std::uint64_t committed = 0;
+  int seq = 0;
+  for (auto _ : state) {
+    const auto r = fab.submit("ch", "OrgA", "cc", "a" + std::to_string(seq++),
+                              to_bytes("v"));
+    if (r.committed) ++committed;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+  state.counters["sim_us_per_tx"] =
+      static_cast<double>(net.clock().now()) /
+      (committed ? static_cast<double>(committed) : 1.0);
+}
+BENCHMARK(BM_FabricValidationModeCost)
+    ->Arg(0)  // Trusting
+    ->Arg(1)  // Validate
+    ->Arg(2)  // Detect
+    ->Unit(benchmark::kMillisecond);
+
+// Quorum private-transfer throughput with 0/1/2 Byzantine principals
+// replaying spent transfers into the stream, detection on. Convicted
+// replayers get quarantined, so the steady state is honest commits plus
+// the wasted wire traffic of isolated attackers.
+void BM_QuorumCommitVsByzantine(benchmark::State& state) {
+  net::SimNetwork net{common::Rng(51)};
+  common::Rng rng(52);
+  quorum::QuorumNetwork quorum(net, crypto::Group::test_group(), rng,
+                               /*block_size=*/1);
+  for (const char* n : {"A", "B", "C", "D", "E"}) quorum.add_node(n);
+  quorum.enable_detection();
+  const int byzantine = static_cast<int>(state.range(0));
+  state.counters["byzantine_principals"] = static_cast<double>(byzantine);
+  // Seed each attacker with a private transfer it can later replay.
+  const char* attackers[] = {"D", "E"};
+  std::vector<std::string> spent_ids;
+  for (int i = 0; i < byzantine; ++i) {
+    const auto r = quorum.submit_private(attackers[i], {"A"},
+                                         {{"seed", to_bytes("v"), false}},
+                                         to_bytes("seed-terms"));
+    spent_ids.push_back(r.tx_id);
+  }
+  std::uint64_t committed = 0;
+  int seq = 0;
+  for (auto _ : state) {
+    const auto r = quorum.submit_private(
+        "A", {"B"}, {{"k" + std::to_string(seq), to_bytes("v"), false}},
+        to_bytes("terms"));
+    if (r.accepted) ++committed;
+    // Each attacker re-fires its replay every fourth honest commit;
+    // after conviction the quarantine eats the traffic.
+    if (seq % 4 == 0) {
+      for (int i = 0; i < byzantine; ++i) {
+        quorum.replay_private(attackers[i], spent_ids[i], {"C"});
+      }
+    }
+    ++seq;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+  const double tx = committed ? static_cast<double>(committed) : 1.0;
+  state.counters["sim_us_per_tx"] =
+      static_cast<double>(net.clock().now()) / tx;
+  state.counters["evidence_records"] =
+      static_cast<double>(quorum.evidence().count());
+  state.counters["quarantine_drops"] =
+      static_cast<double>(net.stats().dropped_quarantined);
+}
+BENCHMARK(BM_QuorumCommitVsByzantine)
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Detection latency: simulated microseconds from the replay submission
+// to the first signed evidence record. Fresh network per sample so the
+// attacker is never pre-quarantined.
+void BM_QuorumReplayDetectionLatency(benchmark::State& state) {
+  double total_latency_us = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t attacks = 0;
+  for (auto _ : state) {
+    net::SimNetwork net{common::Rng(61)};
+    common::Rng rng(62);
+    quorum::QuorumNetwork quorum(net, crypto::Group::test_group(), rng,
+                                 /*block_size=*/1);
+    for (const char* n : {"A", "B", "C"}) quorum.add_node(n);
+    quorum.enable_detection();
+    const auto transfer = quorum.submit_private(
+        "A", {"B"}, {{"asset/bond/owner", to_bytes("B"), false}},
+        to_bytes("transfer"));
+    const std::uint64_t t0 = net.clock().now();
+    quorum.replay_private("B", transfer.tx_id, {"C"});
+    ++attacks;
+    if (quorum.evidence().count() > 0) {
+      ++detections;
+      total_latency_us += static_cast<double>(net.clock().now() - t0);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(detections));
+  state.counters["detection_rate"] =
+      attacks ? static_cast<double>(detections) / static_cast<double>(attacks)
+              : 0.0;
+  state.counters["detect_latency_sim_us"] =
+      detections ? total_latency_us / static_cast<double>(detections) : 0.0;
+}
+BENCHMARK(BM_QuorumReplayDetectionLatency)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -12,6 +12,7 @@
 #   BENCH_FILTER='BM_ModPow.*' bench/run_benches.sh
 #   BENCH_SKIP_FAULTS=1 bench/run_benches.sh      # skip fault sweep
 #   BENCH_SKIP_PARALLEL=1 bench/run_benches.sh    # skip symmetric/thread suite
+#   BENCH_SKIP_BYZANTINE=1 bench/run_benches.sh   # skip Byzantine cost study
 #   BUILD_DIR=out bench/run_benches.sh
 set -euo pipefail
 
@@ -75,6 +76,41 @@ if [[ -z "${BENCH_SKIP_FAULTS:-}" ]]; then
       echo "wrote $FAULTS_OUT"
     else
       echo "bench_faults produced no output; $FAULTS_OUT left untouched" >&2
+    fi
+    trap - EXIT
+  fi
+fi
+
+# ---- Byzantine cost study (detection latency + cross-check overhead) -------
+# Numbers quoted in the "Byzantine tier" section of docs/fault_model.md:
+# validation-mode overhead on honest traffic, throughput with 0/1/2
+# replaying principals, and sim-time detection latency.
+if [[ -z "${BENCH_SKIP_BYZANTINE:-}" ]]; then
+  BYZ_OUT="${BENCH_BYZANTINE_OUT:-$ROOT/BENCH_byzantine.json}"
+  if [[ ! -x "$BUILD/bench/bench_byzantine" ]]; then
+    echo "bench_byzantine not built; skipping Byzantine cost study" >&2
+  else
+    BTMP="$(mktemp "${BYZ_OUT}.XXXXXX")"
+    trap 'rm -f "$BTMP"' EXIT
+    "$BUILD/bench/bench_byzantine" \
+      --benchmark_out="$BTMP" \
+      --benchmark_out_format=json \
+      --benchmark_repetitions="${BENCH_REPS:-1}"
+    if [[ -s "$BTMP" ]]; then
+      mv "$BTMP" "$BYZ_OUT"
+      python3 - "$BYZ_OUT" <<'PY'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+data["context"]["validation_modes"] = {
+    "0": "Trusting", "1": "Validate", "2": "Detect"}
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+PY
+      echo "wrote $BYZ_OUT"
+    else
+      echo "bench_byzantine produced no output; $BYZ_OUT left untouched" >&2
     fi
     trap - EXIT
   fi

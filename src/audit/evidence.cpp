@@ -1,0 +1,115 @@
+#include "audit/evidence.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace veil::audit {
+
+std::string to_string(Misbehavior kind) {
+  switch (kind) {
+    case Misbehavior::MessageTampering:
+      return "message tampering";
+    case Misbehavior::OrdererTampering:
+      return "orderer tampering";
+    case Misbehavior::EndorserEquivocation:
+      return "endorser equivocation";
+    case Misbehavior::NotaryEquivocation:
+      return "notary equivocation";
+    case Misbehavior::PrivateReplay:
+      return "private-transaction replay";
+    case Misbehavior::DoubleSpendAttempt:
+      return "double-spend attempt";
+  }
+  return "unknown misbehavior";
+}
+
+common::Bytes Evidence::to_be_signed() const {
+  common::Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.str(accused);
+  w.str(reporter);
+  w.str(detail);
+  w.u64(detected_at);
+  w.bytes(proof_a);
+  w.bytes(proof_b);
+  return w.take();
+}
+
+void Evidence::sign(const crypto::KeyPair& reporter_key) {
+  reporter_signature = reporter_key.sign(to_be_signed());
+}
+
+bool Evidence::verify(const crypto::Group& group,
+                      const crypto::PublicKey& reporter_pub) const {
+  return crypto::verify(group, reporter_pub, to_be_signed(),
+                        reporter_signature);
+}
+
+common::Bytes Evidence::encode() const {
+  common::Writer w;
+  w.raw(to_be_signed());
+  w.bytes(reporter_signature.encode());
+  return w.take();
+}
+
+Evidence Evidence::decode(common::BytesView data) {
+  common::Reader r(data);
+  Evidence e;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(Misbehavior::DoubleSpendAttempt)) {
+    throw common::Error("evidence: unknown misbehavior kind");
+  }
+  e.kind = static_cast<Misbehavior>(kind);
+  e.accused = r.str();
+  e.reporter = r.str();
+  e.detail = r.str();
+  e.detected_at = r.u64();
+  e.proof_a = r.bytes();
+  e.proof_b = r.bytes();
+  e.reporter_signature = crypto::Signature::decode(r.bytes());
+  if (!r.done()) throw common::Error("evidence: trailing bytes");
+  return e;
+}
+
+std::string Evidence::dedupe_key() const {
+  common::Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.str(accused);
+  w.bytes(proof_a);
+  w.bytes(proof_b);
+  const crypto::Digest d = crypto::sha256(w.data());
+  return std::string(d.begin(), d.end());
+}
+
+bool EvidenceLog::add(Evidence e) {
+  if (!seen_.insert(e.dedupe_key()).second) return false;
+  entries_.push_back(std::move(e));
+  return true;
+}
+
+bool EvidenceLog::convicted(const std::string& accused) const {
+  for (const Evidence& e : entries_) {
+    if (e.accused == accused) return true;
+  }
+  return false;
+}
+
+std::vector<Evidence> EvidenceLog::against(const std::string& accused) const {
+  std::vector<Evidence> out;
+  for (const Evidence& e : entries_) {
+    if (e.accused == accused) out.push_back(e);
+  }
+  return out;
+}
+
+common::Bytes EvidenceLog::digest() const {
+  crypto::Sha256 hasher;
+  for (const Evidence& e : entries_) {
+    const common::Bytes enc = e.encode();
+    hasher.update(enc);
+  }
+  return crypto::digest_bytes(hasher.finalize());
+}
+
+}  // namespace veil::audit

@@ -1,0 +1,90 @@
+// Signed, serializable proof of misbehavior.
+//
+// The Byzantine tier (net/fault.hpp) lets principals actively lie:
+// tamper, equivocate, replay, silence. Detection alone is not enough in a
+// permissioned deployment — a detecting party must be able to hand a
+// third party (a regulator, the consortium operator) a self-contained,
+// verifiable record of WHO misbehaved and WHAT the proof is. An Evidence
+// record carries two conflicting artifacts (both typically signed by the
+// accused: two transactions with conflicting endorsements, two notary
+// attestations over the same consumed state, two private transactions
+// with the same nullifier) plus the reporter's signature over the whole
+// record, so evidence cannot be forged or repudiated in transit.
+//
+// EvidenceLog is the per-deployment registry. Adding is idempotent on
+// (kind, accused, proof digest) so WAL replay and resync cannot
+// double-convict, and the log exposes a canonical digest for transcript
+// equality assertions in the chaos suite.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "crypto/signature.hpp"
+
+namespace veil::audit {
+
+enum class Misbehavior : std::uint8_t {
+  MessageTampering,      // payload hash mismatch on an authenticated link
+  OrdererTampering,      // orderer output fails endorsement verification
+  EndorserEquivocation,  // one endorser, one proposal, conflicting rwsets
+  NotaryEquivocation,    // notary signed conflicting consumes of a state
+  PrivateReplay,         // private-tx nullifier seen twice on chain
+  DoubleSpendAttempt,    // client re-submitted an already-consumed state
+};
+
+/// Human-readable name, for refusal transcripts and reports.
+std::string to_string(Misbehavior kind);
+
+struct Evidence {
+  Misbehavior kind = Misbehavior::MessageTampering;
+  std::string accused;
+  std::string reporter;
+  std::string detail;  // one-line human-readable account
+  common::SimTime detected_at = 0;
+  common::Bytes proof_a;  // first conflicting artifact (signed by accused)
+  common::Bytes proof_b;  // second conflicting artifact
+  crypto::Signature reporter_signature;
+
+  /// Canonical encoding of everything except the reporter signature.
+  common::Bytes to_be_signed() const;
+  void sign(const crypto::KeyPair& reporter_key);
+  bool verify(const crypto::Group& group,
+              const crypto::PublicKey& reporter_pub) const;
+
+  common::Bytes encode() const;
+  /// Throws common::Error on malformed or truncated input.
+  static Evidence decode(common::BytesView data);
+
+  /// Dedupe key: kind, accused, and the proof digest. Deliberately
+  /// excludes reporter and time so independent detections of the same
+  /// offense collapse to one conviction.
+  std::string dedupe_key() const;
+};
+
+class EvidenceLog {
+ public:
+  /// Record `e`; returns false (and drops it) when an entry with the
+  /// same dedupe_key() is already present — detection re-running during
+  /// WAL replay or resync must not double-convict.
+  bool add(Evidence e);
+
+  const std::vector<Evidence>& entries() const { return entries_; }
+  std::size_t count() const { return entries_.size(); }
+  bool convicted(const std::string& accused) const;
+  std::vector<Evidence> against(const std::string& accused) const;
+
+  /// SHA-256 over the concatenated entry encodings, in insertion order.
+  /// Two runs with the same seed must produce identical digests.
+  common::Bytes digest() const;
+
+ private:
+  std::vector<Evidence> entries_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace veil::audit

@@ -21,6 +21,7 @@ std::vector<WriteAheadLog::Record> WriteAheadLog::recover() const {
   std::vector<Record> out;
   common::Reader r(log_);
   std::size_t clean_end = 0;
+  RecoveryReport report;
   try {
     while (!r.done()) {
       Record rec;
@@ -29,7 +30,11 @@ std::vector<WriteAheadLog::Record> WriteAheadLog::recover() const {
       const common::Bytes checksum = r.raw(crypto::kSha256DigestSize);
       const crypto::Digest expected = crypto::sha256(rec.payload);
       if (!std::equal(checksum.begin(), checksum.end(), expected.begin())) {
-        break;  // corrupt record: stop at the clean prefix
+        // The record was fully framed but its checksum fails: that is
+        // bit-rot or tampering, not a torn write. Flag it — callers must
+        // be able to tell "crashed mid-append" from "the log lied".
+        ++report.corrupt_records;
+        break;  // still stop at the clean prefix
       }
       out.push_back(std::move(rec));
       clean_end = log_.size() - r.remaining();
@@ -37,7 +42,9 @@ std::vector<WriteAheadLog::Record> WriteAheadLog::recover() const {
   } catch (const common::Error&) {
     // Torn tail: the last record was cut mid-write. Keep the prefix.
   }
-  torn_tail_bytes_ = log_.size() - clean_end;
+  report.records_recovered = out.size();
+  report.torn_tail_bytes = log_.size() - clean_end;
+  last_recovery_ = report;
   return out;
 }
 

@@ -36,12 +36,27 @@ class WriteAheadLog {
     common::Bytes payload;
   };
 
+  /// What the last recover() found past the clean prefix. A torn tail
+  /// (the final record cut mid-write) is an expected crash artifact; a
+  /// checksum mismatch on a fully framed record is NOT — it means the
+  /// stored bytes rotted or were tampered with, and recovery flags it
+  /// instead of silently lumping it into the tail.
+  struct RecoveryReport {
+    std::size_t records_recovered = 0;
+    std::size_t corrupt_records = 0;  // framed records whose checksum failed
+    std::size_t torn_tail_bytes = 0;  // bytes discarded past the clean prefix
+    /// True when recovery consumed the whole log: nothing corrupt,
+    /// nothing torn. corrupt_records distinguishes "the log lied"
+    /// (bit-rot/tampering) from a benign crash-mid-append tail.
+    bool clean() const { return corrupt_records == 0 && torn_tail_bytes == 0; }
+  };
+
   /// Append one record (type is application-defined).
   void append(std::uint8_t type, common::BytesView payload);
 
   /// Decode the clean prefix of the log. Torn or corrupt trailing data is
-  /// ignored; `torn_tail_bytes()` reports how much was discarded by the
-  /// last recover() call.
+  /// ignored; `last_recovery()` reports what was discarded and whether
+  /// any of it was mid-log corruption rather than an ordinary torn tail.
   std::vector<Record> recover() const;
 
   /// Simulate a torn write: chop `bytes` off the end of the log (tests).
@@ -54,12 +69,13 @@ class WriteAheadLog {
   void clear() { log_.clear(); }
   std::size_t size_bytes() const { return log_.size(); }
   std::size_t record_count() const { return record_count_; }
-  std::size_t torn_tail_bytes() const { return torn_tail_bytes_; }
+  std::size_t torn_tail_bytes() const { return last_recovery_.torn_tail_bytes; }
+  const RecoveryReport& last_recovery() const { return last_recovery_; }
 
  private:
   common::Bytes log_;
   std::size_t record_count_ = 0;
-  mutable std::size_t torn_tail_bytes_ = 0;
+  mutable RecoveryReport last_recovery_;
 };
 
 // ---- Block-replica logging (Fabric peers, Quorum nodes) -------------------

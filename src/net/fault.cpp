@@ -1,6 +1,10 @@
 #include "net/fault.hpp"
 
 #include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
 
 namespace veil::net {
 
@@ -60,6 +64,111 @@ std::vector<FaultEvent> FaultPlan::ordered_events() const {
   std::vector<FaultEvent> out = events_;
   std::stable_sort(out.begin(), out.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+common::Bytes ByzantineEvent::encode() const {
+  common::Writer w;
+  w.u64(at);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.str(principal);
+  w.str(target);
+  w.u64(std::bit_cast<std::uint64_t>(probability));
+  w.u64(delay_us);
+  return w.take();
+}
+
+ByzantineEvent ByzantineEvent::decode(common::BytesView data) {
+  common::Reader r(data);
+  ByzantineEvent e;
+  e.at = r.u64();
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(Kind::Release)) {
+    throw common::Error("byzantine event: unknown kind");
+  }
+  e.kind = static_cast<Kind>(kind);
+  e.principal = r.str();
+  e.target = r.str();
+  e.probability = std::bit_cast<double>(r.u64());
+  if (!(e.probability >= 0.0 && e.probability <= 1.0)) {
+    throw common::Error("byzantine event: probability out of range");
+  }
+  e.delay_us = r.u64();
+  if (!r.done()) throw common::Error("byzantine event: trailing bytes");
+  return e;
+}
+
+ByzantineEvent& ByzantinePlan::push(common::SimTime at,
+                                    ByzantineEvent::Kind kind,
+                                    Principal principal) {
+  ByzantineEvent e;
+  e.at = at;
+  e.kind = kind;
+  e.principal = std::move(principal);
+  events_.push_back(std::move(e));
+  return events_.back();
+}
+
+ByzantinePlan& ByzantinePlan::tamper_from(common::SimTime at,
+                                          Principal principal, double p) {
+  push(at, ByzantineEvent::Kind::Tamper, std::move(principal)).probability = p;
+  return *this;
+}
+
+ByzantinePlan& ByzantinePlan::equivocate_from(common::SimTime at,
+                                              Principal principal) {
+  push(at, ByzantineEvent::Kind::Equivocate, std::move(principal));
+  return *this;
+}
+
+ByzantinePlan& ByzantinePlan::silence_from(common::SimTime at,
+                                           Principal principal,
+                                           Principal target) {
+  push(at, ByzantineEvent::Kind::Silence, std::move(principal)).target =
+      std::move(target);
+  return *this;
+}
+
+ByzantinePlan& ByzantinePlan::replay_from(common::SimTime at,
+                                          Principal principal,
+                                          common::SimTime delay_us) {
+  push(at, ByzantineEvent::Kind::Replay, std::move(principal)).delay_us =
+      delay_us;
+  return *this;
+}
+
+ByzantinePlan& ByzantinePlan::delay_from(common::SimTime at,
+                                         Principal principal,
+                                         common::SimTime delay_us) {
+  push(at, ByzantineEvent::Kind::Delay, std::move(principal)).delay_us =
+      delay_us;
+  return *this;
+}
+
+ByzantinePlan& ByzantinePlan::honest_from(common::SimTime at,
+                                          Principal principal) {
+  push(at, ByzantineEvent::Kind::Honest, std::move(principal));
+  return *this;
+}
+
+ByzantinePlan& ByzantinePlan::quarantine_at(common::SimTime at,
+                                            Principal principal) {
+  push(at, ByzantineEvent::Kind::Quarantine, std::move(principal));
+  return *this;
+}
+
+ByzantinePlan& ByzantinePlan::release_at(common::SimTime at,
+                                         Principal principal) {
+  push(at, ByzantineEvent::Kind::Release, std::move(principal));
+  return *this;
+}
+
+std::vector<ByzantineEvent> ByzantinePlan::ordered_events() const {
+  std::vector<ByzantineEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ByzantineEvent& a, const ByzantineEvent& b) {
                      return a.at < b.at;
                    });
   return out;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/clock.hpp"
 #include "net/leakage.hpp"
 
@@ -81,6 +82,92 @@ class FaultPlan {
 
  private:
   std::vector<FaultEvent> events_;
+};
+
+/// One scheduled change to a principal's adversarial behavior. Unlike
+/// crash-stop faults, a Byzantine principal stays attached and keeps
+/// participating — it just lies on the wire. Events are serializable so
+/// adversary schedules can be persisted and fuzzed like every other wire
+/// format in the framework.
+struct ByzantineEvent {
+  enum class Kind : std::uint8_t {
+    Tamper,      // flip a random bit of each outgoing payload w.p. `probability`
+    Equivocate,  // every second send carries a divergent copy, so a
+                 // broadcast reaches different recipients with different bytes
+    Silence,     // selectively drop sends to `target` (empty = everyone)
+    Replay,      // queue a byte-identical duplicate `delay_us` later
+    Delay,       // hold outgoing messages an extra `delay_us` before release
+    Honest,      // clear all adversarial behaviors for `principal`
+    Quarantine,  // isolate `principal`: drop its sends and deliveries
+    Release,     // lift quarantine
+  };
+
+  common::SimTime at = 0;
+  Kind kind = Kind::Tamper;
+  Principal principal;
+  Principal target;              // Silence only; empty = all recipients
+  double probability = 1.0;      // Tamper only
+  common::SimTime delay_us = 0;  // Replay / Delay
+
+  common::Bytes encode() const;
+  /// Throws common::Error on malformed or truncated input.
+  static ByzantineEvent decode(common::BytesView data);
+};
+
+/// Builder-style adversary schedule, mirroring FaultPlan:
+///
+///   ByzantinePlan plan;
+///   plan.tamper_from(0, "orderer-org", 0.5)
+///       .silence_from(200'000, "peer.OrgB", "peer.OrgA")
+///       .replay_from(400'000, "node.B", 25'000)
+///       .honest_from(800'000, "orderer-org")
+///       .quarantine_at(900'000, "node.B");
+///   network.set_byzantine_plan(plan);
+class ByzantinePlan {
+ public:
+  /// From `at`, flip one random bit of each payload `principal` sends,
+  /// with probability `p` per message.
+  ByzantinePlan& tamper_from(common::SimTime at, Principal principal,
+                             double p = 1.0);
+
+  /// From `at`, `principal` equivocates: alternate sends carry a
+  /// deterministically mutated copy of the payload.
+  ByzantinePlan& equivocate_from(common::SimTime at, Principal principal);
+
+  /// From `at`, `principal` silently drops sends to `target`; an empty
+  /// target silences it toward every recipient. Repeated calls with
+  /// distinct targets accumulate.
+  ByzantinePlan& silence_from(common::SimTime at, Principal principal,
+                              Principal target = {});
+
+  /// From `at`, every send by `principal` is also queued a second time
+  /// `delay_us` later (an at-least-twice adversary).
+  ByzantinePlan& replay_from(common::SimTime at, Principal principal,
+                             common::SimTime delay_us = 20'000);
+
+  /// From `at`, `principal` withholds messages an extra `delay_us`.
+  ByzantinePlan& delay_from(common::SimTime at, Principal principal,
+                            common::SimTime delay_us);
+
+  /// Clear all adversarial behaviors for `principal` at `at`.
+  ByzantinePlan& honest_from(common::SimTime at, Principal principal);
+
+  /// Isolate / reinstate `principal` at `at` (also available directly on
+  /// SimNetwork for detection code that convicts at runtime).
+  ByzantinePlan& quarantine_at(common::SimTime at, Principal principal);
+  ByzantinePlan& release_at(common::SimTime at, Principal principal);
+
+  /// Events sorted by time (stable on ties). Called once by SimNetwork.
+  std::vector<ByzantineEvent> ordered_events() const;
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+ private:
+  ByzantineEvent& push(common::SimTime at, ByzantineEvent::Kind kind,
+                       Principal principal);
+
+  std::vector<ByzantineEvent> events_;
 };
 
 }  // namespace veil::net

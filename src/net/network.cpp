@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace veil::net {
@@ -31,6 +33,11 @@ void SimNetwork::set_fault_plan(const FaultPlan& plan) {
   next_fault_ = 0;
 }
 
+void SimNetwork::set_byzantine_plan(const ByzantinePlan& plan) {
+  byzantine_events_ = plan.ordered_events();
+  next_byzantine_ = 0;
+}
+
 void SimNetwork::set_crash_hook(const Principal& name, LifecycleHook hook) {
   crash_hooks_[name] = std::move(hook);
 }
@@ -52,8 +59,19 @@ void SimNetwork::restart(const Principal& name) {
 }
 
 void SimNetwork::apply_faults_until(common::SimTime now) {
-  while (next_fault_ < fault_events_.size() &&
-         fault_events_[next_fault_].at <= now) {
+  while (true) {
+    const bool fault_due = next_fault_ < fault_events_.size() &&
+                           fault_events_[next_fault_].at <= now;
+    const bool byz_due = next_byzantine_ < byzantine_events_.size() &&
+                         byzantine_events_[next_byzantine_].at <= now;
+    if (!fault_due && !byz_due) break;
+    // Merge the two schedules by time; fault-plan events win ties.
+    if (byz_due &&
+        (!fault_due || byzantine_events_[next_byzantine_].at <
+                           fault_events_[next_fault_].at)) {
+      apply_byzantine(byzantine_events_[next_byzantine_++]);
+      continue;
+    }
     const FaultEvent& e = fault_events_[next_fault_++];
     switch (e.kind) {
       case FaultEvent::Kind::SetDropRate:
@@ -75,6 +93,47 @@ void SimNetwork::apply_faults_until(common::SimTime now) {
   }
 }
 
+void SimNetwork::apply_byzantine(const ByzantineEvent& e) {
+  switch (e.kind) {
+    case ByzantineEvent::Kind::Tamper:
+      adversaries_[e.principal].tamper_probability = e.probability;
+      break;
+    case ByzantineEvent::Kind::Equivocate:
+      adversaries_[e.principal].equivocate = true;
+      break;
+    case ByzantineEvent::Kind::Silence: {
+      AdversaryState& a = adversaries_[e.principal];
+      a.silent = true;
+      if (!e.target.empty()) a.silence_targets.insert(e.target);
+      break;
+    }
+    case ByzantineEvent::Kind::Replay: {
+      AdversaryState& a = adversaries_[e.principal];
+      a.replay = true;
+      a.replay_delay_us = e.delay_us;
+      break;
+    }
+    case ByzantineEvent::Kind::Delay:
+      adversaries_[e.principal].delay_us = e.delay_us;
+      break;
+    case ByzantineEvent::Kind::Honest:
+      adversaries_.erase(e.principal);
+      break;
+    case ByzantineEvent::Kind::Quarantine:
+      quarantine(e.principal);
+      break;
+    case ByzantineEvent::Kind::Release:
+      release(e.principal);
+      break;
+  }
+}
+
+void SimNetwork::flip_random_bit(common::Bytes& payload) {
+  if (payload.empty()) return;
+  const std::uint64_t bit = rng_.next_below(payload.size() * 8);
+  payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
 void SimNetwork::send(const Principal& from, const Principal& to,
                       const std::string& topic, common::Bytes payload) {
   apply_faults_until(clock_.now());
@@ -89,6 +148,22 @@ void SimNetwork::send(const Principal& from, const Principal& to,
     ++stats_.dropped_crashed;
     return;
   }
+  if (quarantined_.contains(from) || quarantined_.contains(to)) {
+    ++stats_.messages_dropped;
+    ++stats_.dropped_quarantined;
+    return;
+  }
+  AdversaryState* adv = nullptr;
+  if (!adversaries_.empty()) {
+    const auto it = adversaries_.find(from);
+    if (it != adversaries_.end()) adv = &it->second;
+  }
+  if (adv && adv->silent &&
+      (adv->silence_targets.empty() || adv->silence_targets.contains(to))) {
+    ++stats_.messages_dropped;
+    ++stats_.dropped_silenced;
+    return;
+  }
   if (drop_probability_ > 0.0 && rng_.next_double() < drop_probability_) {
     ++stats_.messages_dropped;
     ++stats_.dropped_random_loss;
@@ -100,13 +175,46 @@ void SimNetwork::send(const Principal& from, const Principal& to,
     return;
   }
 
-  const common::SimTime latency =
+  // Adversarial payload mutation. All randomness comes from the network
+  // RNG, and the guards keep the draw sequence unchanged when no
+  // adversary or corruption mode is configured, so existing seeded runs
+  // replay byte-identically.
+  if (adv && adv->tamper_probability > 0.0 &&
+      rng_.next_double() < adv->tamper_probability) {
+    flip_random_bit(payload);
+    ++stats_.messages_tampered;
+  }
+  if (adv && adv->equivocate && adv->equivocation_seq++ % 2 == 1 &&
+      !payload.empty()) {
+    // Deterministic divergence: alternate recipients of a broadcast see a
+    // copy whose middle byte differs.
+    payload[payload.size() / 2] ^= 0x01;
+    ++stats_.messages_equivocated;
+  }
+  if (corruption_probability_ > 0.0 &&
+      rng_.next_double() < corruption_probability_) {
+    flip_random_bit(payload);
+    ++stats_.messages_corrupted;
+  }
+
+  common::SimTime latency =
       latency_.base_us +
       (latency_.jitter_us ? rng_.next_below(latency_.jitter_us) : 0) +
       static_cast<common::SimTime>(latency_.per_byte_us *
                                    static_cast<double>(payload.size()));
+  if (adv && adv->delay_us > 0) {
+    latency += adv->delay_us;
+    ++stats_.messages_delayed;
+  }
   Message msg{from, to, topic, std::move(payload), clock_.now(),
               clock_.now() + latency};
+  if (adv && adv->replay) {
+    Message dup = msg;
+    dup.delivered_at += adv->replay_delay_us > 0 ? adv->replay_delay_us : 1;
+    queue_.push(
+        Pending{dup.delivered_at, sequence_++, std::move(dup), nullptr});
+    ++stats_.messages_replayed;
+  }
   queue_.push(Pending{msg.delivered_at, sequence_++, std::move(msg), nullptr});
 }
 
@@ -151,6 +259,14 @@ std::size_t SimNetwork::run() {
       ++stats_.dropped_crashed;
       continue;
     }
+    if (quarantined_.contains(next.message.to) ||
+        quarantined_.contains(next.message.from)) {
+      // Either endpoint quarantined while the message was in flight:
+      // isolation pulls its packets too.
+      ++stats_.messages_dropped;
+      ++stats_.dropped_quarantined;
+      continue;
+    }
     // The recipient observes the raw bytes of everything delivered to it.
     auditor_.record(next.message.to, "net/" + next.message.topic,
                     next.message.payload.size());
@@ -158,10 +274,18 @@ std::size_t SimNetwork::run() {
     ++delivered;
     it->second(next.message);
   }
-  // Let any remaining fault events (e.g. a restart after the last
-  // message) fire rather than strand them behind an empty queue.
-  if (next_fault_ < fault_events_.size()) {
-    const common::SimTime last = fault_events_.back().at;
+  // Let any remaining fault or adversary events (e.g. a restart or a
+  // release after the last message) fire rather than strand them behind
+  // an empty queue.
+  if (next_fault_ < fault_events_.size() ||
+      next_byzantine_ < byzantine_events_.size()) {
+    common::SimTime last = clock_.now();
+    if (next_fault_ < fault_events_.size()) {
+      last = std::max(last, fault_events_.back().at);
+    }
+    if (next_byzantine_ < byzantine_events_.size()) {
+      last = std::max(last, byzantine_events_.back().at);
+    }
     clock_.advance_to(last);
     apply_faults_until(last);
     // Restart hooks may have queued catch-up traffic; drain it.

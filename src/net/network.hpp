@@ -60,6 +60,17 @@ struct NetworkStats {
   // Reliable-delivery accounting (incremented by ReliableChannel).
   std::uint64_t retransmits = 0;
   std::uint64_t duplicates_suppressed = 0;
+
+  // Byzantine adversary accounting (net/fault.hpp ByzantinePlan plus the
+  // link-level corruption mode). The dropped_* entries are also counted
+  // in messages_dropped.
+  std::uint64_t messages_tampered = 0;
+  std::uint64_t messages_equivocated = 0;
+  std::uint64_t messages_replayed = 0;
+  std::uint64_t messages_delayed = 0;
+  std::uint64_t messages_corrupted = 0;  // link-level bit-flips in flight
+  std::uint64_t dropped_silenced = 0;
+  std::uint64_t dropped_quarantined = 0;
 };
 
 class SimNetwork {
@@ -107,6 +118,27 @@ class SimNetwork {
   /// send/run.
   void set_fault_plan(const FaultPlan& plan);
 
+  /// Install a scripted adversary schedule (net/fault.hpp ByzantinePlan).
+  /// Applied lazily like the fault plan; when events from both plans are
+  /// due at the same instant, fault-plan events apply first.
+  void set_byzantine_plan(const ByzantinePlan& plan);
+
+  /// Isolate `name`: its sends and in-flight deliveries drop (counted as
+  /// dropped_quarantined) until release(). Unlike crash(), no lifecycle
+  /// hook fires — the principal keeps its state but loses the network.
+  /// Detection code calls this when it convicts a principal.
+  void quarantine(const Principal& name) { quarantined_.insert(name); }
+  void release(const Principal& name) { quarantined_.erase(name); }
+  bool is_quarantined(const Principal& name) const {
+    return quarantined_.contains(name);
+  }
+
+  /// Link-level corruption: probability that a payload has one random bit
+  /// flipped in flight (sender-agnostic, unlike ByzantinePlan tampering).
+  /// Exercises every decode path against corrupted — not just truncated —
+  /// bytes.
+  void set_corruption_probability(double p) { corruption_probability_ = p; }
+
   /// Crash/restart hooks, invoked when a FaultPlan (or crash()/restart())
   /// crash-stops or revives `name`. The crash hook models losing volatile
   /// state; the restart hook models WAL replay + catch-up.
@@ -130,8 +162,24 @@ class SimNetwork {
 
  private:
   bool reachable(const Principal& from, const Principal& to) const;
-  /// Apply all fault-plan events scheduled at or before `now`.
+  /// Apply all fault-plan and byzantine-plan events scheduled at or
+  /// before `now`, merged in time order.
   void apply_faults_until(common::SimTime now);
+  void apply_byzantine(const ByzantineEvent& e);
+  /// Flip one uniformly chosen bit of `payload` (no-op when empty).
+  void flip_random_bit(common::Bytes& payload);
+
+  /// Current adversarial behaviors of one principal (ByzantinePlan).
+  struct AdversaryState {
+    double tamper_probability = 0.0;
+    bool equivocate = false;
+    bool replay = false;
+    common::SimTime replay_delay_us = 0;
+    common::SimTime delay_us = 0;
+    bool silent = false;
+    std::set<Principal> silence_targets;  // empty + silent => everyone
+    std::uint64_t equivocation_seq = 0;
+  };
 
   struct Pending {
     common::SimTime deliver_at;
@@ -157,6 +205,11 @@ class SimNetwork {
   std::map<Principal, LifecycleHook> restart_hooks_;
   std::vector<FaultEvent> fault_events_;  // time-ordered
   std::size_t next_fault_ = 0;
+  std::vector<ByzantineEvent> byzantine_events_;  // time-ordered
+  std::size_t next_byzantine_ = 0;
+  std::map<Principal, AdversaryState> adversaries_;
+  std::set<Principal> quarantined_;
+  double corruption_probability_ = 0.0;
   NetworkStats stats_;
   LeakageAuditor auditor_;
 };

@@ -121,6 +121,14 @@ std::string render_network_stats(const NetworkStats& stats) {
   os << "reliable delivery:\n";
   line(os, "retransmits", stats.retransmits);
   line(os, "duplicates suppressed", stats.duplicates_suppressed);
+  os << "adversary activity:\n";
+  line(os, "tampered in flight", stats.messages_tampered);
+  line(os, "equivocated copies", stats.messages_equivocated);
+  line(os, "replayed duplicates", stats.messages_replayed);
+  line(os, "delayed release", stats.messages_delayed);
+  line(os, "link corruption", stats.messages_corrupted);
+  line(os, "silenced (dropped)", stats.dropped_silenced);
+  line(os, "quarantined (dropped)", stats.dropped_quarantined);
   return os.str();
 }
 

@@ -35,6 +35,31 @@ std::uint64_t data_bytes(const std::vector<OutputSpec>& outputs) {
 constexpr std::uint8_t kWalVaultAdd = 10;
 constexpr std::uint8_t kWalVaultConsume = 11;
 constexpr std::uint8_t kWalLinkage = 12;
+/// A consume witnessed at finality (any flow input, not just own vault
+/// entries): {ref, consuming tx id}. The durable history the
+/// notary-equivocation cross-check runs against.
+constexpr std::uint8_t kWalConsumeSeen = 13;
+
+/// One half of a NotaryEquivocation proof: a notary attestation bound to
+/// its transaction — verifiable on its own against the notary's key.
+common::Bytes notarization_proof(const std::string& tx_id,
+                                 const crypto::Digest& root,
+                                 const crypto::Signature& signature) {
+  common::Writer w;
+  w.str(tx_id);
+  w.raw(common::BytesView(root.data(), root.size()));
+  w.bytes(signature.encode());
+  return w.take();
+}
+
+/// One half of a DoubleSpendAttempt proof: which ref, consumed by which tx.
+common::Bytes consume_proof(const StateRef& ref, const std::string& tx_id) {
+  common::Writer w;
+  w.str(ref.tx_id);
+  w.u32(ref.index);
+  w.str(tx_id);
+  return w.take();
+}
 
 common::Bytes encode_state(const CordaState& state) {
   common::Writer w;
@@ -144,16 +169,57 @@ void CordaNetwork::install_linkages(const std::string& self,
   }
 }
 
-void CordaNetwork::apply_finality(const std::string& self,
+bool CordaNetwork::apply_finality(const std::string& self,
                                   const PendingFlow& flow) {
   Party& party = parties_.at(self);
+
+  // Detection cross-check (the tentpole's Corda defense): the flow is
+  // past notarization, so every input now carries a notary attestation.
+  // If this party's own consume log says an input was already consumed
+  // by a DIFFERENT notarized transaction, the notary has signed two
+  // conflicting consumes — equivocation, provable with both signatures.
+  // The attacker runs no defenses against its own flow (self ==
+  // initiator); any honest counterparty convicts.
+  if (detection_ && self != flow.initiator && flow.notary_signature) {
+    for (const StateRef& ref : flow.inputs) {
+      const auto seen = party.consume_log.find(ref);
+      if (seen == party.consume_log.end() || seen->second == flow.tx_id) {
+        continue;
+      }
+      const auto prior = tx_records_.find(seen->second);
+      if (prior == tx_records_.end()) continue;  // cannot prove without it
+      convict(audit::Misbehavior::NotaryEquivocation, flow.notary, self,
+              "notary signed conflicting consumes of " + ref.tx_id + "#" +
+                  std::to_string(ref.index),
+              notarization_proof(seen->second, prior->second.root,
+                                 prior->second.notary_signature),
+              notarization_proof(flow.tx_id, flow.root,
+                                 *flow.notary_signature),
+              flow.notary);
+      return false;  // fail closed: no vault mutation from this flow
+    }
+  }
+
+  // Witness every consume this flow performs — even of states this party
+  // never held — WAL-first so the history survives a crash-stop.
   for (const StateRef& ref : flow.inputs) {
-    if (!party.vault.contains(ref)) continue;
+    if (!party.consume_log.emplace(ref, flow.tx_id).second) continue;
+    common::Writer w;
+    w.str(ref.tx_id);
+    w.u32(ref.index);
+    w.str(flow.tx_id);
+    party.wal.append(kWalConsumeSeen, w.take());
+  }
+
+  for (const StateRef& ref : flow.inputs) {
+    const auto held = party.vault.find(ref);
+    if (held == party.vault.end()) continue;
     common::Writer w;
     w.str(ref.tx_id);
     w.u32(ref.index);
     party.wal.append(kWalVaultConsume, w.take());
-    party.vault.erase(ref);
+    party.spent[ref] = held->second;
+    party.vault.erase(held);
   }
   for (std::size_t i = 0; i < flow.outputs.size(); ++i) {
     CordaState state;
@@ -179,18 +245,48 @@ void CordaNetwork::apply_finality(const std::string& self,
     party.wal.append(kWalVaultAdd, encode_state(state));
     party.vault[state.ref] = state;
   }
+  return true;
+}
+
+void CordaNetwork::convict(audit::Misbehavior kind, const std::string& accused,
+                           const std::string& reporter, std::string detail,
+                           common::Bytes proof_a, common::Bytes proof_b,
+                           const std::string& quarantine_principal) {
+  audit::Evidence e;
+  e.kind = kind;
+  e.accused = accused;
+  e.reporter = reporter;
+  e.detail = std::move(detail);
+  e.detected_at = network_->clock().now();
+  e.proof_a = std::move(proof_a);
+  e.proof_b = std::move(proof_b);
+  const auto party = parties_.find(reporter);
+  if (party != parties_.end()) {
+    e.sign(party->second.keypair);
+  } else if (const auto notary = notaries_.find(reporter);
+             notary != notaries_.end()) {
+    e.sign(notary->second.keypair);
+  }
+  evidence_.add(std::move(e));
+  if (!quarantine_principal.empty()) {
+    network_->quarantine(quarantine_principal);
+  }
 }
 
 void CordaNetwork::on_party_crash(const std::string& name) {
   Party& party = parties_.at(name);
   party.vault.clear();
   party.known_linkages.clear();
+  party.spent.clear();
+  party.consume_log.clear();
 }
 
 void CordaNetwork::on_party_restart(const std::string& name) {
   Party& party = parties_.at(name);
   party.vault.clear();
   party.known_linkages.clear();
+  party.spent.clear();
+  party.consume_log.clear();
   for (const ledger::WriteAheadLog::Record& rec : party.wal.recover()) {
     try {
       common::Reader r(rec.payload);
@@ -205,6 +301,11 @@ void CordaNetwork::on_party_restart(const std::string& name) {
       } else if (rec.type == kWalLinkage) {
         const std::string fingerprint = r.str();
         party.known_linkages[fingerprint] = r.str();
+      } else if (rec.type == kWalConsumeSeen) {
+        StateRef ref;
+        ref.tx_id = r.str();
+        ref.index = r.u32();
+        party.consume_log.emplace(ref, r.str());
       }
     } catch (const common::Error&) {
       break;  // undecodable payload: treat like a torn tail
@@ -240,14 +341,29 @@ void CordaNetwork::on_party_message(const std::string& self,
     } catch (const common::Error&) {
     }
   } else if (msg.topic == "corda.finalize") {
-    apply_finality(self, flow);
-    common::Writer w;
-    w.str(tx_id);
-    w.str(self);
-    channel_.send(self, msg.from, "corda.finalize-ack", w.take());
+    if (apply_finality(self, flow)) {
+      common::Writer w;
+      w.str(tx_id);
+      w.str(self);
+      channel_.send(self, msg.from, "corda.finalize-ack", w.take());
+    } else {
+      // Detection refused finality: tell the initiator the flow failed
+      // closed rather than silently diverging vaults.
+      common::Writer w;
+      w.str(tx_id);
+      w.str(self);
+      w.str("finality refused by " + self + ": notary equivocation");
+      channel_.send(self, msg.from, "corda.sign-refusal", w.take());
+    }
   } else if (msg.topic == "corda.finalize-ack") {
     try {
       flow.finalize_acks.insert(r.str());
+    } catch (const common::Error&) {
+    }
+  } else if (msg.topic == "corda.sign-refusal") {
+    try {
+      r.str();  // refusing party (already named in the reason)
+      flow.refusal = r.str();
     } catch (const common::Error&) {
     }
   } else if (msg.topic == "corda.oracle-response" ||
@@ -302,12 +418,22 @@ void CordaNetwork::on_notary_message(const std::string& self,
       refusal = "notary tear-off verification failed";
     }
   }
-  if (refusal.empty()) {
+  if (refusal.empty() && !notary.byzantine) {
     for (const StateRef& ref : flow.inputs) {
-      if (notary.consumed.contains(ref)) {
-        refusal = "double spend rejected by notary";
-        break;
+      const auto prior = notary.consumed.find(ref);
+      if (prior == notary.consumed.end()) continue;
+      refusal = "double spend rejected by notary";
+      if (detection_) {
+        // The refusal itself becomes signed evidence against the
+        // submitting client: the same ref, consumed by two different
+        // transactions, attested by the uniqueness service.
+        convict(audit::Misbehavior::DoubleSpendAttempt, msg.from, self,
+                "client re-submitted consumed state " + ref.tx_id + "#" +
+                    std::to_string(ref.index),
+                consume_proof(prior->first, prior->second),
+                consume_proof(ref, tx_id), /*quarantine_principal=*/"");
       }
+      break;
     }
   }
 
@@ -317,7 +443,9 @@ void CordaNetwork::on_notary_message(const std::string& self,
     w.boolean(false);
     w.str(refusal);
   } else {
-    for (const StateRef& ref : flow.inputs) notary.consumed.insert(ref);
+    // emplace keeps the FIRST consumer on record, so a Byzantine notary
+    // that signs a conflict does not launder its own history.
+    for (const StateRef& ref : flow.inputs) notary.consumed.emplace(ref, tx_id);
     ++notary.notarized;
     w.boolean(true);
     w.bytes(notary.keypair.sign(root_view(flow.root)).encode());
@@ -408,13 +536,24 @@ FlowResult CordaNetwork::transact(const std::string& initiator,
   Notary& notary = notary_it->second;
 
   // --- Resolve inputs from the initiator's vault ---------------------------
+  // (A Byzantine re-spend resolves from the spent archive instead: the
+  // party no longer OWNS the state, but it still HAS the bytes.)
   std::vector<CordaState> consumed_states;
   for (const StateRef& ref : inputs) {
-    const auto it = initiator_it->second.vault.find(ref);
-    if (it == initiator_it->second.vault.end()) {
-      return {false, "", "input not in initiator vault"};
+    const Party& init_party = initiator_it->second;
+    const auto held = init_party.vault.find(ref);
+    if (held != init_party.vault.end()) {
+      consumed_states.push_back(held->second);
+      continue;
     }
-    consumed_states.push_back(it->second);
+    if (respend_) {
+      const auto retained = init_party.spent.find(ref);
+      if (retained != init_party.spent.end()) {
+        consumed_states.push_back(retained->second);
+        continue;
+      }
+    }
+    return {false, "", "input not in initiator vault"};
   }
 
   // --- Contract verification -------------------------------------------------
@@ -518,6 +657,8 @@ FlowResult CordaNetwork::transact(const std::string& initiator,
   {
     PendingFlow flow;
     flow.tx_id = tx_id;
+    flow.initiator = initiator;
+    flow.notary = notary_name;
     flow.root = tree.root();
     flow.inputs = inputs;
     flow.outputs = final_outputs;
@@ -601,13 +742,15 @@ FlowResult CordaNetwork::transact(const std::string& initiator,
   tx_records_[tx_id] = std::move(record);
 
   // --- Finality: every signer party applies the vault update ----------------
-  apply_finality(initiator, flow);
+  (void)apply_finality(initiator, flow);  // self == initiator: never refuses
   for (const std::string& party : signer_parties) {
     if (party == initiator) continue;
     channel_.send(initiator, party, "corda.finalize",
                   flow_wire(tx_id, full_tx_bytes));
   }
   network_->run();
+  // A counterparty's detection cross-check may have refused finality.
+  if (!flow.refusal.empty()) return fail(flow.refusal);
   for (const std::string& party : signer_parties) {
     if (party != initiator && !flow.finalize_acks.contains(party)) {
       // Notarized but a counterparty never confirmed storage: surface it
@@ -689,6 +832,19 @@ std::optional<std::string> CordaNetwork::resolve_confidential(
 std::uint64_t CordaNetwork::notarized_count(const std::string& notary) const {
   const auto it = notaries_.find(notary);
   return it == notaries_.end() ? 0 : it->second.notarized;
+}
+
+void CordaNetwork::set_byzantine_notary(const std::string& name) {
+  notaries_.at(name).byzantine = true;
+}
+
+FlowResult CordaNetwork::byzantine_respend(
+    const std::string& initiator, const StateRef& spent_ref,
+    const std::vector<OutputSpec>& outputs, const std::string& notary) {
+  respend_ = true;
+  FlowResult result = transact(initiator, {spent_ref}, outputs, notary);
+  respend_ = false;
+  return result;
 }
 
 }  // namespace veil::corda

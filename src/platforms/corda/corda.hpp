@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/evidence.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/signature.hpp"
 #include "ledger/wal.hpp"
@@ -143,6 +144,37 @@ class CordaNetwork {
 
   std::uint64_t notarized_count(const std::string& notary) const;
 
+  // ---- Byzantine tier (docs/fault_model.md "Byzantine tier") ---------------
+
+  /// Byzantine notary: `name` stops enforcing uniqueness and will sign
+  /// conflicting consumes of the same input state — the active version of
+  /// the paper's observation that the notary is the single trust anchor
+  /// for double-spend prevention.
+  void set_byzantine_notary(const std::string& name);
+
+  /// Byzantine client: re-spend a state the initiator has ALREADY
+  /// consumed. The initiator's vault no longer holds it, but the party
+  /// retains the state bytes (it once owned them) and rebuilds the
+  /// transaction from that archive, bypassing the honest vault check. An
+  /// honest notary refuses; a Byzantine notary signs the conflict.
+  FlowResult byzantine_respend(const std::string& initiator,
+                               const StateRef& spent_ref,
+                               const std::vector<OutputSpec>& outputs,
+                               const std::string& notary);
+
+  /// Detection: every party keeps a durable log of consumes it has
+  /// witnessed (WAL-backed). A finalized transaction whose notarized
+  /// input conflicts with that log is proof the notary equivocated — the
+  /// party refuses finality (fail closed), records signed
+  /// audit::Evidence with BOTH notary attestations, and quarantines the
+  /// notary. An honest notary's double-spend refusal likewise produces a
+  /// signed DoubleSpendAttempt record against the submitting client.
+  /// Off by default — the paper's documented trust model.
+  void enable_detection(bool on = true) { detection_ = on; }
+
+  audit::EvidenceLog& evidence() { return evidence_; }
+  const audit::EvidenceLog& evidence() const { return evidence_; }
+
  private:
   struct Party {
     crypto::KeyPair keypair;
@@ -154,13 +186,25 @@ class CordaNetwork {
     /// Durable vault log: add/consume/linkage records survive a
     /// crash-stop and rebuild the vault on restart.
     ledger::WriteAheadLog wal;
+    /// States this party once held and has since consumed — the bytes a
+    /// Byzantine re-spend is rebuilt from. Volatile attacker tooling.
+    std::map<StateRef, CordaState> spent;
+    /// Every consume this party has witnessed at finality (own inputs
+    /// AND counterparties'), ref -> consuming tx id. Durable
+    /// (kWalConsumeSeen); this is the history the notary-equivocation
+    /// cross-check runs against.
+    std::map<StateRef, std::string> consume_log;
   };
 
   struct Notary {
     crypto::KeyPair keypair;
     bool validating = false;
-    std::set<StateRef> consumed;
+    /// Consumed input refs -> the tx id that consumed them (the first
+    /// half of a double-spend refusal's proof).
+    std::map<StateRef, std::string> consumed;
     std::uint64_t notarized = 0;
+    /// A Byzantine notary skips the uniqueness check entirely.
+    bool byzantine = false;
   };
 
   struct Oracle {
@@ -189,6 +233,8 @@ class CordaNetwork {
   /// the leakage auditor sees honest byte counts.
   struct PendingFlow {
     std::string tx_id;
+    std::string initiator;
+    std::string notary;
     crypto::Digest root{};
     std::vector<StateRef> inputs;
     std::vector<OutputSpec> outputs;  // confidential identities applied
@@ -215,7 +261,16 @@ class CordaNetwork {
   /// Install (and WAL-log) linkage certificates shared with `self`.
   void install_linkages(const std::string& self, const PendingFlow& flow);
   /// Consume inputs / store outputs in `self`'s vault, WAL-first.
-  void apply_finality(const std::string& self, const PendingFlow& flow);
+  /// Returns false when the detection cross-check refuses finality: a
+  /// notarized input conflicts with `self`'s own consume log, which is
+  /// proof of notary equivocation.
+  bool apply_finality(const std::string& self, const PendingFlow& flow);
+  /// Record evidence (signed by `reporter`, a party or notary) and
+  /// quarantine `quarantine_principal` (skipped when empty).
+  void convict(audit::Misbehavior kind, const std::string& accused,
+               const std::string& reporter, std::string detail,
+               common::Bytes proof_a, common::Bytes proof_b,
+               const std::string& quarantine_principal);
   void on_party_crash(const std::string& name);
   void on_party_restart(const std::string& name);
 
@@ -237,6 +292,11 @@ class CordaNetwork {
   std::map<std::string, TxRecord> tx_records_;  // by tx id
   std::map<std::string, ContractVerifier> verifiers_;
   std::uint64_t issue_counter_ = 0;
+  bool detection_ = false;
+  /// While set, transact() may resolve inputs from the initiator's spent
+  /// archive — the byzantine_respend() bypass.
+  bool respend_ = false;
+  audit::EvidenceLog evidence_;
 };
 
 }  // namespace veil::corda

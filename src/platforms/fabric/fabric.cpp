@@ -1,13 +1,46 @@
 #include "platforms/fabric/fabric.hpp"
 
 #include "common/error.hpp"
+#include "common/serialize.hpp"
 #include "common/thread_pool.hpp"
 
 namespace veil::fabric {
 
 namespace {
 constexpr common::SimTime kCertLifetime = ~common::SimTime{0};
+
+/// Digest identifying one proposal as seen by one endorser: everything a
+/// deterministic chaincode's output is a function of (chaincode, action,
+/// args, versioned reads), deliberately excluding writes, participants
+/// and timestamp. Identical context must mean identical writes.
+std::string endorsement_context(const ledger::Transaction& tx,
+                                const std::string& endorser) {
+  common::Writer w;
+  w.str(tx.channel);
+  w.str(tx.contract);
+  w.str(tx.action);
+  w.bytes(tx.payload);
+  w.varint(tx.reads.size());
+  for (const ledger::ReadAccess& rd : tx.reads) {
+    w.str(rd.key);
+    w.u64(rd.version);
+  }
+  w.str(endorser);
+  const crypto::Digest d = crypto::sha256(w.data());
+  return std::string(d.begin(), d.end());
 }
+
+crypto::Digest writes_digest(const ledger::Transaction& tx) {
+  common::Writer w;
+  w.varint(tx.writes.size());
+  for (const ledger::KvWrite& kv : tx.writes) {
+    w.str(kv.key);
+    w.bytes(kv.value);
+    w.boolean(kv.is_delete);
+  }
+  return crypto::sha256(w.data());
+}
+}  // namespace
 
 FabricNetwork::FabricNetwork(net::SimNetwork& network,
                              const crypto::Group& group, common::Rng& rng,
@@ -55,7 +88,12 @@ void FabricNetwork::add_org(const std::string& org) {
       return;
     }
     if (msg.topic != "fabric.block") return;
-    const ledger::Block block = ledger::Block::decode(msg.payload);
+    ledger::Block block;
+    try {
+      block = ledger::Block::decode(msg.payload);
+    } catch (const common::Error&) {
+      return;  // corrupted in flight: drop; resync() catches the peer up
+    }
     if (block.transactions.empty()) return;
     const std::string& channel_name = block.transactions.front().channel;
     const auto ch = channels_.find(channel_name);
@@ -63,10 +101,23 @@ void FabricNetwork::add_org(const std::string& org) {
     PeerReplica& replica = ch->second.replicas.at(org);
 
     if (block.header.height < replica.chain.height()) return;  // duplicate
-    while (replica.chain.height() < block.header.height) {
-      commit_block(org, ch->second,
-                   ch->second.ordered_log[replica.chain.height()]);
+    // Fail closed on a block damaged in flight: the delivered copy must
+    // hash to the orderer's logged block at its height and its body must
+    // match that header. Anything else is dropped, never committed — the
+    // peer catches up from the delivery log via resync().
+    if (block.header.height >= ch->second.ordered_log.size()) return;
+    if (block.header.hash() !=
+        ch->second.ordered_log[block.header.height].header.hash()) {
+      return;
     }
+    if (!block.body_matches_header()) return;
+    while (replica.chain.height() < block.header.height) {
+      if (!commit_block(org, ch->second,
+                        ch->second.ordered_log[replica.chain.height()])) {
+        return;  // rejected orderer output: do not seek past it
+      }
+    }
+    if (block.header.previous_hash != replica.chain.tip_hash()) return;
     commit_block(org, ch->second, block);
   });
   network_->set_crash_hook(peer, [this, org] { on_crash(org); });
@@ -82,6 +133,7 @@ void FabricNetwork::on_crash(const std::string& org) {
     // Memory is gone; the WAL is the only thing that survives.
     it->second.chain = ledger::Chain();
     it->second.state = ledger::WorldState();
+    it->second.endorsements_seen.clear();
   }
 }
 
@@ -99,11 +151,13 @@ void FabricNetwork::on_restart(const std::string& org) {
           recovered.checkpoint->height, recovered.checkpoint->tip_hash);
     }
     for (const ledger::Block& block : recovered.blocks) {
-      commit_block(org, ch, block, /*replay=*/true);
+      if (!commit_block(org, ch, block, /*replay=*/true)) break;
     }
     // Blocks delivered while down: seek into the delivery service's log.
     while (replica.chain.height() < ch.ordered_log.size()) {
-      commit_block(org, ch, ch.ordered_log[replica.chain.height()]);
+      if (!commit_block(org, ch, ch.ordered_log[replica.chain.height()])) {
+        break;
+      }
     }
   }
 }
@@ -114,7 +168,9 @@ void FabricNetwork::resync(const std::string& channel) {
     if (network_->crashed(peer_of(member))) continue;
     PeerReplica& replica = ch.replicas.at(member);
     while (replica.chain.height() < ch.ordered_log.size()) {
-      commit_block(member, ch, ch.ordered_log[replica.chain.height()]);
+      if (!commit_block(member, ch, ch.ordered_log[replica.chain.height()])) {
+        break;
+      }
     }
   }
 }
@@ -193,7 +249,7 @@ void FabricNetwork::join_channel(const std::string& channel,
   // Replay bootstrap: the delivery service replays blocks from genesis,
   // so the joiner observes the channel's entire history.
   for (const ledger::Block& block : ch.ordered_log) {
-    commit_block(org, ch, block);
+    if (!commit_block(org, ch, block)) break;
   }
 }
 
@@ -251,20 +307,75 @@ std::string FabricNetwork::orderer_operator(const std::string& channel) const {
   return shared_orderer_->operator_name();
 }
 
-void FabricNetwork::commit_block(const std::string& org, Channel& channel,
+void FabricNetwork::convict(audit::Misbehavior kind, const std::string& accused,
+                            const std::string& reporter_org,
+                            std::string detail, common::Bytes proof_a,
+                            common::Bytes proof_b,
+                            const std::string& quarantine_principal) {
+  audit::Evidence e;
+  e.kind = kind;
+  e.accused = accused;
+  e.reporter = reporter_org;
+  e.detail = std::move(detail);
+  e.detected_at = network_->clock().now();
+  e.proof_a = std::move(proof_a);
+  e.proof_b = std::move(proof_b);
+  e.sign(orgs_.at(reporter_org).keypair);
+  evidence_.add(std::move(e));
+  if (!quarantine_principal.empty()) {
+    network_->quarantine(quarantine_principal);
+  }
+}
+
+bool FabricNetwork::commit_block(const std::string& org, Channel& channel,
                                  const ledger::Block& block, bool replay) {
   PeerReplica& replica = channel.replicas.at(org);
-  // WAL invariant: the block is durable before any in-memory mutation.
-  if (!replay) ledger::wal_log_block(replica.wal, block);
-  replica.chain.append(block);
   // Endorsement-signature verification dominates commit cost and is a
   // pure function of each transaction — verify all of them across the
   // pool, then walk the block serially (auditor records, state.apply and
-  // receipts keep their original order).
-  const std::vector<char> sig_valid = common::ThreadPool::global().parallel_map(
-      block.transactions.size(), [&](std::size_t i) -> char {
-        return block.transactions[i].endorsements_valid(*group_) ? 1 : 0;
-      });
+  // receipts keep their original order). Trusting peers skip it: they
+  // take the orderer's word, which is exactly the deployment the paper's
+  // orderer caveat warns about.
+  std::vector<char> sig_valid(block.transactions.size(), 1);
+  if (validation_mode_ != ValidationMode::Trusting) {
+    sig_valid = common::ThreadPool::global().parallel_map(
+        block.transactions.size(), [&](std::size_t i) -> char {
+          return block.transactions[i].endorsements_valid(*group_) ? 1 : 0;
+        });
+  }
+
+  if (validation_mode_ == ValidationMode::Detect) {
+    // Orderer-output check, before anything becomes durable: a
+    // transaction carrying endorsements of which NONE verifies against
+    // its body left every endorser in a different form — the body was
+    // rewritten after endorsement. That convicts the orderer (only it
+    // sequences endorsed transactions into blocks), and the whole block
+    // is rejected. Every honest peer runs the same deterministic check,
+    // so all of them reject and the evidence log dedupes to one entry.
+    for (const ledger::Transaction& tx : block.transactions) {
+      if (tx.endorsements.empty()) continue;
+      const crypto::Digest digest = tx.body_digest();
+      const common::BytesView msg(digest.data(), digest.size());
+      bool any_valid = false;
+      for (const ledger::Endorsement& e : tx.endorsements) {
+        if (crypto::verify(*group_, e.key, msg, e.signature)) {
+          any_valid = true;
+          break;
+        }
+      }
+      if (!any_valid) {
+        const std::string orderer = orderer_operator(tx.channel);
+        convict(audit::Misbehavior::OrdererTampering, orderer, org,
+                "ordered transaction fails every endorsement signature",
+                tx.encode(), block.header.encode(), orderer);
+        return false;
+      }
+    }
+  }
+
+  // WAL invariant: the block is durable before any in-memory mutation.
+  if (!replay) ledger::wal_log_block(replica.wal, block);
+  replica.chain.append(block);
   std::size_t tx_index = 0;
   for (const ledger::Transaction& tx : block.transactions) {
     // Every member peer sees the full transaction (recorded once, at the
@@ -272,15 +383,39 @@ void FabricNetwork::commit_block(const std::string& org, Channel& channel,
     if (!replay) record_visibility(network_->auditor(), peer_of(org), tx);
 
     bool valid = sig_valid[tx_index++] != 0;
+    if (valid && validation_mode_ == ValidationMode::Detect) {
+      // Endorsement-consistency cross-check: a deterministic chaincode
+      // produces identical writes for an identical proposal context, so
+      // one endorser validly signing two different write-sets for the
+      // same context equivocated. The two conflicting signed
+      // transactions are self-contained proof.
+      for (const ledger::Endorsement& e : tx.endorsements) {
+        const std::string ctx = endorsement_context(tx, e.endorser);
+        const crypto::Digest wd = writes_digest(tx);
+        const auto seen = replica.endorsements_seen.find(ctx);
+        if (seen == replica.endorsements_seen.end()) {
+          replica.endorsements_seen.emplace(ctx,
+                                            std::make_pair(wd, tx.encode()));
+        } else if (seen->second.first != wd) {
+          convict(audit::Misbehavior::EndorserEquivocation, e.endorser, org,
+                  "endorser signed conflicting write-sets for one proposal",
+                  seen->second.second, tx.encode(), peer_of(e.endorser));
+          valid = false;
+        }
+      }
+    }
     if (valid) {
       const auto policy = channel.policies.find(tx.contract);
       if (policy != channel.policies.end()) {
         std::set<std::string> endorsers;
         for (const ledger::Endorsement& e : tx.endorsements) {
-          // Endorsement counts only if the key really belongs to the org.
+          // Endorsement counts only if the key really belongs to the org
+          // — and, under Detect, only while the org stands unconvicted.
           const auto known = orgs_.find(e.endorser);
           if (known != orgs_.end() &&
-              known->second.keypair.public_key() == e.key) {
+              known->second.keypair.public_key() == e.key &&
+              !(validation_mode_ == ValidationMode::Detect &&
+                evidence_.convicted(e.endorser))) {
             endorsers.insert(e.endorser);
           }
         }
@@ -302,13 +437,31 @@ void FabricNetwork::commit_block(const std::string& org, Channel& channel,
     receipts_[tx.id()] = receipt;
     if (receipt.committed && first_record) ++committed_count_;
   }
+  return true;
 }
 
 void FabricNetwork::deliver_block(const std::string& channel_name,
-                                  const ledger::Block& block) {
+                                  const ledger::Block& block_in) {
   auto& ch = channels_.at(channel_name);
+  ledger::Block block = block_in;
+  if (byzantine_orderer_) {
+    // A tampering orderer rewrites endorsed write-sets AFTER sequencing,
+    // then rebuilds the block so the Merkle root and header hash are
+    // self-consistent again. Chain::append and body_matches_header()
+    // cannot see it; only re-verifying the endorsement signatures can.
+    std::vector<ledger::Transaction> txs = block.transactions;
+    for (ledger::Transaction& tx : txs) {
+      if (tx.writes.empty()) continue;
+      static constexpr char kMark[] = "EVIL";
+      tx.writes.front().value.assign(kMark, kMark + 4);
+    }
+    block = ledger::Block::make(block_in.header.height,
+                                block_in.header.previous_hash, std::move(txs),
+                                block_in.header.timestamp);
+  }
   // The orderer's delivery service retains every cut block; peers that
-  // miss a delivery seek into this log to catch up.
+  // miss a delivery seek into this log to catch up. A Byzantine orderer
+  // logs its rewritten block — the delivery log is its own record.
   ch.ordered_log.push_back(block);
   ch.block_height = block.header.height + 1;
   ch.pdc.expire(ch.block_height);
@@ -349,6 +502,13 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
   std::optional<crypto::Digest> reference_code;
   for (const std::string& org : endorsing_orgs) {
     if (!ch.members.contains(org)) continue;
+    // A convicted (quarantined) org can no longer endorse: with it gone,
+    // proposals that need it fail closed instead of trusting it again.
+    if (validation_mode_ == ValidationMode::Detect &&
+        (evidence_.convicted(org) ||
+         network_->is_quarantined(peer_of(org)))) {
+      continue;
+    }
     if (const auto code = registry_.find(peer_of(org), chaincode)) {
       if (!reference_code) {
         reference_code = code->code_digest();
@@ -375,6 +535,17 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
   for (std::size_t i = 0; i < eligible.size(); ++i) {
     auto& result = exec_results[i];
     if (!result || result->status != contracts::InvokeStatus::Ok) continue;
+    if (byzantine_endorsers_.contains(eligible[i]) &&
+        !result->tx.writes.empty()) {
+      // Equivocating endorser: each endorsement of the same proposal
+      // carries a different write-set, and it will validly sign whichever
+      // one becomes canonical. With a policy requiring only this org, the
+      // conflicting endorsements are indistinguishable from honest ones
+      // until a peer cross-checks them against each other.
+      const std::string fork = "-equiv" + std::to_string(equivocation_counter_++);
+      auto& value = result->tx.writes.front().value;
+      value.insert(value.end(), fork.begin(), fork.end());
+    }
     if (!reference) {
       reference = std::move(result);
     } else if (reference->tx.writes != result->tx.writes ||

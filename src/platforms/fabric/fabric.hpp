@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/evidence.hpp"
 #include "contracts/endorsement.hpp"
 #include "contracts/engine.hpp"
 #include "contracts/registry.hpp"
@@ -159,6 +160,39 @@ class FabricNetwork {
 
   std::uint64_t committed_tx_count() const { return committed_count_; }
 
+  // ---- Byzantine tier (docs/fault_model.md "Byzantine tier") ---------------
+
+  /// How member peers treat orderer output.
+  enum class ValidationMode {
+    /// Accept blocks without endorsement re-verification — the trusting
+    /// deployment the paper's orderer-visibility caveat warns about. A
+    /// tampering orderer rewrites history unnoticed.
+    Trusting,
+    /// Verify endorsement signatures + policy; invalid transactions are
+    /// skipped silently (the default; matches upstream Fabric validation).
+    Validate,
+    /// Validate, plus endorsement-consistency cross-checks. Misbehavior
+    /// produces a signed audit::Evidence record and the convicted
+    /// principal is quarantined on the network.
+    Detect,
+  };
+  void set_validation_mode(ValidationMode mode) { validation_mode_ = mode; }
+
+  /// Byzantine orderer: rewrites the first write of every transaction it
+  /// orders, rebuilding the block so header/Merkle checks still pass. The
+  /// only thing that can catch it is endorsement re-verification.
+  void set_byzantine_orderer(bool active) { byzantine_orderer_ = active; }
+
+  /// Byzantine endorser: `org` signs a different write-set every time it
+  /// endorses the same proposal (equivocation). With the policy requiring
+  /// only `org`, each equivocating endorsement is validly signed.
+  void set_byzantine_endorser(const std::string& org) {
+    byzantine_endorsers_.insert(org);
+  }
+
+  audit::EvidenceLog& evidence() { return evidence_; }
+  const audit::EvidenceLog& evidence() const { return evidence_; }
+
  private:
   struct Org {
     crypto::KeyPair keypair;
@@ -170,6 +204,14 @@ class FabricNetwork {
     ledger::WorldState state;
     /// Durable log: survives a crash-stop; replayed on restart.
     ledger::WriteAheadLog wal;
+    /// Detect-mode endorsement history: proposal-context digest (channel,
+    /// chaincode, action, args, reads, endorser) -> (writes digest, full
+    /// tx encoding). A deterministic chaincode must produce identical
+    /// writes for an identical context, so a second sighting with
+    /// different writes is proof of endorser equivocation. Volatile;
+    /// rebuilt by WAL replay.
+    std::map<std::string, std::pair<crypto::Digest, common::Bytes>>
+        endorsements_seen;
   };
 
   struct Channel {
@@ -192,8 +234,16 @@ class FabricNetwork {
   /// Validate and commit one block into one org's replica. `replay` marks
   /// WAL recovery: the block is already durable and was already observed
   /// pre-crash, so it is neither re-logged nor re-recorded in the auditor.
-  void commit_block(const std::string& org, Channel& channel,
+  /// Returns false when Detect-mode validation rejects the whole block
+  /// (orderer conviction) — callers must stop seeking past it.
+  bool commit_block(const std::string& org, Channel& channel,
                     const ledger::Block& block, bool replay = false);
+  /// Record evidence (signed by `reporter_org`) and quarantine
+  /// `quarantine_principal` (skipped when empty).
+  void convict(audit::Misbehavior kind, const std::string& accused,
+               const std::string& reporter_org, std::string detail,
+               common::Bytes proof_a, common::Bytes proof_b,
+               const std::string& quarantine_principal);
   /// Crash-stop: volatile replica state (chain, world state) is lost; the
   /// WAL is durable and survives.
   void on_crash(const std::string& org);
@@ -222,6 +272,11 @@ class FabricNetwork {
   std::map<std::string, std::size_t> pdc_acks_;  // dissemination id -> acks
   std::uint64_t pdc_dissemination_seq_ = 0;
   std::uint64_t committed_count_ = 0;
+  ValidationMode validation_mode_ = ValidationMode::Validate;
+  bool byzantine_orderer_ = false;
+  std::set<std::string> byzantine_endorsers_;
+  std::uint64_t equivocation_counter_ = 0;
+  audit::EvidenceLog evidence_;
 };
 
 }  // namespace veil::fabric

@@ -102,6 +102,53 @@ TxResult QuorumNetwork::submit_private(const std::string& from,
   return enqueue(std::move(tx), recipients, writes, private_blob);
 }
 
+TxResult QuorumNetwork::replay_private(const std::string& attacker,
+                                       const std::string& tx_id,
+                                       const std::set<std::string>& recipients) {
+  const auto node = nodes_.find(attacker);
+  if (node == nodes_.end()) return {false, "", "unknown node"};
+  for (const std::string& r : recipients) {
+    if (!nodes_.contains(r)) return {false, "", "unknown recipient " + r};
+  }
+  const auto blob = node->second.tm_store.find(tx_id);
+  if (blob == node->second.tm_store.end()) {
+    return {false, "", "attacker retains no payload for " + tx_id};
+  }
+  const common::Bytes private_blob = blob->second;
+
+  // The attacker's transaction manager holds the plaintext, so it can
+  // recover the original writes and disseminate them to anyone.
+  std::vector<ledger::KvWrite> writes;
+  try {
+    common::Reader r(private_blob);
+    const std::uint64_t count = r.varint();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ledger::KvWrite kv;
+      kv.key = r.str();
+      kv.value = r.bytes();
+      kv.is_delete = r.boolean();
+      writes.push_back(std::move(kv));
+    }
+  } catch (const common::Error&) {
+    return {false, "", "retained payload undecodable"};
+  }
+
+  ledger::Transaction tx;
+  tx.channel = "quorum";
+  tx.contract = "evm";
+  tx.action = "private";
+  tx.participants.push_back(attacker);
+  for (const std::string& r : recipients) tx.participants.push_back(r);
+  // Same blob, same hash: the replayed transaction re-presents the
+  // original nullifier under a fresh transaction id.
+  tx.payload = crypto::digest_bytes(crypto::sha256(private_blob));
+  tx.data_opaque = true;
+  tx.timestamp = network_->clock().now();
+  tx.endorse(attacker, node->second.keypair);
+  ++private_count_;
+  return enqueue(std::move(tx), recipients, writes, private_blob);
+}
+
 TxResult QuorumNetwork::enqueue(ledger::Transaction tx,
                                 const std::set<std::string>& private_recipients,
                                 const std::vector<ledger::KvWrite>& private_writes,
@@ -209,6 +256,16 @@ void QuorumNetwork::on_node_message(const std::string& self,
     }
     Node& node = nodes_.at(self);
     if (block.header.height < node.chain.height()) return;  // duplicate
+    // Fail closed on a block damaged in flight: the delivered copy must
+    // hash to the sealed block at its height (header integrity) and its
+    // body must match that header (payload integrity). Anything else is
+    // dropped — the node catches up via sync() instead.
+    if (block.header.height >= ordered_log_.size()) return;
+    if (block.header.hash() !=
+        ordered_log_[block.header.height].header.hash()) {
+      return;
+    }
+    if (!block.body_matches_header()) return;
     while (node.chain.height() < block.header.height) {
       apply_block(self, ordered_log_[node.chain.height()]);
     }
@@ -247,10 +304,42 @@ void QuorumNetwork::apply_block(const std::string& org,
         }
       }
     } else {
+      // Nullifier cross-check: the payload hash of every private
+      // transaction is public, so any node can notice the same hash
+      // arriving under a second transaction id — a replay of a private
+      // transfer past the transaction manager. The map is derived from
+      // the shared block stream, so every node's view agrees.
+      bool replayed = false;
+      const std::string nullifier(tx.payload.begin(), tx.payload.end());
+      const auto seen = nullifiers_.find(nullifier);
+      if (seen == nullifiers_.end()) {
+        nullifiers_.emplace(nullifier, std::make_pair(tx.id(), tx.encode()));
+      } else if (seen->second.first != tx.id()) {
+        replayed = true;
+        // The attacker does not convict itself; any honest node does.
+        if (detection_ && org != tx.participants.front()) {
+          // Two validly signed transactions carrying one nullifier are
+          // self-contained proof; the replay's submitter is the culprit.
+          const std::string accused = tx.participants.front();
+          audit::Evidence e;
+          e.kind = audit::Misbehavior::PrivateReplay;
+          e.accused = accused;
+          e.reporter = org;
+          e.detail = "private payload hash re-submitted under a new tx id";
+          e.detected_at = network_->clock().now();
+          e.proof_a = seen->second.second;
+          e.proof_b = tx.encode();
+          e.sign(node.keypair);
+          evidence_.add(std::move(e));
+          network_->quarantine(accused);
+        }
+      }
       const auto detail = private_details_.find(tx.id());
       if (detail != private_details_.end() &&
-          detail->second.recipients.contains(org)) {
+          detail->second.recipients.contains(org) &&
+          !(detection_ && replayed)) {
         // Recipients decrypt via their TM store and update private state.
+        // A detected replay is skipped: fail closed, no double credit.
         for (const ledger::KvWrite& kv : detail->second.writes) {
           if (kv.is_delete) {
             node.private_state.erase(kv.key);
@@ -275,7 +364,9 @@ void QuorumNetwork::deliver(const ledger::Block& block) {
 
 void QuorumNetwork::sync() {
   for (auto& [org, node] : nodes_) {
-    if (network_->crashed(org)) continue;
+    // A quarantined node is isolated: it neither receives deliveries nor
+    // seeks the log until released. Honest nodes re-converge without it.
+    if (network_->crashed(org) || network_->is_quarantined(org)) continue;
     while (node.chain.height() < ordered_log_.size()) {
       apply_block(org, ordered_log_[node.chain.height()]);
     }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/evidence.hpp"
 #include "ledger/chain.hpp"
 #include "ledger/state.hpp"
 #include "ledger/wal.hpp"
@@ -71,6 +72,26 @@ class QuorumNetwork {
 
   /// Force any pending transactions into a block.
   void seal_block();
+
+  // ---- Byzantine tier (docs/fault_model.md "Byzantine tier") ---------------
+
+  /// Replay attack: `attacker` — sender or recipient of `tx_id`, so its
+  /// transaction manager retains the plaintext — re-disseminates the
+  /// payload and re-submits a transaction carrying the SAME payload hash
+  /// (the nullifier) to a fresh recipient set, re-activating an
+  /// already-spent private transfer past the transaction manager.
+  TxResult replay_private(const std::string& attacker, const std::string& tx_id,
+                          const std::set<std::string>& recipients);
+
+  /// Nullifier cross-check during public-state validation: with detection
+  /// on, a second on-chain sighting of a private payload hash under a
+  /// different transaction id convicts the submitter (signed evidence +
+  /// network quarantine) and honest recipients skip the replayed writes.
+  /// Off by default — the paper's documented behavior.
+  void enable_detection(bool on = true) { detection_ = on; }
+
+  audit::EvidenceLog& evidence() { return evidence_; }
+  const audit::EvidenceLog& evidence() const { return evidence_; }
 
   /// Delivery catch-up: every live node that missed block deliveries
   /// (loss, partition, retries exhausted) replays the shared block log up
@@ -148,6 +169,13 @@ class QuorumNetwork {
   std::uint64_t public_count_ = 0;
   std::uint64_t private_count_ = 0;
   std::uint64_t nonce_ = 0;
+  bool detection_ = false;
+  audit::EvidenceLog evidence_;
+  /// Private payload hashes already on chain -> (first carrying tx id,
+  /// its encoding — the first half of a replay conviction's proof).
+  /// Derived deterministically from the shared block stream, so every
+  /// node's view agrees.
+  std::map<std::string, std::pair<std::string, common::Bytes>> nullifiers_;
 };
 
 }  // namespace veil::quorum

@@ -1,0 +1,117 @@
+#include "audit/evidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace veil::audit {
+namespace {
+
+using common::to_bytes;
+
+Evidence sample(common::Rng& rng, const crypto::KeyPair& reporter_key) {
+  Evidence e;
+  e.kind = Misbehavior::EndorserEquivocation;
+  e.accused = "OrgB";
+  e.reporter = "OrgA";
+  e.detail = "conflicting write-sets for one proposal";
+  e.detected_at = 42'000;
+  e.proof_a = rng.next_bytes(32);
+  e.proof_b = rng.next_bytes(32);
+  e.sign(reporter_key);
+  return e;
+}
+
+TEST(Evidence, SignVerifyRoundTrip) {
+  common::Rng rng(5);
+  const crypto::Group group = crypto::Group::test_group();
+  const crypto::KeyPair reporter = crypto::KeyPair::generate(group, rng);
+  const crypto::KeyPair stranger = crypto::KeyPair::generate(group, rng);
+  const Evidence e = sample(rng, reporter);
+  EXPECT_TRUE(e.verify(group, reporter.public_key()));
+  EXPECT_FALSE(e.verify(group, stranger.public_key()));
+
+  const Evidence back = Evidence::decode(e.encode());
+  EXPECT_TRUE(back.verify(group, reporter.public_key()));
+  EXPECT_EQ(back.kind, e.kind);
+  EXPECT_EQ(back.accused, e.accused);
+  EXPECT_EQ(back.detail, e.detail);
+  EXPECT_EQ(back.proof_a, e.proof_a);
+  EXPECT_EQ(back.proof_b, e.proof_b);
+}
+
+TEST(Evidence, TamperingBreaksVerification) {
+  common::Rng rng(6);
+  const crypto::Group group = crypto::Group::test_group();
+  const crypto::KeyPair reporter = crypto::KeyPair::generate(group, rng);
+  Evidence e = sample(rng, reporter);
+  e.accused = "OrgC";  // pin the blame on someone else
+  EXPECT_FALSE(e.verify(group, reporter.public_key()));
+}
+
+TEST(EvidenceLog, DeduplicatesIndependentDetections) {
+  common::Rng rng(7);
+  const crypto::Group group = crypto::Group::test_group();
+  const crypto::KeyPair a = crypto::KeyPair::generate(group, rng);
+  const crypto::KeyPair b = crypto::KeyPair::generate(group, rng);
+
+  EvidenceLog log;
+  Evidence first = sample(rng, a);
+  // A second reporter, at a later time, convicting the same offense:
+  // one conviction, not two.
+  Evidence second = first;
+  second.reporter = "OrgC";
+  second.detected_at = 99'000;
+  second.sign(b);
+
+  EXPECT_TRUE(log.add(first));
+  EXPECT_FALSE(log.add(second));
+  EXPECT_EQ(log.count(), 1u);
+  EXPECT_TRUE(log.convicted("OrgB"));
+  EXPECT_FALSE(log.convicted("OrgC"));
+  EXPECT_EQ(log.against("OrgB").size(), 1u);
+
+  // A genuinely different offense (different proofs) is a new entry.
+  Evidence other = sample(rng, a);
+  other.proof_b = to_bytes("different conflicting artifact");
+  other.sign(a);
+  EXPECT_TRUE(log.add(other));
+  EXPECT_EQ(log.count(), 2u);
+}
+
+TEST(EvidenceLog, DigestTracksInsertionOrder) {
+  common::Rng rng(8);
+  const crypto::Group group = crypto::Group::test_group();
+  const crypto::KeyPair key = crypto::KeyPair::generate(group, rng);
+
+  common::Rng rng_a(9), rng_b(9);
+  EvidenceLog log_a, log_b;
+  log_a.add(sample(rng_a, key));
+  log_b.add(sample(rng_b, key));
+  EXPECT_EQ(log_a.digest(), log_b.digest());
+
+  Evidence extra = sample(rng_a, key);
+  extra.proof_a = to_bytes("x");
+  extra.sign(key);
+  log_a.add(extra);
+  EXPECT_NE(log_a.digest(), log_b.digest());
+}
+
+TEST(Evidence, DecodeRejectsUnknownKindAndTrailingBytes) {
+  common::Rng rng(10);
+  const crypto::Group group = crypto::Group::test_group();
+  const crypto::KeyPair key = crypto::KeyPair::generate(group, rng);
+  const Evidence e = sample(rng, key);
+  common::Bytes enc = e.encode();
+  common::Bytes bad_kind = enc;
+  bad_kind[0] = 0x7f;
+  EXPECT_THROW(Evidence::decode(bad_kind), common::Error);
+  common::Bytes trailing = enc;
+  trailing.push_back(0);
+  EXPECT_THROW(Evidence::decode(trailing), common::Error);
+  enc.pop_back();
+  EXPECT_THROW(Evidence::decode(enc), common::Error);
+}
+
+}  // namespace
+}  // namespace veil::audit

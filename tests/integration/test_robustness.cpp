@@ -4,12 +4,14 @@
 // encodings are both exercised.
 #include <gtest/gtest.h>
 
+#include "audit/evidence.hpp"
 #include "common/error.hpp"
 #include "crypto/elgamal.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/zkp.hpp"
 #include "ledger/block.hpp"
 #include "ledger/state.hpp"
+#include "net/fault.hpp"
 #include "net/reliable.hpp"
 #include "pki/certificate.hpp"
 #include "platforms/quorum/quorum.hpp"
@@ -64,6 +66,11 @@ TEST_P(DecodeFuzz, RandomBuffers) {
     });
     expect_no_crash(junk,
                     [](const Bytes& d) { return ledger::WorldState::decode(d); });
+    expect_no_crash(junk,
+                    [](const Bytes& d) { return audit::Evidence::decode(d); });
+    expect_no_crash(junk, [](const Bytes& d) {
+      return net::ByzantineEvent::decode(d);
+    });
   }
 }
 
@@ -177,6 +184,67 @@ TEST_P(DecodeFuzz, TruncatedFaultToleranceEncodings) {
     expect_no_crash(truncated,
                     [](const Bytes& d) { return crypto::TearOff::decode(d); });
   }
+}
+
+TEST_P(DecodeFuzz, BitFlippedByzantineTierEncodings) {
+  // Wire formats the Byzantine tier added: signed evidence records and
+  // adversary-plan events. Both cross trust boundaries (evidence is
+  // handed to third parties; plans are config), so decode must never
+  // crash on hostile bytes.
+  common::Rng rng(GetParam() ^ 0xb12a);
+
+  crypto::Group group = crypto::Group::test_group();
+  crypto::KeyPair reporter = crypto::KeyPair::generate(group, rng);
+  audit::Evidence evidence;
+  evidence.kind = audit::Misbehavior::NotaryEquivocation;
+  evidence.accused = "Notary";
+  evidence.reporter = "Bob";
+  evidence.detail = "conflicting consumes";
+  evidence.detected_at = 123'456;
+  evidence.proof_a = rng.next_bytes(48);
+  evidence.proof_b = rng.next_bytes(48);
+  evidence.sign(reporter);
+  const Bytes evidence_enc = evidence.encode();
+
+  net::ByzantinePlan plan;
+  plan.tamper_from(1'000, "mallory", 0.5).replay_from(2'000, "eve", 10'000);
+  const Bytes event_enc = plan.ordered_events().front().encode();
+
+  for (int i = 0; i < 100; ++i) {
+    Bytes flipped = evidence_enc;
+    flipped[rng.next_below(flipped.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    expect_no_crash(flipped,
+                    [](const Bytes& d) { return audit::Evidence::decode(d); });
+
+    Bytes flipped_event = event_enc;
+    flipped_event[rng.next_below(flipped_event.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    expect_no_crash(flipped_event, [](const Bytes& d) {
+      return net::ByzantineEvent::decode(d);
+    });
+  }
+
+  // Truncations of both formats.
+  for (std::size_t len = 0; len < evidence_enc.size(); len += 5) {
+    const Bytes truncated(
+        evidence_enc.begin(),
+        evidence_enc.begin() + static_cast<std::ptrdiff_t>(len));
+    expect_no_crash(truncated,
+                    [](const Bytes& d) { return audit::Evidence::decode(d); });
+  }
+  for (std::size_t len = 0; len < event_enc.size(); ++len) {
+    const Bytes truncated(
+        event_enc.begin(), event_enc.begin() + static_cast<std::ptrdiff_t>(len));
+    expect_no_crash(truncated, [](const Bytes& d) {
+      return net::ByzantineEvent::decode(d);
+    });
+  }
+
+  // An untampered round trip must preserve the signature's validity.
+  const audit::Evidence back = audit::Evidence::decode(evidence_enc);
+  EXPECT_TRUE(back.verify(group, reporter.public_key()));
+  EXPECT_EQ(back.dedupe_key(), evidence.dedupe_key());
 }
 
 TEST_P(DecodeFuzz, TruncatedValidEncodings) {

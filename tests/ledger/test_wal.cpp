@@ -69,6 +69,41 @@ TEST(Wal, CorruptRecordStopsRecoveryAtCleanPrefix) {
   EXPECT_GT(wal.torn_tail_bytes(), 0u);
 }
 
+TEST(Wal, RecoveryReportDistinguishesCorruptionFromTornTail) {
+  // A torn tail is a crash mid-append: expected, benign. A checksum
+  // failure on a FULLY FRAMED record is bit-rot or tampering: the log
+  // lied, and callers must be able to tell the difference.
+  WriteAheadLog torn;
+  torn.append(1, to_bytes("keep"));
+  torn.append(2, to_bytes("torn-away"));
+  torn.tear(4);
+  torn.recover();
+  EXPECT_EQ(torn.last_recovery().records_recovered, 1u);
+  EXPECT_EQ(torn.last_recovery().corrupt_records, 0u);
+  EXPECT_GT(torn.last_recovery().torn_tail_bytes, 0u);
+  EXPECT_FALSE(torn.last_recovery().clean());
+
+  WriteAheadLog rotted;
+  rotted.append(1, to_bytes("keep"));
+  const std::size_t first_end = rotted.size_bytes();
+  rotted.append(2, to_bytes("mid-log-record"));
+  rotted.append(3, to_bytes("unreachable"));
+  rotted.corrupt_byte(first_end + 6);  // bit-flip inside record 2's payload
+  const auto records = rotted.recover();
+  // Recovery stops at the clean prefix and FLAGS the corruption — it is
+  // not silently folded into the torn-tail count.
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(rotted.last_recovery().records_recovered, 1u);
+  EXPECT_EQ(rotted.last_recovery().corrupt_records, 1u);
+  EXPECT_FALSE(rotted.last_recovery().clean());
+
+  WriteAheadLog clean;
+  clean.append(1, to_bytes("fine"));
+  clean.recover();
+  EXPECT_TRUE(clean.last_recovery().clean());
+  EXPECT_EQ(clean.last_recovery().records_recovered, 1u);
+}
+
 TEST(Wal, BlockLogRecoversChainAndState) {
   // Build a 3-block chain, logging each block before applying it; then
   // replay the WAL into a fresh replica and compare digests.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "net/network.hpp"
 
 namespace veil::net {
@@ -160,6 +161,53 @@ TEST(FaultPlan, StatsBreakdownSumsToTotalDrops) {
   EXPECT_EQ(s.dropped_detached, 1u);
   EXPECT_EQ(s.messages_dropped, s.dropped_random_loss + s.dropped_partition +
                                     s.dropped_crashed + s.dropped_detached);
+}
+
+TEST(ByzantinePlan, BuilderOrdersEventsByTime) {
+  ByzantinePlan plan;
+  plan.replay_from(500, "eve", 9'000)
+      .tamper_from(100, "mallory", 0.25)
+      .quarantine_at(100, "eve")  // same time as tamper_from: after it
+      .honest_from(50, "mallory");
+  const auto events = plan.ordered_events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, ByzantineEvent::Kind::Honest);
+  EXPECT_EQ(events[1].kind, ByzantineEvent::Kind::Tamper);
+  EXPECT_EQ(events[1].probability, 0.25);
+  EXPECT_EQ(events[2].kind, ByzantineEvent::Kind::Quarantine);
+  EXPECT_EQ(events[3].kind, ByzantineEvent::Kind::Replay);
+  EXPECT_EQ(events[3].delay_us, 9'000u);
+}
+
+TEST(ByzantinePlan, EventCodecRoundTrip) {
+  ByzantinePlan plan;
+  plan.silence_from(42'000, "mallory", "bob").delay_from(50'000, "eve", 7'500);
+  for (const ByzantineEvent& event : plan.ordered_events()) {
+    const ByzantineEvent back = ByzantineEvent::decode(event.encode());
+    EXPECT_EQ(back.kind, event.kind);
+    EXPECT_EQ(back.at, event.at);
+    EXPECT_EQ(back.principal, event.principal);
+    EXPECT_EQ(back.target, event.target);
+    EXPECT_EQ(back.probability, event.probability);
+    EXPECT_EQ(back.delay_us, event.delay_us);
+  }
+}
+
+TEST(ByzantinePlan, DecodeRejectsMalformedEvents) {
+  ByzantinePlan plan;
+  plan.tamper_from(1, "m", 1.0);
+  Bytes enc = plan.ordered_events().front().encode();
+  // Unknown kind byte.
+  Bytes bad_kind = enc;
+  bad_kind[8] = 0xee;  // kind follows the u64 timestamp
+  EXPECT_THROW(ByzantineEvent::decode(bad_kind), common::Error);
+  // Trailing garbage.
+  Bytes trailing = enc;
+  trailing.push_back(0x00);
+  EXPECT_THROW(ByzantineEvent::decode(trailing), common::Error);
+  // Truncation.
+  enc.pop_back();
+  EXPECT_THROW(ByzantineEvent::decode(enc), common::Error);
 }
 
 TEST(FaultPlan, CrashedSenderCannotSend) {
