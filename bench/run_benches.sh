@@ -13,6 +13,7 @@
 #   BENCH_SKIP_FAULTS=1 bench/run_benches.sh      # skip fault sweep
 #   BENCH_SKIP_PARALLEL=1 bench/run_benches.sh    # skip symmetric/thread suite
 #   BENCH_SKIP_BYZANTINE=1 bench/run_benches.sh   # skip Byzantine cost study
+#   BENCH_SKIP_RECOVERY=1 bench/run_benches.sh    # skip recovery/rejoin study
 #   BUILD_DIR=out bench/run_benches.sh
 set -euo pipefail
 
@@ -111,6 +112,40 @@ PY
       echo "wrote $BYZ_OUT"
     else
       echo "bench_byzantine produced no output; $BYZ_OUT left untouched" >&2
+    fi
+    trap - EXIT
+  fi
+fi
+
+# ---- Recovery tier: checkpoint/rejoin cost study ---------------------------
+# Rejoin time vs lag (snapshots off/on), rejoin cost vs chain length at
+# fixed lag (must stay flat), snapshot size vs state size, and transfer
+# convergence under 0-30% loss, into BENCH_recovery.json.
+if [[ -z "${BENCH_SKIP_RECOVERY:-}" ]]; then
+  REC_OUT="${BENCH_RECOVERY_OUT:-$ROOT/BENCH_recovery.json}"
+  if [[ ! -x "$BUILD/bench/bench_recovery" ]]; then
+    echo "bench_recovery not built; skipping recovery cost study" >&2
+  else
+    RTMP="$(mktemp "${REC_OUT}.XXXXXX")"
+    trap 'rm -f "$RTMP"' EXIT
+    "$BUILD/bench/bench_recovery" \
+      --benchmark_out="$RTMP" \
+      --benchmark_out_format=json \
+      --benchmark_repetitions="${BENCH_REPS:-1}"
+    if [[ -s "$RTMP" ]]; then
+      mv "$RTMP" "$REC_OUT"
+      python3 - "$REC_OUT" <<'PY'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+data["context"]["snapshots_args"] = {"0": "full replay", "1": "checkpoint + delta"}
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+PY
+      echo "wrote $REC_OUT"
+    else
+      echo "bench_recovery produced no output; $REC_OUT left untouched" >&2
     fi
     trap - EXIT
   fi

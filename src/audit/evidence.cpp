@@ -20,6 +20,10 @@ std::string to_string(Misbehavior kind) {
       return "private-transaction replay";
     case Misbehavior::DoubleSpendAttempt:
       return "double-spend attempt";
+    case Misbehavior::SnapshotTampering:
+      return "snapshot tampering";
+    case Misbehavior::SnapshotEquivocation:
+      return "snapshot equivocation";
   }
   return "unknown misbehavior";
 }
@@ -57,7 +61,7 @@ Evidence Evidence::decode(common::BytesView data) {
   common::Reader r(data);
   Evidence e;
   const std::uint8_t kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(Misbehavior::DoubleSpendAttempt)) {
+  if (kind > static_cast<std::uint8_t>(Misbehavior::SnapshotEquivocation)) {
     throw common::Error("evidence: unknown misbehavior kind");
   }
   e.kind = static_cast<Misbehavior>(kind);

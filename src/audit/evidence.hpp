@@ -35,6 +35,8 @@ enum class Misbehavior : std::uint8_t {
   NotaryEquivocation,    // notary signed conflicting consumes of a state
   PrivateReplay,         // private-tx nullifier seen twice on chain
   DoubleSpendAttempt,    // client re-submitted an already-consumed state
+  SnapshotTampering,     // served chunk contradicts its offered root
+  SnapshotEquivocation,  // offered root disavowed by a quorum of peers
 };
 
 /// Human-readable name, for refusal transcripts and reports.

@@ -1,0 +1,543 @@
+#include "ledger/transfer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace veil::ledger {
+
+namespace {
+
+constexpr char kTopicRequest[] = "snap.req";
+constexpr char kTopicOffer[] = "snap.offer";
+constexpr char kTopicVoteRequest[] = "snap.vote-req";
+constexpr char kTopicVote[] = "snap.vote";
+constexpr char kTopicFetch[] = "snap.fetch";
+constexpr char kTopicChunk[] = "snap.chunk";
+
+void write_digest(common::Writer& w, const crypto::Digest& d) {
+  w.raw(common::BytesView(d.data(), d.size()));
+}
+
+crypto::Digest read_digest(common::Reader& r) {
+  const common::Bytes raw = r.raw(crypto::kSha256DigestSize);
+  crypto::Digest d{};
+  std::copy(raw.begin(), raw.end(), d.begin());
+  return d;
+}
+
+void require_done(const common::Reader& r, const char* what) {
+  if (!r.done()) {
+    throw common::ProtocolError(std::string("trailing bytes after ") + what);
+  }
+}
+
+}  // namespace
+
+// ---- Wire codecs ----------------------------------------------------------
+
+common::Bytes SnapshotRequest::encode() const {
+  common::Writer w;
+  w.str(scope);
+  w.u64(min_height);
+  return w.take();
+}
+
+SnapshotRequest SnapshotRequest::decode(common::BytesView data) {
+  common::Reader r(data);
+  SnapshotRequest req;
+  req.scope = r.str();
+  req.min_height = r.u64();
+  require_done(r, "snapshot request");
+  return req;
+}
+
+common::Bytes SnapshotOffer::encode() const {
+  common::Writer w;
+  w.str(scope);
+  w.boolean(available);
+  if (available) w.bytes(header.encode());
+  return w.take();
+}
+
+SnapshotOffer SnapshotOffer::decode(common::BytesView data) {
+  common::Reader r(data);
+  SnapshotOffer offer;
+  offer.scope = r.str();
+  offer.available = r.boolean();
+  if (offer.available) offer.header = SnapshotHeader::decode(r.bytes());
+  require_done(r, "snapshot offer");
+  return offer;
+}
+
+common::Bytes ChunkRequest::encode() const {
+  common::Writer w;
+  w.str(scope);
+  write_digest(w, root);
+  w.u64(index);
+  return w.take();
+}
+
+ChunkRequest ChunkRequest::decode(common::BytesView data) {
+  common::Reader r(data);
+  ChunkRequest req;
+  req.scope = r.str();
+  req.root = read_digest(r);
+  req.index = r.u64();
+  require_done(r, "chunk request");
+  return req;
+}
+
+common::Bytes SnapshotChunk::encode() const {
+  common::Writer w;
+  w.str(scope);
+  write_digest(w, root);
+  w.u64(index);
+  w.boolean(ok);
+  w.bytes(data);
+  return w.take();
+}
+
+SnapshotChunk SnapshotChunk::decode(common::BytesView data) {
+  common::Reader r(data);
+  SnapshotChunk chunk;
+  chunk.scope = r.str();
+  chunk.root = read_digest(r);
+  chunk.index = r.u64();
+  chunk.ok = r.boolean();
+  chunk.data = r.bytes();
+  require_done(r, "snapshot chunk");
+  return chunk;
+}
+
+common::Bytes RootVote::encode() const {
+  common::Writer w;
+  w.str(scope);
+  w.u64(height);
+  w.boolean(known);
+  write_digest(w, root);
+  return w.take();
+}
+
+RootVote RootVote::decode(common::BytesView data) {
+  common::Reader r(data);
+  RootVote vote;
+  vote.scope = r.str();
+  vote.height = r.u64();
+  vote.known = r.boolean();
+  vote.root = read_digest(r);
+  require_done(r, "root vote");
+  return vote;
+}
+
+// ---- Reject taxonomy ------------------------------------------------------
+
+const char* to_string(TransferReject reason) {
+  switch (reason) {
+    case TransferReject::MalformedOffer:
+      return "malformed offer";
+    case TransferReject::OfferCheckFailed:
+      return "offer contradicts delivery log";
+    case TransferReject::EquivocatedRoot:
+      return "equivocated root";
+    case TransferReject::TamperedChunk:
+      return "tampered chunk";
+    case TransferReject::InconsistentBody:
+      return "inconsistent body";
+    case TransferReject::DonorGone:
+      return "donor gone";
+  }
+  return "unknown";
+}
+
+bool is_misbehavior(TransferReject reason) {
+  switch (reason) {
+    case TransferReject::MalformedOffer:
+    case TransferReject::OfferCheckFailed:
+    case TransferReject::EquivocatedRoot:
+    case TransferReject::TamperedChunk:
+    case TransferReject::InconsistentBody:
+      return true;
+    case TransferReject::DonorGone:
+      return false;
+  }
+  return false;
+}
+
+// ---- Engine ---------------------------------------------------------------
+
+SnapshotTransfer::SnapshotTransfer(net::ReliableChannel& channel,
+                                   Callbacks callbacks)
+    : channel_(&channel), callbacks_(std::move(callbacks)) {}
+
+bool SnapshotTransfer::owns_topic(const std::string& topic) {
+  return topic.rfind("snap.", 0) == 0;
+}
+
+void SnapshotTransfer::fetch(const net::Principal& self,
+                             const std::string& scope,
+                             std::vector<net::Principal> donors,
+                             std::vector<net::Principal> voters,
+                             std::uint64_t min_height) {
+  if (donors.empty()) {
+    if (callbacks_.on_fail) callbacks_.on_fail(self, scope);
+    ++stats_.transfers_failed;
+    return;
+  }
+  Transfer t;
+  t.scope = scope;
+  t.donors = std::move(donors);
+  t.voters = std::move(voters);
+  t.min_height = min_height;
+  auto [it, inserted] = transfers_.insert_or_assign(Key{self, scope},
+                                                    std::move(t));
+  (void)inserted;
+  send_request(self, it->second);
+}
+
+void SnapshotTransfer::resume(const net::Principal& self,
+                              const std::string& scope) {
+  auto it = transfers_.find(Key{self, scope});
+  if (it == transfers_.end()) return;
+  ++stats_.resumes;
+  Transfer& t = it->second;
+  switch (t.phase) {
+    case Phase::WaitOffer:
+      send_request(self, t);
+      break;
+    case Phase::WaitVotes:
+      send_vote_requests(self, t);
+      break;
+    case Phase::Fetch:
+      request_missing_chunks(self, t);
+      break;
+  }
+}
+
+void SnapshotTransfer::abort(const net::Principal& self,
+                             const std::string& scope) {
+  transfers_.erase(Key{self, scope});
+}
+
+bool SnapshotTransfer::active(const net::Principal& self,
+                              const std::string& scope) const {
+  return transfers_.contains(Key{self, scope});
+}
+
+void SnapshotTransfer::handle(const net::Principal& self,
+                              const net::Message& msg) {
+  try {
+    if (msg.topic == kTopicRequest) {
+      on_request(self, msg);
+    } else if (msg.topic == kTopicOffer) {
+      on_offer(self, msg);
+    } else if (msg.topic == kTopicVoteRequest) {
+      on_vote_request(self, msg);
+    } else if (msg.topic == kTopicVote) {
+      on_vote(self, msg);
+    } else if (msg.topic == kTopicFetch) {
+      on_fetch(self, msg);
+    } else if (msg.topic == kTopicChunk) {
+      on_chunk(self, msg);
+    }
+  } catch (const common::Error&) {
+    // Malformed snap.* payload (loss-model corruption or a hostile
+    // sender): drop it. The joiner's resume path re-requests anything
+    // that mattered; a replica never crashes on wire bytes.
+    ++stats_.malformed;
+  }
+}
+
+// ---- Donor side -----------------------------------------------------------
+
+void SnapshotTransfer::on_request(const net::Principal& self,
+                                  const net::Message& msg) {
+  const SnapshotRequest req = SnapshotRequest::decode(msg.payload);
+  SnapshotOffer offer;
+  offer.scope = req.scope;
+  const Snapshot* snap =
+      callbacks_.provider
+          ? callbacks_.provider(self, req.scope, req.min_height)
+          : nullptr;
+  if (snap != nullptr && snap->height() >= req.min_height) {
+    offer.available = true;
+    offer.header = snap->header();
+  }
+  channel_->send(self, msg.from, kTopicOffer, offer.encode());
+}
+
+void SnapshotTransfer::on_vote_request(const net::Principal& self,
+                                       const net::Message& msg) {
+  const SnapshotRequest req = SnapshotRequest::decode(msg.payload);
+  RootVote vote;
+  vote.scope = req.scope;
+  vote.height = req.min_height;
+  // A voter vouches only for a height it checkpointed itself — replicas
+  // checkpoint on the same deterministic schedule, so live honest peers
+  // always can.
+  const Snapshot* snap =
+      callbacks_.provider ? callbacks_.provider(self, req.scope, 0) : nullptr;
+  if (snap != nullptr && snap->height() == req.min_height) {
+    vote.known = true;
+    vote.root = snap->root();
+  }
+  channel_->send(self, msg.from, kTopicVote, vote.encode());
+}
+
+void SnapshotTransfer::on_fetch(const net::Principal& self,
+                                const net::Message& msg) {
+  const ChunkRequest req = ChunkRequest::decode(msg.payload);
+  SnapshotChunk chunk;
+  chunk.scope = req.scope;
+  chunk.root = req.root;
+  chunk.index = req.index;
+  const Snapshot* snap =
+      callbacks_.provider ? callbacks_.provider(self, req.scope, 0) : nullptr;
+  if (snap != nullptr && snap->root() == req.root &&
+      req.index < snap->chunk_count()) {
+    chunk.ok = true;
+    chunk.data = snap->chunk(req.index);
+  }
+  channel_->send(self, msg.from, kTopicChunk, chunk.encode());
+}
+
+// ---- Joiner side ----------------------------------------------------------
+
+void SnapshotTransfer::send_request(const net::Principal& self, Transfer& t) {
+  t.phase = Phase::WaitOffer;
+  SnapshotRequest req;
+  req.scope = t.scope;
+  req.min_height = t.min_height;
+  channel_->send(self, t.donors.front(), kTopicRequest, req.encode());
+  ++stats_.requests_sent;
+}
+
+void SnapshotTransfer::send_vote_requests(const net::Principal& self,
+                                          Transfer& t) {
+  t.phase = Phase::WaitVotes;
+  SnapshotRequest req;
+  req.scope = t.scope;
+  req.min_height = t.header.height;
+  for (const net::Principal& voter : t.voters) {
+    if (t.votes.contains(voter)) continue;
+    channel_->send(self, voter, kTopicVoteRequest, req.encode());
+  }
+}
+
+void SnapshotTransfer::on_offer(const net::Principal& self,
+                                const net::Message& msg) {
+  const SnapshotOffer offer = SnapshotOffer::decode(msg.payload);
+  auto it = transfers_.find(Key{self, offer.scope});
+  if (it == transfers_.end()) return;
+  Transfer& t = it->second;
+  if (t.phase != Phase::WaitOffer || msg.from != t.donors.front()) {
+    return;  // stale offer from an already-dropped donor
+  }
+  ++stats_.offers_received;
+  const Key key{self, offer.scope};
+  if (!offer.available) {
+    drop_donor(self, key, TransferReject::DonorGone, {}, {});
+    return;
+  }
+  if (!offer.header.self_consistent() || offer.header.height < t.min_height) {
+    drop_donor(self, key, TransferReject::MalformedOffer, msg.payload, {});
+    return;
+  }
+  if (callbacks_.offer_check &&
+      !callbacks_.offer_check(self, offer.scope, offer.header)) {
+    drop_donor(self, key, TransferReject::OfferCheckFailed, msg.payload, {});
+    return;
+  }
+  t.header = offer.header;
+  // Resumable cursor: chunks verified against this root on an earlier
+  // attempt (same root, different donor) are still good.
+  if (t.chunk_root != t.header.root) {
+    t.chunk_root = t.header.root;
+    t.chunks.assign(t.header.chunk_count(), std::nullopt);
+    t.have = 0;
+  }
+  t.votes.clear();
+  if (t.voters.empty()) {
+    start_fetch(self, t);
+  } else {
+    send_vote_requests(self, t);
+  }
+}
+
+void SnapshotTransfer::on_vote(const net::Principal& self,
+                               const net::Message& msg) {
+  const RootVote vote = RootVote::decode(msg.payload);
+  const Key key{self, vote.scope};
+  auto it = transfers_.find(key);
+  if (it == transfers_.end()) return;
+  Transfer& t = it->second;
+  if (t.phase != Phase::WaitVotes || vote.height != t.header.height) return;
+  if (std::find(t.voters.begin(), t.voters.end(), msg.from) ==
+      t.voters.end()) {
+    return;  // not a voter we asked
+  }
+  t.votes[msg.from] = vote;
+  ++stats_.votes_received;
+  evaluate_votes(self, key);
+}
+
+void SnapshotTransfer::evaluate_votes(const net::Principal& self,
+                                      const Key& key) {
+  Transfer& t = transfers_.at(key);
+  std::size_t agree = 0;
+  std::size_t disagree = 0;
+  common::Bytes disagree_proof;
+  for (const auto& [voter, vote] : t.votes) {
+    if (!vote.known) continue;
+    if (vote.root == t.header.root) {
+      ++agree;
+    } else {
+      ++disagree;
+      if (disagree_proof.empty()) disagree_proof = vote.encode();
+    }
+  }
+  const std::size_t n = t.voters.size();
+  // Majority confirms: the root is the one every honest replica sealed.
+  if (agree * 2 > n) {
+    start_fetch(self, t);
+    return;
+  }
+  // Majority disavows: the donor equivocated a root no honest replica
+  // ever produced. Proof = its offer header + one contradicting vote.
+  if (disagree * 2 > n) {
+    const common::Bytes header_bytes = t.header.encode();
+    drop_donor(self, key, TransferReject::EquivocatedRoot, header_bytes,
+               disagree_proof);
+    return;
+  }
+  if (t.votes.size() == n) {
+    // Everyone answered, no majority either way (abstentions). Without
+    // quorum confirmation the root stays untrusted: fail closed, but
+    // with evidence only if someone actively contradicted it.
+    if (disagree > 0) {
+      const common::Bytes header_bytes = t.header.encode();
+      drop_donor(self, key, TransferReject::EquivocatedRoot, header_bytes,
+                 disagree_proof);
+    } else {
+      drop_donor(self, key, TransferReject::DonorGone, {}, {});
+    }
+  }
+}
+
+void SnapshotTransfer::start_fetch(const net::Principal& self, Transfer& t) {
+  t.phase = Phase::Fetch;
+  if (t.header.chunk_count() == 0) {
+    finish(self, Key{self, t.scope});
+    return;
+  }
+  request_missing_chunks(self, t);
+}
+
+void SnapshotTransfer::request_missing_chunks(const net::Principal& self,
+                                              Transfer& t) {
+  ChunkRequest req;
+  req.scope = t.scope;
+  req.root = t.header.root;
+  for (std::size_t i = 0; i < t.chunks.size(); ++i) {
+    if (t.chunks[i].has_value()) continue;
+    req.index = i;
+    channel_->send(self, t.donors.front(), kTopicFetch, req.encode());
+  }
+}
+
+void SnapshotTransfer::on_chunk(const net::Principal& self,
+                                const net::Message& msg) {
+  const SnapshotChunk chunk = SnapshotChunk::decode(msg.payload);
+  const Key key{self, chunk.scope};
+  auto it = transfers_.find(key);
+  if (it == transfers_.end()) return;
+  Transfer& t = it->second;
+  if (t.phase != Phase::Fetch || msg.from != t.donors.front() ||
+      chunk.root != t.header.root) {
+    return;  // stale chunk from a previous donor or superseded root
+  }
+  if (!chunk.ok) {
+    drop_donor(self, key, TransferReject::DonorGone, {}, {});
+    return;
+  }
+  if (chunk.index >= t.chunks.size()) {
+    ++stats_.chunks_rejected;
+    drop_donor(self, key, TransferReject::TamperedChunk, t.header.encode(),
+               msg.payload);
+    return;
+  }
+  if (t.chunks[chunk.index].has_value()) return;  // duplicate
+  if (!Snapshot::verify_chunk(t.header, chunk.index, chunk.data)) {
+    ++stats_.chunks_rejected;
+    drop_donor(self, key, TransferReject::TamperedChunk, t.header.encode(),
+               msg.payload);
+    return;
+  }
+  t.chunks[chunk.index] = chunk.data;
+  ++t.have;
+  ++stats_.chunks_received;
+  if (t.have == t.chunks.size()) finish(self, key);
+}
+
+void SnapshotTransfer::finish(const net::Principal& self, const Key& key) {
+  Transfer& t = transfers_.at(key);
+  std::vector<common::Bytes> chunks;
+  chunks.reserve(t.chunks.size());
+  for (const std::optional<common::Bytes>& c : t.chunks) {
+    chunks.push_back(*c);
+  }
+  std::optional<WorldState> state = Snapshot::assemble(t.header, chunks);
+  if (!state.has_value()) {
+    // Every chunk verified yet the body will not decode: the header
+    // committed to garbage. That is on the donor.
+    drop_donor(self, key, TransferReject::InconsistentBody, t.header.encode(),
+               {});
+    return;
+  }
+  const SnapshotHeader header = t.header;
+  const std::string scope = t.scope;
+  transfers_.erase(key);
+  ++stats_.transfers_completed;
+  if (callbacks_.on_complete) {
+    callbacks_.on_complete(self, scope, header, std::move(*state));
+  }
+}
+
+void SnapshotTransfer::drop_donor(const net::Principal& self, const Key& key,
+                                  TransferReject reason,
+                                  common::BytesView proof_a,
+                                  common::BytesView proof_b) {
+  Transfer& t = transfers_.at(key);
+  const net::Principal donor = t.donors.front();
+  const std::string scope = t.scope;
+  if (is_misbehavior(reason)) ++stats_.donors_rejected;
+  if (callbacks_.on_reject) {
+    callbacks_.on_reject(self, scope, donor, reason, proof_a, proof_b);
+  }
+  // The callback may have aborted or restarted this transfer; re-find.
+  auto it = transfers_.find(key);
+  if (it == transfers_.end()) return;
+  Transfer& tt = it->second;
+  tt.donors.erase(tt.donors.begin());
+  tt.votes.clear();
+  if (is_misbehavior(reason)) {
+    // A donor dropped for proven misbehavior loses its vote too: the
+    // platform just quarantined it, so counting it toward the quorum
+    // denominator would stall every subsequent vote round (it can never
+    // answer), and counting its past answers would let it poison the
+    // next donor's verification.
+    std::erase(tt.voters, donor);
+    std::erase(tt.donors, donor);
+  }
+  if (tt.donors.empty()) {
+    transfers_.erase(it);
+    ++stats_.transfers_failed;
+    if (callbacks_.on_fail) callbacks_.on_fail(self, scope);
+    return;
+  }
+  send_request(self, tt);
+}
+
+}  // namespace veil::ledger

@@ -1,0 +1,250 @@
+// Snapshot state transfer: verified rejoin over the reliable channel.
+//
+// A replica that fell behind (crash, long partition, quarantine release)
+// fetches the nearest checkpoint from a peer instead of replaying the
+// whole chain. The protocol is pull-based and donor-stateless:
+//
+//   joiner                         donor                voters
+//     |-- snap.req --------------->|                      |
+//     |<-- snap.offer (header) ----|                      |
+//     |-- snap.vote-req ------------------------------->  |
+//     |<-- snap.vote (my checkpoint root at that height)--|
+//     |-- snap.fetch (index) ----->|   (one per chunk)    |
+//     |<-- snap.chunk -------------|                      |
+//     |        ... assemble, verify, install ...          |
+//
+// Byzantine safety, fail closed at every step:
+//  * the offered header must be self-consistent (root recomputes from
+//    the announced chunk hashes) — a tampered header dies before any
+//    chunk moves;
+//  * the root must be confirmed by a quorum of live peers' own
+//    checkpoint roots (deterministic replicas checkpoint at identical
+//    heights with identical roots) and, where the platform keeps a
+//    sealed delivery log, the announced height/tip must match it;
+//  * every chunk is hashed against the header's chunk-hash vector on
+//    arrival — a tampered chunk convicts the donor, the verified chunks
+//    already held are kept (resumable cursor), and the transfer fails
+//    over to the next donor.
+//
+// The engine raises platform callbacks instead of touching audit/
+// quarantine itself (the ledger layer does not link audit): the platform
+// emits signed Evidence and quarantines the donor in on_reject.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ledger/snapshot.hpp"
+#include "net/reliable.hpp"
+
+namespace veil::ledger {
+
+// ---- Wire types (all decode-fuzzed) ---------------------------------------
+
+/// snap.req: ask a donor for its latest checkpoint at or above
+/// min_height. Also reused on snap.vote-req, where min_height carries the
+/// exact height being voted on.
+struct SnapshotRequest {
+  std::string scope;  // platform-defined (Fabric channel, "quorum", ...)
+  std::uint64_t min_height = 0;
+
+  common::Bytes encode() const;
+  static SnapshotRequest decode(common::BytesView data);
+};
+
+/// snap.offer: the donor's header, or a refusal.
+struct SnapshotOffer {
+  std::string scope;
+  bool available = false;
+  SnapshotHeader header;  // meaningful only when available
+
+  common::Bytes encode() const;
+  static SnapshotOffer decode(common::BytesView data);
+};
+
+/// snap.fetch: ask the donor for one chunk of the content-addressed
+/// snapshot `root`.
+struct ChunkRequest {
+  std::string scope;
+  crypto::Digest root{};
+  std::uint64_t index = 0;
+
+  common::Bytes encode() const;
+  static ChunkRequest decode(common::BytesView data);
+};
+
+/// snap.chunk: one chunk, or ok=false when the donor no longer holds the
+/// requested root (its checkpoint advanced — benign, not misbehavior).
+struct SnapshotChunk {
+  std::string scope;
+  crypto::Digest root{};
+  std::uint64_t index = 0;
+  bool ok = false;
+  common::Bytes data;
+
+  common::Bytes encode() const;
+  static SnapshotChunk decode(common::BytesView data);
+};
+
+/// snap.vote: the voter's own latest checkpoint root at the requested
+/// height (known=false when it has no checkpoint there).
+struct RootVote {
+  std::string scope;
+  std::uint64_t height = 0;
+  bool known = false;
+  crypto::Digest root{};
+
+  common::Bytes encode() const;
+  static RootVote decode(common::BytesView data);
+};
+
+// ---- Engine ---------------------------------------------------------------
+
+/// Why a joiner gave up on a donor.
+enum class TransferReject {
+  MalformedOffer,    // header not self-consistent / below min height
+  OfferCheckFailed,  // height/tip contradicts the sealed delivery log
+  EquivocatedRoot,   // quorum of peers disavows the offered root
+  TamperedChunk,     // chunk fails verification against the root
+  InconsistentBody,  // all chunks verified but the body will not decode
+  DonorGone,         // donor refused / lost the root (benign, no evidence)
+};
+
+const char* to_string(TransferReject reason);
+/// True when the reason proves misbehavior (platforms emit Evidence and
+/// quarantine); false for benign failover.
+bool is_misbehavior(TransferReject reason);
+
+struct TransferStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t offers_received = 0;
+  std::uint64_t votes_received = 0;
+  std::uint64_t chunks_received = 0;
+  std::uint64_t chunks_rejected = 0;
+  std::uint64_t donors_rejected = 0;  // misbehavior rejections only
+  std::uint64_t transfers_completed = 0;
+  std::uint64_t transfers_failed = 0;  // donor list exhausted
+  std::uint64_t resumes = 0;
+  std::uint64_t malformed = 0;  // undecodable snap.* payloads dropped
+};
+
+class SnapshotTransfer {
+ public:
+  /// Donor/voter side: serve the replica's current checkpoint snapshot
+  /// (nullptr = nothing to offer). Must stay valid until the next
+  /// checkpoint replaces it.
+  using Provider = std::function<const Snapshot*(
+      const net::Principal& self, const std::string& scope,
+      std::uint64_t min_height)>;
+  /// Optional joiner-side pre-filter: check the offered height/tip
+  /// against platform truth (sealed delivery log). Return false to
+  /// reject the offer as OfferCheckFailed.
+  using OfferCheck = std::function<bool(const net::Principal& self,
+                                        const std::string& scope,
+                                        const SnapshotHeader& header)>;
+  /// Joiner: verified state ready to install.
+  using Complete = std::function<void(const net::Principal& self,
+                                      const std::string& scope,
+                                      const SnapshotHeader& header,
+                                      WorldState state)>;
+  /// Joiner gave up on `donor`. proof_a/proof_b are the two halves of
+  /// the misbehavior proof (offered header + contradicting bytes);
+  /// empty for benign reasons (is_misbehavior(reason) == false).
+  using Reject = std::function<void(
+      const net::Principal& self, const std::string& scope,
+      const net::Principal& donor, TransferReject reason,
+      common::BytesView proof_a, common::BytesView proof_b)>;
+  /// All donors exhausted; the platform falls back to full replay.
+  using Fail = std::function<void(const net::Principal& self,
+                                  const std::string& scope)>;
+
+  struct Callbacks {
+    Provider provider;
+    OfferCheck offer_check;  // may be null
+    Complete on_complete;
+    Reject on_reject;  // may be null
+    Fail on_fail;      // may be null
+  };
+
+  SnapshotTransfer(net::ReliableChannel& channel, Callbacks callbacks);
+
+  /// Joiner entry point: start fetching a checkpoint at height >=
+  /// min_height for `scope`, trying donors front to back, verifying the
+  /// root against `voters`. Progress is driven by delivered messages;
+  /// the caller runs the network.
+  void fetch(const net::Principal& self, const std::string& scope,
+             std::vector<net::Principal> donors,
+             std::vector<net::Principal> voters, std::uint64_t min_height);
+
+  /// Re-drive a stalled transfer: re-request the outstanding offer,
+  /// votes, or missing chunks (message loss past the reliable channel's
+  /// bounded retries, or a donor that went quiet). Verified chunks are
+  /// kept — the cursor resumes where it stopped.
+  void resume(const net::Principal& self, const std::string& scope);
+
+  /// Drop an in-progress transfer (crash hooks: received chunks are
+  /// volatile state and do not survive a crash).
+  void abort(const net::Principal& self, const std::string& scope);
+
+  bool active(const net::Principal& self, const std::string& scope) const;
+
+  /// True for topics this engine consumes ("snap." prefix).
+  static bool owns_topic(const std::string& topic);
+
+  /// Route one delivered message to the engine; platforms call this from
+  /// their channel handlers for owns_topic() messages. Malformed
+  /// payloads are counted and dropped, never thrown.
+  void handle(const net::Principal& self, const net::Message& msg);
+
+  const TransferStats& stats() const { return stats_; }
+
+ private:
+  enum class Phase { WaitOffer, WaitVotes, Fetch };
+
+  struct Transfer {
+    std::string scope;
+    std::vector<net::Principal> donors;  // front = current
+    std::vector<net::Principal> voters;
+    std::uint64_t min_height = 0;
+    Phase phase = Phase::WaitOffer;
+    SnapshotHeader header;
+    std::map<net::Principal, RootVote> votes;
+    // Resumable cursor: verified chunks for chunk_root. Survives donor
+    // failover when the next donor offers the same root.
+    crypto::Digest chunk_root{};
+    std::vector<std::optional<common::Bytes>> chunks;
+    std::size_t have = 0;
+  };
+
+  using Key = std::pair<net::Principal, std::string>;
+
+  void on_request(const net::Principal& self, const net::Message& msg);
+  void on_offer(const net::Principal& self, const net::Message& msg);
+  void on_vote_request(const net::Principal& self, const net::Message& msg);
+  void on_vote(const net::Principal& self, const net::Message& msg);
+  void on_fetch(const net::Principal& self, const net::Message& msg);
+  void on_chunk(const net::Principal& self, const net::Message& msg);
+
+  void send_request(const net::Principal& self, Transfer& t);
+  void send_vote_requests(const net::Principal& self, Transfer& t);
+  void start_fetch(const net::Principal& self, Transfer& t);
+  void request_missing_chunks(const net::Principal& self, Transfer& t);
+  void evaluate_votes(const net::Principal& self, const Key& key);
+  void finish(const net::Principal& self, const Key& key);
+  /// Give up on the current donor and move to the next (or fail).
+  void drop_donor(const net::Principal& self, const Key& key,
+                  TransferReject reason, common::BytesView proof_a,
+                  common::BytesView proof_b);
+
+  net::ReliableChannel* channel_;
+  Callbacks callbacks_;
+  std::map<Key, Transfer> transfers_;
+  TransferStats stats_;
+};
+
+}  // namespace veil::ledger

@@ -17,6 +17,27 @@ void WriteAheadLog::append(std::uint8_t type, common::BytesView payload) {
   ++record_count_;
 }
 
+std::size_t WriteAheadLog::compact(std::uint8_t type,
+                                   common::BytesView payload) {
+  // Durability ordering: the checkpoint record must be fully appended
+  // (fsynced, in this in-memory model: resident in log_) BEFORE the
+  // prefix it supersedes is dropped. A crash in the window between the
+  // two leaves both the old records and the checkpoint on disk — wasted
+  // space, never lost state.
+  const std::size_t prefix_bytes = log_.size();
+  const std::size_t prefix_records = record_count_;
+  append(type, payload);
+  if (crash_before_truncate_) {
+    crash_before_truncate_ = false;
+    return 0;
+  }
+  log_.erase(log_.begin(),
+             log_.begin() + static_cast<std::ptrdiff_t>(prefix_bytes));
+  record_count_ -= prefix_records;
+  truncated_bytes_ += prefix_bytes;
+  return prefix_bytes;
+}
+
 std::vector<WriteAheadLog::Record> WriteAheadLog::recover() const {
   std::vector<Record> out;
   common::Reader r(log_);
@@ -44,6 +65,7 @@ std::vector<WriteAheadLog::Record> WriteAheadLog::recover() const {
   }
   report.records_recovered = out.size();
   report.torn_tail_bytes = log_.size() - clean_end;
+  report.truncated_bytes = truncated_bytes_;
   last_recovery_ = report;
   return out;
 }
@@ -60,14 +82,30 @@ void WriteAheadLog::corrupt_byte(std::size_t offset) {
   if (offset < log_.size()) log_[offset] ^= 0x5a;
 }
 
-void wal_log_checkpoint(WriteAheadLog& wal, std::uint64_t height,
-                        const crypto::Digest& tip_hash,
-                        const WorldState& state) {
+common::Bytes wal_encode_checkpoint(std::uint64_t height,
+                                    const crypto::Digest& tip_hash,
+                                    const WorldState& state,
+                                    common::BytesView aux) {
   common::Writer w;
   w.u64(height);
   w.raw(common::BytesView(tip_hash.data(), tip_hash.size()));
   w.bytes(state.encode());
-  wal.append(kWalCheckpoint, w.take());
+  w.bytes(aux);
+  return w.take();
+}
+
+void wal_log_checkpoint(WriteAheadLog& wal, std::uint64_t height,
+                        const crypto::Digest& tip_hash, const WorldState& state,
+                        common::BytesView aux) {
+  wal.append(kWalCheckpoint,
+             wal_encode_checkpoint(height, tip_hash, state, aux));
+}
+
+void wal_checkpoint_compact(WriteAheadLog& wal, std::uint64_t height,
+                            const crypto::Digest& tip_hash,
+                            const WorldState& state, common::BytesView aux) {
+  wal.compact(kWalCheckpoint,
+              wal_encode_checkpoint(height, tip_hash, state, aux));
 }
 
 void wal_log_block(WriteAheadLog& wal, const Block& block) {
@@ -85,7 +123,14 @@ WalRecovery wal_recover_blocks(const WriteAheadLog& wal) {
         const common::Bytes hash = r.raw(crypto::kSha256DigestSize);
         std::copy(hash.begin(), hash.end(), cp.tip_hash.begin());
         cp.state = WorldState::decode(r.bytes());
+        // Logs written before the aux sidecar existed end here.
+        if (!r.done()) cp.aux = r.bytes();
         recovery.checkpoint = std::move(cp);
+        // A checkpoint supersedes everything logged before it. Normally
+        // compaction already erased that prefix, but a crash in the
+        // window between checkpoint-append and truncate leaves both on
+        // disk — recovery must not replay the stale blocks twice.
+        recovery.blocks.clear();
       } else if (rec.type == kWalBlock) {
         recovery.blocks.push_back(Block::decode(rec.payload));
       }

@@ -45,14 +45,32 @@ class WriteAheadLog {
     std::size_t records_recovered = 0;
     std::size_t corrupt_records = 0;  // framed records whose checksum failed
     std::size_t torn_tail_bytes = 0;  // bytes discarded past the clean prefix
+    std::size_t truncated_bytes = 0;  // bytes compacted away over the log's life
     /// True when recovery consumed the whole log: nothing corrupt,
     /// nothing torn. corrupt_records distinguishes "the log lied"
     /// (bit-rot/tampering) from a benign crash-mid-append tail.
+    /// Compaction (`truncated_bytes`) is deliberate, so it never
+    /// taints cleanliness.
     bool clean() const { return corrupt_records == 0 && torn_tail_bytes == 0; }
   };
 
   /// Append one record (type is application-defined).
   void append(std::uint8_t type, common::BytesView payload);
+
+  /// Seal a checkpoint record and drop the prefix it supersedes. The
+  /// ordering is the whole point: the checkpoint record is appended (and
+  /// in a real implementation fsynced) BEFORE the old prefix is
+  /// truncated, so a crash anywhere in between leaves a log that still
+  /// contains every record — worst case the checkpoint and its prefix
+  /// coexist, never neither. Returns the number of bytes truncated.
+  std::size_t compact(std::uint8_t type, common::BytesView payload);
+
+  /// Crash-point hook (tests): the next compact() appends the checkpoint
+  /// record but "crashes" before truncating the prefix, modelling a
+  /// power cut in the window between fsync and truncate.
+  void arm_crash_between_checkpoint_and_truncate() {
+    crash_before_truncate_ = true;
+  }
 
   /// Decode the clean prefix of the log. Torn or corrupt trailing data is
   /// ignored; `last_recovery()` reports what was discarded and whether
@@ -70,11 +88,14 @@ class WriteAheadLog {
   std::size_t size_bytes() const { return log_.size(); }
   std::size_t record_count() const { return record_count_; }
   std::size_t torn_tail_bytes() const { return last_recovery_.torn_tail_bytes; }
+  std::size_t truncated_bytes() const { return truncated_bytes_; }
   const RecoveryReport& last_recovery() const { return last_recovery_; }
 
  private:
   common::Bytes log_;
   std::size_t record_count_ = 0;
+  std::size_t truncated_bytes_ = 0;
+  bool crash_before_truncate_ = false;
   mutable RecoveryReport last_recovery_;
 };
 
@@ -88,11 +109,27 @@ struct WalCheckpoint {
   std::uint64_t height = 0;
   crypto::Digest tip_hash{};
   WorldState state;
+  /// Platform sidecar riding the checkpoint: Quorum stores the node's
+  /// private state here so one compaction covers both stores. Empty for
+  /// platforms that need nothing extra; decode tolerates its absence for
+  /// logs written before the field existed.
+  common::Bytes aux;
 };
 
+common::Bytes wal_encode_checkpoint(std::uint64_t height,
+                                    const crypto::Digest& tip_hash,
+                                    const WorldState& state,
+                                    common::BytesView aux = {});
+
 void wal_log_checkpoint(WriteAheadLog& wal, std::uint64_t height,
-                        const crypto::Digest& tip_hash,
-                        const WorldState& state);
+                        const crypto::Digest& tip_hash, const WorldState& state,
+                        common::BytesView aux = {});
+
+/// Checkpoint + compact in fsync order: seal the checkpoint record, then
+/// truncate everything it supersedes (see WriteAheadLog::compact).
+void wal_checkpoint_compact(WriteAheadLog& wal, std::uint64_t height,
+                            const crypto::Digest& tip_hash,
+                            const WorldState& state, common::BytesView aux = {});
 void wal_log_block(WriteAheadLog& wal, const Block& block);
 
 struct WalRecovery {

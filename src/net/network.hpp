@@ -60,6 +60,11 @@ struct NetworkStats {
   // Reliable-delivery accounting (incremented by ReliableChannel).
   std::uint64_t retransmits = 0;
   std::uint64_t duplicates_suppressed = 0;
+  // Messages abandoned because the retry budget ran out — distinct from
+  // giving up on a crashed/detached endpoint, and from the drop causes
+  // above: the wire sends were already counted there; this counts the
+  // *decisions* to stop retrying a live peer.
+  std::uint64_t retries_exhausted = 0;
 
   // Byzantine adversary accounting (net/fault.hpp ByzantinePlan plus the
   // link-level corruption mode). The dropped_* entries are also counted
@@ -159,6 +164,7 @@ class SimNetwork {
   /// ReliableChannel accounting hooks.
   void count_retransmit() { ++stats_.retransmits; }
   void count_duplicate() { ++stats_.duplicates_suppressed; }
+  void count_retry_exhausted() { ++stats_.retries_exhausted; }
 
  private:
   bool reachable(const Principal& from, const Principal& to) const;

@@ -131,8 +131,14 @@ void ReliableChannel::arm_timer(Key key) {
     InFlight& f = flight->second;
     // A crashed sender loses its retransmission state; a detached
     // receiver will never ack. Both end the retry loop — fail closed.
+    // Exhausting the retry budget against a live, attached peer is the
+    // interesting case operationally (the link is lossy beyond what the
+    // policy tolerates), so it gets its own network-wide counter.
     if (f.attempts >= policy_.max_attempts ||
         network_->crashed(key.from) || !network_->attached(key.to)) {
+      if (f.attempts >= policy_.max_attempts) {
+        network_->count_retry_exhausted();
+      }
       ++stats_.gave_up;
       in_flight_.erase(flight);
       return;

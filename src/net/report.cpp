@@ -121,6 +121,7 @@ std::string render_network_stats(const NetworkStats& stats) {
   os << "reliable delivery:\n";
   line(os, "retransmits", stats.retransmits);
   line(os, "duplicates suppressed", stats.duplicates_suppressed);
+  line(os, "retries exhausted", stats.retries_exhausted);
   os << "adversary activity:\n";
   line(os, "tampered in flight", stats.messages_tampered);
   line(os, "equivocated copies", stats.messages_equivocated);

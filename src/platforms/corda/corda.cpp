@@ -39,6 +39,11 @@ constexpr std::uint8_t kWalLinkage = 12;
 /// entries): {ref, consuming tx id}. The durable history the
 /// notary-equivocation cross-check runs against.
 constexpr std::uint8_t kWalConsumeSeen = 13;
+/// Vault checkpoint: the party's entire durable recovery surface (vault
+/// + linkages + consume log) in one record. Written by compaction, which
+/// erases every record before it — restart replays snapshot + tail
+/// instead of the party's full flow history.
+constexpr std::uint8_t kWalVaultSnapshot = 14;
 
 /// One half of a NotaryEquivocation proof: a notary attestation bound to
 /// its transaction — verifiable on its own against the notary's key.
@@ -100,12 +105,14 @@ common::BytesView root_view(const crypto::Digest& root) {
 }  // namespace
 
 CordaNetwork::CordaNetwork(net::SimNetwork& network, const crypto::Group& group,
-                           common::Rng& rng)
+                           common::Rng& rng,
+                           std::uint64_t vault_snapshot_interval)
     : network_(&network),
       group_(&group),
       rng_(rng.fork()),
       ca_("corda-doorman", group, rng_),
-      channel_(network) {}
+      channel_(network),
+      vault_snapshot_interval_(vault_snapshot_interval) {}
 
 void CordaNetwork::add_party(const std::string& name) {
   if (parties_.contains(name)) return;
@@ -164,9 +171,10 @@ void CordaNetwork::install_linkages(const std::string& self,
     common::Writer w;
     w.str(fingerprint);
     w.str(identity);
-    party.wal.append(kWalLinkage, w.take());
+    vault_wal_append(party, kWalLinkage, w.take());
     party.known_linkages[fingerprint] = identity;
   }
+  maybe_compact_vault(party);
 }
 
 bool CordaNetwork::apply_finality(const std::string& self,
@@ -208,7 +216,7 @@ bool CordaNetwork::apply_finality(const std::string& self,
     w.str(ref.tx_id);
     w.u32(ref.index);
     w.str(flow.tx_id);
-    party.wal.append(kWalConsumeSeen, w.take());
+    vault_wal_append(party, kWalConsumeSeen, w.take());
   }
 
   for (const StateRef& ref : flow.inputs) {
@@ -217,7 +225,7 @@ bool CordaNetwork::apply_finality(const std::string& self,
     common::Writer w;
     w.str(ref.tx_id);
     w.u32(ref.index);
-    party.wal.append(kWalVaultConsume, w.take());
+    vault_wal_append(party, kWalVaultConsume, w.take());
     party.spent[ref] = held->second;
     party.vault.erase(held);
   }
@@ -242,9 +250,10 @@ bool CordaNetwork::apply_finality(const std::string& self,
       }
     }
     if (!mine) continue;
-    party.wal.append(kWalVaultAdd, encode_state(state));
+    vault_wal_append(party, kWalVaultAdd, encode_state(state));
     party.vault[state.ref] = state;
   }
+  maybe_compact_vault(party);
   return true;
 }
 
@@ -273,6 +282,61 @@ void CordaNetwork::convict(audit::Misbehavior kind, const std::string& accused,
   }
 }
 
+common::Bytes CordaNetwork::encode_vault_snapshot(const Party& party) {
+  // Maps iterate in key order, so two parties with identical recovery
+  // surfaces produce identical bytes (and identical vault_digest()s).
+  common::Writer w;
+  w.varint(party.vault.size());
+  for (const auto& [ref, state] : party.vault) {
+    w.bytes(encode_state(state));
+  }
+  w.varint(party.known_linkages.size());
+  for (const auto& [fingerprint, identity] : party.known_linkages) {
+    w.str(fingerprint);
+    w.str(identity);
+  }
+  w.varint(party.consume_log.size());
+  for (const auto& [ref, tx_id] : party.consume_log) {
+    w.str(ref.tx_id);
+    w.u32(ref.index);
+    w.str(tx_id);
+  }
+  return w.take();
+}
+
+void CordaNetwork::compact_vault_locked(Party& party) {
+  // compact() appends the snapshot BEFORE erasing the prefix, so a crash
+  // at any point still recovers (to either the old log or the new).
+  party.wal.compact(kWalVaultSnapshot, encode_vault_snapshot(party));
+  ++party.checkpoints_taken;
+}
+
+void CordaNetwork::vault_wal_append(Party& party, std::uint8_t type,
+                                    common::BytesView payload) {
+  party.wal.append(type, payload);
+}
+
+void CordaNetwork::maybe_compact_vault(Party& party) {
+  // Compaction snapshots the vault MAP, so it may only run when the map
+  // has caught up with every appended record. Callers are WAL-first
+  // (append, then mutate the map), which is why this is a separate
+  // end-of-mutation step and not part of vault_wal_append: compacting
+  // between the append and the map write would snapshot a vault missing
+  // the very record the compaction is about to erase.
+  if (vault_snapshot_interval_ != 0 &&
+      party.wal.record_count() >= vault_snapshot_interval_) {
+    compact_vault_locked(party);
+  }
+}
+
+void CordaNetwork::compact_vault(const std::string& name) {
+  compact_vault_locked(parties_.at(name));
+}
+
+crypto::Digest CordaNetwork::vault_digest(const std::string& name) const {
+  return crypto::sha256(encode_vault_snapshot(parties_.at(name)));
+}
+
 void CordaNetwork::on_party_crash(const std::string& name) {
   Party& party = parties_.at(name);
   party.vault.clear();
@@ -287,10 +351,36 @@ void CordaNetwork::on_party_restart(const std::string& name) {
   party.known_linkages.clear();
   party.spent.clear();
   party.consume_log.clear();
+  party.records_replayed = 0;
   for (const ledger::WriteAheadLog::Record& rec : party.wal.recover()) {
     try {
       common::Reader r(rec.payload);
-      if (rec.type == kWalVaultAdd) {
+      ++party.records_replayed;
+      if (rec.type == kWalVaultSnapshot) {
+        // Vault checkpoint: install the whole recovery surface at once.
+        // Compaction guarantees it precedes any tail records, but decode
+        // defensively — a snapshot mid-log simply resets and re-applies.
+        party.vault.clear();
+        party.known_linkages.clear();
+        party.consume_log.clear();
+        const std::uint64_t vault_count = r.varint();
+        for (std::uint64_t i = 0; i < vault_count; ++i) {
+          const CordaState state = decode_state(r.bytes());
+          party.vault[state.ref] = state;
+        }
+        const std::uint64_t linkage_count = r.varint();
+        for (std::uint64_t i = 0; i < linkage_count; ++i) {
+          const std::string fingerprint = r.str();
+          party.known_linkages[fingerprint] = r.str();
+        }
+        const std::uint64_t consume_count = r.varint();
+        for (std::uint64_t i = 0; i < consume_count; ++i) {
+          StateRef ref;
+          ref.tx_id = r.str();
+          ref.index = r.u32();
+          party.consume_log.emplace(ref, r.str());
+        }
+      } else if (rec.type == kWalVaultAdd) {
         const CordaState state = decode_state(rec.payload);
         party.vault[state.ref] = state;
       } else if (rec.type == kWalVaultConsume) {

@@ -78,8 +78,14 @@ struct OracleRequest {
 
 class CordaNetwork {
  public:
+  /// `vault_snapshot_interval` (in WAL records, 0 = disabled) bounds each
+  /// party's vault WAL: once the log holds that many records it is
+  /// compacted behind a single vault-snapshot checkpoint record. Vaults
+  /// are per-party private, so — unlike Fabric/Quorum — there is no wire
+  /// snapshot transfer: the checkpoint only ever serves the party's own
+  /// crash recovery (docs/fault_model.md "Recovery tier").
   CordaNetwork(net::SimNetwork& network, const crypto::Group& group,
-               common::Rng& rng);
+               common::Rng& rng, std::uint64_t vault_snapshot_interval = 0);
 
   void add_party(const std::string& name);
   void add_notary(const std::string& name, bool validating);
@@ -175,6 +181,29 @@ class CordaNetwork {
   audit::EvidenceLog& evidence() { return evidence_; }
   const audit::EvidenceLog& evidence() const { return evidence_; }
 
+  // ---- Recovery tier (docs/fault_model.md "Recovery tier") -----------------
+
+  /// Force a vault checkpoint now (interval compaction runs automatically
+  /// when configured).
+  void compact_vault(const std::string& party);
+
+  /// Canonical digest over a party's durable recovery surface (vault +
+  /// linkages + consume log) — the bit-identical-rejoin assertion handle.
+  crypto::Digest vault_digest(const std::string& party) const;
+
+  const ledger::WriteAheadLog& party_wal(const std::string& party) const {
+    return parties_.at(party).wal;
+  }
+  /// WAL records replayed by the most recent restart of `party` — the
+  /// delta-not-history assertion handle (a checkpointed party replays
+  /// snapshot + tail, never its full flow history).
+  std::uint64_t wal_records_replayed(const std::string& party) const {
+    return parties_.at(party).records_replayed;
+  }
+  std::uint64_t vault_checkpoints_taken(const std::string& party) const {
+    return parties_.at(party).checkpoints_taken;
+  }
+
  private:
   struct Party {
     crypto::KeyPair keypair;
@@ -194,6 +223,9 @@ class CordaNetwork {
     /// (kWalConsumeSeen); this is the history the notary-equivocation
     /// cross-check runs against.
     std::map<StateRef, std::string> consume_log;
+    /// Records replayed by the most recent restart (snapshot counts as 1).
+    std::uint64_t records_replayed = 0;
+    std::uint64_t checkpoints_taken = 0;
   };
 
   struct Notary {
@@ -273,6 +305,18 @@ class CordaNetwork {
                const std::string& quarantine_principal);
   void on_party_crash(const std::string& name);
   void on_party_restart(const std::string& name);
+  /// Append one vault WAL record (WAL-first: the caller mutates the
+  /// vault map after).
+  void vault_wal_append(Party& party, std::uint8_t type,
+                        common::BytesView payload);
+  /// Interval compaction, run only at the END of a vault mutation (when
+  /// the map reflects every appended record — never mid-flow, where the
+  /// snapshot would miss the record it erases).
+  void maybe_compact_vault(Party& party);
+  /// Canonical encoding of a party's durable recovery surface — the
+  /// kWalVaultSnapshot payload and the vault_digest() preimage.
+  static common::Bytes encode_vault_snapshot(const Party& party);
+  void compact_vault_locked(Party& party);
 
   net::SimNetwork* network_;
   const crypto::Group* group_;
@@ -292,6 +336,8 @@ class CordaNetwork {
   std::map<std::string, TxRecord> tx_records_;  // by tx id
   std::map<std::string, ContractVerifier> verifiers_;
   std::uint64_t issue_counter_ = 0;
+  /// Vault WAL compaction threshold in records; 0 disables.
+  std::uint64_t vault_snapshot_interval_ = 0;
   bool detection_ = false;
   /// While set, transact() may resolve inputs from the initiator's spent
   /// archive — the byzantine_respend() bypass.

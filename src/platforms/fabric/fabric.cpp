@@ -54,7 +54,40 @@ FabricNetwork::FabricNetwork(net::SimNetwork& network,
       idemix_issuer_(ca_),
       registry_(network.auditor()),
       engine_(registry_),
-      channel_(network) {
+      channel_(network),
+      transfer_(channel_,
+                ledger::SnapshotTransfer::Callbacks{
+                    .provider =
+                        [this](const net::Principal& self,
+                               const std::string& scope,
+                               std::uint64_t min_height) {
+                          return provide_snapshot(self, scope, min_height);
+                        },
+                    .offer_check =
+                        [this](const net::Principal&, const std::string& scope,
+                               const ledger::SnapshotHeader& header) {
+                          return check_offer(scope, header);
+                        },
+                    .on_complete =
+                        [this](const net::Principal& self,
+                               const std::string& scope,
+                               const ledger::SnapshotHeader& header,
+                               ledger::WorldState state) {
+                          install_snapshot(self, scope, header,
+                                           std::move(state));
+                        },
+                    .on_reject =
+                        [this](const net::Principal& self,
+                               const std::string& scope,
+                               const net::Principal& donor,
+                               ledger::TransferReject reason,
+                               common::BytesView proof_a,
+                               common::BytesView proof_b) {
+                          on_transfer_reject(self, scope, donor, reason,
+                                             proof_a, proof_b);
+                        },
+                    .on_fail = nullptr,
+                }) {
   if (config_.orderer_deployment == ledger::OrdererDeployment::Shared) {
     shared_orderer_ = std::make_unique<ledger::OrderingService>(
         "orderer-org", ledger::OrdererDeployment::Shared, network.auditor(),
@@ -78,6 +111,10 @@ void FabricNetwork::add_org(const std::string& org) {
   // per distinct message.
   const std::string peer = peer_of(org);
   channel_.attach(peer, [this, org](const net::Message& msg) {
+    if (ledger::SnapshotTransfer::owns_topic(msg.topic)) {
+      transfer_.handle(peer_of(org), msg);
+      return;
+    }
     if (msg.topic == "fabric.pdc-push") {
       // Gossip receipt of private data: acknowledge to the submitter.
       channel_.send(peer_of(org), msg.from, "fabric.pdc-ack", msg.payload);
@@ -130,7 +167,9 @@ void FabricNetwork::on_crash(const std::string& org) {
   for (auto& [name, ch] : channels_) {
     const auto it = ch.replicas.find(org);
     if (it == ch.replicas.end()) continue;
-    // Memory is gone; the WAL is the only thing that survives.
+    // Memory is gone; the WAL is the only thing that survives. An
+    // in-progress snapshot transfer dies with it — rejoin() restarts one.
+    transfer_.abort(peer_of(org), name);
     it->second.chain = ledger::Chain();
     it->second.state = ledger::WorldState();
     it->second.endorsements_seen.clear();
@@ -149,6 +188,11 @@ void FabricNetwork::on_restart(const std::string& org) {
       replica.state = recovered.checkpoint->state;
       replica.chain = ledger::Chain::from_checkpoint(
           recovered.checkpoint->height, recovered.checkpoint->tip_hash);
+      // Re-materialize the resident snapshot so the restarted peer can
+      // donate state transfer again without waiting for the next interval.
+      replica.snapshots.restore(recovered.checkpoint->height,
+                                recovered.checkpoint->tip_hash,
+                                recovered.checkpoint->state);
     }
     for (const ledger::Block& block : recovered.blocks) {
       if (!commit_block(org, ch, block, /*replay=*/true)) break;
@@ -201,7 +245,8 @@ void FabricNetwork::create_channel(const std::string& channel,
   if (!inserted) throw common::ProtocolError("channel exists: " + channel);
   it->second.members = members;
   for (const std::string& member : members) {
-    it->second.replicas.try_emplace(member);
+    auto [replica, _] = it->second.replicas.try_emplace(member);
+    replica->second.snapshots = ledger::SnapshotStore(config_.snapshots);
   }
   if (config_.orderer_deployment == ledger::OrdererDeployment::Private) {
     // The first member (alphabetical) operates the channel's orderer.
@@ -225,6 +270,7 @@ void FabricNetwork::join_channel(const std::string& channel,
     // checkpoint: current data only, no transaction history.
     const PeerReplica& donor = ch.replicas.at(*ch.members.begin());
     PeerReplica replica;
+    replica.snapshots = ledger::SnapshotStore(config_.snapshots);
     replica.state = donor.state;
     replica.chain = ledger::Chain::from_checkpoint(donor.chain.height(),
                                                    donor.chain.tip_hash());
@@ -239,13 +285,18 @@ void FabricNetwork::join_channel(const std::string& channel,
     // lets a crashed joiner recover without any historical blocks.
     ledger::wal_log_checkpoint(replica.wal, replica.chain.height(),
                                replica.chain.tip_hash(), replica.state);
+    replica.snapshots.restore(replica.chain.height(), replica.chain.tip_hash(),
+                              replica.state);
     ch.members.insert(org);
     ch.replicas.insert_or_assign(org, std::move(replica));
     return;
   }
 
   ch.members.insert(org);
-  ch.replicas.try_emplace(org);
+  {
+    auto [replica, _] = ch.replicas.try_emplace(org);
+    replica->second.snapshots = ledger::SnapshotStore(config_.snapshots);
+  }
   // Replay bootstrap: the delivery service replays blocks from genesis,
   // so the joiner observes the channel's entire history.
   for (const ledger::Block& block : ch.ordered_log) {
@@ -436,6 +487,15 @@ bool FabricNetwork::commit_block(const std::string& org, Channel& channel,
     const bool first_record = !receipts_.contains(tx.id());
     receipts_[tx.id()] = receipt;
     if (receipt.committed && first_record) ++committed_count_;
+  }
+  ++replica.blocks_applied;
+  // Interval checkpoint: seal the committed state into the WAL and
+  // compact the clean prefix behind it. Replay skips this — the recovered
+  // WAL already reflects any checkpoints taken before the crash.
+  if (!replay) {
+    replica.snapshots.maybe_checkpoint(replica.wal, replica.chain.height(),
+                                       replica.chain.tip_hash(),
+                                       replica.state);
   }
   return true;
 }
@@ -692,6 +752,177 @@ bool FabricNetwork::is_channel_member(const std::string& channel,
                                       const std::string& org) const {
   const auto it = channels_.find(channel);
   return it != channels_.end() && it->second.members.contains(org);
+}
+
+// ---- Recovery tier ---------------------------------------------------------
+
+void FabricNetwork::rejoin(const std::string& channel, const std::string& org,
+                           std::vector<std::string> donor_orgs) {
+  auto& ch = channels_.at(channel);
+  const std::string self = peer_of(org);
+  if (!ch.members.contains(org) || network_->crashed(self)) return;
+  PeerReplica& replica = ch.replicas.at(org);
+
+  // Root verification quorum: every live, unquarantined fellow member.
+  std::vector<net::Principal> voters;
+  for (const std::string& member : ch.members) {
+    if (member == org) continue;
+    const std::string peer = peer_of(member);
+    if (network_->crashed(peer) || network_->is_quarantined(peer)) continue;
+    voters.push_back(peer);
+  }
+  std::vector<net::Principal> donors;
+  if (donor_orgs.empty()) {
+    donors = voters;
+  } else {
+    for (const std::string& d : donor_orgs) donors.push_back(peer_of(d));
+  }
+  transfer_.fetch(self, channel, std::move(donors), voters,
+                  replica.chain.height() + 1);
+  network_->run();
+  // Still active after the network drained = stalled on loss — keep it
+  // resumable rather than replaying what the snapshot was about to save.
+  if (transfer_.active(self, channel)) return;
+
+  // Post-checkpoint delta (or the whole lag, if no donor had a newer
+  // checkpoint): seek into the channel's sealed delivery log.
+  while (!network_->crashed(self) &&
+         replica.chain.height() < ch.ordered_log.size()) {
+    if (!commit_block(org, ch, ch.ordered_log[replica.chain.height()])) break;
+  }
+}
+
+void FabricNetwork::resume_rejoin(const std::string& channel,
+                                  const std::string& org) {
+  auto& ch = channels_.at(channel);
+  const std::string self = peer_of(org);
+  if (network_->crashed(self)) return;
+  transfer_.resume(self, channel);
+  network_->run();
+  if (transfer_.active(self, channel)) return;  // still stalled: resumable
+  PeerReplica& replica = ch.replicas.at(org);
+  while (!network_->crashed(self) &&
+         replica.chain.height() < ch.ordered_log.size()) {
+    if (!commit_block(org, ch, ch.ordered_log[replica.chain.height()])) break;
+  }
+}
+
+void FabricNetwork::set_byzantine_snapshot_offerer(const std::string& org,
+                                                   SnapshotAttack attack) {
+  byz_offerers_.insert_or_assign(org, attack);
+}
+
+std::uint64_t FabricNetwork::blocks_applied(const std::string& channel,
+                                            const std::string& org) const {
+  return channels_.at(channel).replicas.at(org).blocks_applied;
+}
+
+const ledger::SnapshotStore& FabricNetwork::snapshot_store(
+    const std::string& channel, const std::string& org) const {
+  return channels_.at(channel).replicas.at(org).snapshots;
+}
+
+const ledger::WriteAheadLog& FabricNetwork::peer_wal(
+    const std::string& channel, const std::string& org) const {
+  return channels_.at(channel).replicas.at(org).wal;
+}
+
+const ledger::Snapshot* FabricNetwork::provide_snapshot(
+    const std::string& self, const std::string& scope,
+    std::uint64_t min_height) {
+  const std::string org = org_of(self);
+  const auto ch = channels_.find(scope);
+  if (ch == channels_.end() || !ch->second.members.contains(org)) {
+    return nullptr;
+  }
+  const auto replica = ch->second.replicas.find(org);
+  if (replica == ch->second.replicas.end()) return nullptr;
+  const ledger::Snapshot* honest = replica->second.snapshots.latest();
+
+  const auto attack = byz_offerers_.find(org);
+  if (attack == byz_offerers_.end() || honest == nullptr ||
+      honest->height() < min_height) {
+    return honest;
+  }
+  // Scripted adversary: serve a forgery instead of the checkpoint. Stored
+  // in forged_ because the transfer engine holds the returned pointer
+  // across the donated chunks.
+  const auto key = std::make_pair(self, scope);
+  switch (attack->second) {
+    case SnapshotAttack::TamperChunk: {
+      // Honest header, one flipped byte mid-body: the offer passes every
+      // header check, then the covering chunk fails hash verification.
+      common::Bytes body(honest->body().begin(), honest->body().end());
+      if (!body.empty()) body[body.size() / 2] ^= 0x01;
+      forged_.insert_or_assign(
+          key, ledger::Snapshot::forge(honest->header(), std::move(body)));
+      break;
+    }
+    case SnapshotAttack::EquivocateRoot: {
+      // Self-consistent snapshot over a tampered state: every chunk
+      // verifies against ITS root, but the root is disavowed by the
+      // member quorum (no honest replica ever committed that state).
+      ledger::WorldState tampered = honest->state();
+      tampered.put("asset/forged/owner", common::to_bytes(org));
+      forged_.insert_or_assign(
+          key, ledger::Snapshot::make(
+                   honest->height(),
+                   honest->header().tip_hash, tampered,
+                   honest->header().chunk_size));
+      break;
+    }
+  }
+  return &forged_.at(key);
+}
+
+bool FabricNetwork::check_offer(const std::string& scope,
+                                const ledger::SnapshotHeader& header) const {
+  // Structural pre-filter against the channel's sealed delivery log: the
+  // offered head must be a block the orderer actually sealed. (The state
+  // root itself is vouched for by the member vote quorum — a block hash
+  // does not commit to world state.)
+  const auto ch = channels_.find(scope);
+  if (ch == channels_.end()) return false;
+  return header.height > 0 && header.height <= ch->second.ordered_log.size() &&
+         ch->second.ordered_log[header.height - 1].header.hash() ==
+             header.tip_hash;
+}
+
+void FabricNetwork::install_snapshot(const std::string& self,
+                                     const std::string& scope,
+                                     const ledger::SnapshotHeader& header,
+                                     ledger::WorldState state) {
+  const std::string org = org_of(self);
+  const auto ch = channels_.find(scope);
+  if (ch == channels_.end()) return;
+  const auto it = ch->second.replicas.find(org);
+  if (it == ch->second.replicas.end()) return;
+  PeerReplica& replica = it->second;
+  if (header.height <= replica.chain.height()) return;  // stale by now
+
+  replica.chain =
+      ledger::Chain::from_checkpoint(header.height, header.tip_hash);
+  replica.state = std::move(state);
+  replica.endorsements_seen.clear();
+  // Seal the installed snapshot as this replica's own durable checkpoint,
+  // compacting any stale pre-crash WAL prefix behind it.
+  replica.snapshots.checkpoint(replica.wal, header.height, header.tip_hash,
+                               replica.state);
+}
+
+void FabricNetwork::on_transfer_reject(
+    const std::string& self, const std::string& scope,
+    const std::string& donor, ledger::TransferReject reason,
+    common::BytesView proof_a, common::BytesView proof_b) {
+  if (!ledger::is_misbehavior(reason)) return;
+  const audit::Misbehavior kind =
+      reason == ledger::TransferReject::EquivocatedRoot
+          ? audit::Misbehavior::SnapshotEquivocation
+          : audit::Misbehavior::SnapshotTampering;
+  convict(kind, org_of(donor), org_of(self),
+          "channel " + scope + " rejoin: " + ledger::to_string(reason),
+          common::Bytes(proof_a.begin(), proof_a.end()),
+          common::Bytes(proof_b.begin(), proof_b.end()), donor);
 }
 
 }  // namespace veil::fabric

@@ -34,7 +34,9 @@
 #include "contracts/registry.hpp"
 #include "ledger/chain.hpp"
 #include "ledger/ordering.hpp"
+#include "ledger/snapshot.hpp"
 #include "ledger/state.hpp"
+#include "ledger/transfer.hpp"
 #include "ledger/wal.hpp"
 #include "net/network.hpp"
 #include "net/reliable.hpp"
@@ -51,6 +53,9 @@ struct FabricConfig {
       ledger::OrdererDeployment::Shared;
   std::size_t block_size = 8;
   bool expose_member_directory = true;
+  /// Per-peer checkpoint policy (interval 0 disables — the PR-2
+  /// behavior: WAL grows without bound, every rejoin replays all).
+  ledger::SnapshotConfig snapshots;
 };
 
 struct TxReceipt {
@@ -149,6 +154,44 @@ class FabricNetwork {
   /// on restart instead.
   void resync(const std::string& channel);
 
+  // ---- Recovery tier (docs/fault_model.md "Recovery tier") -----------------
+
+  /// Snapshot rejoin for one lagging live member peer: fetch the nearest
+  /// checkpoint from a fellow member over the wire (chunks verified
+  /// against the offered root, the root confirmed by a quorum of member
+  /// checkpoints and the sealed delivery log), install it, then replay
+  /// only the post-checkpoint delta. Falls back to plain delta replay
+  /// when no member holds a newer checkpoint. `donor_orgs` overrides the
+  /// candidate order (tests put the Byzantine offerer first).
+  void rejoin(const std::string& channel, const std::string& org,
+              std::vector<std::string> donor_orgs = {});
+
+  /// Re-drive a rejoin stalled by message loss beyond the reliable
+  /// channel's retry budget (resumes from the verified chunk cursor).
+  void resume_rejoin(const std::string& channel, const std::string& org);
+
+  /// Scripted snapshot adversary: when `org`'s peer is asked to donate a
+  /// checkpoint it serves a forgery instead.
+  enum class SnapshotAttack {
+    TamperChunk,     // honest header, one flipped byte in the body
+    EquivocateRoot,  // self-consistent header over a tampered state
+  };
+  void set_byzantine_snapshot_offerer(const std::string& org,
+                                      SnapshotAttack attack);
+
+  std::uint64_t blocks_applied(const std::string& channel,
+                               const std::string& org) const;
+  const ledger::SnapshotStore& snapshot_store(const std::string& channel,
+                                              const std::string& org) const;
+  const ledger::WriteAheadLog& peer_wal(const std::string& channel,
+                                        const std::string& org) const;
+  const ledger::TransferStats& transfer_stats() const {
+    return transfer_.stats();
+  }
+  std::uint64_t sealed_height(const std::string& channel) const {
+    return channels_.at(channel).ordered_log.size();
+  }
+
   pki::MembershipService& membership() { return membership_; }
   pki::IdemixIssuer& idemix_issuer() { return idemix_issuer_; }
   net::LeakageAuditor& auditor() { return network_->auditor(); }
@@ -212,6 +255,11 @@ class FabricNetwork {
     /// rebuilt by WAL replay.
     std::map<std::string, std::pair<crypto::Digest, common::Bytes>>
         endorsements_seen;
+    /// Checkpoint driver: seals interval snapshots into the WAL
+    /// (compacting it) and keeps the latest resident for state transfer.
+    ledger::SnapshotStore snapshots;
+    /// Applied-record counter for the rejoin-delta assertions.
+    std::uint64_t blocks_applied = 0;
   };
 
   struct Channel {
@@ -251,6 +299,26 @@ class FabricNetwork {
   /// then catch up on blocks delivered while down via the delivery log.
   void on_restart(const std::string& org);
   static std::string peer_of(const std::string& org) { return "peer." + org; }
+  /// Inverse of peer_of (principal -> org).
+  static std::string org_of(const std::string& peer) {
+    return peer.rfind("peer.", 0) == 0 ? peer.substr(5) : peer;
+  }
+
+  // Transfer-engine callbacks (recovery tier). Scope = channel name,
+  // principals = peer names.
+  const ledger::Snapshot* provide_snapshot(const std::string& self,
+                                           const std::string& scope,
+                                           std::uint64_t min_height);
+  bool check_offer(const std::string& scope,
+                   const ledger::SnapshotHeader& header) const;
+  void install_snapshot(const std::string& self, const std::string& scope,
+                        const ledger::SnapshotHeader& header,
+                        ledger::WorldState state);
+  void on_transfer_reject(const std::string& self, const std::string& scope,
+                          const std::string& donor,
+                          ledger::TransferReject reason,
+                          common::BytesView proof_a,
+                          common::BytesView proof_b);
 
   net::SimNetwork* network_;
   const crypto::Group* group_;
@@ -265,6 +333,11 @@ class FabricNetwork {
   /// lossy wire, exactly-once to handlers. Bounded retries keep the
   /// fail-closed behavior on a dead network.
   net::ReliableChannel channel_;
+  ledger::SnapshotTransfer transfer_;
+  std::map<std::string, SnapshotAttack> byz_offerers_;  // by org
+  /// Forged snapshots served by scripted adversaries, keyed by
+  /// (peer, channel) — the provider returns a stable pointer.
+  std::map<std::pair<std::string, std::string>, ledger::Snapshot> forged_;
   std::unique_ptr<ledger::OrderingService> shared_orderer_;
   std::map<std::string, Org> orgs_;
   std::map<std::string, Channel> channels_;

@@ -28,19 +28,52 @@ PrivateEnvelope PrivateEnvelope::decode(common::BytesView data) {
 
 QuorumNetwork::QuorumNetwork(net::SimNetwork& network,
                              const crypto::Group& group, common::Rng& rng,
-                             std::size_t block_size)
+                             std::size_t block_size,
+                             ledger::SnapshotConfig snapshots)
     : network_(&network),
       group_(&group),
       rng_(rng.fork()),
       block_size_(block_size),
-      channel_(network) {
+      channel_(network),
+      snapshot_config_(snapshots),
+      transfer_(channel_,
+                ledger::SnapshotTransfer::Callbacks{
+                    .provider =
+                        [this](const net::Principal& self,
+                               const std::string& scope,
+                               std::uint64_t min_height) {
+                          return provide_snapshot(self, scope, min_height);
+                        },
+                    .offer_check =
+                        [this](const net::Principal&, const std::string&,
+                               const ledger::SnapshotHeader& header) {
+                          return check_offer(header);
+                        },
+                    .on_complete =
+                        [this](const net::Principal& self, const std::string&,
+                               const ledger::SnapshotHeader& header,
+                               ledger::WorldState state) {
+                          install_snapshot(self, header, std::move(state));
+                        },
+                    .on_reject =
+                        [this](const net::Principal& self, const std::string&,
+                               const net::Principal& donor,
+                               ledger::TransferReject reason,
+                               common::BytesView proof_a,
+                               common::BytesView proof_b) {
+                          on_transfer_reject(self, donor, reason, proof_a,
+                                             proof_b);
+                        },
+                    .on_fail = nullptr,
+                }) {
   tip_hash_ = crypto::sha256(std::string_view("veil.chain.genesis"));
 }
 
 void QuorumNetwork::add_node(const std::string& org) {
   if (nodes_.contains(org)) return;
   nodes_.insert_or_assign(
-      org, Node{crypto::KeyPair::generate(*group_, rng_), {}, {}, {}, {}, {}});
+      org, Node{crypto::KeyPair::generate(*group_, rng_), {}, {}, {}, {}, {},
+                ledger::SnapshotStore(snapshot_config_), 0});
   channel_.attach(org, [this, org](const net::Message& msg) {
     on_node_message(org, msg);
   });
@@ -220,6 +253,10 @@ TxResult QuorumNetwork::enqueue(ledger::Transaction tx,
 
 void QuorumNetwork::on_node_message(const std::string& self,
                                     const net::Message& msg) {
+  if (ledger::SnapshotTransfer::owns_topic(msg.topic)) {
+    transfer_.handle(self, msg);
+    return;
+  }
   if (msg.topic == "quorum.tm-push") {
     PrivateEnvelope env;
     try {
@@ -350,6 +387,15 @@ void QuorumNetwork::apply_block(const std::string& org,
       }
     }
   }
+  ++node.blocks_applied;
+  // Interval checkpoint: seal the post-block state into the WAL and
+  // compact the prefix. Private state rides the checkpoint record as aux
+  // (it never leaves the node); WAL replay must not re-checkpoint.
+  if (!replay) {
+    node.snapshots.maybe_checkpoint(node.wal, node.chain.height(),
+                                    node.chain.tip_hash(), node.public_state,
+                                    node.private_state.encode());
+  }
 }
 
 void QuorumNetwork::deliver(const ledger::Block& block) {
@@ -376,15 +422,28 @@ void QuorumNetwork::sync() {
 void QuorumNetwork::on_node_crash(const std::string& org) {
   Node& node = nodes_.at(org);
   // Volatile replica state is gone; the WAL and the transaction-manager
-  // store (a separate durable process) survive.
+  // store (a separate durable process) survive. An in-progress snapshot
+  // transfer is volatile too — received chunks die with the node.
   node.chain = ledger::Chain();
   node.public_state = ledger::WorldState();
   node.private_state = ledger::WorldState();
+  transfer_.abort(org, "quorum");
 }
 
 void QuorumNetwork::on_node_restart(const std::string& org) {
   Node& node = nodes_.at(org);
   const ledger::WalRecovery recovered = ledger::wal_recover_blocks(node.wal);
+  if (recovered.checkpoint.has_value()) {
+    // Bootstrap from the sealed checkpoint: chain from the trusted head,
+    // public state from the record, private state from the aux sidecar.
+    const ledger::WalCheckpoint& cp = *recovered.checkpoint;
+    node.chain = ledger::Chain::from_checkpoint(cp.height, cp.tip_hash);
+    node.public_state = cp.state;
+    if (!cp.aux.empty()) {
+      node.private_state = ledger::WorldState::decode(cp.aux);
+    }
+    node.snapshots.restore(cp.height, cp.tip_hash, cp.state);
+  }
   for (const ledger::Block& block : recovered.blocks) {
     apply_block(org, block, /*replay=*/true);
   }
@@ -392,6 +451,178 @@ void QuorumNetwork::on_node_restart(const std::string& org) {
   while (node.chain.height() < ordered_log_.size()) {
     apply_block(org, ordered_log_[node.chain.height()]);
   }
+}
+
+void QuorumNetwork::rejoin(const std::string& org,
+                           std::vector<std::string> donors) {
+  const auto it = nodes_.find(org);
+  if (it == nodes_.end() || network_->crashed(org)) return;
+  Node& node = it->second;
+  std::vector<std::string> voters;
+  for (const auto& [peer, peer_node] : nodes_) {
+    if (peer == org || network_->crashed(peer) ||
+        network_->is_quarantined(peer)) {
+      continue;
+    }
+    voters.push_back(peer);
+  }
+  if (donors.empty()) donors = voters;
+  transfer_.fetch(org, "quorum", std::move(donors), std::move(voters),
+                  node.chain.height() + 1);
+  network_->run();
+  // A transfer still active after the network drained stalled on message
+  // loss (retries exhausted) — leave it resumable instead of replaying
+  // everything it was about to save us. A FAILED transfer (donor list
+  // exhausted) is gone from the engine, so the delta loop below becomes
+  // the full-replay fallback.
+  if (transfer_.active(org, "quorum")) return;
+  // Whatever the transfer achieved — a checkpoint install, or nothing
+  // because no peer held a newer checkpoint — close the remaining delta
+  // from the delivery log.
+  while (!network_->crashed(org) &&
+         node.chain.height() < ordered_log_.size()) {
+    apply_block(org, ordered_log_[node.chain.height()]);
+  }
+}
+
+void QuorumNetwork::resume_rejoin(const std::string& org) {
+  transfer_.resume(org, "quorum");
+  network_->run();
+  if (transfer_.active(org, "quorum")) return;  // still stalled: resumable
+  Node& node = nodes_.at(org);
+  while (!network_->crashed(org) &&
+         node.chain.height() < ordered_log_.size()) {
+    apply_block(org, ordered_log_[node.chain.height()]);
+  }
+}
+
+void QuorumNetwork::set_byzantine_snapshot_offerer(const std::string& org,
+                                                   SnapshotAttack attack) {
+  byz_offerers_.insert_or_assign(org, attack);
+}
+
+const ledger::Snapshot* QuorumNetwork::provide_snapshot(
+    const std::string& self, const std::string& scope, std::uint64_t) {
+  if (scope != "quorum") return nullptr;
+  const auto it = nodes_.find(self);
+  if (it == nodes_.end()) return nullptr;
+  const ledger::Snapshot* honest = it->second.snapshots.latest();
+  const auto attack = byz_offerers_.find(self);
+  if (attack == byz_offerers_.end() || honest == nullptr) return honest;
+  switch (attack->second) {
+    case SnapshotAttack::TamperChunk: {
+      // Honest header, one flipped body byte: every announced hash is
+      // genuine, so exactly the damaged chunk fails verification.
+      common::Bytes body(honest->body().begin(), honest->body().end());
+      if (!body.empty()) body[body.size() / 2] ^= 0x01;
+      forged_.insert_or_assign(
+          self, ledger::Snapshot::forge(honest->header(), std::move(body)));
+      break;
+    }
+    case SnapshotAttack::EquivocateRoot: {
+      // A fully self-consistent snapshot of a state no honest replica
+      // ever held: chunks all verify against ITS root, but the quorum of
+      // peer checkpoints disavows that root.
+      ledger::WorldState tampered = honest->state();
+      tampered.put("asset/forged/owner", common::to_bytes(self));
+      forged_.insert_or_assign(
+          self,
+          ledger::Snapshot::make(honest->height(), honest->header().tip_hash,
+                                 tampered, honest->header().chunk_size));
+      break;
+    }
+  }
+  return &forged_.at(self);
+}
+
+bool QuorumNetwork::check_offer(const ledger::SnapshotHeader& header) const {
+  // The shared delivery log is the sealing authority: the announced
+  // height must exist and the announced tip must be the sealed header
+  // hash at that height.
+  if (header.height == 0 || header.height > ordered_log_.size()) return false;
+  return ordered_log_[header.height - 1].header.hash() == header.tip_hash;
+}
+
+void QuorumNetwork::install_snapshot(const std::string& org,
+                                     const ledger::SnapshotHeader& header,
+                                     ledger::WorldState state) {
+  Node& node = nodes_.at(org);
+  const std::uint64_t from_height = node.chain.height();
+  if (header.height <= from_height) return;  // stale completion
+  node.chain = ledger::Chain::from_checkpoint(header.height, header.tip_hash);
+  node.public_state = std::move(state);
+  catch_up_private(org, from_height, header.height);
+  // Seal the installed checkpoint into our own WAL (compacting whatever
+  // preceded it) so a crash right after rejoin recovers from here, and
+  // this node can donate the checkpoint onward.
+  node.snapshots.checkpoint(node.wal, header.height, header.tip_hash,
+                            node.public_state, node.private_state.encode());
+}
+
+void QuorumNetwork::on_transfer_reject(const std::string& self,
+                                       const std::string& donor,
+                                       ledger::TransferReject reason,
+                                       common::BytesView proof_a,
+                                       common::BytesView proof_b) {
+  if (!ledger::is_misbehavior(reason)) return;
+  Node& node = nodes_.at(self);
+  audit::Evidence e;
+  e.kind = reason == ledger::TransferReject::EquivocatedRoot
+               ? audit::Misbehavior::SnapshotEquivocation
+               : audit::Misbehavior::SnapshotTampering;
+  e.accused = donor;
+  e.reporter = self;
+  e.detail = std::string("snapshot transfer: ") + ledger::to_string(reason);
+  e.detected_at = network_->clock().now();
+  e.proof_a = common::Bytes(proof_a.begin(), proof_a.end());
+  e.proof_b = common::Bytes(proof_b.begin(), proof_b.end());
+  e.sign(node.keypair);
+  evidence_.add(std::move(e));
+  network_->quarantine(donor);
+}
+
+void QuorumNetwork::catch_up_private(const std::string& org,
+                                     std::uint64_t from_height,
+                                     std::uint64_t to_height) {
+  Node& node = nodes_.at(org);
+  for (std::uint64_t h = from_height;
+       h < to_height && h < ordered_log_.size(); ++h) {
+    for (const ledger::Transaction& tx : ordered_log_[h].transactions) {
+      if (tx.action != "private") continue;
+      const auto detail = private_details_.find(tx.id());
+      if (detail == private_details_.end() ||
+          !detail->second.recipients.contains(org)) {
+        continue;
+      }
+      // Same replay rule as apply_block: a detected replay is skipped.
+      const std::string nullifier(tx.payload.begin(), tx.payload.end());
+      const auto seen = nullifiers_.find(nullifier);
+      const bool replayed =
+          seen != nullifiers_.end() && seen->second.first != tx.id();
+      if (detection_ && replayed) continue;
+      for (const ledger::KvWrite& kv : detail->second.writes) {
+        if (kv.is_delete) {
+          node.private_state.erase(kv.key);
+        } else {
+          node.private_state.put(kv.key, kv.value);
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t QuorumNetwork::blocks_applied(const std::string& org) const {
+  return nodes_.at(org).blocks_applied;
+}
+
+const ledger::SnapshotStore& QuorumNetwork::snapshot_store(
+    const std::string& org) const {
+  return nodes_.at(org).snapshots;
+}
+
+const ledger::WriteAheadLog& QuorumNetwork::node_wal(
+    const std::string& org) const {
+  return nodes_.at(org).wal;
 }
 
 const ledger::Chain& QuorumNetwork::public_chain(const std::string& org) const {

@@ -25,7 +25,9 @@
 
 #include "audit/evidence.hpp"
 #include "ledger/chain.hpp"
+#include "ledger/snapshot.hpp"
 #include "ledger/state.hpp"
+#include "ledger/transfer.hpp"
 #include "ledger/wal.hpp"
 #include "net/network.hpp"
 #include "net/reliable.hpp"
@@ -55,7 +57,8 @@ struct PrivateEnvelope {
 class QuorumNetwork {
  public:
   QuorumNetwork(net::SimNetwork& network, const crypto::Group& group,
-                common::Rng& rng, std::size_t block_size = 4);
+                common::Rng& rng, std::size_t block_size = 4,
+                ledger::SnapshotConfig snapshots = {});
 
   void add_node(const std::string& org);
 
@@ -98,6 +101,39 @@ class QuorumNetwork {
   /// to the current height. Crashed nodes catch up on restart instead.
   void sync();
 
+  // ---- Recovery tier (docs/fault_model.md "Recovery tier") -----------------
+
+  /// Snapshot rejoin for one lagging live node: fetch the nearest peer
+  /// checkpoint over the wire (verified chunk-by-chunk against the root,
+  /// root confirmed by a quorum of live peers), install it, replay only
+  /// the post-checkpoint delta from the delivery log. When no peer has a
+  /// checkpoint beyond this node's height the transfer fails over to
+  /// plain delta replay — rejoin() is always safe to call. `donors`
+  /// overrides the candidate order (tests put the Byzantine offerer
+  /// first); default is every live, unquarantined peer.
+  void rejoin(const std::string& org, std::vector<std::string> donors = {});
+
+  /// Re-drive a rejoin stalled by message loss beyond the reliable
+  /// channel's retry budget (resumes from the verified chunk cursor).
+  void resume_rejoin(const std::string& org);
+
+  /// Scripted snapshot adversary: when `org` is asked to donate a
+  /// checkpoint it serves a forgery instead.
+  enum class SnapshotAttack {
+    TamperChunk,     // honest header, one flipped byte in the body
+    EquivocateRoot,  // self-consistent header over a tampered state
+  };
+  void set_byzantine_snapshot_offerer(const std::string& org,
+                                      SnapshotAttack attack);
+
+  std::uint64_t blocks_applied(const std::string& org) const;
+  const ledger::SnapshotStore& snapshot_store(const std::string& org) const;
+  const ledger::WriteAheadLog& node_wal(const std::string& org) const;
+  const ledger::TransferStats& transfer_stats() const {
+    return transfer_.stats();
+  }
+  std::uint64_t sealed_height() const { return ordered_log_.size(); }
+
   /// Node views.
   const ledger::Chain& public_chain(const std::string& org) const;
   const ledger::WorldState& public_state(const std::string& org) const;
@@ -131,6 +167,11 @@ class QuorumNetwork {
     std::map<std::string, common::Bytes> tm_store;
     /// Durable block log replayed on restart.
     ledger::WriteAheadLog wal;
+    /// Checkpoint driver: seals interval snapshots into the WAL
+    /// (compacting it) and keeps the latest resident for state transfer.
+    ledger::SnapshotStore snapshots;
+    /// Applied-record counter for the rejoin-delta assertions.
+    std::uint64_t blocks_applied = 0;
   };
 
   TxResult enqueue(ledger::Transaction tx,
@@ -146,12 +187,35 @@ class QuorumNetwork {
   void on_node_crash(const std::string& org);
   void on_node_restart(const std::string& org);
 
+  // Transfer-engine callbacks (recovery tier).
+  const ledger::Snapshot* provide_snapshot(const std::string& self,
+                                           const std::string& scope,
+                                           std::uint64_t min_height);
+  bool check_offer(const ledger::SnapshotHeader& header) const;
+  void install_snapshot(const std::string& org,
+                        const ledger::SnapshotHeader& header,
+                        ledger::WorldState state);
+  void on_transfer_reject(const std::string& self, const std::string& donor,
+                          ledger::TransferReject reason,
+                          common::BytesView proof_a,
+                          common::BytesView proof_b);
+  /// Private writes in a skipped block range come from the node's own
+  /// transaction manager (which retained the plaintext), never the wire.
+  void catch_up_private(const std::string& org, std::uint64_t from_height,
+                        std::uint64_t to_height);
+
   net::SimNetwork* network_;
   const crypto::Group* group_;
   common::Rng rng_;
   std::size_t block_size_;
   net::ReliableChannel channel_;
+  ledger::SnapshotConfig snapshot_config_;
+  ledger::SnapshotTransfer transfer_;
   std::map<std::string, Node> nodes_;
+  std::map<std::string, SnapshotAttack> byz_offerers_;
+  /// Forged snapshots served by scripted adversaries (provider returns a
+  /// stable pointer, so the forgery must outlive the callback).
+  std::map<std::string, ledger::Snapshot> forged_;
   std::vector<ledger::Transaction> pending_;
   /// Every sealed block in order — the delivery log nodes seek into when
   /// they missed deliveries (and the restart catch-up source).

@@ -6,6 +6,9 @@
 // delivery-service catch-up paths.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "net/fault.hpp"
 #include "platforms/corda/corda.hpp"
 #include "platforms/fabric/fabric.hpp"
@@ -330,6 +333,78 @@ TEST_F(QuorumChaosTest, CrashedNodeRecoversFromWalAndConverges) {
   // supplies the rest.
   net_.restart("C");
   expect_converged();
+}
+
+// ---------------------------------------------------------------------------
+// Randomized chaos: the CI cron job drives this with VEIL_CHAOS_SEED.
+// ---------------------------------------------------------------------------
+
+TEST(RandomizedChaos, CrashMidSnapshotTransferResumesAndConverges) {
+  std::uint64_t seed = 4242;
+  if (const char* env = std::getenv("VEIL_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  // Echoed so a failing cron run is reproducible locally.
+  std::printf("[chaos] VEIL_CHAOS_SEED=%llu\n",
+              static_cast<unsigned long long>(seed));
+
+  net::SimNetwork net{common::Rng(seed)};
+  common::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  quorum::QuorumNetwork quorum(net, crypto::Group::test_group(), rng,
+                               /*block_size=*/1,
+                               ledger::SnapshotConfig{.interval = 4});
+  for (const char* n : {"NodeA", "NodeB", "NodeC"}) quorum.add_node(n);
+
+  common::Rng driver(seed + 1);
+  int counter = 0;
+  const auto advance = [&](std::uint64_t blocks) {
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+      ASSERT_TRUE(quorum
+                      .submit_public("NodeA",
+                                     {{"chaos/" + std::to_string(counter++),
+                                       to_bytes("v"), false}})
+                      .accepted);
+    }
+  };
+
+  // NodeC falls behind by a random lag spanning at least one checkpoint.
+  advance(2);
+  net.quarantine("NodeC");
+  advance(8 + driver.next_below(8));
+  net.release("NodeC");
+
+  // Stall the snapshot transfer mid-flight with total loss, then crash a
+  // random DONOR mid-transfer and bring it back: its WAL (including the
+  // sealed checkpoint) must make it servable again, and the joiner's
+  // verified-chunk cursor must survive the donor outage.
+  net.set_drop_probability(1.0);
+  quorum.rejoin("NodeC");
+  const char* victim = driver.next_below(2) == 0 ? "NodeA" : "NodeB";
+  net.crash(victim);
+  net.restart(victim);
+
+  // Heal to a random chaos loss rate and resume until converged; drop
+  // loss entirely near the end so the run always terminates.
+  net.set_drop_probability(0.05 * static_cast<double>(driver.next_below(5)));
+  for (int round = 0;
+       round < 60 &&
+       quorum.public_chain("NodeC").height() < quorum.sealed_height();
+       ++round) {
+    if (round == 40) net.set_drop_probability(0.0);
+    quorum.resume_rejoin("NodeC");
+  }
+
+  EXPECT_EQ(quorum.public_chain("NodeC").height(), quorum.sealed_height());
+  EXPECT_EQ(quorum.public_chain("NodeC").tip_hash(),
+            quorum.public_chain("NodeA").tip_hash());
+  EXPECT_EQ(quorum.public_state("NodeC").digest(),
+            quorum.public_state("NodeA").digest());
+  // Stats ledger self-consistency under the whole episode.
+  const net::NetworkStats& s = net.stats();
+  EXPECT_EQ(s.messages_dropped,
+            s.dropped_random_loss + s.dropped_partition + s.dropped_crashed +
+                s.dropped_detached + s.dropped_silenced +
+                s.dropped_quarantined);
 }
 
 }  // namespace

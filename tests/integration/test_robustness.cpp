@@ -10,7 +10,9 @@
 #include "crypto/merkle.hpp"
 #include "crypto/zkp.hpp"
 #include "ledger/block.hpp"
+#include "ledger/snapshot.hpp"
 #include "ledger/state.hpp"
+#include "ledger/transfer.hpp"
 #include "net/fault.hpp"
 #include "net/reliable.hpp"
 #include "pki/certificate.hpp"
@@ -245,6 +247,76 @@ TEST_P(DecodeFuzz, BitFlippedByzantineTierEncodings) {
   const audit::Evidence back = audit::Evidence::decode(evidence_enc);
   EXPECT_TRUE(back.verify(group, reporter.public_key()));
   EXPECT_EQ(back.dedupe_key(), evidence.dedupe_key());
+}
+
+TEST_P(DecodeFuzz, BitFlippedRecoveryTierEncodings) {
+  // Wire formats the recovery tier added: snapshot transfer messages and
+  // sealed snapshots. A joiner decodes all of them from peers it does
+  // not yet trust, so every one must reject hostile bytes cleanly.
+  common::Rng rng(GetParam() ^ 0x5eed);
+
+  ledger::WorldState state;
+  for (int i = 0; i < 12; ++i) {
+    state.put("k/" + std::to_string(i), rng.next_bytes(24));
+  }
+  const ledger::Snapshot snap = ledger::Snapshot::make(
+      7, crypto::sha256(rng.next_bytes(16)), state, /*chunk_size=*/64);
+
+  const std::vector<Bytes> encodings = {
+      ledger::SnapshotRequest{.scope = "ch", .min_height = 9}.encode(),
+      ledger::SnapshotOffer{.scope = "ch", .available = true,
+                            .header = snap.header()}
+          .encode(),
+      ledger::ChunkRequest{.scope = "ch", .root = snap.root(), .index = 2}
+          .encode(),
+      ledger::SnapshotChunk{.scope = "ch", .root = snap.root(), .index = 2,
+                            .ok = true, .data = snap.chunk(2)}
+          .encode(),
+      ledger::RootVote{.scope = "ch", .height = 7, .known = true,
+                       .root = snap.root()}
+          .encode(),
+      snap.header().encode(),
+      snap.encode(),
+  };
+  const auto decoders = [](const Bytes& d, std::size_t which) {
+    switch (which) {
+      case 0: ledger::SnapshotRequest::decode(d); break;
+      case 1: ledger::SnapshotOffer::decode(d); break;
+      case 2: ledger::ChunkRequest::decode(d); break;
+      case 3: ledger::SnapshotChunk::decode(d); break;
+      case 4: ledger::RootVote::decode(d); break;
+      case 5: ledger::SnapshotHeader::decode(d); break;
+      default: ledger::Snapshot::decode(d); break;
+    }
+  };
+
+  for (std::size_t which = 0; which < encodings.size(); ++which) {
+    const Bytes& enc = encodings[which];
+    for (int i = 0; i < 60; ++i) {
+      Bytes flipped = enc;
+      flipped[rng.next_below(flipped.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+      expect_no_crash(flipped,
+                      [&](const Bytes& d) { decoders(d, which); return 0; });
+    }
+    for (std::size_t len = 0; len < enc.size(); len += 3) {
+      const Bytes truncated(enc.begin(),
+                            enc.begin() + static_cast<std::ptrdiff_t>(len));
+      expect_no_crash(truncated,
+                      [&](const Bytes& d) { decoders(d, which); return 0; });
+    }
+    // Random junk too — geometry fields must not drive allocations.
+    expect_no_crash(rng.next_bytes(rng.next_below(200)),
+                    [&](const Bytes& d) { decoders(d, which); return 0; });
+  }
+
+  // Untampered round trips stay verifiable.
+  const ledger::SnapshotHeader header =
+      ledger::SnapshotHeader::decode(snap.header().encode());
+  EXPECT_TRUE(header.self_consistent());
+  EXPECT_EQ(header.root, snap.root());
+  const ledger::Snapshot back = ledger::Snapshot::decode(snap.encode());
+  EXPECT_EQ(back.root(), snap.root());
 }
 
 TEST_P(DecodeFuzz, TruncatedValidEncodings) {

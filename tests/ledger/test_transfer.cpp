@@ -1,0 +1,368 @@
+// Unit tests for the snapshot state-transfer engine, driven by scripted
+// providers over a raw ReliableChannel — no platform above it. The
+// platform-level behavior (evidence, quarantine, delta replay) lives in
+// tests/integration/test_recovery.cpp.
+#include "ledger/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "net/reliable.hpp"
+
+namespace veil::ledger {
+namespace {
+
+using common::Bytes;
+using common::Rng;
+using common::to_bytes;
+
+WorldState sample_state(int keys = 40) {
+  WorldState state;
+  for (int i = 0; i < keys; ++i) {
+    state.put("key/" + std::to_string(i),
+              to_bytes("value-" + std::to_string(i)));
+  }
+  return state;
+}
+
+/// A joiner, two or three peers, and one shared engine (keyed by `self`,
+/// exactly how the platforms use it). Every peer serves whatever
+/// `snapshots[peer]` holds; the joiner records completions.
+class TransferTest : public ::testing::Test {
+ protected:
+  TransferTest()
+      : net_(Rng(41), net::LatencyModel{100, 0, 0.0}), channel_(net_) {
+    engine_.emplace(
+        channel_,
+        SnapshotTransfer::Callbacks{
+            .provider = [this](const net::Principal& self, const std::string&,
+                               std::uint64_t min_height) -> const Snapshot* {
+              auto it = snapshots_.find(self);
+              if (it == snapshots_.end()) return nullptr;
+              return it->second.height() >= min_height ? &it->second : nullptr;
+            },
+            .offer_check = nullptr,
+            .on_complete = [this](const net::Principal&, const std::string&,
+                                  const SnapshotHeader& header,
+                                  WorldState state) {
+              completed_header_ = header;
+              completed_state_ = std::move(state);
+            },
+            .on_reject = [this](const net::Principal&, const std::string&,
+                                const net::Principal& donor,
+                                TransferReject reason, common::BytesView,
+                                common::BytesView) {
+              rejects_.emplace_back(donor, reason);
+            },
+            .on_fail = [this](const net::Principal&, const std::string&) {
+              ++failed_;
+            },
+        });
+    for (const char* p : {"joiner", "peer1", "peer2", "peer3"}) {
+      channel_.attach(p, [this, p = std::string(p)](const net::Message& msg) {
+        if (SnapshotTransfer::owns_topic(msg.topic)) {
+          engine_->handle(p, msg);
+        }
+      });
+    }
+  }
+
+  /// Start a fetch with peer1/peer2 as both donors and voters.
+  void fetch(std::uint64_t min_height = 1) {
+    engine_->fetch("joiner", "scope", {"peer1", "peer2"}, {"peer1", "peer2"},
+                   min_height);
+  }
+
+  net::SimNetwork net_;
+  net::ReliableChannel channel_;
+  std::optional<SnapshotTransfer> engine_;
+  std::map<net::Principal, Snapshot> snapshots_;
+  std::optional<SnapshotHeader> completed_header_;
+  std::optional<WorldState> completed_state_;
+  std::vector<std::pair<net::Principal, TransferReject>> rejects_;
+  int failed_ = 0;
+};
+
+TEST_F(TransferTest, OwnsExactlyTheSnapTopics) {
+  EXPECT_TRUE(SnapshotTransfer::owns_topic("snap.req"));
+  EXPECT_TRUE(SnapshotTransfer::owns_topic("snap.chunk"));
+  EXPECT_FALSE(SnapshotTransfer::owns_topic("fabric.deliver"));
+  EXPECT_FALSE(SnapshotTransfer::owns_topic("snapX"));
+}
+
+TEST_F(TransferTest, HappyPathVerifiesVotesFetchesAndInstalls) {
+  const WorldState state = sample_state();
+  const Snapshot snap = Snapshot::make(8, crypto::sha256(to_bytes("tip")),
+                                       state, /*chunk_size=*/64);
+  snapshots_.insert_or_assign("peer1", snap);
+  snapshots_.insert_or_assign("peer2", snap);
+  ASSERT_GT(snap.chunk_count(), 3u);  // actually exercises chunking
+
+  fetch();
+  net_.run();
+
+  ASSERT_TRUE(completed_header_.has_value());
+  EXPECT_EQ(completed_header_->height, 8u);
+  EXPECT_EQ(completed_header_->root, snap.root());
+  ASSERT_TRUE(completed_state_.has_value());
+  EXPECT_EQ(completed_state_->digest(), state.digest());
+  EXPECT_FALSE(engine_->active("joiner", "scope"));
+  EXPECT_EQ(engine_->stats().transfers_completed, 1u);
+  EXPECT_EQ(engine_->stats().chunks_received, snap.chunk_count());
+  EXPECT_EQ(engine_->stats().chunks_rejected, 0u);
+  EXPECT_TRUE(rejects_.empty());
+}
+
+TEST_F(TransferTest, EmptyHandedDonorIsBenignFailover) {
+  // peer1 has nothing to offer; peer2 completes the transfer. No
+  // misbehavior: DonorGone carries no evidence. Voters must hold the
+  // checkpoint — an abstaining voter counts against the quorum (fail
+  // closed), so the voter set here is the peers that actually have it.
+  const Snapshot snap =
+      Snapshot::make(5, crypto::sha256(to_bytes("t")), sample_state(), 64);
+  snapshots_.insert_or_assign("peer2", snap);
+  snapshots_.insert_or_assign("peer3", snap);
+
+  engine_->fetch("joiner", "scope", {"peer1", "peer2"}, {"peer2", "peer3"},
+                 1);
+  net_.run();
+
+  ASSERT_TRUE(completed_state_.has_value());
+  ASSERT_EQ(rejects_.size(), 1u);
+  EXPECT_EQ(rejects_[0].first, "peer1");
+  EXPECT_EQ(rejects_[0].second, TransferReject::DonorGone);
+  EXPECT_FALSE(is_misbehavior(rejects_[0].second));
+  EXPECT_EQ(engine_->stats().donors_rejected, 0u);
+  EXPECT_EQ(engine_->stats().transfers_completed, 1u);
+}
+
+TEST_F(TransferTest, NoDonorHasAnythingFailsClosed) {
+  fetch();
+  net_.run();
+  EXPECT_FALSE(completed_state_.has_value());
+  EXPECT_EQ(failed_, 1);
+  EXPECT_EQ(engine_->stats().transfers_failed, 1u);
+  EXPECT_FALSE(engine_->active("joiner", "scope"));
+}
+
+TEST_F(TransferTest, InconsistentHeaderDiesBeforeAnyChunkMoves) {
+  // peer1 forges a header whose root does not recompute from its fields.
+  const Snapshot honest =
+      Snapshot::make(5, crypto::sha256(to_bytes("t")), sample_state(), 64);
+  SnapshotHeader bad = honest.header();
+  bad.root.front() ^= 0x01;
+  snapshots_.insert_or_assign(
+      "peer1",
+      Snapshot::forge(bad, Bytes(honest.body().begin(), honest.body().end())));
+  snapshots_.insert_or_assign("peer2", honest);
+
+  fetch();
+  net_.run();
+
+  ASSERT_TRUE(completed_state_.has_value());
+  ASSERT_GE(rejects_.size(), 1u);
+  EXPECT_EQ(rejects_[0].first, "peer1");
+  EXPECT_EQ(rejects_[0].second, TransferReject::MalformedOffer);
+  EXPECT_TRUE(is_misbehavior(rejects_[0].second));
+  EXPECT_EQ(engine_->stats().donors_rejected, 1u);
+}
+
+TEST_F(TransferTest, TamperedChunkConvictsDonorAndCursorSurvivesFailover) {
+  // peer1 serves the HONEST header over a body with one flipped byte:
+  // every chunk but the damaged one verifies. After the conviction the
+  // verified chunks are kept, and peer2 (same root) supplies the rest.
+  const WorldState state = sample_state();
+  const Snapshot honest =
+      Snapshot::make(9, crypto::sha256(to_bytes("t")), state, 64);
+  Bytes tampered(honest.body().begin(), honest.body().end());
+  tampered[tampered.size() / 2] ^= 0x01;
+  snapshots_.insert_or_assign(
+      "peer1", Snapshot::forge(honest.header(), std::move(tampered)));
+  snapshots_.insert_or_assign("peer2", honest);
+
+  fetch();
+  net_.run();
+
+  ASSERT_TRUE(completed_state_.has_value());
+  EXPECT_EQ(completed_state_->digest(), state.digest());
+  ASSERT_GE(rejects_.size(), 1u);
+  EXPECT_EQ(rejects_[0].first, "peer1");
+  EXPECT_EQ(rejects_[0].second, TransferReject::TamperedChunk);
+  EXPECT_GE(engine_->stats().chunks_rejected, 1u);
+  EXPECT_EQ(engine_->stats().donors_rejected, 1u);
+  // Cursor survival: total fetched < 2x chunk count (no full restart).
+  EXPECT_LT(engine_->stats().chunks_received, 2 * honest.chunk_count());
+}
+
+TEST_F(TransferTest, EquivocatedRootRejectedByVoteQuorumBeforeFetch) {
+  // peer1 offers a SELF-CONSISTENT snapshot of a state nobody else holds.
+  // Only the vote quorum can expose it — and must, before any chunk moves.
+  const Snapshot honest =
+      Snapshot::make(7, crypto::sha256(to_bytes("t")), sample_state(), 64);
+  WorldState forged_state = sample_state();
+  forged_state.put("key/0", to_bytes("forged"));
+  snapshots_.insert_or_assign(
+      "peer1",
+      Snapshot::make(7, crypto::sha256(to_bytes("t")), forged_state, 64));
+  snapshots_.insert_or_assign("peer2", honest);
+  snapshots_.insert_or_assign("peer3", honest);
+
+  engine_->fetch("joiner", "scope", {"peer1", "peer2"},
+                 {"peer2", "peer3"}, 1);
+  net_.run();
+
+  ASSERT_GE(rejects_.size(), 1u);
+  EXPECT_EQ(rejects_[0].first, "peer1");
+  EXPECT_EQ(rejects_[0].second, TransferReject::EquivocatedRoot);
+  EXPECT_TRUE(is_misbehavior(rejects_[0].second));
+  // Rejected before fetch: none of the forgery's chunks ever moved, and
+  // the honest fallback still completed.
+  ASSERT_TRUE(completed_state_.has_value());
+  EXPECT_EQ(completed_state_->digest(), sample_state().digest());
+}
+
+TEST_F(TransferTest, StalledTransferResumesAfterTotalLoss) {
+  const WorldState state = sample_state(120);
+  const Snapshot snap =
+      Snapshot::make(6, crypto::sha256(to_bytes("t")), state, 64);
+  snapshots_.insert_or_assign("peer1", snap);
+  snapshots_.insert_or_assign("peer2", snap);
+
+  // The network is dead past the reliable channel's whole retry budget:
+  // the transfer stalls (it must NOT fail — loss is not a donor fault).
+  net_.set_drop_probability(1.0);
+  fetch();
+  net_.run();
+  ASSERT_FALSE(completed_state_.has_value());
+  ASSERT_TRUE(engine_->active("joiner", "scope"));  // stalled, not failed
+  EXPECT_EQ(failed_, 0);
+
+  net_.set_drop_probability(0.0);
+  engine_->resume("joiner", "scope");
+  net_.run();
+
+  ASSERT_TRUE(completed_state_.has_value());
+  EXPECT_EQ(completed_state_->digest(), state.digest());
+  EXPECT_GE(engine_->stats().resumes, 1u);
+}
+
+TEST_F(TransferTest, AbortDropsVolatileTransferState) {
+  const Snapshot snap =
+      Snapshot::make(4, crypto::sha256(to_bytes("t")), sample_state(), 64);
+  snapshots_.insert_or_assign("peer1", snap);
+  snapshots_.insert_or_assign("peer2", snap);
+
+  fetch();
+  ASSERT_TRUE(engine_->active("joiner", "scope"));
+  engine_->abort("joiner", "scope");
+  EXPECT_FALSE(engine_->active("joiner", "scope"));
+  // Late messages for the aborted transfer are ignored, not crashed on.
+  net_.run();
+  EXPECT_FALSE(completed_state_.has_value());
+  EXPECT_EQ(engine_->stats().transfers_completed, 0u);
+}
+
+TEST_F(TransferTest, MalformedWirePayloadsCountedAndDropped) {
+  // Junk straight onto snap.* topics must never throw out of handle().
+  for (const char* topic :
+       {"snap.req", "snap.offer", "snap.vote-req", "snap.vote", "snap.fetch",
+        "snap.chunk"}) {
+    channel_.send("peer1", "joiner", topic, to_bytes("junk"));
+  }
+  net_.run();
+  EXPECT_EQ(engine_->stats().malformed, 6u);
+}
+
+TEST_F(TransferTest, RejectReasonStringsAreDistinct) {
+  const TransferReject all[] = {
+      TransferReject::MalformedOffer,   TransferReject::OfferCheckFailed,
+      TransferReject::EquivocatedRoot,  TransferReject::TamperedChunk,
+      TransferReject::InconsistentBody, TransferReject::DonorGone,
+  };
+  std::set<std::string> names;
+  for (TransferReject r : all) names.insert(to_string(r));
+  EXPECT_EQ(names.size(), std::size(all));
+  EXPECT_FALSE(is_misbehavior(TransferReject::DonorGone));
+  EXPECT_TRUE(is_misbehavior(TransferReject::TamperedChunk));
+}
+
+// ---- Wire-type decode fuzz -------------------------------------------------
+
+template <typename T>
+void fuzz_decode(const common::Bytes& good, std::uint64_t seed) {
+  // Every truncation.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    common::Bytes cut(good.begin(), good.begin() + len);
+    try {
+      (void)T::decode(cut);
+    } catch (const common::Error&) {
+    }
+  }
+  // Seeded random mutations.
+  common::Rng rng(seed);
+  for (int i = 0; i < 200; ++i) {
+    common::Bytes mutated = good;
+    const std::size_t pos = rng.next_u64() % mutated.size();
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.next_u64() % 255);
+    try {
+      (void)T::decode(mutated);
+    } catch (const common::Error&) {
+    }
+  }
+}
+
+TEST(TransferWire, DecodeFuzzNeverCrashes) {
+  SnapshotRequest req{.scope = "ch", .min_height = 42};
+  fuzz_decode<SnapshotRequest>(req.encode(), 1);
+
+  const Snapshot snap =
+      Snapshot::make(3, crypto::sha256(to_bytes("t")), sample_state(8), 64);
+  SnapshotOffer offer{.scope = "ch", .available = true,
+                      .header = snap.header()};
+  fuzz_decode<SnapshotOffer>(offer.encode(), 2);
+
+  ChunkRequest creq{.scope = "ch", .root = snap.root(), .index = 1};
+  fuzz_decode<ChunkRequest>(creq.encode(), 3);
+
+  SnapshotChunk chunk{.scope = "ch", .root = snap.root(), .index = 1,
+                      .ok = true, .data = snap.chunk(1)};
+  fuzz_decode<SnapshotChunk>(chunk.encode(), 4);
+
+  RootVote vote{.scope = "ch", .height = 3, .known = true,
+                .root = snap.root()};
+  fuzz_decode<RootVote>(vote.encode(), 5);
+}
+
+TEST(TransferWire, RoundTripsExactly) {
+  const Snapshot snap =
+      Snapshot::make(3, crypto::sha256(to_bytes("t")), sample_state(8), 64);
+
+  SnapshotRequest req{.scope = "ch", .min_height = 42};
+  const SnapshotRequest req2 = SnapshotRequest::decode(req.encode());
+  EXPECT_EQ(req2.scope, "ch");
+  EXPECT_EQ(req2.min_height, 42u);
+
+  SnapshotOffer offer{.scope = "ch", .available = true,
+                      .header = snap.header()};
+  const SnapshotOffer offer2 = SnapshotOffer::decode(offer.encode());
+  EXPECT_TRUE(offer2.available);
+  EXPECT_EQ(offer2.header.root, snap.root());
+  EXPECT_TRUE(offer2.header.self_consistent());
+
+  SnapshotChunk chunk{.scope = "ch", .root = snap.root(), .index = 1,
+                      .ok = true, .data = snap.chunk(1)};
+  const SnapshotChunk chunk2 = SnapshotChunk::decode(chunk.encode());
+  EXPECT_EQ(chunk2.index, 1u);
+  EXPECT_EQ(chunk2.data, snap.chunk(1));
+
+  RootVote vote{.scope = "ch", .height = 3, .known = true,
+                .root = snap.root()};
+  const RootVote vote2 = RootVote::decode(vote.encode());
+  EXPECT_TRUE(vote2.known);
+  EXPECT_EQ(vote2.root, snap.root());
+}
+
+}  // namespace
+}  // namespace veil::ledger

@@ -180,5 +180,117 @@ TEST(Wal, ClearEmptiesLog) {
   EXPECT_TRUE(wal.recover().empty());
 }
 
+// ---- Checkpoint compaction -------------------------------------------------
+
+TEST(WalCompact, CompactionKeepsOnlyCheckpointAndReportsTruncation) {
+  WriteAheadLog wal;
+  wal.append(2, to_bytes("block-a"));
+  wal.append(2, to_bytes("block-b"));
+  wal.append(2, to_bytes("block-c"));
+  const std::size_t before = wal.size_bytes();
+
+  const std::size_t dropped = wal.compact(1, to_bytes("checkpoint"));
+  EXPECT_EQ(dropped, before);
+  EXPECT_EQ(wal.record_count(), 1u);
+  EXPECT_EQ(wal.truncated_bytes(), before);
+
+  const auto records = wal.recover();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, 1);
+  EXPECT_EQ(records[0].payload, to_bytes("checkpoint"));
+  EXPECT_EQ(wal.last_recovery().truncated_bytes, before);
+  EXPECT_TRUE(wal.last_recovery().clean());
+}
+
+TEST(WalCompact, CrashBetweenCheckpointAndTruncateLosesNothing) {
+  // Power cut in the fsync-then-truncate window: the checkpoint record is
+  // durable but the stale prefix was never dropped. Recovery must come up
+  // with the checkpoint state exactly — the prefix is wasted space, never
+  // replayed, never lost state.
+  WriteAheadLog wal;
+  const crypto::Digest genesis = crypto::sha256(std::string_view("g"));
+  Block b0 = make_block(0, genesis, "k0");
+  wal_log_block(wal, b0);
+  Block b1 = make_block(1, b0.header.hash(), "k1");
+  wal_log_block(wal, b1);
+
+  WorldState state;
+  state.put("k0", to_bytes("v-k0"));
+  state.put("k1", to_bytes("v-k1"));
+
+  wal.arm_crash_between_checkpoint_and_truncate();
+  wal_checkpoint_compact(wal, 2, b1.header.hash(), state);
+  // Crash point: both prefix and checkpoint are on disk.
+  EXPECT_EQ(wal.record_count(), 3u);
+  EXPECT_EQ(wal.truncated_bytes(), 0u);
+
+  const WalRecovery recovery = wal_recover_blocks(wal);
+  ASSERT_TRUE(recovery.checkpoint.has_value());
+  EXPECT_EQ(recovery.checkpoint->height, 2u);
+  EXPECT_EQ(recovery.checkpoint->state.digest(), state.digest());
+  // The superseded blocks must not be replayed on top of the checkpoint.
+  EXPECT_TRUE(recovery.blocks.empty());
+
+  // The NEXT compaction (post-recovery) reclaims the wasted prefix.
+  wal_checkpoint_compact(wal, 2, b1.header.hash(), state);
+  EXPECT_EQ(wal.record_count(), 1u);
+  EXPECT_GT(wal.truncated_bytes(), 0u);
+}
+
+TEST(WalCompact, CheckpointAuxSidecarRoundTrips) {
+  WriteAheadLog wal;
+  WorldState state;
+  state.put("pub", to_bytes("1"));
+  const crypto::Digest tip = crypto::sha256(std::string_view("tip"));
+  wal_checkpoint_compact(wal, 4, tip, state, to_bytes("private-sidecar"));
+
+  const WalRecovery recovery = wal_recover_blocks(wal);
+  ASSERT_TRUE(recovery.checkpoint.has_value());
+  EXPECT_EQ(recovery.checkpoint->aux, to_bytes("private-sidecar"));
+}
+
+TEST(WalCompact, BlocksAfterCompactionReplayOnTopOfCheckpoint) {
+  WriteAheadLog wal;
+  const crypto::Digest genesis = crypto::sha256(std::string_view("g"));
+  Block b0 = make_block(0, genesis, "k0");
+  wal_log_block(wal, b0);
+
+  WorldState state;
+  state.put("k0", to_bytes("v-k0"));
+  wal_checkpoint_compact(wal, 1, b0.header.hash(), state);
+
+  Block b1 = make_block(1, b0.header.hash(), "k1");
+  wal_log_block(wal, b1);
+
+  const WalRecovery recovery = wal_recover_blocks(wal);
+  ASSERT_TRUE(recovery.checkpoint.has_value());
+  ASSERT_EQ(recovery.blocks.size(), 1u);
+  Chain chain = Chain::from_checkpoint(recovery.checkpoint->height,
+                                       recovery.checkpoint->tip_hash);
+  chain.append(recovery.blocks[0]);
+  EXPECT_EQ(chain.height(), 2u);
+}
+
+TEST(WalCompact, RepeatedCompactionBoundsLogSize) {
+  WriteAheadLog wal;
+  WorldState state;
+  std::size_t peak = 0;
+  for (int i = 0; i < 100; ++i) {
+    wal.append(2, to_bytes("block-" + std::to_string(i)));
+    if ((i + 1) % 10 == 0) {
+      state.put("k", to_bytes(std::to_string(i)));
+      const crypto::Digest tip =
+          crypto::sha256(std::string_view("tip"));
+      wal_checkpoint_compact(wal, static_cast<std::uint64_t>(i), tip, state);
+      peak = std::max(peak, wal.size_bytes());
+    }
+  }
+  // Interval compaction keeps the log near one checkpoint + one interval
+  // of records, regardless of history length.
+  EXPECT_EQ(wal.record_count(), 1u);
+  EXPECT_LE(wal.size_bytes(), peak);
+  EXPECT_GT(wal.truncated_bytes(), wal.size_bytes());
+}
+
 }  // namespace
 }  // namespace veil::ledger

@@ -123,6 +123,9 @@ TEST(Reliable, GivesUpAfterBoundedRetries) {
   EXPECT_EQ(channel.stats().gave_up, 1u);
   EXPECT_EQ(channel.in_flight(), 0u);  // fail closed, no retry leak
   EXPECT_EQ(channel.stats().retransmits, channel.policy().max_attempts - 1);
+  // Budget exhaustion is its own network-level counter, distinct from
+  // give-ups caused by crashed/detached endpoints.
+  EXPECT_EQ(net.stats().retries_exhausted, 1u);
 }
 
 TEST(Reliable, GivesUpWhenReceiverDetaches) {
@@ -138,6 +141,9 @@ TEST(Reliable, GivesUpWhenReceiverDetaches) {
   EXPECT_EQ(channel.stats().gave_up, 1u);
   EXPECT_EQ(channel.stats().retransmits, 0u);
   EXPECT_EQ(channel.in_flight(), 0u);
+  // A detached receiver is a lifecycle give-up, not a retry-budget
+  // exhaustion — the distinct counter must stay at zero.
+  EXPECT_EQ(net.stats().retries_exhausted, 0u);
 }
 
 TEST(Reliable, MalformedEnvelopeDroppedNotCrashed) {

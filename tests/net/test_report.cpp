@@ -88,5 +88,13 @@ TEST(Report, EmptyAuditor) {
   EXPECT_FALSE(render_summary({}).empty());  // header still renders
 }
 
+TEST(Report, NetworkStatsRenderRetriesExhausted) {
+  NetworkStats stats;
+  stats.retries_exhausted = 3;
+  const std::string out = render_network_stats(stats);
+  EXPECT_NE(out.find("retries exhausted"), std::string::npos);
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace veil::net
