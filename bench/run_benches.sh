@@ -14,6 +14,8 @@
 #   BENCH_SKIP_PARALLEL=1 bench/run_benches.sh    # skip symmetric/thread suite
 #   BENCH_SKIP_BYZANTINE=1 bench/run_benches.sh   # skip Byzantine cost study
 #   BENCH_SKIP_RECOVERY=1 bench/run_benches.sh    # skip recovery/rejoin study
+#   BENCH_SKIP_COMMIT=1 bench/run_benches.sh      # skip commit-path study
+#   BENCH_ALLOW_DEBUG=1 bench/run_benches.sh      # permit non-Release builds
 #   BUILD_DIR=out bench/run_benches.sh
 set -euo pipefail
 
@@ -21,6 +23,23 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
 FILTER="${BENCH_FILTER:-.*}"
 OUT="${BENCH_OUT:-$ROOT/BENCH_crypto.json}"
+
+# Numbers from unoptimized builds are not comparable across PRs and have
+# repeatedly confused the perf trajectory. Refuse anything but Release
+# unless explicitly overridden — and then stamp the build type into every
+# context block so a debug artifact can never masquerade as a datapoint.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt" 2>/dev/null || true)"
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  if [[ -z "${BENCH_ALLOW_DEBUG:-}" ]]; then
+    echo "refusing to benchmark a '${BUILD_TYPE:-unknown}' build; configure with" >&2
+    echo "  cmake -B \"$BUILD\" -S \"$ROOT\" -DCMAKE_BUILD_TYPE=Release" >&2
+    echo "or set BENCH_ALLOW_DEBUG=1 to record (clearly stamped) debug numbers" >&2
+    exit 1
+  fi
+  echo "WARNING: benchmarking a '${BUILD_TYPE:-unknown}' build; results will be" >&2
+  echo "WARNING: stamped build_type=${BUILD_TYPE:-unknown} and are NOT comparable" >&2
+fi
+export VEIL_BENCH_BUILD_TYPE="${BUILD_TYPE:-unknown}"
 
 if [[ ! -x "$BUILD/bench/bench_crypto" ]]; then
   echo "bench_crypto not built; run: cmake -B build -S . && cmake --build build -j" >&2
@@ -49,11 +68,12 @@ trap - EXIT
 # snapshot carries its own before/after comparison (PR 1 measured the
 # seed square-and-multiply at 102.8 ms for BM_ModPow_2048).
 python3 - "$OUT" <<'PY'
-import json, sys
+import json, os, sys
 path = sys.argv[1]
 with open(path) as f:
     data = json.load(f)
 data["context"]["seed_baseline_ms"] = {"BM_ModPow_2048": 102.8}
+data["context"]["build_type"] = os.environ.get("VEIL_BENCH_BUILD_TYPE", "unknown")
 with open(path, "w") as f:
     json.dump(data, f, indent=2)
 PY
@@ -184,6 +204,45 @@ PY
       echo "wrote $SYM_OUT"
     else
       echo "bench_parallel produced no output; $SYM_OUT left untouched" >&2
+    fi
+    trap - EXIT
+  fi
+fi
+
+# ---- Commit-path batching study --------------------------------------------
+# End-to-end commit pipeline (mempool tokens + staged waves + batched RLC
+# verification) across wave size x validation mode x threads, plus the
+# raw per-item-vs-batched kernel comparison, into BENCH_commit.json.
+if [[ -z "${BENCH_SKIP_COMMIT:-}" ]]; then
+  COMMIT_OUT="${BENCH_COMMIT_OUT:-$ROOT/BENCH_commit.json}"
+  if [[ ! -x "$BUILD/bench/bench_commit" ]]; then
+    echo "bench_commit not built; skipping commit-path study" >&2
+  else
+    CTMP="$(mktemp "${COMMIT_OUT}.XXXXXX")"
+    trap 'rm -f "$CTMP"' EXIT
+    "$BUILD/bench/bench_commit" \
+      --benchmark_out="$CTMP" \
+      --benchmark_out_format=json \
+      --benchmark_repetitions="${BENCH_REPS:-1}"
+    if [[ -s "$CTMP" ]]; then
+      mv "$CTMP" "$COMMIT_OUT"
+      python3 - "$COMMIT_OUT" <<'PY'
+import json, os, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+data["context"]["build_type"] = os.environ.get("VEIL_BENCH_BUILD_TYPE", "unknown")
+data["context"]["validation_modes"] = {
+    "0": "Trusting", "1": "Validate", "2": "Detect"}
+# PR 5 measured the serial Validate-mode commit path at ~9k commits/s;
+# the batch>=32, 8-thread Validate rows are the >=5x target against it.
+data["context"]["seed_baseline_commits_per_s"] = {"fabric_validate_serial": 9000}
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+PY
+      echo "wrote $COMMIT_OUT"
+    else
+      echo "bench_commit produced no output; $COMMIT_OUT left untouched" >&2
     fi
     trap - EXIT
   fi

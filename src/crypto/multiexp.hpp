@@ -1,0 +1,48 @@
+// Simultaneous multi-exponentiation (Straus interleaving).
+//
+// Batch verification reduces N signature/proof checks to evaluating one
+// product Π base_i^{e_i} mod n. Computing each factor separately costs a
+// full square-and-multiply chain per term; Straus' trick runs ONE shared
+// squaring chain and folds every term's windowed digits into it, so the
+// squarings — the dominant cost of a single exponentiation — are
+// amortized across the whole batch. Per term the marginal cost is the
+// 4-bit digit table (15 Montgomery multiplies) plus one multiply per
+// nonzero digit, about a 4-6x saving over independent exponentiations at
+// the batch sizes the commit path produces.
+//
+// Pippenger's bucket method wins asymptotically for very large N, but at
+// the 16-256 term batches a block produces the window tables already
+// dominate and Straus is both simpler and faster; see
+// docs/crypto_performance.md ("Batch verification and the commit
+// pipeline") for the measured crossover discussion.
+#pragma once
+
+#include <vector>
+
+#include "crypto/bigint.hpp"
+#include "crypto/montgomery.hpp"
+
+namespace veil::crypto {
+
+/// One term base^exponent of the product. The base is in the normal
+/// domain, 0 <= base < n; the exponent is non-negative and of any width
+/// (64-bit randomizers and full-width scalars mix freely — each term
+/// only pays for the digits it actually has).
+struct ExpTerm {
+  BigInt base;
+  BigInt exponent;
+};
+
+/// Π terms[i].base ^ terms[i].exponent mod n. An empty product is 1.
+BigInt multi_exp(const MontgomeryCtx& ctx, const std::vector<ExpTerm>& terms);
+
+/// Same product, evaluated as contiguous chunks fanned out on the global
+/// worker pool and recombined with plain modular multiplies. Chunking is
+/// exact regrouping — the result is bit-identical to multi_exp at every
+/// thread count — but each chunk pays its own squaring chain, so this
+/// only wins for batches large enough to amortize that (small inputs and
+/// the inline single-thread pool fall back to the serial path).
+BigInt multi_exp_parallel(const MontgomeryCtx& ctx,
+                          const std::vector<ExpTerm>& terms);
+
+}  // namespace veil::crypto

@@ -34,6 +34,7 @@ common::Bytes Signature::encode() const {
   common::Writer w;
   w.bytes(challenge.to_bytes_be());
   w.bytes(response.to_bytes_be());
+  w.bytes(commitment.to_bytes_be());
   return w.take();
 }
 
@@ -42,6 +43,7 @@ Signature Signature::decode(common::BytesView data) {
   Signature sig;
   sig.challenge = BigInt::from_bytes_be(r.bytes());
   sig.response = BigInt::from_bytes_be(r.bytes());
+  sig.commitment = BigInt::from_bytes_be(r.bytes());
   return sig;
 }
 
@@ -79,16 +81,20 @@ Signature KeyPair::sign(common::BytesView message) const {
   // s = k - x*e mod q.
   const BigInt xe = (secret_ * e) % group.q();
   const BigInt s = (k + group.q() - xe) % group.q();
-  return Signature{e, s};
+  return Signature{e, s, commitment};
 }
 
 bool verify(const Group& group, const PublicKey& pub,
             common::BytesView message, const Signature& sig) {
   if (sig.challenge >= group.q() || sig.response >= group.q()) return false;
   if (!group.is_element(pub.y)) return false;
-  // R' = g^s * y^e; valid iff H(R' || y || m) == e.
+  // The recomputed commitment R' = g^s * y^e must equal the transmitted
+  // one AND hash to the transmitted challenge. The equation forces R into
+  // the order-q subgroup (its right-hand side is a product of subgroup
+  // elements), so no separate membership check on R is needed.
   const BigInt r_prime =
       group.mul(group.pow_g(sig.response), group.pow(pub.y, sig.challenge));
+  if (sig.commitment != r_prime) return false;
   const BigInt e = schnorr_challenge(group, r_prime, pub.y, message);
   return e == sig.challenge;
 }

@@ -1,0 +1,137 @@
+#include "ledger/mempool.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace veil::ledger {
+
+common::Bytes ValidationToken::encode() const {
+  common::Writer w;
+  w.str(tx_id);
+  w.bytes(common::BytesView(body_digest.data(), body_digest.size()));
+  w.varint(read_snapshot.size());
+  for (const ReadAccess& r : read_snapshot) {
+    w.str(r.key);
+    w.u64(r.version);
+  }
+  w.u64(admitted_at);
+  w.boolean(verified);
+  return w.take();
+}
+
+ValidationToken ValidationToken::decode(common::BytesView data) {
+  common::Reader r(data);
+  ValidationToken t;
+  t.tx_id = r.str();
+  const common::Bytes digest = r.bytes();
+  if (digest.size() != t.body_digest.size()) {
+    throw common::Error("ValidationToken::decode: bad digest length");
+  }
+  std::copy(digest.begin(), digest.end(), t.body_digest.begin());
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ReadAccess ra;
+    ra.key = r.str();
+    ra.version = r.u64();
+    t.read_snapshot.push_back(std::move(ra));
+  }
+  t.admitted_at = r.u64();
+  t.verified = r.boolean();
+  return t;
+}
+
+common::Bytes EvictionRecord::encode() const {
+  common::Writer w;
+  w.str(tx_id);
+  w.u8(static_cast<std::uint8_t>(cause));
+  w.u64(at);
+  return w.take();
+}
+
+EvictionRecord EvictionRecord::decode(common::BytesView data) {
+  common::Reader r(data);
+  EvictionRecord rec;
+  rec.tx_id = r.str();
+  const std::uint8_t cause = r.u8();
+  if (cause > static_cast<std::uint8_t>(Cause::Expired)) {
+    throw common::Error("EvictionRecord::decode: unknown cause");
+  }
+  rec.cause = static_cast<Cause>(cause);
+  rec.at = r.u64();
+  return rec;
+}
+
+bool Mempool::admit(const Transaction& tx, bool verified,
+                    common::SimTime now) {
+  const std::string id = tx.id();
+  if (tokens_.contains(id)) {
+    ++stats_.duplicates;
+    return false;
+  }
+  while (tokens_.size() >= config_.capacity && !fifo_.empty()) {
+    const std::string victim = fifo_.front();
+    fifo_.pop_front();
+    if (!tokens_.erase(victim)) continue;  // stale fifo entry
+    ++stats_.evicted_capacity;
+    evictions_.push_back({victim, EvictionRecord::Cause::Capacity, now});
+  }
+  ValidationToken token;
+  token.tx_id = id;
+  token.body_digest = tx.body_digest();
+  token.read_snapshot = tx.reads;
+  token.admitted_at = now;
+  token.verified = verified;
+  tokens_.emplace(id, std::move(token));
+  fifo_.push_back(id);
+  ++stats_.admitted;
+  return true;
+}
+
+const ValidationToken* Mempool::token(const std::string& tx_id) const {
+  const auto it = tokens_.find(tx_id);
+  return it == tokens_.end() ? nullptr : &it->second;
+}
+
+bool Mempool::validated(const Transaction& tx, const WorldState& state,
+                        common::SimTime now) {
+  const std::string id = tx.id();
+  const auto it = tokens_.find(id);
+  if (it == tokens_.end() || !it->second.verified) {
+    ++stats_.token_misses;
+    return false;
+  }
+  // tx.id() is the hex body digest, so an id hit already pins the body; a
+  // Byzantine orderer that rewrites any field changes the id and misses.
+  // The digest comparison stays as defence in depth.
+  if (it->second.body_digest != tx.body_digest()) {
+    ++stats_.token_misses;
+    return false;
+  }
+  for (const ReadAccess& r : it->second.read_snapshot) {
+    const auto current = state.get(r.key);
+    const std::uint64_t version = current ? current->version : 0;
+    if (version != r.version) {
+      ++stats_.invalidated;
+      tokens_.erase(it);
+      evictions_.push_back({id, EvictionRecord::Cause::Invalidated, now});
+      ++stats_.token_misses;
+      return false;
+    }
+  }
+  ++stats_.token_hits;
+  return true;
+}
+
+void Mempool::remove(const std::string& tx_id, EvictionRecord::Cause cause,
+                     common::SimTime now) {
+  if (!tokens_.erase(tx_id)) return;
+  if (cause == EvictionRecord::Cause::Committed) ++stats_.removed_committed;
+  evictions_.push_back({tx_id, cause, now});
+}
+
+void Mempool::clear() {
+  tokens_.clear();
+  fifo_.clear();
+}
+
+}  // namespace veil::ledger

@@ -90,10 +90,10 @@ std::optional<IdemixCredential> request_credential(
   auto s = issuer.complete(start->session_id, e);
   if (!s) return std::nullopt;
 
-  // Unblind: s' = s + alpha. Then g^{s'} * y^{e'} == R', so (e', s') is a
-  // standard Schnorr signature on m under the issuer key.
+  // Unblind: s' = s + alpha. Then g^{s'} * y^{e'} == R', so (e', s', R')
+  // is a standard Schnorr signature on m under the issuer key.
   const crypto::BigInt s_prime = (*s + alpha) % group.q();
-  cred.issuer_signature = crypto::Signature{e_prime, s_prime};
+  cred.issuer_signature = crypto::Signature{e_prime, s_prime, r_prime};
   return cred;
 }
 

@@ -1,7 +1,10 @@
 #include "platforms/corda/corda.hpp"
 
+#include <future>
+
 #include "common/error.hpp"
 #include "common/serialize.hpp"
+#include "common/thread_pool.hpp"
 
 namespace veil::corda {
 
@@ -112,7 +115,11 @@ CordaNetwork::CordaNetwork(net::SimNetwork& network, const crypto::Group& group,
       rng_(rng.fork()),
       ca_("corda-doorman", group, rng_),
       channel_(network),
-      vault_snapshot_interval_(vault_snapshot_interval) {}
+      vault_snapshot_interval_(vault_snapshot_interval),
+      // Domain-separated constant seed: drawing from rng_ here would
+      // shift every later party-key/salt draw. The randomizer stream
+      // only needs to be verifier-local and deterministic.
+      batch_verifier_(group, 0xC0DDA7AB17C4E21FULL) {}
 
 void CordaNetwork::add_party(const std::string& name) {
   if (parties_.contains(name)) return;
@@ -619,17 +626,38 @@ FlowResult CordaNetwork::transact(const std::string& initiator,
                                   const std::string& notary_name,
                                   bool confidential,
                                   const std::optional<OracleRequest>& oracle) {
-  const auto initiator_it = parties_.find(initiator);
-  if (initiator_it == parties_.end()) return {false, "", "unknown initiator"};
-  const auto notary_it = notaries_.find(notary_name);
-  if (notary_it == notaries_.end()) return {false, "", "unknown notary"};
-  Notary& notary = notary_it->second;
+  // A wave of one IS the serial flow: every stage below degenerates to
+  // the exact per-flow operation order this function always had.
+  return transact_many(
+      {TransactRequest{initiator, inputs, outputs, notary_name, confidential,
+                       oracle}},
+      1)[0];
+}
+
+CordaNetwork::PreparedFlow CordaNetwork::prepare_flow(
+    const TransactRequest& request) {
+  PreparedFlow p;
+  p.initiator = request.initiator;
+  p.notary = request.notary;
+  p.confidential = request.confidential;
+  p.oracle = request.oracle;
+  p.inputs = request.inputs;
+
+  const auto initiator_it = parties_.find(request.initiator);
+  if (initiator_it == parties_.end()) {
+    p.error = "unknown initiator";
+    return p;
+  }
+  if (!notaries_.contains(request.notary)) {
+    p.error = "unknown notary";
+    return p;
+  }
 
   // --- Resolve inputs from the initiator's vault ---------------------------
   // (A Byzantine re-spend resolves from the spent archive instead: the
   // party no longer OWNS the state, but it still HAS the bytes.)
   std::vector<CordaState> consumed_states;
-  for (const StateRef& ref : inputs) {
+  for (const StateRef& ref : request.inputs) {
     const Party& init_party = initiator_it->second;
     const auto held = init_party.vault.find(ref);
     if (held != init_party.vault.end()) {
@@ -643,7 +671,8 @@ FlowResult CordaNetwork::transact(const std::string& initiator,
         continue;
       }
     }
-    return {false, "", "input not in initiator vault"};
+    p.error = "input not in initiator vault";
+    return p;
   }
 
   // --- Contract verification -------------------------------------------------
@@ -652,22 +681,26 @@ FlowResult CordaNetwork::transact(const std::string& initiator,
   // would too); one rejection vetoes the flow.
   {
     std::set<std::string> touched;
-    for (const CordaState& state : consumed_states) touched.insert(state.contract);
-    for (const OutputSpec& output : outputs) touched.insert(output.contract);
+    for (const CordaState& state : consumed_states) {
+      touched.insert(state.contract);
+    }
+    for (const OutputSpec& output : request.outputs) {
+      touched.insert(output.contract);
+    }
     for (const std::string& contract : touched) {
       const auto verifier = verifiers_.find(contract);
       if (verifier != verifiers_.end() &&
-          !verifier->second(consumed_states, outputs)) {
-        return {false, "", "contract verification failed: " + contract};
+          !verifier->second(consumed_states, request.outputs)) {
+        p.error = "contract verification failed: " + contract;
+        return p;
       }
     }
   }
 
   // --- Confidential identities: swap names for one-time keys ---------------
-  std::vector<OutputSpec> final_outputs = outputs;
-  std::vector<pki::KeyLinkage> linkages;
-  if (confidential) {
-    for (OutputSpec& output : final_outputs) {
+  p.outputs = request.outputs;
+  if (request.confidential) {
+    for (OutputSpec& output : p.outputs) {
       for (std::string& participant : output.participants) {
         const auto owner = parties_.find(participant);
         if (owner == parties_.end()) continue;  // already a fingerprint
@@ -675,182 +708,308 @@ FlowResult CordaNetwork::transact(const std::string& initiator,
         auto linkage = pki::issue_linkage(ca_, owner->second.certificate,
                                           onetime.public_key(),
                                           network_->clock().now());
-        if (!linkage) return {false, "", "linkage issuance failed"};
+        if (!linkage) {
+          p.error = "linkage issuance failed";
+          return p;
+        }
         const std::string fingerprint = onetime.public_key().fingerprint();
         onetime_owners_[fingerprint] = participant;
-        linkages.push_back(*linkage);
+        p.linkages.push_back(*linkage);
         participant = "ot:" + fingerprint;
       }
     }
   }
 
-  // --- Build the transaction Merkle tree -----------------------------------
-  std::vector<common::Bytes> leaves;
+  // --- Build the transaction Merkle leaves ----------------------------------
   common::Writer command;
-  command.str(inputs.empty() ? "issue" : "transact");
+  command.str(request.inputs.empty() ? "issue" : "transact");
   command.u64(network_->clock().now());
   command.u64(issue_counter_++);
-  leaves.push_back(command.take());
-  for (const StateRef& ref : inputs) leaves.push_back(encode_ref(ref));
-  const std::size_t first_output_leaf = leaves.size();
-  for (const OutputSpec& output : final_outputs) {
-    leaves.push_back(encode_output(output));
+  p.leaves.push_back(command.take());
+  for (const StateRef& ref : request.inputs) {
+    p.leaves.push_back(encode_ref(ref));
   }
-  std::optional<std::size_t> fact_leaf;
-  if (oracle) {
+  p.first_output_leaf = p.leaves.size();
+  for (const OutputSpec& output : p.outputs) {
+    p.leaves.push_back(encode_output(output));
+  }
+  if (request.oracle) {
     common::Writer w;
     w.str("fact");
-    w.str(oracle->fact_key);
-    w.str(oracle->fact_value);
-    fact_leaf = leaves.size();
-    leaves.push_back(w.take());
+    w.str(request.oracle->fact_key);
+    w.str(request.oracle->fact_value);
+    p.fact_leaf = p.leaves.size();
+    p.leaves.push_back(w.take());
   }
-  std::vector<common::Bytes> salts;
-  salts.reserve(leaves.size());
-  for (std::size_t i = 0; i < leaves.size(); ++i) {
-    salts.push_back(rng_.next_bytes(16));
+  p.salts.reserve(p.leaves.size());
+  for (std::size_t i = 0; i < p.leaves.size(); ++i) {
+    p.salts.push_back(rng_.next_bytes(16));
   }
-  const crypto::MerkleTree tree = crypto::MerkleTree::build(leaves, salts);
-  const std::string tx_id = crypto::digest_hex(tree.root()).substr(0, 24);
-  const common::BytesView root_msg(tree.root().data(), tree.root().size());
 
-  // --- Gather participant signatures (peer-to-peer) ------------------------
+  // --- Participants and signer resolution -----------------------------------
   std::set<std::string> all_participants;
   for (const CordaState& state : consumed_states) {
-    for (const std::string& p : state.participants) all_participants.insert(p);
+    for (const std::string& participant : state.participants) {
+      all_participants.insert(participant);
+    }
   }
-  for (const OutputSpec& output : final_outputs) {
-    for (const std::string& p : output.participants) all_participants.insert(p);
+  for (const OutputSpec& output : p.outputs) {
+    for (const std::string& participant : output.participants) {
+      all_participants.insert(participant);
+    }
   }
+  for (const std::string& participant : all_participants) {
+    p.parties_bytes += participant.size();
+  }
+  p.out_bytes = data_bytes(p.outputs);
 
   common::Writer full_tx;
-  full_tx.varint(leaves.size());
-  for (std::size_t i = 0; i < leaves.size(); ++i) {
-    full_tx.bytes(leaves[i]);
-    full_tx.bytes(salts[i]);
+  full_tx.varint(p.leaves.size());
+  for (std::size_t i = 0; i < p.leaves.size(); ++i) {
+    full_tx.bytes(p.leaves[i]);
+    full_tx.bytes(p.salts[i]);
   }
-  const common::Bytes full_tx_bytes = full_tx.take();
+  p.full_tx_bytes = full_tx.take();
 
-  std::set<std::string> signer_parties;
   for (const std::string& participant : all_participants) {
     std::string name = participant;
     if (name.starts_with("ot:")) name = name.substr(3);
-    Party* signer = signer_of(name, initiator);
-    if (signer == nullptr) return {false, tx_id, "unresolvable participant"};
+    Party* signer = signer_of(name, request.initiator);
+    if (signer == nullptr) {
+      // The error carries the tx id, which only exists after stage B
+      // computes the root — flag it and let the wave driver report.
+      p.unresolvable = true;
+      break;
+    }
     // Find the actual party name for network addressing.
     const auto owner = onetime_owners_.find(name);
-    signer_parties.insert(owner != onetime_owners_.end() ? owner->second
-                                                         : name);
+    p.signer_parties.insert(owner != onetime_owners_.end() ? owner->second
+                                                           : name);
   }
 
-  // --- Register the flow context, then run the message rounds --------------
-  {
-    PendingFlow flow;
-    flow.tx_id = tx_id;
-    flow.initiator = initiator;
-    flow.notary = notary_name;
-    flow.root = tree.root();
-    flow.inputs = inputs;
-    flow.outputs = final_outputs;
-    flow.first_output_leaf = first_output_leaf;
-    flow.linkages = std::move(linkages);
-    flow.confidential = confidential;
-    flow.out_bytes = data_bytes(final_outputs);
-    for (const std::string& p : all_participants) {
-      flow.parties_bytes += p.size();
-    }
-    if (oracle) {
-      flow.fact_key = oracle->fact_key;
-      flow.fact_value = oracle->fact_value;
-    }
-    pending_.insert_or_assign(tx_id, std::move(flow));
-  }
-  PendingFlow& flow = pending_.at(tx_id);
-  const auto fail = [&](std::string reason) {
-    pending_.erase(tx_id);
-    return FlowResult{false, tx_id, std::move(reason)};
-  };
+  p.ok = true;
+  return p;
+}
 
-  // --- Signature round (peer-to-peer) ---------------------------------------
-  // The initiator signs locally; every other signer party receives the
-  // full transaction and responds with its signature. A counterparty the
-  // network cannot reach (after bounded retries) fails the flow closed —
-  // nothing is consumed, no vault changes.
-  observe_transaction(initiator, flow);
-  install_linkages(initiator, flow);
-  flow.signatures[initiator] = initiator_it->second.keypair.sign(root_msg);
-  for (const std::string& party : signer_parties) {
-    if (party == initiator) continue;
-    channel_.send(initiator, party, "corda.sign-request",
-                  flow_wire(tx_id, full_tx_bytes));
-  }
-  network_->run();
-  for (const std::string& party : signer_parties) {
-    if (!flow.signatures.contains(party)) {
-      return fail("signature round incomplete: " + party + " unreachable");
-    }
-  }
+std::vector<FlowResult> CordaNetwork::transact_many(
+    const std::vector<TransactRequest>& requests, std::size_t pipeline_depth) {
+  std::vector<FlowResult> out(requests.size());
+  if (pipeline_depth == 0) pipeline_depth = 1;
 
-  // --- Oracle attestation over a tear-off -----------------------------------
-  if (oracle) {
-    if (!oracles_.contains(oracle->oracle)) return fail("unknown oracle");
-    const crypto::TearOff filtered =
-        crypto::TearOff::create(leaves, salts, {*fact_leaf});
-    channel_.send(initiator, oracle->oracle, "corda.oracle-request",
-                  flow_wire(tx_id, filtered.encode()));
+  for (std::size_t wave_start = 0; wave_start < requests.size();
+       wave_start += pipeline_depth) {
+    const std::size_t wave_end =
+        std::min(requests.size(), wave_start + pipeline_depth);
+
+    // --- Stage A: serial prepare. All rng draws (one-time keys, Merkle
+    // salts) and counter bumps happen here, in submission order — the
+    // transcript is the same at any thread count.
+    std::vector<PreparedFlow> wave;
+    wave.reserve(wave_end - wave_start);
+    for (std::size_t i = wave_start; i < wave_end; ++i) {
+      wave.push_back(prepare_flow(requests[i]));
+    }
+
+    // --- Stage B: Merkle build + initiator signature as pool tasks.
+    // Both are pure functions of stage-A output (signing nonces are
+    // derived, not drawn), so later flows seal while earlier ones are
+    // already running their message rounds below.
+    std::vector<std::future<void>> sealing(wave.size());
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      PreparedFlow* flow = &wave[i];
+      if (!flow->ok) continue;
+      const crypto::KeyPair* keypair = &parties_.at(flow->initiator).keypair;
+      sealing[i] = common::ThreadPool::global().submit([flow, keypair] {
+        flow->root = crypto::MerkleTree::build(flow->leaves, flow->salts).root();
+        flow->initiator_signature = keypair->sign(root_view(flow->root));
+      });
+    }
+
+    const auto fail = [&](PreparedFlow& flow, std::size_t origin,
+                          std::string reason) {
+      pending_.erase(flow.tx_id);
+      flow.live = false;
+      out[origin] = {false, flow.tx_id, std::move(reason)};
+    };
+
+    // --- Stage C: message rounds, batched per wave. Each round sends for
+    // every live flow, then drains the network ONCE — handlers demux
+    // concurrent flows by tx id.
+
+    // Signature round (peer-to-peer): the initiator signs locally; every
+    // other signer party receives the full transaction and responds with
+    // its signature. A counterparty the network cannot reach (after
+    // bounded retries) fails the flow closed — nothing is consumed.
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      PreparedFlow& p = wave[i];
+      const std::size_t origin = wave_start + i;
+      if (!p.ok) {
+        out[origin] = {false, "", p.error};
+        continue;
+      }
+      sealing[i].get();
+      p.tx_id = crypto::digest_hex(p.root).substr(0, 24);
+      if (p.unresolvable) {
+        out[origin] = {false, p.tx_id, "unresolvable participant"};
+        continue;
+      }
+      PendingFlow flow;
+      flow.tx_id = p.tx_id;
+      flow.initiator = p.initiator;
+      flow.notary = p.notary;
+      flow.root = p.root;
+      flow.inputs = p.inputs;
+      flow.outputs = p.outputs;
+      flow.first_output_leaf = p.first_output_leaf;
+      flow.linkages = p.linkages;
+      flow.confidential = p.confidential;
+      flow.out_bytes = p.out_bytes;
+      flow.parties_bytes = p.parties_bytes;
+      if (p.oracle) {
+        flow.fact_key = p.oracle->fact_key;
+        flow.fact_value = p.oracle->fact_value;
+      }
+      pending_.insert_or_assign(p.tx_id, std::move(flow));
+      p.live = true;
+
+      PendingFlow& registered = pending_.at(p.tx_id);
+      observe_transaction(p.initiator, registered);
+      install_linkages(p.initiator, registered);
+      registered.signatures[p.initiator] = p.initiator_signature;
+      for (const std::string& party : p.signer_parties) {
+        if (party == p.initiator) continue;
+        channel_.send(p.initiator, party, "corda.sign-request",
+                      flow_wire(p.tx_id, p.full_tx_bytes));
+      }
+    }
     network_->run();
-    if (!flow.refusal.empty()) return fail(flow.refusal);
-    if (!flow.oracle_signature) return fail("oracle round incomplete");
-  }
-
-  // --- Notarization ----------------------------------------------------------
-  {
-    common::Bytes body;
-    if (notary.validating) {
-      body = full_tx_bytes;
-    } else {
-      // Non-validating: only the input refs are revealed.
-      std::vector<std::size_t> visible;
-      for (std::size_t i = 1; i <= inputs.size(); ++i) visible.push_back(i);
-      body = crypto::TearOff::create(leaves, salts, visible).encode();
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      PreparedFlow& p = wave[i];
+      if (!p.live) continue;
+      const PendingFlow& flow = pending_.at(p.tx_id);
+      for (const std::string& party : p.signer_parties) {
+        if (!flow.signatures.contains(party)) {
+          fail(p, wave_start + i,
+               "signature round incomplete: " + party + " unreachable");
+          break;
+        }
+      }
     }
-    channel_.send(initiator, notary_name, "corda.notarize",
-                  flow_wire(tx_id, body));
+
+    // Oracle attestation over a tear-off.
+    bool oracle_round = false;
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      PreparedFlow& p = wave[i];
+      if (!p.live || !p.oracle) continue;
+      if (!oracles_.contains(p.oracle->oracle)) {
+        fail(p, wave_start + i, "unknown oracle");
+        continue;
+      }
+      const crypto::TearOff filtered =
+          crypto::TearOff::create(p.leaves, p.salts, {*p.fact_leaf});
+      channel_.send(p.initiator, p.oracle->oracle, "corda.oracle-request",
+                    flow_wire(p.tx_id, filtered.encode()));
+      oracle_round = true;
+    }
+    if (oracle_round) network_->run();
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      PreparedFlow& p = wave[i];
+      if (!p.live || !p.oracle) continue;
+      const PendingFlow& flow = pending_.at(p.tx_id);
+      if (!flow.refusal.empty()) {
+        fail(p, wave_start + i, flow.refusal);
+      } else if (!flow.oracle_signature) {
+        fail(p, wave_start + i, "oracle round incomplete");
+      }
+    }
+
+    // Notarization. Conflicting consumes WITHIN a wave resolve exactly
+    // like concurrent submitters: the notary's consumed map arbitrates
+    // in delivery order.
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      PreparedFlow& p = wave[i];
+      if (!p.live) continue;
+      common::Bytes body;
+      if (notaries_.at(p.notary).validating) {
+        body = p.full_tx_bytes;
+      } else {
+        // Non-validating: only the input refs are revealed.
+        std::vector<std::size_t> visible;
+        for (std::size_t j = 1; j <= p.inputs.size(); ++j) {
+          visible.push_back(j);
+        }
+        body = crypto::TearOff::create(p.leaves, p.salts, visible).encode();
+      }
+      channel_.send(p.initiator, p.notary, "corda.notarize",
+                    flow_wire(p.tx_id, body));
+    }
     network_->run();
-    if (!flow.refusal.empty()) return fail(flow.refusal);
-    if (!flow.notary_signature) return fail("notarization incomplete");
-  }
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      PreparedFlow& p = wave[i];
+      if (!p.live) continue;
+      const PendingFlow& flow = pending_.at(p.tx_id);
+      if (!flow.refusal.empty()) {
+        fail(p, wave_start + i, flow.refusal);
+      } else if (!flow.notary_signature) {
+        fail(p, wave_start + i, "notarization incomplete");
+      }
+    }
 
-  // Record for backchain resolution.
-  TxRecord record;
-  record.root = tree.root();
-  record.inputs = inputs;
-  record.notary = notary_name;
-  record.notary_signature = *flow.notary_signature;
-  record.data_bytes = flow.out_bytes;
-  record.is_issue = inputs.empty();
-  tx_records_[tx_id] = std::move(record);
+    // Record every notarized flow for backchain resolution BEFORE any
+    // finality runs: a counterparty's equivocation cross-check may need
+    // a sibling flow's record as proof material.
+    for (PreparedFlow& p : wave) {
+      if (!p.live) continue;
+      const PendingFlow& flow = pending_.at(p.tx_id);
+      TxRecord record;
+      record.root = p.root;
+      record.inputs = p.inputs;
+      record.notary = p.notary;
+      record.notary_signature = *flow.notary_signature;
+      record.data_bytes = flow.out_bytes;
+      record.is_issue = p.inputs.empty();
+      tx_records_[p.tx_id] = std::move(record);
+    }
 
-  // --- Finality: every signer party applies the vault update ----------------
-  (void)apply_finality(initiator, flow);  // self == initiator: never refuses
-  for (const std::string& party : signer_parties) {
-    if (party == initiator) continue;
-    channel_.send(initiator, party, "corda.finalize",
-                  flow_wire(tx_id, full_tx_bytes));
-  }
-  network_->run();
-  // A counterparty's detection cross-check may have refused finality.
-  if (!flow.refusal.empty()) return fail(flow.refusal);
-  for (const std::string& party : signer_parties) {
-    if (party != initiator && !flow.finalize_acks.contains(party)) {
-      // Notarized but a counterparty never confirmed storage: surface it
-      // rather than silently diverging vaults.
-      return fail("finality incomplete: " + party + " unreachable");
+    // Finality: every signer party applies the vault update.
+    for (PreparedFlow& p : wave) {
+      if (!p.live) continue;
+      PendingFlow& flow = pending_.at(p.tx_id);
+      (void)apply_finality(p.initiator, flow);  // self==initiator: no refusal
+      for (const std::string& party : p.signer_parties) {
+        if (party == p.initiator) continue;
+        channel_.send(p.initiator, party, "corda.finalize",
+                      flow_wire(p.tx_id, p.full_tx_bytes));
+      }
+    }
+    network_->run();
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      PreparedFlow& p = wave[i];
+      if (!p.live) continue;
+      const std::size_t origin = wave_start + i;
+      const PendingFlow& flow = pending_.at(p.tx_id);
+      // A counterparty's detection cross-check may have refused finality.
+      if (!flow.refusal.empty()) {
+        fail(p, origin, flow.refusal);
+        continue;
+      }
+      bool complete = true;
+      for (const std::string& party : p.signer_parties) {
+        if (party != p.initiator && !flow.finalize_acks.contains(party)) {
+          // Notarized but a counterparty never confirmed storage: surface
+          // it rather than silently diverging vaults.
+          fail(p, origin,
+               "finality incomplete: " + party + " unreachable");
+          complete = false;
+          break;
+        }
+      }
+      if (!complete) continue;
+      pending_.erase(p.tx_id);
+      out[origin] = {true, p.tx_id, ""};
     }
   }
-
-  pending_.erase(tx_id);
-  return {true, tx_id, ""};
+  return out;
 }
 
 CordaNetwork::BackchainResult CordaNetwork::resolve_backchain(
@@ -862,6 +1021,15 @@ CordaNetwork::BackchainResult CordaNetwork::resolve_backchain(
   }
   std::vector<StateRef> frontier = {ref};
   std::set<std::string> visited;
+  // Notarization checks this walk still owes. Queued locally (not fed to
+  // the verifier incrementally) so an early return on a structural error
+  // never leaves stale items in the shared batch.
+  struct QueuedCheck {
+    const Notary* notary;
+    const TxRecord* record;
+    std::string tx_id;
+  };
+  std::vector<QueuedCheck> owed;
   while (!frontier.empty()) {
     const StateRef current = frontier.back();
     frontier.pop_back();
@@ -875,27 +1043,62 @@ CordaNetwork::BackchainResult CordaNetwork::resolve_backchain(
     }
     const TxRecord& record = it->second;
 
-    // Verify the notary's uniqueness attestation over the Merkle root,
-    // and that the record is self-consistent (tx id derives from root).
+    // The resolving party receives (and therefore observes) the full
+    // ancestor transaction — the backchain privacy trade-off. Receipt
+    // precedes verification: the bytes are in hand either way.
+    auditor().record(party, "tx/" + current.tx_id + "/data",
+                     record.data_bytes);
+    result.tx_ids.push_back(current.tx_id);
+    ++result.depth;
+    for (const StateRef& input : record.inputs) frontier.push_back(input);
+
+    // Validate-once: an ancestor checked by ANY earlier resolution never
+    // needs a second signature verification — the record is immutable
+    // and notarization validity does not depend on who asks.
+    if (verified_ancestors_.contains(current.tx_id)) continue;
+
+    // The structural half runs exactly, per item: the record must be
+    // self-consistent (tx id derives from root) and name a known notary.
     const auto notary = notaries_.find(record.notary);
     if (notary == notaries_.end() ||
-        !crypto::verify(*group_, notary->second.keypair.public_key(),
-                        common::BytesView(record.root.data(),
-                                          record.root.size()),
-                        record.notary_signature) ||
         crypto::digest_hex(record.root).substr(0, 24) != current.tx_id) {
       result.reason = "invalid notarization on " + current.tx_id;
       result.valid = false;
       return result;
     }
 
-    // The resolving party receives (and therefore observes) the full
-    // ancestor transaction — the backchain privacy trade-off.
-    auditor().record(party, "tx/" + current.tx_id + "/data",
-                     record.data_bytes);
-    result.tx_ids.push_back(current.tx_id);
-    ++result.depth;
-    for (const StateRef& input : record.inputs) frontier.push_back(input);
+    // The cryptographic half — the notary's uniqueness attestation over
+    // the Merkle root — batches across the whole walk.
+    if (batch_verify_) {
+      owed.push_back(QueuedCheck{&notary->second, &record, current.tx_id});
+      continue;
+    }
+    if (!crypto::verify(*group_, notary->second.keypair.public_key(),
+                        root_view(record.root), record.notary_signature)) {
+      result.reason = "invalid notarization on " + current.tx_id;
+      result.valid = false;
+      return result;
+    }
+    verified_ancestors_.insert(current.tx_id);
+  }
+
+  if (!owed.empty()) {
+    for (const QueuedCheck& check : owed) {
+      batch_verifier_.add_signature(check.notary->keypair.public_key(),
+                                    root_view(check.record->root),
+                                    check.record->notary_signature);
+    }
+    const crypto::BatchOutcome outcome = batch_verifier_.verify();
+    if (!outcome.all_valid) {
+      // Bisection already pinned the exact culprit with a per-item check.
+      result.reason =
+          "invalid notarization on " + owed[outcome.invalid.front()].tx_id;
+      result.valid = false;
+      return result;
+    }
+    for (const QueuedCheck& check : owed) {
+      verified_ancestors_.insert(check.tx_id);
+    }
   }
   result.valid = true;
   return result;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "audit/evidence.hpp"
+#include "crypto/batch_verify.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/signature.hpp"
 #include "ledger/wal.hpp"
@@ -119,6 +120,31 @@ class CordaNetwork {
                       const std::string& notary, bool confidential = false,
                       const std::optional<OracleRequest>& oracle = {});
 
+  /// One flow for the pipelined wave API.
+  struct TransactRequest {
+    std::string initiator;
+    std::vector<StateRef> inputs;
+    std::vector<OutputSpec> outputs;
+    std::string notary;
+    bool confidential = false;
+    std::optional<OracleRequest> oracle;
+  };
+
+  /// Pipelined flows: requests run in waves of `pipeline_depth`. Within a
+  /// wave the Merkle builds and initiator signatures run as pool tasks,
+  /// and each message round (sign, oracle, notarize, finalize) is batched
+  /// — one network drain serves the whole wave instead of one per flow.
+  /// All randomness is drawn serially in submission order, so outcomes
+  /// are deterministic at any thread count; at depth 1 the per-flow
+  /// operation order matches transact(). Two flows in one wave consuming
+  /// the same input are arbitrated by the notary exactly like concurrent
+  /// submitters — the second fails, and with detection on the refusal
+  /// convicts the initiator — so callers should keep a wave's inputs
+  /// disjoint.
+  std::vector<FlowResult> transact_many(
+      const std::vector<TransactRequest>& requests,
+      std::size_t pipeline_depth = 8);
+
   /// Unconsumed states visible to `party`.
   std::vector<CordaState> vault(const std::string& party) const;
 
@@ -138,6 +164,22 @@ class CordaNetwork {
   };
   BackchainResult resolve_backchain(const std::string& party,
                                     const StateRef& ref);
+
+  /// Route backchain notarization checks through the batched RLC kernel
+  /// (default) or the per-item path (differential testing). Either way an
+  /// ancestor verified once is never re-verified: notarization validity
+  /// is party-independent (same immutable record, same notary key), so
+  /// the verified set is shared network-wide — Corda's mirror of the
+  /// validate-once mempool token.
+  void set_batch_verify(bool on = true) { batch_verify_ = on; }
+  const crypto::BatchVerifier::Stats& batch_verify_stats() const {
+    return batch_verifier_.stats();
+  }
+  /// Ancestors whose notarization has been verified (validate-once
+  /// cache size — tests assert re-resolution does no signature work).
+  std::size_t verified_ancestor_count() const {
+    return verified_ancestors_.size();
+  }
 
   /// Resolve a one-time key fingerprint to an identity — only succeeds
   /// for parties that were handed the linkage certificate.
@@ -285,6 +327,40 @@ class CordaNetwork {
     std::set<std::string> finalize_acks;
   };
 
+  /// Everything transact() does before the message rounds: validation,
+  /// input resolution, contract verification, confidential identities,
+  /// Merkle leaves + salts, signer resolution. Every rng draw happens
+  /// here, in submission order — the stage-B pool tasks are pure.
+  struct PreparedFlow {
+    bool ok = false;
+    std::string error;  // failure reason when !ok
+    /// Signer resolution failed — the error needs the tx id, which only
+    /// exists once stage B has produced the root.
+    bool unresolvable = false;
+    std::string initiator;
+    std::string notary;
+    bool confidential = false;
+    std::optional<OracleRequest> oracle;
+    std::vector<StateRef> inputs;
+    std::vector<OutputSpec> outputs;  // confidential identities applied
+    std::vector<pki::KeyLinkage> linkages;
+    std::vector<common::Bytes> leaves;
+    std::vector<common::Bytes> salts;
+    std::size_t first_output_leaf = 0;
+    std::optional<std::size_t> fact_leaf;
+    std::set<std::string> signer_parties;
+    common::Bytes full_tx_bytes;
+    std::uint64_t out_bytes = 0;
+    std::uint64_t parties_bytes = 0;
+    // Stage-B results (pure functions of the fields above).
+    crypto::Digest root{};
+    crypto::Signature initiator_signature;
+    // Stage-C progress.
+    std::string tx_id;
+    bool live = false;  // registered in pending_ and still progressing
+  };
+  PreparedFlow prepare_flow(const TransactRequest& request);
+
   void on_party_message(const std::string& self, const net::Message& msg);
   void on_notary_message(const std::string& self, const net::Message& msg);
   void on_oracle_message(const std::string& self, const net::Message& msg);
@@ -342,6 +418,11 @@ class CordaNetwork {
   /// While set, transact() may resolve inputs from the initiator's spent
   /// archive — the byzantine_respend() bypass.
   bool respend_ = false;
+  bool batch_verify_ = true;
+  crypto::BatchVerifier batch_verifier_;
+  /// Ancestor tx ids whose notarization has already been verified
+  /// (validate-once: immutable records never need a second check).
+  std::set<std::string> verified_ancestors_;
   audit::EvidenceLog evidence_;
 };
 

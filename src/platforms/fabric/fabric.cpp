@@ -87,7 +87,9 @@ FabricNetwork::FabricNetwork(net::SimNetwork& network,
                                              proof_a, proof_b);
                         },
                     .on_fail = nullptr,
-                }) {
+                }),
+      mempool_(config.mempool),
+      batch_verifier_(group, rng_.next_u64()) {
   if (config_.orderer_deployment == ledger::OrdererDeployment::Shared) {
     shared_orderer_ = std::make_unique<ledger::OrderingService>(
         "orderer-org", ledger::OrdererDeployment::Shared, network.auditor(),
@@ -164,6 +166,10 @@ void FabricNetwork::add_org(const std::string& org) {
 }
 
 void FabricNetwork::on_crash(const std::string& org) {
+  // The admission pool is volatile and never WAL-logged: a crash drops
+  // every validation token, and recovery re-verifies whatever the WAL
+  // replays. Committed blocks are durable and unaffected.
+  mempool_.clear();
   for (auto& [name, ch] : channels_) {
     const auto it = ch.replicas.find(org);
     if (it == ch.replicas.end()) continue;
@@ -387,12 +393,72 @@ bool FabricNetwork::commit_block(const std::string& org, Channel& channel,
   // receipts keep their original order). Trusting peers skip it: they
   // take the orderer's word, which is exactly the deployment the paper's
   // orderer caveat warns about.
-  std::vector<char> sig_valid(block.transactions.size(), 1);
-  if (validation_mode_ != ValidationMode::Trusting) {
+  const std::size_t tx_count = block.transactions.size();
+  std::vector<char> sig_valid(tx_count, 1);
+  // Per-transaction "at least one endorsement verifies" — the Detect-mode
+  // orderer-tampering signal. Token hits count as fully verified.
+  std::vector<char> any_sig_valid(tx_count, 1);
+  if (validation_mode_ != ValidationMode::Trusting &&
+      config_.batch_verify) {
+    // Validate-once: a transaction whose admission token still speaks for
+    // it (same body digest — the id IS the digest — and unmoved read
+    // versions) skips signature work entirely. Read versions are checked
+    // against pre-block state; a version that moves mid-block only
+    // affects MVCC (state.apply re-validates), never signature validity.
+    // Token misses pool every endorsement into ONE batched check.
+    const common::SimTime now = network_->clock().now();
+    std::vector<std::size_t> misses;
+    for (std::size_t i = 0; i < tx_count; ++i) {
+      const ledger::Transaction& tx = block.transactions[i];
+      if (replay || !mempool_.validated(tx, replica.state, now)) {
+        misses.push_back(i);
+      }
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> queued;  // (tx, sig)
+    for (const std::size_t i : misses) {
+      const ledger::Transaction& tx = block.transactions[i];
+      const crypto::Digest digest = tx.body_digest();
+      const common::BytesView msg(digest.data(), digest.size());
+      for (std::size_t e = 0; e < tx.endorsements.size(); ++e) {
+        batch_verifier_.add_signature(tx.endorsements[e].key, msg,
+                                      tx.endorsements[e].signature);
+        queued.push_back({i, e});
+      }
+      if (!tx.endorsements.empty()) any_sig_valid[i] = 0;  // until proven
+    }
+    if (batch_verifier_.pending() > 0) {
+      const crypto::BatchOutcome outcome = batch_verifier_.verify();
+      std::set<std::size_t> bad(outcome.invalid.begin(),
+                                outcome.invalid.end());
+      for (std::size_t k = 0; k < queued.size(); ++k) {
+        if (bad.contains(k)) {
+          sig_valid[queued[k].first] = 0;
+        } else {
+          any_sig_valid[queued[k].first] = 1;
+        }
+      }
+    }
+  } else if (validation_mode_ != ValidationMode::Trusting) {
     sig_valid = common::ThreadPool::global().parallel_map(
-        block.transactions.size(), [&](std::size_t i) -> char {
+        tx_count, [&](std::size_t i) -> char {
           return block.transactions[i].endorsements_valid(*group_) ? 1 : 0;
         });
+    if (validation_mode_ == ValidationMode::Detect) {
+      for (std::size_t i = 0; i < tx_count; ++i) {
+        const ledger::Transaction& tx = block.transactions[i];
+        if (tx.endorsements.empty()) continue;
+        const crypto::Digest digest = tx.body_digest();
+        const common::BytesView msg(digest.data(), digest.size());
+        bool any = false;
+        for (const ledger::Endorsement& e : tx.endorsements) {
+          if (crypto::verify(*group_, e.key, msg, e.signature)) {
+            any = true;
+            break;
+          }
+        }
+        any_sig_valid[i] = any ? 1 : 0;
+      }
+    }
   }
 
   if (validation_mode_ == ValidationMode::Detect) {
@@ -403,18 +469,12 @@ bool FabricNetwork::commit_block(const std::string& org, Channel& channel,
     // sequences endorsed transactions into blocks), and the whole block
     // is rejected. Every honest peer runs the same deterministic check,
     // so all of them reject and the evidence log dedupes to one entry.
-    for (const ledger::Transaction& tx : block.transactions) {
+    // (A rewritten body also changes the tx id, so it can never ride a
+    // stale validation token past this check.)
+    for (std::size_t i = 0; i < tx_count; ++i) {
+      const ledger::Transaction& tx = block.transactions[i];
       if (tx.endorsements.empty()) continue;
-      const crypto::Digest digest = tx.body_digest();
-      const common::BytesView msg(digest.data(), digest.size());
-      bool any_valid = false;
-      for (const ledger::Endorsement& e : tx.endorsements) {
-        if (crypto::verify(*group_, e.key, msg, e.signature)) {
-          any_valid = true;
-          break;
-        }
-      }
-      if (!any_valid) {
+      if (any_sig_valid[i] == 0) {
         const std::string orderer = orderer_operator(tx.channel);
         convict(audit::Misbehavior::OrdererTampering, orderer, org,
                 "ordered transaction fails every endorsement signature",
@@ -532,24 +592,45 @@ void FabricNetwork::deliver_block(const std::string& channel_name,
     channel_.send(from, peer_of(member), "fabric.block", encoded);
   }
   network_->run();
+  // Every live member peer has now committed (or rejected) the block;
+  // retire the sealed transactions' validation tokens. Invalidated
+  // tokens were already dropped by the commit-path version check.
+  const common::SimTime now = network_->clock().now();
+  for (const ledger::Transaction& tx : block.transactions) {
+    const auto receipt = receipts_.find(tx.id());
+    if (receipt != receipts_.end() && receipt->second.committed) {
+      mempool_.remove(tx.id(), ledger::EvictionRecord::Cause::Committed, now);
+    }
+  }
 }
 
-TxReceipt FabricNetwork::submit(const std::string& channel,
-                                const std::string& client_org,
-                                const std::string& chaincode,
-                                const std::string& action,
-                                common::BytesView args,
-                                const std::optional<PrivatePayload>& private_data,
-                                const pki::IdemixCredential* idemix) {
+FabricNetwork::PreparedSubmission FabricNetwork::prepare_submission(
+    const SubmitRequest& request) {
+  const std::string& channel = request.channel;
+  const std::string& client_org = request.client_org;
+  const std::string& chaincode = request.chaincode;
+  const std::string& action = request.action;
+  const common::BytesView args(request.args);
+  const std::optional<PrivatePayload>& private_data = request.private_data;
+  const pki::IdemixCredential* idemix = request.idemix;
+
+  PreparedSubmission prepared;
+  prepared.channel = channel;
+  const auto fail = [&prepared](const std::string& reason) {
+    prepared.ok = false;
+    prepared.error = {false, "", reason};
+    return prepared;
+  };
+
   const auto ch_it = channels_.find(channel);
-  if (ch_it == channels_.end()) return {false, "", "unknown channel"};
+  if (ch_it == channels_.end()) return fail("unknown channel");
   Channel& ch = ch_it->second;
   if (!ch.members.contains(client_org)) {
-    return {false, "", "client not a channel member"};
+    return fail("client not a channel member");
   }
   const auto policy_it = ch.policies.find(chaincode);
   if (policy_it == ch.policies.end()) {
-    return {false, "", "chaincode not installed on channel"};
+    return fail("chaincode not installed on channel");
   }
 
   // --- Endorsement phase -------------------------------------------------
@@ -573,7 +654,7 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
       if (!reference_code) {
         reference_code = code->code_digest();
       } else if (*reference_code != code->code_digest()) {
-        return {false, "", "chaincode version mismatch between endorsers"};
+        return fail("chaincode version mismatch between endorsers");
       }
     }
     eligible.push_back(org);
@@ -610,15 +691,15 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
       reference = std::move(result);
     } else if (reference->tx.writes != result->tx.writes ||
                reference->tx.reads != result->tx.reads) {
-      return {false, "", "endorsers diverged"};
+      return fail("endorsers diverged");
     }
     endorsers.push_back(eligible[i]);
   }
-  if (!reference) return {false, "", "no endorsements"};
+  if (!reference) return fail("no endorsements");
   {
     std::set<std::string> endorser_set(endorsers.begin(), endorsers.end());
     if (!policy_it->second.satisfied_by(endorser_set)) {
-      return {false, "", "endorsement policy unsatisfied"};
+      return fail("endorsement policy unsatisfied");
     }
   }
 
@@ -629,7 +710,7 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
   if (private_data) {
     const offchain::CollectionConfig* pre_cfg =
         ch.pdc.config(private_data->collection);
-    if (pre_cfg == nullptr) return {false, "", "unknown collection"};
+    if (pre_cfg == nullptr) return fail("unknown collection");
 
     // Gossip dissemination with acknowledgements: the submission is only
     // accepted once requiredPeerCount member peers confirmed receipt —
@@ -646,14 +727,14 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
     network_->run();
     if (pdc_acks_[dissemination_id] < pre_cfg->required_peer_count) {
       pdc_acks_.erase(dissemination_id);
-      return {false, "", "insufficient pdc dissemination"};
+      return fail("insufficient pdc dissemination");
     }
     pdc_acks_.erase(dissemination_id);
 
     const auto ref = ch.pdc.put_private(private_data->collection,
                                         private_data->key,
                                         private_data->value, ch.block_height);
-    if (!ref) return {false, "", "unknown collection"};
+    if (!ref) return fail("unknown collection");
     tx.hash_refs.push_back(*ref);
     // The paper's caveat: members of the collection are listed in the
     // transaction itself.
@@ -679,12 +760,98 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
                                   common::BytesView(digest.data(),
                                                     digest.size()),
                                   idemix_issuer_.epoch())) {
-      return {false, "", "idemix presentation invalid"};
+      return fail("idemix presentation invalid");
     }
   } else {
     tx.participants.push_back("client:" + client_org);
   }
   for (const std::string& org : endorsers) tx.participants.push_back(org);
+
+  prepared.ok = true;
+  prepared.tx = std::move(tx);
+  prepared.endorsers = std::move(endorsers);
+  return prepared;
+}
+
+void FabricNetwork::admit_to_mempool(const ledger::Transaction& tx) {
+  // Trusting peers never verify, so a token would claim work that was
+  // never done — skip the pool entirely in that mode.
+  if (validation_mode_ == ValidationMode::Trusting) return;
+  bool verified;
+  if (config_.batch_verify) {
+    const crypto::Digest digest = tx.body_digest();
+    const common::BytesView msg(digest.data(), digest.size());
+    for (const ledger::Endorsement& e : tx.endorsements) {
+      batch_verifier_.add_signature(e.key, msg, e.signature);
+    }
+    verified = batch_verifier_.pending() == 0 ||
+               batch_verifier_.verify().all_valid;
+  } else {
+    verified = tx.endorsements_valid(*group_);
+  }
+  mempool_.admit(tx, verified, network_->clock().now());
+}
+
+void FabricNetwork::admit_wave_to_mempool(
+    std::vector<PreparedSubmission>& prepared) {
+  if (validation_mode_ == ValidationMode::Trusting) return;
+  const common::SimTime now = network_->clock().now();
+  if (!config_.batch_verify) {
+    for (PreparedSubmission& p : prepared) {
+      mempool_.admit(p.tx, p.tx.endorsements_valid(*group_), now);
+    }
+    return;
+  }
+  // One batch for the whole wave; a forged endorsement anywhere bisects
+  // down to its add-order index, which maps back to its transaction.
+  std::vector<std::size_t> queued;  // batch index -> prepared index
+  for (std::size_t p = 0; p < prepared.size(); ++p) {
+    const crypto::Digest digest = prepared[p].tx.body_digest();
+    const common::BytesView msg(digest.data(), digest.size());
+    for (const ledger::Endorsement& e : prepared[p].tx.endorsements) {
+      batch_verifier_.add_signature(e.key, msg, e.signature);
+      queued.push_back(p);
+    }
+  }
+  std::vector<char> ok(prepared.size(), 1);
+  if (batch_verifier_.pending() > 0) {
+    const crypto::BatchOutcome outcome = batch_verifier_.verify();
+    for (const std::size_t bad : outcome.invalid) ok[queued[bad]] = 0;
+  }
+  for (std::size_t p = 0; p < prepared.size(); ++p) {
+    mempool_.admit(prepared[p].tx, ok[p] != 0, now);
+  }
+}
+
+void FabricNetwork::order_transaction(const std::string& channel_name,
+                                      ledger::Transaction tx) {
+  Channel& ch = channels_.at(channel_name);
+  ledger::OrderingService& orderer = orderer_for(ch);
+  for (const ledger::Block& block :
+       orderer.submit(std::move(tx), network_->clock().now())) {
+    deliver_block(channel_name, block);
+  }
+}
+
+TxReceipt FabricNetwork::submit(const std::string& channel,
+                                const std::string& client_org,
+                                const std::string& chaincode,
+                                const std::string& action,
+                                common::BytesView args,
+                                const std::optional<PrivatePayload>& private_data,
+                                const pki::IdemixCredential* idemix) {
+  SubmitRequest request;
+  request.channel = channel;
+  request.client_org = client_org;
+  request.chaincode = chaincode;
+  request.action = action;
+  request.args.assign(args.begin(), args.end());
+  request.private_data = private_data;
+  request.idemix = idemix;
+
+  PreparedSubmission prepared = prepare_submission(request);
+  if (!prepared.ok) return prepared.error;
+  ledger::Transaction& tx = prepared.tx;
 
   // --- Endorsement signatures ---------------------------------------------
   // Every endorser signs the same body digest, and signing is
@@ -694,22 +861,22 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
     const crypto::Digest digest = tx.body_digest();
     const common::BytesView msg(digest.data(), digest.size());
     auto endorsements = common::ThreadPool::global().parallel_map(
-        endorsers.size(), [&](std::size_t i) {
-          const crypto::KeyPair& keypair = orgs_.at(endorsers[i]).keypair;
-          return ledger::Endorsement{endorsers[i], keypair.public_key(),
-                                     keypair.sign(msg)};
+        prepared.endorsers.size(), [&](std::size_t i) {
+          const crypto::KeyPair& keypair =
+              orgs_.at(prepared.endorsers[i]).keypair;
+          return ledger::Endorsement{prepared.endorsers[i],
+                                     keypair.public_key(), keypair.sign(msg)};
         });
     for (auto& e : endorsements) tx.endorsements.push_back(std::move(e));
   }
 
-  // --- Ordering + delivery --------------------------------------------------
+  // --- Admission + ordering + delivery -------------------------------------
   const std::string tx_id = tx.id();
-  ledger::OrderingService& orderer = orderer_for(ch);
+  admit_to_mempool(tx);
+  order_transaction(channel, std::move(tx));
+  Channel& ch = channels_.at(channel);
   for (const ledger::Block& block :
-       orderer.submit(tx, network_->clock().now())) {
-    deliver_block(channel, block);
-  }
-  for (const ledger::Block& block : orderer.flush(network_->clock().now())) {
+       orderer_for(ch).flush(network_->clock().now())) {
     if (!block.transactions.empty()) {
       deliver_block(block.transactions.front().channel, block);
     }
@@ -718,6 +885,102 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
   const auto receipt = receipts_.find(tx_id);
   if (receipt == receipts_.end()) return {false, tx_id, "not delivered"};
   return receipt->second;
+}
+
+std::vector<TxReceipt> FabricNetwork::submit_many(
+    const std::vector<SubmitRequest>& requests, std::size_t pipeline_depth) {
+  if (pipeline_depth == 0) pipeline_depth = 1;
+  std::vector<TxReceipt> out(requests.size());
+  struct Ordered {
+    std::size_t out_index;
+    std::string tx_id;
+  };
+  std::vector<Ordered> ordered;
+  std::set<std::string> touched;
+
+  for (std::size_t wave = 0; wave < requests.size();
+       wave += pipeline_depth) {
+    const std::size_t wave_end =
+        std::min(requests.size(), wave + pipeline_depth);
+    // Stage A (serial): everything up to the signed transaction —
+    // membership/version checks, contract execution (itself fanned out
+    // per endorser), PDC dissemination, client identity.
+    std::vector<PreparedSubmission> prepared;
+    std::vector<std::size_t> origin;
+    for (std::size_t i = wave; i < wave_end; ++i) {
+      PreparedSubmission p = prepare_submission(requests[i]);
+      if (!p.ok) {
+        out[i] = p.error;
+        continue;
+      }
+      origin.push_back(i);
+      prepared.push_back(std::move(p));
+    }
+    // Stage B: endorsement signing for the WHOLE wave fans out as pool
+    // tasks. Signing is pure (deterministic HMAC nonce), so results are
+    // bit-identical regardless of scheduling; with no workers the tasks
+    // run inline right here, reproducing the serial transcript.
+    std::vector<std::vector<ledger::Endorsement>> endorsements(
+        prepared.size());
+    std::vector<std::future<void>> signing;
+    for (std::size_t p = 0; p < prepared.size(); ++p) {
+      const crypto::Digest digest = prepared[p].tx.body_digest();
+      endorsements[p].resize(prepared[p].endorsers.size());
+      for (std::size_t e = 0; e < prepared[p].endorsers.size(); ++e) {
+        const std::string& endorser = prepared[p].endorsers[e];
+        const crypto::KeyPair* keypair = &orgs_.at(endorser).keypair;
+        ledger::Endorsement* slot = &endorsements[p][e];
+        signing.push_back(common::ThreadPool::global().submit(
+            [slot, endorser, digest, keypair] {
+              const common::BytesView msg(digest.data(), digest.size());
+              *slot = ledger::Endorsement{endorser, keypair->public_key(),
+                                          keypair->sign(msg)};
+            }));
+      }
+    }
+    // Stage C (serial, in submission order): harvest the whole wave's
+    // signatures and run ONE batched admission check across every
+    // endorsement in it. A per-transaction check would pay the full RLC
+    // squaring chain once per item and never amortize — the batch must
+    // span the wave for the multi-exponentiation to earn its keep.
+    std::size_t next_future = 0;
+    for (std::size_t p = 0; p < prepared.size(); ++p) {
+      for (std::size_t e = 0; e < endorsements[p].size(); ++e) {
+        signing[next_future++].get();
+      }
+      for (auto& en : endorsements[p]) {
+        prepared[p].tx.endorsements.push_back(std::move(en));
+      }
+    }
+    admit_wave_to_mempool(prepared);
+    // Stage D (serial, in submission order): hand to the orderer. The
+    // tokens minted above make block validation a lookup, not a verify.
+    for (std::size_t p = 0; p < prepared.size(); ++p) {
+      const std::string tx_id = prepared[p].tx.id();
+      order_transaction(prepared[p].channel, std::move(prepared[p].tx));
+      touched.insert(prepared[p].channel);
+      ordered.push_back({origin[p], tx_id});
+    }
+  }
+
+  // Single flush at the end: partial blocks from every touched channel's
+  // orderer are cut and delivered now (submit() flushes per call).
+  for (const std::string& channel_name : touched) {
+    Channel& ch = channels_.at(channel_name);
+    for (const ledger::Block& block :
+         orderer_for(ch).flush(network_->clock().now())) {
+      if (!block.transactions.empty()) {
+        deliver_block(block.transactions.front().channel, block);
+      }
+    }
+  }
+  for (const Ordered& o : ordered) {
+    const auto receipt = receipts_.find(o.tx_id);
+    out[o.out_index] = receipt == receipts_.end()
+                           ? TxReceipt{false, o.tx_id, "not delivered"}
+                           : receipt->second;
+  }
+  return out;
 }
 
 const ledger::WorldState& FabricNetwork::state(const std::string& channel,

@@ -32,7 +32,9 @@
 #include "contracts/endorsement.hpp"
 #include "contracts/engine.hpp"
 #include "contracts/registry.hpp"
+#include "crypto/batch_verify.hpp"
 #include "ledger/chain.hpp"
+#include "ledger/mempool.hpp"
 #include "ledger/ordering.hpp"
 #include "ledger/snapshot.hpp"
 #include "ledger/state.hpp"
@@ -56,6 +58,15 @@ struct FabricConfig {
   /// Per-peer checkpoint policy (interval 0 disables — the PR-2
   /// behavior: WAL grows without bound, every rejoin replays all).
   ledger::SnapshotConfig snapshots;
+  /// Admission pool: transactions are signature-checked once on the way
+  /// in and carry a ValidationToken that block commit consults instead
+  /// of re-verifying (ledger/mempool.hpp).
+  ledger::MempoolConfig mempool;
+  /// Verify endorsement signatures through the batched
+  /// random-linear-combination kernel (crypto/batch_verify.hpp) instead
+  /// of one exponentiation pair per signature. Results are bit-identical;
+  /// false keeps the per-item path for differential testing.
+  bool batch_verify = true;
 };
 
 struct TxReceipt {
@@ -132,6 +143,28 @@ class FabricNetwork {
                    common::BytesView args,
                    const std::optional<PrivatePayload>& private_data = {},
                    const pki::IdemixCredential* idemix = nullptr);
+
+  /// One submission for the pipelined batch flow.
+  struct SubmitRequest {
+    std::string channel;
+    std::string client_org;
+    std::string chaincode;
+    std::string action;
+    common::Bytes args;
+    std::optional<PrivatePayload> private_data;
+    const pki::IdemixCredential* idemix = nullptr;
+  };
+
+  /// Pipelined endorse -> order -> validate over many submissions.
+  /// Requests are processed in waves of `pipeline_depth`: endorsement
+  /// signing for the whole wave fans out as pool tasks while earlier
+  /// requests are already being ordered and validated, and admission
+  /// verification batches every endorsement of the wave into one
+  /// combined check. Partial blocks are flushed once at the end (submit()
+  /// flushes per call). With VEIL_THREADS=1 every task runs inline and
+  /// the transcript is bit-identical to the multi-threaded run.
+  std::vector<TxReceipt> submit_many(const std::vector<SubmitRequest>& requests,
+                                     std::size_t pipeline_depth = 8);
 
   /// Member-only access to an org's channel replica.
   const ledger::WorldState& state(const std::string& channel,
@@ -236,6 +269,12 @@ class FabricNetwork {
   audit::EvidenceLog& evidence() { return evidence_; }
   const audit::EvidenceLog& evidence() const { return evidence_; }
 
+  /// Admission pool (validate-once tokens) and batch-verifier counters.
+  const ledger::Mempool& mempool() const { return mempool_; }
+  const crypto::BatchVerifier::Stats& batch_verify_stats() const {
+    return batch_verifier_.stats();
+  }
+
  private:
   struct Org {
     crypto::KeyPair keypair;
@@ -276,6 +315,28 @@ class FabricNetwork {
     explicit Channel(net::LeakageAuditor& auditor) : pdc(auditor) {}
   };
 
+  /// Everything submit() does before endorsement signing: membership and
+  /// version checks, contract execution fan-out, PDC dissemination,
+  /// client identity. Serial — it reads and writes shared replica state.
+  struct PreparedSubmission {
+    bool ok = false;
+    TxReceipt error;
+    std::string channel;
+    ledger::Transaction tx;
+    std::vector<std::string> endorsers;
+  };
+  PreparedSubmission prepare_submission(const SubmitRequest& request);
+  /// Admission: verify the attached endorsements (batched) and mint the
+  /// transaction's ValidationToken. No-op in Trusting mode.
+  void admit_to_mempool(const ledger::Transaction& tx);
+  /// Wave admission for submit_many: every endorsement across the wave
+  /// joins ONE batched check, so the RLC squaring chain is paid once per
+  /// wave instead of once per transaction. No-op in Trusting mode.
+  void admit_wave_to_mempool(std::vector<PreparedSubmission>& prepared);
+  /// Hand the endorsed transaction to the ordering service and deliver
+  /// any blocks it cut. Does NOT flush partial blocks.
+  void order_transaction(const std::string& channel_name,
+                         ledger::Transaction tx);
   ledger::OrderingService& orderer_for(Channel& channel);
   void deliver_block(const std::string& channel_name,
                      const ledger::Block& block);
@@ -350,6 +411,10 @@ class FabricNetwork {
   std::set<std::string> byzantine_endorsers_;
   std::uint64_t equivocation_counter_ = 0;
   audit::EvidenceLog evidence_;
+  /// Validate-once admission pool. Volatile: any peer crash clears it
+  /// (tokens are never WAL-logged), so recovery re-verifies from scratch.
+  ledger::Mempool mempool_;
+  crypto::BatchVerifier batch_verifier_;
 };
 
 }  // namespace veil::fabric

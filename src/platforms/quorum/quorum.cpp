@@ -65,7 +65,8 @@ QuorumNetwork::QuorumNetwork(net::SimNetwork& network,
                                              proof_b);
                         },
                     .on_fail = nullptr,
-                }) {
+                }),
+      batch_verifier_(group, rng_.next_u64()) {
   tip_hash_ = crypto::sha256(std::string_view("veil.chain.genesis"));
 }
 
@@ -133,6 +134,155 @@ TxResult QuorumNetwork::submit_private(const std::string& from,
   tx.endorse(from, nodes_.at(from).keypair);
   ++private_count_;
   return enqueue(std::move(tx), recipients, writes, private_blob);
+}
+
+std::vector<TxResult> QuorumNetwork::submit_private_many(
+    const std::string& from, const std::vector<PrivateSubmission>& batch,
+    std::size_t pipeline_depth) {
+  if (pipeline_depth == 0) pipeline_depth = 1;
+  std::vector<TxResult> out(batch.size());
+  if (!nodes_.contains(from)) {
+    for (auto& r : out) r = {false, "", "unknown node"};
+    return out;
+  }
+
+  struct Item {
+    std::size_t origin;
+    ledger::Transaction tx;
+    common::Bytes blob;
+    std::vector<std::string> push_targets;
+    std::vector<common::Bytes> nonces;
+    std::vector<common::Bytes> sealed;  // filled by the pool task
+  };
+
+  for (std::size_t wave = 0; wave < batch.size(); wave += pipeline_depth) {
+    const std::size_t wave_end =
+        std::min(batch.size(), wave + pipeline_depth);
+    // Stage A (serial): build each transaction and draw every nonce in
+    // submission order, so the byte stream matches serial
+    // submit_private() calls exactly.
+    std::vector<Item> items;
+    for (std::size_t i = wave; i < wave_end; ++i) {
+      const PrivateSubmission& req = batch[i];
+      bool bad_recipient = false;
+      for (const std::string& r : req.recipients) {
+        if (!nodes_.contains(r)) {
+          out[i] = {false, "", "unknown recipient " + r};
+          bad_recipient = true;
+          break;
+        }
+      }
+      if (bad_recipient) continue;
+
+      Item item;
+      item.origin = i;
+      common::Writer w;
+      w.varint(req.writes.size());
+      for (const ledger::KvWrite& kv : req.writes) {
+        w.str(kv.key);
+        w.bytes(kv.value);
+        w.boolean(kv.is_delete);
+      }
+      w.bytes(req.payload);
+      w.u64(nonce_++);
+      item.blob = w.take();
+
+      item.tx.channel = "quorum";
+      item.tx.contract = "evm";
+      item.tx.action = "private";
+      item.tx.participants.push_back(from);
+      for (const std::string& r : req.recipients) {
+        item.tx.participants.push_back(r);
+      }
+      item.tx.payload = crypto::digest_bytes(crypto::sha256(item.blob));
+      item.tx.data_opaque = true;
+      item.tx.timestamp = network_->clock().now();
+      ++private_count_;
+
+      for (const std::string& holder : req.recipients) {
+        if (holder == from) continue;
+        common::Writer nonce;
+        nonce.u64(nonce_++);
+        common::Bytes nonce16 = nonce.take();
+        nonce16.resize(16, 0);
+        item.push_targets.push_back(holder);
+        item.nonces.push_back(std::move(nonce16));
+      }
+      item.sealed.resize(item.push_targets.size());
+      items.push_back(std::move(item));
+    }
+    // Stage B: endorsement signing and per-recipient transaction-manager
+    // sealing for the WHOLE wave run as pool tasks — both are pure
+    // (deterministic nonces, inputs fixed in stage A), so results are
+    // bit-identical at any thread count.
+    const crypto::KeyPair* keypair = &nodes_.at(from).keypair;
+    std::vector<std::future<void>> tasks;
+    for (Item& item : items) {
+      Item* it = &item;
+      tasks.push_back(common::ThreadPool::global().submit(
+          [it, from, keypair] {
+            it->tx.endorse(from, *keypair);
+            for (std::size_t r = 0; r < it->push_targets.size(); ++r) {
+              const common::Bytes pair_key = crypto::hkdf(
+                  {}, common::to_bytes(from + "|" + it->push_targets[r]),
+                  "quorum.tm.pair", 32);
+              it->sealed[r] = crypto::seal(pair_key, it->blob, it->nonces[r]);
+            }
+          }));
+    }
+    // Stage C (serial, submission order): disseminate and collect acks.
+    // While the first items round-trip their acks here, later items are
+    // still sealing in the pool. Admission is deferred to stage D so the
+    // whole wave shares one batched signature check.
+    std::vector<std::size_t> survivors;
+    for (std::size_t j = 0; j < items.size(); ++j) {
+      tasks[j].get();
+      Item& item = items[j];
+      const std::string tx_id = item.tx.id();
+      const PrivateSubmission& req = batch[item.origin];
+
+      auditor().record(from, "tx/" + tx_id + "/data", item.blob.size());
+      nodes_.at(from).tm_store[tx_id] = item.blob;
+      tm_acks_[tx_id] = {};
+      for (std::size_t r = 0; r < item.push_targets.size(); ++r) {
+        PrivateEnvelope env;
+        env.tx_id = tx_id;
+        env.sender = from;
+        env.sealed = item.sealed[r];
+        channel_.send(from, item.push_targets[r], "quorum.tm-push",
+                      env.encode());
+      }
+      network_->run();
+      std::size_t acked = 0;
+      for (const std::string& holder : req.recipients) {
+        if (holder == from || tm_acks_[tx_id].contains(holder)) ++acked;
+      }
+      tm_acks_.erase(tx_id);
+      if (acked < req.recipients.size()) {
+        nodes_.at(from).tm_store.erase(tx_id);
+        out[item.origin] = {false, tx_id,
+                            "private payload dissemination incomplete"};
+        continue;
+      }
+      std::set<std::string> holders = req.recipients;
+      holders.insert(from);
+      private_details_[tx_id] = PrivateDetail{holders, req.writes};
+      survivors.push_back(j);
+      out[item.origin] = {true, tx_id, ""};
+    }
+    // Stage D: one batched admission check across every transaction that
+    // survived dissemination, then enqueue in submission order. Batching
+    // at wave granularity — not per transaction — is what lets the RLC
+    // multi-exponentiation amortize.
+    std::vector<const ledger::Transaction*> wave_txs;
+    for (const std::size_t j : survivors) wave_txs.push_back(&items[j].tx);
+    admit_wave_to_mempool(wave_txs);
+    for (const std::size_t j : survivors) {
+      pending_.push_back(std::move(items[j].tx));
+      if (pending_.size() >= block_size_) seal_block();
+    }
+  }
+  return out;
 }
 
 TxResult QuorumNetwork::replay_private(const std::string& attacker,
@@ -246,9 +396,94 @@ TxResult QuorumNetwork::enqueue(ledger::Transaction tx,
     private_details_[tx_id] = PrivateDetail{holders, private_writes};
   }
 
+  admit_to_mempool(tx);
   pending_.push_back(std::move(tx));
   if (pending_.size() >= block_size_) seal_block();
   return {true, tx_id, ""};
+}
+
+void QuorumNetwork::admit_to_mempool(const ledger::Transaction& tx) {
+  if (!verify_commits_) return;
+  bool verified;
+  if (batch_verify_) {
+    const crypto::Digest digest = tx.body_digest();
+    const common::BytesView msg(digest.data(), digest.size());
+    for (const ledger::Endorsement& e : tx.endorsements) {
+      batch_verifier_.add_signature(e.key, msg, e.signature);
+    }
+    verified = batch_verifier_.pending() == 0 ||
+               batch_verifier_.verify().all_valid;
+  } else {
+    verified = tx.endorsements_valid(*group_);
+  }
+  mempool_.admit(tx, verified, network_->clock().now());
+}
+
+void QuorumNetwork::admit_wave_to_mempool(
+    const std::vector<const ledger::Transaction*>& txs) {
+  if (!verify_commits_) return;
+  const common::SimTime now = network_->clock().now();
+  if (!batch_verify_) {
+    for (const ledger::Transaction* tx : txs) {
+      mempool_.admit(*tx, tx->endorsements_valid(*group_), now);
+    }
+    return;
+  }
+  std::vector<std::size_t> queued;  // batch index -> txs index
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    const crypto::Digest digest = txs[i]->body_digest();
+    const common::BytesView msg(digest.data(), digest.size());
+    for (const ledger::Endorsement& e : txs[i]->endorsements) {
+      batch_verifier_.add_signature(e.key, msg, e.signature);
+      queued.push_back(i);
+    }
+  }
+  std::vector<char> ok(txs.size(), 1);
+  if (batch_verifier_.pending() > 0) {
+    const crypto::BatchOutcome outcome = batch_verifier_.verify();
+    for (const std::size_t bad : outcome.invalid) ok[queued[bad]] = 0;
+  }
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    mempool_.admit(*txs[i], ok[i] != 0, now);
+  }
+}
+
+std::vector<char> QuorumNetwork::block_signatures_valid(
+    const ledger::Block& block, const ledger::WorldState& state,
+    bool replay) {
+  std::vector<char> ok(block.transactions.size(), 1);
+  if (!verify_commits_) return ok;
+  // Validate-once: a token minted at admission (same body digest — the
+  // id IS the digest) stands in for re-verification. Quorum transactions
+  // carry no read-set, so the token's version check is digest-only.
+  const common::SimTime now = network_->clock().now();
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < block.transactions.size(); ++i) {
+    if (replay || !mempool_.validated(block.transactions[i], state, now)) {
+      misses.push_back(i);
+    }
+  }
+  if (batch_verify_) {
+    std::vector<std::size_t> queued;  // batch index -> tx index
+    for (const std::size_t i : misses) {
+      const ledger::Transaction& tx = block.transactions[i];
+      const crypto::Digest digest = tx.body_digest();
+      const common::BytesView msg(digest.data(), digest.size());
+      for (const ledger::Endorsement& e : tx.endorsements) {
+        batch_verifier_.add_signature(e.key, msg, e.signature);
+        queued.push_back(i);
+      }
+    }
+    if (batch_verifier_.pending() > 0) {
+      const crypto::BatchOutcome outcome = batch_verifier_.verify();
+      for (const std::size_t bad : outcome.invalid) ok[queued[bad]] = 0;
+    }
+  } else {
+    for (const std::size_t i : misses) {
+      ok[i] = block.transactions[i].endorsements_valid(*group_) ? 1 : 0;
+    }
+  }
+  return ok;
 }
 
 void QuorumNetwork::on_node_message(const std::string& self,
@@ -323,15 +558,21 @@ void QuorumNetwork::seal_block() {
 void QuorumNetwork::apply_block(const std::string& org,
                                 const ledger::Block& block, bool replay) {
   Node& node = nodes_.at(org);
+  const std::vector<char> sig_ok =
+      block_signatures_valid(block, node.public_state, replay);
   // WAL invariant: the block is durable before any in-memory mutation.
   if (!replay) ledger::wal_log_block(node.wal, block);
   node.chain.append(block);
+  std::size_t tx_index = 0;
   for (const ledger::Transaction& tx : block.transactions) {
     // Every node sees the full on-chain form: public payload in clear,
     // private payload as hash — but always the participant list.
     // (Recorded once, at the original commit; WAL replay is a local
     // re-read, not a new leak.)
     if (!replay) record_visibility(auditor(), org, tx);
+    // Fail closed on a forged endorsement (verify-commits deployments
+    // only): the transaction stays on chain but mutates no state.
+    if (sig_ok[tx_index++] == 0) continue;
     if (tx.action == "public") {
       for (const ledger::KvWrite& kv : tx.writes) {
         if (kv.is_delete) {
@@ -406,6 +647,11 @@ void QuorumNetwork::deliver(const ledger::Block& block) {
     channel_.send(from, org, "quorum.block", encoded);
   }
   network_->run();
+  // All live nodes have applied the block; retire its validation tokens.
+  const common::SimTime now = network_->clock().now();
+  for (const ledger::Transaction& tx : block.transactions) {
+    mempool_.remove(tx.id(), ledger::EvictionRecord::Cause::Committed, now);
+  }
 }
 
 void QuorumNetwork::sync() {
@@ -420,6 +666,9 @@ void QuorumNetwork::sync() {
 }
 
 void QuorumNetwork::on_node_crash(const std::string& org) {
+  // The admission pool is volatile (never WAL-logged): any crash drops
+  // all tokens and recovery re-verifies what the WAL replays.
+  mempool_.clear();
   Node& node = nodes_.at(org);
   // Volatile replica state is gone; the WAL and the transaction-manager
   // store (a separate durable process) survive. An in-progress snapshot

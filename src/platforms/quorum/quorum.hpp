@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "audit/evidence.hpp"
+#include "crypto/batch_verify.hpp"
 #include "ledger/chain.hpp"
+#include "ledger/mempool.hpp"
 #include "ledger/snapshot.hpp"
 #include "ledger/state.hpp"
 #include "ledger/transfer.hpp"
@@ -75,6 +77,39 @@ class QuorumNetwork {
 
   /// Force any pending transactions into a block.
   void seal_block();
+
+  /// One private submission for the pipelined batch flow.
+  struct PrivateSubmission {
+    std::set<std::string> recipients;
+    std::vector<ledger::KvWrite> writes;
+    common::Bytes payload;
+  };
+
+  /// Pipelined private submissions: transaction-manager sealing (the
+  /// per-recipient HKDF + AES work that dominates private-tx cost) for a
+  /// wave of `pipeline_depth` submissions runs as pool tasks while
+  /// earlier submissions are already disseminating and being sealed into
+  /// blocks. Nonces are drawn serially up front, so the resulting
+  /// transactions are byte-identical to serial submit_private() calls at
+  /// any thread count.
+  std::vector<TxResult> submit_private_many(
+      const std::string& from, const std::vector<PrivateSubmission>& batch,
+      std::size_t pipeline_depth = 8);
+
+  /// Commit-time endorsement verification (off by default — upstream
+  /// Quorum trusts its own signed gossip, and the no-verify commit path
+  /// is the measured baseline). When on, nodes verify each transaction's
+  /// endorsement signature at apply time, consulting the validate-once
+  /// mempool token first; transactions failing verification are skipped.
+  void set_verify_commits(bool on = true) { verify_commits_ = on; }
+  /// Route commit verification through the batched RLC kernel (default)
+  /// or the per-item path (differential testing).
+  void set_batch_verify(bool on = true) { batch_verify_ = on; }
+
+  const ledger::Mempool& mempool() const { return mempool_; }
+  const crypto::BatchVerifier::Stats& batch_verify_stats() const {
+    return batch_verifier_.stats();
+  }
 
   // ---- Byzantine tier (docs/fault_model.md "Byzantine tier") ---------------
 
@@ -178,6 +213,18 @@ class QuorumNetwork {
                    const std::set<std::string>& private_recipients,
                    const std::vector<ledger::KvWrite>& private_writes,
                    const common::Bytes& private_payload);
+  /// Admission verification + token mint (no-op unless verify_commits_).
+  void admit_to_mempool(const ledger::Transaction& tx);
+  /// Wave admission for submit_private_many: one batched signature check
+  /// spanning every transaction in the wave (no-op unless
+  /// verify_commits_).
+  void admit_wave_to_mempool(const std::vector<const ledger::Transaction*>& txs);
+  /// Per-transaction signature validity for a block at apply time:
+  /// validate-once token hits skip verification, misses go through the
+  /// batched (or per-item) check. All-ones unless verify_commits_.
+  std::vector<char> block_signatures_valid(const ledger::Block& block,
+                                           const ledger::WorldState& state,
+                                           bool replay);
   void deliver(const ledger::Block& block);
   void on_node_message(const std::string& self, const net::Message& msg);
   /// Append one block to one node's replica. `replay` marks WAL recovery
@@ -234,6 +281,11 @@ class QuorumNetwork {
   std::uint64_t private_count_ = 0;
   std::uint64_t nonce_ = 0;
   bool detection_ = false;
+  bool verify_commits_ = false;
+  bool batch_verify_ = true;
+  /// Validate-once admission pool (volatile; cleared on any node crash).
+  ledger::Mempool mempool_;
+  crypto::BatchVerifier batch_verifier_;
   audit::EvidenceLog evidence_;
   /// Private payload hashes already on chain -> (first carrying tx id,
   /// its encoding — the first half of a replay conviction's proof).

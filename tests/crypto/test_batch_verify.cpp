@@ -1,0 +1,302 @@
+// Soundness tests for the random-linear-combination batch verifier.
+//
+// The critical properties: an honest batch always passes, a forged item
+// is not only rejected but bisected to its exact add-order index (the
+// conviction feeds the Evidence path, so it must be proof-grade), and
+// classic cancellation attacks against naive aggregation fail against
+// the per-verifier randomizer stream.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/batch_verify.hpp"
+#include "crypto/group.hpp"
+#include "crypto/multiexp.hpp"
+#include "crypto/signature.hpp"
+#include "crypto/zkp.hpp"
+
+namespace veil::crypto {
+namespace {
+
+class BatchVerifyTest : public ::testing::Test {
+ protected:
+  const Group& group_ = Group::test_group();
+  common::Rng rng_{4242};
+};
+
+// ---- multi-exponentiation kernel -------------------------------------------
+
+TEST_F(BatchVerifyTest, MultiExpMatchesNaivePowProduct) {
+  std::vector<ExpTerm> terms;
+  BigInt expected = 1;
+  for (int i = 0; i < 9; ++i) {
+    const BigInt base = group_.pow_g(rng_.next_u64() % 100000 + 1);
+    const BigInt exp = BigInt(rng_.next_u64()) * BigInt(rng_.next_u64());
+    terms.push_back({base, exp});
+    expected = group_.mul(expected, base.mod_pow(exp, group_.p()));
+  }
+  EXPECT_EQ(multi_exp(*group_.mont(), terms), expected);
+}
+
+TEST_F(BatchVerifyTest, MultiExpEdgeCases) {
+  // Empty product is one.
+  EXPECT_EQ(multi_exp(*group_.mont(), {}), BigInt(1));
+  // Zero exponents contribute nothing.
+  std::vector<ExpTerm> terms{{group_.g(), 0}, {group_.h(), 7}};
+  EXPECT_EQ(multi_exp(*group_.mont(), terms),
+            group_.h().mod_pow(7, group_.p()));
+  // Single term degenerates to mod_pow.
+  terms = {{group_.g(), BigInt::from_hex("abcdef0123456789")}};
+  EXPECT_EQ(multi_exp(*group_.mont(), terms),
+            group_.g().mod_pow(BigInt::from_hex("abcdef0123456789"),
+                               group_.p()));
+}
+
+// ---- honest batches --------------------------------------------------------
+
+TEST_F(BatchVerifyTest, HonestMixedBatchPasses) {
+  BatchVerifier verifier(group_, 1);
+  const KeyPair key_a = KeyPair::generate(group_, rng_);
+  const KeyPair key_b = KeyPair::generate(group_, rng_);
+  for (int i = 0; i < 20; ++i) {
+    const common::Bytes msg = rng_.next_bytes(24);
+    const KeyPair& key = (i % 2) ? key_a : key_b;
+    verifier.add_signature(key.public_key(), msg, key.sign(msg));
+  }
+  for (int i = 0; i < 8; ++i) {
+    const BigInt secret = BigInt(rng_.next_u64()) % group_.q();
+    const BigInt y = group_.pow_g(secret);
+    const auto proof =
+        prove_dlog(group_, group_.g(), secret, common::to_bytes("ctx"), rng_);
+    verifier.add_dlog(group_.g(), y, proof, common::to_bytes("ctx"));
+  }
+  EXPECT_EQ(verifier.pending(), 28u);
+  const BatchOutcome outcome = verifier.verify();
+  EXPECT_TRUE(outcome.all_valid);
+  EXPECT_TRUE(outcome.invalid.empty());
+  EXPECT_EQ(outcome.batch_checks, 1u);  // one RLC check, no bisection
+  EXPECT_EQ(outcome.bisect_steps, 0u);
+  EXPECT_EQ(verifier.pending(), 0u);  // verify() drains the queue
+  // Two distinct keys recur across 20 signatures: membership pow is paid
+  // twice, not twenty times.
+  EXPECT_EQ(verifier.stats().key_cache_misses, 2u + 8u);
+  EXPECT_GT(verifier.stats().key_cache_hits, 0u);
+}
+
+TEST_F(BatchVerifyTest, EmptyBatchPasses) {
+  BatchVerifier verifier(group_, 2);
+  const BatchOutcome outcome = verifier.verify();
+  EXPECT_TRUE(outcome.all_valid);
+  EXPECT_TRUE(outcome.invalid.empty());
+}
+
+// ---- forgery conviction ----------------------------------------------------
+
+TEST_F(BatchVerifyTest, SingleForgeryIn128Bisected) {
+  BatchVerifier verifier(group_, 3);
+  const KeyPair key = KeyPair::generate(group_, rng_);
+  constexpr std::size_t kBatch = 128;
+  constexpr std::size_t kForged = 77;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const common::Bytes msg = rng_.next_bytes(16);
+    Signature sig = key.sign(msg);
+    if (i == kForged) {
+      // Bump the response scalar: hash binding still holds (e, R, m are
+      // untouched), so only the group equation — the probabilistically
+      // covered half — can catch it.
+      sig.response = (sig.response + 1) % group_.q();
+    }
+    verifier.add_signature(key.public_key(), msg, sig);
+  }
+  const BatchOutcome outcome = verifier.verify();
+  EXPECT_FALSE(outcome.all_valid);
+  ASSERT_EQ(outcome.invalid.size(), 1u);
+  EXPECT_EQ(outcome.invalid[0], kForged);
+  // The conviction came from bisection plus an exact singleton check, not
+  // from 128 per-item verifications.
+  EXPECT_GT(outcome.bisect_steps, 0u);
+  EXPECT_GE(outcome.single_fallbacks, 1u);
+  EXPECT_LT(outcome.single_fallbacks, kBatch / 2);
+  EXPECT_EQ(verifier.stats().rejected_items, 1u);
+}
+
+TEST_F(BatchVerifyTest, MultipleCulpritsAllConvicted) {
+  BatchVerifier verifier(group_, 4);
+  const KeyPair key = KeyPair::generate(group_, rng_);
+  const std::vector<std::size_t> forged{5, 33, 60, 61};
+  for (std::size_t i = 0; i < 96; ++i) {
+    const common::Bytes msg = rng_.next_bytes(16);
+    Signature sig = key.sign(msg);
+    if (std::find(forged.begin(), forged.end(), i) != forged.end()) {
+      sig.response = (sig.response + 9) % group_.q();
+    }
+    verifier.add_signature(key.public_key(), msg, sig);
+  }
+  const BatchOutcome outcome = verifier.verify();
+  EXPECT_FALSE(outcome.all_valid);
+  EXPECT_EQ(outcome.invalid, forged);  // ascending add-order indices
+}
+
+TEST_F(BatchVerifyTest, TamperedCommitmentFailsHashBinding) {
+  BatchVerifier verifier(group_, 5);
+  const KeyPair key = KeyPair::generate(group_, rng_);
+  for (int i = 0; i < 8; ++i) {
+    const common::Bytes msg = rng_.next_bytes(16);
+    Signature sig = key.sign(msg);
+    if (i == 3) sig.commitment = group_.mul(sig.commitment, group_.g());
+    verifier.add_signature(key.public_key(), msg, sig);
+  }
+  const BatchOutcome outcome = verifier.verify();
+  EXPECT_FALSE(outcome.all_valid);
+  ASSERT_EQ(outcome.invalid.size(), 1u);
+  EXPECT_EQ(outcome.invalid[0], 3u);
+}
+
+TEST_F(BatchVerifyTest, OutOfRangeScalarsRejectedExactly) {
+  BatchVerifier verifier(group_, 6);
+  const KeyPair key = KeyPair::generate(group_, rng_);
+  const common::Bytes msg = common::to_bytes("range");
+  Signature bad = key.sign(msg);
+  bad.response = bad.response + group_.q();  // >= q: must fail pre-check
+  verifier.add_signature(key.public_key(), msg, bad);
+  for (int i = 0; i < 3; ++i) {
+    const common::Bytes m = rng_.next_bytes(8);
+    verifier.add_signature(key.public_key(), m, key.sign(m));
+  }
+  const BatchOutcome outcome = verifier.verify();
+  EXPECT_FALSE(outcome.all_valid);
+  ASSERT_EQ(outcome.invalid.size(), 1u);
+  EXPECT_EQ(outcome.invalid[0], 0u);
+}
+
+TEST_F(BatchVerifyTest, ForgedDlogProofConvicted) {
+  BatchVerifier verifier(group_, 7);
+  for (int i = 0; i < 12; ++i) {
+    const BigInt secret = BigInt(rng_.next_u64()) % group_.q();
+    const BigInt y = group_.pow_g(secret);
+    auto proof =
+        prove_dlog(group_, group_.g(), secret, common::to_bytes("c"), rng_);
+    if (i == 9) proof.response = (proof.response + 1) % group_.q();
+    verifier.add_dlog(group_.g(), y, proof, common::to_bytes("c"));
+  }
+  const BatchOutcome outcome = verifier.verify();
+  EXPECT_FALSE(outcome.all_valid);
+  ASSERT_EQ(outcome.invalid.size(), 1u);
+  EXPECT_EQ(outcome.invalid[0], 9u);
+}
+
+// ---- adversarial aggregation -----------------------------------------------
+
+// The classic attack on sum-based batch verification: shift one response
+// up by delta and another down by delta. Under equal (or known) weights
+// the defects cancel in the aggregated g-exponent and the combined check
+// passes even though both items are individually invalid. Random
+// per-item z_i break the cancellation with overwhelming probability, and
+// bisection + exact singleton fallback must then convict BOTH items.
+TEST_F(BatchVerifyTest, CancellationPairConvicted) {
+  BatchVerifier verifier(group_, 8);
+  const KeyPair key = KeyPair::generate(group_, rng_);
+  std::vector<std::size_t> tampered;
+  const BigInt delta = 12345;
+  for (int i = 0; i < 16; ++i) {
+    const common::Bytes msg = rng_.next_bytes(16);
+    Signature sig = key.sign(msg);
+    if (i == 4) {
+      sig.response = (sig.response + delta) % group_.q();
+      tampered.push_back(4);
+    } else if (i == 11) {
+      sig.response = ((sig.response + group_.q()) - delta) % group_.q();
+      tampered.push_back(11);
+    }
+    verifier.add_signature(key.public_key(), msg, sig);
+  }
+  const BatchOutcome outcome = verifier.verify();
+  EXPECT_FALSE(outcome.all_valid);
+  EXPECT_EQ(outcome.invalid, tampered);
+}
+
+// ---- determinism -----------------------------------------------------------
+
+TEST_F(BatchVerifyTest, SameSeedSameHistorySameOutcome) {
+  BatchVerifier a(group_, 99);
+  BatchVerifier b(group_, 99);
+  const KeyPair key = KeyPair::generate(group_, rng_);
+  std::vector<common::Bytes> msgs;
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 32; ++i) {
+    msgs.push_back(rng_.next_bytes(16));
+    sigs.push_back(key.sign(msgs.back()));
+  }
+  sigs[13].response = (sigs[13].response + 1) % group_.q();
+  for (int i = 0; i < 32; ++i) {
+    a.add_signature(key.public_key(), msgs[i], sigs[i]);
+    b.add_signature(key.public_key(), msgs[i], sigs[i]);
+  }
+  const BatchOutcome oa = a.verify();
+  const BatchOutcome ob = b.verify();
+  EXPECT_EQ(oa.invalid, ob.invalid);
+  EXPECT_EQ(oa.batch_checks, ob.batch_checks);
+  EXPECT_EQ(oa.bisect_steps, ob.bisect_steps);
+  EXPECT_EQ(oa.single_fallbacks, ob.single_fallbacks);
+}
+
+TEST_F(BatchVerifyTest, DifferentSeedsAgreeOnVerdict) {
+  const KeyPair key = KeyPair::generate(group_, rng_);
+  std::vector<common::Bytes> msgs;
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 16; ++i) {
+    msgs.push_back(rng_.next_bytes(16));
+    sigs.push_back(key.sign(msgs.back()));
+  }
+  sigs[7].challenge = (sigs[7].challenge + 1) % group_.q();
+  for (const std::uint64_t seed : {1ull, 1234567ull, 0xdeadbeefull}) {
+    BatchVerifier verifier(group_, seed);
+    for (int i = 0; i < 16; ++i) {
+      verifier.add_signature(key.public_key(), msgs[i], sigs[i]);
+    }
+    const BatchOutcome outcome = verifier.verify();
+    EXPECT_EQ(outcome.invalid, (std::vector<std::size_t>{7}))
+        << "seed " << seed;
+  }
+}
+
+// Batched accept/reject must be bit-identical to the per-item reference
+// implementation for every item — the whole point of the exact fallback.
+TEST_F(BatchVerifyTest, BatchMatchesPerItemReference) {
+  BatchVerifier verifier(group_, 10);
+  const KeyPair key = KeyPair::generate(group_, rng_);
+  std::vector<common::Bytes> msgs;
+  std::vector<Signature> sigs;
+  std::vector<bool> reference;
+  for (int i = 0; i < 40; ++i) {
+    msgs.push_back(rng_.next_bytes(16));
+    Signature sig = key.sign(msgs.back());
+    if (i % 7 == 3) sig.response = (sig.response + i) % group_.q();
+    sigs.push_back(sig);
+    reference.push_back(verify(group_, key.public_key(), msgs.back(), sig));
+    verifier.add_signature(key.public_key(), msgs.back(), sig);
+  }
+  const BatchOutcome outcome = verifier.verify();
+  std::vector<bool> batched(40, true);
+  for (const std::size_t i : outcome.invalid) batched[i] = false;
+  EXPECT_EQ(batched, reference);
+}
+
+// ---- wire format of the commitment-bearing signature -----------------------
+
+TEST_F(BatchVerifyTest, SignatureCommitmentRoundTrips) {
+  const KeyPair key = KeyPair::generate(group_, rng_);
+  const common::Bytes msg = common::to_bytes("wire");
+  const Signature sig = key.sign(msg);
+  EXPECT_FALSE(sig.commitment.is_zero());
+  const Signature decoded = Signature::decode(sig.encode());
+  EXPECT_EQ(decoded, sig);
+  EXPECT_TRUE(verify(group_, key.public_key(), msg, decoded));
+  // A signature stripped of its commitment must not verify: both the hash
+  // binding and the group equation are required.
+  Signature stripped = sig;
+  stripped.commitment = BigInt();
+  EXPECT_FALSE(verify(group_, key.public_key(), msg, stripped));
+}
+
+}  // namespace
+}  // namespace veil::crypto

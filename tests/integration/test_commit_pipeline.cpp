@@ -1,0 +1,387 @@
+// Commit-path batching integration: the pipelined submit paths and the
+// batched RLC verification must be BIT-IDENTICAL to the serial/per-item
+// paths — same receipts, same state digests — and every Byzantine
+// attack the Detect tier convicts must still be convicted with batching
+// on (the bisection fallback makes convictions exact).
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "platforms/corda/corda.hpp"
+#include "platforms/fabric/fabric.hpp"
+#include "platforms/quorum/quorum.hpp"
+
+namespace veil {
+namespace {
+
+using common::Rng;
+using common::to_bytes;
+
+std::shared_ptr<contracts::FunctionContract> kv_chaincode() {
+  return std::make_shared<contracts::FunctionContract>(
+      "kv", 1,
+      [](contracts::ContractContext& ctx, const std::string& action) {
+        if (action.rfind("put:", 0) == 0) {
+          ctx.put(action.substr(4),
+                  common::Bytes(ctx.args().begin(), ctx.args().end()));
+          return contracts::InvokeStatus::Ok;
+        }
+        return contracts::InvokeStatus::UnknownAction;
+      });
+}
+
+// Fresh Fabric network with fixed seeds, so two rigs configured the same
+// way replay the same transcript.
+struct FabricRig {
+  net::SimNetwork net;
+  Rng rng;
+  fabric::FabricNetwork fab;
+
+  explicit FabricRig(fabric::FabricConfig config = {})
+      : net(Rng(7)), rng(8), fab(net, crypto::Group::test_group(), rng,
+                                 config) {
+    for (const char* org : {"OrgA", "OrgB"}) fab.add_org(org);
+    fab.create_channel("ch", {"OrgA", "OrgB"});
+    fab.install_chaincode("ch", "OrgA", kv_chaincode(),
+                          contracts::EndorsementPolicy::require("OrgA"));
+    fab.set_validation_mode(fabric::FabricNetwork::ValidationMode::Validate);
+  }
+};
+
+std::vector<fabric::FabricNetwork::SubmitRequest> fabric_wave(std::size_t n) {
+  std::vector<fabric::FabricNetwork::SubmitRequest> wave;
+  for (std::size_t i = 0; i < n; ++i) {
+    wave.push_back({"ch", "OrgB", "kv", "put:k" + std::to_string(i),
+                    to_bytes("v" + std::to_string(i)), {}, nullptr});
+  }
+  return wave;
+}
+
+TEST(CommitPipeline, FabricPipelinedMatchesSerialState) {
+  FabricRig serial;
+  FabricRig piped;
+  const auto wave = fabric_wave(12);
+
+  std::size_t serial_committed = 0;
+  for (const auto& r : wave) {
+    if (serial.fab.submit(r.channel, r.client_org, r.chaincode, r.action,
+                          r.args).committed) {
+      ++serial_committed;
+    }
+  }
+  const auto receipts = piped.fab.submit_many(wave, /*pipeline_depth=*/8);
+  std::size_t piped_committed = 0;
+  for (const auto& r : receipts) piped_committed += r.committed ? 1 : 0;
+
+  EXPECT_EQ(serial_committed, wave.size());
+  EXPECT_EQ(piped_committed, wave.size());
+  // Same transactions in the same order: the replicas end bit-identical
+  // (block boundaries may differ — submit() flushes per call).
+  EXPECT_EQ(serial.fab.state("ch", "OrgA").digest(),
+            piped.fab.state("ch", "OrgA").digest());
+  EXPECT_EQ(piped.fab.state("ch", "OrgA").digest(),
+            piped.fab.state("ch", "OrgB").digest());
+  // The pipeline actually exercised the new machinery.
+  EXPECT_GT(piped.fab.mempool().stats().token_hits, 0u);
+  EXPECT_GT(piped.fab.batch_verify_stats().items, 0u);
+}
+
+TEST(CommitPipeline, FabricPipelineDeterministicAcrossThreadCounts) {
+  const auto run = [](std::size_t threads) {
+    common::ThreadPool::set_global_threads(threads);
+    FabricRig rig;
+    const auto receipts = rig.fab.submit_many(fabric_wave(16), 8);
+    common::ThreadPool::set_global_threads(1);
+    std::vector<std::string> ids;
+    for (const auto& r : receipts) {
+      EXPECT_TRUE(r.committed) << r.reason;
+      ids.push_back(r.tx_id);
+    }
+    return std::make_pair(ids, rig.fab.state("ch", "OrgA").digest());
+  };
+  const auto one = run(1);
+  const auto eight = run(8);
+  EXPECT_EQ(one.first, eight.first);    // same tx ids, same order
+  EXPECT_EQ(one.second, eight.second);  // same final state
+}
+
+TEST(CommitPipeline, FabricBatchVerifyOffIsBitIdentical) {
+  fabric::FabricConfig off_config;
+  off_config.batch_verify = false;
+  FabricRig batched;
+  FabricRig per_item(off_config);
+  const auto wave = fabric_wave(16);
+
+  const auto rb = batched.fab.submit_many(wave, 8);
+  const auto rp = per_item.fab.submit_many(wave, 8);
+  ASSERT_EQ(rb.size(), rp.size());
+  for (std::size_t i = 0; i < rb.size(); ++i) {
+    EXPECT_EQ(rb[i].committed, rp[i].committed);
+    EXPECT_EQ(rb[i].tx_id, rp[i].tx_id);
+  }
+  EXPECT_EQ(batched.fab.state("ch", "OrgA").digest(),
+            per_item.fab.state("ch", "OrgA").digest());
+  EXPECT_GT(batched.fab.batch_verify_stats().items, 0u);
+  EXPECT_EQ(per_item.fab.batch_verify_stats().items, 0u);
+}
+
+TEST(CommitPipeline, FabricOrdererTamperingConvictedWithBatchingOn) {
+  FabricRig rig;
+  rig.fab.set_validation_mode(fabric::FabricNetwork::ValidationMode::Detect);
+  rig.fab.set_byzantine_orderer(true);
+  const auto receipts = rig.fab.submit_many(fabric_wave(6), 8);
+  for (const auto& r : receipts) EXPECT_FALSE(r.committed);
+  // The batch rejects, bisection pins the invalid endorsements, and the
+  // conviction is exactly the one the serial path produces.
+  ASSERT_GE(rig.fab.evidence().count(), 1u);
+  EXPECT_EQ(rig.fab.evidence().entries().front().kind,
+            audit::Misbehavior::OrdererTampering);
+  EXPECT_TRUE(rig.net.is_quarantined(rig.fab.orderer_operator("ch")));
+  EXPECT_EQ(rig.fab.state("ch", "OrgA").digest(),
+            rig.fab.state("ch", "OrgB").digest());
+}
+
+TEST(CommitPipeline, FabricEndorserEquivocationConvictedWithBatchingOn) {
+  FabricRig rig;
+  rig.fab.set_validation_mode(fabric::FabricNetwork::ValidationMode::Detect);
+  rig.fab.set_byzantine_endorser("OrgA");
+  // The same proposal twice in one wave: each endorsement is validly
+  // signed (the batch passes), but the Detect cross-check still sees the
+  // conflicting write-sets.
+  const fabric::FabricNetwork::SubmitRequest proposal{
+      "ch", "OrgB", "kv", "put:deal", to_bytes("100"), {}, nullptr};
+  std::vector<fabric::FabricNetwork::SubmitRequest> wave{proposal, proposal};
+  rig.fab.submit_many(wave, 8);
+  ASSERT_GE(rig.fab.evidence().count(), 1u);
+  EXPECT_EQ(rig.fab.evidence().entries().front().kind,
+            audit::Misbehavior::EndorserEquivocation);
+  EXPECT_TRUE(rig.net.is_quarantined("peer.OrgA"));
+}
+
+// ---- Quorum ----------------------------------------------------------------
+
+struct QuorumRig {
+  net::SimNetwork net;
+  Rng rng;
+  quorum::QuorumNetwork quorum;
+
+  explicit QuorumRig(std::uint64_t block_size = 4)
+      : net(Rng(27)), rng(28), quorum(net, crypto::Group::test_group(), rng,
+                                      block_size) {
+    for (const char* n : {"NodeA", "NodeB", "NodeC"}) quorum.add_node(n);
+    quorum.set_verify_commits(true);
+  }
+};
+
+std::vector<quorum::QuorumNetwork::PrivateSubmission> quorum_wave(
+    std::size_t n) {
+  std::vector<quorum::QuorumNetwork::PrivateSubmission> wave;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string key = "asset/a" + std::to_string(i) + "/owner";
+    wave.push_back({{"NodeB"},
+                    {ledger::KvWrite{key, to_bytes("NodeB")}},
+                    to_bytes("transfer " + std::to_string(i))});
+  }
+  return wave;
+}
+
+TEST(CommitPipeline, QuorumBatchedCommitVerificationMatchesPerItem) {
+  QuorumRig batched;
+  QuorumRig per_item;
+  per_item.quorum.set_batch_verify(false);
+  const auto wave = quorum_wave(8);
+
+  const auto rb = batched.quorum.submit_private_many("NodeA", wave, 8);
+  const auto rp = per_item.quorum.submit_private_many("NodeA", wave, 8);
+  batched.quorum.seal_block();
+  per_item.quorum.seal_block();
+  ASSERT_EQ(rb.size(), rp.size());
+  for (std::size_t i = 0; i < rb.size(); ++i) {
+    EXPECT_TRUE(rb[i].accepted) << rb[i].reason;
+    EXPECT_EQ(rb[i].accepted, rp[i].accepted);
+    EXPECT_EQ(rb[i].tx_id, rp[i].tx_id);
+  }
+  EXPECT_EQ(batched.quorum.public_state("NodeA").digest(),
+            per_item.quorum.public_state("NodeA").digest());
+  EXPECT_EQ(batched.quorum.public_state("NodeA").digest(),
+            batched.quorum.public_state("NodeC").digest());
+  EXPECT_GT(batched.quorum.batch_verify_stats().items, 0u);
+  EXPECT_EQ(per_item.quorum.batch_verify_stats().items, 0u);
+}
+
+TEST(CommitPipeline, QuorumReplayStillDetectedWithVerifiedBatching) {
+  QuorumRig rig(/*block_size=*/1);
+  rig.quorum.enable_detection();
+  const auto tx1 = rig.quorum.submit_private(
+      "NodeA", {"NodeB"},
+      {{"asset/bond-7/owner", to_bytes("NodeB"), false}});
+  ASSERT_TRUE(tx1.accepted) << tx1.reason;
+  const auto replay = rig.quorum.replay_private("NodeB", tx1.tx_id, {"NodeC"});
+  ASSERT_TRUE(replay.accepted) << replay.reason;
+  rig.quorum.sync();
+  ASSERT_GE(rig.quorum.evidence().count(), 1u);
+  EXPECT_EQ(rig.quorum.evidence().entries().front().kind,
+            audit::Misbehavior::PrivateReplay);
+  EXPECT_TRUE(rig.net.is_quarantined("NodeB"));
+}
+
+TEST(CommitPipeline, QuorumMempoolIsVolatileCommittedBlocksAreNot) {
+  QuorumRig rig(/*block_size=*/4);
+  // Seal one full block, then leave a second wave pending: its tokens
+  // are resident in the pool.
+  const auto sealed = rig.quorum.submit_private_many("NodeA", quorum_wave(4),
+                                                     4);
+  for (const auto& r : sealed) ASSERT_TRUE(r.accepted) << r.reason;
+  rig.quorum.seal_block();
+  const auto committed_digest = rig.quorum.public_state("NodeA").digest();
+
+  std::vector<quorum::QuorumNetwork::PrivateSubmission> pending_wave{
+      {{"NodeB"}, {ledger::KvWrite{"asset/p/owner", to_bytes("NodeB")}},
+       to_bytes("pending")}};
+  rig.quorum.submit_private_many("NodeA", pending_wave, 1);
+  EXPECT_GT(rig.quorum.mempool().size(), 0u);
+
+  // Crash-stop: the pool is volatile and never WAL-logged, so every
+  // token is gone; the committed block is durable and untouched.
+  rig.net.crash("NodeB");
+  EXPECT_EQ(rig.quorum.mempool().size(), 0u);
+  rig.net.restart("NodeB");
+  EXPECT_EQ(rig.quorum.public_state("NodeB").digest(), committed_digest);
+  EXPECT_EQ(rig.quorum.public_state("NodeA").digest(), committed_digest);
+
+  // The commit path still works after the wipe — transactions just go
+  // back through full verification (token misses, not failures).
+  const auto after = rig.quorum.submit_private_many(
+      "NodeA", quorum_wave(4), 4);
+  for (const auto& r : after) {
+    // First four ids collide with the already-committed transfers only if
+    // payloads matched; either way the calls must not crash and sealing
+    // must keep replicas identical.
+    (void)r;
+  }
+  rig.quorum.seal_block();
+  EXPECT_EQ(rig.quorum.public_state("NodeA").digest(),
+            rig.quorum.public_state("NodeC").digest());
+}
+
+// ---- Corda -----------------------------------------------------------------
+
+struct CordaRig {
+  net::SimNetwork net;
+  Rng rng;
+  corda::CordaNetwork corda;
+
+  CordaRig() : net(Rng(17)), rng(18), corda(net, crypto::Group::test_group(),
+                                            rng) {
+    corda.add_party("Alice");
+    corda.add_party("Bob");
+    corda.add_party("Carol");
+    corda.add_notary("Notary", /*validating=*/false);
+  }
+
+  corda::StateRef issue_cash(const std::string& owner,
+                             const std::string& amount) {
+    const auto r = corda.issue(owner, "Cash", to_bytes(amount), {owner},
+                               "Notary");
+    EXPECT_TRUE(r.success) << r.reason;
+    return corda::StateRef{r.tx_id, 1};
+  }
+};
+
+TEST(CommitPipeline, CordaWavePipelineCommitsDisjointFlows) {
+  CordaRig rig;
+  std::vector<corda::CordaNetwork::TransactRequest> wave;
+  for (int i = 0; i < 4; ++i) {
+    const auto ref = rig.issue_cash("Alice", std::to_string(10 + i));
+    wave.push_back({"Alice",
+                    {ref},
+                    {corda::OutputSpec{"Cash", to_bytes(std::to_string(10 + i)),
+                                       {"Bob"}}},
+                    "Notary",
+                    false,
+                    {}});
+  }
+  const auto results = rig.corda.transact_many(wave, /*pipeline_depth=*/4);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) EXPECT_TRUE(r.success) << r.reason;
+  EXPECT_EQ(rig.corda.vault("Bob").size(), 4u);
+  EXPECT_TRUE(rig.corda.vault("Alice").empty());
+}
+
+TEST(CommitPipeline, CordaWaveInputConflictArbitratedByNotary) {
+  CordaRig rig;
+  const auto ref = rig.issue_cash("Alice", "50");
+  // Two flows in one wave spend the same state: the notary consumes it
+  // for exactly one of them, the other gets a refusal — the same outcome
+  // two concurrent submitters would see.
+  std::vector<corda::CordaNetwork::TransactRequest> wave{
+      {"Alice", {ref}, {corda::OutputSpec{"Cash", to_bytes("50"), {"Bob"}}},
+       "Notary", false, {}},
+      {"Alice", {ref}, {corda::OutputSpec{"Cash", to_bytes("50"), {"Carol"}}},
+       "Notary", false, {}}};
+  const auto results = rig.corda.transact_many(wave, 2);
+  ASSERT_EQ(results.size(), 2u);
+  const int successes = (results[0].success ? 1 : 0) +
+                        (results[1].success ? 1 : 0);
+  EXPECT_EQ(successes, 1);
+  EXPECT_FALSE(results[0].success && results[1].success);
+  EXPECT_EQ(rig.corda.vault("Bob").size() + rig.corda.vault("Carol").size(),
+            1u);
+}
+
+TEST(CommitPipeline, CordaBackchainBatchedValidateOnce) {
+  CordaRig rig;
+  // Build a four-deep backchain: issue, then hop the state around.
+  const auto issued = rig.issue_cash("Alice", "99");
+  auto hop = [&](const std::string& from, const std::string& to) {
+    const auto ref = rig.corda.vault(from).back().ref;
+    const auto r = rig.corda.transact(
+        from, {ref}, {corda::OutputSpec{"Cash", to_bytes("99"), {to}}},
+        "Notary");
+    ASSERT_TRUE(r.success) << r.reason;
+  };
+  hop("Alice", "Bob");
+  hop("Bob", "Alice");
+  hop("Alice", "Carol");
+
+  const auto carol_ref = rig.corda.vault("Carol").front().ref;
+  const auto first = rig.corda.resolve_backchain("Carol", carol_ref);
+  ASSERT_TRUE(first.valid) << first.reason;
+  EXPECT_EQ(first.depth, 4u);
+  EXPECT_GT(rig.corda.verified_ancestor_count(), 0u);
+  const std::uint64_t items_after_first =
+      rig.corda.batch_verify_stats().items;
+  EXPECT_GT(items_after_first, 0u);
+
+  // Second resolution of the same chain: every ancestor is already in
+  // the verified set, so no new crypto work happens (validate-once).
+  const auto second = rig.corda.resolve_backchain("Bob", carol_ref);
+  ASSERT_TRUE(second.valid) << second.reason;
+  EXPECT_EQ(second.tx_ids, first.tx_ids);
+  EXPECT_EQ(rig.corda.batch_verify_stats().items, items_after_first);
+
+  // Per-item path agrees with the batched one on a fresh, identically
+  // seeded network.
+  CordaRig per_item;
+  per_item.corda.set_batch_verify(false);
+  const auto issued2 = per_item.issue_cash("Alice", "99");
+  (void)issued;
+  (void)issued2;
+  auto hop2 = [&](const std::string& from, const std::string& to) {
+    const auto ref = per_item.corda.vault(from).back().ref;
+    const auto r = per_item.corda.transact(
+        from, {ref}, {corda::OutputSpec{"Cash", to_bytes("99"), {to}}},
+        "Notary");
+    ASSERT_TRUE(r.success) << r.reason;
+  };
+  hop2("Alice", "Bob");
+  hop2("Bob", "Alice");
+  hop2("Alice", "Carol");
+  const auto reference = per_item.corda.resolve_backchain(
+      "Carol", per_item.corda.vault("Carol").front().ref);
+  ASSERT_TRUE(reference.valid) << reference.reason;
+  EXPECT_EQ(reference.depth, first.depth);
+  EXPECT_EQ(reference.tx_ids, first.tx_ids);
+}
+
+}  // namespace
+}  // namespace veil

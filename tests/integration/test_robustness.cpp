@@ -10,6 +10,7 @@
 #include "crypto/merkle.hpp"
 #include "crypto/zkp.hpp"
 #include "ledger/block.hpp"
+#include "ledger/mempool.hpp"
 #include "ledger/snapshot.hpp"
 #include "ledger/state.hpp"
 #include "ledger/transfer.hpp"
@@ -317,6 +318,62 @@ TEST_P(DecodeFuzz, BitFlippedRecoveryTierEncodings) {
   EXPECT_EQ(header.root, snap.root());
   const ledger::Snapshot back = ledger::Snapshot::decode(snap.encode());
   EXPECT_EQ(back.root(), snap.root());
+}
+
+TEST_P(DecodeFuzz, BitFlippedCommitPathEncodings) {
+  // Commit-path records: validation tokens and eviction records. Tokens
+  // are consulted on the sealing hot path, so a corrupted token must
+  // reject cleanly rather than vouch for an unverified transaction.
+  common::Rng rng(GetParam() ^ 0xba7c);
+
+  ledger::Transaction tx;
+  tx.channel = "ch";
+  tx.contract = "cc";
+  tx.action = "xfer";
+  tx.reads = {{"acct/a", 3}, {"acct/b", 0}};
+  tx.payload = rng.next_bytes(48);
+
+  ledger::ValidationToken token;
+  token.tx_id = tx.id();
+  token.body_digest = tx.body_digest();
+  token.read_snapshot = tx.reads;
+  token.admitted_at = 17;
+  token.verified = true;
+
+  const ledger::EvictionRecord record{
+      tx.id(), ledger::EvictionRecord::Cause::Invalidated, 23};
+
+  const std::vector<Bytes> encodings = {token.encode(), record.encode()};
+  const auto decoders = [](const Bytes& d, std::size_t which) {
+    if (which == 0) {
+      ledger::ValidationToken::decode(d);
+    } else {
+      ledger::EvictionRecord::decode(d);
+    }
+  };
+
+  for (std::size_t which = 0; which < encodings.size(); ++which) {
+    const Bytes& enc = encodings[which];
+    for (int i = 0; i < 60; ++i) {
+      Bytes flipped = enc;
+      flipped[rng.next_below(flipped.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+      expect_no_crash(flipped,
+                      [&](const Bytes& d) { decoders(d, which); return 0; });
+    }
+    for (std::size_t len = 0; len < enc.size(); len += 3) {
+      const Bytes truncated(enc.begin(),
+                            enc.begin() + static_cast<std::ptrdiff_t>(len));
+      expect_no_crash(truncated,
+                      [&](const Bytes& d) { decoders(d, which); return 0; });
+    }
+    expect_no_crash(rng.next_bytes(rng.next_below(200)),
+                    [&](const Bytes& d) { decoders(d, which); return 0; });
+  }
+
+  // Untampered round trips are lossless.
+  EXPECT_EQ(ledger::ValidationToken::decode(token.encode()), token);
+  EXPECT_EQ(ledger::EvictionRecord::decode(record.encode()), record);
 }
 
 TEST_P(DecodeFuzz, TruncatedValidEncodings) {
