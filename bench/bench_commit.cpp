@@ -21,6 +21,7 @@
 #include "platforms/corda/corda.hpp"
 #include "platforms/fabric/fabric.hpp"
 #include "platforms/quorum/quorum.hpp"
+#include "workload/openloop.hpp"
 
 namespace {
 
@@ -181,6 +182,100 @@ void BM_CordaFlowPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_CordaFlowPipeline)
     ->ArgsProduct({{1, 8, 32}, {1, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Closed- vs open-loop measurement discipline ---------------------------
+// Every series above is closed-loop: the driver waits for each wave to
+// complete before offering the next, so the offered rate silently tracks
+// the completion rate and saturation is invisible. This row drives the
+// same Fabric submission stream both ways — closed-loop back-to-back
+// (arg 0) and open-loop Poisson at 2x the measured saturation rate
+// (arg 1) — and reports sim-time latency percentiles. Goodput barely
+// moves; the open-loop p99 exposes the queueing delay the closed-loop
+// driver structurally cannot observe. The full overload sweep lives in
+// bench_overload (BENCH_overload.json); the note is in
+// docs/crypto_performance.md.
+
+void BM_FabricLoopDiscipline(benchmark::State& state) {
+  const bool open_loop = state.range(0) == 1;
+
+  net::SimNetwork net{common::Rng(31)};
+  common::Rng rng(32);
+  fabric::FabricConfig config;
+  config.mempool.capacity = 4096;
+  fabric::FabricNetwork fab(net, crypto::Group::test_group(), rng, config);
+  fab.add_org("OrgA");
+  fab.add_org("OrgB");
+  fab.create_channel("ch", {"OrgA", "OrgB"});
+  fab.install_chaincode("ch", "OrgA", put_contract(),
+                        contracts::EndorsementPolicy::require("OrgA"));
+  fab.set_validation_mode(fabric::FabricNetwork::ValidationMode::Validate);
+
+  // Saturation rate from a short closed-loop calibration burst.
+  double mu;
+  {
+    const common::SimTime start = net.clock().now();
+    std::uint64_t done = 0;
+    for (std::size_t i = 0; i < 24; ++i) {
+      if (fab.submit("ch", "OrgA", "cc", "cal" + std::to_string(i),
+                     to_bytes("v")).committed) {
+        ++done;
+      }
+    }
+    const double elapsed_s =
+        static_cast<double>(net.clock().now() - start) / 1e6;
+    mu = elapsed_s > 0 ? static_cast<double>(done) / elapsed_s : 1.0;
+  }
+
+  workload::LatencyRecorder latency;
+  std::uint64_t committed = 0, seq = 0;
+  double sim_elapsed_s = 0.0;
+  for (auto _ : state) {
+    const common::SimTime run_start = net.clock().now();
+    if (open_loop) {
+      workload::OpenLoopConfig load;
+      load.offered_per_s = 2.0 * mu;
+      load.arrivals = 64;
+      load.parties = 2;
+      load.start_us = net.clock().now() + 1'000;
+      const auto plan =
+          workload::OpenLoopGenerator(load, 33 + state.iterations())
+              .generate();
+      for (const workload::Arrival& a : plan) {
+        net.schedule(a.at, [] {});
+        net.run();
+        std::vector<fabric::FabricNetwork::SubmitRequest> one{
+            {"ch", "OrgA", "cc", "o" + std::to_string(seq++), to_bytes("v"),
+             {}, nullptr, a.at, 0}};
+        if (fab.submit_many(one, 1)[0].committed) {
+          ++committed;
+          latency.record(net.clock().now() - a.at);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < 64; ++i) {
+        const common::SimTime at = net.clock().now();
+        if (fab.submit("ch", "OrgA", "cc", "c" + std::to_string(seq++),
+                       to_bytes("v")).committed) {
+          ++committed;
+          latency.record(net.clock().now() - at);
+        }
+      }
+    }
+    sim_elapsed_s +=
+        static_cast<double>(net.clock().now() - run_start) / 1e6;
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+  state.SetLabel(open_loop ? "open-loop-2x" : "closed-loop");
+  state.counters["saturation_per_s"] = mu;
+  state.counters["goodput_per_s"] =
+      sim_elapsed_s > 0 ? static_cast<double>(committed) / sim_elapsed_s : 0.0;
+  state.counters["p50_us"] = static_cast<double>(latency.p50());
+  state.counters["p99_us"] = static_cast<double>(latency.p99());
+}
+BENCHMARK(BM_FabricLoopDiscipline)
+    ->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 // ---- Raw kernel: per-item vs batched RLC verification ----------------------

@@ -15,6 +15,7 @@
 #   BENCH_SKIP_BYZANTINE=1 bench/run_benches.sh   # skip Byzantine cost study
 #   BENCH_SKIP_RECOVERY=1 bench/run_benches.sh    # skip recovery/rejoin study
 #   BENCH_SKIP_COMMIT=1 bench/run_benches.sh      # skip commit-path study
+#   BENCH_SKIP_OVERLOAD=1 bench/run_benches.sh    # skip overload sweep
 #   BENCH_ALLOW_DEBUG=1 bench/run_benches.sh      # permit non-Release builds
 #   BUILD_DIR=out bench/run_benches.sh
 set -euo pipefail
@@ -243,6 +244,43 @@ PY
       echo "wrote $COMMIT_OUT"
     else
       echo "bench_commit produced no output; $COMMIT_OUT left untouched" >&2
+    fi
+    trap - EXIT
+  fi
+fi
+
+# ---- Overload robustness sweep ---------------------------------------------
+# Open-loop Poisson load at 0.5x/1x/2x/4x the measured closed-loop
+# saturation rate on Fabric and Quorum with the overload tier on
+# (admission control, TTLs, bounded queues), into BENCH_overload.json.
+# The quoted claim: past saturation, goodput plateaus near the saturation
+# rate and the latency of admitted work stays bounded by the TTL.
+if [[ -z "${BENCH_SKIP_OVERLOAD:-}" ]]; then
+  OVERLOAD_OUT="${BENCH_OVERLOAD_OUT:-$ROOT/BENCH_overload.json}"
+  if [[ ! -x "$BUILD/bench/bench_overload" ]]; then
+    echo "bench_overload not built; skipping overload sweep" >&2
+  else
+    OTMP="$(mktemp "${OVERLOAD_OUT}.XXXXXX")"
+    trap 'rm -f "$OTMP"' EXIT
+    "$BUILD/bench/bench_overload" \
+      --benchmark_out="$OTMP" \
+      --benchmark_out_format=json \
+      --benchmark_repetitions="${BENCH_REPS:-1}"
+    if [[ -s "$OTMP" ]]; then
+      mv "$OTMP" "$OVERLOAD_OUT"
+      python3 - "$OVERLOAD_OUT" <<'PY'
+import json, os, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+data["context"]["build_type"] = os.environ.get("VEIL_BENCH_BUILD_TYPE", "unknown")
+data["context"]["offered_mult_encoding"] = "benchmark arg / 10 = multiple of measured saturation rate"
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+PY
+      echo "wrote $OVERLOAD_OUT"
+    else
+      echo "bench_overload produced no output; $OVERLOAD_OUT left untouched" >&2
     fi
     trap - EXIT
   fi

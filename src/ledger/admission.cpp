@@ -1,0 +1,127 @@
+#include "ledger/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace veil::ledger {
+
+common::Bytes ShedRecord::encode() const {
+  common::Writer w;
+  w.str(tx_id);
+  w.u8(static_cast<std::uint8_t>(priority));
+  w.u8(static_cast<std::uint8_t>(cause));
+  w.u64(queue_delay_us);
+  w.u64(at);
+  return w.take();
+}
+
+ShedRecord ShedRecord::decode(common::BytesView data) {
+  common::Reader r(data);
+  ShedRecord rec;
+  rec.tx_id = r.str();
+  const std::uint8_t priority = r.u8();
+  if (priority > static_cast<std::uint8_t>(AdmitPriority::Fresh)) {
+    throw common::Error("ShedRecord::decode: unknown priority");
+  }
+  rec.priority = static_cast<AdmitPriority>(priority);
+  const std::uint8_t cause = r.u8();
+  if (cause > static_cast<std::uint8_t>(Cause::Expired)) {
+    throw common::Error("ShedRecord::decode: unknown cause");
+  }
+  rec.cause = static_cast<Cause>(cause);
+  rec.queue_delay_us = r.u64();
+  rec.at = r.u64();
+  return rec;
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {}
+
+void AdmissionController::shed(const std::string& tx_id,
+                               AdmitPriority priority, ShedRecord::Cause cause,
+                               common::SimTime delay, common::SimTime now) {
+  switch (cause) {
+    case ShedRecord::Cause::QueueDelay: ++stats_.shed_delay; break;
+    case ShedRecord::Cause::Capacity: ++stats_.shed_capacity; break;
+    case ShedRecord::Cause::Expired: ++stats_.shed_expired; break;
+  }
+  sheds_.push_back(ShedRecord{tx_id, priority, cause, delay, now});
+}
+
+common::SimTime AdmissionController::control_law(common::SimTime t) const {
+  // Shed spacing shrinks with sqrt(drop_count): the longer delay stays
+  // above target, the harder the controller pushes back.
+  const double spacing = static_cast<double>(config_.interval_us) /
+                         std::sqrt(static_cast<double>(
+                             std::max<std::uint32_t>(drop_count_, 1)));
+  return t + static_cast<common::SimTime>(std::max(spacing, 1.0));
+}
+
+bool AdmissionController::offer(const std::string& tx_id,
+                                AdmitPriority priority,
+                                common::SimTime enqueued_at,
+                                common::SimTime now, std::size_t queue_len,
+                                common::SimTime deadline_us) {
+  ++stats_.offered;
+  const common::SimTime sojourn = now > enqueued_at ? now - enqueued_at : 0;
+  // Dead-on-arrival work is shed unconditionally: admitting it spends
+  // endorsement and ordering effort on a transaction every later stage
+  // must drop anyway.
+  if (deadline_us != 0 && now > deadline_us) {
+    shed(tx_id, priority, ShedRecord::Cause::Expired, sojourn, now);
+    return false;
+  }
+  // Hard memory backstop, priority-blind.
+  if (config_.queue_capacity != 0 && queue_len >= config_.queue_capacity) {
+    shed(tx_id, priority, ShedRecord::Cause::Capacity, sojourn, now);
+    return false;
+  }
+  const auto target = static_cast<common::SimTime>(
+      priority == AdmitPriority::Commit
+          ? static_cast<double>(config_.target_delay_us) * config_.commit_slack
+          : static_cast<double>(config_.target_delay_us));
+  if (sojourn < target || queue_len <= 1) {
+    // Delay is under control; leave (or stay out of) the shedding regime.
+    first_above_time_ = 0;
+    dropping_ = false;
+    stats_.max_queue_delay_us = std::max(stats_.max_queue_delay_us, sojourn);
+    ++stats_.admitted;
+    return true;
+  }
+  if (first_above_time_ == 0) {
+    // First sighting above target: give the burst one interval to drain.
+    first_above_time_ = now + config_.interval_us;
+  } else if (!dropping_ && now >= first_above_time_) {
+    // Above target for a full interval: enter the shedding regime. If we
+    // left it recently, resume near the previous shed rate instead of
+    // relearning it from scratch (CoDel's warm-start rule).
+    dropping_ = true;
+    drop_count_ = (drop_count_ > 2 && now - drop_next_ <
+                                          16 * config_.interval_us)
+                      ? drop_count_ - 2
+                      : 1;
+    drop_next_ = control_law(now);
+    shed(tx_id, priority, ShedRecord::Cause::QueueDelay, sojourn, now);
+    return false;
+  } else if (dropping_ && now >= drop_next_) {
+    ++drop_count_;
+    drop_next_ = control_law(now);
+    shed(tx_id, priority, ShedRecord::Cause::QueueDelay, sojourn, now);
+    return false;
+  }
+  stats_.max_queue_delay_us = std::max(stats_.max_queue_delay_us, sojourn);
+  ++stats_.admitted;
+  return true;
+}
+
+common::SimTime AdmissionController::retry_after(common::SimTime now) const {
+  if (dropping_ && drop_next_ > now) {
+    return std::max(config_.target_delay_us, drop_next_ - now);
+  }
+  return config_.target_delay_us;
+}
+
+}  // namespace veil::ledger

@@ -1,0 +1,127 @@
+// CoDel-style admission control in front of the mempool.
+//
+// Under overload the queue in front of a saturated pipeline grows without
+// bound, and with it the *queueing delay* of everything admitted — the
+// classic bufferbloat failure, transplanted to a ledger: every admitted
+// transaction is endorsed, ordered, and validated late, so goodput
+// collapses into work that is stale by the time it commits. The
+// controlled-delay (CoDel) discipline sheds by sojourn time instead of
+// queue length: as long as queue delay stays under a target, everything
+// is admitted; once delay has stayed above target for a full interval,
+// the controller starts shedding at a rate that grows with the square
+// root of the shed count (the same control law as the AQM), which holds
+// standing delay near the target while letting bursts through untouched.
+//
+// Two priority classes implement the pipeline's natural precedence:
+// Commit-class offers (work that already paid for endorsement and
+// verification) tolerate a configurable multiple of the target delay
+// before shedding, so fresh submissions are shed first and in-flight
+// waves drain. A hard queue-capacity backstop bounds memory regardless
+// of delay, and offers past their deadline are shed unconditionally.
+//
+// Like the mempool it fronts, the controller is volatile: sheds are
+// logged in memory for operators (ShedRecord) but never WAL-logged —
+// a shed transaction was never accepted, so recovery owes it nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+
+namespace veil::ledger {
+
+/// Precedence class of an offer. Commit outranks Fresh: shedding work
+/// that already carries endorsements wastes the signatures and the wire
+/// round-trips that produced them.
+enum class AdmitPriority : std::uint8_t { Commit = 0, Fresh = 1 };
+
+struct AdmissionConfig {
+  /// Sojourn (queue-delay) target; delay above this for a full interval
+  /// starts the shedding regime.
+  common::SimTime target_delay_us = 5'000;
+  /// Estimation window: one RTT-ish span over which "delay stayed above
+  /// target" is judged.
+  common::SimTime interval_us = 100'000;
+  /// Hard bound on the fronted queue's depth (0 = unbounded). Capacity
+  /// sheds ignore priority — memory safety beats precedence.
+  std::size_t queue_capacity = 0;
+  /// Commit-class offers tolerate target_delay_us * commit_slack before
+  /// the delay regime sheds them.
+  double commit_slack = 4.0;
+};
+
+/// One shed decision, kept in memory for operators and tests.
+struct ShedRecord {
+  enum class Cause : std::uint8_t {
+    QueueDelay = 0,  // CoDel regime: sojourn above target too long
+    Capacity = 1,    // hard queue bound hit
+    Expired = 2,     // deadline already passed at the admission gate
+  };
+
+  std::string tx_id;
+  AdmitPriority priority = AdmitPriority::Fresh;
+  Cause cause = Cause::QueueDelay;
+  common::SimTime queue_delay_us = 0;
+  common::SimTime at = 0;
+
+  common::Bytes encode() const;
+  /// Throws common::Error on malformed input.
+  static ShedRecord decode(common::BytesView data);
+
+  bool operator==(const ShedRecord&) const = default;
+};
+
+struct AdmissionStats {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_delay = 0;
+  std::uint64_t shed_capacity = 0;
+  std::uint64_t shed_expired = 0;
+  common::SimTime max_queue_delay_us = 0;  // among admitted offers
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config = {});
+
+  /// Decide one offer. `enqueued_at` is when the work arrived (its
+  /// sojourn so far is now - enqueued_at), `queue_len` the current depth
+  /// of the queue this controller fronts, `deadline_us` the absolute
+  /// deadline (0 = none). Returns true to admit; false sheds and logs a
+  /// ShedRecord.
+  bool offer(const std::string& tx_id, AdmitPriority priority,
+             common::SimTime enqueued_at, common::SimTime now,
+             std::size_t queue_len, common::SimTime deadline_us = 0);
+
+  /// Backoff hint for refused work: when the shedding regime expects to
+  /// next admit (suitable for a Busy-style retry_after).
+  common::SimTime retry_after(common::SimTime now) const;
+
+  bool dropping() const { return dropping_; }
+  const AdmissionStats& stats() const { return stats_; }
+  const std::vector<ShedRecord>& sheds() const { return sheds_; }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  void shed(const std::string& tx_id, AdmitPriority priority,
+            ShedRecord::Cause cause, common::SimTime delay,
+            common::SimTime now);
+  /// Next shed time under the control law: interval / sqrt(drop_count).
+  common::SimTime control_law(common::SimTime t) const;
+
+  AdmissionConfig config_;
+  // CoDel state. first_above_time_: when sojourn first exceeded target
+  // (0 = currently below). In the dropping regime, drop_next_ schedules
+  // the next shed and drop_count_ drives the control law.
+  common::SimTime first_above_time_ = 0;
+  common::SimTime drop_next_ = 0;
+  std::uint32_t drop_count_ = 0;
+  bool dropping_ = false;
+  AdmissionStats stats_;
+  std::vector<ShedRecord> sheds_;
+};
+
+}  // namespace veil::ledger

@@ -53,7 +53,7 @@ EvictionRecord EvictionRecord::decode(common::BytesView data) {
   EvictionRecord rec;
   rec.tx_id = r.str();
   const std::uint8_t cause = r.u8();
-  if (cause > static_cast<std::uint8_t>(Cause::Expired)) {
+  if (cause > static_cast<std::uint8_t>(Cause::PinnedSkip)) {
     throw common::Error("EvictionRecord::decode: unknown cause");
   }
   rec.cause = static_cast<Cause>(cause);
@@ -69,11 +69,37 @@ bool Mempool::admit(const Transaction& tx, bool verified,
     return false;
   }
   while (tokens_.size() >= config_.capacity && !fifo_.empty()) {
-    const std::string victim = fifo_.front();
-    fifo_.pop_front();
-    if (!tokens_.erase(victim)) continue;  // stale fifo entry
-    ++stats_.evicted_capacity;
-    evictions_.push_back({victim, EvictionRecord::Cause::Capacity, now});
+    // Oldest-first, but a pinned victim is spared (its ValidationToken is
+    // in flight in a wave); the next-oldest unpinned resident goes
+    // instead. Each sparing is logged so drop pressure stays visible.
+    std::deque<std::string> spared;
+    bool evicted = false;
+    while (!fifo_.empty()) {
+      std::string victim = std::move(fifo_.front());
+      fifo_.pop_front();
+      if (!tokens_.contains(victim)) continue;  // stale fifo entry
+      if (pinned_.contains(victim)) {
+        ++stats_.eviction_skips_pinned;
+        evictions_.push_back({victim, EvictionRecord::Cause::PinnedSkip, now});
+        spared.push_back(std::move(victim));
+        continue;
+      }
+      tokens_.erase(victim);
+      ++stats_.evicted_capacity;
+      evictions_.push_back({victim, EvictionRecord::Cause::Capacity, now});
+      evicted = true;
+      break;
+    }
+    // Spared entries keep their age order at the head of the queue.
+    for (auto it = spared.rbegin(); it != spared.rend(); ++it) {
+      fifo_.push_front(std::move(*it));
+    }
+    if (!evicted) {
+      // Every resident is pinned: admit over capacity rather than evict
+      // in-flight work; the overshoot retires as waves land and unpin.
+      ++stats_.pinned_overflow;
+      break;
+    }
   }
   ValidationToken token;
   token.tx_id = id;
@@ -132,6 +158,7 @@ void Mempool::remove(const std::string& tx_id, EvictionRecord::Cause cause,
 void Mempool::clear() {
   tokens_.clear();
   fifo_.clear();
+  pinned_.clear();
 }
 
 }  // namespace veil::ledger

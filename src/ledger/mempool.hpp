@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,13 +48,14 @@ struct ValidationToken {
   bool operator==(const ValidationToken&) const = default;
 };
 
-/// Why a transaction left the pool.
+/// Why a transaction left the pool (or, for PinnedSkip, why it didn't).
 struct EvictionRecord {
   enum class Cause : std::uint8_t {
     Capacity = 0,     // FIFO overflow
     Committed = 1,    // sealed into a block
     Invalidated = 2,  // a read-set version moved under the token
     Expired = 3,      // explicit operator removal
+    PinnedSkip = 4,   // FIFO victim pinned by an in-flight wave; spared
   };
 
   std::string tx_id;
@@ -78,6 +80,8 @@ struct MempoolStats {
   std::uint64_t token_hits = 0;
   std::uint64_t token_misses = 0;
   std::uint64_t invalidated = 0;
+  std::uint64_t eviction_skips_pinned = 0;  // FIFO victims spared by a pin
+  std::uint64_t pinned_overflow = 0;  // admits with every resident pinned
 };
 
 class Mempool {
@@ -104,6 +108,20 @@ class Mempool {
   void remove(const std::string& tx_id, EvictionRecord::Cause cause,
               common::SimTime now);
 
+  /// Pin `tx_id`: capacity eviction refuses to take it (the next-oldest
+  /// unpinned resident goes instead, and the skip is logged with cause
+  /// PinnedSkip). Platform wave pipelines pin the ids whose
+  /// ValidationTokens are in flight between admission and commit — an
+  /// evicted token there would silently force re-verification or, worse,
+  /// drop an already-endorsed transaction under overload. Pins do not
+  /// block explicit remove(): commit/invalidate still retire the entry.
+  void pin(const std::string& tx_id) { pinned_.insert(tx_id); }
+  void unpin(const std::string& tx_id) { pinned_.erase(tx_id); }
+  bool is_pinned(const std::string& tx_id) const {
+    return pinned_.contains(tx_id);
+  }
+  std::size_t pinned() const { return pinned_.size(); }
+
   /// Drop everything (crash/restart path — the pool is volatile).
   void clear();
 
@@ -115,6 +133,7 @@ class Mempool {
   MempoolConfig config_;
   std::map<std::string, ValidationToken> tokens_;
   std::deque<std::string> fifo_;  // admission order; may hold stale ids
+  std::set<std::string> pinned_;
   std::vector<EvictionRecord> evictions_;
   MempoolStats stats_;
 };

@@ -48,6 +48,22 @@ class OrderingService {
 
   std::uint64_t transactions_ordered() const { return ordered_count_; }
 
+  /// Bound the per-channel pending deque (0 = unbounded). Callers must
+  /// check at_capacity() before submit() and surface a Busy result — the
+  /// orderer's pending set is one of the queues that must not grow
+  /// silently under overload.
+  void set_pending_limit(std::size_t limit) { pending_limit_ = limit; }
+  std::size_t pending_limit() const { return pending_limit_; }
+  bool at_capacity(const std::string& channel) const {
+    if (pending_limit_ == 0) return false;
+    const auto it = channels_.find(channel);
+    return it != channels_.end() && it->second.pending.size() >= pending_limit_;
+  }
+  std::size_t pending(const std::string& channel) const {
+    const auto it = channels_.find(channel);
+    return it == channels_.end() ? 0 : it->second.pending.size();
+  }
+
  private:
   Block cut(const std::string& channel, common::SimTime now);
 
@@ -62,6 +78,7 @@ class OrderingService {
   OrdererDeployment deployment_;
   net::LeakageAuditor* auditor_;
   std::size_t batch_size_;
+  std::size_t pending_limit_ = 0;
   std::map<std::string, ChannelTip> channels_;
   std::uint64_t ordered_count_ = 0;
 };

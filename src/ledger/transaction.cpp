@@ -29,6 +29,7 @@ common::Bytes Transaction::body_encoding() const {
     w.raw(common::BytesView(ref.digest.data(), ref.digest.size()));
   }
   w.u64(timestamp);
+  w.u64(deadline_us);
   w.boolean(data_opaque);
   w.boolean(parties_pseudonymous);
   return w.take();
@@ -90,6 +91,7 @@ Transaction Transaction::decode(common::BytesView data) {
     tx.hash_refs.push_back(std::move(ref));
   }
   tx.timestamp = r.u64();
+  tx.deadline_us = r.u64();
   tx.data_opaque = r.boolean();
   tx.parties_pseudonymous = r.boolean();
 

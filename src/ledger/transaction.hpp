@@ -66,6 +66,10 @@ struct Transaction {
   common::Bytes payload;
   std::vector<HashRef> hash_refs;
   common::SimTime timestamp = 0;
+  /// Absolute deadline stamped at submission (0 = none). Every pipeline
+  /// stage drops the transaction once this passes; part of the signed
+  /// body so an orderer cannot stretch a TTL to resurrect stale work.
+  common::SimTime deadline_us = 0;
 
   // Leakage-accounting declarations (see file comment).
   bool data_opaque = false;

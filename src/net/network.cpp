@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "net/overload.hpp"
 
 namespace veil::net {
 
@@ -211,11 +212,58 @@ void SimNetwork::send(const Principal& from, const Principal& to,
   if (adv && adv->replay) {
     Message dup = msg;
     dup.delivered_at += adv->replay_delay_us > 0 ? adv->replay_delay_us : 1;
-    queue_.push(
-        Pending{dup.delivered_at, sequence_++, std::move(dup), nullptr});
     ++stats_.messages_replayed;
+    if (inbox_capacity_ > 0 && inbox_depth_[dup.to] >= inbox_capacity_) {
+      refuse_overflow(dup);
+    } else {
+      enqueue(std::move(dup));
+    }
   }
+  if (inbox_capacity_ > 0 && inbox_depth_[msg.to] >= inbox_capacity_) {
+    refuse_overflow(msg);
+    return;
+  }
+  enqueue(std::move(msg));
+}
+
+void SimNetwork::enqueue(Message msg) {
+  const std::size_t depth = ++inbox_depth_[msg.to];
+  stats_.inbox_high_water = std::max<std::uint64_t>(
+      stats_.inbox_high_water, depth);
   queue_.push(Pending{msg.delivered_at, sequence_++, std::move(msg), nullptr});
+}
+
+void SimNetwork::refuse_overflow(const Message& msg) {
+  ++stats_.messages_dropped;
+  ++stats_.dropped_overflow;
+  // Never answer backpressure with backpressure: a refused Busy notice
+  // would recurse, and the sender of one is already saturated.
+  if (msg.topic == "net.busy") return;
+  Busy busy;
+  busy.topic = msg.topic;
+  const std::size_t depth = inbox_depth_[msg.to];
+  // Scale the hint with how far over capacity the receiver is: a queue at
+  // 2x capacity suggests waiting twice the base interval.
+  busy.retry_after_us =
+      busy_retry_after_us_ *
+      (1 + (inbox_capacity_ > 0 ? depth / inbox_capacity_ : 0));
+  busy.queue_depth = depth;
+  ++stats_.busy_notices;
+  // Fixed latency (no jitter draw): control signals must not perturb the
+  // seeded data-path RNG sequence.
+  common::Bytes payload = busy.encode();
+  const common::SimTime latency =
+      latency_.base_us + static_cast<common::SimTime>(
+                             latency_.per_byte_us *
+                             static_cast<double>(payload.size()));
+  Message notice{msg.to, msg.from, "net.busy", std::move(payload),
+                 clock_.now(), clock_.now() + latency};
+  enqueue(std::move(notice));
+}
+
+std::size_t SimNetwork::inbox_depth(const Principal& name) const {
+  const auto it = inbox_depth_.find(name);
+  return it == inbox_depth_.end() ? 0 : it->second;
 }
 
 void SimNetwork::broadcast(const Principal& from, const std::string& topic,
@@ -248,6 +296,10 @@ std::size_t SimNetwork::run() {
       next.timer();
       continue;
     }
+    // Popped from the wire: it no longer occupies the receiver's inbox,
+    // whether it is delivered or dropped below.
+    const auto depth = inbox_depth_.find(next.message.to);
+    if (depth != inbox_depth_.end() && depth->second > 0) --depth->second;
     const auto it = handlers_.find(next.message.to);
     if (it == handlers_.end()) {
       ++stats_.messages_dropped;  // receiver detached in flight

@@ -76,7 +76,27 @@ struct NetworkStats {
   std::uint64_t messages_corrupted = 0;  // link-level bit-flips in flight
   std::uint64_t dropped_silenced = 0;
   std::uint64_t dropped_quarantined = 0;
+
+  // Overload-control accounting. dropped_overflow is also counted in
+  // messages_dropped; the rest are decisions made above the wire.
+  std::uint64_t dropped_overflow = 0;   // receiver inbox at capacity
+  std::uint64_t busy_notices = 0;       // Busy{retry_after} responses sent
+  std::uint64_t busy_deferrals = 0;     // retransmits postponed by Busy
+  std::uint64_t busy_rejected = 0;      // platform refusals: pending set full
+  std::uint64_t breaker_rejected = 0;   // sends refused by an open breaker
+  std::uint64_t shed_admission = 0;     // admission-controller sheds
+  std::uint64_t expired_endorse = 0;    // TTL'd work dropped per stage
+  std::uint64_t expired_order = 0;
+  std::uint64_t expired_validate = 0;
+  std::uint64_t expired_in_flight = 0;  // reliable sends abandoned past TTL
+  std::uint64_t inbox_high_water = 0;   // deepest per-receiver queue seen
 };
+
+/// Pipeline stage at which TTL'd work was found already expired. Each
+/// stage of endorse -> order -> validate drops expired work early and
+/// counts the drop here, so render_network_stats can show where load
+/// died under overload.
+enum class Stage : std::uint8_t { Endorse = 0, Order = 1, Validate = 2 };
 
 class SimNetwork {
  public:
@@ -161,13 +181,46 @@ class SimNetwork {
   LeakageAuditor& auditor() { return auditor_; }
   const LeakageAuditor& auditor() const { return auditor_; }
 
+  /// Bound every inbox to `cap` queued messages per receiver (0 =
+  /// unbounded, the default). A send that would exceed the bound is
+  /// dropped (dropped_overflow) and answered with a Busy{retry_after}
+  /// notice on topic "net.busy" so the sender backs off instead of
+  /// retry-storming. Busy notices themselves bypass the bound — the
+  /// backpressure signal must not be backpressured away.
+  void set_inbox_capacity(std::size_t cap) { inbox_capacity_ = cap; }
+  std::size_t inbox_capacity() const { return inbox_capacity_; }
+  /// Base retry-after hint in Busy notices; scaled up with queue depth.
+  void set_busy_retry_after(common::SimTime us) { busy_retry_after_us_ = us; }
+  /// Messages currently queued for `name` (timers excluded).
+  std::size_t inbox_depth(const Principal& name) const;
+
   /// ReliableChannel accounting hooks.
   void count_retransmit() { ++stats_.retransmits; }
   void count_duplicate() { ++stats_.duplicates_suppressed; }
   void count_retry_exhausted() { ++stats_.retries_exhausted; }
 
+  /// Overload-control accounting hooks (channel, admission controller,
+  /// and platform stage checks report through these).
+  void count_busy_deferral() { ++stats_.busy_deferrals; }
+  void count_busy_rejected() { ++stats_.busy_rejected; }
+  void count_breaker_rejected() { ++stats_.breaker_rejected; }
+  void count_shed() { ++stats_.shed_admission; }
+  void count_expired_in_flight() { ++stats_.expired_in_flight; }
+  void count_expired(Stage stage) {
+    switch (stage) {
+      case Stage::Endorse: ++stats_.expired_endorse; break;
+      case Stage::Order: ++stats_.expired_order; break;
+      case Stage::Validate: ++stats_.expired_validate; break;
+    }
+  }
+
  private:
   bool reachable(const Principal& from, const Principal& to) const;
+  /// Enqueue `msg` for delivery, maintaining per-receiver depth.
+  void enqueue(Message msg);
+  /// Refuse `msg` at a full inbox: count the overflow and answer the
+  /// sender with a Busy notice (unless the refused message *is* one).
+  void refuse_overflow(const Message& msg);
   /// Apply all fault-plan and byzantine-plan events scheduled at or
   /// before `now`, merged in time order.
   void apply_faults_until(common::SimTime now);
@@ -216,6 +269,9 @@ class SimNetwork {
   std::map<Principal, AdversaryState> adversaries_;
   std::set<Principal> quarantined_;
   double corruption_probability_ = 0.0;
+  std::size_t inbox_capacity_ = 0;  // 0 = unbounded
+  common::SimTime busy_retry_after_us_ = 10'000;
+  std::map<Principal, std::size_t> inbox_depth_;
   NetworkStats stats_;
   LeakageAuditor auditor_;
 };

@@ -1,0 +1,131 @@
+#include "net/overload.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace veil::net {
+
+namespace {
+constexpr std::uint32_t kBusyMagic = 0x56425359;  // "VBSY"
+}  // namespace
+
+common::Bytes Busy::encode() const {
+  common::Writer w;
+  w.u32(kBusyMagic);
+  w.str(topic);
+  w.u64(retry_after_us);
+  w.u64(queue_depth);
+  return w.take();
+}
+
+Busy Busy::decode(common::BytesView data) {
+  common::Reader r(data);
+  if (r.u32() != kBusyMagic) {
+    throw common::ProtocolError("busy: bad magic");
+  }
+  Busy b;
+  b.topic = r.str();
+  b.retry_after_us = r.u64();
+  b.queue_depth = r.u64();
+  if (!r.done()) throw common::ProtocolError("busy: trailing bytes");
+  return b;
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {}
+
+void CircuitBreaker::advance(PeerState& ps, common::SimTime now) const {
+  if (ps.state == BreakerState::Open &&
+      now >= ps.opened_at + config_.open_duration_us) {
+    ps.state = BreakerState::HalfOpen;
+    ps.successes = 0;
+    ps.probe_outstanding = false;
+  }
+}
+
+bool CircuitBreaker::allow(const Principal& peer, common::SimTime now) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return true;  // never failed: Closed
+  PeerState& ps = it->second;
+  advance(ps, now);
+  switch (ps.state) {
+    case BreakerState::Closed:
+      return true;
+    case BreakerState::Open:
+      ++stats_.rejected;
+      return false;
+    case BreakerState::HalfOpen:
+      // One probe at a time: further traffic waits for its outcome.
+      if (ps.probe_outstanding) {
+        ++stats_.rejected;
+        return false;
+      }
+      ps.probe_outstanding = true;
+      ++stats_.half_open_probes;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_failure(const Principal& peer,
+                                    common::SimTime now) {
+  PeerState& ps = peers_[peer];
+  advance(ps, now);
+  switch (ps.state) {
+    case BreakerState::Closed:
+      if (++ps.failures >= config_.failure_threshold) {
+        ps.state = BreakerState::Open;
+        ps.opened_at = now;
+        ps.failures = 0;
+        ++stats_.opened;
+      }
+      break;
+    case BreakerState::HalfOpen:
+      // The probe failed: back to Open for a full interval.
+      ps.state = BreakerState::Open;
+      ps.opened_at = now;
+      ps.probe_outstanding = false;
+      ps.successes = 0;
+      ++stats_.opened;
+      break;
+    case BreakerState::Open:
+      // Stragglers from sends admitted before the trip; stay Open but do
+      // not extend the interval (that would let a burst of queued
+      // failures starve the probe forever).
+      break;
+  }
+}
+
+void CircuitBreaker::record_success(const Principal& peer,
+                                    common::SimTime now) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return;  // already Closed with a clean slate
+  PeerState& ps = it->second;
+  advance(ps, now);
+  switch (ps.state) {
+    case BreakerState::Closed:
+      ps.failures = 0;
+      break;
+    case BreakerState::HalfOpen:
+      ps.probe_outstanding = false;
+      if (++ps.successes >= config_.success_threshold) {
+        peers_.erase(it);  // fully Closed, clean slate
+        ++stats_.closed;
+      }
+      break;
+    case BreakerState::Open:
+      // A late ack from before the trip does not close the breaker; the
+      // half-open probe must succeed on a fresh send.
+      break;
+  }
+}
+
+BreakerState CircuitBreaker::state(const Principal& peer,
+                                   common::SimTime now) const {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return BreakerState::Closed;
+  PeerState ps = it->second;  // resolve lazily without mutating
+  advance(ps, now);
+  return ps.state;
+}
+
+}  // namespace veil::net

@@ -1,0 +1,100 @@
+// Overload-control primitives for the network tier.
+//
+// Busy is the explicit-backpressure wire response a capacity-limited
+// inbox returns instead of silently growing (or silently dropping):
+// the sender learns the receiver is saturated and when to retry, so
+// ReliableChannel can defer its retransmission instead of feeding a
+// retry storm.
+//
+// CircuitBreaker guards repeatedly-failing peers (endorsers, transaction
+// managers, notaries). It is fed by delivery outcomes — acks close it,
+// exhausted retry budgets open it — and follows the classic three-state
+// machine: Closed (traffic flows), Open (traffic refused, fail closed),
+// HalfOpen (one probe per open-interval decides). All timing is on the
+// deterministic sim clock, so breaker transcripts are seed-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "net/leakage.hpp"
+
+namespace veil::net {
+
+/// Backpressure notice sent to the original sender when a bounded inbox
+/// refuses a message. `topic` names the refused traffic class; the
+/// receiver suggests retrying after `retry_after_us` (scaled by how deep
+/// its queue already is).
+struct Busy {
+  std::string topic;
+  common::SimTime retry_after_us = 0;
+  std::uint64_t queue_depth = 0;
+
+  common::Bytes encode() const;
+  /// Throws common::Error on malformed input.
+  static Busy decode(common::BytesView data);
+
+  bool operator==(const Busy&) const = default;
+};
+
+enum class BreakerState : std::uint8_t { Closed = 0, Open = 1, HalfOpen = 2 };
+
+struct BreakerConfig {
+  /// Consecutive failures that trip Closed -> Open.
+  std::uint32_t failure_threshold = 3;
+  /// How long Open refuses traffic before admitting a half-open probe.
+  common::SimTime open_duration_us = 200'000;
+  /// Consecutive probe successes that close a half-open breaker.
+  std::uint32_t success_threshold = 1;
+};
+
+struct BreakerStats {
+  std::uint64_t opened = 0;            // Closed/HalfOpen -> Open transitions
+  std::uint64_t closed = 0;            // HalfOpen -> Closed transitions
+  std::uint64_t half_open_probes = 0;  // sends admitted as probes
+  std::uint64_t rejected = 0;          // sends refused while Open
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig config = {});
+
+  /// May traffic to `peer` proceed now? Closed: yes. Open: no until
+  /// open_duration elapses, then the call itself admits one probe and
+  /// moves the breaker to HalfOpen. HalfOpen: only while the outstanding
+  /// probe budget lasts (one probe per open-interval window).
+  bool allow(const Principal& peer, common::SimTime now);
+
+  /// Outcome feedback. A failure in HalfOpen re-opens immediately (the
+  /// probe failed); `failure_threshold` consecutive failures open a
+  /// closed breaker. A success resets the failure streak and, in
+  /// HalfOpen, counts toward success_threshold.
+  void record_failure(const Principal& peer, common::SimTime now);
+  void record_success(const Principal& peer, common::SimTime now);
+
+  BreakerState state(const Principal& peer, common::SimTime now) const;
+  const BreakerStats& stats() const { return stats_; }
+  const BreakerConfig& config() const { return config_; }
+
+ private:
+  struct PeerState {
+    BreakerState state = BreakerState::Closed;
+    std::uint32_t failures = 0;   // consecutive, while Closed
+    std::uint32_t successes = 0;  // consecutive probe successes, HalfOpen
+    common::SimTime opened_at = 0;
+    bool probe_outstanding = false;
+  };
+
+  /// Open->HalfOpen is driven lazily off the clock: resolve what the
+  /// state *should* be at `now` before acting on it.
+  void advance(PeerState& ps, common::SimTime now) const;
+
+  BreakerConfig config_;
+  std::map<Principal, PeerState> peers_;
+  BreakerStats stats_;
+};
+
+}  // namespace veil::net

@@ -1,5 +1,6 @@
 #include "net/reliable.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -12,6 +13,7 @@ namespace {
 constexpr std::uint32_t kDataMagic = 0x56524331;  // "VRC1"
 constexpr std::uint32_t kAckMagic = 0x56524341;   // "VRCA"
 constexpr const char* kAckTopic = "rel.ack";
+constexpr const char* kBusyTopic = "net.busy";
 
 common::Bytes encode_ack(std::uint64_t seq) {
   common::Writer w;
@@ -25,6 +27,7 @@ common::Bytes ReliableChannel::Envelope::encode() const {
   common::Writer w;
   w.u32(kDataMagic);
   w.u64(seq);
+  w.u64(deadline_us);
   w.bytes(payload);
   return w.take();
 }
@@ -37,6 +40,7 @@ ReliableChannel::Envelope ReliableChannel::Envelope::decode(
   }
   Envelope env;
   env.seq = r.u64();
+  env.deadline_us = r.u64();
   env.payload = r.bytes();
   if (!r.done()) throw common::ProtocolError("reliable: trailing bytes");
   return env;
@@ -57,7 +61,9 @@ bool ReliableChannel::SeenWindow::fresh(std::uint64_t seq) {
 }
 
 ReliableChannel::ReliableChannel(SimNetwork& network, RetryPolicy policy)
-    : network_(&network), policy_(policy) {}
+    : network_(&network),
+      policy_(policy),
+      jitter_rng_(policy.jitter_seed) {}
 
 void ReliableChannel::attach(const Principal& name,
                              SimNetwork::Handler handler) {
@@ -77,7 +83,26 @@ void ReliableChannel::on_message(const Principal& self,
       const std::uint64_t seq = r.u64();
       // The ack travels receiver -> sender, so the original direction is
       // (msg.to, msg.from).
-      if (in_flight_.erase(Key{msg.to, msg.from, seq}) > 0) ++stats_.acked;
+      const auto it = in_flight_.find(Key{msg.to, msg.from, seq});
+      if (it != in_flight_.end()) {
+        ++stats_.acked;
+        if (breaker_) {
+          breaker_->record_success(msg.from, network_->clock().now());
+        }
+        finish_flight(it);
+      }
+    } catch (const common::Error&) {
+      ++stats_.malformed;
+    }
+    return;
+  }
+  if (msg.topic == kBusyTopic) {
+    // A bounded inbox refused one of our sends; hold this link's
+    // retransmissions until the hinted time.
+    try {
+      const Busy busy = Busy::decode(msg.payload);
+      common::SimTime& until = busy_until_[{msg.to, msg.from}];
+      until = std::max(until, msg.delivered_at + busy.retry_after_us);
     } catch (const common::Error&) {
       ++stats_.malformed;
     }
@@ -98,6 +123,13 @@ void ReliableChannel::on_message(const Principal& self,
     network_->count_duplicate();
     return;
   }
+  if (env.deadline_us != 0 && msg.delivered_at > env.deadline_us) {
+    // Arrived past its deadline: ack (stop the retransmits) but drop —
+    // the pipeline above would only shed it later at higher cost.
+    ++stats_.expired_on_arrival;
+    network_->count_expired_in_flight();
+    return;
+  }
   if (!handler) return;  // send-only endpoint
   Message inner = msg;
   inner.payload = std::move(env.payload);
@@ -105,9 +137,36 @@ void ReliableChannel::on_message(const Principal& self,
 }
 
 void ReliableChannel::send(const Principal& from, const Principal& to,
-                           const std::string& topic, common::Bytes payload) {
+                           const std::string& topic, common::Bytes payload,
+                           common::SimTime deadline_us) {
+  if (breaker_ && !breaker_->allow(to, network_->clock().now())) {
+    // Fail closed, like an exhausted retry budget — the caller's recovery
+    // paths (failover, resync) already handle silent non-delivery.
+    ++stats_.breaker_rejected;
+    network_->count_breaker_rejected();
+    return;
+  }
+  const Link link{from, to};
+  if (policy_.window > 0 && open_flights_[link] >= policy_.window) {
+    auto& queue = waiting_[link];
+    if (policy_.window_queue > 0 && queue.size() >= policy_.window_queue) {
+      ++stats_.window_rejected;
+      return;
+    }
+    queue.push_back(Queued{topic, std::move(payload), deadline_us});
+    ++stats_.window_queued;
+    return;
+  }
+  dispatch(from, to, topic, std::move(payload), deadline_us);
+}
+
+void ReliableChannel::dispatch(const Principal& from, const Principal& to,
+                               const std::string& topic,
+                               common::Bytes payload,
+                               common::SimTime deadline_us) {
   Envelope env;
   env.seq = next_seq_[{from, to}]++;
+  env.deadline_us = deadline_us;
   env.payload = std::move(payload);
 
   Key key{from, to, env.seq};
@@ -115,42 +174,102 @@ void ReliableChannel::send(const Principal& from, const Principal& to,
   flight.topic = topic;
   flight.wire = env.encode();
   flight.timeout = policy_.initial_timeout_us;
+  flight.deadline_us = deadline_us;
   ++stats_.sent;
+  ++open_flights_[{from, to}];
   network_->send(from, to, topic, flight.wire);
   in_flight_.insert_or_assign(key, std::move(flight));
   arm_timer(std::move(key));
+}
+
+void ReliableChannel::finish_flight(std::map<Key, InFlight>::iterator it) {
+  const Link link{it->first.from, it->first.to};
+  in_flight_.erase(it);
+  const auto open = open_flights_.find(link);
+  if (open != open_flights_.end() && open->second > 0) --open->second;
+  drain_waiting(link);
+}
+
+void ReliableChannel::drain_waiting(const Link& link) {
+  if (policy_.window == 0) return;
+  const auto waiting = waiting_.find(link);
+  if (waiting == waiting_.end()) return;
+  while (!waiting->second.empty() && open_flights_[link] < policy_.window) {
+    Queued next = std::move(waiting->second.front());
+    waiting->second.pop_front();
+    dispatch(link.first, link.second, next.topic, std::move(next.payload),
+             next.deadline_us);
+  }
+}
+
+common::SimTime ReliableChannel::next_timeout(common::SimTime previous) {
+  if (!policy_.decorrelated_jitter) {
+    return static_cast<common::SimTime>(static_cast<double>(previous) *
+                                        policy_.backoff_factor);
+  }
+  // Decorrelated jitter: uniform in [initial, 3 * previous), capped.
+  // Unlike pure exponential, concurrent senders stranded by the same
+  // partition spread out instead of retrying in lockstep at heal time.
+  const common::SimTime lo = policy_.initial_timeout_us;
+  const common::SimTime hi = std::max<common::SimTime>(lo + 1, previous * 3);
+  const common::SimTime drawn = lo + jitter_rng_.next_below(hi - lo);
+  return std::min(policy_.max_timeout_us, drawn);
 }
 
 void ReliableChannel::arm_timer(Key key) {
   const auto it = in_flight_.find(key);
   if (it == in_flight_.end()) return;
   const common::SimTime fire_at = network_->clock().now() + it->second.timeout;
-  network_->schedule(fire_at, [this, key = std::move(key)]() {
-    const auto flight = in_flight_.find(key);
-    if (flight == in_flight_.end()) return;  // acked in the meantime
-    InFlight& f = flight->second;
-    // A crashed sender loses its retransmission state; a detached
-    // receiver will never ack. Both end the retry loop — fail closed.
-    // Exhausting the retry budget against a live, attached peer is the
-    // interesting case operationally (the link is lossy beyond what the
-    // policy tolerates), so it gets its own network-wide counter.
-    if (f.attempts >= policy_.max_attempts ||
-        network_->crashed(key.from) || !network_->attached(key.to)) {
-      if (f.attempts >= policy_.max_attempts) {
-        network_->count_retry_exhausted();
-      }
-      ++stats_.gave_up;
-      in_flight_.erase(flight);
-      return;
+  network_->schedule(fire_at,
+                     [this, key = std::move(key)]() { on_timer(key); });
+}
+
+void ReliableChannel::on_timer(const Key& key) {
+  const auto flight = in_flight_.find(key);
+  if (flight == in_flight_.end()) return;  // acked in the meantime
+  InFlight& f = flight->second;
+  const common::SimTime now = network_->clock().now();
+  // Past its deadline: the work is dead no matter how many retries are
+  // left. Abandoning here is what keeps expired load off the wire.
+  if (f.deadline_us != 0 && now >= f.deadline_us) {
+    ++stats_.expired;
+    network_->count_expired_in_flight();
+    finish_flight(flight);
+    return;
+  }
+  // The receiver said Busy: defer without spending an attempt, up to the
+  // policy bound — backpressure should pause the sender, not burn its
+  // retry budget.
+  const auto busy = busy_until_.find({key.from, key.to});
+  if (busy != busy_until_.end() && busy->second > now &&
+      f.deferrals < policy_.max_busy_deferrals) {
+    ++f.deferrals;
+    ++stats_.busy_deferrals;
+    network_->count_busy_deferral();
+    network_->schedule(busy->second, [this, key]() { on_timer(key); });
+    return;
+  }
+  // A crashed sender loses its retransmission state; a detached
+  // receiver will never ack. Both end the retry loop — fail closed.
+  // Exhausting the retry budget against a live, attached peer is the
+  // interesting case operationally (the link is lossy beyond what the
+  // policy tolerates), so it gets its own network-wide counter.
+  if (f.attempts >= policy_.max_attempts || network_->crashed(key.from) ||
+      !network_->attached(key.to)) {
+    if (f.attempts >= policy_.max_attempts) {
+      network_->count_retry_exhausted();
+      if (breaker_) breaker_->record_failure(key.to, now);
     }
-    ++f.attempts;
-    ++stats_.retransmits;
-    network_->count_retransmit();
-    network_->send(key.from, key.to, f.topic, f.wire);
-    f.timeout = static_cast<common::SimTime>(
-        static_cast<double>(f.timeout) * policy_.backoff_factor);
-    arm_timer(key);
-  });
+    ++stats_.gave_up;
+    finish_flight(flight);
+    return;
+  }
+  ++f.attempts;
+  ++stats_.retransmits;
+  network_->count_retransmit();
+  network_->send(key.from, key.to, f.topic, f.wire);
+  f.timeout = next_timeout(f.timeout);
+  arm_timer(key);
 }
 
 }  // namespace veil::net

@@ -10,17 +10,34 @@
 // platform above fails CLOSED, exactly as it did before this layer
 // existed.
 //
+// Overload behavior (PR 7): backoff uses decorrelated jitter by default —
+// pure exponential synchronizes retry storms after a partition heals,
+// because every stranded sender doubles from the same base on the same
+// clock. The jitter draws from a channel-local seeded RNG, so transcripts
+// stay reproducible and the network's own draw sequence is untouched.
+// Envelopes optionally carry an absolute deadline: the sender abandons
+// retransmission past it and the receiver acks-but-drops late arrivals,
+// so dead work stops consuming the wire. Busy{retry_after} notices from
+// bounded inboxes defer the retransmission timer without spending an
+// attempt, and an optional per-link send window queues (then refuses)
+// sends beyond a configured number of unacked messages. An optional
+// CircuitBreaker gates fresh sends to peers whose retry budgets keep
+// exhausting.
+//
 // Privacy note: a retransmission travels only to the original recipient
 // and an ack only to the original sender, so reliability adds no new
 // observers — the property the chaos suite's leakage assertions pin down.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <set>
 #include <string>
 
+#include "common/rng.hpp"
 #include "net/network.hpp"
+#include "net/overload.hpp"
 
 namespace veil::net {
 
@@ -33,15 +50,43 @@ struct RetryPolicy {
   /// Total attempts including the original send. At 20% uniform loss and
   /// 6 attempts a message is lost for good with p = 0.2^6 = 6.4e-5.
   std::size_t max_attempts = 6;
+
+  /// Decorrelated-jitter backoff: the timeout after a retransmit is drawn
+  /// uniformly from [initial, 3 * previous), capped at max_timeout_us,
+  /// instead of deterministically doubling. Draws come from a channel-
+  /// local RNG seeded with jitter_seed, so the schedule is reproducible
+  /// without perturbing the network RNG stream.
+  bool decorrelated_jitter = true;
+  common::SimTime max_timeout_us = 160'000;
+  std::uint64_t jitter_seed = 0x6a177e125d2c0b1fULL;
+
+  /// Per-(from,to) send window: at most this many unacked messages on the
+  /// wire; excess sends queue (FIFO) and dispatch as flights settle.
+  /// 0 = unlimited (the pre-PR-7 behavior).
+  std::size_t window = 0;
+  /// Queued sends per link beyond the window before new sends are
+  /// refused outright (fail closed). 0 = unlimited queue.
+  std::size_t window_queue = 0;
+  /// Busy deferrals per flight before the channel stops honoring the
+  /// receiver's backpressure and resumes the normal retry/give-up path.
+  std::size_t max_busy_deferrals = 32;
 };
 
 struct ReliableStats {
-  std::uint64_t sent = 0;         // distinct messages offered
+  std::uint64_t sent = 0;         // distinct messages offered to the wire
   std::uint64_t retransmits = 0;  // extra wire sends beyond the first
   std::uint64_t acked = 0;
   std::uint64_t gave_up = 0;  // retries exhausted (or endpoint gone)
   std::uint64_t duplicates_suppressed = 0;
   std::uint64_t malformed = 0;  // undecodable envelopes, dropped
+
+  // Overload accounting.
+  std::uint64_t expired = 0;             // abandoned: deadline passed
+  std::uint64_t expired_on_arrival = 0;  // delivered late, acked + dropped
+  std::uint64_t busy_deferrals = 0;      // retransmits postponed by Busy
+  std::uint64_t window_queued = 0;       // sends held for an open slot
+  std::uint64_t window_rejected = 0;     // sends refused: link queue full
+  std::uint64_t breaker_rejected = 0;    // sends refused by open breaker
 };
 
 class ReliableChannel {
@@ -57,8 +102,17 @@ class ReliableChannel {
 
   /// Reliable send: at-least-once on the wire, exactly-once to the
   /// receiving handler. `from` must be attached (acks flow back to it).
+  /// A nonzero `deadline_us` (absolute sim time) bounds the effort: the
+  /// sender stops retransmitting past it, and a receiver that gets the
+  /// message after the deadline acks it but drops it unforwarded.
   void send(const Principal& from, const Principal& to,
-            const std::string& topic, common::Bytes payload);
+            const std::string& topic, common::Bytes payload,
+            common::SimTime deadline_us = 0);
+
+  /// Gate fresh sends through `breaker` (not owned; may be null to
+  /// remove). Acks record successes; exhausted retry budgets record
+  /// failures — the breaker opens over peers that keep timing out.
+  void set_breaker(CircuitBreaker* breaker) { breaker_ = breaker; }
 
   /// Messages still awaiting an ack (drained retries pending).
   std::size_t in_flight() const { return in_flight_.size(); }
@@ -66,9 +120,11 @@ class ReliableChannel {
   const ReliableStats& stats() const { return stats_; }
   const RetryPolicy& policy() const { return policy_; }
 
-  /// Envelope codec, exposed for the decode-fuzz suite.
+  /// Envelope codec, exposed for the decode-fuzz suite. `deadline_us` is
+  /// the TTL header: 0 means none.
   struct Envelope {
     std::uint64_t seq = 0;
+    common::SimTime deadline_us = 0;
     common::Bytes payload;
 
     common::Bytes encode() const;
@@ -89,6 +145,14 @@ class ReliableChannel {
     common::Bytes wire;  // encoded envelope, reused for retransmits
     std::size_t attempts = 1;
     common::SimTime timeout;
+    common::SimTime deadline_us = 0;
+    std::size_t deferrals = 0;  // Busy-driven postponements so far
+  };
+
+  struct Queued {
+    std::string topic;
+    common::Bytes payload;
+    common::SimTime deadline_us = 0;
   };
 
   /// Receiver-side dedup window: lowest-unseen plus out-of-order set.
@@ -98,15 +162,33 @@ class ReliableChannel {
     bool fresh(std::uint64_t seq);
   };
 
+  using Link = std::pair<Principal, Principal>;
+
   void on_message(const Principal& self, const SimNetwork::Handler& handler,
                   const Message& msg);
+  /// Put a message on the wire and arm its retry timer (window slot
+  /// already secured by the caller).
+  void dispatch(const Principal& from, const Principal& to,
+                const std::string& topic, common::Bytes payload,
+                common::SimTime deadline_us);
   void arm_timer(Key key);
+  void on_timer(const Key& key);
+  /// Retire a flight (acked, expired, or given up): free its window slot
+  /// and dispatch queued sends that now fit.
+  void finish_flight(std::map<Key, InFlight>::iterator it);
+  void drain_waiting(const Link& link);
+  common::SimTime next_timeout(common::SimTime previous);
 
   SimNetwork* network_;
   RetryPolicy policy_;
-  std::map<std::pair<Principal, Principal>, std::uint64_t> next_seq_;
+  common::Rng jitter_rng_;
+  CircuitBreaker* breaker_ = nullptr;
+  std::map<Link, std::uint64_t> next_seq_;
   std::map<Key, InFlight> in_flight_;
-  std::map<std::pair<Principal, Principal>, SeenWindow> seen_;
+  std::map<Link, SeenWindow> seen_;
+  std::map<Link, std::size_t> open_flights_;
+  std::map<Link, std::deque<Queued>> waiting_;
+  std::map<Link, common::SimTime> busy_until_;
   ReliableStats stats_;
 };
 

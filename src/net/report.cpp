@@ -130,6 +130,18 @@ std::string render_network_stats(const NetworkStats& stats) {
   line(os, "link corruption", stats.messages_corrupted);
   line(os, "silenced (dropped)", stats.dropped_silenced);
   line(os, "quarantined (dropped)", stats.dropped_quarantined);
+  os << "overload control:\n";
+  line(os, "inbox overflow (dropped)", stats.dropped_overflow);
+  line(os, "busy notices", stats.busy_notices);
+  line(os, "busy deferrals", stats.busy_deferrals);
+  line(os, "busy rejected (platform)", stats.busy_rejected);
+  line(os, "breaker rejected", stats.breaker_rejected);
+  line(os, "shed at admission", stats.shed_admission);
+  line(os, "expired: endorse", stats.expired_endorse);
+  line(os, "expired: ordering", stats.expired_order);
+  line(os, "expired: validation", stats.expired_validate);
+  line(os, "expired in flight", stats.expired_in_flight);
+  line(os, "inbox high water", stats.inbox_high_water);
   return os.str();
 }
 

@@ -499,6 +499,12 @@ void CordaNetwork::on_notary_message(const std::string& self,
   Notary& notary = notaries_.at(self);
 
   std::string refusal;
+  // Deadline propagation, ordering stage: the notary refuses work that
+  // expired in flight rather than consuming inputs for a dead flow.
+  if (flow.deadline_us != 0 && network_->clock().now() > flow.deadline_us) {
+    refusal = "expired at ordering";
+    network_->count_expired(net::Stage::Order);
+  }
   if (notary.validating) {
     auditor().record(self, "tx/" + tx_id + "/data", flow.out_bytes);
   } else {
@@ -642,6 +648,10 @@ CordaNetwork::PreparedFlow CordaNetwork::prepare_flow(
   p.confidential = request.confidential;
   p.oracle = request.oracle;
   p.inputs = request.inputs;
+  p.deadline_us = request.deadline_us;
+  if (p.deadline_us == 0 && default_ttl_us_ != 0) {
+    p.deadline_us = network_->clock().now() + default_ttl_us_;
+  }
 
   const auto initiator_it = parties_.find(request.initiator);
   if (initiator_it == parties_.end()) {
@@ -853,6 +863,20 @@ std::vector<FlowResult> CordaNetwork::transact_many(
         out[origin] = {false, p.tx_id, "unresolvable participant"};
         continue;
       }
+      // Deadline propagation, endorse stage: a flow already past its
+      // deadline never starts its signature round.
+      if (p.deadline_us != 0 && network_->clock().now() > p.deadline_us) {
+        network_->count_expired(net::Stage::Endorse);
+        out[origin] = {false, p.tx_id, "expired before signature round"};
+        continue;
+      }
+      // Bounded flow table: at capacity, refuse with a busy result
+      // instead of growing without bound under overload.
+      if (pending_capacity_ != 0 && pending_.size() >= pending_capacity_) {
+        network_->count_busy_rejected();
+        out[origin] = {false, p.tx_id, "busy: flow table full"};
+        continue;
+      }
       PendingFlow flow;
       flow.tx_id = p.tx_id;
       flow.initiator = p.initiator;
@@ -865,6 +889,7 @@ std::vector<FlowResult> CordaNetwork::transact_many(
       flow.confidential = p.confidential;
       flow.out_bytes = p.out_bytes;
       flow.parties_bytes = p.parties_bytes;
+      flow.deadline_us = p.deadline_us;
       if (p.oracle) {
         flow.fact_key = p.oracle->fact_key;
         flow.fact_value = p.oracle->fact_value;

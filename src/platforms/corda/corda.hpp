@@ -35,6 +35,7 @@
 #include "crypto/signature.hpp"
 #include "ledger/wal.hpp"
 #include "net/network.hpp"
+#include "net/overload.hpp"
 #include "net/reliable.hpp"
 #include "pki/membership.hpp"
 #include "pki/onetime.hpp"
@@ -128,6 +129,8 @@ class CordaNetwork {
     std::string notary;
     bool confidential = false;
     std::optional<OracleRequest> oracle;
+    /// Absolute deadline for this flow (0 = none; default TTL applies).
+    common::SimTime deadline_us = 0;
   };
 
   /// Pipelined flows: requests run in waves of `pipeline_depth`. Within a
@@ -222,6 +225,27 @@ class CordaNetwork {
 
   audit::EvidenceLog& evidence() { return evidence_; }
   const audit::EvidenceLog& evidence() const { return evidence_; }
+
+  // ---- Overload tier (docs/fault_model.md "Overload tier") -----------------
+
+  /// Default TTL stamped on flows at prepare time (deadline = prepare
+  /// time + ttl). An expired flow is refused before its signature round,
+  /// and the notary refuses expired notarization requests ("expired at
+  /// ordering"). 0 = no deadline.
+  void set_default_ttl(common::SimTime ttl_us) { default_ttl_us_ = ttl_us; }
+  /// Hard bound on concurrently pending flows; at capacity new flows get
+  /// a busy FlowResult instead of growing the table (0 = unbounded).
+  void set_pending_capacity(std::size_t capacity) {
+    pending_capacity_ = capacity;
+  }
+  /// Route flow messaging through a circuit breaker fed by delivery
+  /// outcomes (acks close, exhausted retries open).
+  void enable_circuit_breaker(net::BreakerConfig config = {}) {
+    breaker_ = net::CircuitBreaker(config);
+    channel_.set_breaker(&breaker_);
+  }
+  net::CircuitBreaker& breaker() { return breaker_; }
+  std::size_t pending_depth() const { return pending_.size(); }
 
   // ---- Recovery tier (docs/fault_model.md "Recovery tier") -----------------
 
@@ -325,6 +349,7 @@ class CordaNetwork {
     std::optional<crypto::Signature> notary_signature;
     std::string refusal;  // oracle/notary rejection reason
     std::set<std::string> finalize_acks;
+    common::SimTime deadline_us = 0;  // 0 = none
   };
 
   /// Everything transact() does before the message rounds: validation,
@@ -355,6 +380,7 @@ class CordaNetwork {
     // Stage-B results (pure functions of the fields above).
     crypto::Digest root{};
     crypto::Signature initiator_signature;
+    common::SimTime deadline_us = 0;
     // Stage-C progress.
     std::string tx_id;
     bool live = false;  // registered in pending_ and still progressing
@@ -419,6 +445,10 @@ class CordaNetwork {
   /// archive — the byzantine_respend() bypass.
   bool respend_ = false;
   bool batch_verify_ = true;
+  // Overload tier: volatile refusal machinery, never WAL-logged.
+  common::SimTime default_ttl_us_ = 0;
+  std::size_t pending_capacity_ = 0;
+  net::CircuitBreaker breaker_;
   crypto::BatchVerifier batch_verifier_;
   /// Ancestor tx ids whose notarization has already been verified
   /// (validate-once: immutable records never need a second check).

@@ -89,11 +89,15 @@ FabricNetwork::FabricNetwork(net::SimNetwork& network,
                     .on_fail = nullptr,
                 }),
       mempool_(config.mempool),
+      admission_(config.admission),
+      breaker_(config.breaker),
       batch_verifier_(group, rng_.next_u64()) {
+  if (config_.circuit_breaker) channel_.set_breaker(&breaker_);
   if (config_.orderer_deployment == ledger::OrdererDeployment::Shared) {
     shared_orderer_ = std::make_unique<ledger::OrderingService>(
         "orderer-org", ledger::OrdererDeployment::Shared, network.auditor(),
         config_.block_size);
+    shared_orderer_->set_pending_limit(config_.orderer_pending_limit);
     // Send/ack-only endpoint: the orderer never receives app traffic, but
     // block deliveries it sends need the acks routed back to it.
     channel_.attach("orderer-org", nullptr);
@@ -259,6 +263,8 @@ void FabricNetwork::create_channel(const std::string& channel,
     it->second.private_orderer = std::make_unique<ledger::OrderingService>(
         *members.begin(), ledger::OrdererDeployment::Private,
         network_->auditor(), config_.block_size);
+    it->second.private_orderer->set_pending_limit(
+        config_.orderer_pending_limit);
     // The operator principal sends block deliveries and collects acks.
     channel_.attach(it->second.private_orderer->operator_name(), nullptr);
   }
@@ -494,6 +500,13 @@ bool FabricNetwork::commit_block(const std::string& org, Channel& channel,
     if (!replay) record_visibility(network_->auditor(), peer_of(org), tx);
 
     bool valid = sig_valid[tx_index++] != 0;
+    // Validate-stage TTL check, deterministic across replicas: the block
+    // timestamp (sealed by the orderer) is compared, never the local
+    // clock, so every peer drops exactly the same expired transactions
+    // and state stays bit-identical.
+    const bool expired =
+        tx.deadline_us != 0 && block.header.timestamp > tx.deadline_us;
+    if (expired) valid = false;
     if (valid && validation_mode_ == ValidationMode::Detect) {
       // Endorsement-consistency cross-check: a deterministic chaincode
       // produces identical writes for an identical proposal context, so
@@ -539,7 +552,8 @@ bool FabricNetwork::commit_block(const std::string& org, Channel& channel,
     TxReceipt receipt;
     receipt.tx_id = tx.id();
     receipt.committed = valid && commit == ledger::CommitResult::Applied;
-    receipt.reason = !valid              ? "endorsement policy unsatisfied"
+    receipt.reason = expired             ? "expired at validation"
+                     : !valid            ? "endorsement policy unsatisfied"
                      : receipt.committed ? ""
                                          : "mvcc conflict";
     // Count each transaction once, on its first recorded commit
@@ -547,6 +561,9 @@ bool FabricNetwork::commit_block(const std::string& org, Channel& channel,
     const bool first_record = !receipts_.contains(tx.id());
     receipts_[tx.id()] = receipt;
     if (receipt.committed && first_record) ++committed_count_;
+    if (expired && first_record) {
+      network_->count_expired(net::Stage::Validate);
+    }
   }
   ++replica.blocks_applied;
   // Interval checkpoint: seal the committed state into the WAL and
@@ -633,6 +650,32 @@ FabricNetwork::PreparedSubmission FabricNetwork::prepare_submission(
     return fail("chaincode not installed on channel");
   }
 
+  // --- Overload gate -------------------------------------------------------
+  // Deadline stamped at submission (arrival time when the open-loop
+  // driver supplies one), then checked before any endorsement work: the
+  // endorse stage is the first place expired work can die cheaply.
+  const common::SimTime gate_now = network_->clock().now();
+  const common::SimTime arrival =
+      request.arrival_us != 0 ? request.arrival_us : gate_now;
+  common::SimTime deadline = request.deadline_us;
+  if (deadline == 0 && config_.default_ttl_us != 0) {
+    deadline = arrival + config_.default_ttl_us;
+  }
+  if (deadline != 0 && gate_now > deadline) {
+    network_->count_expired(net::Stage::Endorse);
+    return fail("expired before endorsement");
+  }
+  // Fresh-class admission: shed by queue delay before spending any
+  // crypto. Already-endorsed work re-offers later as Commit class, which
+  // tolerates far more delay — that is the priority ordering.
+  if (config_.admission_control &&
+      !admission_.offer(chaincode + "/" + action, ledger::AdmitPriority::Fresh,
+                        arrival, gate_now, mempool_.size(), deadline)) {
+    network_->count_shed();
+    return fail("shed at admission (retry after " +
+                std::to_string(admission_.retry_after(gate_now)) + "us)");
+  }
+
   // --- Endorsement phase -------------------------------------------------
   const std::set<std::string> endorsing_orgs =
       policy_it->second.mentioned_orgs();
@@ -705,6 +748,7 @@ FabricNetwork::PreparedSubmission FabricNetwork::prepare_submission(
 
   ledger::Transaction tx = std::move(reference->tx);
   tx.timestamp = network_->clock().now();
+  tx.deadline_us = deadline;
 
   // --- Private data (PDC) -------------------------------------------------
   if (private_data) {
@@ -827,8 +871,24 @@ void FabricNetwork::order_transaction(const std::string& channel_name,
                                       ledger::Transaction tx) {
   Channel& ch = channels_.at(channel_name);
   ledger::OrderingService& orderer = orderer_for(ch);
-  for (const ledger::Block& block :
-       orderer.submit(std::move(tx), network_->clock().now())) {
+  const common::SimTime now = network_->clock().now();
+  const std::string tx_id = tx.id();
+  // Order-stage TTL check: endorsement (and possibly queueing behind the
+  // admission gate) may have eaten the whole budget.
+  if (tx.deadline_us != 0 && now > tx.deadline_us) {
+    network_->count_expired(net::Stage::Order);
+    receipts_[tx_id] = {false, tx_id, "expired at ordering"};
+    mempool_.remove(tx_id, ledger::EvictionRecord::Cause::Expired, now);
+    return;
+  }
+  // Bounded orderer pending set: refuse loudly instead of growing.
+  if (orderer.at_capacity(channel_name)) {
+    network_->count_busy_rejected();
+    receipts_[tx_id] = {false, tx_id, "busy: orderer pending queue full"};
+    mempool_.remove(tx_id, ledger::EvictionRecord::Cause::Expired, now);
+    return;
+  }
+  for (const ledger::Block& block : orderer.submit(std::move(tx), now)) {
     deliver_block(channel_name, block);
   }
 }
@@ -873,6 +933,7 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
   // --- Admission + ordering + delivery -------------------------------------
   const std::string tx_id = tx.id();
   admit_to_mempool(tx);
+  mempool_.pin(tx_id);  // in flight until delivery: not a capacity victim
   order_transaction(channel, std::move(tx));
   Channel& ch = channels_.at(channel);
   for (const ledger::Block& block :
@@ -881,6 +942,7 @@ TxReceipt FabricNetwork::submit(const std::string& channel,
       deliver_block(block.transactions.front().channel, block);
     }
   }
+  mempool_.unpin(tx_id);
 
   const auto receipt = receipts_.find(tx_id);
   if (receipt == receipts_.end()) return {false, tx_id, "not delivered"};
@@ -897,6 +959,9 @@ std::vector<TxReceipt> FabricNetwork::submit_many(
   };
   std::vector<Ordered> ordered;
   std::set<std::string> touched;
+  // Tokens pinned while their wave is in flight (admission -> delivery):
+  // capacity eviction must not take them out from under the pipeline.
+  std::vector<std::string> wave_pins;
 
   for (std::size_t wave = 0; wave < requests.size();
        wave += pipeline_depth) {
@@ -953,10 +1018,29 @@ std::vector<TxReceipt> FabricNetwork::submit_many(
       }
     }
     admit_wave_to_mempool(prepared);
+    for (const PreparedSubmission& p : prepared) {
+      const std::string id = p.tx.id();
+      mempool_.pin(id);
+      wave_pins.push_back(id);
+    }
     // Stage D (serial, in submission order): hand to the orderer. The
     // tokens minted above make block validation a lookup, not a verify.
+    // Endorsed work re-enters the admission controller as Commit class:
+    // it carries sunk endorsement cost, so it outranks fresh arrivals
+    // (wider CoDel target) but is still shed when the queue stays bad.
     for (std::size_t p = 0; p < prepared.size(); ++p) {
       const std::string tx_id = prepared[p].tx.id();
+      if (config_.admission_control) {
+        const common::SimTime now = network_->clock().now();
+        if (!admission_.offer(tx_id, ledger::AdmitPriority::Commit,
+                              prepared[p].tx.timestamp, now, mempool_.size(),
+                              prepared[p].tx.deadline_us)) {
+          network_->count_shed();
+          mempool_.remove(tx_id, ledger::EvictionRecord::Cause::Expired, now);
+          out[origin[p]] = {false, tx_id, "shed endorsed work at admission"};
+          continue;
+        }
+      }
       order_transaction(prepared[p].channel, std::move(prepared[p].tx));
       touched.insert(prepared[p].channel);
       ordered.push_back({origin[p], tx_id});
@@ -980,6 +1064,7 @@ std::vector<TxReceipt> FabricNetwork::submit_many(
                            ? TxReceipt{false, o.tx_id, "not delivered"}
                            : receipt->second;
   }
+  for (const std::string& id : wave_pins) mempool_.unpin(id);
   return out;
 }
 
@@ -1037,6 +1122,16 @@ void FabricNetwork::rejoin(const std::string& channel, const std::string& org,
   std::vector<net::Principal> donors;
   if (donor_orgs.empty()) {
     donors = voters;
+    // The breaker remembers which peers kept timing out under load;
+    // don't pick one of those as a snapshot donor when we have a choice
+    // (an explicit donor list overrides — the caller knows better).
+    if (config_.circuit_breaker && donors.size() > 1) {
+      const common::SimTime now = network_->clock().now();
+      std::erase_if(donors, [&](const net::Principal& peer) {
+        return breaker_.state(peer, now) == net::BreakerState::Open;
+      });
+      if (donors.empty()) donors = voters;  // all open: degrade, don't stall
+    }
   } else {
     for (const std::string& d : donor_orgs) donors.push_back(peer_of(d));
   }

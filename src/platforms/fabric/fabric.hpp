@@ -33,6 +33,7 @@
 #include "contracts/engine.hpp"
 #include "contracts/registry.hpp"
 #include "crypto/batch_verify.hpp"
+#include "ledger/admission.hpp"
 #include "ledger/chain.hpp"
 #include "ledger/mempool.hpp"
 #include "ledger/ordering.hpp"
@@ -41,6 +42,7 @@
 #include "ledger/transfer.hpp"
 #include "ledger/wal.hpp"
 #include "net/network.hpp"
+#include "net/overload.hpp"
 #include "net/reliable.hpp"
 #include "offchain/pdc.hpp"
 #include "pki/idemix.hpp"
@@ -67,6 +69,24 @@ struct FabricConfig {
   /// of one exponentiation pair per signature. Results are bit-identical;
   /// false keeps the per-item path for differential testing.
   bool batch_verify = true;
+
+  // ---- Overload tier (docs/fault_model.md "Overload tier") ----------------
+  /// CoDel-style admission controller fronting the mempool: sheds fresh
+  /// submissions by queue delay before any endorsement work is spent,
+  /// and (with much more slack) already-endorsed work before ordering.
+  /// Off by default — closed-loop behavior is unchanged.
+  bool admission_control = false;
+  ledger::AdmissionConfig admission;
+  /// TTL stamped at submission when the request carries no explicit
+  /// deadline (0 = no deadline). Every later stage drops expired work.
+  common::SimTime default_ttl_us = 0;
+  /// Bound on each orderer's per-channel pending deque (0 = unbounded);
+  /// submissions over it get a busy receipt instead of silent growth.
+  std::size_t orderer_pending_limit = 0;
+  /// Gate the reliable channel's sends through a circuit breaker fed by
+  /// ack/retry outcomes, and skip Open donors during rejoin failover.
+  bool circuit_breaker = false;
+  net::BreakerConfig breaker;
 };
 
 struct TxReceipt {
@@ -153,6 +173,12 @@ class FabricNetwork {
     common::Bytes args;
     std::optional<PrivatePayload> private_data;
     const pki::IdemixCredential* idemix = nullptr;
+    /// When the work arrived at the client (0 = now). Open-loop drivers
+    /// set this to the scheduled arrival so admission control sees true
+    /// queue delay, not just in-pipeline delay.
+    common::SimTime arrival_us = 0;
+    /// Absolute deadline (0 = none; config.default_ttl_us may stamp one).
+    common::SimTime deadline_us = 0;
   };
 
   /// Pipelined endorse -> order -> validate over many submissions.
@@ -274,6 +300,12 @@ class FabricNetwork {
   const crypto::BatchVerifier::Stats& batch_verify_stats() const {
     return batch_verifier_.stats();
   }
+
+  /// Overload tier: admission-controller decisions and the circuit
+  /// breaker over repeatedly-failing peers.
+  const ledger::AdmissionController& admission() const { return admission_; }
+  net::CircuitBreaker& breaker() { return breaker_; }
+  const net::CircuitBreaker& breaker() const { return breaker_; }
 
  private:
   struct Org {
@@ -414,6 +446,10 @@ class FabricNetwork {
   /// Validate-once admission pool. Volatile: any peer crash clears it
   /// (tokens are never WAL-logged), so recovery re-verifies from scratch.
   ledger::Mempool mempool_;
+  /// Overload tier: CoDel admission in front of the pool (volatile, like
+  /// the pool) and the breaker over repeatedly-failing peers.
+  ledger::AdmissionController admission_;
+  net::CircuitBreaker breaker_;
   crypto::BatchVerifier batch_verifier_;
 };
 

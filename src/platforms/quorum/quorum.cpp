@@ -92,6 +92,7 @@ TxResult QuorumNetwork::submit_public(
   tx.participants = {from};
   tx.writes = writes;
   tx.timestamp = network_->clock().now();
+  if (default_ttl_us_ != 0) tx.deadline_us = tx.timestamp + default_ttl_us_;
   common::Writer nonce;
   nonce.u64(nonce_++);
   tx.payload = nonce.take();
@@ -131,6 +132,7 @@ TxResult QuorumNetwork::submit_private(const std::string& from,
   tx.payload = crypto::digest_bytes(crypto::sha256(private_blob));
   tx.data_opaque = true;  // chain carries hash only
   tx.timestamp = network_->clock().now();
+  if (default_ttl_us_ != 0) tx.deadline_us = tx.timestamp + default_ttl_us_;
   tx.endorse(from, nodes_.at(from).keypair);
   ++private_count_;
   return enqueue(std::move(tx), recipients, writes, private_blob);
@@ -197,6 +199,9 @@ std::vector<TxResult> QuorumNetwork::submit_private_many(
       item.tx.payload = crypto::digest_bytes(crypto::sha256(item.blob));
       item.tx.data_opaque = true;
       item.tx.timestamp = network_->clock().now();
+      if (default_ttl_us_ != 0) {
+        item.tx.deadline_us = item.tx.timestamp + default_ttl_us_;
+      }
       ++private_count_;
 
       for (const std::string& holder : req.recipients) {
@@ -277,10 +282,37 @@ std::vector<TxResult> QuorumNetwork::submit_private_many(
     std::vector<const ledger::Transaction*> wave_txs;
     for (const std::size_t j : survivors) wave_txs.push_back(&items[j].tx);
     admit_wave_to_mempool(wave_txs);
+    // Pin the wave's tokens while it drains: capacity eviction must not
+    // take validate-once entries out from under in-flight blocks.
+    std::vector<std::string> wave_pins;
     for (const std::size_t j : survivors) {
+      const std::string id = items[j].tx.id();
+      mempool_.pin(id);
+      wave_pins.push_back(id);
+    }
+    for (const std::size_t j : survivors) {
+      const std::string tx_id = items[j].tx.id();
+      // Endorsed work re-offers as Commit class: it outranks fresh
+      // arrivals (wider CoDel target) but still sheds when the pending
+      // queue stays bad.
+      if (admission_control_) {
+        const common::SimTime now = network_->clock().now();
+        if (!admission_.offer(tx_id, ledger::AdmitPriority::Commit,
+                              items[j].tx.timestamp, now, pending_.size(),
+                              items[j].tx.deadline_us)) {
+          network_->count_shed();
+          mempool_.remove(tx_id, ledger::EvictionRecord::Cause::Expired, now);
+          nodes_.at(from).tm_store.erase(tx_id);
+          private_details_.erase(tx_id);
+          out[items[j].origin] = {false, tx_id,
+                                  "shed endorsed work at admission"};
+          continue;
+        }
+      }
       pending_.push_back(std::move(items[j].tx));
       if (pending_.size() >= block_size_) seal_block();
     }
+    for (const std::string& id : wave_pins) mempool_.unpin(id);
   }
   return out;
 }
@@ -327,6 +359,7 @@ TxResult QuorumNetwork::replay_private(const std::string& attacker,
   tx.payload = crypto::digest_bytes(crypto::sha256(private_blob));
   tx.data_opaque = true;
   tx.timestamp = network_->clock().now();
+  if (default_ttl_us_ != 0) tx.deadline_us = tx.timestamp + default_ttl_us_;
   tx.endorse(attacker, node->second.keypair);
   ++private_count_;
   return enqueue(std::move(tx), recipients, writes, private_blob);
@@ -394,6 +427,33 @@ TxResult QuorumNetwork::enqueue(ledger::Transaction tx,
     std::set<std::string> holders = private_recipients;
     holders.insert(from);
     private_details_[tx_id] = PrivateDetail{holders, private_writes};
+  }
+
+  // ---- Overload gate -------------------------------------------------------
+  // Refusals after private dissemination tidy up the TM side: a payload
+  // whose hash never reaches the chain should not linger as an orphan.
+  const auto refuse = [&](std::string why) {
+    if (tx.action == "private") {
+      nodes_.at(from).tm_store.erase(tx_id);
+      private_details_.erase(tx_id);
+    }
+    return TxResult{false, tx_id, std::move(why)};
+  };
+  const common::SimTime gate_now = network_->clock().now();
+  if (tx.deadline_us != 0 && gate_now > tx.deadline_us) {
+    network_->count_expired(net::Stage::Endorse);
+    return refuse("expired before enqueue");
+  }
+  if (admission_control_ &&
+      !admission_.offer(tx_id, ledger::AdmitPriority::Fresh, tx.timestamp,
+                        gate_now, pending_.size(), tx.deadline_us)) {
+    network_->count_shed();
+    return refuse("shed at admission (retry after " +
+                  std::to_string(admission_.retry_after(gate_now)) + "us)");
+  }
+  if (pending_capacity_ != 0 && pending_.size() >= pending_capacity_) {
+    network_->count_busy_rejected();
+    return refuse("busy: pending queue full");
   }
 
   admit_to_mempool(tx);
@@ -546,6 +606,17 @@ void QuorumNetwork::on_node_message(const std::string& self,
 }
 
 void QuorumNetwork::seal_block() {
+  if (pending_.empty()) return;
+  // Deadline propagation, ordering stage: work that expired while queued
+  // is dropped here rather than sealed into a block every node would
+  // then validate and discard.
+  const common::SimTime seal_now = network_->clock().now();
+  std::erase_if(pending_, [&](const ledger::Transaction& tx) {
+    if (tx.deadline_us == 0 || seal_now <= tx.deadline_us) return false;
+    network_->count_expired(net::Stage::Order);
+    mempool_.remove(tx.id(), ledger::EvictionRecord::Cause::Expired, seal_now);
+    return true;
+  });
   if (pending_.empty()) return;
   ledger::Block block = ledger::Block::make(
       next_height_, tip_hash_, std::move(pending_), network_->clock().now());

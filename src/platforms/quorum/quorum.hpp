@@ -25,6 +25,7 @@
 
 #include "audit/evidence.hpp"
 #include "crypto/batch_verify.hpp"
+#include "ledger/admission.hpp"
 #include "ledger/chain.hpp"
 #include "ledger/mempool.hpp"
 #include "ledger/snapshot.hpp"
@@ -32,6 +33,7 @@
 #include "ledger/transfer.hpp"
 #include "ledger/wal.hpp"
 #include "net/network.hpp"
+#include "net/overload.hpp"
 #include "net/reliable.hpp"
 #include "pki/ca.hpp"
 
@@ -110,6 +112,35 @@ class QuorumNetwork {
   const crypto::BatchVerifier::Stats& batch_verify_stats() const {
     return batch_verifier_.stats();
   }
+
+  // ---- Overload tier (docs/fault_model.md "Overload tier") -----------------
+
+  /// CoDel admission control in front of the pending queue (off until
+  /// configured). Fresh submissions are gated at enqueue; endorsed wave
+  /// work re-offers as Commit class in submit_private_many.
+  void set_admission(ledger::AdmissionConfig config) {
+    admission_ = ledger::AdmissionController(config);
+    admission_control_ = true;
+  }
+  /// Hard bound on the pending queue; a full queue refuses submissions
+  /// with a busy result instead of growing (0 = unbounded).
+  void set_pending_capacity(std::size_t capacity) {
+    pending_capacity_ = capacity;
+  }
+  /// Default TTL stamped on submissions at build time (deadline =
+  /// timestamp + ttl; part of the signed body). Expired work is dropped
+  /// at enqueue and again when blocks are sealed. 0 = no deadline.
+  void set_default_ttl(common::SimTime ttl_us) { default_ttl_us_ = ttl_us; }
+  /// Route the reliable channel's sends through a circuit breaker fed by
+  /// delivery outcomes (acks close, exhausted retries open).
+  void enable_circuit_breaker(net::BreakerConfig config = {}) {
+    breaker_ = net::CircuitBreaker(config);
+    channel_.set_breaker(&breaker_);
+  }
+
+  const ledger::AdmissionController& admission() const { return admission_; }
+  net::CircuitBreaker& breaker() { return breaker_; }
+  std::size_t pending_depth() const { return pending_.size(); }
 
   // ---- Byzantine tier (docs/fault_model.md "Byzantine tier") ---------------
 
@@ -285,6 +316,13 @@ class QuorumNetwork {
   bool batch_verify_ = true;
   /// Validate-once admission pool (volatile; cleared on any node crash).
   ledger::Mempool mempool_;
+  // Overload tier: all volatile, never WAL-logged — refused work was
+  // never accepted, so recovery owes it nothing.
+  bool admission_control_ = false;
+  ledger::AdmissionController admission_;
+  common::SimTime default_ttl_us_ = 0;
+  std::size_t pending_capacity_ = 0;
+  net::CircuitBreaker breaker_;
   crypto::BatchVerifier batch_verifier_;
   audit::EvidenceLog evidence_;
   /// Private payload hashes already on chain -> (first carrying tx id,

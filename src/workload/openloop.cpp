@@ -1,0 +1,70 @@
+#include "workload/openloop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace veil::workload {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::sample(common::Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+OpenLoopGenerator::OpenLoopGenerator(OpenLoopConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+std::vector<Arrival> OpenLoopGenerator::generate() {
+  const ZipfSampler zipf(std::max<std::size_t>(config_.parties, 1),
+                         config_.zipf_s);
+  std::vector<Arrival> schedule;
+  schedule.reserve(config_.arrivals);
+  common::SimTime t = config_.start_us;
+  for (std::uint64_t i = 0; i < config_.arrivals; ++i) {
+    // Poisson process: exponential inter-arrival gaps, -ln(1-U)/rate.
+    const double u = rng_.next_double();
+    const double gap_s = -std::log1p(-u) / config_.offered_per_s;
+    t += static_cast<common::SimTime>(gap_s * 1e6);
+    Arrival a;
+    a.at = t;
+    a.party = zipf.sample(rng_);
+    a.seq = i;
+    a.deadline_us = config_.ttl_us != 0 ? t + config_.ttl_us : 0;
+    schedule.push_back(a);
+  }
+  return schedule;
+}
+
+common::SimTime LatencyRecorder::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  // Nearest-rank definition; p = 100 is the max.
+  const double rank = p / 100.0 * static_cast<double>(samples_.size());
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(
+                                          std::ceil(rank)) - 1;
+  idx = std::min(idx, samples_.size() - 1);
+  return samples_[idx];
+}
+
+double LatencyRecorder::mean() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (const common::SimTime s : samples_) total += static_cast<double>(s);
+  return total / static_cast<double>(samples_.size());
+}
+
+}  // namespace veil::workload

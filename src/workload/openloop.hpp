@@ -1,0 +1,105 @@
+// Open-loop load generation (the overload tier's driver).
+//
+// The existing workload generators are closed-loop: the driver submits a
+// batch, waits for it to complete, then submits the next, so the offered
+// rate silently tracks the completion rate and saturation is invisible.
+// An open-loop driver decouples the two — arrivals follow a Poisson
+// process at a *configured* offered rate regardless of how fast the
+// system drains them, which is the only honest way to measure behavior
+// past saturation (the scalability methodology §3.4 defers to custom
+// tests). Party popularity follows a Zipf distribution: enterprise
+// traffic concentrates on a few hub parties, and a uniform draw would
+// understate per-party queue contention.
+//
+// Everything is deterministic from the seed: the arrival schedule, the
+// party choices, and the per-arrival deadlines are all pre-generated, so
+// overload transcripts replay bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace veil::workload {
+
+/// Zipf(s) sampler over ranks 0..n-1 via inverse-CDF lookup on a
+/// precomputed table: P(rank k) proportional to 1/(k+1)^s. s = 0 is
+/// uniform; s = 1 is the classic popularity skew.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(common::Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative, normalized to 1.0
+};
+
+struct OpenLoopConfig {
+  /// Offered load: mean arrivals per simulated second (Poisson).
+  double offered_per_s = 1'000.0;
+  /// Total arrivals to schedule.
+  std::size_t arrivals = 1'000;
+  /// Number of parties to spread arrivals over.
+  std::size_t parties = 2;
+  /// Zipf exponent for party popularity (0 = uniform).
+  double zipf_s = 1.0;
+  /// Per-arrival TTL: deadline = arrival time + ttl_us (0 = no deadline).
+  common::SimTime ttl_us = 0;
+  /// Schedule origin (first inter-arrival gap is added to this).
+  common::SimTime start_us = 0;
+};
+
+/// One scheduled submission.
+struct Arrival {
+  common::SimTime at = 0;          // absolute arrival time
+  std::size_t party = 0;           // Zipf-ranked party index
+  std::uint64_t seq = 0;           // 0-based arrival number
+  common::SimTime deadline_us = 0; // at + ttl (0 = none)
+};
+
+/// Pre-generates the full deterministic arrival schedule.
+class OpenLoopGenerator {
+ public:
+  OpenLoopGenerator(OpenLoopConfig config, std::uint64_t seed);
+
+  std::vector<Arrival> generate();
+
+  const OpenLoopConfig& config() const { return config_; }
+
+ private:
+  OpenLoopConfig config_;
+  common::Rng rng_;
+};
+
+/// Streaming latency recorder with exact percentiles (sorts on demand).
+/// Records sim-time latencies of *admitted* work; shed work never enters,
+/// which is the point — the overload tier bounds the latency of what it
+/// accepts, not of what it refuses.
+class LatencyRecorder {
+ public:
+  void record(common::SimTime latency_us) {
+    samples_.push_back(latency_us);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  /// Percentile in [0,100]; 0 with no samples.
+  common::SimTime percentile(double p) const;
+  common::SimTime p50() const { return percentile(50.0); }
+  common::SimTime p95() const { return percentile(95.0); }
+  common::SimTime p99() const { return percentile(99.0); }
+  common::SimTime max() const { return percentile(100.0); }
+  double mean() const;
+
+ private:
+  mutable std::vector<common::SimTime> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace veil::workload

@@ -9,12 +9,14 @@
 #include "crypto/elgamal.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/zkp.hpp"
+#include "ledger/admission.hpp"
 #include "ledger/block.hpp"
 #include "ledger/mempool.hpp"
 #include "ledger/snapshot.hpp"
 #include "ledger/state.hpp"
 #include "ledger/transfer.hpp"
 #include "net/fault.hpp"
+#include "net/overload.hpp"
 #include "net/reliable.hpp"
 #include "pki/certificate.hpp"
 #include "platforms/quorum/quorum.hpp"
@@ -74,6 +76,9 @@ TEST_P(DecodeFuzz, RandomBuffers) {
     expect_no_crash(junk, [](const Bytes& d) {
       return net::ByzantineEvent::decode(d);
     });
+    expect_no_crash(junk, [](const Bytes& d) { return net::Busy::decode(d); });
+    expect_no_crash(junk,
+                    [](const Bytes& d) { return ledger::ShedRecord::decode(d); });
   }
 }
 
@@ -374,6 +379,74 @@ TEST_P(DecodeFuzz, BitFlippedCommitPathEncodings) {
   // Untampered round trips are lossless.
   EXPECT_EQ(ledger::ValidationToken::decode(token.encode()), token);
   EXPECT_EQ(ledger::EvictionRecord::decode(record.encode()), record);
+}
+
+TEST_P(DecodeFuzz, BitFlippedOverloadTierEncodings) {
+  // Overload-tier wire formats: Busy backpressure notices, TTL'd
+  // reliable-channel envelopes, admission shed records, and eviction
+  // records carrying the new PinnedSkip cause. Busy notices arrive from
+  // saturated (possibly hostile) peers, so a malformed one must reject
+  // cleanly rather than steer the sender's retry schedule off a cliff.
+  common::Rng rng(GetParam() ^ 0x10ad);
+  net::Busy busy;
+  busy.topic = "fabric.order";
+  busy.retry_after_us = 12'500;
+  busy.queue_depth = 9;
+
+  net::ReliableChannel::Envelope envelope;
+  envelope.seq = 42;
+  envelope.deadline_us = 77'000;
+  envelope.payload = rng.next_bytes(48);
+
+  ledger::ShedRecord shed;
+  shed.tx_id = "tx-shed";
+  shed.priority = ledger::AdmitPriority::Commit;
+  shed.cause = ledger::ShedRecord::Cause::QueueDelay;
+  shed.queue_delay_us = 8'800;
+  shed.at = 64'000;
+
+  const ledger::EvictionRecord pinned{
+      "tx-pin", ledger::EvictionRecord::Cause::PinnedSkip, 31};
+
+  const std::vector<Bytes> encodings = {busy.encode(), envelope.encode(),
+                                        shed.encode(), pinned.encode()};
+  const auto decoders = [](const Bytes& d, std::size_t which) {
+    switch (which) {
+      case 0: net::Busy::decode(d); break;
+      case 1: net::ReliableChannel::Envelope::decode(d); break;
+      case 2: ledger::ShedRecord::decode(d); break;
+      default: ledger::EvictionRecord::decode(d); break;
+    }
+  };
+
+  for (std::size_t which = 0; which < encodings.size(); ++which) {
+    const Bytes& enc = encodings[which];
+    for (int i = 0; i < 60; ++i) {
+      Bytes flipped = enc;
+      flipped[rng.next_below(flipped.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+      expect_no_crash(flipped,
+                      [&](const Bytes& d) { decoders(d, which); return 0; });
+    }
+    for (std::size_t len = 0; len < enc.size(); len += 3) {
+      const Bytes truncated(enc.begin(),
+                            enc.begin() + static_cast<std::ptrdiff_t>(len));
+      expect_no_crash(truncated,
+                      [&](const Bytes& d) { decoders(d, which); return 0; });
+    }
+    expect_no_crash(rng.next_bytes(rng.next_below(200)),
+                    [&](const Bytes& d) { decoders(d, which); return 0; });
+  }
+
+  // Untampered round trips are lossless.
+  EXPECT_EQ(net::Busy::decode(busy.encode()), busy);
+  EXPECT_EQ(ledger::ShedRecord::decode(shed.encode()), shed);
+  EXPECT_EQ(ledger::EvictionRecord::decode(pinned.encode()), pinned);
+  const auto env_back =
+      net::ReliableChannel::Envelope::decode(envelope.encode());
+  EXPECT_EQ(env_back.seq, envelope.seq);
+  EXPECT_EQ(env_back.deadline_us, envelope.deadline_us);
+  EXPECT_EQ(env_back.payload, envelope.payload);
 }
 
 TEST_P(DecodeFuzz, TruncatedValidEncodings) {

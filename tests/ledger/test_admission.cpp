@@ -1,0 +1,144 @@
+// CoDel-style admission controller: delay-based shedding with the
+// square-root control law, priority classes (Commit outranks Fresh), the
+// hard capacity backstop, unconditional expired sheds, and the
+// ShedRecord wire format.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ledger/admission.hpp"
+
+namespace veil::ledger {
+namespace {
+
+AdmissionConfig tight() {
+  AdmissionConfig config;
+  config.target_delay_us = 5'000;
+  config.interval_us = 100'000;
+  config.commit_slack = 4.0;
+  return config;
+}
+
+TEST(Admission, AdmitsWhileDelayUnderTarget) {
+  AdmissionController ctl(tight());
+  for (common::SimTime now = 0; now < 10; ++now) {
+    EXPECT_TRUE(ctl.offer("tx", AdmitPriority::Fresh, /*enqueued_at=*/now,
+                          /*now=*/now + 1'000, /*queue_len=*/10));
+  }
+  EXPECT_EQ(ctl.stats().admitted, 10u);
+  EXPECT_EQ(ctl.sheds().size(), 0u);
+  EXPECT_FALSE(ctl.dropping());
+  EXPECT_EQ(ctl.stats().max_queue_delay_us, 1'000u);
+}
+
+TEST(Admission, ShedsAfterSustainedDelayAboveTarget) {
+  AdmissionController ctl(tight());
+  // Sojourn 10ms, target 5ms: above target — but the first full interval
+  // is grace (a burst gets one interval to drain).
+  EXPECT_TRUE(ctl.offer("t0", AdmitPriority::Fresh, 0, 10'000, 8));
+  EXPECT_TRUE(ctl.offer("t1", AdmitPriority::Fresh, 10'000, 50'000, 8));
+  EXPECT_FALSE(ctl.dropping());
+  // Still above target after the interval: the shedding regime begins.
+  EXPECT_FALSE(ctl.offer("t2", AdmitPriority::Fresh, 100'000, 111'000, 8));
+  EXPECT_TRUE(ctl.dropping());
+  EXPECT_EQ(ctl.stats().shed_delay, 1u);
+  ASSERT_EQ(ctl.sheds().size(), 1u);
+  EXPECT_EQ(ctl.sheds()[0].cause, ShedRecord::Cause::QueueDelay);
+  EXPECT_EQ(ctl.sheds()[0].tx_id, "t2");
+  EXPECT_EQ(ctl.sheds()[0].queue_delay_us, 11'000u);
+
+  // Inside the control-law spacing the next offer is admitted; once the
+  // spacing elapses the controller sheds again, faster (sqrt law).
+  EXPECT_TRUE(ctl.offer("t3", AdmitPriority::Fresh, 105'000, 112'000, 8));
+  EXPECT_FALSE(
+      ctl.offer("t4", AdmitPriority::Fresh, 160'000, 250'000, 8));
+  EXPECT_EQ(ctl.stats().shed_delay, 2u);
+}
+
+TEST(Admission, RecoveryResetsTheRegime) {
+  AdmissionController ctl(tight());
+  EXPECT_TRUE(ctl.offer("t0", AdmitPriority::Fresh, 0, 10'000, 8));
+  EXPECT_FALSE(ctl.offer("t1", AdmitPriority::Fresh, 100'000, 110'000, 8));
+  ASSERT_TRUE(ctl.dropping());
+  // Delay back under target: the regime ends immediately.
+  EXPECT_TRUE(ctl.offer("t2", AdmitPriority::Fresh, 119'000, 120'000, 8));
+  EXPECT_FALSE(ctl.dropping());
+  // A near-empty queue also counts as recovered regardless of sojourn.
+  EXPECT_TRUE(ctl.offer("t3", AdmitPriority::Fresh, 0, 200'000, 1));
+}
+
+TEST(Admission, CommitClassToleratesSlackTimesTarget) {
+  AdmissionController ctl(tight());  // Fresh target 5ms, Commit 20ms
+  // 10ms sojourn: above the Fresh target, below Commit's.
+  EXPECT_TRUE(ctl.offer("c0", AdmitPriority::Commit, 0, 10'000, 8));
+  EXPECT_TRUE(ctl.offer("c1", AdmitPriority::Commit, 100'000, 110'000, 8));
+  EXPECT_TRUE(ctl.offer("c2", AdmitPriority::Commit, 200'000, 210'000, 8));
+  EXPECT_EQ(ctl.sheds().size(), 0u);
+  // The same delay sheds Fresh work once sustained: Fresh is shed first,
+  // which is exactly the precedence the pipeline wants.
+  EXPECT_TRUE(ctl.offer("f0", AdmitPriority::Fresh, 300'000, 310'000, 8));
+  EXPECT_FALSE(ctl.offer("f1", AdmitPriority::Fresh, 410'000, 420'000, 8));
+  EXPECT_EQ(ctl.sheds().size(), 1u);
+  EXPECT_EQ(ctl.sheds()[0].priority, AdmitPriority::Fresh);
+  // Commit-class work sails through the Fresh shedding regime.
+  EXPECT_TRUE(ctl.offer("c3", AdmitPriority::Commit, 420'000, 430'000, 8));
+}
+
+TEST(Admission, CapacityBackstopIsPriorityBlind) {
+  AdmissionConfig config = tight();
+  config.queue_capacity = 4;
+  AdmissionController ctl(config);
+  EXPECT_TRUE(ctl.offer("ok", AdmitPriority::Fresh, 0, 100, 3));
+  EXPECT_FALSE(ctl.offer("f", AdmitPriority::Fresh, 0, 100, 4));
+  EXPECT_FALSE(ctl.offer("c", AdmitPriority::Commit, 0, 100, 4));
+  EXPECT_EQ(ctl.stats().shed_capacity, 2u);
+  EXPECT_EQ(ctl.sheds()[0].cause, ShedRecord::Cause::Capacity);
+  EXPECT_EQ(ctl.sheds()[1].cause, ShedRecord::Cause::Capacity);
+}
+
+TEST(Admission, ExpiredOffersShedUnconditionally) {
+  AdmissionController ctl(tight());
+  // Zero sojourn, empty queue — but the deadline already passed.
+  EXPECT_FALSE(ctl.offer("dead", AdmitPriority::Commit, 10'000, 10'001, 0,
+                         /*deadline_us=*/10'000));
+  EXPECT_EQ(ctl.stats().shed_expired, 1u);
+  EXPECT_EQ(ctl.sheds()[0].cause, ShedRecord::Cause::Expired);
+  // A deadline in the future does not shed.
+  EXPECT_TRUE(ctl.offer("live", AdmitPriority::Fresh, 10'000, 10'001, 0,
+                        /*deadline_us=*/20'000));
+}
+
+TEST(Admission, RetryAfterHintsTheNextAdmission) {
+  AdmissionController ctl(tight());
+  EXPECT_EQ(ctl.retry_after(0), tight().target_delay_us);
+  EXPECT_TRUE(ctl.offer("t0", AdmitPriority::Fresh, 0, 10'000, 8));
+  EXPECT_FALSE(ctl.offer("t1", AdmitPriority::Fresh, 100'000, 110'000, 8));
+  ASSERT_TRUE(ctl.dropping());
+  EXPECT_GE(ctl.retry_after(110'000), tight().target_delay_us);
+}
+
+TEST(Admission, ShedRecordRoundTrip) {
+  ShedRecord rec;
+  rec.tx_id = "tx-42";
+  rec.priority = AdmitPriority::Commit;
+  rec.cause = ShedRecord::Cause::Capacity;
+  rec.queue_delay_us = 12'345;
+  rec.at = 99'000;
+  const ShedRecord back = ShedRecord::decode(rec.encode());
+  EXPECT_EQ(back, rec);
+
+  // Out-of-range enums are rejected, not cast blindly.
+  common::Bytes bad_priority = rec.encode();
+  bad_priority[rec.tx_id.size() + 1] = 9;  // varint len byte, then id
+  EXPECT_THROW(ShedRecord::decode(bad_priority), common::Error);
+  common::Bytes bad_cause = rec.encode();
+  bad_cause[rec.tx_id.size() + 2] = 9;
+  EXPECT_THROW(ShedRecord::decode(bad_cause), common::Error);
+  // Truncation is rejected.
+  const common::Bytes enc = rec.encode();
+  EXPECT_THROW(
+      ShedRecord::decode(common::BytesView(enc.data(), enc.size() - 1)),
+      common::Error);
+}
+
+}  // namespace
+}  // namespace veil::ledger

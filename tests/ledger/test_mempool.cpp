@@ -159,5 +159,74 @@ TEST(MempoolTest, EvictionRecordRoundTripsAndRejectsUnknownCause) {
   EXPECT_THROW(EvictionRecord::decode(bogus.encode()), common::Error);
 }
 
+// ---- pinning (overload tier) -----------------------------------------------
+
+TEST(MempoolTest, PinnedEntrySparedFromCapacityEviction) {
+  Mempool pool(MempoolConfig{.capacity = 2});
+  const Transaction a = make_tx("a");
+  const Transaction b = make_tx("b");
+  const Transaction c = make_tx("c");
+  pool.admit(a, true, 1);
+  pool.admit(b, true, 2);
+  pool.pin(a.id());  // a's token is in flight with a wave
+  pool.admit(c, true, 3);
+
+  // The FIFO victim would be a, but it is pinned: the next-oldest
+  // unpinned resident (b) goes instead, and the skip is logged.
+  EXPECT_NE(pool.token(a.id()), nullptr);
+  EXPECT_EQ(pool.token(b.id()), nullptr);
+  EXPECT_NE(pool.token(c.id()), nullptr);
+  EXPECT_EQ(pool.stats().eviction_skips_pinned, 1u);
+  ASSERT_EQ(pool.evictions().size(), 2u);
+  EXPECT_EQ(pool.evictions()[0].tx_id, a.id());
+  EXPECT_EQ(pool.evictions()[0].cause, EvictionRecord::Cause::PinnedSkip);
+  EXPECT_EQ(pool.evictions()[1].tx_id, b.id());
+  EXPECT_EQ(pool.evictions()[1].cause, EvictionRecord::Cause::Capacity);
+
+  // Age order is preserved across the skip: once unpinned, a is the
+  // FIFO victim again on the next overflow.
+  pool.unpin(a.id());
+  pool.admit(make_tx("d"), true, 4);
+  EXPECT_EQ(pool.token(a.id()), nullptr);
+  EXPECT_NE(pool.token(c.id()), nullptr);
+}
+
+TEST(MempoolTest, AllPinnedAdmitsOverCapacity) {
+  Mempool pool(MempoolConfig{.capacity = 2});
+  const Transaction a = make_tx("a");
+  const Transaction b = make_tx("b");
+  pool.admit(a, true, 1);
+  pool.admit(b, true, 2);
+  pool.pin(a.id());
+  pool.pin(b.id());
+  // Nothing is evictable: memory safety yields to wave correctness, the
+  // admit goes over capacity, and the overflow is counted.
+  EXPECT_TRUE(pool.admit(make_tx("c"), true, 3));
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.stats().pinned_overflow, 1u);
+  EXPECT_NE(pool.token(a.id()), nullptr);
+  EXPECT_NE(pool.token(b.id()), nullptr);
+}
+
+TEST(MempoolTest, PinDoesNotBlockExplicitRemove) {
+  Mempool pool;
+  const Transaction a = make_tx("a");
+  pool.admit(a, true, 1);
+  pool.pin(a.id());
+  pool.remove(a.id(), EvictionRecord::Cause::Committed, 2);
+  EXPECT_EQ(pool.token(a.id()), nullptr);
+  EXPECT_EQ(pool.size(), 0u);
+  // The pin itself survives until unpinned (wave bookkeeping), but
+  // clear() wipes pins along with everything else.
+  EXPECT_TRUE(pool.is_pinned(a.id()));
+  pool.clear();
+  EXPECT_EQ(pool.pinned(), 0u);
+}
+
+TEST(MempoolTest, PinnedSkipRecordRoundTrips) {
+  const EvictionRecord rec{"tx-p", EvictionRecord::Cause::PinnedSkip, 11};
+  EXPECT_EQ(EvictionRecord::decode(rec.encode()), rec);
+}
+
 }  // namespace
 }  // namespace veil::ledger

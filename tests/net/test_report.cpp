@@ -96,5 +96,32 @@ TEST(Report, NetworkStatsRenderRetriesExhausted) {
   EXPECT_NE(out.find("3"), std::string::npos);
 }
 
+TEST(Report, NetworkStatsRenderOverloadCounters) {
+  NetworkStats stats;
+  stats.dropped_overflow = 11;
+  stats.busy_notices = 12;
+  stats.busy_deferrals = 13;
+  stats.busy_rejected = 14;
+  stats.breaker_rejected = 15;
+  stats.shed_admission = 16;
+  stats.expired_endorse = 17;
+  stats.expired_order = 18;
+  stats.expired_validate = 19;
+  stats.expired_in_flight = 20;
+  stats.inbox_high_water = 21;
+  const std::string out = render_network_stats(stats);
+  EXPECT_NE(out.find("overload control:"), std::string::npos);
+  for (const char* label :
+       {"inbox overflow (dropped)", "busy notices", "busy deferrals",
+        "busy rejected (platform)", "breaker rejected", "shed at admission",
+        "expired: endorse", "expired: ordering", "expired: validation",
+        "expired in flight", "inbox high water"}) {
+    EXPECT_NE(out.find(label), std::string::npos) << label;
+  }
+  for (int v = 11; v <= 21; ++v) {
+    EXPECT_NE(out.find(std::to_string(v)), std::string::npos) << v;
+  }
+}
+
 }  // namespace
 }  // namespace veil::net
