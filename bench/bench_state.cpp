@@ -1,0 +1,189 @@
+// Authenticated state-store cost study: what the Merkle-trie backend
+// buys at million-account scale.
+//
+//   * BM_TrieRootUpdate — per-block commit cost on a COW copy: 64 writes
+//     plus digest() against 10^4/10^5/10^6 resident accounts. The trie
+//     re-hashes only the touched paths, so the cost stays flat (within
+//     the depth ratio, ~log16 n) as the state grows.
+//   * BM_LegacyFullRehash — the pre-trie baseline: the same 64 writes
+//     into a flat map, then digest = sha256(full canonical encoding).
+//     Linear in state size; the quoted before/after for the tentpole.
+//   * BM_DeltaRejoinBytes — the transfer a 1-block-lagged rejoiner pays:
+//     encoded bytes of the trie nodes the laggard lacks (exactly what
+//     TrieSync ships) vs the full node image a bootstrap would move.
+//     ~O(touched keys x depth), independent of account count.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_set>
+
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+#include "ledger/state.hpp"
+#include "ledger/state_trie.hpp"
+
+namespace {
+
+using namespace veil;
+using common::to_bytes;
+
+constexpr std::size_t kWritesPerBlock = 64;
+
+std::string account_key(std::size_t i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "acct/%08zu", i);
+  return buf;
+}
+
+common::Bytes account_value(std::size_t i) {
+  return to_bytes("balance-" + std::to_string(i % 97));
+}
+
+/// One resident state per account count, built once and shared across
+/// benchmark families (10^6 accounts take seconds to populate).
+const ledger::WorldState& prepared_state(std::size_t keys) {
+  static std::map<std::size_t, ledger::WorldState> cache;
+  auto it = cache.find(keys);
+  if (it == cache.end()) {
+    ledger::WorldState state;
+    for (std::size_t i = 0; i < keys; ++i) {
+      state.put(account_key(i), account_value(i));
+    }
+    it = cache.emplace(keys, std::move(state)).first;
+  }
+  return it->second;
+}
+
+void BM_TrieRootUpdate(benchmark::State& state) {
+  const auto keys = static_cast<std::size_t>(state.range(0));
+  const ledger::WorldState& resident = prepared_state(keys);
+  std::size_t block = 0;
+  for (auto _ : state) {
+    // COW copy: O(1), shares every node with the resident state — the
+    // same shape as committing a block against a checkpointed state.
+    ledger::WorldState ws = resident;
+    for (std::size_t w = 0; w < kWritesPerBlock; ++w) {
+      const std::size_t i = (block * kWritesPerBlock + w * 131) % keys;
+      ws.put(account_key(i), to_bytes("updated-" + std::to_string(block)));
+    }
+    benchmark::DoNotOptimize(ws.digest());
+    ++block;
+  }
+  state.counters["state_keys"] = static_cast<double>(keys);
+  state.counters["writes_per_block"] = static_cast<double>(kWritesPerBlock);
+}
+BENCHMARK(BM_TrieRootUpdate)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The legacy digest: canonical encoding of every entry, hashed whole.
+common::Bytes legacy_encode(
+    const std::map<std::string, std::pair<common::Bytes, std::uint64_t>>& m) {
+  common::Writer w;
+  w.varint(m.size());
+  for (const auto& [key, entry] : m) {
+    w.str(key);
+    w.bytes(entry.first);
+    w.u64(entry.second);
+  }
+  return w.take();
+}
+
+void BM_LegacyFullRehash(benchmark::State& state) {
+  const auto keys = static_cast<std::size_t>(state.range(0));
+  static std::map<std::size_t,
+                  std::map<std::string, std::pair<common::Bytes,
+                                                  std::uint64_t>>>
+      cache;
+  auto it = cache.find(keys);
+  if (it == cache.end()) {
+    std::map<std::string, std::pair<common::Bytes, std::uint64_t>> m;
+    for (std::size_t i = 0; i < keys; ++i) {
+      m.emplace(account_key(i), std::make_pair(account_value(i), 1u));
+    }
+    it = cache.emplace(keys, std::move(m)).first;
+  }
+  auto& map = it->second;
+  std::size_t block = 0;
+  for (auto _ : state) {
+    for (std::size_t w = 0; w < kWritesPerBlock; ++w) {
+      const std::size_t i = (block * kWritesPerBlock + w * 131) % keys;
+      auto& entry = map[account_key(i)];
+      entry.first = to_bytes("updated-" + std::to_string(block));
+      ++entry.second;
+    }
+    benchmark::DoNotOptimize(crypto::sha256(legacy_encode(map)));
+    ++block;
+  }
+  state.counters["state_keys"] = static_cast<double>(keys);
+  state.counters["writes_per_block"] = static_cast<double>(kWritesPerBlock);
+}
+BENCHMARK(BM_LegacyFullRehash)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+struct DeltaCost {
+  double delta_nodes = 0;
+  double delta_bytes = 0;
+  double image_nodes = 0;
+  double image_bytes = 0;
+};
+
+/// Bytes a 1-block-lagged joiner fetches: nodes of (resident + one block
+/// of writes) missing from the resident image — what TrieSync ships.
+/// Computed once per size; the big intermediate stores are freed here.
+const DeltaCost& delta_cost(std::size_t keys) {
+  static std::map<std::size_t, DeltaCost> cache;
+  auto it = cache.find(keys);
+  if (it == cache.end()) {
+    const ledger::WorldState& prior = prepared_state(keys);
+    ledger::WorldState next = prior;  // COW
+    for (std::size_t w = 0; w < kWritesPerBlock; ++w) {
+      next.put(account_key((w * 131) % keys), to_bytes("touched"));
+    }
+    std::unordered_set<crypto::Digest, ledger::DigestHash> prior_hashes;
+    prior.trie().node_hashes(prior_hashes);
+    ledger::NodeStore image;
+    next.trie().collect_nodes(image);
+    DeltaCost cost;
+    for (const auto& [hash, bytes] : image) {
+      cost.image_nodes += 1;
+      cost.image_bytes += static_cast<double>(bytes.size());
+      if (!prior_hashes.contains(hash)) {
+        cost.delta_nodes += 1;
+        cost.delta_bytes += static_cast<double>(bytes.size());
+      }
+    }
+    it = cache.emplace(keys, cost).first;
+  }
+  return it->second;
+}
+
+void BM_DeltaRejoinBytes(benchmark::State& state) {
+  const auto keys = static_cast<std::size_t>(state.range(0));
+  const DeltaCost& cost = delta_cost(keys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&cost);
+  }
+  state.counters["state_keys"] = static_cast<double>(keys);
+  state.counters["touched_keys"] = static_cast<double>(kWritesPerBlock);
+  state.counters["delta_nodes"] = cost.delta_nodes;
+  state.counters["delta_bytes"] = cost.delta_bytes;
+  state.counters["full_image_nodes"] = cost.image_nodes;
+  state.counters["full_image_bytes"] = cost.image_bytes;
+}
+BENCHMARK(BM_DeltaRejoinBytes)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

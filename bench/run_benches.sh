@@ -16,6 +16,7 @@
 #   BENCH_SKIP_RECOVERY=1 bench/run_benches.sh    # skip recovery/rejoin study
 #   BENCH_SKIP_COMMIT=1 bench/run_benches.sh      # skip commit-path study
 #   BENCH_SKIP_OVERLOAD=1 bench/run_benches.sh    # skip overload sweep
+#   BENCH_SKIP_STATE=1 bench/run_benches.sh       # skip state-store study
 #   BENCH_ALLOW_DEBUG=1 bench/run_benches.sh      # permit non-Release builds
 #   BUILD_DIR=out bench/run_benches.sh
 set -euo pipefail
@@ -281,6 +282,47 @@ PY
       echo "wrote $OVERLOAD_OUT"
     else
       echo "bench_overload produced no output; $OVERLOAD_OUT left untouched" >&2
+    fi
+    trap - EXIT
+  fi
+fi
+
+# ---- Authenticated state-store study ----------------------------------------
+# Per-block root-update cost vs state size (trie incremental vs legacy
+# full-rehash baseline) at 10^4/10^5/10^6 accounts, plus the delta bytes
+# a 1-block-lagged rejoiner fetches vs the full image, into
+# BENCH_state.json. The quoted claim: root updates stay flat (within 2x)
+# from 10^4 to 10^6 accounts while the baseline grows linearly, and the
+# rejoin delta tracks touched keys, not account count.
+if [[ -z "${BENCH_SKIP_STATE:-}" ]]; then
+  STATE_OUT="${BENCH_STATE_OUT:-$ROOT/BENCH_state.json}"
+  if [[ ! -x "$BUILD/bench/bench_state" ]]; then
+    echo "bench_state not built; skipping state-store study" >&2
+  else
+    XTMP="$(mktemp "${STATE_OUT}.XXXXXX")"
+    trap 'rm -f "$XTMP"' EXIT
+    "$BUILD/bench/bench_state" \
+      --benchmark_out="$XTMP" \
+      --benchmark_out_format=json \
+      --benchmark_repetitions="${BENCH_REPS:-1}"
+    if [[ -s "$XTMP" ]]; then
+      mv "$XTMP" "$STATE_OUT"
+      python3 - "$STATE_OUT" <<'PY'
+import json, os, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+data["context"]["build_type"] = os.environ.get("VEIL_BENCH_BUILD_TYPE", "unknown")
+data["context"]["writes_per_block"] = 64
+data["context"]["claim"] = (
+    "BM_TrieRootUpdate flat within 2x from 1e4 to 1e6 accounts; "
+    "BM_LegacyFullRehash linear; BM_DeltaRejoinBytes ~O(touched keys)")
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+PY
+      echo "wrote $STATE_OUT"
+    else
+      echo "bench_state produced no output; $STATE_OUT left untouched" >&2
     fi
     trap - EXIT
   fi

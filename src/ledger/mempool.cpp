@@ -134,9 +134,9 @@ bool Mempool::validated(const Transaction& tx, const WorldState& state,
     return false;
   }
   for (const ReadAccess& r : it->second.read_snapshot) {
-    const auto current = state.get(r.key);
-    const std::uint64_t version = current ? current->version : 0;
-    if (version != r.version) {
+    // version_of never copies the value — with the hot cache in front of
+    // the trie, re-validating a recently written key is O(1).
+    if (state.version_of(r.key) != r.version) {
       ++stats_.invalidated;
       tokens_.erase(it);
       evictions_.push_back({id, EvictionRecord::Cause::Invalidated, now});

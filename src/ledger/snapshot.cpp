@@ -216,6 +216,7 @@ void SnapshotStore::checkpoint(WriteAheadLog& wal, std::uint64_t height,
                                const crypto::Digest& tip_hash,
                                const WorldState& state, common::BytesView aux) {
   latest_ = Snapshot::make(height, tip_hash, state, config_.chunk_size);
+  latest_state_ = state;  // O(1): shared trie
   const common::Bytes record =
       wal_encode_checkpoint(height, tip_hash, state, aux);
   if (config_.compact_wal) {
@@ -230,6 +231,7 @@ void SnapshotStore::restore(std::uint64_t height,
                             const crypto::Digest& tip_hash,
                             const WorldState& state) {
   latest_ = Snapshot::make(height, tip_hash, state, config_.chunk_size);
+  latest_state_ = state;  // O(1): shared trie
 }
 
 }  // namespace veil::ledger

@@ -159,11 +159,19 @@ class SnapshotStore {
     return latest_ ? &*latest_ : nullptr;
   }
 
+  /// The checkpoint state itself, kept resident. With the trie-backed
+  /// WorldState this is an O(1) copy-on-write handle onto the state as
+  /// of the checkpoint — delta sync (ledger/triesync.hpp) serves
+  /// content-addressed trie nodes straight from it, no re-encoding.
+  /// Meaningful only when latest() != nullptr.
+  const WorldState& latest_state() const { return latest_state_; }
+
   std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
 
  private:
   SnapshotConfig config_;
   std::optional<Snapshot> latest_;
+  WorldState latest_state_;
   std::uint64_t checkpoints_taken_ = 0;
 };
 

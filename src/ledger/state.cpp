@@ -4,69 +4,173 @@
 
 namespace veil::ledger {
 
-std::optional<VersionedValue> WorldState::get(const std::string& key) const {
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second;
+namespace {
+
+std::uint64_t fnv1a(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
+
+}  // namespace
+
+// ---- Hot cache --------------------------------------------------------------
+
+const WorldState::HotSlot* WorldState::hot_find(const std::string& key) const {
+  if (hot_.empty()) return nullptr;
+  const std::uint64_t h = fnv1a(key);
+  std::size_t slot = static_cast<std::size_t>(h) & (kHotSlots - 1);
+  for (std::size_t probe = 0; probe < kProbeLimit; ++probe) {
+    const HotSlot& s = hot_[slot];
+    if (!s.used) return nullptr;
+    if (s.hash == h && s.key == key) return &s;
+    slot = (slot + 1) & (kHotSlots - 1);
+  }
+  return nullptr;
+}
+
+void WorldState::hot_store(const std::string& key, const common::Bytes& value,
+                           std::uint64_t version) {
+  if (hot_.empty()) hot_.resize(kHotSlots);
+  const std::uint64_t h = fnv1a(key);
+  std::size_t slot = static_cast<std::size_t>(h) & (kHotSlots - 1);
+  // Prefer an empty slot or this key's own slot within the probe window;
+  // otherwise overwrite the window's head (newest-wins eviction — a miss
+  // just falls through to the trie).
+  for (std::size_t probe = 0; probe < kProbeLimit; ++probe) {
+    HotSlot& s = hot_[slot];
+    if (!s.used || (s.hash == h && s.key == key)) {
+      s.used = true;
+      s.hash = h;
+      s.key = key;
+      s.value = value;
+      s.version = version;
+      return;
+    }
+    slot = (slot + 1) & (kHotSlots - 1);
+  }
+  HotSlot& s = hot_[static_cast<std::size_t>(h) & (kHotSlots - 1)];
+  s.used = true;
+  s.hash = h;
+  s.key = key;
+  s.value = value;
+  s.version = version;
+}
+
+void WorldState::hot_store_tombstone(const std::string& key) {
+  hot_store(key, common::Bytes{}, 0);
+}
+
+// ---- Reads ------------------------------------------------------------------
+
+std::optional<VersionedValue> WorldState::get(const std::string& key) const {
+  if (const HotSlot* s = hot_find(key)) {
+    if (s->version == 0) return std::nullopt;  // cached tombstone
+    return VersionedValue{s->value, s->version};
+  }
+  auto hit = trie_.get(key);
+  if (!hit) return std::nullopt;
+  return VersionedValue{std::move(hit->first), hit->second};
+}
+
+std::uint64_t WorldState::version_of(const std::string& key) const {
+  if (const HotSlot* s = hot_find(key)) return s->version;
+  return trie_.version_of(key).value_or(0);
+}
+
+// ---- Writes -----------------------------------------------------------------
 
 void WorldState::put(const std::string& key, common::Bytes value) {
-  auto& entry = entries_[key];
-  entry.value = std::move(value);
-  ++entry.version;
+  const std::uint64_t next = version_of(key) + 1;
+  hot_store(key, value, next);
+  trie_.set(key, std::move(value), next);
 }
 
-void WorldState::erase(const std::string& key) { entries_.erase(key); }
+void WorldState::erase(const std::string& key) {
+  hot_store_tombstone(key);
+  trie_.erase(key);
+}
+
+CommitResult WorldState::apply(const Transaction& tx) {
+  // Phase 1: validate reads. Version 0 means "key did not exist".
+  for (const ReadAccess& read : tx.reads) {
+    if (version_of(read.key) != read.version) return CommitResult::MvccConflict;
+  }
+  // Phase 2: apply writes.
+  for (const KvWrite& write : tx.writes) {
+    if (write.is_delete) {
+      erase(write.key);
+    } else {
+      put(write.key, write.value);
+    }
+  }
+  return CommitResult::Applied;
+}
+
+// ---- Iteration / queries ----------------------------------------------------
+
+void WorldState::for_each(const Visitor& visit) const { trie_.for_each(visit); }
+
+std::map<std::string, VersionedValue> WorldState::entries() const {
+  std::map<std::string, VersionedValue> out;
+  trie_.for_each([&out](const std::string& key, const common::Bytes& value,
+                        std::uint64_t version) {
+    out.emplace_hint(out.end(), key, VersionedValue{value, version});
+    return true;
+  });
+  return out;
+}
 
 std::vector<std::pair<std::string, VersionedValue>> WorldState::get_range(
     const std::string& start_key, const std::string& end_key) const {
   std::vector<std::pair<std::string, VersionedValue>> out;
-  auto it = entries_.lower_bound(start_key);
-  const auto end =
-      end_key.empty() ? entries_.end() : entries_.lower_bound(end_key);
-  for (; it != end; ++it) out.emplace_back(it->first, it->second);
+  trie_.scan_range(start_key, end_key,
+                   [&out](const std::string& key, const common::Bytes& value,
+                          std::uint64_t version) {
+                     out.emplace_back(key, VersionedValue{value, version});
+                     return true;
+                   });
   return out;
 }
 
 std::vector<std::pair<std::string, VersionedValue>> WorldState::get_by_prefix(
     const std::string& prefix) const {
   std::vector<std::pair<std::string, VersionedValue>> out;
-  for (auto it = entries_.lower_bound(prefix);
-       it != entries_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
-       ++it) {
-    out.emplace_back(it->first, it->second);
-  }
+  trie_.scan_prefix(prefix,
+                    [&out](const std::string& key, const common::Bytes& value,
+                           std::uint64_t version) {
+                      out.emplace_back(key, VersionedValue{value, version});
+                      return true;
+                    });
   return out;
 }
 
-CommitResult WorldState::apply(const Transaction& tx) {
-  // Phase 1: validate reads. Version 0 means "key did not exist".
-  for (const ReadAccess& read : tx.reads) {
-    const auto it = entries_.find(read.key);
-    const std::uint64_t current = (it == entries_.end()) ? 0 : it->second.version;
-    if (current != read.version) return CommitResult::MvccConflict;
-  }
-  // Phase 2: apply writes.
-  for (const KvWrite& write : tx.writes) {
-    if (write.is_delete) {
-      entries_.erase(write.key);
-    } else {
-      auto& entry = entries_[write.key];
-      entry.value = write.value;
-      ++entry.version;
-    }
-  }
-  return CommitResult::Applied;
+std::size_t WorldState::scan_range(const std::string& start_key,
+                                   const std::string& end_key,
+                                   const Visitor& visit) const {
+  return trie_.scan_range(start_key, end_key, visit);
 }
+
+std::size_t WorldState::scan_prefix(const std::string& prefix,
+                                    const Visitor& visit) const {
+  return trie_.scan_prefix(prefix, visit);
+}
+
+// ---- Serialization ----------------------------------------------------------
 
 common::Bytes WorldState::encode() const {
   common::Writer w;
-  w.varint(entries_.size());
-  for (const auto& [key, entry] : entries_) {
+  w.varint(trie_.size());
+  trie_.for_each([&w](const std::string& key, const common::Bytes& value,
+                      std::uint64_t version) {
     w.str(key);
-    w.bytes(entry.value);
-    w.u64(entry.version);
-  }
+    w.bytes(value);
+    w.u64(version);
+    return true;
+  });
   return w.take();
 }
 
@@ -76,17 +180,17 @@ WorldState WorldState::decode(common::BytesView data) {
   const std::uint64_t count = r.varint();
   for (std::uint64_t i = 0; i < count; ++i) {
     std::string key = r.str();
-    VersionedValue entry;
-    entry.value = r.bytes();
-    entry.version = r.u64();
-    state.entries_.insert_or_assign(std::move(key), std::move(entry));
+    common::Bytes value = r.bytes();
+    const std::uint64_t version = r.u64();
+    state.trie_.set(key, std::move(value), version);
   }
   return state;
 }
 
-crypto::Digest WorldState::digest() const {
-  // std::map iteration is key-ordered, so the encoding is canonical.
-  return crypto::sha256(encode());
+WorldState WorldState::from_trie(StateTrie trie) {
+  WorldState state;
+  state.trie_ = std::move(trie);
+  return state;
 }
 
 }  // namespace veil::ledger

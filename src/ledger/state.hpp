@@ -4,15 +4,36 @@
 // current versions of the keys it read at endorsement time; otherwise the
 // transaction is marked invalid at commit (it stays on the chain but does
 // not mutate state).
+//
+// Storage backend: an authenticated copy-on-write Merkle trie
+// (ledger/state_trie.hpp) instead of a flat std::map. Consequences:
+//  * digest() is the trie root — O(1), maintained incrementally by every
+//    mutation instead of re-hashing all n entries per call.
+//  * Copying a WorldState is O(1) (shared immutable subtrees), so
+//    checkpoint/snapshot state stays resident for free.
+//  * get_range/get_by_prefix and the for_each walks descend only the
+//    covering subtrie — a prefix scan matching k keys touches
+//    O(depth + k) nodes regardless of total state size.
+//  * The canonical entry serialization (encode/decode) is byte-identical
+//    to the legacy map-backed format; only digest() changed (root hash
+//    instead of sha256(encode()), a one-shot re-digest across the fleet).
+//
+// A small open-addressing hot cache fronts the trie for the commit path:
+// every put/erase/apply refreshes it, so MVCC read-set validation and
+// repeated gets against recently touched accounts skip the trie walk
+// entirely. The cache is only ever written by mutating calls — const
+// reads never populate it — keeping concurrent readers race-free.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "crypto/sha256.hpp"
+#include "ledger/state_trie.hpp"
 #include "ledger/transaction.hpp"
 
 namespace veil::ledger {
@@ -26,7 +47,15 @@ enum class CommitResult { Applied, MvccConflict };
 
 class WorldState {
  public:
+  /// Per-key visitor for ordered, copy-free iteration. Return false to
+  /// stop early.
+  using Visitor = StateTrie::Visitor;
+
   std::optional<VersionedValue> get(const std::string& key) const;
+
+  /// Version of a key (0 = absent) without copying its value — the MVCC
+  /// validation hot path.
+  std::uint64_t version_of(const std::string& key) const;
 
   /// Direct write (used by contract execution to build write sets; commit
   /// of ordered transactions should go through apply()).
@@ -37,33 +66,84 @@ class WorldState {
   /// set. Returns MvccConflict (without side effects) on stale reads.
   CommitResult apply(const Transaction& tx);
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return trie_.size(); }
+  bool empty() const { return trie_.empty(); }
 
-  /// Ordered view of all entries (snapshots, state digests).
-  const std::map<std::string, VersionedValue>& entries() const {
-    return entries_;
-  }
+  /// Ordered visit of every entry without materializing a container.
+  /// Preferred over entries() anywhere the map is only iterated.
+  void for_each(const Visitor& visit) const;
+
+  /// Ordered materialized view of all entries. O(n) — kept for callers
+  /// that genuinely need a container; prefer for_each().
+  std::map<std::string, VersionedValue> entries() const;
 
   /// Range query over [start_key, end_key); empty end_key means "to the
-  /// end". Used by rich chaincode (ledger scans) and state snapshots.
+  /// end". Descends only the covering subtrie (O(depth + matches)).
   std::vector<std::pair<std::string, VersionedValue>> get_range(
       const std::string& start_key, const std::string& end_key) const;
 
-  /// All keys sharing a prefix (composite-key queries).
+  /// All keys sharing a prefix (composite-key queries). O(depth + matches).
   std::vector<std::pair<std::string, VersionedValue>> get_by_prefix(
       const std::string& prefix) const;
 
-  /// Canonical hash over all (key, value, version) entries. Two replicas
-  /// that applied the same transactions in the same order have equal
-  /// digests — the bit-identical-state check chaos tests assert.
-  crypto::Digest digest() const;
+  /// Streaming forms of the range/prefix queries: visit matches in key
+  /// order without copying values. Return the number of trie nodes
+  /// visited (regression tests assert scans stay sublinear).
+  std::size_t scan_range(const std::string& start_key,
+                         const std::string& end_key,
+                         const Visitor& visit) const;
+  std::size_t scan_prefix(const std::string& prefix,
+                          const Visitor& visit) const;
+
+  /// Authenticated state root over all (key, value, version) entries.
+  /// Incrementally maintained — O(1) per call. Two replicas that applied
+  /// the same transactions in the same order have equal digests — the
+  /// bit-identical-state check chaos tests assert.
+  crypto::Digest digest() const { return trie_.root_hash(); }
 
   /// Canonical full-state serialization (WAL checkpoints, snapshots).
+  /// Byte-identical to the legacy map-backed format.
   common::Bytes encode() const;
   static WorldState decode(common::BytesView data);
 
+  // ---- Authenticated-store surface (snapshots, delta sync, proofs) --------
+
+  /// The backing trie (content-addressed node image, proofs).
+  const StateTrie& trie() const { return trie_; }
+
+  /// Merkle inclusion/exclusion proof for one key against digest().
+  StateProof prove(const std::string& key) const { return trie_.prove(key); }
+  static bool verify_proof(const crypto::Digest& root,
+                           const StateProof& proof) {
+    return StateTrie::verify_proof(root, proof);
+  }
+
+  /// Rebuild from a content-addressed node image (snapshot install /
+  /// delta rejoin). Lazy keeps nodes cold until first touch.
+  static WorldState from_trie(StateTrie trie);
+
  private:
-  std::map<std::string, VersionedValue> entries_;
+  // Open-addressing hot cache over recently *written* accounts. Slots
+  // hold owned copies keyed by a 64-bit FNV-1a of the key (plus the full
+  // key for exactness); collisions overwrite (newest wins). Reads probe
+  // but never insert, so const methods stay bitwise-const and thread-safe.
+  struct HotSlot {
+    std::uint64_t hash = 0;
+    bool used = false;
+    std::string key;
+    common::Bytes value;
+    std::uint64_t version = 0;  // 0 = tombstone (key erased)
+  };
+  static constexpr std::size_t kHotSlots = 4096;  // power of two
+  static constexpr std::size_t kProbeLimit = 8;
+
+  const HotSlot* hot_find(const std::string& key) const;
+  void hot_store(const std::string& key, const common::Bytes& value,
+                 std::uint64_t version);
+  void hot_store_tombstone(const std::string& key);
+
+  StateTrie trie_;
+  std::vector<HotSlot> hot_;  // empty until first write; kHotSlots after
 };
 
 }  // namespace veil::ledger

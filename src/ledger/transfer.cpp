@@ -144,6 +144,8 @@ const char* to_string(TransferReject reason) {
       return "equivocated root";
     case TransferReject::TamperedChunk:
       return "tampered chunk";
+    case TransferReject::TamperedNode:
+      return "tampered trie node";
     case TransferReject::InconsistentBody:
       return "inconsistent body";
     case TransferReject::DonorGone:
@@ -158,6 +160,7 @@ bool is_misbehavior(TransferReject reason) {
     case TransferReject::OfferCheckFailed:
     case TransferReject::EquivocatedRoot:
     case TransferReject::TamperedChunk:
+    case TransferReject::TamperedNode:
     case TransferReject::InconsistentBody:
       return true;
     case TransferReject::DonorGone:

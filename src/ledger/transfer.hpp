@@ -105,12 +105,14 @@ struct RootVote {
 
 // ---- Engine ---------------------------------------------------------------
 
-/// Why a joiner gave up on a donor.
+/// Why a joiner gave up on a donor. Shared by the chunked snapshot
+/// engine (this file) and the trie-node delta engine (triesync.hpp).
 enum class TransferReject {
   MalformedOffer,    // header not self-consistent / below min height
   OfferCheckFailed,  // height/tip contradicts the sealed delivery log
   EquivocatedRoot,   // quorum of peers disavows the offered root
   TamperedChunk,     // chunk fails verification against the root
+  TamperedNode,      // trie node fails hash verification / will not decode
   InconsistentBody,  // all chunks verified but the body will not decode
   DonorGone,         // donor refused / lost the root (benign, no evidence)
 };

@@ -1,5 +1,7 @@
 #include "ledger/wal.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/serialize.hpp"
 #include "crypto/sha256.hpp"
@@ -91,6 +93,8 @@ common::Bytes wal_encode_checkpoint(std::uint64_t height,
   w.raw(common::BytesView(tip_hash.data(), tip_hash.size()));
   w.bytes(state.encode());
   w.bytes(aux);
+  const crypto::Digest root = state.digest();
+  w.raw(common::BytesView(root.data(), root.size()));
   return w.take();
 }
 
@@ -125,6 +129,20 @@ WalRecovery wal_recover_blocks(const WriteAheadLog& wal) {
         cp.state = WorldState::decode(r.bytes());
         // Logs written before the aux sidecar existed end here.
         if (!r.done()) cp.aux = r.bytes();
+        cp.state_root = cp.state.digest();
+        if (!r.done()) {
+          // Authenticated-root cross-check (logs that predate the field
+          // skip it): a state body that decodes but does not re-hash to
+          // the sealed root is corruption the per-record checksum could
+          // not see (it covers bytes, not meaning). Fail closed, exactly
+          // like an undecodable payload.
+          const common::Bytes sealed = r.raw(crypto::kSha256DigestSize);
+          if (!std::equal(sealed.begin(), sealed.end(),
+                          cp.state_root.begin())) {
+            throw common::ProtocolError(
+                "checkpoint state does not match sealed root");
+          }
+        }
         recovery.checkpoint = std::move(cp);
         // A checkpoint supersedes everything logged before it. Normally
         // compaction already erased that prefix, but a crash in the

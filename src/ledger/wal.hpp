@@ -114,6 +114,13 @@ struct WalCheckpoint {
   /// platforms that need nothing extra; decode tolerates its absence for
   /// logs written before the field existed.
   common::Bytes aux;
+  /// Authenticated trie root of `state`, sealed with the record. Recovery
+  /// recomputes the root from the decoded state and refuses a checkpoint
+  /// whose bytes decode but do not re-authenticate (bit-rot inside the
+  /// state body that happens to still parse). Decode tolerates its
+  /// absence for logs written before the field existed — then it is
+  /// filled from the decoded state.
+  crypto::Digest state_root{};
 };
 
 common::Bytes wal_encode_checkpoint(std::uint64_t height,

@@ -311,15 +311,27 @@ common::Bytes CordaNetwork::encode_vault_snapshot(const Party& party) {
   return w.take();
 }
 
+const common::Bytes& CordaNetwork::vault_snapshot(const Party& party) {
+  if (!party.snapshot_cache_valid) {
+    party.snapshot_cache = encode_vault_snapshot(party);
+    party.snapshot_cache_valid = true;
+  }
+  return party.snapshot_cache;
+}
+
 void CordaNetwork::compact_vault_locked(Party& party) {
   // compact() appends the snapshot BEFORE erasing the prefix, so a crash
   // at any point still recovers (to either the old log or the new).
-  party.wal.compact(kWalVaultSnapshot, encode_vault_snapshot(party));
+  party.wal.compact(kWalVaultSnapshot, vault_snapshot(party));
   ++party.checkpoints_taken;
 }
 
 void CordaNetwork::vault_wal_append(Party& party, std::uint8_t type,
                                     common::BytesView payload) {
+  // WAL-first is the single choke point every vault mutation passes
+  // through — the snapshot cache can only go stale here (or on the
+  // crash/restart hooks, which invalidate explicitly).
+  party.snapshot_cache_valid = false;
   party.wal.append(type, payload);
 }
 
@@ -341,7 +353,7 @@ void CordaNetwork::compact_vault(const std::string& name) {
 }
 
 crypto::Digest CordaNetwork::vault_digest(const std::string& name) const {
-  return crypto::sha256(encode_vault_snapshot(parties_.at(name)));
+  return crypto::sha256(vault_snapshot(parties_.at(name)));
 }
 
 void CordaNetwork::on_party_crash(const std::string& name) {
@@ -350,6 +362,7 @@ void CordaNetwork::on_party_crash(const std::string& name) {
   party.known_linkages.clear();
   party.spent.clear();
   party.consume_log.clear();
+  party.snapshot_cache_valid = false;
 }
 
 void CordaNetwork::on_party_restart(const std::string& name) {
@@ -358,6 +371,7 @@ void CordaNetwork::on_party_restart(const std::string& name) {
   party.known_linkages.clear();
   party.spent.clear();
   party.consume_log.clear();
+  party.snapshot_cache_valid = false;
   party.records_replayed = 0;
   for (const ledger::WriteAheadLog::Record& rec : party.wal.recover()) {
     try {

@@ -292,6 +292,13 @@ class CordaNetwork {
     /// Records replayed by the most recent restart (snapshot counts as 1).
     std::uint64_t records_replayed = 0;
     std::uint64_t checkpoints_taken = 0;
+    /// Cached canonical vault snapshot (the vault_digest() preimage and
+    /// kWalVaultSnapshot payload). Every vault mutation passes through
+    /// vault_wal_append / the crash-restart hooks, which invalidate it —
+    /// so repeated digest/compaction calls between mutations stop
+    /// re-encoding an unchanged vault (O(1) instead of O(vault)).
+    mutable common::Bytes snapshot_cache;
+    mutable bool snapshot_cache_valid = false;
   };
 
   struct Notary {
@@ -418,6 +425,9 @@ class CordaNetwork {
   /// Canonical encoding of a party's durable recovery surface — the
   /// kWalVaultSnapshot payload and the vault_digest() preimage.
   static common::Bytes encode_vault_snapshot(const Party& party);
+  /// Cached form of encode_vault_snapshot: rebuilt only after a vault
+  /// mutation (see Party::snapshot_cache).
+  static const common::Bytes& vault_snapshot(const Party& party);
   void compact_vault_locked(Party& party);
 
   net::SimNetwork* network_;

@@ -88,6 +88,44 @@ FabricNetwork::FabricNetwork(net::SimNetwork& network,
                         },
                     .on_fail = nullptr,
                 }),
+      triesync_(channel_,
+                ledger::TrieSync::Callbacks{
+                    .provider =
+                        [this](const net::Principal& self,
+                               const std::string& scope,
+                               std::uint64_t min_height) {
+                          return provide_trie(self, scope, min_height);
+                        },
+                    .offer_check =
+                        [this](const net::Principal&, const std::string& scope,
+                               std::uint64_t height,
+                               const crypto::Digest& tip_hash) {
+                          ledger::SnapshotHeader probe;
+                          probe.height = height;
+                          probe.tip_hash = tip_hash;
+                          return check_offer(scope, probe);
+                        },
+                    .on_complete =
+                        [this](const net::Principal& self,
+                               const std::string& scope, std::uint64_t height,
+                               const crypto::Digest& tip_hash,
+                               ledger::WorldState state,
+                               const ledger::TrieSync::Report& report) {
+                          install_delta(self, scope, height, tip_hash,
+                                        std::move(state), report);
+                        },
+                    .on_reject =
+                        [this](const net::Principal& self,
+                               const std::string& scope,
+                               const net::Principal& donor,
+                               ledger::TransferReject reason,
+                               common::BytesView proof_a,
+                               common::BytesView proof_b) {
+                          on_transfer_reject(self, scope, donor, reason,
+                                             proof_a, proof_b);
+                        },
+                    .on_fail = nullptr,
+                }),
       mempool_(config.mempool),
       admission_(config.admission),
       breaker_(config.breaker),
@@ -119,6 +157,10 @@ void FabricNetwork::add_org(const std::string& org) {
   channel_.attach(peer, [this, org](const net::Message& msg) {
     if (ledger::SnapshotTransfer::owns_topic(msg.topic)) {
       transfer_.handle(peer_of(org), msg);
+      return;
+    }
+    if (ledger::TrieSync::owns_topic(msg.topic)) {
+      triesync_.handle(peer_of(org), msg);
       return;
     }
     if (msg.topic == "fabric.pdc-push") {
@@ -180,6 +222,7 @@ void FabricNetwork::on_crash(const std::string& org) {
     // Memory is gone; the WAL is the only thing that survives. An
     // in-progress snapshot transfer dies with it — rejoin() restarts one.
     transfer_.abort(peer_of(org), name);
+    triesync_.abort(peer_of(org), name);
     it->second.chain = ledger::Chain();
     it->second.state = ledger::WorldState();
     it->second.endorsements_seen.clear();
@@ -287,9 +330,12 @@ void FabricNetwork::join_channel(const std::string& channel,
     replica.chain = ledger::Chain::from_checkpoint(donor.chain.height(),
                                                    donor.chain.tip_hash());
     std::uint64_t snapshot_bytes = 0;
-    for (const auto& [key, entry] : replica.state.entries()) {
-      snapshot_bytes += key.size() + entry.value.size();
-    }
+    replica.state.for_each([&snapshot_bytes](const std::string& key,
+                                             const common::Bytes& value,
+                                             std::uint64_t) {
+      snapshot_bytes += key.size() + value.size();
+      return true;
+    });
     network_->auditor().record(peer_of(org),
                                "channel/" + channel + "/state-snapshot",
                                snapshot_bytes);
@@ -1104,22 +1150,19 @@ bool FabricNetwork::is_channel_member(const std::string& channel,
 
 // ---- Recovery tier ---------------------------------------------------------
 
-void FabricNetwork::rejoin(const std::string& channel, const std::string& org,
-                           std::vector<std::string> donor_orgs) {
-  auto& ch = channels_.at(channel);
-  const std::string self = peer_of(org);
-  if (!ch.members.contains(org) || network_->crashed(self)) return;
-  PeerReplica& replica = ch.replicas.at(org);
-
+void FabricNetwork::rejoin_peers(const std::string& channel,
+                                 const std::string& org,
+                                 const std::vector<std::string>& donor_orgs,
+                                 std::vector<net::Principal>& donors,
+                                 std::vector<net::Principal>& voters) const {
+  const auto& ch = channels_.at(channel);
   // Root verification quorum: every live, unquarantined fellow member.
-  std::vector<net::Principal> voters;
   for (const std::string& member : ch.members) {
     if (member == org) continue;
     const std::string peer = peer_of(member);
     if (network_->crashed(peer) || network_->is_quarantined(peer)) continue;
     voters.push_back(peer);
   }
-  std::vector<net::Principal> donors;
   if (donor_orgs.empty()) {
     donors = voters;
     // The breaker remembers which peers kept timing out under load;
@@ -1135,34 +1178,77 @@ void FabricNetwork::rejoin(const std::string& channel, const std::string& org,
   } else {
     for (const std::string& d : donor_orgs) donors.push_back(peer_of(d));
   }
-  transfer_.fetch(self, channel, std::move(donors), voters,
-                  replica.chain.height() + 1);
-  network_->run();
-  // Still active after the network drained = stalled on loss — keep it
-  // resumable rather than replaying what the snapshot was about to save.
-  if (transfer_.active(self, channel)) return;
+}
 
+void FabricNetwork::replay_tail(const std::string& channel,
+                                const std::string& org) {
   // Post-checkpoint delta (or the whole lag, if no donor had a newer
   // checkpoint): seek into the channel's sealed delivery log.
+  auto& ch = channels_.at(channel);
+  const std::string self = peer_of(org);
+  PeerReplica& replica = ch.replicas.at(org);
   while (!network_->crashed(self) &&
          replica.chain.height() < ch.ordered_log.size()) {
     if (!commit_block(org, ch, ch.ordered_log[replica.chain.height()])) break;
   }
 }
 
+void FabricNetwork::rejoin(const std::string& channel, const std::string& org,
+                           std::vector<std::string> donor_orgs) {
+  auto& ch = channels_.at(channel);
+  const std::string self = peer_of(org);
+  if (!ch.members.contains(org) || network_->crashed(self)) return;
+  PeerReplica& replica = ch.replicas.at(org);
+
+  std::vector<net::Principal> donors;
+  std::vector<net::Principal> voters;
+  rejoin_peers(channel, org, donor_orgs, donors, voters);
+  transfer_.fetch(self, channel, std::move(donors), voters,
+                  replica.chain.height() + 1);
+  network_->run();
+  // Still active after the network drained = stalled on loss — keep it
+  // resumable rather than replaying what the snapshot was about to save.
+  if (transfer_.active(self, channel)) return;
+  replay_tail(channel, org);
+}
+
 void FabricNetwork::resume_rejoin(const std::string& channel,
                                   const std::string& org) {
-  auto& ch = channels_.at(channel);
   const std::string self = peer_of(org);
   if (network_->crashed(self)) return;
   transfer_.resume(self, channel);
   network_->run();
   if (transfer_.active(self, channel)) return;  // still stalled: resumable
+  replay_tail(channel, org);
+}
+
+void FabricNetwork::rejoin_delta(const std::string& channel,
+                                 const std::string& org,
+                                 std::vector<std::string> donor_orgs) {
+  auto& ch = channels_.at(channel);
+  const std::string self = peer_of(org);
+  if (!ch.members.contains(org) || network_->crashed(self)) return;
   PeerReplica& replica = ch.replicas.at(org);
-  while (!network_->crashed(self) &&
-         replica.chain.height() < ch.ordered_log.size()) {
-    if (!commit_block(org, ch, ch.ordered_log[replica.chain.height()])) break;
-  }
+
+  std::vector<net::Principal> donors;
+  std::vector<net::Principal> voters;
+  rejoin_peers(channel, org, donor_orgs, donors, voters);
+  // The joiner's own state is the dedup set: only nodes it lacks move.
+  triesync_.fetch(self, channel, std::move(donors), voters,
+                  replica.chain.height() + 1, replica.state);
+  network_->run();
+  if (triesync_.active(self, channel)) return;  // stalled on loss: resumable
+  replay_tail(channel, org);
+}
+
+void FabricNetwork::resume_rejoin_delta(const std::string& channel,
+                                        const std::string& org) {
+  const std::string self = peer_of(org);
+  if (network_->crashed(self)) return;
+  triesync_.resume(self, channel);
+  network_->run();
+  if (triesync_.active(self, channel)) return;  // still stalled: resumable
+  replay_tail(channel, org);
 }
 
 void FabricNetwork::set_byzantine_snapshot_offerer(const std::string& org,
@@ -1266,6 +1352,70 @@ void FabricNetwork::install_snapshot(const std::string& self,
   // compacting any stale pre-crash WAL prefix behind it.
   replica.snapshots.checkpoint(replica.wal, header.height, header.tip_hash,
                                replica.state);
+}
+
+std::optional<ledger::TrieSync::DonorState> FabricNetwork::provide_trie(
+    const std::string& self, const std::string& scope,
+    std::uint64_t min_height) {
+  (void)min_height;  // availability vs min_height is enforced by the engine
+  const std::string org = org_of(self);
+  const auto ch = channels_.find(scope);
+  if (ch == channels_.end() || !ch->second.members.contains(org)) {
+    return std::nullopt;
+  }
+  const auto replica = ch->second.replicas.find(org);
+  if (replica == ch->second.replicas.end()) return std::nullopt;
+  const ledger::SnapshotStore& snaps = replica->second.snapshots;
+  const ledger::Snapshot* latest = snaps.latest();
+  if (latest == nullptr) return std::nullopt;
+
+  ledger::TrieSync::DonorState ds;
+  ds.height = latest->height();
+  ds.tip_hash = latest->header().tip_hash;
+  ds.state = &snaps.latest_state();
+
+  const auto attack = byz_offerers_.find(org);
+  if (attack != byz_offerers_.end() &&
+      attack->second == SnapshotAttack::EquivocateRoot) {
+    // Scripted adversary: offer (and serve nodes for) a tampered state.
+    // Every node it ships verifies against ITS root — only the member
+    // vote quorum can (and does) disavow the root itself. Stored in
+    // forged_states_ because the engine holds the pointer across the
+    // serve rounds. (TamperChunk has no delta analog: a node that does
+    // not hash to its content is rejected by construction; that path is
+    // exercised at the engine level in tests/ledger/test_triesync.cpp.)
+    const auto key = std::make_pair(self, scope);
+    ledger::WorldState tampered = snaps.latest_state();
+    tampered.put("asset/forged/owner", common::to_bytes(org));
+    const auto [it, inserted] =
+        forged_states_.insert_or_assign(key, std::move(tampered));
+    (void)inserted;
+    ds.state = &it->second;
+  }
+  return ds;
+}
+
+void FabricNetwork::install_delta(const std::string& self,
+                                  const std::string& scope,
+                                  std::uint64_t height,
+                                  const crypto::Digest& tip_hash,
+                                  ledger::WorldState state,
+                                  const ledger::TrieSync::Report& report) {
+  const std::string org = org_of(self);
+  const auto ch = channels_.find(scope);
+  if (ch == channels_.end()) return;
+  const auto it = ch->second.replicas.find(org);
+  if (it == ch->second.replicas.end()) return;
+  PeerReplica& replica = it->second;
+  if (height <= replica.chain.height()) return;  // stale by now
+
+  last_delta_report_ = report;
+  replica.chain = ledger::Chain::from_checkpoint(height, tip_hash);
+  replica.state = std::move(state);
+  replica.endorsements_seen.clear();
+  // Seal the installed state as this replica's own durable checkpoint,
+  // compacting any stale pre-crash WAL prefix behind it.
+  replica.snapshots.checkpoint(replica.wal, height, tip_hash, replica.state);
 }
 
 void FabricNetwork::on_transfer_reject(

@@ -40,6 +40,7 @@
 #include "ledger/snapshot.hpp"
 #include "ledger/state.hpp"
 #include "ledger/transfer.hpp"
+#include "ledger/triesync.hpp"
 #include "ledger/wal.hpp"
 #include "net/network.hpp"
 #include "net/overload.hpp"
@@ -229,6 +230,27 @@ class FabricNetwork {
   /// channel's retry budget (resumes from the verified chunk cursor).
   void resume_rejoin(const std::string& channel, const std::string& org);
 
+  /// Delta rejoin for a lagging live member peer: instead of shipping the
+  /// whole checkpoint body, fetch only the content-addressed trie nodes
+  /// the joiner's own state lacks (ledger/triesync.hpp). Root confirmed
+  /// by the member vote quorum + sealed delivery log, every node hash-
+  /// verified on arrival, prior subtrees reused by hash. Bytes on the
+  /// wire ~ O(keys touched since the joiner's state), not O(state).
+  void rejoin_delta(const std::string& channel, const std::string& org,
+                    std::vector<std::string> donor_orgs = {});
+
+  /// Re-drive a stalled delta rejoin (verified nodes are kept).
+  void resume_rejoin_delta(const std::string& channel, const std::string& org);
+
+  /// Cost report of the last completed delta rejoin (tests/bench assert
+  /// delta-vs-full byte accounting on it).
+  const ledger::TrieSync::Report& last_delta_report() const {
+    return last_delta_report_;
+  }
+  const ledger::TrieSyncStats& triesync_stats() const {
+    return triesync_.stats();
+  }
+
   /// Scripted snapshot adversary: when `org`'s peer is asked to donate a
   /// checkpoint it serves a forgery instead.
   enum class SnapshotAttack {
@@ -413,6 +435,24 @@ class FabricNetwork {
                           common::BytesView proof_a,
                           common::BytesView proof_b);
 
+  // Delta-sync callbacks (scope = channel, principals = peer names). The
+  // reject path is shared with the chunked engine (same taxonomy).
+  std::optional<ledger::TrieSync::DonorState> provide_trie(
+      const std::string& self, const std::string& scope,
+      std::uint64_t min_height);
+  void install_delta(const std::string& self, const std::string& scope,
+                     std::uint64_t height, const crypto::Digest& tip_hash,
+                     ledger::WorldState state,
+                     const ledger::TrieSync::Report& report);
+  /// Shared rejoin scaffolding: voter/donor selection for `org` on
+  /// `channel` (live, unquarantined members; breaker-filtered donors).
+  void rejoin_peers(const std::string& channel, const std::string& org,
+                    const std::vector<std::string>& donor_orgs,
+                    std::vector<net::Principal>& donors,
+                    std::vector<net::Principal>& voters) const;
+  /// Replay the post-checkpoint delta from the sealed delivery log.
+  void replay_tail(const std::string& channel, const std::string& org);
+
   net::SimNetwork* network_;
   const crypto::Group* group_;
   common::Rng rng_;
@@ -427,10 +467,15 @@ class FabricNetwork {
   /// fail-closed behavior on a dead network.
   net::ReliableChannel channel_;
   ledger::SnapshotTransfer transfer_;
+  ledger::TrieSync triesync_;
+  ledger::TrieSync::Report last_delta_report_;
   std::map<std::string, SnapshotAttack> byz_offerers_;  // by org
   /// Forged snapshots served by scripted adversaries, keyed by
   /// (peer, channel) — the provider returns a stable pointer.
   std::map<std::pair<std::string, std::string>, ledger::Snapshot> forged_;
+  /// Forged states for delta-sync adversaries (same key / same reason).
+  std::map<std::pair<std::string, std::string>, ledger::WorldState>
+      forged_states_;
   std::unique_ptr<ledger::OrderingService> shared_orderer_;
   std::map<std::string, Org> orgs_;
   std::map<std::string, Channel> channels_;

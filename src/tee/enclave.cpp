@@ -157,24 +157,28 @@ common::Bytes Enclave::sealing_key() const {
 crypto::Digest Enclave::state_digest() const {
   crypto::Sha256 h;
   h.update("veil.tee.state");
-  for (const auto& [key, entry] : state_.entries()) {
+  state_.for_each([&h](const std::string& key, const common::Bytes& value,
+                       std::uint64_t) {
     h.update(key);
-    h.update(entry.value);
-  }
+    h.update(value);
+    return true;
+  });
   return h.finalize();
 }
 
 common::Bytes Enclave::seal_state() const {
   common::Writer w;
-  w.varint(state_.entries().size());
-  for (const auto& [key, entry] : state_.entries()) {
+  w.varint(state_.size());
+  state_.for_each([&w](const std::string& key, const common::Bytes& value,
+                       std::uint64_t version) {
     w.str(key);
-    w.bytes(entry.value);
-    w.u64(entry.version);
-  }
+    w.bytes(value);
+    w.u64(version);
+    return true;
+  });
   common::Writer nonce;
   nonce.str("sealstate");
-  nonce.u64(state_.entries().size());
+  nonce.u64(state_.size());
   common::Bytes nonce16 = nonce.take();
   nonce16.resize(16, 0);
   common::Bytes sealed = crypto::seal(sealing_key(), w.data(), nonce16);

@@ -127,5 +127,154 @@ TEST(WorldState, PrefixQuery) {
   EXPECT_EQ(state.get_by_prefix("").size(), 4u);
 }
 
+TEST(WorldState, VersionOfTracksPutsErasesAndAbsence) {
+  WorldState state;
+  EXPECT_EQ(state.version_of("k"), 0u);
+  state.put("k", to_bytes("v1"));
+  EXPECT_EQ(state.version_of("k"), 1u);
+  state.put("k", to_bytes("v2"));
+  EXPECT_EQ(state.version_of("k"), 2u);
+  state.erase("k");
+  EXPECT_EQ(state.version_of("k"), 0u);  // absent again
+}
+
+TEST(WorldState, HotCacheStaysCoherentThroughEraseAndRewrite) {
+  // Every mutation path must refresh the hot tier: a stale cached value
+  // or a missed tombstone would make get() disagree with the trie.
+  WorldState state;
+  state.put("acct", to_bytes("v1"));
+  ASSERT_EQ(state.get("acct")->value, to_bytes("v1"));  // hot hit
+  state.erase("acct");                                  // hot tombstone
+  EXPECT_FALSE(state.get("acct").has_value());
+  EXPECT_EQ(state.version_of("acct"), 0u);
+  state.put("acct", to_bytes("v2"));                    // tombstone overwritten
+  ASSERT_TRUE(state.get("acct").has_value());
+  EXPECT_EQ(state.get("acct")->value, to_bytes("v2"));
+  EXPECT_EQ(state.get("acct")->version, 1u);  // version restarts after erase
+
+  // apply() writes go through the same refresh.
+  Transaction tx;
+  tx.reads = {{"acct", 1}};
+  tx.writes = {{"acct", to_bytes("v3"), false}, {"other", to_bytes("o"), false}};
+  ASSERT_EQ(state.apply(tx), CommitResult::Applied);
+  EXPECT_EQ(state.get("acct")->value, to_bytes("v3"));
+  EXPECT_EQ(state.get("other")->value, to_bytes("o"));
+
+  Transaction del;
+  del.writes = {{"other", {}, true}};
+  ASSERT_EQ(state.apply(del), CommitResult::Applied);
+  EXPECT_FALSE(state.get("other").has_value());
+}
+
+TEST(WorldState, DigestIsContentAddressedNotHistoryAddressed) {
+  // Two replicas reaching the same mapping through different mutation
+  // orders (and a decode of the canonical encoding) agree on the digest
+  // — the bit-identical-replica invariant the chaos suites lean on.
+  WorldState a;
+  a.put("x", to_bytes("1"));
+  a.put("y", to_bytes("2"));
+  a.put("z", to_bytes("3"));
+  a.erase("z");
+
+  WorldState b;
+  b.put("y", to_bytes("2"));
+  b.put("x", to_bytes("1"));
+
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(WorldState::decode(a.encode()).digest(), a.digest());
+}
+
+TEST(WorldState, DigestIsO1BetweenMutations) {
+  // digest() is the incrementally maintained trie root: repeated calls
+  // between mutations return the identical cached root, and only
+  // mutations move it.
+  WorldState state;
+  for (int i = 0; i < 100; ++i) {
+    state.put("k" + std::to_string(i), to_bytes("v"));
+  }
+  const crypto::Digest d1 = state.digest();
+  EXPECT_EQ(state.digest(), d1);
+  state.put("k0", to_bytes("v2"));
+  EXPECT_NE(state.digest(), d1);
+}
+
+TEST(WorldState, ForEachMatchesEntriesWithoutMaterializing) {
+  WorldState state;
+  for (int i = 0; i < 50; ++i) {
+    state.put("k" + std::to_string(i), to_bytes(std::to_string(i)));
+  }
+  const auto entries = state.entries();  // by value: a materialized copy
+  auto it = entries.begin();
+  std::size_t visited = 0;
+  state.for_each([&](const std::string& key, const common::Bytes& value,
+                     std::uint64_t version) {
+    EXPECT_EQ(key, it->first);
+    EXPECT_EQ(value, it->second.value);
+    EXPECT_EQ(version, it->second.version);
+    ++it;
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, entries.size());
+}
+
+TEST(WorldState, PrefixScanOverHugeStateDoesNoFullIteration) {
+  // Regression for the old map-backed get_by_prefix, which walked every
+  // entry: with 10^5 accounts and 10 matches, the trie scan must touch
+  // O(depth + matches) nodes, not O(n).
+  WorldState state;
+  for (int i = 0; i < 100000; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "acct/%06d", i);
+    state.put(buf, to_bytes("balance"));
+  }
+  for (int i = 0; i < 10; ++i) {
+    state.put("watch/" + std::to_string(i), to_bytes("w"));
+  }
+
+  std::size_t matches = 0;
+  const std::size_t visited =
+      state.scan_prefix("watch/", [&](const std::string&, const common::Bytes&,
+                                      std::uint64_t) {
+        ++matches;
+        return true;
+      });
+  EXPECT_EQ(matches, 10u);
+  EXPECT_LT(visited, 64u);  // nowhere near the 100k-key subtrie
+
+  // The materializing form rides the same scan.
+  EXPECT_EQ(state.get_by_prefix("watch/").size(), 10u);
+
+  // Bounded range over the huge prefix seeks, not iterates.
+  std::size_t range_matches = 0;
+  const std::size_t range_visited = state.scan_range(
+      "acct/050000", "acct/050005",
+      [&](const std::string&, const common::Bytes&, std::uint64_t) {
+        ++range_matches;
+        return true;
+      });
+  EXPECT_EQ(range_matches, 5u);
+  EXPECT_LT(range_visited, 128u);
+}
+
+TEST(WorldState, ProofsExportAgainstCurrentDigest) {
+  WorldState state;
+  state.put("acct/alice", to_bytes("100"));
+  state.put("acct/bob", to_bytes("250"));
+
+  const StateProof inc = state.prove("acct/bob");
+  EXPECT_TRUE(inc.exists);
+  EXPECT_EQ(inc.value, to_bytes("250"));
+  EXPECT_TRUE(WorldState::verify_proof(state.digest(), inc));
+
+  const StateProof exc = state.prove("acct/carol");
+  EXPECT_FALSE(exc.exists);
+  EXPECT_TRUE(WorldState::verify_proof(state.digest(), exc));
+
+  // A proof goes stale with the state it described.
+  state.put("acct/bob", to_bytes("300"));
+  EXPECT_FALSE(WorldState::verify_proof(state.digest(), inc));
+}
+
 }  // namespace
 }  // namespace veil::ledger
