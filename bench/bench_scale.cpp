@@ -1,0 +1,179 @@
+// Sharded scale-out study (BENCH_scale.json).
+//
+// Open-loop Zipf traffic over a ShardMap at 10^5 and 10^6 users,
+// 1/2/4/8 shards, and a 0-30% cross-shard mix, answering two questions:
+//   * BM_ShardGoodput — what does sharding buy, and what does the
+//     cross-shard mix cost? goodput_per_s counts committed work (local
+//     plus two-phase commits) per simulated second; abort_rate is the
+//     fraction of begun cross-shard transactions that ended in a
+//     presumed abort or a no-vote (hot Zipf keys contend on locks).
+//   * BM_ShardLossSweep — the same mix under 0-30% message loss: the
+//     reliable channel keeps atomicity (no split outcome is possible by
+//     construction), so loss shows up as vote timeouts -> aborts and
+//     retry latency, never as divergent shards. redrive_indoubt() plays
+//     the operator healing the network before the final drain.
+//
+// Counters (all per-iteration, sim-time based):
+//   goodput_per_s, cross_begun, cross_commits, abort_rate,
+//   rejected_locked (lock contention on hot keys), indoubt_queries.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "ledger/shard.hpp"
+#include "ledger/xshard.hpp"
+#include "workload/openloop.hpp"
+
+namespace {
+
+using namespace veil;
+using common::to_bytes;
+
+struct ScaleRig {
+  net::SimNetwork net;
+  net::ReliableChannel channel;
+  common::Rng rng;
+  ledger::ShardMap shards;
+  ledger::CrossShardCoordinator coord;
+
+  explicit ScaleRig(ledger::ShardConfig cfg)
+      : net(common::Rng(71)),
+        channel(net),
+        rng(72),
+        shards(net, channel, crypto::Group::test_group(), rng, cfg),
+        coord(net, channel, shards, crypto::Group::test_group(), rng) {}
+};
+
+ledger::ShardConfig shard_config(std::uint64_t shards) {
+  ledger::ShardConfig cfg;
+  cfg.shard_count = shards;
+  cfg.replicas_per_shard = 1;
+  cfg.block_size = 8;
+  // Sized >= 2x the reliable channel's worst retry tail so lossy runs
+  // converge inside the echo window (see docs/fault_model.md).
+  cfg.echo_window_us = 400'000;
+  return cfg;
+}
+
+std::string acct_key(std::size_t party) {
+  return "acct/" + std::to_string(party);
+}
+
+/// Drive one open-loop schedule through the map: same-shard arrivals go
+/// through local submit, cross-shard ones through the 2PC coordinator.
+void drive(ScaleRig& rig, const std::vector<workload::Arrival>& schedule) {
+  for (const workload::Arrival& a : schedule) {
+    rig.net.schedule(a.at, [&rig, a] {
+      ledger::Transaction tx;
+      tx.channel = "scale";
+      tx.timestamp = static_cast<common::SimTime>(a.seq + 1);
+      tx.writes.push_back({acct_key(a.party), to_bytes("v"), false});
+      if (a.cross) {
+        tx.writes.push_back({acct_key(a.party_b), to_bytes("v"), false});
+      }
+      const bool spans =
+          a.cross && rig.shards.shard_for_key(tx.writes[0].key) !=
+                         rig.shards.shard_for_key(tx.writes[1].key);
+      if (spans) {
+        rig.coord.begin(tx);
+      } else {
+        rig.shards.submit(tx);
+      }
+    });
+  }
+  rig.net.run();
+  rig.shards.redrive_indoubt();  // heal anything wedged by loss
+  rig.net.run();
+  rig.shards.flush_all();
+  rig.net.run();
+}
+
+void report(benchmark::State& state, const ScaleRig& rig,
+            std::uint64_t arrivals) {
+  const ledger::ShardMapStats& s = rig.shards.stats();
+  const ledger::XShardStats& x = rig.coord.stats();
+  const double sim_s =
+      static_cast<double>(rig.net.clock().now()) / 1e6;
+  const double done = static_cast<double>(s.committed + x.commits);
+  const double aborts =
+      static_cast<double>(x.aborts_voteno + x.aborts_timeout);
+  state.counters["goodput_per_s"] = sim_s > 0 ? done / sim_s : 0;
+  state.counters["cross_begun"] = static_cast<double>(x.begun);
+  state.counters["cross_commits"] = static_cast<double>(x.commits);
+  state.counters["abort_rate"] =
+      x.begun > 0 ? aborts / static_cast<double>(x.begun) : 0;
+  state.counters["rejected_locked"] = static_cast<double>(s.rejected_locked);
+  state.counters["indoubt_queries"] = static_cast<double>(s.indoubt_queries);
+  state.counters["arrivals"] = static_cast<double>(arrivals);
+}
+
+workload::OpenLoopConfig load_config(std::size_t users, double cross) {
+  workload::OpenLoopConfig cfg;
+  cfg.arrivals = 1'500;
+  cfg.offered_per_s = 4'000.0;
+  cfg.parties = users;
+  cfg.zipf_s = 1.0;
+  cfg.cross_fraction = cross;
+  return cfg;
+}
+
+// ---- Goodput vs shard count and cross-shard mix ----------------------------
+
+/// Args: {users_exponent, shard_count, cross_pct}.
+void BM_ShardGoodput(benchmark::State& state) {
+  std::size_t users = 1;
+  for (int i = 0; i < state.range(0); ++i) users *= 10;
+  const auto shards = static_cast<std::uint64_t>(state.range(1));
+  const double cross = static_cast<double>(state.range(2)) / 100.0;
+  const std::vector<workload::Arrival> schedule =
+      workload::OpenLoopGenerator(load_config(users, cross), 7).generate();
+  for (auto _ : state) {
+    ScaleRig rig(shard_config(shards));
+    drive(rig, schedule);
+    report(state, rig, schedule.size());
+  }
+}
+BENCHMARK(BM_ShardGoodput)
+    ->Args({5, 1, 0})
+    ->Args({5, 2, 0})
+    ->Args({5, 4, 0})
+    ->Args({5, 8, 0})
+    ->Args({5, 2, 10})
+    ->Args({5, 4, 10})
+    ->Args({5, 8, 10})
+    ->Args({5, 2, 30})
+    ->Args({5, 4, 30})
+    ->Args({5, 8, 30})
+    ->Args({6, 4, 0})
+    ->Args({6, 4, 10})
+    ->Args({6, 4, 30})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Abort rate and goodput under message loss -----------------------------
+
+/// Args: {loss_pct}. Fixed 10^5 users, 4 shards, 30% cross mix.
+void BM_ShardLossSweep(benchmark::State& state) {
+  const double loss = static_cast<double>(state.range(0)) / 100.0;
+  const std::vector<workload::Arrival> schedule =
+      workload::OpenLoopGenerator(load_config(100'000, 0.3), 7).generate();
+  for (auto _ : state) {
+    ScaleRig rig(shard_config(4));
+    rig.net.set_drop_probability(loss);
+    drive(rig, schedule);
+    rig.net.set_drop_probability(0.0);
+    rig.shards.redrive_indoubt();
+    rig.net.run();
+    report(state, rig, schedule.size());
+  }
+}
+BENCHMARK(BM_ShardLossSweep)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

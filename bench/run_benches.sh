@@ -17,6 +17,7 @@
 #   BENCH_SKIP_COMMIT=1 bench/run_benches.sh      # skip commit-path study
 #   BENCH_SKIP_OVERLOAD=1 bench/run_benches.sh    # skip overload sweep
 #   BENCH_SKIP_STATE=1 bench/run_benches.sh       # skip state-store study
+#   BENCH_SKIP_SCALE=1 bench/run_benches.sh       # skip sharded scale study
 #   BENCH_ALLOW_DEBUG=1 bench/run_benches.sh      # permit non-Release builds
 #   BUILD_DIR=out bench/run_benches.sh
 set -euo pipefail
@@ -323,6 +324,46 @@ PY
       echo "wrote $STATE_OUT"
     else
       echo "bench_state produced no output; $STATE_OUT left untouched" >&2
+    fi
+    trap - EXIT
+  fi
+fi
+
+# ---- Sharded scale-out study ------------------------------------------------
+# Open-loop Zipf traffic over the sharded tier: goodput vs shard count
+# (1/2/4/8) and cross-shard mix (0/10/30%) at 1e5 and 1e6 users, plus
+# the abort-rate/goodput sweep under 0-30% message loss, into
+# BENCH_scale.json. The quoted claim: local traffic commits at the
+# offered rate at any shard count; the cross-shard mix is what costs
+# goodput (2PC latency + Zipf hot-key lock contention), and loss costs
+# aborts and retry latency — never atomicity.
+if [[ -z "${BENCH_SKIP_SCALE:-}" ]]; then
+  SCALE_OUT="${BENCH_SCALE_OUT:-$ROOT/BENCH_scale.json}"
+  if [[ ! -x "$BUILD/bench/bench_scale" ]]; then
+    echo "bench_scale not built; skipping sharded scale study" >&2
+  else
+    ZTMP="$(mktemp "${SCALE_OUT}.XXXXXX")"
+    trap 'rm -f "$ZTMP"' EXIT
+    "$BUILD/bench/bench_scale" \
+      --benchmark_out="$ZTMP" \
+      --benchmark_out_format=json \
+      --benchmark_repetitions="${BENCH_REPS:-1}"
+    if [[ -s "$ZTMP" ]]; then
+      mv "$ZTMP" "$SCALE_OUT"
+      python3 - "$SCALE_OUT" <<'PY'
+import json, os, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+data["context"]["build_type"] = os.environ.get("VEIL_BENCH_BUILD_TYPE", "unknown")
+data["context"]["goodput_args"] = "users_exponent, shard_count, cross_pct"
+data["context"]["loss_args"] = "loss_pct (1e5 users, 4 shards, 30% cross)"
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+PY
+      echo "wrote $SCALE_OUT"
+    else
+      echo "bench_scale produced no output; $SCALE_OUT left untouched" >&2
     fi
     trap - EXIT
   fi

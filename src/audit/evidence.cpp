@@ -24,6 +24,8 @@ std::string to_string(Misbehavior kind) {
       return "snapshot tampering";
     case Misbehavior::SnapshotEquivocation:
       return "snapshot equivocation";
+    case Misbehavior::CoordinatorEquivocation:
+      return "coordinator equivocation";
   }
   return "unknown misbehavior";
 }
@@ -61,7 +63,7 @@ Evidence Evidence::decode(common::BytesView data) {
   common::Reader r(data);
   Evidence e;
   const std::uint8_t kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(Misbehavior::SnapshotEquivocation)) {
+  if (kind > static_cast<std::uint8_t>(Misbehavior::CoordinatorEquivocation)) {
     throw common::Error("evidence: unknown misbehavior kind");
   }
   e.kind = static_cast<Misbehavior>(kind);

@@ -37,6 +37,7 @@ enum class Misbehavior : std::uint8_t {
   DoubleSpendAttempt,    // client re-submitted an already-consumed state
   SnapshotTampering,     // served chunk contradicts its offered root
   SnapshotEquivocation,  // offered root disavowed by a quorum of peers
+  CoordinatorEquivocation,  // 2PC coordinator signed commit AND abort
 };
 
 /// Human-readable name, for refusal transcripts and reports.

@@ -1,0 +1,574 @@
+#include "ledger/xshard.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "ledger/shard.hpp"
+
+namespace veil::ledger {
+
+namespace {
+
+void put_digest(common::Writer& w, const crypto::Digest& d) {
+  w.raw(common::BytesView(d.data(), d.size()));
+}
+
+crypto::Digest get_digest(common::Reader& r) {
+  const common::Bytes raw = r.raw(crypto::kSha256DigestSize);
+  crypto::Digest d{};
+  std::copy(raw.begin(), raw.end(), d.begin());
+  return d;
+}
+
+}  // namespace
+
+// ---- Wire codecs ----------------------------------------------------------
+
+common::Bytes XPrepare::to_be_signed() const {
+  common::Writer w;
+  w.str(xid);
+  w.u64(shard);
+  w.varint(participants.size());
+  for (const std::uint64_t p : participants) w.u64(p);
+  w.str(coordinator);
+  w.u64(deadline_us);
+  w.bytes(subtx.encode());
+  return w.take();
+}
+
+common::Bytes XPrepare::encode() const {
+  common::Writer w;
+  w.raw(to_be_signed());
+  w.bytes(sig.encode());
+  return w.take();
+}
+
+XPrepare XPrepare::decode(common::BytesView data) {
+  common::Reader r(data);
+  XPrepare p;
+  p.xid = r.str();
+  p.shard = r.u64();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) p.participants.push_back(r.u64());
+  p.coordinator = r.str();
+  p.deadline_us = r.u64();
+  p.subtx = Transaction::decode(r.bytes());
+  p.sig = crypto::Signature::decode(r.bytes());
+  if (!r.done()) throw common::Error("xprepare: trailing bytes");
+  return p;
+}
+
+common::Bytes XVote::to_be_signed() const {
+  common::Writer w;
+  w.str(xid);
+  w.u64(shard);
+  w.boolean(yes);
+  put_digest(w, state_root);
+  w.str(voter);
+  return w.take();
+}
+
+common::Bytes XVote::encode() const {
+  common::Writer w;
+  w.raw(to_be_signed());
+  w.bytes(sig.encode());
+  return w.take();
+}
+
+XVote XVote::decode(common::BytesView data) {
+  common::Reader r(data);
+  XVote v;
+  v.xid = r.str();
+  v.shard = r.u64();
+  v.yes = r.boolean();
+  v.state_root = get_digest(r);
+  v.voter = r.str();
+  v.sig = crypto::Signature::decode(r.bytes());
+  if (!r.done()) throw common::Error("xvote: trailing bytes");
+  return v;
+}
+
+common::Bytes XDecision::to_be_signed() const {
+  common::Writer w;
+  w.str(xid);
+  w.boolean(commit);
+  w.varint(cert.size());
+  for (const XVote& v : cert) w.bytes(v.encode());
+  w.str(decider);
+  return w.take();
+}
+
+common::Bytes XDecision::encode() const {
+  common::Writer w;
+  w.raw(to_be_signed());
+  w.bytes(sig.encode());
+  return w.take();
+}
+
+XDecision XDecision::decode(common::BytesView data) {
+  common::Reader r(data);
+  XDecision d;
+  d.xid = r.str();
+  d.commit = r.boolean();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) d.cert.push_back(XVote::decode(r.bytes()));
+  d.decider = r.str();
+  d.sig = crypto::Signature::decode(r.bytes());
+  if (!r.done()) throw common::Error("xdecision: trailing bytes");
+  return d;
+}
+
+common::Bytes XStatus::encode() const {
+  common::Writer w;
+  w.str(xid);
+  w.u64(shard);
+  w.str(requester);
+  return w.take();
+}
+
+XStatus XStatus::decode(common::BytesView data) {
+  common::Reader r(data);
+  XStatus s;
+  s.xid = r.str();
+  s.shard = r.u64();
+  s.requester = r.str();
+  if (!r.done()) throw common::Error("xstatus: trailing bytes");
+  return s;
+}
+
+common::Bytes XQueryReply::encode() const {
+  common::Writer w;
+  w.str(xid);
+  w.u64(shard);
+  w.boolean(prepared);
+  w.boolean(decided);
+  w.bytes(decision);
+  return w.take();
+}
+
+XQueryReply XQueryReply::decode(common::BytesView data) {
+  common::Reader r(data);
+  XQueryReply q;
+  q.xid = r.str();
+  q.shard = r.u64();
+  q.prepared = r.boolean();
+  q.decided = r.boolean();
+  q.decision = r.bytes();
+  if (!r.done()) throw common::Error("xqueryreply: trailing bytes");
+  return q;
+}
+
+// ---- Coordinator ----------------------------------------------------------
+
+CrossShardCoordinator::CrossShardCoordinator(net::SimNetwork& network,
+                                             net::ReliableChannel& channel,
+                                             ShardMap& shards,
+                                             const crypto::Group& group,
+                                             common::Rng& rng,
+                                             CoordinatorConfig config)
+    : network_(&network),
+      channel_(&channel),
+      shards_(&shards),
+      config_(std::move(config)),
+      key_(crypto::KeyPair::generate(group, rng)),
+      standby_key_(crypto::KeyPair::generate(group, rng)) {
+  channel_->attach(config_.name, [this](const net::Message& m) {
+    on_message(config_.name, m);
+  });
+  channel_->attach(config_.standby, [this](const net::Message& m) {
+    on_message(config_.standby, m);
+  });
+  network_->set_crash_hook(config_.name, [this] { on_crash(); });
+  network_->set_restart_hook(config_.name, [this] { on_restart(); });
+  network_->set_crash_hook(config_.standby, [this] {
+    recovering_.clear();
+    standby_decided_.clear();
+  });
+  shards_->register_coordinator(config_.name, key_.public_key(), false);
+  shards_->register_coordinator(config_.standby, standby_key_.public_key(),
+                                true);
+}
+
+std::string CrossShardCoordinator::begin(const Transaction& tx) {
+  const std::string xid = tx.id();
+  // Split the parent transaction into per-shard slices by key routing.
+  std::map<std::uint64_t, Transaction> subtxs;
+  const auto slice = [&](std::uint64_t s) -> Transaction& {
+    auto it = subtxs.find(s);
+    if (it == subtxs.end()) {
+      Transaction sub;
+      sub.channel = tx.channel;
+      sub.contract = tx.contract;
+      sub.action = tx.action;
+      sub.participants = tx.participants;
+      sub.payload = tx.payload;
+      sub.timestamp = tx.timestamp;
+      sub.deadline_us = tx.deadline_us;
+      sub.data_opaque = tx.data_opaque;
+      sub.parties_pseudonymous = tx.parties_pseudonymous;
+      it = subtxs.emplace(s, std::move(sub)).first;
+    }
+    return it->second;
+  };
+  for (const ReadAccess& rd : tx.reads) {
+    slice(shards_->shard_for_key(rd.key)).reads.push_back(rd);
+  }
+  for (const KvWrite& wr : tx.writes) {
+    slice(shards_->shard_for_key(wr.key)).writes.push_back(wr);
+  }
+  if (subtxs.empty()) slice(0);
+
+  std::vector<std::uint64_t> participants;
+  participants.reserve(subtxs.size());
+  for (const auto& [s, sub] : subtxs) participants.push_back(s);
+
+  // WAL first: a restarted coordinator must know the xid existed for the
+  // presumption (begun + no decision record -> abort) to bite.
+  common::Writer w;
+  w.str(xid);
+  w.varint(participants.size());
+  for (const std::uint64_t s : participants) w.u64(s);
+  wal_.append(kWalXBegin, w.data());
+  begun_[xid] = participants;
+  ++stats_.begun;
+  maybe_crash(CrashPoint::AfterBeginLog);
+  if (network_->crashed(config_.name)) return xid;
+
+  Pending pending;
+  pending.participants = participants;
+  pending.subtxs = std::move(subtxs);
+  pending.deadline_us = network_->clock().now() + config_.vote_timeout_us;
+  const common::SimTime deadline = pending.deadline_us;
+  pending_[xid] = std::move(pending);
+
+  for (const auto& [s, sub] : pending_[xid].subtxs) {
+    XPrepare prep;
+    prep.xid = xid;
+    prep.shard = s;
+    prep.participants = participants;
+    prep.coordinator = config_.name;
+    prep.deadline_us = deadline;
+    prep.subtx = sub;
+    prep.sig = key_.sign(prep.to_be_signed());
+    channel_->send(config_.name, shards_->primary(s), "xshard.prepare",
+                   prep.encode());
+    network_->count_xshard_prepare();
+    ++stats_.prepares_sent;
+  }
+  // Vote timeout -> presumed abort. The timer outliving a crash is
+  // harmless: pending_ is volatile, so the guard below finds nothing.
+  network_->schedule(deadline, [this, xid] {
+    if (network_->crashed(config_.name)) return;
+    const auto it = pending_.find(xid);
+    if (it == pending_.end() || it->second.decided) return;
+    decide(xid, false, net::XAbortCause::Timeout);
+  });
+  return xid;
+}
+
+CrossShardCoordinator::Outcome CrossShardCoordinator::outcome(
+    const std::string& xid) const {
+  if (const auto it = decided_.find(xid); it != decided_.end()) {
+    return it->second.commit ? Outcome::Committed : Outcome::Aborted;
+  }
+  if (const auto it = standby_decided_.find(xid);
+      it != standby_decided_.end()) {
+    return it->second.commit ? Outcome::Committed : Outcome::Aborted;
+  }
+  return Outcome::Pending;
+}
+
+void CrossShardCoordinator::on_message(const net::Principal& self,
+                                       const net::Message& msg) {
+  try {
+    if (self == config_.name) {
+      if (msg.topic == "xshard.vote") {
+        on_vote(msg);
+      } else if (msg.topic == "xshard.status") {
+        on_status(msg);
+      }
+    } else {
+      if (msg.topic == "xshard.recover") {
+        on_recover(msg);
+      } else if (msg.topic == "xshard.qreply") {
+        on_query_reply(msg);
+      }
+    }
+  } catch (const common::Error&) {
+    ++stats_.malformed;
+  }
+}
+
+void CrossShardCoordinator::on_vote(const net::Message& msg) {
+  const XVote vote = XVote::decode(msg.payload);
+  const auto it = pending_.find(vote.xid);
+  if (it == pending_.end() || it->second.decided) return;
+  Pending& p = it->second;
+  if (std::find(p.participants.begin(), p.participants.end(), vote.shard) ==
+      p.participants.end()) {
+    return;
+  }
+  if (vote.voter != shards_->primary(vote.shard)) return;
+  if (!crypto::verify(key_.group(), shards_->primary_public_key(vote.shard),
+                      vote.to_be_signed(), vote.sig)) {
+    return;
+  }
+  ++stats_.votes_received;
+  if (!vote.yes) {
+    decide(vote.xid, false, net::XAbortCause::VoteNo);
+    return;
+  }
+  p.votes.emplace(vote.shard, vote);
+  if (p.votes.size() == p.participants.size()) {
+    decide(vote.xid, true, net::XAbortCause::VoteNo);
+  }
+}
+
+XDecision CrossShardCoordinator::make_decision(
+    const std::string& xid, bool commit, const std::vector<XVote>& cert,
+    const crypto::KeyPair& key, const net::Principal& decider) const {
+  XDecision d;
+  d.xid = xid;
+  d.commit = commit;
+  d.cert = cert;
+  d.decider = decider;
+  d.sig = key.sign(d.to_be_signed());
+  return d;
+}
+
+void CrossShardCoordinator::decide(const std::string& xid, bool commit,
+                                   net::XAbortCause cause) {
+  const auto it = pending_.find(xid);
+  if (it == pending_.end() || it->second.decided) return;
+  it->second.decided = true;
+  const std::vector<std::uint64_t> participants = it->second.participants;
+  std::vector<XVote> cert;
+  if (commit) {
+    cert.reserve(it->second.votes.size());
+    for (const auto& [s, v] : it->second.votes) cert.push_back(v);
+  }
+
+  if (commit && equivocate_) {
+    // Byzantine script: log and remember a commit like an honest
+    // coordinator, then tell the lowest shard commit and the rest abort.
+    const XDecision yes = make_decision(xid, true, cert, key_, config_.name);
+    const XDecision no = make_decision(xid, false, {}, key_, config_.name);
+    wal_.append(kWalXDecision, yes.encode());
+    decided_[xid] = yes;
+    pending_.erase(xid);
+    bool first = true;
+    for (const std::uint64_t s : participants) {
+      channel_->send(config_.name, shards_->primary(s), "xshard.decision",
+                     (first ? yes : no).encode());
+      first = false;
+    }
+    return;
+  }
+
+  maybe_crash(CrashPoint::BeforeDecisionLog);
+  if (network_->crashed(config_.name)) return;
+
+  const XDecision d = make_decision(xid, commit, cert, key_, config_.name);
+  if (commit) {
+    // Presumed abort: only commits are logged. An abort needs no record —
+    // recovery answers "abort" for every begun xid without one.
+    wal_.append(kWalXDecision, d.encode());
+  }
+  maybe_crash(CrashPoint::AfterDecisionLog);
+  if (network_->crashed(config_.name)) return;
+
+  if (commit) {
+    network_->count_xshard_commit();
+    ++stats_.commits;
+  } else {
+    network_->count_xshard_abort(cause);
+    if (cause == net::XAbortCause::VoteNo) {
+      ++stats_.aborts_voteno;
+    } else {
+      ++stats_.aborts_timeout;
+    }
+  }
+  decided_[xid] = d;
+  pending_.erase(xid);
+  send_decision(d, participants);
+}
+
+void CrossShardCoordinator::send_decision(
+    const XDecision& decision, const std::vector<std::uint64_t>& shards) {
+  bool first = true;
+  for (const std::uint64_t s : shards) {
+    channel_->send(config_.name, shards_->primary(s), "xshard.decision",
+                   decision.encode());
+    if (first) {
+      first = false;
+      maybe_crash(CrashPoint::AfterFirstDecisionSend);
+      if (network_->crashed(config_.name)) return;
+    }
+  }
+}
+
+void CrossShardCoordinator::on_status(const net::Message& msg) {
+  const XStatus st = XStatus::decode(msg.payload);
+  if (const auto it = decided_.find(st.xid); it != decided_.end()) {
+    ++stats_.status_replies;
+    channel_->send(config_.name, st.requester, "xshard.decision",
+                   it->second.encode());
+    return;
+  }
+  if (const auto it = pending_.find(st.xid); it != pending_.end()) {
+    return;  // vote collection still running; the timeout will decide
+  }
+  if (!begun_.contains(st.xid)) return;  // not ours: never sign for it
+  // Begun but no decision survives: the presumption answers abort.
+  const XDecision abort_d =
+      make_decision(st.xid, false, {}, key_, config_.name);
+  decided_[st.xid] = abort_d;
+  ++stats_.status_replies;
+  channel_->send(config_.name, st.requester, "xshard.decision",
+                 abort_d.encode());
+}
+
+void CrossShardCoordinator::on_recover(const net::Message& msg) {
+  const XStatus st = XStatus::decode(msg.payload);
+  if (const auto it = standby_decided_.find(st.xid);
+      it != standby_decided_.end()) {
+    channel_->send(config_.standby, st.requester, "xshard.decision",
+                   it->second.encode());
+    return;
+  }
+  Recovery& rec = recovering_[st.xid];
+  rec.requesters.insert(st.requester);
+  if (rec.rounds == 0 && !rec.done) {
+    network_->count_xshard_failover();
+    ++stats_.failover_recoveries;
+    send_query_round(st.xid);
+  }
+}
+
+void CrossShardCoordinator::send_query_round(const std::string& xid) {
+  Recovery& rec = recovering_[xid];
+  ++rec.rounds;
+  XStatus q;
+  q.xid = xid;
+  q.requester = config_.standby;
+  for (std::uint64_t s = 0; s < shards_->shard_count(); ++s) {
+    if (rec.replies.contains(s)) continue;
+    q.shard = s;
+    channel_->send(config_.standby, shards_->primary(s), "xshard.query",
+                   q.encode());
+  }
+  network_->schedule(
+      network_->clock().now() + config_.query_timeout_us, [this, xid] {
+        if (network_->crashed(config_.standby)) return;
+        const auto it = recovering_.find(xid);
+        if (it == recovering_.end() || it->second.done) return;
+        if (it->second.rounds >= config_.max_query_rounds) {
+          // Fail closed: without a full reply set a silent shard might
+          // have applied, so no verdict is safe. Drop the attempt; a
+          // later xshard.recover restarts it.
+          ++stats_.failover_stalled;
+          recovering_.erase(it);
+          return;
+        }
+        send_query_round(xid);
+      });
+}
+
+void CrossShardCoordinator::on_query_reply(const net::Message& msg) {
+  const XQueryReply rep = XQueryReply::decode(msg.payload);
+  const auto it = recovering_.find(rep.xid);
+  if (it == recovering_.end() || it->second.done) return;
+  it->second.replies[rep.shard] = rep;
+  evaluate_recovery(rep.xid);
+}
+
+void CrossShardCoordinator::evaluate_recovery(const std::string& xid) {
+  Recovery& rec = recovering_[xid];
+  if (rec.replies.size() < shards_->shard_count()) return;
+  rec.done = true;
+  // Any decided reply wins; a commit (it carries the certificate) beats
+  // a decided abort from another shard. With a complete, commit-free,
+  // undecided reply set, abort is safe: nobody applied.
+  std::optional<XDecision> found;
+  for (const auto& [s, rep] : rec.replies) {
+    if (!rep.decided) continue;
+    try {
+      XDecision d = XDecision::decode(rep.decision);
+      if (d.xid != xid) continue;
+      if (d.commit) {
+        found = std::move(d);
+        break;
+      }
+      if (!found) found = std::move(d);
+    } catch (const common::Error&) {
+      ++stats_.malformed;
+    }
+  }
+  // Re-sign as the standby (participants that answered a query are
+  // fenced to standby decisions), keeping the original certificate so
+  // commit verification still binds to every participant's yes-vote.
+  const bool commit = found.has_value() && found->commit;
+  const XDecision verdict =
+      make_decision(xid, commit, commit ? found->cert : std::vector<XVote>{},
+                    standby_key_, config_.standby);
+  standby_decided_[xid] = verdict;
+  for (const auto& [s, rep] : rec.replies) {
+    if (rep.prepared || rep.decided) {
+      channel_->send(config_.standby, shards_->primary(s), "xshard.decision",
+                     verdict.encode());
+    }
+  }
+  recovering_.erase(xid);
+}
+
+void CrossShardCoordinator::maybe_crash(CrashPoint point) {
+  if (crash_point_ != point) return;
+  crash_point_ = CrashPoint::None;  // fire once
+  network_->crash(config_.name);
+}
+
+void CrossShardCoordinator::on_crash() {
+  pending_.clear();
+  decided_.clear();
+  begun_.clear();
+}
+
+void CrossShardCoordinator::on_restart() {
+  for (const WriteAheadLog::Record& rec : wal_.recover()) {
+    try {
+      if (rec.type == kWalXBegin) {
+        common::Reader r(rec.payload);
+        const std::string xid = r.str();
+        const std::uint64_t n = r.varint();
+        std::vector<std::uint64_t> parts;
+        parts.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) parts.push_back(r.u64());
+        begun_[xid] = std::move(parts);
+      } else if (rec.type == kWalXDecision) {
+        XDecision d = XDecision::decode(rec.payload);
+        decided_[d.xid] = std::move(d);
+      }
+    } catch (const common::Error&) {
+      ++stats_.malformed;
+    }
+  }
+  // Logged commits are re-driven; everything else begun is presumed
+  // aborted and proactively answered so prepared participants unlock.
+  for (const auto& [xid, parts] : begun_) {
+    const auto it = decided_.find(xid);
+    if (it != decided_.end()) {
+      ++stats_.decisions_resent;
+      send_decision(it->second, parts);
+    } else {
+      const XDecision abort_d =
+          make_decision(xid, false, {}, key_, config_.name);
+      decided_[xid] = abort_d;
+      ++stats_.recovery_aborts;
+      send_decision(abort_d, parts);
+    }
+  }
+}
+
+}  // namespace veil::ledger

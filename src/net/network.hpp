@@ -90,6 +90,26 @@ struct NetworkStats {
   std::uint64_t expired_validate = 0;
   std::uint64_t expired_in_flight = 0;  // reliable sends abandoned past TTL
   std::uint64_t inbox_high_water = 0;   // deepest per-receiver queue seen
+
+  // Cross-shard atomic-commit accounting (ledger/xshard.hpp). Prepares
+  // count per-participant prepare messages; commits/aborts count 2PC
+  // outcomes once per transaction, with aborts broken down by cause so
+  // operators can tell overload (timeout) from contention (vote-no) from
+  // an adversarial coordinator (equivocation). Failovers count standby
+  // takeovers that had to reconstruct in-doubt transactions.
+  std::uint64_t xshard_prepares = 0;
+  std::uint64_t xshard_commits = 0;
+  std::uint64_t xshard_aborts_voteno = 0;
+  std::uint64_t xshard_aborts_timeout = 0;
+  std::uint64_t xshard_aborts_equivocation = 0;
+  std::uint64_t xshard_failovers = 0;
+};
+
+/// Why a cross-shard transaction aborted (the counter breakdown above).
+enum class XAbortCause : std::uint8_t {
+  VoteNo = 0,
+  Timeout = 1,
+  Equivocation = 2,
 };
 
 /// Pipeline stage at which TTL'd work was found already expired. Each
@@ -211,6 +231,20 @@ class SimNetwork {
       case Stage::Endorse: ++stats_.expired_endorse; break;
       case Stage::Order: ++stats_.expired_order; break;
       case Stage::Validate: ++stats_.expired_validate; break;
+    }
+  }
+
+  /// Cross-shard 2PC accounting hooks (ledger/xshard.hpp).
+  void count_xshard_prepare() { ++stats_.xshard_prepares; }
+  void count_xshard_commit() { ++stats_.xshard_commits; }
+  void count_xshard_failover() { ++stats_.xshard_failovers; }
+  void count_xshard_abort(XAbortCause cause) {
+    switch (cause) {
+      case XAbortCause::VoteNo: ++stats_.xshard_aborts_voteno; break;
+      case XAbortCause::Timeout: ++stats_.xshard_aborts_timeout; break;
+      case XAbortCause::Equivocation:
+        ++stats_.xshard_aborts_equivocation;
+        break;
     }
   }
 

@@ -142,6 +142,13 @@ std::string render_network_stats(const NetworkStats& stats) {
   line(os, "expired: validation", stats.expired_validate);
   line(os, "expired in flight", stats.expired_in_flight);
   line(os, "inbox high water", stats.inbox_high_water);
+  os << "cross-shard atomic commit:\n";
+  line(os, "prepares sent", stats.xshard_prepares);
+  line(os, "commits", stats.xshard_commits);
+  line(os, "aborts: vote-no", stats.xshard_aborts_voteno);
+  line(os, "aborts: timeout", stats.xshard_aborts_timeout);
+  line(os, "aborts: equivocation", stats.xshard_aborts_equivocation);
+  line(os, "coordinator failovers", stats.xshard_failovers);
   return os.str();
 }
 

@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "common/serialize.hpp"
 #include "common/thread_pool.hpp"
+#include "ledger/shard.hpp"
 
 namespace veil::fabric {
 
@@ -1132,6 +1133,23 @@ const ledger::Chain& FabricNetwork::chain(const std::string& channel,
     throw common::AccessError(org + " holds no replica of " + channel);
   }
   return it->second.chain;
+}
+
+crypto::Digest FabricNetwork::state_root(const std::string& channel,
+                                         const std::string& org) const {
+  return state(channel, org).digest();
+}
+
+crypto::Digest FabricNetwork::composite_state_root(
+    const std::string& org) const {
+  std::vector<ledger::ShardRootPart> parts;
+  for (const auto& [name, ch] : channels_) {
+    const auto it = ch.replicas.find(org);
+    if (it == ch.replicas.end()) continue;
+    parts.push_back(ledger::ShardRootPart{name, it->second.chain.height(),
+                                          it->second.state.digest()});
+  }
+  return ledger::compose_roots(std::move(parts));
 }
 
 std::optional<common::Bytes> FabricNetwork::read_private(

@@ -199,6 +199,16 @@ class FabricNetwork {
   const ledger::Chain& chain(const std::string& channel,
                              const std::string& org) const;
 
+  /// Authenticated state root of one org's replica of `channel` (the
+  /// incremental trie root; member-only, same access rule as state()).
+  crypto::Digest state_root(const std::string& channel,
+                            const std::string& org) const;
+  /// Deployment-wide accumulator over every channel `org` holds a
+  /// replica of, folded with ledger::compose_roots over the per-channel
+  /// (name, height, root) triples — one digest attesting the org's whole
+  /// multi-channel view, mirroring ShardMap::composite_root().
+  crypto::Digest composite_state_root(const std::string& org) const;
+
   /// Private-data read as an org (nullopt when not a collection member).
   std::optional<common::Bytes> read_private(const std::string& channel,
                                             const std::string& collection,

@@ -41,6 +41,17 @@ std::vector<Arrival> OpenLoopGenerator::generate() {
     a.party = zipf.sample(rng_);
     a.seq = i;
     a.deadline_us = config_.ttl_us != 0 ? t + config_.ttl_us : 0;
+    // Cross-shard mix draws are gated so a cross_fraction of 0 consumes
+    // no extra randomness: pre-existing schedules stay bit-identical.
+    if (config_.cross_fraction > 0.0) {
+      a.cross = rng_.next_double() < config_.cross_fraction;
+      if (a.cross) {
+        a.party_b = zipf.sample(rng_);
+        if (a.party_b == a.party) {
+          a.party_b = (a.party + 1) % zipf.size();
+        }
+      }
+    }
     schedule.push_back(a);
   }
   return schedule;

@@ -53,6 +53,11 @@ struct OpenLoopConfig {
   common::SimTime ttl_us = 0;
   /// Schedule origin (first inter-arrival gap is added to this).
   common::SimTime start_us = 0;
+  /// Fraction of arrivals (0..1) that touch a second party's state and
+  /// therefore may span shards (the cross-shard 2PC mix for bench_scale).
+  /// At 0 the generator draws nothing extra, so existing single-shard
+  /// schedules replay bit-identically.
+  double cross_fraction = 0.0;
 };
 
 /// One scheduled submission.
@@ -61,6 +66,8 @@ struct Arrival {
   std::size_t party = 0;           // Zipf-ranked party index
   std::uint64_t seq = 0;           // 0-based arrival number
   common::SimTime deadline_us = 0; // at + ttl (0 = none)
+  bool cross = false;              // touches party_b too (cross-shard mix)
+  std::size_t party_b = 0;         // counterparty when cross
 };
 
 /// Pre-generates the full deterministic arrival schedule.

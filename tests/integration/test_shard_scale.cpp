@@ -1,0 +1,291 @@
+// Sharded scale-out chaos suite: the cross-shard atomicity invariant
+// under 20% message loss, partition-then-heal with operator redrive,
+// and an equivocating coordinator under loss. After every scenario the
+// shards must agree per transaction (no commit/abort split), honest
+// replicas must converge to bit-identical state roots, and the verified
+// composite root must attest the whole deployment or fail closed.
+//
+// Echo-window sizing: under loss the reliable channel's retry tail
+// stretches delivery (default policy: ~155 ms worst case), and conflict
+// forwarding adds a second hop. The loss scenarios therefore run with
+// echo_window_us = 400 ms — at least twice the retry tail — per the
+// sizing rule in docs/fault_model.md.
+#include <gtest/gtest.h>
+
+#include "ledger/shard.hpp"
+#include "ledger/xshard.hpp"
+#include "workload/openloop.hpp"
+
+namespace veil::ledger {
+namespace {
+
+using common::to_bytes;
+
+class ShardScaleTest : public ::testing::Test {
+ protected:
+  ShardScaleTest()
+      : net_(common::Rng(700)),
+        channel_(net_),
+        rng_(701),
+        shards_(net_, channel_, crypto::Group::test_group(), rng_, config()),
+        coord_(net_, channel_, shards_, crypto::Group::test_group(), rng_) {}
+
+  static ShardConfig config() {
+    ShardConfig cfg;
+    cfg.shard_count = 2;
+    cfg.replicas_per_shard = 1;
+    cfg.block_size = 2;
+    cfg.echo_window_us = 400'000;  // covers the retry tail twice (see above)
+    return cfg;
+  }
+
+  std::string key_on(std::uint64_t shard, int seq) const {
+    for (int i = 0;; ++i) {
+      const std::string k =
+          "acct/" + std::to_string(seq) + "/" + std::to_string(i);
+      if (shards_.shard_for_key(k) == shard) return k;
+    }
+  }
+
+  Transaction cross_tx(int seq) const {
+    Transaction tx;
+    tx.channel = "scale";
+    tx.contract = "pay";
+    tx.action = "move";
+    tx.timestamp = static_cast<common::SimTime>(seq);
+    tx.writes.push_back({key_on(0, seq), to_bytes("a"), false});
+    tx.writes.push_back({key_on(1, seq), to_bytes("b"), false});
+    return tx;
+  }
+
+  Transaction local_tx(std::uint64_t shard, int seq) {
+    Transaction tx;
+    tx.channel = "scale";
+    tx.timestamp = static_cast<common::SimTime>(1000 + seq);
+    tx.writes.push_back(
+        {key_on(shard, 1000 + seq), to_bytes("local"), false});
+    return tx;
+  }
+
+  /// The headline invariant: per xid, no shard committed while another
+  /// aborted; a committed verdict applied the write on BOTH shards.
+  void expect_atomic(const Transaction& tx, const std::string& xid) {
+    const auto o0 = shards_.outcome(0, xid);
+    const auto o1 = shards_.outcome(1, xid);
+    const bool c0 = o0 == ShardMap::Outcome::Committed;
+    const bool c1 = o1 == ShardMap::Outcome::Committed;
+    EXPECT_FALSE(c0 && o1 == ShardMap::Outcome::Aborted) << xid;
+    EXPECT_FALSE(c1 && o0 == ShardMap::Outcome::Aborted) << xid;
+    EXPECT_EQ(shards_.get(tx.writes[0].key).has_value(), c0) << xid;
+    EXPECT_EQ(shards_.get(tx.writes[1].key).has_value(), c1) << xid;
+    if (c0 || c1) {
+      EXPECT_TRUE(c0 && c1) << xid << ": commit applied on one shard only";
+    }
+  }
+
+  /// Honest replicas bit-identical after a final flush + resync.
+  void expect_replicas_converged() {
+    shards_.flush_all();
+    net_.run();
+    shards_.resync_all();
+    net_.run();
+    for (std::uint64_t s = 0; s < shards_.shard_count(); ++s) {
+      EXPECT_EQ(shards_.replica_root(s, 0), shards_.shard_root(s))
+          << "shard " << s << " replica diverged";
+    }
+    EXPECT_EQ(shards_.verified_composite_root(), shards_.composite_root());
+  }
+
+  net::SimNetwork net_;
+  net::ReliableChannel channel_;
+  common::Rng rng_;
+  ShardMap shards_;
+  CrossShardCoordinator coord_;
+};
+
+TEST_F(ShardScaleTest, AtomicityHoldsAtTwentyPercentLoss) {
+  net_.set_drop_probability(0.2);
+
+  std::vector<std::pair<Transaction, std::string>> inflight;
+  for (int i = 0; i < 8; ++i) {
+    const Transaction tx = cross_tx(i);
+    inflight.emplace_back(tx, coord_.begin(tx));
+    shards_.submit(local_tx(static_cast<std::uint64_t>(i % 2), i));
+  }
+  net_.run();
+  // A second pass re-arms anything the bounded escalation gave up on.
+  shards_.redrive_indoubt();
+  net_.run();
+
+  std::size_t commits = 0;
+  for (const auto& [tx, xid] : inflight) {
+    expect_atomic(tx, xid);
+    if (shards_.outcome(0, xid) == ShardMap::Outcome::Committed) ++commits;
+  }
+  // The reliable channel keeps goodput alive under loss: most commit.
+  EXPECT_GE(commits, 4u);
+  net_.set_drop_probability(0.0);
+  expect_replicas_converged();
+}
+
+TEST_F(ShardScaleTest, PartitionThenHealRedriveResolvesInDoubt) {
+  // Decision durable but never sent (coordinator dies), then a partition
+  // cuts shard 0 off from the standby. Both participants sit prepared;
+  // every bounded escalation path stalls fail-closed (no unilateral
+  // abort with an incomplete reply set — a silent shard might have
+  // applied). Healing plus an operator redrive lets the standby gather
+  // the full prepared-only reply set and abort both sides.
+  coord_.arm_crash(CrossShardCoordinator::CrashPoint::AfterDecisionLog);
+  const Transaction tx = cross_tx(50);
+  const std::string xid = coord_.begin(tx);
+  net_.schedule(net_.clock().now() + 3'000, [&] {
+    net_.set_partitions(
+        {{shards_.primary(0), shards_.primary(0) + "-r0"},
+         {shards_.primary(1), shards_.primary(1) + "-r0", coord_.name(),
+          coord_.standby_name()}});
+  });
+  net_.run();
+
+  // Wedged: both prepared, nobody decided, escalation gave up cleanly.
+  ASSERT_EQ(shards_.outcome(0, xid), ShardMap::Outcome::Prepared);
+  ASSERT_EQ(shards_.outcome(1, xid), ShardMap::Outcome::Prepared);
+  EXPECT_GE(shards_.stats().indoubt_stalled + coord_.stats().failover_stalled,
+            1u);
+  // Locks held while in doubt: the shard-0 key is untouchable.
+  Transaction blocked;
+  blocked.channel = "scale";
+  blocked.timestamp = 51;
+  blocked.writes.push_back({tx.writes[0].key, to_bytes("nope"), false});
+  EXPECT_FALSE(shards_.submit(blocked).accepted);
+
+  net_.set_partitions({});
+  shards_.redrive_indoubt();
+  net_.run();
+
+  EXPECT_EQ(shards_.outcome(0, xid), ShardMap::Outcome::Aborted);
+  EXPECT_EQ(shards_.outcome(1, xid), ShardMap::Outcome::Aborted);
+  EXPECT_GE(coord_.stats().failover_recoveries, 1u);
+  EXPECT_GE(net_.stats().xshard_failovers, 1u);
+  expect_atomic(tx, xid);
+  expect_replicas_converged();
+}
+
+TEST_F(ShardScaleTest, StandbyCompletesPartiallyDeliveredCommit) {
+  // Shard 1 crashes right after voting yes; the coordinator commits,
+  // reaches only shard 0, and dies. Shard 0 finalizes its commit alone
+  // (the echo to the dead shard 1 exhausts its retries). The restarted
+  // shard 1 escalates to the standby, whose full reply set contains
+  // shard 0's durable commit certificate — the standby re-signs the
+  // commit and shard 1 (fenced by its query answer) applies it.
+  shards_.arm_primary_crash(1, ShardMap::PCrashPoint::AfterVoteSend);
+  coord_.arm_crash(CrossShardCoordinator::CrashPoint::AfterFirstDecisionSend);
+  const Transaction tx = cross_tx(55);
+  const std::string xid = coord_.begin(tx);
+  net_.schedule(net_.clock().now() + 500'000,
+                [&] { net_.restart(shards_.primary(1)); });
+  net_.run();
+
+  EXPECT_EQ(shards_.outcome(0, xid), ShardMap::Outcome::Committed);
+  EXPECT_EQ(shards_.outcome(1, xid), ShardMap::Outcome::Committed);
+  EXPECT_GE(coord_.stats().failover_recoveries, 1u);
+  EXPECT_GE(net_.stats().xshard_failovers, 1u);
+  expect_atomic(tx, xid);
+  expect_replicas_converged();
+}
+
+TEST_F(ShardScaleTest, EquivocatingCoordinatorUnderLossNeverSplits) {
+  net_.set_drop_probability(0.1);
+  coord_.set_equivocate(true);
+  const Transaction tx = cross_tx(60);
+  const std::string xid = coord_.begin(tx);
+  net_.run();
+  shards_.redrive_indoubt();
+  net_.run();
+
+  expect_atomic(tx, xid);
+  // If both sides of the equivocation survived the loss, the conviction
+  // fired: evidence recorded, coordinator quarantined, everyone aborted.
+  if (shards_.stats().echo_conflicts > 0) {
+    ASSERT_GE(shards_.evidence().entries().size(), 1u);
+    EXPECT_EQ(shards_.evidence().entries()[0].kind,
+              audit::Misbehavior::CoordinatorEquivocation);
+    EXPECT_TRUE(net_.is_quarantined(coord_.name()));
+    EXPECT_NE(shards_.outcome(0, xid), ShardMap::Outcome::Committed);
+    EXPECT_NE(shards_.outcome(1, xid), ShardMap::Outcome::Committed);
+  }
+  net_.set_drop_probability(0.0);
+  net_.release(coord_.name());
+  expect_replicas_converged();
+}
+
+TEST_F(ShardScaleTest, CrashDuringLossyTrafficStaysAtomic) {
+  net_.set_drop_probability(0.2);
+  shards_.arm_primary_crash(1, ShardMap::PCrashPoint::AfterVoteSend);
+  std::vector<std::pair<Transaction, std::string>> inflight;
+  for (int i = 70; i < 74; ++i) {
+    const Transaction tx = cross_tx(i);
+    inflight.emplace_back(tx, coord_.begin(tx));
+  }
+  net_.schedule(net_.clock().now() + 150'000,
+                [&] { net_.restart(shards_.primary(1)); });
+  net_.run();
+  shards_.redrive_indoubt();
+  net_.run();
+
+  for (const auto& [tx, xid] : inflight) expect_atomic(tx, xid);
+  net_.set_drop_probability(0.0);
+  expect_replicas_converged();
+}
+
+TEST_F(ShardScaleTest, ZipfCrossShardWorkloadDrives2pc) {
+  // The bench_scale workload path in miniature: an open-loop Zipf
+  // schedule with a 30% cross-party mix, routed through submit() for
+  // single-shard arrivals and the coordinator for cross-shard ones.
+  workload::OpenLoopConfig wcfg;
+  wcfg.offered_per_s = 2'000.0;
+  wcfg.arrivals = 60;
+  wcfg.parties = 40;
+  wcfg.zipf_s = 1.0;
+  wcfg.cross_fraction = 0.3;
+  workload::OpenLoopGenerator gen(wcfg, 99);
+  const std::vector<workload::Arrival> schedule = gen.generate();
+
+  std::size_t cross = 0, xid_count = 0;
+  std::vector<std::pair<Transaction, std::string>> inflight;
+  for (const workload::Arrival& a : schedule) {
+    const std::string ka = "party/" + std::to_string(a.party) + "/bal";
+    Transaction tx;
+    tx.channel = "scale";
+    tx.timestamp = a.at;
+    tx.writes.push_back({ka, to_bytes("v"), false});
+    if (a.cross) {
+      ++cross;
+      const std::string kb = "party/" + std::to_string(a.party_b) + "/bal";
+      tx.writes.push_back({kb, to_bytes("w"), false});
+      if (shards_.shard_for_key(ka) != shards_.shard_for_key(kb)) {
+        inflight.emplace_back(tx, coord_.begin(tx));
+        ++xid_count;
+        continue;
+      }
+    }
+    shards_.submit(tx);  // single-shard (locked keys may refuse; fine)
+  }
+  net_.run();
+
+  EXPECT_GT(cross, 0u);
+  EXPECT_GT(xid_count, 0u);
+  for (const auto& [tx, xid] : inflight) {
+    const auto o0 = shards_.outcome(shards_.shard_for_key(tx.writes[0].key), xid);
+    const auto o1 = shards_.outcome(shards_.shard_for_key(tx.writes[1].key), xid);
+    const bool split = (o0 == ShardMap::Outcome::Committed &&
+                        o1 == ShardMap::Outcome::Aborted) ||
+                       (o1 == ShardMap::Outcome::Committed &&
+                        o0 == ShardMap::Outcome::Aborted);
+    EXPECT_FALSE(split) << xid;
+  }
+  EXPECT_GT(shards_.stats().xcommitted + shards_.stats().committed, 0u);
+  expect_replicas_converged();
+}
+
+}  // namespace
+}  // namespace veil::ledger

@@ -123,5 +123,25 @@ TEST(Report, NetworkStatsRenderOverloadCounters) {
   }
 }
 
+TEST(Report, NetworkStatsRenderCrossShardCounters) {
+  NetworkStats stats;
+  stats.xshard_prepares = 31;
+  stats.xshard_commits = 32;
+  stats.xshard_aborts_voteno = 33;
+  stats.xshard_aborts_timeout = 34;
+  stats.xshard_aborts_equivocation = 35;
+  stats.xshard_failovers = 36;
+  const std::string out = render_network_stats(stats);
+  EXPECT_NE(out.find("cross-shard atomic commit:"), std::string::npos);
+  for (const char* label :
+       {"prepares sent", "commits", "aborts: vote-no", "aborts: timeout",
+        "aborts: equivocation", "coordinator failovers"}) {
+    EXPECT_NE(out.find(label), std::string::npos) << label;
+  }
+  for (int v = 31; v <= 36; ++v) {
+    EXPECT_NE(out.find(std::to_string(v)), std::string::npos) << v;
+  }
+}
+
 }  // namespace
 }  // namespace veil::net

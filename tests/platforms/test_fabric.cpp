@@ -79,6 +79,37 @@ TEST_F(FabricTest, UnknownChaincodeRejected) {
   EXPECT_EQ(receipt.reason, "chaincode not installed on channel");
 }
 
+TEST_F(FabricTest, StateAndCompositeRoots) {
+  // Per-channel roots are just the authenticated trie digest; the
+  // composite root folds every channel an org belongs to (ledger
+  // compose_roots), so it moves when any member channel commits and
+  // differs between orgs with different channel memberships.
+  fab_.create_channel("ops", {"OrgA", "OrgC"});
+  fab_.install_chaincode("ops", "OrgA", kv_chaincode(),
+                         contracts::EndorsementPolicy::require("OrgA"));
+
+  const crypto::Digest a0 = fab_.composite_state_root("OrgA");
+  EXPECT_NE(fab_.composite_state_root("OrgB"), a0);  // OrgB lacks "ops"
+
+  ASSERT_TRUE(fab_.submit("trade", "OrgA", "kv", "put:deal", to_bytes("1"))
+                  .committed);
+  EXPECT_EQ(fab_.state_root("trade", "OrgA"),
+            fab_.state("trade", "OrgA").digest());
+  // Members agree per channel; the composite moved for both members.
+  EXPECT_EQ(fab_.state_root("trade", "OrgA"), fab_.state_root("trade", "OrgB"));
+  const crypto::Digest a1 = fab_.composite_state_root("OrgA");
+  EXPECT_NE(a1, a0);
+
+  // A commit on "ops" moves OrgA's composite but not OrgB's.
+  const crypto::Digest b1 = fab_.composite_state_root("OrgB");
+  ASSERT_TRUE(
+      fab_.submit("ops", "OrgA", "kv", "put:cfg", to_bytes("2")).committed);
+  EXPECT_NE(fab_.composite_state_root("OrgA"), a1);
+  EXPECT_EQ(fab_.composite_state_root("OrgB"), b1);
+  // Non-members cannot read a channel root at all.
+  EXPECT_THROW(fab_.state_root("ops", "OrgB"), common::AccessError);
+}
+
 TEST_F(FabricTest, RejectedInvocationDoesNotCommit) {
   const auto receipt = fab_.submit("trade", "OrgA", "kv", "reject", {});
   EXPECT_FALSE(receipt.committed);

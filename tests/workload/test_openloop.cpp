@@ -94,6 +94,40 @@ TEST(OpenLoop, ZipfExponentZeroIsUniform) {
   }
 }
 
+TEST(OpenLoop, CrossFractionZeroLeavesScheduleUntouched) {
+  // cross_fraction = 0 must not draw from the RNG at all, so schedules
+  // generated before the knob existed replay bit-identically.
+  OpenLoopConfig config;
+  config.arrivals = 400;
+  config.parties = 8;
+  for (const Arrival& a : OpenLoopGenerator(config, 21).generate()) {
+    EXPECT_FALSE(a.cross);
+    EXPECT_EQ(a.party_b, 0u);
+  }
+}
+
+TEST(OpenLoop, CrossFractionMarksArrivalsDeterministically) {
+  OpenLoopConfig config;
+  config.arrivals = 4'000;
+  config.parties = 16;
+  config.cross_fraction = 0.3;
+  const auto a = OpenLoopGenerator(config, 23).generate();
+  const auto b = OpenLoopGenerator(config, 23).generate();
+  std::size_t cross = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cross, b[i].cross);
+    EXPECT_EQ(a[i].party_b, b[i].party_b);
+    if (a[i].cross) {
+      ++cross;
+      ASSERT_LT(a[i].party_b, config.parties);
+      EXPECT_NE(a[i].party_b, a[i].party);  // two distinct legs
+    }
+  }
+  // ~30% of 4000 = 1200; allow generous sampling slack.
+  EXPECT_GT(cross, 1'000u);
+  EXPECT_LT(cross, 1'400u);
+}
+
 TEST(OpenLoop, LatencyRecorderNearestRankPercentiles) {
   LatencyRecorder rec;
   EXPECT_EQ(rec.percentile(50), 0u);  // empty recorder
