@@ -1,0 +1,141 @@
+// Transport backend study: the cost of real sockets.
+//
+// The engine layer is backend-invariant (same modeled faults, same
+// delivery order, same stats), so this sweep isolates what the TCP tier
+// itself costs: framing, syscalls, the poll loop, and — in the chaos
+// series — the fault injector's partial writes, short reads and resets
+// plus the supervisor/resumption work they force.
+//
+// Series:
+//   * BM_NetThroughput/<backend>/<payload>/<pairs> — batched one-way
+//     delivery over `pairs` independent links, messages and bytes per
+//     wall-second
+//   * BM_NetBarrierRoundTrip/<backend>             — send + run()
+//     quiescence barrier per message; p50/p99 wall-clock micros as
+//     counters
+//
+// backend arg: 0 = SimNetwork (in-process), 1 = TcpTransport (loopback),
+// 2 = TcpTransport with SocketFaultProfile::uniform(0.1) injected chaos.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+
+namespace {
+
+using namespace veil;
+
+std::unique_ptr<net::Transport> make_backend(int which) {
+  switch (which) {
+    case 0:
+      return std::make_unique<net::SimNetwork>(common::Rng(7));
+    case 1:
+      return std::make_unique<net::TcpTransport>(common::Rng(7));
+    default: {
+      net::TcpConfig config;
+      config.fault_seed = 7;
+      config.faults = net::SocketFaultProfile::uniform(0.1);
+      return std::make_unique<net::TcpTransport>(common::Rng(7),
+                                                 net::LatencyModel{}, config);
+    }
+  }
+}
+
+const char* backend_name(int which) {
+  switch (which) {
+    case 0:
+      return "sim";
+    case 1:
+      return "tcp";
+    default:
+      return "tcp_chaos";
+  }
+}
+
+void stamp_backend(benchmark::State& state, const net::Transport& net) {
+  state.SetLabel(backend_name(static_cast<int>(state.range(0))));
+  state.counters["tcp_connects"] =
+      static_cast<double>(net.stats().tcp_connects);
+  state.counters["tcp_reconnects"] =
+      static_cast<double>(net.stats().tcp_reconnects);
+  state.counters["injected_faults"] =
+      static_cast<double>(net.stats().tcp_injected_faults);
+}
+
+// One-way bulk delivery, 64 messages per run() barrier, spread
+// round-robin over `pairs` independent sender->receiver links (on the
+// TCP backend: that many real connections and poll-loop threads).
+void BM_NetThroughput(benchmark::State& state) {
+  auto net = make_backend(static_cast<int>(state.range(0)));
+  const std::size_t payload_len = static_cast<std::size_t>(state.range(1));
+  const int pairs = static_cast<int>(state.range(2));
+  const common::Bytes payload(payload_len, 0xab);
+  std::uint64_t delivered = 0;
+  std::vector<std::string> senders;
+  std::vector<std::string> receivers;
+  for (int p = 0; p < pairs; ++p) {
+    senders.push_back("a" + std::to_string(p));
+    receivers.push_back("b" + std::to_string(p));
+    net->attach(senders.back(), [](const net::Message&) {});
+    net->attach(receivers.back(), [&](const net::Message&) { ++delivered; });
+  }
+  constexpr int kBatch = 64;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      const std::size_t p = static_cast<std::size_t>(i % pairs);
+      net->send(senders[p], receivers[p], "bench", payload);
+    }
+    net->run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(delivered));
+  state.SetBytesProcessed(
+      static_cast<int64_t>(delivered * payload_len));
+  stamp_backend(state, *net);
+}
+BENCHMARK(BM_NetThroughput)
+    ->ArgsProduct({{0, 1, 2}, {64, 1024, 8192}, {1, 4}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Send one message and wait for the quiescence barrier: the latency a
+// lock-step protocol round pays per hop. p50/p99 over the sampled
+// iterations, in wall-clock microseconds.
+void BM_NetBarrierRoundTrip(benchmark::State& state) {
+  auto net = make_backend(static_cast<int>(state.range(0)));
+  const common::Bytes payload(256, 0xcd);
+  net->attach("a", [](const net::Message&) {});
+  net->attach("b", [](const net::Message&) {});
+  std::vector<double> samples_us;
+  samples_us.reserve(4096);
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    net->send("a", "b", "rt", payload);
+    net->run();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  std::sort(samples_us.begin(), samples_us.end());
+  const auto pct = [&](double p) {
+    if (samples_us.empty()) return 0.0;
+    const std::size_t idx = std::min(
+        samples_us.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(samples_us.size())));
+    return samples_us[idx];
+  };
+  state.counters["p50_us"] = pct(0.50);
+  state.counters["p99_us"] = pct(0.99);
+  state.SetItemsProcessed(static_cast<int64_t>(samples_us.size()));
+  stamp_backend(state, *net);
+}
+BENCHMARK(BM_NetBarrierRoundTrip)
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -18,6 +18,7 @@
 #   BENCH_SKIP_OVERLOAD=1 bench/run_benches.sh    # skip overload sweep
 #   BENCH_SKIP_STATE=1 bench/run_benches.sh       # skip state-store study
 #   BENCH_SKIP_SCALE=1 bench/run_benches.sh       # skip sharded scale study
+#   BENCH_SKIP_NET=1 bench/run_benches.sh         # skip transport backend study
 #   BENCH_ALLOW_DEBUG=1 bench/run_benches.sh      # permit non-Release builds
 #   BUILD_DIR=out bench/run_benches.sh
 set -euo pipefail
@@ -324,6 +325,46 @@ PY
       echo "wrote $STATE_OUT"
     else
       echo "bench_state produced no output; $STATE_OUT left untouched" >&2
+    fi
+    trap - EXIT
+  fi
+fi
+
+# ---- Transport backend study -------------------------------------------------
+# SimNetwork vs loopback TCP vs TCP with 10% injected socket chaos:
+# batched one-way throughput across 64B/1KiB/8KiB payloads and the
+# per-message quiescence-barrier round trip (p50/p99 wall micros), into
+# BENCH_net.json. The quoted claim: the TCP tier costs syscalls and
+# microseconds, never messages — delivered counts match the sim backend
+# in every series, with or without injected faults.
+if [[ -z "${BENCH_SKIP_NET:-}" ]]; then
+  NET_OUT="${BENCH_NET_OUT:-$ROOT/BENCH_net.json}"
+  if [[ ! -x "$BUILD/bench/bench_net" ]]; then
+    echo "bench_net not built; skipping transport backend study" >&2
+  else
+    NTMP="$(mktemp "${NET_OUT}.XXXXXX")"
+    trap 'rm -f "$NTMP"' EXIT
+    "$BUILD/bench/bench_net" \
+      --benchmark_out="$NTMP" \
+      --benchmark_out_format=json \
+      --benchmark_repetitions="${BENCH_REPS:-1}"
+    if [[ -s "$NTMP" ]]; then
+      mv "$NTMP" "$NET_OUT"
+      python3 - "$NET_OUT" <<'PY'
+import json, os, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+data["context"]["build_type"] = os.environ.get("VEIL_BENCH_BUILD_TYPE", "unknown")
+data["context"]["backend_args"] = {
+    "0": "sim", "1": "tcp", "2": "tcp + uniform(0.1) socket faults"}
+data["context"]["throughput_args"] = "backend, payload_bytes, link_pairs"
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+PY
+      echo "wrote $NET_OUT"
+    else
+      echo "bench_net produced no output; $NET_OUT left untouched" >&2
     fi
     trap - EXIT
   fi

@@ -74,7 +74,7 @@ ShardRootVote ShardRootVote::decode(common::BytesView data) {
 
 // ---- ShardMap -------------------------------------------------------------
 
-ShardMap::ShardMap(net::SimNetwork& network, net::ReliableChannel& channel,
+ShardMap::ShardMap(net::Transport& network, net::ReliableChannel& channel,
                    const crypto::Group& group, common::Rng& rng,
                    ShardConfig config)
     : network_(&network),

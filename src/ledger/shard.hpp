@@ -157,7 +157,7 @@ struct ShardMapStats {
 
 class ShardMap {
  public:
-  ShardMap(net::SimNetwork& network, net::ReliableChannel& channel,
+  ShardMap(net::Transport& network, net::ReliableChannel& channel,
            const crypto::Group& group, common::Rng& rng,
            ShardConfig config = {});
 
@@ -304,7 +304,7 @@ class ShardMap {
 
   const CoordinatorInfo* coordinator_info(const net::Principal& name) const;
 
-  net::SimNetwork* network_;
+  net::Transport* network_;
   net::ReliableChannel* channel_;
   const crypto::Group* group_;
   ShardConfig config_;

@@ -162,7 +162,7 @@ XQueryReply XQueryReply::decode(common::BytesView data) {
 
 // ---- Coordinator ----------------------------------------------------------
 
-CrossShardCoordinator::CrossShardCoordinator(net::SimNetwork& network,
+CrossShardCoordinator::CrossShardCoordinator(net::Transport& network,
                                              net::ReliableChannel& channel,
                                              ShardMap& shards,
                                              const crypto::Group& group,

@@ -179,7 +179,7 @@ struct XShardStats {
 
 class CrossShardCoordinator {
  public:
-  CrossShardCoordinator(net::SimNetwork& network, net::ReliableChannel& channel,
+  CrossShardCoordinator(net::Transport& network, net::ReliableChannel& channel,
                         ShardMap& shards, const crypto::Group& group,
                         common::Rng& rng, CoordinatorConfig config = {});
 
@@ -252,7 +252,7 @@ class CrossShardCoordinator {
   void on_crash();
   void on_restart();
 
-  net::SimNetwork* network_;
+  net::Transport* network_;
   net::ReliableChannel* channel_;
   ShardMap* shards_;
   CoordinatorConfig config_;

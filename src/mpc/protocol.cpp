@@ -24,7 +24,7 @@ crypto::Share decode_share(common::BytesView data) {
 
 }  // namespace
 
-SecureSum::SecureSum(crypto::Shamir field, net::SimNetwork& network)
+SecureSum::SecureSum(crypto::Shamir field, net::Transport& network)
     : field_(std::move(field)), network_(&network) {}
 
 MpcResult SecureSum::run(const std::map<std::string, crypto::BigInt>& inputs,
@@ -115,7 +115,7 @@ MpcResult SecureSum::run(const std::map<std::string, crypto::BigInt>& inputs,
 }
 
 BallotResult secret_ballot(const crypto::Shamir& field,
-                           net::SimNetwork& network,
+                           net::Transport& network,
                            const std::map<std::string, bool>& votes,
                            common::Rng& rng) {
   std::map<std::string, crypto::BigInt> inputs;

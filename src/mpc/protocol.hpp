@@ -37,7 +37,7 @@ struct MpcResult {
 class SecureSum {
  public:
   /// `field` must exceed any possible sum of inputs.
-  SecureSum(crypto::Shamir field, net::SimNetwork& network);
+  SecureSum(crypto::Shamir field, net::Transport& network);
 
   /// Run the protocol among `inputs.size()` parties (name -> private
   /// input). Every party learns only the sum. Requires >= 2 parties.
@@ -46,7 +46,7 @@ class SecureSum {
 
  private:
   crypto::Shamir field_;
-  net::SimNetwork* network_;
+  net::Transport* network_;
 };
 
 /// Secret ballot (§3.2's example of a shared function on private
@@ -58,7 +58,7 @@ struct BallotResult {
 };
 
 BallotResult secret_ballot(const crypto::Shamir& field,
-                           net::SimNetwork& network,
+                           net::Transport& network,
                            const std::map<std::string, bool>& votes,
                            common::Rng& rng);
 

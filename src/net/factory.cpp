@@ -1,0 +1,44 @@
+#include "net/factory.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+
+namespace veil::net {
+
+namespace {
+
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
+}
+
+}  // namespace
+
+bool tcp_transport_selected() { return env_or("VEIL_TRANSPORT", "sim") == "tcp"; }
+
+std::unique_ptr<Transport> make_transport(common::Rng rng,
+                                          LatencyModel latency) {
+  const std::string backend = env_or("VEIL_TRANSPORT", "sim");
+  if (backend == "sim") {
+    return std::make_unique<SimNetwork>(std::move(rng), latency);
+  }
+  if (backend == "tcp") {
+    TcpConfig config;
+    const std::string rate = env_or("VEIL_TCP_FAULT_RATE", "");
+    if (!rate.empty()) {
+      config.faults = SocketFaultProfile::uniform(std::stod(rate));
+    }
+    const std::string seed = env_or("VEIL_TCP_FAULT_SEED", "");
+    if (!seed.empty()) {
+      config.fault_seed = std::stoull(seed);
+    }
+    return std::make_unique<TcpTransport>(std::move(rng), latency, config);
+  }
+  throw common::ProtocolError("unknown VEIL_TRANSPORT backend: " + backend);
+}
+
+}  // namespace veil::net

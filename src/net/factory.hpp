@@ -1,0 +1,32 @@
+// Backend selection for tests and demos.
+//
+// make_transport() builds the backend named by VEIL_TRANSPORT:
+//   (unset) / "sim"  SimNetwork — deterministic in-process queue
+//   "tcp"            TcpTransport — real loopback sockets
+// Because the engine guarantees backend-invariant delivery, a suite that
+// constructs its network through this factory runs bit-identically under
+// either value; CI's tcp-loopback job is exactly that flip of an env var.
+//
+// TCP knobs (ignored on sim):
+//   VEIL_TCP_FAULT_RATE  double in [0,1): drive the socket fault injector
+//                        with SocketFaultProfile::uniform(rate)
+//   VEIL_TCP_FAULT_SEED  u64 persona seed for the injector (default keeps
+//                        TcpConfig's)
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+
+namespace veil::net {
+
+/// True when VEIL_TRANSPORT selects the TCP backend.
+bool tcp_transport_selected();
+
+/// Build the backend selected by the environment (see file comment).
+/// Throws common::ProtocolError on an unknown VEIL_TRANSPORT value.
+std::unique_ptr<Transport> make_transport(common::Rng rng,
+                                          LatencyModel latency = {});
+
+}  // namespace veil::net

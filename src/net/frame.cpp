@@ -1,0 +1,208 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace veil::net {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31524656;  // "VFR1" little-endian
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* data,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void put_u32(common::Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(common::Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+bool valid_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::Hello) &&
+         t <= static_cast<std::uint8_t>(FrameType::Pong);
+}
+
+}  // namespace
+
+common::Bytes Frame::encode() const {
+  common::Bytes out;
+  out.reserve(kHeaderSize + body.size() + kChecksumSize);
+  put_u32(out, kMagic);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u64(out, link_seq);
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  put_u64(out, fnv1a(kFnvOffset, out.data(), out.size()));
+  return out;
+}
+
+Frame Frame::decode(common::BytesView wire) {
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  Frame frame;
+  if (!decoder.next(frame)) {
+    throw common::ProtocolError("frame: truncated");
+  }
+  if (decoder.buffered() != 0) {
+    throw common::ProtocolError("frame: trailing bytes");
+  }
+  return frame;
+}
+
+void FrameDecoder::feed(common::BytesView chunk) {
+  if (poisoned_) throw common::ProtocolError("frame: decoder poisoned");
+  // Compact consumed prefix before growing; keeps the buffer bounded by
+  // one partial frame plus whatever one read returned.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 4096) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+}
+
+bool FrameDecoder::next(Frame& out) {
+  if (poisoned_) throw common::ProtocolError("frame: decoder poisoned");
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < Frame::kHeaderSize) return false;
+  const std::uint8_t* p = buf_.data() + pos_;
+  if (get_u32(p) != kMagic) {
+    poisoned_ = true;
+    throw common::ProtocolError("frame: bad magic");
+  }
+  const std::uint8_t type = p[4];
+  if (!valid_type(type)) {
+    poisoned_ = true;
+    throw common::ProtocolError("frame: unknown type");
+  }
+  const std::uint64_t link_seq = get_u64(p + 5);
+  const std::uint32_t body_len = get_u32(p + 13);
+  if (body_len > Frame::kMaxBody) {
+    // An attacker (or torn stream misread) declaring a huge length must
+    // not make us buffer it; reject before allocating.
+    poisoned_ = true;
+    throw common::ProtocolError("frame: oversized declared length");
+  }
+  const std::size_t total =
+      Frame::kHeaderSize + body_len + Frame::kChecksumSize;
+  if (avail < total) return false;
+  const std::uint64_t declared =
+      get_u64(p + Frame::kHeaderSize + body_len);
+  const std::uint64_t actual =
+      fnv1a(kFnvOffset, p, Frame::kHeaderSize + body_len);
+  if (declared != actual) {
+    poisoned_ = true;
+    throw common::ProtocolError("frame: checksum mismatch");
+  }
+  out.type = static_cast<FrameType>(type);
+  out.link_seq = link_seq;
+  out.body.assign(p + Frame::kHeaderSize, p + Frame::kHeaderSize + body_len);
+  pos_ += total;
+  return true;
+}
+
+common::Bytes WireMessage::encode() const {
+  common::Writer w;
+  w.str(message.from);
+  w.str(message.to);
+  w.str(message.topic);
+  w.bytes(message.payload);
+  w.u64(message.sent_at);
+  w.u64(message.delivered_at);
+  w.u64(engine_seq);
+  return w.take();
+}
+
+WireMessage WireMessage::decode(common::BytesView data) {
+  common::Reader r(data);
+  WireMessage m;
+  m.message.from = r.str();
+  m.message.to = r.str();
+  m.message.topic = r.str();
+  m.message.payload = r.bytes();
+  m.message.sent_at = r.u64();
+  m.message.delivered_at = r.u64();
+  m.engine_seq = r.u64();
+  if (!r.done()) throw common::ProtocolError("wire message: trailing bytes");
+  return m;
+}
+
+common::Bytes HelloBody::encode() const {
+  common::Writer w;
+  w.str(from);
+  w.str(to);
+  w.u64(epoch);
+  return w.take();
+}
+
+HelloBody HelloBody::decode(common::BytesView data) {
+  common::Reader r(data);
+  HelloBody h;
+  h.from = r.str();
+  h.to = r.str();
+  h.epoch = r.u64();
+  if (!r.done()) throw common::ProtocolError("hello: trailing bytes");
+  return h;
+}
+
+common::Bytes WelcomeBody::encode() const {
+  common::Writer w;
+  w.u64(last_recv_seq);
+  return w.take();
+}
+
+WelcomeBody WelcomeBody::decode(common::BytesView data) {
+  common::Reader r(data);
+  WelcomeBody wb;
+  wb.last_recv_seq = r.u64();
+  if (!r.done()) throw common::ProtocolError("welcome: trailing bytes");
+  return wb;
+}
+
+common::Bytes AckBody::encode() const {
+  common::Writer w;
+  w.u64(cum_seq);
+  return w.take();
+}
+
+AckBody AckBody::decode(common::BytesView data) {
+  common::Reader r(data);
+  AckBody a;
+  a.cum_seq = r.u64();
+  if (!r.done()) throw common::ProtocolError("ack: trailing bytes");
+  return a;
+}
+
+}  // namespace veil::net

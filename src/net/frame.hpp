@@ -1,0 +1,132 @@
+// Wire framing for the real-socket transport.
+//
+// TCP is a byte stream: a read can return half a length prefix, three
+// frames and a torn tail, or one byte — and a fault-injected stream will.
+// Every frame is length-prefixed and checksummed so the decoder can (a)
+// reassemble messages across arbitrary read boundaries and (b) detect a
+// torn or corrupted stream *deterministically* instead of desynchronizing
+// and misparsing everything after the damage. A checksum failure poisons
+// the decoder: framing is unrecoverable within a connection, so the
+// supervisor kills the socket and session resumption replays the unacked
+// tail on the next connection — corruption costs a reconnect, never a
+// lost or duplicated message.
+//
+// Frame layout (little-endian):
+//   u32  magic     "VFR1"
+//   u8   type      FrameType
+//   u64  link_seq  per-link Data sequence (0 on control frames)
+//   u32  body_len  <= kMaxBody
+//   ...  body
+//   u64  checksum  FNV-1a 64 over everything above
+//
+// The checksum is an integrity check against accidental damage (torn
+// writes, injected corruption), not an authenticity mechanism — peers are
+// authenticated at the protocol layers above, and the engine's Byzantine
+// tampering is applied to message payloads *before* framing precisely so
+// that adversarial bit-flips survive the frame check and reach the
+// platform decode paths, exactly as on the simulated backend.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "net/transport.hpp"
+
+namespace veil::net {
+
+enum class FrameType : std::uint8_t {
+  Hello = 1,    // client->server: link identity + session epoch
+  Welcome = 2,  // server->client: last contiguous Data seq received
+  Data = 3,     // one engine message (WireMessage body)
+  Ack = 4,      // server->client: cumulative Data seq delivered
+  Ping = 5,     // heartbeat probe
+  Pong = 6,     // heartbeat answer
+};
+
+struct Frame {
+  FrameType type = FrameType::Data;
+  std::uint64_t link_seq = 0;  // 1-based per-link Data counter; 0 = control
+  common::Bytes body;
+
+  static constexpr std::size_t kHeaderSize = 4 + 1 + 8 + 4;
+  static constexpr std::size_t kChecksumSize = 8;
+  static constexpr std::size_t kMaxBody = 16u << 20;  // 16 MiB sanity bound
+
+  common::Bytes encode() const;
+  /// Whole-buffer convenience (tests, fuzzing). Throws
+  /// common::ProtocolError on any framing violation or trailing bytes.
+  static Frame decode(common::BytesView wire);
+
+  bool operator==(const Frame&) const = default;
+};
+
+/// Incremental frame reassembly over arbitrary read boundaries. feed()
+/// appends raw bytes; next() extracts complete frames in order. Any
+/// framing violation — bad magic, unknown type, oversized declared
+/// length, checksum mismatch — throws common::ProtocolError and poisons
+/// the decoder: every later call throws too, so a connection that tore
+/// once cannot silently resynchronize onto garbage.
+class FrameDecoder {
+ public:
+  /// Throws if the decoder is poisoned.
+  void feed(common::BytesView chunk);
+  /// Extract the next complete frame into `out`. Returns false when more
+  /// bytes are needed. Throws common::ProtocolError (and poisons the
+  /// decoder) on a framing violation.
+  bool next(Frame& out);
+  bool poisoned() const { return poisoned_; }
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  common::Bytes buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+};
+
+/// An engine message as carried in a Data frame: the Message itself plus
+/// its delivery stamp and the engine's global tie-break sequence, so the
+/// receiving engine merges it at exactly the queue position the simulated
+/// backend would have used. This is what makes delivery order — and every
+/// digest downstream of it — backend-invariant.
+struct WireMessage {
+  Message message;
+  std::uint64_t engine_seq = 0;
+
+  common::Bytes encode() const;
+  /// Throws common::Error on malformed input.
+  static WireMessage decode(common::BytesView data);
+};
+
+/// Hello body: identifies the directed link (initiator -> acceptor) and
+/// the session epoch (1 on first connect, +1 per reconnect).
+struct HelloBody {
+  Principal from;
+  Principal to;
+  std::uint64_t epoch = 0;
+
+  common::Bytes encode() const;
+  static HelloBody decode(common::BytesView data);
+};
+
+/// Welcome body: the acceptor's last contiguously delivered Data seq on
+/// this link, i.e. the resumption point. The initiator retransmits
+/// everything after it; the acceptor's seq dedup drops anything at or
+/// before it that arrives anyway.
+struct WelcomeBody {
+  std::uint64_t last_recv_seq = 0;
+
+  common::Bytes encode() const;
+  static WelcomeBody decode(common::BytesView data);
+};
+
+/// Ack body: cumulative — every Data frame with seq <= cum_seq has been
+/// handed to the receiving engine and may be dropped from the sender's
+/// retransmit ring.
+struct AckBody {
+  std::uint64_t cum_seq = 0;
+
+  common::Bytes encode() const;
+  static AckBody decode(common::BytesView data);
+};
+
+}  // namespace veil::net

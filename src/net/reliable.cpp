@@ -60,13 +60,13 @@ bool ReliableChannel::SeenWindow::fresh(std::uint64_t seq) {
   return ahead.insert(seq).second;
 }
 
-ReliableChannel::ReliableChannel(SimNetwork& network, RetryPolicy policy)
+ReliableChannel::ReliableChannel(Transport& network, RetryPolicy policy)
     : network_(&network),
       policy_(policy),
       jitter_rng_(policy.jitter_seed) {}
 
 void ReliableChannel::attach(const Principal& name,
-                             SimNetwork::Handler handler) {
+                             Transport::Handler handler) {
   network_->attach(name, [this, name, handler = std::move(handler)](
                              const Message& msg) {
     on_message(name, handler, msg);
@@ -74,7 +74,7 @@ void ReliableChannel::attach(const Principal& name,
 }
 
 void ReliableChannel::on_message(const Principal& self,
-                                 const SimNetwork::Handler& handler,
+                                 const Transport::Handler& handler,
                                  const Message& msg) {
   if (msg.topic == kAckTopic) {
     try {

@@ -1,6 +1,7 @@
-// Reliable delivery over the lossy SimNetwork.
+// Reliable delivery over the lossy Transport.
 //
-// SimNetwork models a fair-loss link: messages may be dropped by random
+// The Transport engine models a fair-loss link on every backend (sim or
+// TCP): messages may be dropped by random
 // loss, partitions, or crash-stopped endpoints. ReliableChannel layers
 // the classic at-least-once machinery on top — per-message acks, timeout
 // with exponential backoff, bounded retransmissions — plus sender-side
@@ -91,14 +92,14 @@ struct ReliableStats {
 
 class ReliableChannel {
  public:
-  explicit ReliableChannel(SimNetwork& network, RetryPolicy policy = {});
+  explicit ReliableChannel(Transport& network, RetryPolicy policy = {});
 
   /// Register a principal. All traffic to it must be channel envelopes;
   /// the channel acks, dedups, then forwards the inner message (with its
   /// original topic) to `handler`. A null handler makes the endpoint
   /// send/ack-only (e.g. an ordering service that never receives app
   /// traffic but must collect acks for its own sends).
-  void attach(const Principal& name, SimNetwork::Handler handler);
+  void attach(const Principal& name, Transport::Handler handler);
 
   /// Reliable send: at-least-once on the wire, exactly-once to the
   /// receiving handler. `from` must be attached (acks flow back to it).
@@ -164,7 +165,7 @@ class ReliableChannel {
 
   using Link = std::pair<Principal, Principal>;
 
-  void on_message(const Principal& self, const SimNetwork::Handler& handler,
+  void on_message(const Principal& self, const Transport::Handler& handler,
                   const Message& msg);
   /// Put a message on the wire and arm its retry timer (window slot
   /// already secured by the caller).
@@ -179,7 +180,7 @@ class ReliableChannel {
   void drain_waiting(const Link& link);
   common::SimTime next_timeout(common::SimTime previous);
 
-  SimNetwork* network_;
+  Transport* network_;
   RetryPolicy policy_;
   common::Rng jitter_rng_;
   CircuitBreaker* breaker_ = nullptr;

@@ -149,6 +149,17 @@ std::string render_network_stats(const NetworkStats& stats) {
   line(os, "aborts: timeout", stats.xshard_aborts_timeout);
   line(os, "aborts: equivocation", stats.xshard_aborts_equivocation);
   line(os, "coordinator failovers", stats.xshard_failovers);
+  os << "transport tier (tcp):\n";
+  line(os, "connects", stats.tcp_connects);
+  line(os, "reconnects", stats.tcp_reconnects);
+  line(os, "heartbeat misses", stats.tcp_heartbeat_misses);
+  line(os, "session resumptions", stats.tcp_session_resumptions);
+  line(os, "partial-write continuations", stats.tcp_partial_write_continuations);
+  line(os, "short reads", stats.tcp_short_reads);
+  line(os, "frames torn", stats.tcp_frames_torn);
+  line(os, "frames rejected (dup)", stats.tcp_frames_rejected);
+  line(os, "write overflow (busy)", stats.tcp_write_overflow);
+  line(os, "injected socket faults", stats.tcp_injected_faults);
   return os.str();
 }
 

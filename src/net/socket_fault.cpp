@@ -1,0 +1,104 @@
+#include "net/socket_fault.hpp"
+
+#include <limits>
+
+namespace veil::net {
+
+namespace {
+
+// FNV-1a over a string, for folding principal names into the persona
+// seed. Stable across runs and platforms (unlike std::hash).
+std::uint64_t fold(std::uint64_t h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+SocketFaultProfile SocketFaultProfile::uniform(double rate) {
+  SocketFaultProfile p;
+  p.partial_write = rate;
+  p.short_read = rate;
+  p.eintr = rate / 2;
+  p.eagain = rate / 2;
+  p.connect_reset = rate / 8;
+  p.midstream_reset = rate / 16;
+  p.torn_frame = rate / 8;
+  p.stall = rate / 16;
+  return p;
+}
+
+SocketFaultInjector::SocketFaultInjector(const SocketFaultProfile& profile,
+                                         std::uint64_t seed,
+                                         const Principal& initiator,
+                                         const Principal& acceptor,
+                                         std::uint64_t epoch)
+    : profile_(profile),
+      rng_(fold(fold(seed ^ (epoch * 0x9e3779b97f4a7c15ULL), initiator),
+                acceptor)) {}
+
+bool SocketFaultInjector::fire(double rate) {
+  if (rate <= 0.0) return false;
+  // Draw unconditionally so the decision stream position is independent
+  // of the liveness cap's state.
+  const bool due = rng_.next_double() < rate;
+  if (!due) return false;
+  if (consecutive_ >= profile_.max_consecutive) return false;
+  ++consecutive_;
+  ++injected_;
+  return true;
+}
+
+bool SocketFaultInjector::refuse_connect() {
+  if (fire(profile_.connect_reset)) return true;
+  consecutive_ = 0;
+  return false;
+}
+
+IoFault SocketFaultInjector::pre_io() {
+  if (fire(profile_.midstream_reset)) return IoFault::Reset;
+  if (fire(profile_.stall)) return IoFault::Stall;
+  if (fire(profile_.eintr)) return IoFault::Eintr;
+  if (fire(profile_.eagain)) return IoFault::Eagain;
+  // The real syscall goes through: the consecutive-injection streak is
+  // broken, re-arming the liveness cap.
+  consecutive_ = 0;
+  return IoFault::None;
+}
+
+IoFault SocketFaultInjector::pre_read() { return pre_io(); }
+
+IoFault SocketFaultInjector::pre_write() { return pre_io(); }
+
+bool SocketFaultInjector::clamp_read_due() { return fire(profile_.short_read); }
+
+bool SocketFaultInjector::clamp_write_due() {
+  return fire(profile_.partial_write);
+}
+
+std::size_t SocketFaultInjector::clamp_read(std::size_t n) {
+  if (n <= 1) return n;
+  // The syscall completed: a short read is damage, not absence of
+  // progress, so it clears the consecutive-injection streak.
+  consecutive_ = 0;
+  return 1 + static_cast<std::size_t>(rng_.next_below(n));
+}
+
+std::size_t SocketFaultInjector::clamp_write(std::size_t n) {
+  if (n <= 1) return n;
+  consecutive_ = 0;
+  return 1 + static_cast<std::size_t>(rng_.next_below(n));
+}
+
+std::size_t SocketFaultInjector::tear_offset(std::size_t len) {
+  if (len == 0 || !fire(profile_.torn_frame)) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  consecutive_ = 0;
+  return static_cast<std::size_t>(rng_.next_below(len));
+}
+
+}  // namespace veil::net

@@ -1,0 +1,104 @@
+// Syscall-level fault injection for the real-socket transport.
+//
+// The simulated backend earns its chaos discipline from FaultPlan:
+// seed-reproducible drops, partitions and crashes at the message layer.
+// The TCP backend pays real syscall costs, so its failure modes live a
+// layer lower — a write() that takes half the buffer, a read() returning
+// three bytes of a length prefix, EINTR/EAGAIN storms, a peer that RSTs
+// mid-frame or stalls silently. SocketFaultInjector manufactures exactly
+// those at the fd boundary, seed-reproducibly: every connection gets a
+// persona whose decision stream is a pure function of (seed, initiator,
+// acceptor, session epoch) and the op sequence on that connection — so a
+// failing run replays the same socket chaos per link regardless of how
+// the kernel scheduled the node threads.
+//
+// Liveness: every fault class is bounded. At most `max_consecutive`
+// injections fire back-to-back on one connection before a real syscall is
+// forced through, and stalls expire after `stall_ms`, so injected chaos
+// slows a link but can never wedge it — the supervisor's reconnect and
+// session-resumption machinery must converge under any profile.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "net/leakage.hpp"
+
+namespace veil::net {
+
+struct SocketFaultProfile {
+  double partial_write = 0.0;    // truncate a write to a random prefix
+  double short_read = 0.0;       // truncate a read below what's available
+  double eintr = 0.0;            // fail the op with EINTR, fd untouched
+  double eagain = 0.0;           // fail the op with EAGAIN, fd untouched
+  double connect_reset = 0.0;    // refuse a connect attempt (RST on SYN)
+  double midstream_reset = 0.0;  // hard-close an established connection
+  double torn_frame = 0.0;       // corrupt one byte of an outgoing frame
+  double stall = 0.0;            // freeze the connection for stall_ms
+  std::uint32_t stall_ms = 20;
+  std::uint32_t max_consecutive = 8;
+
+  bool enabled() const {
+    return partial_write > 0 || short_read > 0 || eintr > 0 || eagain > 0 ||
+           connect_reset > 0 || midstream_reset > 0 || torn_frame > 0 ||
+           stall > 0;
+  }
+
+  /// The one-knob profile used by VEIL_TCP_FAULT_RATE and the chaos
+  /// regression: `rate` drives the cheap faults directly and the
+  /// expensive ones (resets, stalls, tears) at a fraction, so 0.2 means
+  /// "20% of syscalls are damaged" without resets dominating wall time.
+  static SocketFaultProfile uniform(double rate);
+};
+
+/// What the injector decided for one syscall.
+enum class IoFault : std::uint8_t {
+  None = 0,
+  Eintr,    // caller retries immediately (next decision is forced real)
+  Eagain,   // caller returns to the poll loop
+  Reset,    // caller hard-closes the fd and reports connection loss
+  Stall,    // caller freezes the connection for profile.stall_ms
+};
+
+class SocketFaultInjector {
+ public:
+  SocketFaultInjector(const SocketFaultProfile& profile, std::uint64_t seed,
+                      const Principal& initiator, const Principal& acceptor,
+                      std::uint64_t epoch);
+
+  /// Decide whether this connect attempt is refused (RST on SYN).
+  bool refuse_connect();
+
+  /// Decide the fate of the next read()/write() on this connection.
+  IoFault pre_read();
+  IoFault pre_write();
+
+  /// Clamp an I/O size for a short read / partial write. Returns a value
+  /// in [1, n]; only called when the matching rate fired. A partial
+  /// write of k < n bytes forces the caller to keep a cursor and
+  /// continue — that continuation is the behavior under test.
+  std::size_t clamp_read(std::size_t n);
+  std::size_t clamp_write(std::size_t n);
+  bool clamp_read_due();
+  bool clamp_write_due();
+
+  /// Decide whether the frame being appended to the outbound stream gets
+  /// one byte torn; `len` in, returns the byte offset to flip, or
+  /// SIZE_MAX for none.
+  std::size_t tear_offset(std::size_t len);
+
+  std::uint64_t injected() const { return injected_; }
+  std::uint32_t stall_ms() const { return profile_.stall_ms; }
+
+ private:
+  IoFault pre_io();
+  /// True when rate fired AND the liveness cap still allows an injection.
+  bool fire(double rate);
+
+  SocketFaultProfile profile_;
+  common::Rng rng_;
+  std::uint32_t consecutive_ = 0;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace veil::net

@@ -1,0 +1,842 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+#include "net/frame.hpp"
+#include "net/overload.hpp"
+
+namespace veil::net {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+using TimePoint = WallClock::time_point;
+
+// Event-loop cadence. Level-triggered poll() with a short timeout keeps
+// the loop simple (no epoll bookkeeping) at a cost that is invisible for
+// the handful of endpoints a test or benchmark runs on loopback.
+constexpr int kPollMs = 2;
+constexpr std::size_t kReadChunk = 64 * 1024;
+// When a short read is injected, clamp from a small base so reassembly
+// actually sees byte-granular boundaries, not 64 KiB-granular ones.
+constexpr std::size_t kInjectedReadChunk = 256;
+
+std::uint64_t fold_name(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+int make_listener(std::uint16_t& port_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw common::ProtocolError("tcp: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 128) != 0) {
+    ::close(fd);
+    throw common::ProtocolError("tcp: bind/listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw common::ProtocolError("tcp: getsockname failed");
+  }
+  port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Endpoint: one principal's listener, connections and event-loop thread.
+// Everything here except `outbox` (and the wake pipe write end) is owned
+// exclusively by the endpoint thread; handoff to and from the engine
+// happens only in drain_engine()/publish() under owner.mu_.
+// ---------------------------------------------------------------------
+struct TcpTransport::Endpoint {
+  struct Conn {
+    int fd = -1;
+    bool outbound = false;     // we initiated (we own the link supervisor)
+    bool connecting = false;   // nonblocking connect() still in flight
+    bool established = false;  // HELLO/WELCOME handshake complete
+    bool dead = false;
+    Principal peer;  // outbound: at creation; inbound: after HELLO
+    std::uint64_t epoch = 0;
+    FrameDecoder decoder;
+    common::Bytes out;  // pending outbound bytes (cursor: out_pos)
+    std::size_t out_pos = 0;
+    std::unique_ptr<SocketFaultInjector> injector;
+    std::uint64_t injected_published = 0;
+    TimePoint created_at{};
+    TimePoint stalled_until{};
+    TimePoint last_rx{};
+    TimePoint last_ping{};
+    std::uint32_t misses = 0;
+  };
+
+  /// Sender-side state of the directed link name -> peer: session epoch,
+  /// frame sequencing, and the retransmit ring of unacked frames that
+  /// session resumption replays after a reconnect.
+  struct LinkTx {
+    std::uint16_t port = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t next_seq = 1;
+    std::deque<std::pair<std::uint64_t, common::Bytes>> ring;
+    std::shared_ptr<std::atomic<std::size_t>> depth;
+    Conn* conn = nullptr;
+    bool ever_connected = false;
+    std::uint32_t backoff_ms = 0;
+    TimePoint retry_at{};
+  };
+
+  struct OutboxItem {
+    Principal to;
+    std::uint16_t port = 0;
+    common::Bytes body;  // encoded WireMessage
+    std::shared_ptr<std::atomic<std::size_t>> depth;
+  };
+
+  TcpTransport& owner;
+  Principal name;
+  std::uint16_t port = 0;
+  int listen_fd = -1;
+  int wake_rd = -1;
+  int wake_wr = -1;
+
+  std::deque<OutboxItem> outbox;  // guarded by owner.mu_
+
+  // Endpoint-thread state.
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::map<Principal, LinkTx> links;
+  std::map<Principal, std::uint64_t> rx_last;   // per-initiator delivered seq
+  std::map<Principal, std::uint64_t> rx_epoch;  // largest session epoch seen
+  std::map<Principal, Conn*> rx_conn;
+  common::Rng backoff_rng;
+  Counters local;             // counter deltas since last publish()
+  std::deque<Pending> ready;  // reassembled arrivals since last publish()
+  std::vector<LinkEvent> events;
+  bool frozen = false;
+  std::thread thread;
+
+  Endpoint(TcpTransport& o, Principal n)
+      : owner(o),
+        name(std::move(n)),
+        backoff_rng(fold_name(o.config_.reconnect_jitter_seed, name)) {
+    listen_fd = make_listener(port);
+    int p[2];
+    if (::pipe2(p, O_NONBLOCK | O_CLOEXEC) != 0) {
+      ::close(listen_fd);
+      throw common::ProtocolError("tcp: pipe2 failed");
+    }
+    wake_rd = p[0];
+    wake_wr = p[1];
+    thread = std::thread([this] { loop(); });
+  }
+
+  ~Endpoint() {
+    // Thread is joined by ~TcpTransport before endpoints are destroyed.
+    for (auto& c : conns) {
+      if (c->fd >= 0) ::close(c->fd);
+    }
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_rd >= 0) ::close(wake_rd);
+    if (wake_wr >= 0) ::close(wake_wr);
+  }
+
+  /// Engine thread (or destructor): kick the poll loop awake.
+  void wake() const {
+    const char b = 0;
+    [[maybe_unused]] ssize_t r = ::write(wake_wr, &b, 1);
+  }
+
+  const SocketFaultProfile& profile() const { return owner.config_.faults; }
+
+  std::unique_ptr<SocketFaultInjector> make_injector(const Principal& initiator,
+                                                     const Principal& acceptor,
+                                                     std::uint64_t epoch) const {
+    if (!profile().enabled()) return nullptr;
+    return std::make_unique<SocketFaultInjector>(
+        profile(), owner.config_.fault_seed, initiator, acceptor, epoch);
+  }
+
+  // -- cross-thread handoff -------------------------------------------
+
+  /// Pull engine-offered messages and the shutdown/freeze flags.
+  bool drain_engine(std::deque<OutboxItem>& items) {
+    std::lock_guard lk(owner.mu_);
+    items.swap(outbox);
+    frozen = owner.frozen_.contains(name);
+    return owner.shutdown_;
+  }
+
+  /// Push arrivals, supervisor events and counter deltas to the engine.
+  void publish() {
+    for (auto& c : conns) {
+      if (c->injector) {
+        local.injected_faults += c->injector->injected() - c->injected_published;
+        c->injected_published = c->injector->injected();
+      }
+    }
+    if (ready.empty() && events.empty() && !counters_dirty()) return;
+    {
+      std::lock_guard lk(owner.mu_);
+      owner.outstanding_ -= static_cast<std::int64_t>(ready.size());
+      while (!ready.empty()) {
+        owner.arrivals_.push_back(std::move(ready.front()));
+        ready.pop_front();
+      }
+      for (auto& e : events) owner.link_events_.push_back(std::move(e));
+      events.clear();
+      fold_counters(owner.counters_, local);
+      local = Counters{};
+    }
+    owner.cv_.notify_all();
+  }
+
+  bool counters_dirty() const {
+    return local.connects || local.reconnects || local.heartbeat_misses ||
+           local.session_resumptions || local.partial_write_continuations ||
+           local.short_reads || local.frames_torn || local.frames_rejected ||
+           local.injected_faults;
+  }
+
+  static void fold_counters(Counters& into, const Counters& delta) {
+    into.connects += delta.connects;
+    into.reconnects += delta.reconnects;
+    into.heartbeat_misses += delta.heartbeat_misses;
+    into.session_resumptions += delta.session_resumptions;
+    into.partial_write_continuations += delta.partial_write_continuations;
+    into.short_reads += delta.short_reads;
+    into.frames_torn += delta.frames_torn;
+    into.frames_rejected += delta.frames_rejected;
+    into.injected_faults += delta.injected_faults;
+  }
+
+  // -- link supervision -----------------------------------------------
+
+  void admit_outbox(std::deque<OutboxItem>& items) {
+    for (auto& item : items) {
+      LinkTx& link = links[item.to];
+      link.port = item.port;
+      link.depth = item.depth;
+      const std::uint64_t seq = link.next_seq++;
+      link.ring.emplace_back(seq, std::move(item.body));
+      if (link.conn != nullptr && link.conn->established) {
+        append_data(*link.conn, seq, link.ring.back().second);
+      }
+    }
+  }
+
+  void append_frame(Conn& conn, const Frame& frame) {
+    common::Bytes bytes = frame.encode();
+    conn.out.insert(conn.out.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Append a Data frame through the injector's tear decision. A torn
+  /// frame corrupts only this connection's transient out stream; the ring
+  /// keeps the clean copy that resumption will replay.
+  void append_data(Conn& conn, std::uint64_t seq, const common::Bytes& body) {
+    common::Bytes bytes = Frame{FrameType::Data, seq, body}.encode();
+    if (conn.injector) {
+      const std::size_t off = conn.injector->tear_offset(bytes.size());
+      if (off != std::numeric_limits<std::size_t>::max()) {
+        bytes[off] ^= 0x20;
+      }
+    }
+    conn.out.insert(conn.out.end(), bytes.begin(), bytes.end());
+  }
+
+  void schedule_backoff(LinkTx& link) {
+    const auto& cfg = owner.config_;
+    // Decorrelated jitter: next in [base, 3*previous), capped.
+    const std::uint32_t prev = std::max(link.backoff_ms, cfg.reconnect_base_ms);
+    const std::uint64_t span = std::max<std::uint64_t>(1, 3ULL * prev - cfg.reconnect_base_ms);
+    std::uint32_t next = cfg.reconnect_base_ms +
+                         static_cast<std::uint32_t>(backoff_rng.next_below(span));
+    next = std::min(next, cfg.reconnect_cap_ms);
+    link.backoff_ms = next;
+    link.retry_at = WallClock::now() + std::chrono::milliseconds(next);
+  }
+
+  void start_connect(const Principal& peer, LinkTx& link) {
+    ++link.epoch;
+    auto injector = make_injector(name, peer, link.epoch);
+    if (injector && injector->refuse_connect()) {
+      // RST on SYN: the attempt dies before a socket exists.
+      local.injected_faults += injector->injected();
+      schedule_backoff(link);
+      return;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      schedule_backoff(link);
+      return;
+    }
+    set_nodelay(fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(link.port);
+    const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      ::close(fd);
+      schedule_backoff(link);
+      return;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->outbound = true;
+    conn->connecting = (rc != 0);
+    conn->peer = peer;
+    conn->epoch = link.epoch;
+    conn->injector = std::move(injector);
+    conn->created_at = WallClock::now();
+    conn->last_rx = conn->created_at;
+    link.conn = conn.get();
+    if (!conn->connecting) send_hello(*conn);
+    conns.push_back(std::move(conn));
+  }
+
+  void send_hello(Conn& conn) {
+    conn.connecting = false;
+    append_frame(conn, Frame{FrameType::Hello, 0,
+                             HelloBody{name, conn.peer, conn.epoch}.encode()});
+  }
+
+  /// Declare a connection dead. The link (if any) backs off and will
+  /// reconnect when it next has (or still has) frames to move.
+  void kill(Conn& conn, bool supervisor_failure = false) {
+    if (conn.dead) return;
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+      conn.fd = -1;
+    }
+    conn.dead = true;
+    if (conn.injector) {
+      local.injected_faults += conn.injector->injected() - conn.injected_published;
+      conn.injected_published = conn.injector->injected();
+    }
+    if (conn.outbound) {
+      auto it = links.find(conn.peer);
+      if (it != links.end() && it->second.conn == &conn) {
+        it->second.conn = nullptr;
+        schedule_backoff(it->second);
+      }
+      if (supervisor_failure) {
+        events.push_back(LinkEvent{conn.peer, false});
+      }
+    } else if (!conn.peer.empty()) {
+      auto it = rx_conn.find(conn.peer);
+      if (it != rx_conn.end() && it->second == &conn) rx_conn.erase(it);
+    }
+  }
+
+  void progress_links(TimePoint now) {
+    for (auto& [peer, link] : links) {
+      if (link.conn != nullptr || link.ring.empty()) continue;
+      if (now < link.retry_at) continue;
+      start_connect(peer, link);
+    }
+  }
+
+  /// Heartbeats and handshake timeouts — outbound (link-owning) side.
+  void supervise(TimePoint now) {
+    const auto& cfg = owner.config_;
+    const auto interval = std::chrono::milliseconds(cfg.heartbeat_interval_ms);
+    const auto handshake_limit = interval * cfg.heartbeat_miss_limit;
+    for (auto& c : conns) {
+      if (c->dead || !c->outbound) continue;
+      if (!c->established) {
+        if (now - c->created_at >= handshake_limit) {
+          // Connect or HELLO/WELCOME stuck: treat as a supervision
+          // failure so a wedged acceptor trips the breaker too.
+          kill(*c, /*supervisor_failure=*/true);
+        }
+        continue;
+      }
+      if (now - c->last_ping >= interval) {
+        append_frame(*c, Frame{FrameType::Ping, 0, {}});
+        c->last_ping = now;
+      }
+      if (now - c->last_rx >= interval * (c->misses + 1)) {
+        ++c->misses;
+        ++local.heartbeat_misses;
+        if (c->misses >= cfg.heartbeat_miss_limit) {
+          kill(*c, /*supervisor_failure=*/true);
+        }
+      }
+    }
+  }
+
+  // -- socket I/O ------------------------------------------------------
+
+  void flush(Conn& conn, TimePoint now) {
+    if (conn.dead || conn.connecting || conn.out_pos >= conn.out.size()) return;
+    if (now < conn.stalled_until) return;
+    while (conn.out_pos < conn.out.size()) {
+      if (conn.injector) {
+        switch (conn.injector->pre_write()) {
+          case IoFault::None:
+            break;
+          case IoFault::Eintr:
+            continue;  // retry immediately, as a real EINTR loop would
+          case IoFault::Eagain:
+            return;  // back to the poll loop
+          case IoFault::Reset:
+            kill(conn);
+            return;
+          case IoFault::Stall:
+            conn.stalled_until =
+                now + std::chrono::milliseconds(conn.injector->stall_ms());
+            return;
+        }
+      }
+      std::size_t want = conn.out.size() - conn.out_pos;
+      if (conn.injector && conn.injector->clamp_write_due()) {
+        want = conn.injector->clamp_write(want);
+      }
+      const ssize_t n =
+          ::send(conn.fd, conn.out.data() + conn.out_pos, want, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        kill(conn);
+        return;
+      }
+      conn.out_pos += static_cast<std::size_t>(n);
+      if (conn.out_pos < conn.out.size()) {
+        // A clamped or kernel-shortened write left a tail: the cursor
+        // continuation is the behavior under test.
+        ++local.partial_write_continuations;
+      }
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
+  }
+
+  void handle_readable(Conn& conn, TimePoint now) {
+    if (conn.dead || now < conn.stalled_until) return;
+    if (conn.injector) {
+      switch (conn.injector->pre_read()) {
+        case IoFault::None:
+          break;
+        case IoFault::Eintr:
+        case IoFault::Eagain:
+          return;
+        case IoFault::Reset:
+          kill(conn);
+          return;
+        case IoFault::Stall:
+          conn.stalled_until =
+              now + std::chrono::milliseconds(conn.injector->stall_ms());
+          return;
+      }
+    }
+    std::size_t cap = kReadChunk;
+    if (conn.injector && conn.injector->clamp_read_due()) {
+      cap = conn.injector->clamp_read(kInjectedReadChunk);
+      ++local.short_reads;
+    }
+    std::uint8_t buf[kReadChunk];
+    const ssize_t n = ::recv(conn.fd, buf, cap, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
+      kill(conn);
+      return;
+    }
+    if (n == 0) {
+      kill(conn);
+      return;
+    }
+    conn.last_rx = now;
+    conn.misses = 0;
+    try {
+      conn.decoder.feed(common::BytesView(buf, static_cast<std::size_t>(n)));
+      Frame frame;
+      bool ack_needed = false;
+      while (!conn.dead && conn.decoder.next(frame)) {
+        handle_frame(conn, frame, ack_needed);
+      }
+      if (ack_needed && !conn.dead) {
+        append_frame(conn, Frame{FrameType::Ack, 0,
+                                 AckBody{rx_last[conn.peer]}.encode()});
+      }
+    } catch (const common::Error&) {
+      // Torn or corrupted stream: framing is unrecoverable within this
+      // connection. Kill it; the initiator reconnects and resumes.
+      ++local.frames_torn;
+      kill(conn);
+    }
+  }
+
+  void handle_frame(Conn& conn, Frame& frame, bool& ack_needed) {
+    switch (frame.type) {
+      case FrameType::Hello:
+        handle_hello(conn, frame);
+        break;
+      case FrameType::Welcome:
+        handle_welcome(conn, frame);
+        break;
+      case FrameType::Data:
+        handle_data(conn, frame, ack_needed);
+        break;
+      case FrameType::Ack:
+        handle_ack(conn, frame);
+        break;
+      case FrameType::Ping:
+        append_frame(conn, Frame{FrameType::Pong, 0, {}});
+        break;
+      case FrameType::Pong:
+        break;  // last_rx already refreshed; that's the whole job
+    }
+  }
+
+  void handle_hello(Conn& conn, const Frame& frame) {
+    const HelloBody hello = HelloBody::decode(frame.body);
+    if (conn.outbound || hello.to != name) {
+      kill(conn);
+      return;
+    }
+    if (hello.epoch <= rx_epoch[hello.from]) {
+      kill(conn);  // stale session racing a newer one
+      return;
+    }
+    // A newer session replaces any zombie connection for this link.
+    auto it = rx_conn.find(hello.from);
+    if (it != rx_conn.end() && it->second != &conn) kill(*it->second);
+    conn.peer = hello.from;
+    conn.epoch = hello.epoch;
+    conn.established = true;
+    conn.injector = make_injector(hello.from, name, hello.epoch);
+    conn.injected_published = 0;
+    rx_epoch[hello.from] = hello.epoch;
+    rx_conn[hello.from] = &conn;
+    append_frame(conn, Frame{FrameType::Welcome, 0,
+                             WelcomeBody{rx_last[hello.from]}.encode()});
+  }
+
+  void handle_welcome(Conn& conn, const Frame& frame) {
+    const WelcomeBody welcome = WelcomeBody::decode(frame.body);
+    auto it = links.find(conn.peer);
+    if (!conn.outbound || conn.established || it == links.end() ||
+        it->second.conn != &conn) {
+      kill(conn);
+      return;
+    }
+    LinkTx& link = it->second;
+    conn.established = true;
+    conn.last_ping = WallClock::now();
+    // Resume: drop everything the acceptor already delivered, replay the
+    // unacked tail.
+    prune_ring(link, welcome.last_recv_seq);
+    if (link.ever_connected) {
+      ++local.reconnects;
+      if (!link.ring.empty()) ++local.session_resumptions;
+    }
+    ++local.connects;
+    link.ever_connected = true;
+    link.backoff_ms = 0;
+    for (const auto& [seq, body] : link.ring) {
+      append_data(conn, seq, body);
+    }
+    events.push_back(LinkEvent{conn.peer, true});
+  }
+
+  void handle_data(Conn& conn, Frame& frame, bool& ack_needed) {
+    if (conn.outbound || !conn.established) {
+      kill(conn);
+      return;
+    }
+    std::uint64_t& last = rx_last[conn.peer];
+    if (frame.link_seq <= last) {
+      // Duplicate from a pre-reset transmission: drop, but re-ack so the
+      // sender's ring prunes even if the original Ack was lost.
+      ++local.frames_rejected;
+      ack_needed = true;
+      return;
+    }
+    if (frame.link_seq != last + 1) {
+      // Gap in the stream: desync. Kill; resumption replays from `last`.
+      kill(conn);
+      return;
+    }
+    WireMessage wm = WireMessage::decode(frame.body);
+    last = frame.link_seq;
+    ack_needed = true;
+    Pending arrival;
+    arrival.deliver_at = wm.message.delivered_at;
+    arrival.sequence = wm.engine_seq;
+    arrival.message = std::move(wm.message);
+    ready.push_back(std::move(arrival));
+  }
+
+  void handle_ack(Conn& conn, const Frame& frame) {
+    const AckBody ack = AckBody::decode(frame.body);
+    auto it = links.find(conn.peer);
+    if (!conn.outbound || it == links.end()) {
+      kill(conn);
+      return;
+    }
+    prune_ring(it->second, ack.cum_seq);
+  }
+
+  void prune_ring(LinkTx& link, std::uint64_t cum_seq) {
+    while (!link.ring.empty() && link.ring.front().first <= cum_seq) {
+      link.ring.pop_front();
+      if (link.depth) link.depth->fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  void accept_pending() {
+    while (true) {
+      const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;
+      set_nodelay(fd);
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conn->outbound = false;
+      conn->created_at = WallClock::now();
+      conn->last_rx = conn->created_at;
+      conns.push_back(std::move(conn));
+    }
+  }
+
+  void check_connecting(TimePoint now) {
+    for (auto& c : conns) {
+      if (c->dead || !c->connecting) continue;
+      pollfd pfd{c->fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, 0) <= 0) continue;
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(c->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        kill(*c);
+      } else {
+        send_hello(*c);
+        (void)now;
+      }
+    }
+  }
+
+  void reap() {
+    for (std::size_t i = 0; i < conns.size();) {
+      if (conns[i]->dead) {
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  void loop() {
+    std::deque<OutboxItem> items;
+    std::vector<pollfd> pfds;
+    while (true) {
+      items.clear();
+      const bool shutdown = drain_engine(items);
+      if (shutdown) break;
+      const TimePoint now = WallClock::now();
+      if (!frozen) {
+        admit_outbox(items);
+        progress_links(now);
+        check_connecting(now);
+        supervise(now);
+        for (auto& c : conns) flush(*c, now);
+        reap();
+      } else if (!items.empty()) {
+        admit_outbox(items);  // queue under freeze; move nothing
+      }
+      publish();
+
+      pfds.clear();
+      pfds.push_back({wake_rd, POLLIN, 0});
+      pfds.push_back({listen_fd, POLLIN, 0});
+      if (!frozen) {
+        for (auto& c : conns) {
+          short ev = POLLIN;
+          if (c->connecting || c->out_pos < c->out.size()) ev |= POLLOUT;
+          pfds.push_back({c->fd, ev, 0});
+        }
+      }
+      ::poll(pfds.data(), pfds.size(), kPollMs);
+
+      if (pfds[0].revents & POLLIN) {
+        std::uint8_t sink[256];
+        while (::read(wake_rd, sink, sizeof(sink)) > 0) {
+        }
+      }
+      if (frozen) continue;
+      if (pfds[1].revents & POLLIN) accept_pending();
+      const TimePoint after = WallClock::now();
+      check_connecting(after);
+      for (std::size_t i = 2; i < pfds.size(); ++i) {
+        auto& c = *conns[i - 2];
+        if (c.dead || c.connecting) continue;
+        if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+          handle_readable(c, after);
+        }
+      }
+      for (auto& c : conns) flush(*c, after);
+      publish();
+      reap();
+    }
+    // Drop whatever is still buffered; the engine is shutting down.
+  }
+};
+
+// ---------------------------------------------------------------------
+// TcpTransport: engine-thread surface.
+// ---------------------------------------------------------------------
+
+TcpTransport::TcpTransport(common::Rng rng, LatencyModel latency,
+                           TcpConfig config)
+    : Transport(std::move(rng), latency), config_(config) {}
+
+TcpTransport::~TcpTransport() {
+  {
+    std::lock_guard lk(mu_);
+    shutdown_ = true;
+  }
+  for (auto& [name, ep] : endpoints_) ep->wake();
+  for (auto& [name, ep] : endpoints_) {
+    if (ep->thread.joinable()) ep->thread.join();
+  }
+}
+
+TcpTransport::Endpoint& TcpTransport::endpoint_for(const Principal& name) {
+  auto it = endpoints_.find(name);
+  if (it == endpoints_.end()) {
+    it = endpoints_.emplace(name, std::make_unique<Endpoint>(*this, name)).first;
+  }
+  return *it->second;
+}
+
+void TcpTransport::wire_attach(const Principal& name) { endpoint_for(name); }
+
+Transport::WireResult TcpTransport::wire_transmit(Pending& pending) {
+  const Principal from = pending.message.from;
+  const Principal to = pending.message.to;
+  if (from == to) return WireResult::Local;  // no loopback-to-self socket
+  Endpoint& src = endpoint_for(from);
+  Endpoint& dst = endpoint_for(to);
+  auto& depth = link_depth_[{from, to}];
+  if (!depth) depth = std::make_shared<std::atomic<std::size_t>>(0);
+  if (depth->load(std::memory_order_relaxed) >= config_.link_window) {
+    return WireResult::Overflow;
+  }
+  depth->fetch_add(1, std::memory_order_relaxed);
+  WireMessage wm;
+  wm.message = std::move(pending.message);
+  wm.engine_seq = pending.sequence;
+  {
+    std::lock_guard lk(mu_);
+    ++outstanding_;
+    src.outbox.push_back(Endpoint::OutboxItem{to, dst.port, wm.encode(), depth});
+  }
+  src.wake();
+  return WireResult::Sent;
+}
+
+void TcpTransport::wire_pump() {
+  std::unique_lock lk(mu_);
+  const auto deadline =
+      WallClock::now() + std::chrono::milliseconds(config_.pump_watchdog_ms);
+  while (true) {
+    while (!arrivals_.empty()) {
+      enqueue_arrival(std::move(arrivals_.front()));
+      arrivals_.pop_front();
+    }
+    if (link_breaker_ != nullptr) {
+      for (const LinkEvent& e : link_events_) {
+        if (e.success) {
+          link_breaker_->record_success(e.peer, clock().now());
+        } else {
+          link_breaker_->record_failure(e.peer, clock().now());
+        }
+      }
+    }
+    link_events_.clear();
+    if (outstanding_ == 0) return;
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+        outstanding_ > 0 && WallClock::now() >= deadline) {
+      throw common::ProtocolError(
+          "tcp: wire stalled — " + std::to_string(outstanding_) +
+          " frame(s) in flight past the pump watchdog");
+    }
+  }
+}
+
+void TcpTransport::refresh_stats() const {
+  auto* self = const_cast<TcpTransport*>(this);
+  Counters snap;
+  {
+    std::lock_guard lk(mu_);
+    snap = counters_;
+    if (link_breaker_ != nullptr) {
+      for (const LinkEvent& e : self->link_events_) {
+        if (e.success) {
+          self->link_breaker_->record_success(e.peer, clock().now());
+        } else {
+          self->link_breaker_->record_failure(e.peer, clock().now());
+        }
+      }
+      self->link_events_.clear();
+    }
+  }
+  NetworkStats& s = self->mutable_stats();
+  s.tcp_connects = snap.connects;
+  s.tcp_reconnects = snap.reconnects;
+  s.tcp_heartbeat_misses = snap.heartbeat_misses;
+  s.tcp_session_resumptions = snap.session_resumptions;
+  s.tcp_partial_write_continuations = snap.partial_write_continuations;
+  s.tcp_short_reads = snap.short_reads;
+  s.tcp_frames_torn = snap.frames_torn;
+  s.tcp_frames_rejected = snap.frames_rejected;
+  s.tcp_injected_faults = snap.injected_faults;
+}
+
+const NetworkStats& TcpTransport::stats() const {
+  refresh_stats();
+  return Transport::stats();
+}
+
+void TcpTransport::debug_freeze(const Principal& name, bool frozen) {
+  {
+    std::lock_guard lk(mu_);
+    if (frozen) {
+      frozen_.insert(name);
+    } else {
+      frozen_.erase(name);
+    }
+  }
+  auto it = endpoints_.find(name);
+  if (it != endpoints_.end()) it->second->wake();
+}
+
+}  // namespace veil::net

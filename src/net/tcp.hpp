@@ -1,0 +1,162 @@
+// Real-socket transport backend: loopback TCP with connection
+// supervision, session resumption, and syscall-level fault injection.
+//
+// TcpTransport implements the net::Transport engine over real sockets.
+// Every attached principal gets an endpoint — a listening socket on
+// 127.0.0.1 and a poll() event-loop thread that owns all of that node's
+// connections. A directed link A->B is one TCP connection initiated by
+// A's endpoint; messages cross it as length-prefixed checksummed frames
+// (net/frame.hpp), through a SocketFaultInjector that manufactures
+// partial writes, short reads, EINTR/EAGAIN storms, resets and stalls at
+// the fd boundary (net/socket_fault.hpp).
+//
+// The connection supervisor per link provides:
+//   - heartbeats: PING/PONG with miss-count failure detection; a link
+//     that misses heartbeat_miss_limit intervals is declared failed and
+//     the failure is fed to an optional CircuitBreaker (the same breaker
+//     class ReliableChannel gates sends through);
+//   - reconnect: decorrelated-jitter exponential backoff between
+//     attempts, so links stranded by the same fault don't retry in
+//     lockstep;
+//   - bounded write queues: at most link_window unacked frames per link;
+//     overflow surfaces as net::Busy to the sender (graceful
+//     degradation) instead of unbounded buffering;
+//   - session resumption: each (re)connection carries a session epoch
+//     and resumes from the acceptor's last contiguously received frame
+//     seq (HELLO/WELCOME), with the sender's unacked retransmit ring and
+//     the receiver's cumulative seq dedup guaranteeing that a reconnect
+//     never drops an acked frame or delivers one twice — exactly-once at
+//     the frame layer, whatever the injector does to the bytes.
+//
+// Determinism contract: all *modeled* faults and all delivery ordering
+// live in the Transport engine, which runs entirely on the caller's
+// thread with the same RNG draws as SimNetwork. Endpoint threads only
+// move bytes; run() waits for every in-flight frame before each pop
+// (wire_pump), so a seeded workload produces bit-identical transcripts,
+// stats (message layer) and ledger digests on either backend. Socket
+// chaos perturbs only the transport-tier counters and wall-clock time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/socket_fault.hpp"
+#include "net/transport.hpp"
+
+namespace veil::net {
+
+class CircuitBreaker;
+
+struct TcpConfig {
+  /// Seed for per-connection fault-injector personas; injection is
+  /// active only when the profile has a nonzero rate.
+  std::uint64_t fault_seed = 0x7ea15eedULL;
+  SocketFaultProfile faults;
+
+  /// Unacked frames per directed link before sends surface net::Busy.
+  std::size_t link_window = 4096;
+
+  std::uint32_t heartbeat_interval_ms = 25;
+  std::uint32_t heartbeat_miss_limit = 4;
+
+  /// Reconnect backoff: decorrelated jitter in [base, 3*previous),
+  /// capped. Drawn from a per-endpoint seeded RNG.
+  std::uint32_t reconnect_base_ms = 1;
+  std::uint32_t reconnect_cap_ms = 100;
+  std::uint64_t reconnect_jitter_seed = 0x51e55edbeefULL;
+
+  /// run() throws if in-flight frames make no progress for this long —
+  /// a bug guard, generous enough to sit out injected stalls and
+  /// reconnect storms.
+  std::uint32_t pump_watchdog_ms = 30'000;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(common::Rng rng, LatencyModel latency = {},
+                        TcpConfig config = {});
+  ~TcpTransport() override;
+
+  /// Feed link supervision outcomes to `breaker` (not owned; null to
+  /// remove): heartbeat-miss failures record failures, completed
+  /// (re)connect handshakes record successes. Fed on the engine thread
+  /// during run()/stats(), stamped with the sim clock — so breaker
+  /// transcripts stay single-threaded even though detection happens on
+  /// endpoint threads.
+  void set_link_breaker(CircuitBreaker* breaker) { link_breaker_ = breaker; }
+
+  /// Refreshes the transport-tier counters before returning.
+  const NetworkStats& stats() const override;
+
+  const TcpConfig& config() const { return config_; }
+
+  /// Test hook: freeze (or thaw) a principal's event loop — no reads,
+  /// writes, accepts or reconnects, like a peer whose process is stopped
+  /// but whose kernel still ACKs. Used to drive heartbeat-miss detection
+  /// deterministically. Don't run() traffic *to* a frozen endpoint: its
+  /// frames can't land, so the pump watchdog would fire.
+  void debug_freeze(const Principal& name, bool frozen);
+
+ protected:
+  WireResult wire_transmit(Pending& pending) override;
+  void wire_pump() override;
+  void wire_attach(const Principal& name) override;
+
+ private:
+  struct Endpoint;
+  friend struct Endpoint;
+
+  /// Supervisor event surfaced to the engine thread.
+  struct LinkEvent {
+    Principal peer;
+    bool success = false;  // established handshake vs declared-dead link
+  };
+
+  /// Transport-tier counters, written by endpoint threads under mu_.
+  struct Counters {
+    std::uint64_t connects = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t heartbeat_misses = 0;
+    std::uint64_t session_resumptions = 0;
+    std::uint64_t partial_write_continuations = 0;
+    std::uint64_t short_reads = 0;
+    std::uint64_t frames_torn = 0;
+    std::uint64_t frames_rejected = 0;
+    std::uint64_t injected_faults = 0;
+  };
+
+  Endpoint& endpoint_for(const Principal& name);
+  void refresh_stats() const;
+
+  TcpConfig config_;
+  CircuitBreaker* link_breaker_ = nullptr;
+
+  /// Engine-thread-only: endpoint registry and per-link depth handles
+  /// (the atomics themselves are shared with endpoint threads).
+  std::map<Principal, std::unique_ptr<Endpoint>> endpoints_;
+  std::map<std::pair<Principal, Principal>,
+           std::shared_ptr<std::atomic<std::size_t>>>
+      link_depth_;
+
+  /// Cross-thread rendezvous. Guards arrivals_, link_events_, counters_,
+  /// outstanding_, every endpoint outbox, and shutdown_.
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::deque<Pending> arrivals_;
+  std::vector<LinkEvent> link_events_;
+  Counters counters_;
+  std::int64_t outstanding_ = 0;
+  bool shutdown_ = false;
+  std::set<Principal> frozen_;
+};
+
+}  // namespace veil::net

@@ -1,4 +1,4 @@
-#include "net/network.hpp"
+#include "net/transport.hpp"
 
 #include <algorithm>
 
@@ -7,20 +7,24 @@
 
 namespace veil::net {
 
-SimNetwork::SimNetwork(common::Rng rng, LatencyModel latency)
+Transport::Transport(common::Rng rng, LatencyModel latency)
     : rng_(rng), latency_(latency) {}
 
-void SimNetwork::attach(const Principal& name, Handler handler) {
+void Transport::attach(const Principal& name, Handler handler) {
   handlers_[name] = std::move(handler);
+  wire_attach(name);
 }
 
-void SimNetwork::detach(const Principal& name) { handlers_.erase(name); }
+void Transport::detach(const Principal& name) {
+  handlers_.erase(name);
+  wire_detach(name);
+}
 
-bool SimNetwork::attached(const Principal& name) const {
+bool Transport::attached(const Principal& name) const {
   return handlers_.contains(name);
 }
 
-bool SimNetwork::reachable(const Principal& from, const Principal& to) const {
+bool Transport::reachable(const Principal& from, const Principal& to) const {
   if (partitions_.empty()) return true;
   for (const auto& group : partitions_) {
     if (group.contains(from)) return group.contains(to);
@@ -29,37 +33,37 @@ bool SimNetwork::reachable(const Principal& from, const Principal& to) const {
   return false;
 }
 
-void SimNetwork::set_fault_plan(const FaultPlan& plan) {
+void Transport::set_fault_plan(const FaultPlan& plan) {
   fault_events_ = plan.ordered_events();
   next_fault_ = 0;
 }
 
-void SimNetwork::set_byzantine_plan(const ByzantinePlan& plan) {
+void Transport::set_byzantine_plan(const ByzantinePlan& plan) {
   byzantine_events_ = plan.ordered_events();
   next_byzantine_ = 0;
 }
 
-void SimNetwork::set_crash_hook(const Principal& name, LifecycleHook hook) {
+void Transport::set_crash_hook(const Principal& name, LifecycleHook hook) {
   crash_hooks_[name] = std::move(hook);
 }
 
-void SimNetwork::set_restart_hook(const Principal& name, LifecycleHook hook) {
+void Transport::set_restart_hook(const Principal& name, LifecycleHook hook) {
   restart_hooks_[name] = std::move(hook);
 }
 
-void SimNetwork::crash(const Principal& name) {
+void Transport::crash(const Principal& name) {
   if (!crashed_.insert(name).second) return;
   const auto hook = crash_hooks_.find(name);
   if (hook != crash_hooks_.end() && hook->second) hook->second();
 }
 
-void SimNetwork::restart(const Principal& name) {
+void Transport::restart(const Principal& name) {
   if (crashed_.erase(name) == 0) return;
   const auto hook = restart_hooks_.find(name);
   if (hook != restart_hooks_.end() && hook->second) hook->second();
 }
 
-void SimNetwork::apply_faults_until(common::SimTime now) {
+void Transport::apply_faults_until(common::SimTime now) {
   while (true) {
     const bool fault_due = next_fault_ < fault_events_.size() &&
                            fault_events_[next_fault_].at <= now;
@@ -94,7 +98,7 @@ void SimNetwork::apply_faults_until(common::SimTime now) {
   }
 }
 
-void SimNetwork::apply_byzantine(const ByzantineEvent& e) {
+void Transport::apply_byzantine(const ByzantineEvent& e) {
   switch (e.kind) {
     case ByzantineEvent::Kind::Tamper:
       adversaries_[e.principal].tamper_probability = e.probability;
@@ -129,14 +133,14 @@ void SimNetwork::apply_byzantine(const ByzantineEvent& e) {
   }
 }
 
-void SimNetwork::flip_random_bit(common::Bytes& payload) {
+void Transport::flip_random_bit(common::Bytes& payload) {
   if (payload.empty()) return;
   const std::uint64_t bit = rng_.next_below(payload.size() * 8);
   payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
 }
 
-void SimNetwork::send(const Principal& from, const Principal& to,
-                      const std::string& topic, common::Bytes payload) {
+void Transport::send(const Principal& from, const Principal& to,
+                     const std::string& topic, common::Bytes payload) {
   apply_faults_until(clock_.now());
   if (!handlers_.contains(to)) {
     throw common::ProtocolError("send to unknown principal: " + to);
@@ -213,27 +217,45 @@ void SimNetwork::send(const Principal& from, const Principal& to,
     Message dup = msg;
     dup.delivered_at += adv->replay_delay_us > 0 ? adv->replay_delay_us : 1;
     ++stats_.messages_replayed;
-    if (inbox_capacity_ > 0 && inbox_depth_[dup.to] >= inbox_capacity_) {
-      refuse_overflow(dup);
-    } else {
-      enqueue(std::move(dup));
-    }
+    offer(std::move(dup));
   }
+  offer(std::move(msg));
+}
+
+void Transport::offer(Message msg) {
   if (inbox_capacity_ > 0 && inbox_depth_[msg.to] >= inbox_capacity_) {
     refuse_overflow(msg);
     return;
   }
-  enqueue(std::move(msg));
-}
-
-void SimNetwork::enqueue(Message msg) {
+  // Inbox depth is charged at the send point on every backend — a frame
+  // still crossing the socket occupies its slot exactly as a queued
+  // message does, so overflow decisions (and their RNG-free Busy
+  // notices) are backend-invariant.
   const std::size_t depth = ++inbox_depth_[msg.to];
-  stats_.inbox_high_water = std::max<std::uint64_t>(
-      stats_.inbox_high_water, depth);
-  queue_.push(Pending{msg.delivered_at, sequence_++, std::move(msg), nullptr});
+  stats_.inbox_high_water =
+      std::max<std::uint64_t>(stats_.inbox_high_water, depth);
+  Pending p{msg.delivered_at, sequence_++, std::move(msg), nullptr};
+  switch (wire_transmit(p)) {
+    case WireResult::Sent:
+      return;  // will come back through enqueue_arrival()
+    case WireResult::Local:
+      queue_.push(std::move(p));
+      return;
+    case WireResult::Overflow: {
+      // The link's bounded write queue refused the frame: roll back the
+      // inbox charge and degrade gracefully instead of buffering
+      // unboundedly — the sender gets the same Busy signal a full inbox
+      // produces, so ReliableChannel defers instead of retry-storming.
+      const auto it = inbox_depth_.find(p.message.to);
+      if (it != inbox_depth_.end() && it->second > 0) --it->second;
+      ++stats_.tcp_write_overflow;
+      refuse_overflow(p.message);
+      return;
+    }
+  }
 }
 
-void SimNetwork::refuse_overflow(const Message& msg) {
+void Transport::refuse_overflow(const Message& msg) {
   ++stats_.messages_dropped;
   ++stats_.dropped_overflow;
   // Never answer backpressure with backpressure: a refused Busy notice
@@ -250,7 +272,8 @@ void SimNetwork::refuse_overflow(const Message& msg) {
   busy.queue_depth = depth;
   ++stats_.busy_notices;
   // Fixed latency (no jitter draw): control signals must not perturb the
-  // seeded data-path RNG sequence.
+  // seeded data-path RNG sequence. Notices are engine-synthesized and
+  // never traverse the wire — they model what the kernel would signal.
   common::Bytes payload = busy.encode();
   const common::SimTime latency =
       latency_.base_us + static_cast<common::SimTime>(
@@ -258,23 +281,27 @@ void SimNetwork::refuse_overflow(const Message& msg) {
                              static_cast<double>(payload.size()));
   Message notice{msg.to, msg.from, "net.busy", std::move(payload),
                  clock_.now(), clock_.now() + latency};
-  enqueue(std::move(notice));
+  const std::size_t notice_depth = ++inbox_depth_[notice.to];
+  stats_.inbox_high_water =
+      std::max<std::uint64_t>(stats_.inbox_high_water, notice_depth);
+  queue_.push(Pending{notice.delivered_at, sequence_++, std::move(notice),
+                      nullptr});
 }
 
-std::size_t SimNetwork::inbox_depth(const Principal& name) const {
+std::size_t Transport::inbox_depth(const Principal& name) const {
   const auto it = inbox_depth_.find(name);
   return it == inbox_depth_.end() ? 0 : it->second;
 }
 
-void SimNetwork::broadcast(const Principal& from, const std::string& topic,
-                           const common::Bytes& payload) {
+void Transport::broadcast(const Principal& from, const std::string& topic,
+                          const common::Bytes& payload) {
   for (const auto& [name, handler] : handlers_) {
     if (name == from) continue;
     send(from, name, topic, payload);
   }
 }
 
-void SimNetwork::schedule(common::SimTime at, std::function<void()> fn) {
+void Transport::schedule(common::SimTime at, std::function<void()> fn) {
   if (at < clock_.now()) at = clock_.now();
   Pending p;
   p.deliver_at = at;
@@ -283,9 +310,14 @@ void SimNetwork::schedule(common::SimTime at, std::function<void()> fn) {
   queue_.push(std::move(p));
 }
 
-std::size_t SimNetwork::run() {
+std::size_t Transport::run() {
   std::size_t delivered = 0;
-  while (!queue_.empty()) {
+  while (true) {
+    // Quiescence barrier: every frame a handler put on the wire must land
+    // before the next pop, so the earliest-stamped event is popped first
+    // regardless of socket timing. On the sim backend this is a no-op.
+    wire_pump();
+    if (queue_.empty()) break;
     Pending next = queue_.top();
     queue_.pop();
     clock_.advance_to(next.deliver_at);
@@ -340,13 +372,15 @@ std::size_t SimNetwork::run() {
     }
     clock_.advance_to(last);
     apply_faults_until(last);
-    // Restart hooks may have queued catch-up traffic; drain it.
+    // Restart hooks may have queued catch-up traffic (possibly still on
+    // the wire); drain it.
+    wire_pump();
     if (!queue_.empty()) delivered += run();
   }
   return delivered;
 }
 
-void SimNetwork::set_partitions(std::vector<std::set<Principal>> partitions) {
+void Transport::set_partitions(std::vector<std::set<Principal>> partitions) {
   partitions_ = std::move(partitions);
 }
 

@@ -107,7 +107,7 @@ common::BytesView root_view(const crypto::Digest& root) {
 
 }  // namespace
 
-CordaNetwork::CordaNetwork(net::SimNetwork& network, const crypto::Group& group,
+CordaNetwork::CordaNetwork(net::Transport& network, const crypto::Group& group,
                            common::Rng& rng,
                            std::uint64_t vault_snapshot_interval)
     : network_(&network),

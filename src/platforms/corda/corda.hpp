@@ -86,7 +86,7 @@ class CordaNetwork {
   /// are per-party private, so — unlike Fabric/Quorum — there is no wire
   /// snapshot transfer: the checkpoint only ever serves the party's own
   /// crash recovery (docs/fault_model.md "Recovery tier").
-  CordaNetwork(net::SimNetwork& network, const crypto::Group& group,
+  CordaNetwork(net::Transport& network, const crypto::Group& group,
                common::Rng& rng, std::uint64_t vault_snapshot_interval = 0);
 
   void add_party(const std::string& name);
@@ -430,7 +430,7 @@ class CordaNetwork {
   static const common::Bytes& vault_snapshot(const Party& party);
   void compact_vault_locked(Party& party);
 
-  net::SimNetwork* network_;
+  net::Transport* network_;
   const crypto::Group* group_;
   common::Rng rng_;
   pki::CertificateAuthority ca_;

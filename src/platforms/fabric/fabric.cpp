@@ -43,7 +43,7 @@ crypto::Digest writes_digest(const ledger::Transaction& tx) {
 }
 }  // namespace
 
-FabricNetwork::FabricNetwork(net::SimNetwork& network,
+FabricNetwork::FabricNetwork(net::Transport& network,
                              const crypto::Group& group, common::Rng& rng,
                              FabricConfig config)
     : network_(&network),

@@ -105,7 +105,7 @@ struct PrivatePayload {
 
 class FabricNetwork {
  public:
-  FabricNetwork(net::SimNetwork& network, const crypto::Group& group,
+  FabricNetwork(net::Transport& network, const crypto::Group& group,
                 common::Rng& rng, FabricConfig config = {});
 
   /// Onboard an organization: issues an identity certificate, registers
@@ -463,7 +463,7 @@ class FabricNetwork {
   /// Replay the post-checkpoint delta from the sealed delivery log.
   void replay_tail(const std::string& channel, const std::string& org);
 
-  net::SimNetwork* network_;
+  net::Transport* network_;
   const crypto::Group* group_;
   common::Rng rng_;
   FabricConfig config_;

@@ -26,7 +26,7 @@ PrivateEnvelope PrivateEnvelope::decode(common::BytesView data) {
   return env;
 }
 
-QuorumNetwork::QuorumNetwork(net::SimNetwork& network,
+QuorumNetwork::QuorumNetwork(net::Transport& network,
                              const crypto::Group& group, common::Rng& rng,
                              std::size_t block_size,
                              ledger::SnapshotConfig snapshots)

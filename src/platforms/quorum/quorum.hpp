@@ -60,7 +60,7 @@ struct PrivateEnvelope {
 
 class QuorumNetwork {
  public:
-  QuorumNetwork(net::SimNetwork& network, const crypto::Group& group,
+  QuorumNetwork(net::Transport& network, const crypto::Group& group,
                 common::Rng& rng, std::size_t block_size = 4,
                 ledger::SnapshotConfig snapshots = {});
 
@@ -282,7 +282,7 @@ class QuorumNetwork {
   void catch_up_private(const std::string& org, std::uint64_t from_height,
                         std::uint64_t to_height);
 
-  net::SimNetwork* network_;
+  net::Transport* network_;
   const crypto::Group* group_;
   common::Rng rng_;
   std::size_t block_size_;

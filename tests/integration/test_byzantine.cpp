@@ -9,7 +9,10 @@
 #include <cstdlib>
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "audit/evidence.hpp"
+#include "net/factory.hpp"
 #include "net/fault.hpp"
 #include "net/network.hpp"
 #include "platforms/corda/corda.hpp"
@@ -28,7 +31,8 @@ using common::to_bytes;
 // ---------------------------------------------------------------------------
 
 TEST(ByzantineNet, TamperFlipsBitsInFlight) {
-  net::SimNetwork net{Rng(101), net::LatencyModel{100, 0, 0.0}};
+  auto net_owner = net::make_transport(Rng(101), net::LatencyModel{100, 0, 0.0});
+  net::Transport& net = *net_owner;
   net::ByzantinePlan plan;
   plan.tamper_from(0, "mallory", 1.0);
   net.set_byzantine_plan(plan);
@@ -44,7 +48,8 @@ TEST(ByzantineNet, TamperFlipsBitsInFlight) {
 }
 
 TEST(ByzantineNet, EquivocationAltersEveryOtherCopy) {
-  net::SimNetwork net{Rng(103), net::LatencyModel{100, 0, 0.0}};
+  auto net_owner = net::make_transport(Rng(103), net::LatencyModel{100, 0, 0.0});
+  net::Transport& net = *net_owner;
   net::ByzantinePlan plan;
   plan.equivocate_from(0, "mallory");
   net.set_byzantine_plan(plan);
@@ -65,7 +70,8 @@ TEST(ByzantineNet, EquivocationAltersEveryOtherCopy) {
 }
 
 TEST(ByzantineNet, ReplayDuplicatesDelivery) {
-  net::SimNetwork net{Rng(105), net::LatencyModel{100, 0, 0.0}};
+  auto net_owner = net::make_transport(Rng(105), net::LatencyModel{100, 0, 0.0});
+  net::Transport& net = *net_owner;
   net::ByzantinePlan plan;
   plan.replay_from(0, "mallory", 5'000);
   net.set_byzantine_plan(plan);
@@ -79,7 +85,8 @@ TEST(ByzantineNet, ReplayDuplicatesDelivery) {
 }
 
 TEST(ByzantineNet, SelectiveSilenceDropsOnlyTheTarget) {
-  net::SimNetwork net{Rng(107), net::LatencyModel{100, 0, 0.0}};
+  auto net_owner = net::make_transport(Rng(107), net::LatencyModel{100, 0, 0.0});
+  net::Transport& net = *net_owner;
   net::ByzantinePlan plan;
   plan.silence_from(0, "mallory", "bob");
   net.set_byzantine_plan(plan);
@@ -96,7 +103,8 @@ TEST(ByzantineNet, SelectiveSilenceDropsOnlyTheTarget) {
 }
 
 TEST(ByzantineNet, QuarantineIsolatesBothDirectionsUntilRelease) {
-  net::SimNetwork net{Rng(109), net::LatencyModel{100, 0, 0.0}};
+  auto net_owner = net::make_transport(Rng(109), net::LatencyModel{100, 0, 0.0});
+  net::Transport& net = *net_owner;
   std::size_t received = 0;
   net.attach("mallory", [&](const net::Message&) { ++received; });
   net.attach("bob", [&](const net::Message&) { ++received; });
@@ -114,7 +122,8 @@ TEST(ByzantineNet, QuarantineIsolatesBothDirectionsUntilRelease) {
 }
 
 TEST(ByzantineNet, LinkCorruptionModeFlipsRandomBits) {
-  net::SimNetwork net{Rng(111), net::LatencyModel{100, 0, 0.0}};
+  auto net_owner = net::make_transport(Rng(111), net::LatencyModel{100, 0, 0.0});
+  net::Transport& net = *net_owner;
   net.set_corruption_probability(1.0);
   const Bytes sent = to_bytes("pristine");
   Bytes received;
@@ -127,7 +136,8 @@ TEST(ByzantineNet, LinkCorruptionModeFlipsRandomBits) {
 }
 
 TEST(ByzantineNet, PlanEventsActivateAndDeactivateOnSchedule) {
-  net::SimNetwork net{Rng(113), net::LatencyModel{100, 0, 0.0}};
+  auto net_owner = net::make_transport(Rng(113), net::LatencyModel{100, 0, 0.0});
+  net::Transport& net = *net_owner;
   net::ByzantinePlan plan;
   plan.tamper_from(0, "mallory", 1.0).honest_from(50'000, "mallory");
   net.set_byzantine_plan(plan);
@@ -150,7 +160,8 @@ TEST(ByzantineNet, PlanEventsActivateAndDeactivateOnSchedule) {
 
 TEST(ByzantineNet, SeedReproducibleAdversaryTranscript) {
   const auto run_once = [] {
-    net::SimNetwork net{Rng(400), net::LatencyModel{120, 40, 0.0}};
+    auto net_owner = net::make_transport(Rng(400), net::LatencyModel{120, 40, 0.0});
+    net::Transport& net = *net_owner;
     net::ByzantinePlan plan;
     plan.tamper_from(0, "mallory", 0.5).replay_from(0, "eve", 7'000);
     net.set_byzantine_plan(plan);
@@ -178,7 +189,8 @@ TEST(ByzantineNet, SeedReproducibleAdversaryTranscript) {
 class QuorumReplayTest : public ::testing::Test {
  protected:
   QuorumReplayTest()
-      : net_(Rng(27)),
+      : net_owner_(net::make_transport(Rng(27))),
+        net_(*net_owner_),
         rng_(28),
         quorum_(net_, crypto::Group::test_group(), rng_, /*block_size=*/1) {
     for (const char* n : {"NodeA", "NodeB", "NodeC"}) quorum_.add_node(n);
@@ -198,7 +210,8 @@ class QuorumReplayTest : public ::testing::Test {
     return tx1.tx_id;
   }
 
-  net::SimNetwork net_;
+  std::unique_ptr<net::Transport> net_owner_;
+  net::Transport& net_;
   Rng rng_;
   quorum::QuorumNetwork quorum_;
 };
@@ -245,7 +258,8 @@ TEST_F(QuorumReplayTest, DetectionOnConvictsAndQuarantinesReplayer) {
 
 TEST_F(QuorumReplayTest, EvidenceTranscriptIsSeedReproducible) {
   const auto run_once = [] {
-    net::SimNetwork net{Rng(27)};
+    auto net_owner = net::make_transport(Rng(27));
+    net::Transport& net = *net_owner;
     Rng rng(28);
     quorum::QuorumNetwork quorum(net, crypto::Group::test_group(), rng, 1);
     for (const char* n : {"NodeA", "NodeB", "NodeC"}) quorum.add_node(n);
@@ -281,14 +295,16 @@ std::shared_ptr<contracts::FunctionContract> kv_chaincode() {
 class FabricByzantineTest : public ::testing::Test {
  protected:
   FabricByzantineTest()
-      : net_(Rng(7)), rng_(8), fab_(net_, crypto::Group::test_group(), rng_) {
+      : net_owner_(net::make_transport(Rng(7))),
+        net_(*net_owner_), rng_(8), fab_(net_, crypto::Group::test_group(), rng_) {
     for (const char* org : {"OrgA", "OrgB", "OrgC"}) fab_.add_org(org);
     fab_.create_channel("trade", {"OrgA", "OrgB", "OrgC"});
     fab_.install_chaincode("trade", "OrgB", kv_chaincode(),
                            contracts::EndorsementPolicy::require("OrgB"));
   }
 
-  net::SimNetwork net_;
+  std::unique_ptr<net::Transport> net_owner_;
+  net::Transport& net_;
   Rng rng_;
   fabric::FabricNetwork fab_;
 };
@@ -383,7 +399,8 @@ TEST_F(FabricByzantineTest, DetectModeConvictsEquivocatingEndorser) {
 class CordaNotaryTest : public ::testing::Test {
  protected:
   CordaNotaryTest()
-      : net_(Rng(17)), rng_(18), corda_(net_, crypto::Group::test_group(), rng_) {
+      : net_owner_(net::make_transport(Rng(17))),
+        net_(*net_owner_), rng_(18), corda_(net_, crypto::Group::test_group(), rng_) {
     for (const char* p : {"Alice", "Bob", "Carol"}) corda_.add_party(p);
     corda_.add_notary("Notary", /*validating=*/false);
   }
@@ -402,7 +419,8 @@ class CordaNotaryTest : public ::testing::Test {
     return ref;
   }
 
-  net::SimNetwork net_;
+  std::unique_ptr<net::Transport> net_owner_;
+  net::Transport& net_;
   Rng rng_;
   corda::CordaNetwork corda_;
 };
@@ -465,7 +483,8 @@ class CordaRefusalTest : public ::testing::Test {
   // Deterministic transcript of a Byzantine client hitting an honest
   // notary.
   static Transcript run_refusal(double loss) {
-    net::SimNetwork net{Rng(17)};
+    auto net_owner = net::make_transport(Rng(17));
+    net::Transport& net = *net_owner;
     Rng rng(18);
     corda::CordaNetwork corda(net, crypto::Group::test_group(), rng);
     for (const char* p : {"Alice", "Bob"}) corda.add_party(p);
@@ -533,7 +552,8 @@ TEST(RandomizedChaos, ByzantineQuorumConvergesUnderRandomSeed) {
   std::printf("[chaos] VEIL_CHAOS_SEED=%llu\n",
               static_cast<unsigned long long>(seed));
 
-  net::SimNetwork net{Rng(seed)};
+  auto net_owner = net::make_transport(Rng(seed));
+  net::Transport& net = *net_owner;
   Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
   quorum::QuorumNetwork quorum(net, crypto::Group::test_group(), rng,
                                /*block_size=*/1);

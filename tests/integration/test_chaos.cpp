@@ -6,9 +6,12 @@
 // delivery-service catch-up paths.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <cstdio>
 #include <cstdlib>
 
+#include "net/factory.hpp"
 #include "net/fault.hpp"
 #include "platforms/corda/corda.hpp"
 #include "platforms/fabric/fabric.hpp"
@@ -33,7 +36,8 @@ std::shared_ptr<contracts::FunctionContract> trade_contract() {
 class FabricChaosTest : public ::testing::Test {
  protected:
   FabricChaosTest()
-      : net_(common::Rng(901)),
+      : net_owner_(net::make_transport(common::Rng(901))),
+        net_(*net_owner_),
         rng_(902),
         fab_(net_, crypto::Group::test_group(), rng_) {
     fab_.add_org("OrgA");
@@ -44,7 +48,8 @@ class FabricChaosTest : public ::testing::Test {
                            contracts::EndorsementPolicy::require("OrgA"));
   }
 
-  net::SimNetwork net_;
+  std::unique_ptr<net::Transport> net_owner_;
+  net::Transport& net_;
   common::Rng rng_;
   fabric::FabricNetwork fab_;
 };
@@ -147,7 +152,8 @@ TEST_F(FabricChaosTest, CrashDuringLossRecoversViaFaultPlan) {
 class CordaChaosTest : public ::testing::Test {
  protected:
   CordaChaosTest()
-      : net_(common::Rng(903)),
+      : net_owner_(net::make_transport(common::Rng(903))),
+        net_(*net_owner_),
         rng_(904),
         corda_(net_, crypto::Group::test_group(), rng_) {
     corda_.add_party("A");
@@ -156,7 +162,8 @@ class CordaChaosTest : public ::testing::Test {
     corda_.add_notary("Notary", /*validating=*/false);
   }
 
-  net::SimNetwork net_;
+  std::unique_ptr<net::Transport> net_owner_;
+  net::Transport& net_;
   common::Rng rng_;
   corda::CordaNetwork corda_;
 };
@@ -240,7 +247,8 @@ TEST_F(CordaChaosTest, CrashedPartyRecoversVaultFromWal) {
 class QuorumChaosTest : public ::testing::Test {
  protected:
   QuorumChaosTest()
-      : net_(common::Rng(905)),
+      : net_owner_(net::make_transport(common::Rng(905))),
+        net_(*net_owner_),
         rng_(906),
         quorum_(net_, crypto::Group::test_group(), rng_, /*block_size=*/1) {
     quorum_.add_node("A");
@@ -259,7 +267,8 @@ class QuorumChaosTest : public ::testing::Test {
     }
   }
 
-  net::SimNetwork net_;
+  std::unique_ptr<net::Transport> net_owner_;
+  net::Transport& net_;
   common::Rng rng_;
   quorum::QuorumNetwork quorum_;
 };
@@ -348,7 +357,8 @@ TEST(RandomizedChaos, CrashMidSnapshotTransferResumesAndConverges) {
   std::printf("[chaos] VEIL_CHAOS_SEED=%llu\n",
               static_cast<unsigned long long>(seed));
 
-  net::SimNetwork net{common::Rng(seed)};
+  auto net_owner = net::make_transport(common::Rng(seed));
+  net::Transport& net = *net_owner;
   common::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
   quorum::QuorumNetwork quorum(net, crypto::Group::test_group(), rng,
                                /*block_size=*/1,

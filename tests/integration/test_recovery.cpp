@@ -10,6 +10,10 @@
 // signed evidence, quarantined, and failed over.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "net/factory.hpp"
+
 #include "audit/evidence.hpp"
 #include "contracts/contract.hpp"
 #include "platforms/corda/corda.hpp"
@@ -30,7 +34,8 @@ class QuorumRecoveryTest : public ::testing::Test {
   static constexpr std::uint64_t kInterval = 4;
 
   QuorumRecoveryTest()
-      : net_(common::Rng(71), net::LatencyModel{100, 0, 0.0}),
+      : net_owner_(net::make_transport(common::Rng(71), net::LatencyModel{100, 0, 0.0})),
+        net_(*net_owner_),
         rng_(72),
         quorum_(net_, crypto::Group::test_group(), rng_, /*block_size=*/1,
                 ledger::SnapshotConfig{.interval = kInterval}) {
@@ -47,7 +52,8 @@ class QuorumRecoveryTest : public ::testing::Test {
   }
 
   int counter_ = 0;
-  net::SimNetwork net_;
+  std::unique_ptr<net::Transport> net_owner_;
+  net::Transport& net_;
   common::Rng rng_;
   quorum::QuorumNetwork quorum_;
 };
@@ -266,7 +272,8 @@ class FabricRecoveryTest : public ::testing::Test {
   static constexpr std::uint64_t kInterval = 4;
 
   FabricRecoveryTest()
-      : net_(common::Rng(81), net::LatencyModel{100, 0, 0.0}),
+      : net_owner_(net::make_transport(common::Rng(81), net::LatencyModel{100, 0, 0.0})),
+        net_(*net_owner_),
         rng_(82),
         fab_(net_, crypto::Group::test_group(), rng_,
              fabric::FabricConfig{
@@ -287,7 +294,8 @@ class FabricRecoveryTest : public ::testing::Test {
   }
 
   int counter_ = 0;
-  net::SimNetwork net_;
+  std::unique_ptr<net::Transport> net_owner_;
+  net::Transport& net_;
   common::Rng rng_;
   fabric::FabricNetwork fab_;
 };
@@ -417,7 +425,8 @@ class CordaRecoveryTest : public ::testing::Test {
   static constexpr std::uint64_t kInterval = 6;
 
   CordaRecoveryTest()
-      : net_(common::Rng(91), net::LatencyModel{100, 0, 0.0}),
+      : net_owner_(net::make_transport(common::Rng(91), net::LatencyModel{100, 0, 0.0})),
+        net_(*net_owner_),
         rng_(92),
         corda_(net_, crypto::Group::test_group(), rng_, kInterval) {
     corda_.add_party("Alice");
@@ -425,7 +434,8 @@ class CordaRecoveryTest : public ::testing::Test {
     corda_.add_notary("Notary", false);
   }
 
-  net::SimNetwork net_;
+  std::unique_ptr<net::Transport> net_owner_;
+  net::Transport& net_;
   common::Rng rng_;
   corda::CordaNetwork corda_;
 };

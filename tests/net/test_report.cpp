@@ -143,5 +143,31 @@ TEST(Report, NetworkStatsRenderCrossShardCounters) {
   }
 }
 
+TEST(Report, NetworkStatsRenderTransportTierCounters) {
+  NetworkStats stats;
+  stats.tcp_connects = 41;
+  stats.tcp_reconnects = 42;
+  stats.tcp_heartbeat_misses = 43;
+  stats.tcp_session_resumptions = 44;
+  stats.tcp_partial_write_continuations = 45;
+  stats.tcp_short_reads = 46;
+  stats.tcp_frames_torn = 47;
+  stats.tcp_frames_rejected = 48;
+  stats.tcp_write_overflow = 49;
+  stats.tcp_injected_faults = 50;
+  const std::string out = render_network_stats(stats);
+  EXPECT_NE(out.find("transport tier (tcp):"), std::string::npos);
+  for (const char* label :
+       {"connects", "reconnects", "heartbeat misses", "session resumptions",
+        "partial-write continuations", "short reads", "frames torn",
+        "frames rejected (dup)", "write overflow (busy)",
+        "injected socket faults"}) {
+    EXPECT_NE(out.find(label), std::string::npos) << label;
+  }
+  for (int v = 41; v <= 50; ++v) {
+    EXPECT_NE(out.find(std::to_string(v)), std::string::npos) << v;
+  }
+}
+
 }  // namespace
 }  // namespace veil::net

@@ -1,0 +1,125 @@
+// SocketFaultInjector: persona determinism, liveness bounds, clamp
+// ranges — the contracts that make injected chaos reproducible and
+// non-wedging.
+#include "net/socket_fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace veil::net {
+namespace {
+
+SocketFaultProfile heavy() { return SocketFaultProfile::uniform(0.5); }
+
+std::vector<IoFault> decision_stream(SocketFaultInjector& inj, int n) {
+  std::vector<IoFault> out;
+  for (int i = 0; i < n; ++i) out.push_back(inj.pre_read());
+  return out;
+}
+
+TEST(SocketFault, DisabledProfileInjectsNothing) {
+  SocketFaultProfile off;
+  EXPECT_FALSE(off.enabled());
+  SocketFaultInjector inj(off, 1, "a", "b", 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(inj.pre_read(), IoFault::None);
+    EXPECT_EQ(inj.pre_write(), IoFault::None);
+    EXPECT_FALSE(inj.clamp_read_due());
+    EXPECT_FALSE(inj.clamp_write_due());
+    EXPECT_EQ(inj.tear_offset(100), std::numeric_limits<std::size_t>::max());
+  }
+  EXPECT_EQ(inj.injected(), 0u);
+}
+
+TEST(SocketFault, SamePersonaSameDecisions) {
+  SocketFaultInjector a(heavy(), 42, "alice", "bob", 3);
+  SocketFaultInjector b(heavy(), 42, "alice", "bob", 3);
+  EXPECT_EQ(decision_stream(a, 200), decision_stream(b, 200));
+  EXPECT_EQ(a.injected(), b.injected());
+}
+
+TEST(SocketFault, PersonaVariesWithSeedLinkAndEpoch) {
+  SocketFaultInjector base(heavy(), 42, "alice", "bob", 3);
+  SocketFaultInjector seed(heavy(), 43, "alice", "bob", 3);
+  SocketFaultInjector link(heavy(), 42, "alice", "carol", 3);
+  SocketFaultInjector rev(heavy(), 42, "bob", "alice", 3);
+  SocketFaultInjector epoch(heavy(), 42, "alice", "bob", 4);
+  const auto ref = decision_stream(base, 200);
+  EXPECT_NE(ref, decision_stream(seed, 200));
+  EXPECT_NE(ref, decision_stream(link, 200));
+  EXPECT_NE(ref, decision_stream(rev, 200));
+  EXPECT_NE(ref, decision_stream(epoch, 200));
+}
+
+TEST(SocketFault, LivenessCapForcesRealSyscallsThrough) {
+  // Even at rate 1.0 for every class, at most max_consecutive injections
+  // fire before a real syscall is let through — the injector can slow a
+  // connection but never wedge it.
+  SocketFaultProfile p;
+  p.eintr = 1.0;
+  p.max_consecutive = 4;
+  SocketFaultInjector inj(p, 7, "a", "b", 1);
+  int streak = 0;
+  int real = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (inj.pre_read() == IoFault::None) {
+      ++real;
+      streak = 0;
+    } else {
+      ++streak;
+      ASSERT_LE(streak, 4);
+    }
+  }
+  EXPECT_GT(real, 0);
+}
+
+TEST(SocketFault, ClampsStayInRange) {
+  SocketFaultProfile p;
+  p.partial_write = 1.0;
+  p.short_read = 1.0;
+  SocketFaultInjector inj(p, 9, "a", "b", 1);
+  for (int i = 0; i < 200; ++i) {
+    if (inj.clamp_write_due()) {
+      const std::size_t n = inj.clamp_write(100);
+      EXPECT_GE(n, 1u);
+      EXPECT_LE(n, 100u);
+    }
+    if (inj.clamp_read_due()) {
+      const std::size_t n = inj.clamp_read(1);
+      EXPECT_EQ(n, 1u);
+    }
+  }
+  EXPECT_GT(inj.injected(), 0u);
+}
+
+TEST(SocketFault, TearOffsetWithinFrame) {
+  SocketFaultProfile p;
+  p.torn_frame = 1.0;
+  SocketFaultInjector inj(p, 11, "a", "b", 1);
+  bool tore = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::size_t off = inj.tear_offset(37);
+    if (off != std::numeric_limits<std::size_t>::max()) {
+      EXPECT_LT(off, 37u);
+      tore = true;
+    }
+  }
+  EXPECT_TRUE(tore);
+  EXPECT_EQ(inj.tear_offset(0), std::numeric_limits<std::size_t>::max());
+}
+
+TEST(SocketFault, UniformProfileScalesExpensiveFaultsDown) {
+  const SocketFaultProfile p = SocketFaultProfile::uniform(0.2);
+  EXPECT_TRUE(p.enabled());
+  EXPECT_DOUBLE_EQ(p.partial_write, 0.2);
+  EXPECT_DOUBLE_EQ(p.short_read, 0.2);
+  EXPECT_LT(p.connect_reset, p.partial_write);
+  EXPECT_LT(p.midstream_reset, p.connect_reset);
+  EXPECT_LT(p.stall, p.partial_write);
+  EXPECT_EQ(SocketFaultProfile::uniform(0.0).enabled(), false);
+}
+
+}  // namespace
+}  // namespace veil::net

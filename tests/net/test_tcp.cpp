@@ -1,0 +1,338 @@
+// TcpTransport: the real-socket backend must be observationally
+// identical to SimNetwork at the engine layer — same transcripts, same
+// message-layer stats under the same seed — while its supervisor and
+// session-resumption machinery absorb real connection loss, torn frames
+// and syscall chaos below.
+#include "net/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/network.hpp"
+#include "net/overload.hpp"
+
+namespace veil::net {
+namespace {
+
+using common::to_bytes;
+
+void spin_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Poll `pred` (which may refresh stats) for up to `budget_ms`.
+template <typename Pred>
+bool eventually(Pred pred, int budget_ms = 5000) {
+  for (int waited = 0; waited < budget_ms; waited += 2) {
+    if (pred()) return true;
+    spin_ms(2);
+  }
+  return pred();
+}
+
+TEST(TcpTransport, DeliversOverRealSockets) {
+  TcpTransport net(common::Rng(1), LatencyModel{500, 0, 0.0});
+  std::vector<std::string> got;
+  net.attach("a", [](const Message&) {});
+  net.attach("b", [&](const Message& m) {
+    got.push_back(m.topic + ":" + common::to_string(m.payload));
+  });
+  net.send("a", "b", "greet", to_bytes("hello"));
+  net.send("a", "b", "again", to_bytes("world"));
+  EXPECT_EQ(net.run(), 2u);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "greet:hello");
+  EXPECT_EQ(got[1], "again:world");
+  EXPECT_TRUE(eventually([&] { return net.stats().tcp_connects >= 1; }));
+  EXPECT_EQ(net.stats().tcp_reconnects, 0u);
+}
+
+TEST(TcpTransport, BidirectionalBurstKeepsEngineOrder) {
+  TcpTransport net(common::Rng(7));
+  std::vector<common::SimTime> stamps;
+  const auto record = [&](const Message& m) {
+    stamps.push_back(m.delivered_at);
+  };
+  net.attach("a", record);
+  net.attach("b", record);
+  for (int i = 0; i < 200; ++i) {
+    net.send("a", "b", "ab", to_bytes(std::to_string(i)));
+    net.send("b", "a", "ba", to_bytes(std::to_string(i)));
+  }
+  EXPECT_EQ(net.run(), 400u);
+  ASSERT_EQ(stamps.size(), 400u);
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    EXPECT_LE(stamps[i - 1], stamps[i]) << "delivery left time order at " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Backend equivalence: one scripted workload with modeled faults at
+// every layer (loss, corruption, partitions, crash/restart, quarantine),
+// executed on both backends with the same seed. Transcripts and
+// message-layer stats must match bit for bit.
+// ---------------------------------------------------------------------
+
+std::vector<std::string> run_script(Transport& net) {
+  std::vector<std::string> log;
+  const auto attach = [&](const std::string& name) {
+    net.attach(name, [&log, name](const Message& m) {
+      log.push_back(name + "<-" + m.from + ":" + m.topic + ":" +
+                    common::to_hex(m.payload) + "@" +
+                    std::to_string(m.delivered_at));
+    });
+  };
+  attach("alice");
+  attach("bob");
+  attach("carol");
+
+  net.set_drop_probability(0.15);
+  net.set_corruption_probability(0.1);
+  for (int i = 0; i < 40; ++i) {
+    net.send("alice", "bob", "t" + std::to_string(i),
+             to_bytes("payload-" + std::to_string(i)));
+    if (i % 3 == 0) {
+      net.send("bob", "carol", "u" + std::to_string(i), to_bytes("relay"));
+    }
+    if (i % 7 == 0) net.broadcast("carol", "bcast", to_bytes("fanout"));
+  }
+  net.run();
+
+  net.set_drop_probability(0.0);
+  net.set_corruption_probability(0.0);
+  net.set_partitions({{"alice"}, {"bob", "carol"}});
+  for (int i = 0; i < 10; ++i) {
+    net.send("alice", "bob", "cut" + std::to_string(i), to_bytes("lost"));
+    net.send("carol", "bob", "in" + std::to_string(i), to_bytes("kept"));
+  }
+  net.run();
+  net.set_partitions({});
+
+  net.crash("bob");
+  net.send("alice", "bob", "while-down", to_bytes("dropped"));
+  net.run();
+  net.restart("bob");
+  net.send("alice", "bob", "after-up", to_bytes("arrives"));
+  net.run();
+
+  net.quarantine("carol");
+  net.send("carol", "alice", "muzzled", to_bytes("dropped"));
+  net.send("bob", "alice", "fine", to_bytes("arrives"));
+  net.run();
+  net.release("carol");
+  return log;
+}
+
+TEST(TcpTransport, BitIdenticalToSimNetworkUnderModeledFaults) {
+  SimNetwork sim(common::Rng(4242));
+  TcpTransport tcp(common::Rng(4242));
+  const auto sim_log = run_script(sim);
+  const auto tcp_log = run_script(tcp);
+  ASSERT_EQ(sim_log.size(), tcp_log.size());
+  for (std::size_t i = 0; i < sim_log.size(); ++i) {
+    EXPECT_EQ(sim_log[i], tcp_log[i]) << "transcripts diverge at " << i;
+  }
+  const NetworkStats& a = sim.stats();
+  const NetworkStats& b = tcp.stats();
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.dropped_random_loss, b.dropped_random_loss);
+  EXPECT_EQ(a.dropped_partition, b.dropped_partition);
+  EXPECT_EQ(a.dropped_crashed, b.dropped_crashed);
+  EXPECT_EQ(a.dropped_quarantined, b.dropped_quarantined);
+  EXPECT_EQ(a.messages_corrupted, b.messages_corrupted);
+  // And the sim backend, by definition, has no transport tier.
+  EXPECT_EQ(a.tcp_connects, 0u);
+  EXPECT_GT(b.tcp_connects, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Session resumption and the fault injector.
+// ---------------------------------------------------------------------
+
+struct ExactlyOnce {
+  std::map<std::string, int> seen;
+  void note(const Message& m) { ++seen[m.topic]; }
+  int duplicates() const {
+    int d = 0;
+    for (const auto& [t, n] : seen) d += n - 1;
+    return d;
+  }
+};
+
+TEST(TcpTransport, MidstreamResetsNeverDropOrDuplicate) {
+  TcpConfig config;
+  config.fault_seed = 99;
+  config.faults.midstream_reset = 0.1;
+  config.faults.partial_write = 0.3;
+  config.faults.short_read = 0.3;
+  TcpTransport net(common::Rng(11), LatencyModel{}, config);
+  ExactlyOnce tally;
+  net.attach("tx", [](const Message&) {});
+  net.attach("rx", [&](const Message& m) { tally.note(m); });
+  // Deliver in small batches: each run() is a quiescence barrier, so the
+  // stream cannot coalesce into a handful of giant writes — the injector
+  // gets hundreds of syscall decisions to work with.
+  const int kMessages = 400;
+  std::size_t delivered = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    net.send("tx", "rx", "m" + std::to_string(i), to_bytes("chaos"));
+    if (i % 4 == 3) delivered += net.run();
+  }
+  delivered += net.run();
+  EXPECT_EQ(delivered, static_cast<std::size_t>(kMessages));
+  EXPECT_EQ(static_cast<int>(tally.seen.size()), kMessages);
+  EXPECT_EQ(tally.duplicates(), 0);
+  EXPECT_TRUE(eventually([&] { return net.stats().tcp_reconnects > 0; }));
+  EXPECT_GT(net.stats().tcp_session_resumptions, 0u);
+  EXPECT_GT(net.stats().tcp_injected_faults, 0u);
+  EXPECT_GT(net.stats().tcp_partial_write_continuations, 0u);
+  EXPECT_GT(net.stats().tcp_short_reads, 0u);
+}
+
+TEST(TcpTransport, TornFramesAreRepairedBySessionResumption) {
+  TcpConfig config;
+  config.fault_seed = 7;
+  config.faults.torn_frame = 0.05;
+  TcpTransport net(common::Rng(12), LatencyModel{}, config);
+  ExactlyOnce tally;
+  net.attach("tx", [](const Message&) {});
+  net.attach("rx", [&](const Message& m) { tally.note(m); });
+  const int kMessages = 300;
+  for (int i = 0; i < kMessages; ++i) {
+    net.send("tx", "rx", "m" + std::to_string(i), to_bytes("torn?"));
+  }
+  EXPECT_EQ(net.run(), static_cast<std::size_t>(kMessages));
+  EXPECT_EQ(static_cast<int>(tally.seen.size()), kMessages);
+  EXPECT_EQ(tally.duplicates(), 0);
+  EXPECT_TRUE(eventually([&] { return net.stats().tcp_frames_torn > 0; }));
+  EXPECT_GT(net.stats().tcp_reconnects, 0u);
+}
+
+TEST(TcpTransport, UniformChaosProfileConvergesExactlyOnce) {
+  TcpConfig config;
+  config.fault_seed = 2026;
+  config.faults = SocketFaultProfile::uniform(0.2);
+  TcpTransport net(common::Rng(13), LatencyModel{}, config);
+  ExactlyOnce tally;
+  const auto note = [&](const Message& m) { tally.note(m); };
+  net.attach("a", note);
+  net.attach("b", note);
+  net.attach("c", note);
+  int sent = 0;
+  for (int i = 0; i < 120; ++i) {
+    net.send("a", "b", "ab" + std::to_string(i), to_bytes("x"));
+    net.send("b", "c", "bc" + std::to_string(i), to_bytes("y"));
+    net.send("c", "a", "ca" + std::to_string(i), to_bytes("z"));
+    sent += 3;
+  }
+  EXPECT_EQ(net.run(), static_cast<std::size_t>(sent));
+  EXPECT_EQ(static_cast<int>(tally.seen.size()), sent);
+  EXPECT_EQ(tally.duplicates(), 0);
+  EXPECT_TRUE(eventually([&] { return net.stats().tcp_injected_faults > 0; }));
+}
+
+// ---------------------------------------------------------------------
+// Bounded write queues: a link with a wedged peer fills its window and
+// surfaces net::Busy instead of buffering without bound.
+// ---------------------------------------------------------------------
+
+TEST(TcpTransport, WriteQueueOverflowSurfacesBusy) {
+  TcpConfig config;
+  config.link_window = 8;
+  TcpTransport net(common::Rng(21), LatencyModel{}, config);
+  std::set<std::string> delivered;
+  std::set<std::string> refused;
+  net.attach("tx", [&](const Message& m) {
+    if (m.topic == "net.busy") {
+      refused.insert(Busy::decode(m.payload).topic);
+    }
+  });
+  net.attach("rx", [&](const Message& m) { delivered.insert(m.topic); });
+
+  // Establish the link, then wedge the receiver.
+  net.send("tx", "rx", "warmup", to_bytes("w"));
+  net.run();
+  ASSERT_TRUE(eventually([&] { return net.stats().tcp_connects >= 1; }));
+  spin_ms(20);  // let the warmup ack drain the ring
+  net.debug_freeze("rx", true);
+
+  const int kBurst = static_cast<int>(config.link_window) + 6;
+  for (int i = 0; i < kBurst; ++i) {
+    net.send("tx", "rx", "m" + std::to_string(i), to_bytes("burst"));
+  }
+  // Refusals are decided synchronously at the send point.
+  EXPECT_GE(net.stats().tcp_write_overflow, 5u);
+  EXPECT_GE(net.stats().busy_notices, 5u);
+
+  // Thaw: every admitted message lands exactly once, every refused one
+  // was answered with a Busy naming its topic — nothing vanished.
+  net.debug_freeze("rx", false);
+  net.run();
+  delivered.erase("warmup");
+  EXPECT_EQ(delivered.size() + refused.size(),
+            static_cast<std::size_t>(kBurst));
+  for (const auto& t : refused) {
+    EXPECT_FALSE(delivered.contains(t)) << t << " both refused and delivered";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Connection supervision: heartbeat misses convict a wedged peer, feed
+// the circuit breaker, and recovery closes the loop.
+// ---------------------------------------------------------------------
+
+TEST(TcpTransport, HeartbeatMissesFeedBreakerAndRecoveryCloses) {
+  TcpConfig config;
+  config.heartbeat_interval_ms = 5;
+  config.heartbeat_miss_limit = 2;
+  TcpTransport net(common::Rng(31), LatencyModel{}, config);
+  BreakerConfig bc;
+  bc.failure_threshold = 1;
+  bc.open_duration_us = 1'000;
+  CircuitBreaker breaker(bc);
+  net.set_link_breaker(&breaker);
+
+  int rx_count = 0;
+  net.attach("tx", [](const Message&) {});
+  net.attach("rx", [&](const Message&) { ++rx_count; });
+  net.send("tx", "rx", "establish", to_bytes("hb"));
+  net.run();
+  ASSERT_EQ(rx_count, 1);
+
+  // Wedge the peer: pings go unanswered, misses accumulate, the link is
+  // declared failed and the breaker opens — all from transport signals.
+  net.debug_freeze("rx", true);
+  ASSERT_TRUE(eventually([&] {
+    net.stats();  // drains supervisor events into the breaker
+    return breaker.state("rx", net.clock().now()) == BreakerState::Open;
+  }));
+  EXPECT_GT(net.stats().tcp_heartbeat_misses, 0u);
+
+  // Thaw. Advance the sim clock past the open window so the breaker will
+  // admit a half-open probe, then send: the reconnect handshake reports
+  // success and closes the breaker.
+  net.debug_freeze("rx", false);
+  net.schedule(net.clock().now() + bc.open_duration_us + 1, [] {});
+  net.run();
+  EXPECT_TRUE(breaker.allow("rx", net.clock().now()));  // half-open probe
+  net.send("tx", "rx", "probe", to_bytes("hb"));
+  net.run();
+  EXPECT_EQ(rx_count, 2);
+  EXPECT_TRUE(eventually([&] {
+    net.stats();
+    return breaker.state("rx", net.clock().now()) == BreakerState::Closed;
+  }));
+  EXPECT_TRUE(eventually([&] { return net.stats().tcp_reconnects >= 1; }));
+}
+
+}  // namespace
+}  // namespace veil::net
